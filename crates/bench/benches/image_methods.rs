@@ -1,0 +1,36 @@
+//! Criterion benchmark behind Table I: image-computation time of the
+//! three methods on each benchmark family, at sizes that run in seconds.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use qits_bench::{run_image, spec_for, strategy_for, METHODS};
+
+fn bench_family(c: &mut Criterion, family: &'static str, sizes: &[u32]) {
+    let mut group = c.benchmark_group(format!("table1/{family}"));
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1200));
+    for &n in sizes {
+        let spec = spec_for(family, n);
+        for method in METHODS {
+            let strategy = strategy_for(method);
+            group.bench_with_input(
+                BenchmarkId::new(method, n),
+                &spec,
+                |b, spec| b.iter(|| run_image(spec, strategy)),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn table1_benches(c: &mut Criterion) {
+    bench_family(c, "grover", &[7, 9]);
+    bench_family(c, "qft", &[8, 10]);
+    bench_family(c, "bv", &[24, 48]);
+    bench_family(c, "ghz", &[24, 48]);
+    bench_family(c, "qrw", &[7, 9]);
+}
+
+criterion_group!(benches, table1_benches);
+criterion_main!(benches);

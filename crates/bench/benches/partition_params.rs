@@ -1,0 +1,30 @@
+//! Criterion benchmark behind Table II: contraction-partition time as a
+//! function of (k1, k2) on a Grover instance.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use qits::Strategy;
+use qits_bench::{run_image, spec_for};
+
+fn table2_bench(c: &mut Criterion) {
+    let spec = spec_for("grover", 9);
+    let mut group = c.benchmark_group("table2/grover9");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1200));
+    for k1 in [1u32, 2, 4, 8] {
+        for k2 in [1u32, 2, 4, 8] {
+            group.bench_with_input(
+                BenchmarkId::from_parameter(format!("k1={k1}/k2={k2}")),
+                &(k1, k2),
+                |b, &(k1, k2)| {
+                    b.iter(|| run_image(&spec, Strategy::Contraction { k1, k2 }))
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, table2_bench);
+criterion_main!(benches);

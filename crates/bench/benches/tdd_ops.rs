@@ -1,0 +1,72 @@
+//! Micro-benchmarks of the TDD substrate: the primitive operations whose
+//! cost the image-computation methods are built from.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use qits_circuit::tensorize::{gate_tdd, standalone_legs};
+use qits_circuit::Gate;
+use qits_tdd::TddManager;
+use qits_tensor::Var;
+use qits_tensornet::{contract_network, TensorNetwork};
+
+fn bench_mcx_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tdd/mcx_construction");
+    for n_controls in [8u32, 32, 128] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(n_controls),
+            &n_controls,
+            |b, &k| {
+                let controls: Vec<u32> = (0..k).collect();
+                let gate = Gate::mcx(&controls, k);
+                let legs = standalone_legs(&gate);
+                b.iter(|| {
+                    let mut m = TddManager::new();
+                    gate_tdd(&mut m, &gate, &legs)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_ghz_operator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tdd/ghz_operator");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1200));
+    for n in [16u32, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let spec = qits_circuit::generators::ghz(n);
+            let circuit = spec.operations[0].kraus_branches().remove(0);
+            b.iter(|| {
+                let mut m = TddManager::new();
+                let net = TensorNetwork::from_circuit(&mut m, &circuit);
+                contract_network(&mut m, net.tensors(), &net.external_vars())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_add_random(c: &mut Criterion) {
+    c.bench_function("tdd/add_product_states", |b| {
+        let mut m = TddManager::new();
+        let vars: Vec<Var> = (0..20).map(Var::ket).collect();
+        let bits_a: Vec<bool> = (0..20).map(|i| i % 2 == 0).collect();
+        let bits_b: Vec<bool> = (0..20).map(|i| i % 3 == 0).collect();
+        let a = m.basis_ket(&vars, &bits_a);
+        let bb = m.basis_ket(&vars, &bits_b);
+        b.iter(|| {
+            m.clear_caches();
+            m.add(a, bb)
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_mcx_construction,
+    bench_ghz_operator,
+    bench_add_random
+);
+criterion_main!(benches);

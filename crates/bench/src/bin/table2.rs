@@ -1,0 +1,59 @@
+//! Regenerates Table II of the paper: contraction-partition image time as
+//! a function of the parameters `(k1, k2)`, on a Grover instance.
+//!
+//! Usage:
+//!   cargo run -p qits-bench --release --bin table2                  # Grover11, k in 1..=8
+//!   cargo run -p qits-bench --release --bin table2 -- --size 15 --kmax 15   # paper setting
+//!
+//! The paper's finding to reproduce: times are flat and small for
+//! moderate (k1, k2) and degrade as both grow (the blocks approach the
+//! monolithic operator).
+
+use qits::{image, QuantumTransitionSystem, Strategy};
+use qits_bench::spec_for;
+use qits_tdd::TddManager;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let get = |flag: &str, default: u32| -> u32 {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(default)
+    };
+    let n = get("--size", 13);
+    let kmax = get("--kmax", 12);
+
+    // The elementary-gate Grover: the variant whose (k1, k2) sensitivity
+    // matches the paper's Table II (the primitive-tensor Grover is flat).
+    let spec = spec_for("grover-elem", n);
+    println!(
+        "Table II reproduction: contraction-partition time (s) for {} over k1, k2 in 1..={kmax}",
+        spec.name
+    );
+    print!("{:>5} |", "k1\\k2");
+    for k2 in 1..=kmax {
+        print!("{k2:>8}");
+    }
+    println!();
+    println!("{}", "-".repeat(7 + 8 * kmax as usize));
+
+    for k1 in 1..=kmax {
+        print!("{k1:>5} |");
+        for k2 in 1..=kmax {
+            // Fresh manager per cell: no cache sharing between parameter
+            // settings, matching the paper's per-run measurements.
+            let mut m = TddManager::new();
+            let qts = QuantumTransitionSystem::from_spec(&mut m, &spec);
+            let (_, stats) = image(
+                &mut m,
+                qts.operations(),
+                qts.initial(),
+                Strategy::Contraction { k1, k2 },
+            );
+            print!("{:>8.4}", stats.elapsed.as_secs_f64());
+        }
+        println!();
+    }
+}

@@ -1,0 +1,275 @@
+//! Shared harness for regenerating the paper's tables.
+//!
+//! The binaries `table1` and `table2` print the same rows the paper
+//! reports (time in seconds, max TDD node count); the Criterion benches in
+//! `benches/` track the same workloads for regression purposes. Absolute
+//! numbers differ from the paper's Xeon server — the *shape* (method
+//! ordering, node-count growth) is the reproduction target; see
+//! EXPERIMENTS.md.
+
+use std::time::Duration;
+
+use qits::{image, ImageStats, QuantumTransitionSystem, Strategy, Subspace};
+use qits_circuit::generators::{self, QtsSpec};
+use qits_tdd::TddManager;
+
+/// Bit-flip probability used for all QRW benchmarks (the paper does not
+/// report its value; the image subspace is independent of it).
+pub const QRW_NOISE: f64 = 0.125;
+
+/// Builds a benchmark spec by family name and size, mirroring the naming
+/// of Table I (`Grover15` = `("grover", 15)`).
+///
+/// Beyond the paper's five families, two ablation variants expose the
+/// cost of compiling away the primitive multi-controlled tensors:
+/// `grover-elem` lowers every `C^k(X)` to a Toffoli ladder with ancillas,
+/// and `grover-ct` further lowers Toffolis to Clifford+T.
+///
+/// # Panics
+///
+/// Panics on an unknown family name.
+pub fn spec_for(family: &str, n: u32) -> QtsSpec {
+    match family {
+        "grover" => generators::grover(n),
+        "qft" => generators::qft(n),
+        "bv" => generators::bernstein_vazirani(n, &generators::bv_secret(n)),
+        "ghz" => generators::ghz(n),
+        "qrw" => generators::qrw(n, QRW_NOISE),
+        "grover-elem" => elementarized_grover(n, false),
+        "grover-ct" => elementarized_grover(n, true),
+        "qrw-elem" => elementarized_qrw(n),
+        other => panic!("unknown benchmark family '{other}'"),
+    }
+}
+
+/// The Grover benchmark lowered to elementary gates (see
+/// [`qits_circuit::decompose::elementarize`]); ancilla wires extend the
+/// register and start in `|0>`.
+fn elementarized_grover(n: u32, clifford_t: bool) -> QtsSpec {
+    use qits_circuit::decompose::{elementarize, ElementarizeOptions};
+    use qits_circuit::tensorize::states;
+    use qits_circuit::Operation;
+
+    let base = generators::grover(n);
+    let circuit = base.operations[0].kraus_branches().remove(0);
+    let elem = elementarize(&circuit, ElementarizeOptions { clifford_t });
+    let pad = (elem.n_qubits() - n) as usize;
+    let initial_states = base
+        .initial_states
+        .iter()
+        .map(|amps| {
+            let mut a = amps.clone();
+            a.extend(std::iter::repeat(states::ZERO).take(pad));
+            a
+        })
+        .collect();
+    QtsSpec {
+        name: format!(
+            "Grover{}{}{n}",
+            if clifford_t { "CT" } else { "Elem" },
+            if pad > 0 { format!("+{pad}a ") } else { String::new() }
+        ),
+        n_qubits: elem.n_qubits(),
+        operations: vec![Operation::from_circuit("grover-elem", &elem)],
+        initial_states,
+    }
+}
+
+/// The quantum-walk benchmark lowered to elementary gates. Every Kraus
+/// branch of the noisy operation becomes its own operation; the image of
+/// a subspace is the same join either way.
+fn elementarized_qrw(n: u32) -> QtsSpec {
+    use qits_circuit::decompose::{elementarize, ElementarizeOptions};
+    use qits_circuit::tensorize::states;
+    use qits_circuit::Operation;
+
+    let base = generators::qrw(n, QRW_NOISE);
+    let mut circuits = Vec::new();
+    for op in &base.operations {
+        for branch in op.kraus_branches() {
+            circuits.push(elementarize(&branch, ElementarizeOptions::default()));
+        }
+    }
+    let width = circuits
+        .iter()
+        .map(qits_circuit::Circuit::n_qubits)
+        .max()
+        .expect("qrw has operations");
+    assert!(
+        circuits.iter().all(|c| c.n_qubits() == width),
+        "elementarised QRW branches must share a register"
+    );
+    let pad = (width - n) as usize;
+    let operations = circuits
+        .iter()
+        .enumerate()
+        .map(|(i, c)| Operation::from_circuit(format!("walk-elem-{i}"), c))
+        .collect();
+    let initial_states = base
+        .initial_states
+        .iter()
+        .map(|amps| {
+            let mut a = amps.clone();
+            a.extend(std::iter::repeat(states::ZERO).take(pad));
+            a
+        })
+        .collect();
+    QtsSpec {
+        name: format!("QRWElem{n}+{pad}a"),
+        n_qubits: width,
+        operations,
+        initial_states,
+    }
+}
+
+/// The method names used by the harness CLI, in Table I column order.
+pub const METHODS: [&str; 3] = ["basic", "addition", "contraction"];
+
+/// Maps a CLI method name to a strategy with the paper's parameters
+/// (`k = 1` for addition, `k1 = k2 = 4` for contraction).
+///
+/// # Panics
+///
+/// Panics on an unknown method name.
+pub fn strategy_for(method: &str) -> Strategy {
+    match method {
+        "basic" => Strategy::Basic,
+        "addition" => Strategy::Addition { k: 1 },
+        "contraction" => Strategy::Contraction { k1: 4, k2: 4 },
+        other => panic!("unknown method '{other}'"),
+    }
+}
+
+/// One measured image computation: builds a fresh manager, runs the image
+/// of the spec's initial subspace, and returns its statistics.
+pub fn run_image(spec: &QtsSpec, strategy: Strategy) -> ImageStats {
+    let mut m = TddManager::new();
+    let qts = QuantumTransitionSystem::from_spec(&mut m, spec);
+    let (_, stats) = image(&mut m, qts.operations(), qts.initial(), strategy);
+    stats
+}
+
+/// Like [`run_image`] but also returns the image for validation.
+pub fn run_image_with_result(
+    spec: &QtsSpec,
+    strategy: Strategy,
+) -> (Subspace, ImageStats, TddManager) {
+    let mut m = TddManager::new();
+    let qts = QuantumTransitionSystem::from_spec(&mut m, spec);
+    let (img, stats) = image(&mut m, qts.operations(), qts.initial(), strategy);
+    (img, stats, m)
+}
+
+/// Formats a duration as fractional seconds, Table I style.
+pub fn fmt_secs(d: Duration) -> String {
+    format!("{:.2}", d.as_secs_f64())
+}
+
+/// Runs a single `(family, n, method)` case in a subprocess of the current
+/// executable, so a case that exceeds `timeout` can be killed without
+/// poisoning later measurements (the paper uses a 3600 s timeout the same
+/// way). Returns `None` on timeout or subprocess failure.
+///
+/// The subprocess is invoked as `<exe> --one <family> <n> <method>` and
+/// must print `<seconds> <max_nodes>` on success.
+pub fn run_case_subprocess(
+    family: &str,
+    n: u32,
+    method: &str,
+    timeout: Duration,
+) -> Option<(f64, usize)> {
+    use std::process::{Command, Stdio};
+    let exe = std::env::current_exe().ok()?;
+    let mut child = Command::new(exe)
+        .args(["--one", family, &n.to_string(), method])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .ok()?;
+    let start = std::time::Instant::now();
+    loop {
+        match child.try_wait() {
+            Ok(Some(status)) => {
+                if !status.success() {
+                    return None;
+                }
+                break;
+            }
+            Ok(None) => {
+                if start.elapsed() > timeout {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                    return None;
+                }
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(_) => return None,
+        }
+    }
+    let mut out = String::new();
+    use std::io::Read;
+    child.stdout.take()?.read_to_string(&mut out).ok()?;
+    let mut it = out.split_whitespace();
+    let secs: f64 = it.next()?.parse().ok()?;
+    let nodes: usize = it.next()?.parse().ok()?;
+    Some((secs, nodes))
+}
+
+/// Entry point for the `--one` subprocess mode shared by the table
+/// binaries. Returns `true` if the arguments selected subprocess mode.
+pub fn maybe_run_one(args: &[String]) -> bool {
+    if args.len() == 5 && args[1] == "--one" {
+        let family = &args[2];
+        let n: u32 = args[3].parse().expect("size must be an integer");
+        let stats = run_image(&spec_for(family, n), strategy_for(&args[4]));
+        println!("{} {}", stats.elapsed.as_secs_f64(), stats.max_nodes);
+        true
+    } else {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_for_names_match_table() {
+        assert_eq!(spec_for("grover", 5).name, "Grover5");
+        assert_eq!(spec_for("qft", 8).name, "QFT8");
+        assert_eq!(spec_for("bv", 10).name, "BV10");
+        assert_eq!(spec_for("ghz", 12).name, "GHZ12");
+        assert_eq!(spec_for("qrw", 6).name, "QRW6");
+    }
+
+    #[test]
+    fn all_methods_run_small_case() {
+        for method in METHODS {
+            let stats = run_image(&spec_for("ghz", 5), strategy_for(method));
+            assert_eq!(stats.output_dim, 1, "{method}");
+            assert!(stats.max_nodes > 0, "{method}");
+        }
+    }
+
+    #[test]
+    fn elementary_variants_compute_same_image_dim() {
+        // The elementarised Grover acts on more wires but its image of the
+        // (padded) invariant subspace has the same dimension.
+        let base = run_image(&spec_for("grover", 4), strategy_for("contraction"));
+        let elem = run_image(&spec_for("grover-elem", 4), strategy_for("contraction"));
+        let ct = run_image(&spec_for("grover-ct", 4), strategy_for("contraction"));
+        assert_eq!(base.output_dim, elem.output_dim);
+        assert_eq!(base.output_dim, ct.output_dim);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown method")]
+    fn unknown_method_panics() {
+        let _ = strategy_for("quantum-annealing");
+    }
+
+    #[test]
+    fn fmt_secs_two_decimals() {
+        assert_eq!(fmt_secs(Duration::from_millis(1234)), "1.23");
+    }
+}

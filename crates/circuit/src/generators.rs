@@ -1,0 +1,452 @@
+//! Benchmark circuit generators: the workloads of the paper's evaluation
+//! (Table I) and the worked examples of Section III-A.
+//!
+//! Every generator returns a [`QtsSpec`]: the operations of a quantum
+//! transition system plus the product states spanning the initial subspace
+//! ("the commonly used input states" of Section VI-A).
+
+use qits_num::{Cplx, Mat};
+
+use crate::circuit::Circuit;
+use crate::element::{Element, Operation};
+use crate::gate::{Gate, GateKind};
+use crate::tensorize::states;
+
+/// A quantum transition system specification: operations plus initial
+/// product states. The `qits` core crate turns this into symbolic
+/// subspaces and runs image computation on it.
+#[derive(Debug, Clone)]
+pub struct QtsSpec {
+    /// Benchmark name, e.g. `"Grover15"`.
+    pub name: String,
+    /// Register width.
+    pub n_qubits: u32,
+    /// The operations `T_sigma`.
+    pub operations: Vec<Operation>,
+    /// Product states spanning the initial subspace: one `(alpha, beta)`
+    /// amplitude pair per qubit per state.
+    pub initial_states: Vec<Vec<(Cplx, Cplx)>>,
+}
+
+impl QtsSpec {
+    fn named(name: impl Into<String>, n_qubits: u32) -> QtsSpec {
+        QtsSpec {
+            name: name.into(),
+            n_qubits,
+            operations: Vec::new(),
+            initial_states: Vec::new(),
+        }
+    }
+}
+
+/// GHZ-state preparation: `H` on qubit 0 followed by a CX chain.
+/// Initial subspace `span{|0...0>}`.
+pub fn ghz(n: u32) -> QtsSpec {
+    assert!(n >= 2, "GHZ needs at least 2 qubits");
+    let mut c = Circuit::new(n);
+    c.push(Gate::h(0));
+    for q in 0..n - 1 {
+        c.push(Gate::cx(q, q + 1));
+    }
+    let mut spec = QtsSpec::named(format!("GHZ{n}"), n);
+    spec.operations.push(Operation::from_circuit("ghz", &c));
+    spec.initial_states.push(vec![states::ZERO; n as usize]);
+    spec
+}
+
+/// One Grover iteration on `n` qubits (`n-1` search qubits plus one oracle
+/// ancilla), generalising the paper's Fig. 2. The oracle marks the all-ones
+/// input (`f(x) = x_1 AND ... AND x_{n-1}`); the diffusion operator is the
+/// standard reflection `2|psi><psi| - I` on the search qubits.
+///
+/// Initial subspace `span{|+...+->, |1...1->}` — the invariant subspace `S`
+/// of Section III-A.1, for which `T(S) = S`.
+pub fn grover(n: u32) -> QtsSpec {
+    assert!(n >= 3, "Grover needs at least 2 search qubits + 1 ancilla");
+    let search: Vec<u32> = (0..n - 1).collect();
+    let ancilla = n - 1;
+    let mut c = Circuit::new(n);
+    // Oracle: |x>|y> -> |x>|y ^ f(x)>, f = AND.
+    c.push(Gate::mcx(&search, ancilla));
+    // Diffusion on the search qubits.
+    for &q in &search {
+        c.push(Gate::h(q));
+    }
+    for &q in &search {
+        c.push(Gate::x(q));
+    }
+    // Multi-controlled Z via H-MCX-H on the last search qubit.
+    let (z_target, z_controls) = search.split_last().expect("n >= 3");
+    c.push(Gate::h(*z_target));
+    c.push(Gate::mcx(z_controls, *z_target));
+    c.push(Gate::h(*z_target));
+    for &q in &search {
+        c.push(Gate::x(q));
+    }
+    for &q in &search {
+        c.push(Gate::h(q));
+    }
+
+    let mut spec = QtsSpec::named(format!("Grover{n}"), n);
+    spec.operations.push(Operation::from_circuit("grover", &c));
+    let mut plus_minus = vec![states::PLUS; (n - 1) as usize];
+    plus_minus.push(states::MINUS);
+    let mut ones_minus = vec![states::ONE; (n - 1) as usize];
+    ones_minus.push(states::MINUS);
+    spec.initial_states.push(plus_minus);
+    spec.initial_states.push(ones_minus);
+    spec
+}
+
+/// Bernstein–Vazirani on `n` qubits (`n-1` data + 1 ancilla) with the given
+/// secret string (length `n-1`). Initial subspace `span{|0...0,1>}`.
+///
+/// # Panics
+///
+/// Panics if `secret.len() != n-1`.
+pub fn bernstein_vazirani(n: u32, secret: &[bool]) -> QtsSpec {
+    assert!(n >= 2, "BV needs at least 1 data qubit + 1 ancilla");
+    assert_eq!(secret.len(), (n - 1) as usize, "secret length must be n-1");
+    let ancilla = n - 1;
+    let mut c = Circuit::new(n);
+    for q in 0..n {
+        c.push(Gate::h(q));
+    }
+    for (q, &bit) in secret.iter().enumerate() {
+        if bit {
+            c.push(Gate::cx(q as u32, ancilla));
+        }
+    }
+    for q in 0..n - 1 {
+        c.push(Gate::h(q));
+    }
+
+    let mut spec = QtsSpec::named(format!("BV{n}"), n);
+    spec.operations.push(Operation::from_circuit("bv", &c));
+    let mut init = vec![states::ZERO; (n - 1) as usize];
+    init.push(states::ONE);
+    spec.initial_states.push(init);
+    spec
+}
+
+/// A deterministic pseudo-random secret for [`bernstein_vazirani`],
+/// seeded by `n` (splitmix64) so experiments are reproducible.
+pub fn bv_secret(n: u32) -> Vec<bool> {
+    let mut state = 0x9E3779B97F4A7C15u64.wrapping_mul(u64::from(n) + 1);
+    let mut next = move || {
+        state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    };
+    (0..n.saturating_sub(1)).map(|_| next() & 1 == 1).collect()
+}
+
+/// Quantum Fourier transform on `n` qubits (without the final swap
+/// network, the usual benchmark convention; see [`qft_with_swaps`]).
+/// Initial subspace `span{|0...0>}`.
+pub fn qft(n: u32) -> QtsSpec {
+    qft_impl(n, false)
+}
+
+/// QFT including the final swap network.
+pub fn qft_with_swaps(n: u32) -> QtsSpec {
+    qft_impl(n, true)
+}
+
+fn qft_impl(n: u32, swaps: bool) -> QtsSpec {
+    assert!(n >= 1, "QFT needs at least 1 qubit");
+    let mut c = Circuit::new(n);
+    for i in 0..n {
+        c.push(Gate::h(i));
+        for j in i + 1..n {
+            let theta = std::f64::consts::PI / f64::from(1u32 << (j - i));
+            c.push(Gate::cp(j, i, theta));
+        }
+    }
+    if swaps {
+        for q in 0..n / 2 {
+            c.push(Gate::swap(q, n - 1 - q));
+        }
+    }
+    let mut spec = QtsSpec::named(format!("QFT{n}"), n);
+    spec.operations.push(Operation::from_circuit("qft", &c));
+    spec.initial_states.push(vec![states::ZERO; n as usize]);
+    spec
+}
+
+/// The bit-flip channel `{sqrt(1-p) I, sqrt(p) X}` on `qubit`.
+pub fn bit_flip_channel(qubit: u32, p: f64) -> Element {
+    assert!((0.0..=1.0).contains(&p), "probability out of range");
+    Element::Channel {
+        qubit,
+        kraus: vec![
+            Mat::identity(2).scale(Cplx::real((1.0 - p).sqrt())),
+            GateKind::X.matrix().scale(Cplx::real(p.sqrt())),
+        ],
+        label: format!("bit-flip({p})"),
+    }
+}
+
+/// The shift stage of the quantum walk: decrement the position register
+/// when the coin (qubit 0) is `|0>`, increment when it is `|1>` —
+/// `S = S_0 (+) S_1` of Section III-A.3, realised as two multi-controlled-X
+/// cascades (Fig. 4).
+fn walk_shift(c: &mut Circuit, n: u32) {
+    let k = n - 1; // position bits, qubit 1 (MSB) .. qubit n-1 (LSB)
+    let pos = |j: u32| 1 + j;
+    // Decrement, negatively controlled on the coin. A decrementer is the
+    // inverse of the incrementer below: LSB first.
+    for j in (0..k).rev() {
+        let mut controls: Vec<(u32, bool)> = vec![(0, false)];
+        controls.extend((j + 1..k).map(|b| (pos(b), true)));
+        c.push(Gate::mcx_polarity(&controls, pos(j)));
+    }
+    // Increment, positively controlled on the coin: MSB first, each bit
+    // flips when all lower bits are 1.
+    for j in 0..k {
+        let mut controls: Vec<(u32, bool)> = vec![(0, true)];
+        controls.extend((j + 1..k).map(|b| (pos(b), true)));
+        c.push(Gate::mcx_polarity(&controls, pos(j)));
+    }
+}
+
+/// Quantum random walk on a cycle of length `2^(n-1)` with a Hadamard coin
+/// on qubit 0 (Fig. 4). Two operations, as in Section III-A.3:
+///
+/// * `T1 = S . (E_c (x) I)` — coin then shift, noiseless;
+/// * `T2 = S . (E_b (x) I) . (E_c (x) I)` — a bit-flip error with
+///   probability `p` strikes the coin after the coin toss (two Kraus
+///   operators).
+///
+/// Initial subspace `span{|0>|0...0>}`.
+pub fn qrw(n: u32, p: f64) -> QtsSpec {
+    assert!(n >= 2, "QRW needs a coin and at least 1 position qubit");
+    let mut noiseless = Circuit::new(n);
+    noiseless.push(Gate::h(0));
+    walk_shift(&mut noiseless, n);
+    let t1 = Operation::from_circuit("walk", &noiseless);
+
+    let mut t2 = Operation::new("walk-noisy", n).then_gate(Gate::h(0));
+    t2 = t2.then(bit_flip_channel(0, p));
+    let mut shift_only = Circuit::new(n);
+    walk_shift(&mut shift_only, n);
+    for g in shift_only.gates() {
+        t2 = t2.then_gate(g.clone());
+    }
+
+    let mut spec = QtsSpec::named(format!("QRW{n}"), n);
+    spec.operations.push(t1);
+    spec.operations.push(t2);
+    spec.initial_states.push(vec![states::ZERO; n as usize]);
+    spec
+}
+
+/// The dynamic bit-flip-code correction circuit of Fig. 3: 3 data qubits
+/// (0..2), 3 syndrome ancillas (3..5). Four operations `T_s`, one per
+/// measurement outcome `s` in `{000, 101, 110, 011}`, each of the form
+/// `(correction (x) |s><s|) U` with `U` the 6-CX syndrome extraction.
+///
+/// Initial subspace `span{|100>, |010>, |001>} (x) |000>`: one bit-flip
+/// error somewhere; the image collapses the data to `|000>`.
+pub fn bitflip_code() -> QtsSpec {
+    let n = 6u32;
+    let syndrome = |c: &mut Circuit| {
+        // a0 (qubit 3) checks Z0 Z1; a1 (4) checks Z1 Z2; a2 (5) checks Z0 Z2.
+        c.push(Gate::cx(0, 3));
+        c.push(Gate::cx(1, 3));
+        c.push(Gate::cx(1, 4));
+        c.push(Gate::cx(2, 4));
+        c.push(Gate::cx(0, 5));
+        c.push(Gate::cx(2, 5));
+    };
+    // outcome bits (a0,a1,a2) -> corrected data qubit (None = no error)
+    let cases: [([bool; 3], Option<u32>); 4] = [
+        ([false, false, false], None),
+        ([true, false, true], Some(0)),
+        ([true, true, false], Some(1)),
+        ([false, true, true], Some(2)),
+    ];
+    let mut spec = QtsSpec::named("BitFlipCode", n);
+    for (bits, fix) in cases {
+        let mut c = Circuit::new(n);
+        syndrome(&mut c);
+        let label = format!(
+            "T{}{}{}",
+            u8::from(bits[0]),
+            u8::from(bits[1]),
+            u8::from(bits[2])
+        );
+        let mut op = Operation::from_circuit(label, &c).then(Element::Projector {
+            qubits: vec![3, 4, 5],
+            bits: bits.to_vec(),
+        });
+        if let Some(q) = fix {
+            op = op.then_gate(Gate::x(q));
+        }
+        spec.operations.push(op);
+    }
+    for flipped in 0..3usize {
+        let mut state = vec![states::ZERO; n as usize];
+        state[flipped] = states::ONE;
+        spec.initial_states.push(state);
+    }
+    spec
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim;
+
+    #[test]
+    fn ghz_prepares_ghz_state() {
+        let spec = ghz(3);
+        let branches = spec.operations[0].kraus_branches();
+        let s = sim::run(&branches[0], &sim::basis_state(3, 0));
+        assert!(s[0].approx_eq(Cplx::FRAC_1_SQRT_2));
+        assert!(s[7].approx_eq(Cplx::FRAC_1_SQRT_2));
+        assert!((1..7).all(|i| s[i].is_zero()));
+    }
+
+    #[test]
+    fn grover3_matches_paper_example() {
+        // For S = span{|++->, |11->}: applying the iteration to |++-> must
+        // stay inside S (T(S) = S, Section III-A.1).
+        let spec = grover(3);
+        let branch = &spec.operations[0].kraus_branches()[0];
+        let input = sim::product_state(&[states::PLUS, states::PLUS, states::MINUS]);
+        let out = sim::run(branch, &input);
+        // The Grover iterate of |++-> is  (1/2)(|00>+|01>+|10>)|-> - (1/2)|11>|->
+        // which lies in span{|++->, |11->}.
+        let b1 = sim::product_state(&[states::PLUS, states::PLUS, states::MINUS]);
+        let b2 = sim::product_state(&[states::ONE, states::ONE, states::MINUS]);
+        let basis = qits_num::linalg::gram_schmidt(&[b1, b2]);
+        assert!(qits_num::linalg::in_span(&basis, &out));
+    }
+
+    #[test]
+    fn grover3_amplifies_marked_state() {
+        // One iteration on 2 search qubits finds |11> exactly.
+        let spec = grover(3);
+        let branch = &spec.operations[0].kraus_branches()[0];
+        let input = sim::product_state(&[states::PLUS, states::PLUS, states::MINUS]);
+        let out = sim::run(branch, &input);
+        // |11>|-> = (|110> - |111>)/sqrt(2) at indices 6, 7.
+        assert!((out[6].norm_sqr() - 0.5).abs() < 1e-10);
+        assert!((out[7].norm_sqr() - 0.5).abs() < 1e-10);
+    }
+
+    #[test]
+    fn bv_recovers_secret() {
+        let secret = [true, false, true];
+        let spec = bernstein_vazirani(4, &secret);
+        let branch = &spec.operations[0].kraus_branches()[0];
+        let mut init = vec![states::ZERO; 3];
+        init.push(states::ONE);
+        let out = sim::run(branch, &sim::product_state(&init));
+        // Data register should read the secret |101>, ancilla |->.
+        // |101>|-> = (|1010> - |1011>)/sqrt(2): indices 10 and 11.
+        assert!((out[10].norm_sqr() - 0.5).abs() < 1e-10);
+        assert!((out[11].norm_sqr() - 0.5).abs() < 1e-10);
+    }
+
+    #[test]
+    fn bv_secret_deterministic() {
+        assert_eq!(bv_secret(10), bv_secret(10));
+        assert_eq!(bv_secret(10).len(), 9);
+    }
+
+    #[test]
+    fn qft_of_zero_is_uniform() {
+        let spec = qft(3);
+        let branch = &spec.operations[0].kraus_branches()[0];
+        let out = sim::run(branch, &sim::basis_state(3, 0));
+        for amp in &out {
+            assert!((amp.norm_sqr() - 0.125).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn qft_with_swaps_matches_dft_matrix() {
+        let n = 3u32;
+        let spec = qft_with_swaps(n);
+        let m = sim::circuit_matrix(&spec.operations[0].kraus_branches()[0]);
+        let dim = 1usize << n;
+        let omega = 2.0 * std::f64::consts::PI / dim as f64;
+        let scale = 1.0 / (dim as f64).sqrt();
+        for r in 0..dim {
+            for c in 0..dim {
+                let expect = Cplx::from_polar(scale, omega * (r * c) as f64);
+                assert!(
+                    m[(r, c)].approx_eq_with(expect, 1e-9),
+                    "DFT mismatch at ({r},{c}): {} vs {expect}",
+                    m[(r, c)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn walk_shift_moves_position() {
+        // Coin |0>: position decrements mod 8; coin |1>: increments.
+        let spec = qrw(4, 0.1);
+        let mut shift = Circuit::new(4);
+        walk_shift(&mut shift, 4);
+        for posn in 0..8usize {
+            let dn = sim::run(&shift, &sim::basis_state(4, posn));
+            let down = (posn + 7) % 8;
+            assert!(dn[down].approx_eq(Cplx::ONE), "decrement of {posn}");
+            let up_in = 8 + posn; // coin = 1
+            let upv = sim::run(&shift, &sim::basis_state(4, up_in));
+            let up = 8 + (posn + 1) % 8;
+            assert!(upv[up].approx_eq(Cplx::ONE), "increment of {posn}");
+        }
+        assert_eq!(spec.operations.len(), 2);
+    }
+
+    #[test]
+    fn qrw_t2_has_two_kraus_branches() {
+        let spec = qrw(4, 0.25);
+        assert_eq!(spec.operations[1].branch_count(), 2);
+        // Completeness: sum E†E = I over the noisy operation.
+        let ks = sim::operation_kraus_matrices(&spec.operations[1]);
+        let sum = ks
+            .iter()
+            .map(|k| k.adjoint().matmul(k))
+            .fold(Mat::zeros(16), |a, b| a.add(&b));
+        assert!(sum.approx_eq(&Mat::identity(16)));
+    }
+
+    #[test]
+    fn bitflip_code_corrects_each_single_error() {
+        let spec = bitflip_code();
+        // For data error on qubit e, exactly one T_s fires and corrects it.
+        for e in 0..3u32 {
+            let idx = 1usize << (5 - e); // |e flipped> (x) |000>
+            let mut total_norm = 0.0;
+            for op in &spec.operations {
+                let branch = &op.kraus_branches()[0];
+                let out = sim::run(branch, &sim::basis_state(6, idx));
+                let norm: f64 = out.iter().map(|a| a.norm_sqr()).sum();
+                if norm > 1e-9 {
+                    // The surviving branch must have data |000>.
+                    for (j, amp) in out.iter().enumerate() {
+                        if !amp.is_zero() {
+                            assert_eq!(j >> 3, 0, "data not corrected for error {e}");
+                        }
+                    }
+                }
+                total_norm += norm;
+            }
+            assert!((total_norm - 1.0).abs() < 1e-9, "outcomes must partition");
+        }
+    }
+
+    #[test]
+    fn spec_names_include_size() {
+        assert_eq!(ghz(100).name, "GHZ100");
+        assert_eq!(qrw(20, 0.1).name, "QRW20");
+    }
+}

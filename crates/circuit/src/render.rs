@@ -1,0 +1,110 @@
+//! ASCII circuit rendering, for the figure-reproduction examples
+//! (Figs. 2–4 of the paper show circuit diagrams).
+
+use crate::circuit::Circuit;
+use crate::gate::GateKind;
+
+/// Renders a circuit as ASCII art, one column per gate.
+///
+/// Conventions: `●` positive control, `○` negative control, `│` connector,
+/// boxed mnemonic on targets; diagonal gates are marked with `*` after the
+/// mnemonic (they share one tensor index per wire).
+///
+/// # Example
+///
+/// ```
+/// use qits_circuit::{Circuit, Gate, render};
+/// let mut c = Circuit::new(2);
+/// c.push(Gate::h(0));
+/// c.push(Gate::cx(0, 1));
+/// let art = render::ascii(&c);
+/// assert!(art.contains('●'));
+/// ```
+pub fn ascii(circuit: &Circuit) -> String {
+    let n = circuit.n_qubits() as usize;
+    // Each wire is a row of cell strings; each gate contributes one column.
+    let mut rows: Vec<String> = (0..n).map(|q| format!("q{q:<3}")).collect();
+    for g in circuit.gates() {
+        let mnem = {
+            let m = g.kind.mnemonic();
+            if g.is_diagonal() && !matches!(g.kind, GateKind::Custom1(_)) {
+                format!("{m}*")
+            } else {
+                m
+            }
+        };
+        let width = mnem.chars().count().max(1) + 2;
+        let touched_min = g.qubits().min().expect("gates touch a qubit") as usize;
+        let touched_max = g.max_qubit() as usize;
+        for (q, row) in rows.iter_mut().enumerate() {
+            let q32 = q as u32;
+            let cell: String = if g.targets.contains(&q32) {
+                center(&mnem, width)
+            } else if let Some(c) = g.controls.iter().find(|c| c.qubit == q32) {
+                center(if c.value { "●" } else { "○" }, width)
+            } else if q > touched_min && q < touched_max {
+                center("│", width)
+            } else {
+                "─".repeat(width)
+            };
+            row.push('─');
+            row.push_str(&cell);
+        }
+    }
+    let mut out = String::new();
+    for row in rows {
+        out.push_str(&row);
+        out.push_str("─\n");
+    }
+    out
+}
+
+fn center(s: &str, width: usize) -> String {
+    let len = s.chars().count();
+    if len >= width {
+        return s.to_string();
+    }
+    let left = (width - len) / 2;
+    let right = width - len - left;
+    format!("{}{}{}", "─".repeat(left), s, "─".repeat(right))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::Gate;
+
+    #[test]
+    fn renders_all_wires() {
+        let mut c = Circuit::new(3);
+        c.push(Gate::h(0));
+        c.push(Gate::ccx(0, 2, 1));
+        let art = ascii(&c);
+        assert_eq!(art.lines().count(), 3);
+        assert!(art.contains('H'));
+        assert!(art.contains('●'));
+    }
+
+    #[test]
+    fn connector_spans_gap() {
+        let mut c = Circuit::new(3);
+        c.push(Gate::cx(0, 2));
+        let art = ascii(&c);
+        let middle = art.lines().nth(1).unwrap();
+        assert!(middle.contains('│'));
+    }
+
+    #[test]
+    fn negative_control_open_dot() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::mcx_polarity(&[(0, false)], 1));
+        assert!(ascii(&c).contains('○'));
+    }
+
+    #[test]
+    fn diagonal_marked() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::cp(0, 1, 0.5));
+        assert!(ascii(&c).contains('*'));
+    }
+}

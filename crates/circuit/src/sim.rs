@@ -1,0 +1,250 @@
+//! Dense state-vector reference semantics.
+//!
+//! Exponential in qubit count by construction; used as an independent
+//! oracle for the symbolic pipeline on small registers, and to realise
+//! gate matrices for the tensorizer's 1–2 qubit bases.
+//!
+//! Convention: qubit 0 is the **most significant bit** of a basis index,
+//! matching the variable order of `qits-tensor`.
+
+use qits_num::{Cplx, Mat};
+
+use crate::circuit::Circuit;
+use crate::element::Operation;
+use crate::gate::Gate;
+
+/// The computational basis state `|index>` on `n` qubits.
+///
+/// # Panics
+///
+/// Panics if `index >= 2^n`.
+pub fn basis_state(n: u32, index: usize) -> Vec<Cplx> {
+    let dim = 1usize << n;
+    assert!(index < dim, "basis index out of range");
+    let mut v = vec![Cplx::ZERO; dim];
+    v[index] = Cplx::ONE;
+    v
+}
+
+/// The product state with qubit `i` in `amps[i].0 |0> + amps[i].1 |1>`.
+pub fn product_state(amps: &[(Cplx, Cplx)]) -> Vec<Cplx> {
+    let n = amps.len();
+    let mut v = vec![Cplx::ONE; 1];
+    for &(a, b) in amps {
+        let mut next = Vec::with_capacity(v.len() * 2);
+        for x in &v {
+            next.push(*x * a);
+        }
+        for x in &v {
+            next.push(*x * b);
+        }
+        // The loop above appends the |1> half after the |0> half for the
+        // *new* qubit as least significant; rebuild in MSB-first order
+        // instead by interleaving.
+        let mut inter = vec![Cplx::ZERO; next.len()];
+        let half = v.len();
+        for i in 0..half {
+            inter[2 * i] = next[i]; // bit 0 of new qubit
+            inter[2 * i + 1] = next[half + i];
+        }
+        v = inter;
+    }
+    debug_assert_eq!(v.len(), 1 << n);
+    v
+}
+
+#[inline]
+fn bit_of(index: usize, n: u32, qubit: u32) -> usize {
+    (index >> (n - 1 - qubit)) & 1
+}
+
+/// Applies `gate` to `state` (length `2^n`), returning the new state.
+///
+/// Handles arbitrary controls and non-unitary bases.
+///
+/// # Panics
+///
+/// Panics if the state length is not `2^n` or the gate exceeds the
+/// register.
+pub fn apply_gate(state: &[Cplx], n: u32, gate: &Gate) -> Vec<Cplx> {
+    let dim = 1usize << n;
+    assert_eq!(state.len(), dim, "state length must be 2^n");
+    assert!(gate.max_qubit() < n, "gate exceeds register");
+    let base = gate.kind.matrix();
+    let k = gate.targets.len();
+    let mut out = vec![Cplx::ZERO; dim];
+    for (i, &amp) in state.iter().enumerate() {
+        if amp.is_zero() {
+            continue;
+        }
+        let active = gate
+            .controls
+            .iter()
+            .all(|c| (bit_of(i, n, c.qubit) == 1) == c.value);
+        if !active {
+            out[i] += amp;
+            continue;
+        }
+        // Column index of the base matrix from the target bits.
+        let mut col = 0usize;
+        for (b, &t) in gate.targets.iter().enumerate() {
+            col |= bit_of(i, n, t) << (k - 1 - b);
+        }
+        for row in 0..base.dim() {
+            let w = base[(row, col)];
+            if w.is_zero() {
+                continue;
+            }
+            // Scatter into the index with target bits replaced by `row`.
+            let mut j = i;
+            for (b, &t) in gate.targets.iter().enumerate() {
+                let bit = (row >> (k - 1 - b)) & 1;
+                let mask = 1usize << (n - 1 - t);
+                if bit == 1 {
+                    j |= mask;
+                } else {
+                    j &= !mask;
+                }
+            }
+            out[j] += w * amp;
+        }
+    }
+    out
+}
+
+/// Runs a circuit on a state.
+pub fn run(circuit: &Circuit, state: &[Cplx]) -> Vec<Cplx> {
+    let mut s = state.to_vec();
+    for g in circuit.gates() {
+        s = apply_gate(&s, circuit.n_qubits(), g);
+    }
+    s
+}
+
+/// The full `2^n x 2^n` matrix of a circuit (exponential; small `n` only).
+pub fn circuit_matrix(circuit: &Circuit) -> Mat {
+    let n = circuit.n_qubits();
+    let dim = 1usize << n;
+    let mut m = Mat::zeros(dim);
+    for col in 0..dim {
+        let out = run(circuit, &basis_state(n, col));
+        for (row, v) in out.iter().enumerate() {
+            m[(row, col)] = *v;
+        }
+    }
+    m
+}
+
+/// The dense Kraus operators of an operation (small `n` only).
+pub fn operation_kraus_matrices(op: &Operation) -> Vec<Mat> {
+    op.kraus_branches().iter().map(circuit_matrix).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::GateKind;
+
+    fn c(x: f64) -> Cplx {
+        Cplx::real(x)
+    }
+
+    #[test]
+    fn x_flips_msb_qubit() {
+        // Qubit 0 is the MSB: X on qubit 0 of |00> gives |10> = index 2.
+        let s = apply_gate(&basis_state(2, 0), 2, &Gate::x(0));
+        assert!(s[2].approx_eq(Cplx::ONE));
+    }
+
+    #[test]
+    fn cx_respects_control() {
+        let s = apply_gate(&basis_state(2, 0), 2, &Gate::cx(0, 1));
+        assert!(s[0].approx_eq(Cplx::ONE)); // control 0: no-op
+        let s = apply_gate(&basis_state(2, 2), 2, &Gate::cx(0, 1));
+        assert!(s[3].approx_eq(Cplx::ONE)); // |10> -> |11>
+    }
+
+    #[test]
+    fn negative_control_fires_on_zero() {
+        let g = Gate::mcx_polarity(&[(0, false)], 1);
+        let s = apply_gate(&basis_state(2, 0), 2, &g);
+        assert!(s[1].approx_eq(Cplx::ONE)); // |00> -> |01>
+        let s = apply_gate(&basis_state(2, 2), 2, &g);
+        assert!(s[2].approx_eq(Cplx::ONE)); // |10> unchanged
+    }
+
+    #[test]
+    fn bell_circuit() {
+        let mut cct = Circuit::new(2);
+        cct.push(Gate::h(0));
+        cct.push(Gate::cx(0, 1));
+        let s = run(&cct, &basis_state(2, 0));
+        assert!(s[0].approx_eq(Cplx::FRAC_1_SQRT_2));
+        assert!(s[3].approx_eq(Cplx::FRAC_1_SQRT_2));
+        assert!(s[1].is_zero() && s[2].is_zero());
+    }
+
+    #[test]
+    fn swap_exchanges_qubits() {
+        let s = apply_gate(&basis_state(2, 1), 2, &Gate::swap(0, 1));
+        assert!(s[2].approx_eq(Cplx::ONE)); // |01> -> |10>
+    }
+
+    #[test]
+    fn product_state_layout() {
+        // Qubit 0 = |1>, qubit 1 = |+>: amplitudes on |10> and |11>.
+        let s = product_state(&[
+            (Cplx::ZERO, Cplx::ONE),
+            (Cplx::FRAC_1_SQRT_2, Cplx::FRAC_1_SQRT_2),
+        ]);
+        assert!(s[0].is_zero() && s[1].is_zero());
+        assert!(s[2].approx_eq(Cplx::FRAC_1_SQRT_2));
+        assert!(s[3].approx_eq(Cplx::FRAC_1_SQRT_2));
+    }
+
+    #[test]
+    fn circuit_matrix_of_h_is_h() {
+        let mut cct = Circuit::new(1);
+        cct.push(Gate::h(0));
+        assert!(circuit_matrix(&cct).approx_eq(&GateKind::H.matrix()));
+    }
+
+    #[test]
+    fn ccx_truth_table() {
+        let g = Gate::ccx(0, 1, 2);
+        for i in 0..8usize {
+            let s = apply_gate(&basis_state(3, i), 3, &g);
+            let expect = if i >> 1 == 0b11 { i ^ 1 } else { i };
+            assert!(s[expect].approx_eq(Cplx::ONE), "input {i}");
+        }
+    }
+
+    #[test]
+    fn projector_zeroes_other_branch() {
+        let s = product_state(&[(c(0.6), c(0.8))]);
+        let p1 = apply_gate(&s, 1, &Gate::projector(0, true));
+        assert!(p1[0].is_zero());
+        assert!(p1[1].approx_eq(c(0.8)));
+    }
+
+    #[test]
+    fn kraus_matrices_of_noise_op_are_complete() {
+        use crate::element::Element;
+        let p: f64 = 0.25;
+        let op = Operation::new("n", 1).then(Element::Channel {
+            qubit: 0,
+            kraus: vec![
+                Mat::identity(2).scale(c((1.0 - p).sqrt())),
+                GateKind::X.matrix().scale(c(p.sqrt())),
+            ],
+            label: "flip".into(),
+        });
+        let ks = operation_kraus_matrices(&op);
+        // Sum E†E = I (trace preserving).
+        let sum = ks
+            .iter()
+            .map(|k| k.adjoint().matmul(k))
+            .fold(Mat::zeros(2), |a, b| a.add(&b));
+        assert!(sum.approx_eq(&Mat::identity(2)));
+    }
+}

@@ -1,0 +1,140 @@
+//! Property tests for the circuit layer: random circuits through the
+//! decomposer, the renderer, and the Kraus branch enumeration.
+
+use proptest::prelude::*;
+
+use qits_circuit::decompose::{elementarize, ElementarizeOptions};
+use qits_circuit::{render, sim, Circuit, Element, Gate, Operation};
+use qits_num::{Cplx, Mat};
+
+fn arb_gate(n: u32) -> BoxedStrategy<Gate> {
+    let q = 0..n;
+    let mut arms: Vec<BoxedStrategy<Gate>> = vec![
+        q.clone().prop_map(Gate::h).boxed(),
+        q.clone().prop_map(Gate::x).boxed(),
+        q.clone().prop_map(Gate::z).boxed(),
+        (q.clone(), 0.0..std::f64::consts::TAU)
+            .prop_map(|(q, t)| Gate::phase(q, t))
+            .boxed(),
+    ];
+    if n >= 2 {
+        arms.push(
+            (q.clone(), q.clone())
+                .prop_filter_map("distinct", |(a, b)| (a != b).then(|| Gate::cx(a, b)))
+                .boxed(),
+        );
+    }
+    if n >= 3 {
+        arms.push(
+            (q.clone(), q.clone(), q.clone(), any::<bool>())
+                .prop_filter_map("distinct", |(a, b, c, pol)| {
+                    (a != b && b != c && a != c)
+                        .then(|| Gate::mcx_polarity(&[(a, pol), (b, true)], c))
+                })
+                .boxed(),
+        );
+    }
+    if n >= 4 {
+        arms.push(
+            (q.clone(), q.clone(), q.clone(), q.clone())
+                .prop_filter_map("distinct", |(a, b, c, d)| {
+                    (a != b && a != c && a != d && b != c && b != d && c != d)
+                        .then(|| Gate::mcx(&[a, b, c], d))
+                })
+                .boxed(),
+        );
+    }
+    proptest::strategy::Union::new(arms).boxed()
+}
+
+fn arb_circuit(n: u32, max_len: usize) -> impl Strategy<Value = Circuit> {
+    proptest::collection::vec(arb_gate(n), 1..=max_len).prop_map(move |gates| {
+        let mut c = Circuit::new(n);
+        for g in gates {
+            c.push(g);
+        }
+        c
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Elementarisation preserves circuit semantics on the original wires
+    /// (ancillas restored to |0>), for both lowering levels.
+    #[test]
+    fn elementarize_preserves_semantics(circuit in arb_circuit(4, 6)) {
+        let n0 = circuit.n_qubits();
+        let orig = sim::circuit_matrix(&circuit);
+        for opts in [
+            ElementarizeOptions { clifford_t: false },
+            ElementarizeOptions { clifford_t: true },
+        ] {
+            let elem = elementarize(&circuit, opts);
+            let pad = elem.n_qubits() - n0;
+            for col in 0..(1usize << n0) {
+                let out = sim::run(&elem, &sim::basis_state(elem.n_qubits(), col << pad));
+                for (j, amp) in out.iter().enumerate() {
+                    let (row, anc) = (j >> pad, j & ((1usize << pad) - 1));
+                    let want = if anc == 0 { orig[(row, col)] } else { Cplx::ZERO };
+                    prop_assert!(
+                        amp.approx_eq_with(want, 1e-8),
+                        "clifford_t={}: entry ({j},{col}): {amp} vs {want}",
+                        opts.clifford_t
+                    );
+                }
+            }
+        }
+    }
+
+    /// The renderer emits one line per wire and never panics.
+    #[test]
+    fn render_shape(circuit in arb_circuit(5, 12)) {
+        let art = render::ascii(&circuit);
+        prop_assert_eq!(art.lines().count(), 5);
+        for line in art.lines() {
+            prop_assert!(line.starts_with('q'));
+        }
+    }
+
+    /// Kraus branch enumeration: branch count is the product of channel
+    /// arities, and for trace-preserving channels the branch operators
+    /// satisfy completeness (sum E†E = I).
+    #[test]
+    fn kraus_completeness(
+        p1 in 0.05f64..0.95,
+        p2 in 0.05f64..0.95,
+        circuit in arb_circuit(2, 4),
+    ) {
+        let channel = |q: u32, p: f64| Element::Channel {
+            qubit: q,
+            kraus: vec![
+                Mat::identity(2).scale(Cplx::real((1.0 - p).sqrt())),
+                qits_circuit::GateKind::X.matrix().scale(Cplx::real(p.sqrt())),
+            ],
+            label: "flip".into(),
+        };
+        let mut op = Operation::from_circuit("noisy", &circuit);
+        op = op.then(channel(0, p1)).then(channel(1, p2));
+        prop_assert_eq!(op.branch_count(), 4);
+        let ks = sim::operation_kraus_matrices(&op);
+        let dim = 1usize << circuit.n_qubits();
+        let sum = ks
+            .iter()
+            .map(|k| k.adjoint().matmul(k))
+            .fold(Mat::zeros(dim), |a, b| a.add(&b));
+        prop_assert!(sum.approx_eq(&Mat::identity(dim)));
+    }
+
+    /// The dense simulator agrees with the circuit matrix applied as a
+    /// matrix-vector product (internal consistency of the oracle itself).
+    #[test]
+    fn sim_consistent_with_matrix(circuit in arb_circuit(3, 8), idx in 0usize..8) {
+        let matrix = sim::circuit_matrix(&circuit);
+        let by_run = sim::run(&circuit, &sim::basis_state(3, idx));
+        let by_matrix = matrix.matvec(&sim::basis_state(3, idx));
+        for (a, b) in by_run.iter().zip(by_matrix.iter()) {
+            prop_assert!(a.approx_eq(*b));
+        }
+    }
+}

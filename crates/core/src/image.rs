@@ -1,0 +1,437 @@
+//! Image computation: the basic algorithm and the two partition schemes.
+
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+use qits_circuit::Operation;
+use qits_tensor::{Var, VarSet};
+use qits_tdd::{Edge, TddManager};
+use qits_tensornet::{
+    contract_network, contraction_blocks, precontract_blocks, InteractionGraph, NetTensor,
+    TensorNetwork,
+};
+
+use crate::subspace::Subspace;
+
+/// Which image-computation method to run (the three columns of Table I).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// Algorithm 1: contract each Kraus circuit into one monolithic
+    /// operator TDD, then apply it to every basis state.
+    Basic,
+    /// Addition partition (Section V-A): slice the tensor network at its
+    /// `k` highest-degree indices, contract each of the `2^k` slices to an
+    /// operator, and sum the per-slice images. `k = 1` reproduces the
+    /// paper's Table I setting (two parts).
+    Addition {
+        /// Number of indices to slice.
+        k: usize,
+    },
+    /// Contraction partition (Section V-B): pre-contract the blocks of the
+    /// `(k1, k2)` circuit cut, then contract them against each basis state
+    /// in sequence — the monolithic operator is never built.
+    Contraction {
+        /// Maximum qubits per horizontal band.
+        k1: u32,
+        /// Crossing multi-qubit gates per vertical segment.
+        k2: u32,
+    },
+    /// The addition partition with its `2^k` slices contracted on worker
+    /// threads — the parallelisation the paper points out the scheme
+    /// admits ("contractions of different parts can be done in parallel").
+    /// Each worker owns a private [`TddManager`]; results are imported
+    /// back and summed.
+    AdditionParallel {
+        /// Number of indices to slice (one thread per slice).
+        k: usize,
+    },
+}
+
+impl std::fmt::Display for Strategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Strategy::Basic => write!(f, "basic"),
+            Strategy::Addition { k } => write!(f, "addition(k={k})"),
+            Strategy::Contraction { k1, k2 } => write!(f, "contraction(k1={k1},k2={k2})"),
+            Strategy::AdditionParallel { k } => write!(f, "addition-parallel(k={k})"),
+        }
+    }
+}
+
+/// Measurements of one image computation — the quantities Table I reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ImageStats {
+    /// Peak node count over every TDD produced ("max #node").
+    pub max_nodes: usize,
+    /// Wall-clock time.
+    pub elapsed: Duration,
+    /// Number of Kraus branches processed across all operations.
+    pub branches: usize,
+    /// Dimension of the computed image.
+    pub output_dim: usize,
+}
+
+/// Computes the image `T(S)` of subspace `input` under the given
+/// operations, with the chosen strategy.
+///
+/// Every Kraus branch `E` of every operation is applied to every basis
+/// state `|psi>` of `input`; the results are joined with the symbolic
+/// Gram–Schmidt procedure. This realises Algorithm 1 of the paper, with
+/// the operator-application step swapped per strategy.
+pub fn image(
+    m: &mut TddManager,
+    operations: &[Operation],
+    input: &Subspace,
+    strategy: Strategy,
+) -> (Subspace, ImageStats) {
+    let n = input.n_qubits();
+    let start = Instant::now();
+    let mut out = Subspace::zero(n);
+    let mut stats = ImageStats::default();
+
+    for op in operations {
+        debug_assert_eq!(op.n_qubits(), n, "operation register mismatch");
+        for branch in op.kraus_branches() {
+            stats.branches += 1;
+            let net = TensorNetwork::from_circuit(m, &branch);
+            match strategy {
+                Strategy::Basic => {
+                    let whole = contract_network(m, net.tensors(), &net.external_vars());
+                    stats.max_nodes = stats.max_nodes.max(whole.max_nodes);
+                    let op_tensor = NetTensor {
+                        edge: whole.edge,
+                        vars: net.external_vars(),
+                    };
+                    for &psi in input.basis() {
+                        let (phi, peak) = apply_tensors(m, &[op_tensor.clone()], &net, psi);
+                        stats.max_nodes = stats.max_nodes.max(peak);
+                        out.absorb(m, phi);
+                    }
+                }
+                Strategy::Addition { k } => {
+                    let graph = InteractionGraph::of(&net);
+                    let cut_vars = graph.highest_degree_vars(k);
+                    let slices = enumerate_slices(m, &net, &cut_vars);
+                    let mut op_tensors = Vec::with_capacity(slices.len());
+                    for sliced in &slices {
+                        let part = contract_network(m, sliced.tensors(), &net.external_vars());
+                        stats.max_nodes = stats.max_nodes.max(part.max_nodes);
+                        op_tensors.push(NetTensor {
+                            edge: part.edge,
+                            vars: net.external_vars(),
+                        });
+                    }
+                    for &psi in input.basis() {
+                        let mut total = Edge::ZERO;
+                        for part in &op_tensors {
+                            let (phi, peak) = apply_tensors(m, &[part.clone()], &net, psi);
+                            stats.max_nodes = stats.max_nodes.max(peak);
+                            total = m.add(total, phi);
+                            stats.max_nodes = stats.max_nodes.max(m.node_count(total));
+                        }
+                        out.absorb(m, total);
+                    }
+                }
+                Strategy::Contraction { k1, k2 } => {
+                    let blocks = contraction_blocks(&branch, k1, k2);
+                    let (block_tensors, peak) = precontract_blocks(m, &net, &blocks);
+                    stats.max_nodes = stats.max_nodes.max(peak);
+                    for &psi in input.basis() {
+                        let (phi, peak) = apply_tensors(m, &block_tensors, &net, psi);
+                        stats.max_nodes = stats.max_nodes.max(peak);
+                        out.absorb(m, phi);
+                    }
+                }
+                Strategy::AdditionParallel { k } => {
+                    let graph = InteractionGraph::of(&net);
+                    let cut_vars = graph.highest_degree_vars(k);
+                    let psis: Vec<Edge> = input.basis().to_vec();
+                    let worker_out = run_addition_workers(m, &branch, &cut_vars, &psis);
+                    for i in 0..psis.len() {
+                        let mut total = Edge::ZERO;
+                        for (local, phis, peak) in &worker_out {
+                            let phi = m.import(local, phis[i]);
+                            total = m.add(total, phi);
+                            stats.max_nodes = stats.max_nodes.max(*peak);
+                            stats.max_nodes = stats.max_nodes.max(m.node_count(total));
+                        }
+                        out.absorb(m, total);
+                    }
+                }
+            }
+        }
+    }
+
+    stats.output_dim = out.dim();
+    stats.elapsed = start.elapsed();
+    (out, stats)
+}
+
+/// Contracts the `2^k` slices of the addition partition on worker
+/// threads, one private manager each, and applies every slice operator to
+/// every basis state. Returns per-worker `(manager, images, peak nodes)`;
+/// the caller imports and sums.
+fn run_addition_workers(
+    m: &TddManager,
+    branch: &qits_circuit::Circuit,
+    cut_vars: &[Var],
+    psis: &[Edge],
+) -> Vec<(TddManager, Vec<Edge>, usize)> {
+    let k = cut_vars.len();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..(1usize << k))
+            .map(|bits| {
+                scope.spawn(move || {
+                    let mut local = TddManager::new();
+                    let net = TensorNetwork::from_circuit(&mut local, branch);
+                    let cuts: Vec<(Var, bool)> = cut_vars
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &v)| (v, (bits >> (k - 1 - i)) & 1 == 1))
+                        .collect();
+                    let sliced = net.slice_all(&mut local, &cuts);
+                    let part = contract_network(&mut local, sliced.tensors(), &net.external_vars());
+                    let mut peak = part.max_nodes;
+                    let op_tensor = NetTensor {
+                        edge: part.edge,
+                        vars: net.external_vars(),
+                    };
+                    let phis: Vec<Edge> = psis
+                        .iter()
+                        .map(|&psi_main| {
+                            let psi = local.import(m, psi_main);
+                            let (phi, p) =
+                                apply_tensors(&mut local, &[op_tensor.clone()], &net, psi);
+                            peak = peak.max(p);
+                            phi
+                        })
+                        .collect();
+                    (local, phis, peak)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("addition-partition worker panicked"))
+            .collect()
+    })
+}
+
+/// Applies a list of operator tensors to a ket: contracts
+/// `[psi, t_1, ..., t_k]` keeping the circuit outputs, then renames the
+/// outputs back to ket variables. Returns the image ket and the peak node
+/// count.
+fn apply_tensors(
+    m: &mut TddManager,
+    tensors: &[NetTensor],
+    net: &TensorNetwork,
+    psi: Edge,
+) -> (Edge, usize) {
+    let n = net.n_qubits();
+    let mut list = Vec::with_capacity(tensors.len() + 1);
+    list.push(NetTensor {
+        edge: psi,
+        vars: VarSet::from_iter(net.in_vars()),
+    });
+    list.extend_from_slice(tensors);
+    let keep: VarSet = VarSet::from_iter(net.out_vars());
+    let outcome = contract_network(m, &list, &keep);
+    let map: BTreeMap<Var, Var> = (0..n)
+        .filter(|&q| net.out_var(q) != net.in_var(q))
+        .map(|q| (net.out_var(q), Var::ket(q)))
+        .collect();
+    let ket = m.rename_monotone(outcome.edge, &map);
+    (ket, outcome.max_nodes.max(m.node_count(ket)))
+}
+
+/// All `2^k` slicings of `net` at `cut_vars`, each with its selector
+/// tensors re-attached so the slices sum to the original network.
+fn enumerate_slices(
+    m: &mut TddManager,
+    net: &TensorNetwork,
+    cut_vars: &[Var],
+) -> Vec<TensorNetwork> {
+    let k = cut_vars.len();
+    (0..(1usize << k))
+        .map(|bits| {
+            let cuts: Vec<(Var, bool)> = cut_vars
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| (v, (bits >> (k - 1 - i)) & 1 == 1))
+                .collect();
+            net.slice_all(m, &cuts)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qits_circuit::{generators, sim};
+    use qits_num::linalg;
+    use qits_num::Cplx;
+
+    use crate::qts::QuantumTransitionSystem;
+
+    const STRATEGIES: [Strategy; 5] = [
+        Strategy::Basic,
+        Strategy::Addition { k: 1 },
+        Strategy::Addition { k: 2 },
+        Strategy::Contraction { k1: 2, k2: 2 },
+        Strategy::AdditionParallel { k: 2 },
+    ];
+
+    /// Dense reference image: apply every Kraus matrix to every basis
+    /// vector, Gram–Schmidt the lot.
+    fn dense_image(
+        m: &mut TddManager,
+        ops: &[Operation],
+        input: &Subspace,
+    ) -> Vec<Vec<Cplx>> {
+        let n = input.n_qubits();
+        let vars = Subspace::ket_vars(n);
+        let mut vectors = Vec::new();
+        for op in ops {
+            for k in sim::operation_kraus_matrices(op) {
+                for &psi in input.basis() {
+                    let dense_psi: Vec<Cplx> = (0..(1usize << n))
+                        .map(|i| {
+                            let asn: BTreeMap<Var, bool> = vars
+                                .iter()
+                                .enumerate()
+                                .map(|(q, &v)| (v, (i >> (n as usize - 1 - q)) & 1 == 1))
+                                .collect();
+                            m.eval(psi, &asn)
+                        })
+                        .collect();
+                    vectors.push(k.matvec(&dense_psi));
+                }
+            }
+        }
+        linalg::gram_schmidt(&vectors)
+    }
+
+    fn check_image_matches_dense(spec: &generators::QtsSpec, strategy: Strategy) {
+        let mut m = TddManager::new();
+        let qts = QuantumTransitionSystem::from_spec(&mut m, spec);
+        let (img, stats) = image(&mut m, qts.operations(), qts.initial(), strategy);
+        let expect = dense_image(&mut m, qts.operations(), qts.initial());
+        assert_eq!(
+            img.dim(),
+            expect.len(),
+            "{}: dimension mismatch with dense oracle ({strategy})",
+            spec.name
+        );
+        // Every symbolic basis vector must lie in the dense span.
+        let n = qts.n_qubits();
+        let vars = Subspace::ket_vars(n);
+        for &b in img.basis() {
+            let dense_b: Vec<Cplx> = (0..(1usize << n))
+                .map(|i| {
+                    let asn: BTreeMap<Var, bool> = vars
+                        .iter()
+                        .enumerate()
+                        .map(|(q, &v)| (v, (i >> (n as usize - 1 - q)) & 1 == 1))
+                        .collect();
+                    m.eval(b, &asn)
+                })
+                .collect();
+            assert!(
+                linalg::in_span(&expect, &dense_b),
+                "{}: symbolic image vector outside dense image ({strategy})",
+                spec.name
+            );
+        }
+        assert!(stats.max_nodes > 0);
+        assert!(stats.branches > 0);
+    }
+
+    #[test]
+    fn ghz_image_matches_dense_all_strategies() {
+        for s in STRATEGIES {
+            check_image_matches_dense(&generators::ghz(4), s);
+        }
+    }
+
+    #[test]
+    fn grover_image_matches_dense_all_strategies() {
+        for s in STRATEGIES {
+            check_image_matches_dense(&generators::grover(3), s);
+        }
+    }
+
+    #[test]
+    fn qft_image_matches_dense_all_strategies() {
+        for s in STRATEGIES {
+            check_image_matches_dense(&generators::qft(3), s);
+        }
+    }
+
+    #[test]
+    fn bv_image_matches_dense_all_strategies() {
+        for s in STRATEGIES {
+            check_image_matches_dense(&generators::bernstein_vazirani(4, &[true, false, true]), s);
+        }
+    }
+
+    #[test]
+    fn qrw_image_matches_dense_all_strategies() {
+        for s in STRATEGIES {
+            check_image_matches_dense(&generators::qrw(3, 0.2), s);
+        }
+    }
+
+    #[test]
+    fn bitflip_image_matches_dense_all_strategies() {
+        for s in STRATEGIES {
+            check_image_matches_dense(&generators::bitflip_code(), s);
+        }
+    }
+
+    #[test]
+    fn grover_invariant_subspace() {
+        // T(S) = S for S = span{|++->, |11->} (Section III-A.1).
+        let mut m = TddManager::new();
+        let qts = QuantumTransitionSystem::from_spec(&mut m, &generators::grover(3));
+        for s in STRATEGIES {
+            let (img, _) = image(&mut m, qts.operations(), qts.initial(), s);
+            assert!(img.equals(&mut m, qts.initial()), "strategy {s}");
+        }
+    }
+
+    #[test]
+    fn strategies_agree_pairwise() {
+        let mut m = TddManager::new();
+        let qts = QuantumTransitionSystem::from_spec(&mut m, &generators::qrw(4, 0.3));
+        let images: Vec<Subspace> = STRATEGIES
+            .iter()
+            .map(|&s| image(&mut m, qts.operations(), qts.initial(), s).0)
+            .collect();
+        for w in images.windows(2) {
+            let (a, b) = (&w[0], &w[1]);
+            let mut a2 = a.clone();
+            let _ = &mut a2;
+            assert!(a.clone().equals(&mut m, b));
+        }
+    }
+
+    #[test]
+    fn image_of_zero_subspace_is_zero() {
+        let mut m = TddManager::new();
+        let qts = QuantumTransitionSystem::from_spec(&mut m, &generators::ghz(3));
+        let zero = Subspace::zero(3);
+        let (img, stats) = image(&mut m, qts.operations(), &zero, Strategy::Basic);
+        assert_eq!(img.dim(), 0);
+        assert_eq!(stats.output_dim, 0);
+    }
+
+    #[test]
+    fn strategy_display() {
+        assert_eq!(Strategy::Basic.to_string(), "basic");
+        assert_eq!(Strategy::Addition { k: 1 }.to_string(), "addition(k=1)");
+        assert_eq!(
+            Strategy::Contraction { k1: 4, k2: 4 }.to_string(),
+            "contraction(k1=4,k2=4)"
+        );
+    }
+}

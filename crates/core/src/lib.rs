@@ -1,0 +1,54 @@
+//! # qits — image computation for quantum transition systems
+//!
+//! A from-scratch Rust reproduction of *"Image Computation for Quantum
+//! Transition Systems"* (Hong, Gao, Li, Ying, Ying — DATE 2025). Model
+//! checking explores a system's state space by repeatedly computing the
+//! *image* of a set of states under the transition relation; for quantum
+//! systems, state sets become **subspaces** of a Hilbert space and
+//! transitions become **quantum operations** (Kraus sets). This crate
+//! implements that image computation symbolically, on tensor decision
+//! diagrams, with the paper's three methods:
+//!
+//! * [`Strategy::Basic`] — contract each Kraus operator's whole circuit
+//!   into one monolithic TDD, then apply it to every basis state
+//!   (Section IV, Algorithm 1);
+//! * [`Strategy::Addition`] — slice the circuit's tensor network at its
+//!   `k` highest-degree indices and sum the `2^k` partial images
+//!   (Section V-A);
+//! * [`Strategy::Contraction`] — cut the circuit into blocks of at most
+//!   `k1` qubits separated after every `k2` crossing gates and contract the
+//!   blocks against the state sequentially, never building the monolithic
+//!   operator (Section V-B — the method the paper's evaluation shows to
+//!   dominate).
+//!
+//! # Quickstart
+//!
+//! Check the Grover-iteration invariant of the paper's Section III-A.1:
+//! the subspace `S = span{|++->, |11->}` satisfies `T(S) = S`.
+//!
+//! ```
+//! use qits::{image, QuantumTransitionSystem, Strategy};
+//! use qits_circuit::generators;
+//! use qits_tdd::TddManager;
+//!
+//! let mut m = TddManager::new();
+//! let spec = generators::grover(3);
+//! let qts = QuantumTransitionSystem::from_spec(&mut m, &spec);
+//! let (img, _stats) = image(
+//!     &mut m,
+//!     qts.operations(),
+//!     qts.initial(),
+//!     Strategy::Contraction { k1: 2, k2: 2 },
+//! );
+//! assert!(img.equals(&mut m, qts.initial()));
+//! ```
+
+pub mod equiv;
+mod image;
+pub mod mc;
+mod qts;
+mod subspace;
+
+pub use image::{image, ImageStats, Strategy};
+pub use qts::QuantumTransitionSystem;
+pub use subspace::{Subspace, RANK_TOLERANCE};

@@ -1,0 +1,145 @@
+//! Model checking on quantum transition systems: reachability via repeated
+//! image computation, and invariant checking — the application that
+//! motivates image computation in the first place (Section I).
+
+use qits_tdd::TddManager;
+
+use crate::image::{image, ImageStats, Strategy};
+use crate::qts::QuantumTransitionSystem;
+use crate::subspace::Subspace;
+
+/// Result of a reachability analysis.
+#[derive(Debug, Clone)]
+pub struct ReachabilityResult {
+    /// The least fixpoint `S0 v T(S0) v T^2(S0) v ...`.
+    pub space: Subspace,
+    /// Number of image computations performed.
+    pub iterations: usize,
+    /// Whether the fixpoint was reached (false: `max_iterations` hit).
+    pub converged: bool,
+    /// Per-iteration statistics.
+    pub stats: Vec<ImageStats>,
+}
+
+/// Computes the reachable subspace of `qts` by iterating
+/// `S <- S v T(S)` until the dimension stabilises.
+///
+/// The dimension is bounded by `2^n`, so with enough iterations this
+/// always converges; `max_iterations` guards runtime.
+pub fn reachable_space(
+    m: &mut TddManager,
+    qts: &QuantumTransitionSystem,
+    strategy: Strategy,
+    max_iterations: usize,
+) -> ReachabilityResult {
+    let mut space = qts.initial().clone();
+    let mut stats = Vec::new();
+    let mut converged = false;
+    let mut iterations = 0;
+    while iterations < max_iterations {
+        let (img, st) = image(m, qts.operations(), &space, strategy);
+        iterations += 1;
+        stats.push(st);
+        let joined = space.join(m, &img);
+        if joined.dim() == space.dim() {
+            converged = true;
+            break;
+        }
+        space = joined;
+    }
+    ReachabilityResult {
+        space,
+        iterations,
+        converged,
+        stats,
+    }
+}
+
+/// Checks the safety property "every reachable state stays inside
+/// `invariant`".
+///
+/// Returns the verdict plus the reachability result that witnessed it.
+/// A `false` verdict with `converged = false` means the analysis was
+/// truncated and the verdict is only valid for the explored prefix.
+pub fn check_invariant(
+    m: &mut TddManager,
+    qts: &QuantumTransitionSystem,
+    invariant: &Subspace,
+    strategy: Strategy,
+    max_iterations: usize,
+) -> (bool, ReachabilityResult) {
+    let reach = reachable_space(m, qts, strategy, max_iterations);
+    let holds = reach.space.is_subspace_of(m, invariant);
+    (holds, reach)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qits_circuit::generators;
+    use qits_circuit::tensorize::states;
+
+    #[test]
+    fn grover_reaches_fixpoint_immediately() {
+        // The Grover initial subspace is invariant: 1 iteration suffices.
+        let mut m = TddManager::new();
+        let qts = QuantumTransitionSystem::from_spec(&mut m, &generators::grover(3));
+        let r = reachable_space(&mut m, &qts, Strategy::Contraction { k1: 2, k2: 2 }, 10);
+        assert!(r.converged);
+        assert_eq!(r.iterations, 1);
+        assert!(r.space.equals(&mut m, qts.initial()));
+    }
+
+    #[test]
+    fn walk_reachable_space_grows_then_saturates() {
+        // The noiseless+noisy walk spreads over the whole cycle; its
+        // reachable space saturates at the full 2^n dimension eventually.
+        let mut m = TddManager::new();
+        let qts = QuantumTransitionSystem::from_spec(&mut m, &generators::qrw(3, 0.5));
+        let r = reachable_space(&mut m, &qts, Strategy::Contraction { k1: 2, k2: 2 }, 20);
+        assert!(r.converged);
+        assert!(r.space.dim() > qts.initial().dim());
+        // Fixpoint really is a fixpoint.
+        let (img, _) = image(
+            &mut m,
+            qts.operations(),
+            &r.space,
+            Strategy::Contraction { k1: 2, k2: 2 },
+        );
+        assert!(img.is_subspace_of(&mut m, &r.space));
+    }
+
+    #[test]
+    fn reachable_space_is_an_invariant() {
+        // The reachable space itself always satisfies the invariant check.
+        let mut m = TddManager::new();
+        let qts = QuantumTransitionSystem::from_spec(&mut m, &generators::ghz(3));
+        let r = reachable_space(&mut m, &qts, Strategy::Basic, 20);
+        assert!(r.converged);
+        let (holds, r2) = check_invariant(&mut m, &qts, &r.space, Strategy::Basic, 20);
+        assert!(holds);
+        assert!(r2.converged);
+        assert_eq!(r2.space.dim(), r.space.dim());
+    }
+
+    #[test]
+    fn invariant_violated_when_too_small() {
+        let mut m = TddManager::new();
+        let qts = QuantumTransitionSystem::from_spec(&mut m, &generators::ghz(3));
+        // The initial state alone is not invariant under GHZ preparation.
+        let vars = Subspace::ket_vars(3);
+        let zero_ket = m.product_ket(&vars, &[states::ZERO; 3]);
+        let only_zero = Subspace::from_states(&mut m, 3, &[zero_ket]);
+        let (holds, _) = check_invariant(&mut m, &qts, &only_zero, Strategy::Basic, 10);
+        assert!(!holds);
+    }
+
+    #[test]
+    fn max_iterations_truncates() {
+        let mut m = TddManager::new();
+        let qts = QuantumTransitionSystem::from_spec(&mut m, &generators::qrw(4, 0.5));
+        let r = reachable_space(&mut m, &qts, Strategy::Contraction { k1: 2, k2: 2 }, 1);
+        assert!(!r.converged);
+        assert_eq!(r.iterations, 1);
+    }
+}

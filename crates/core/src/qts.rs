@@ -1,0 +1,116 @@
+//! Quantum transition systems (Definition 2 of the paper).
+
+use qits_circuit::{generators::QtsSpec, Operation};
+use qits_tdd::TddManager;
+
+use crate::subspace::Subspace;
+
+/// A quantum transition system `M = (H, S0, Sigma, T)`: an `n`-qubit
+/// Hilbert space, an initial subspace `S0`, and one quantum operation
+/// `T_sigma` per symbol.
+///
+/// # Example
+///
+/// ```
+/// use qits::QuantumTransitionSystem;
+/// use qits_circuit::generators;
+/// use qits_tdd::TddManager;
+///
+/// let mut m = TddManager::new();
+/// let qts = QuantumTransitionSystem::from_spec(&mut m, &generators::ghz(4));
+/// assert_eq!(qts.n_qubits(), 4);
+/// assert_eq!(qts.initial().dim(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct QuantumTransitionSystem {
+    n_qubits: u32,
+    operations: Vec<Operation>,
+    initial: Subspace,
+}
+
+impl QuantumTransitionSystem {
+    /// Assembles a transition system from parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any operation or the initial subspace disagrees on the
+    /// register width.
+    pub fn new(n_qubits: u32, operations: Vec<Operation>, initial: Subspace) -> Self {
+        assert_eq!(
+            initial.n_qubits(),
+            n_qubits,
+            "initial subspace register mismatch"
+        );
+        for op in &operations {
+            assert_eq!(
+                op.n_qubits(),
+                n_qubits,
+                "operation '{}' register mismatch",
+                op.label()
+            );
+        }
+        QuantumTransitionSystem {
+            n_qubits,
+            operations,
+            initial,
+        }
+    }
+
+    /// Builds the system of a benchmark spec, spanning the initial
+    /// subspace from the spec's product states.
+    pub fn from_spec(m: &mut TddManager, spec: &QtsSpec) -> Self {
+        let vars = Subspace::ket_vars(spec.n_qubits);
+        let states: Vec<_> = spec
+            .initial_states
+            .iter()
+            .map(|amps| m.product_ket(&vars, amps))
+            .collect();
+        let initial = Subspace::from_states(m, spec.n_qubits, &states);
+        QuantumTransitionSystem::new(spec.n_qubits, spec.operations.clone(), initial)
+    }
+
+    /// Register width.
+    pub fn n_qubits(&self) -> u32 {
+        self.n_qubits
+    }
+
+    /// The operations `T_sigma`.
+    pub fn operations(&self) -> &[Operation] {
+        &self.operations
+    }
+
+    /// The initial subspace `S0`.
+    pub fn initial(&self) -> &Subspace {
+        &self.initial
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qits_circuit::generators;
+
+    #[test]
+    fn from_spec_spans_initial_states() {
+        let mut m = TddManager::new();
+        let qts = QuantumTransitionSystem::from_spec(&mut m, &generators::grover(3));
+        assert_eq!(qts.initial().dim(), 2); // |++-> and |11-> independent
+        assert_eq!(qts.operations().len(), 1);
+    }
+
+    #[test]
+    fn bitflip_spec_has_four_operations() {
+        let mut m = TddManager::new();
+        let qts = QuantumTransitionSystem::from_spec(&mut m, &generators::bitflip_code());
+        assert_eq!(qts.operations().len(), 4);
+        assert_eq!(qts.initial().dim(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "register mismatch")]
+    fn new_rejects_mismatched_registers() {
+        let initial = Subspace::zero(2);
+        let op = qits_circuit::Operation::new("op", 3);
+        let _ = QuantumTransitionSystem::new(2, vec![op], initial);
+    }
+}

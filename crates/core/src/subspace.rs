@@ -1,0 +1,482 @@
+//! Hilbert-space subspaces, represented symbolically.
+//!
+//! A subspace is stored as an orthonormal basis of TDD kets *and* the TDD
+//! of its projector, maintained together exactly as in the paper's
+//! Section IV: the Gram–Schmidt join keeps `P = sum |v><v|` in lock-step
+//! with the basis, and the basis-decomposition of a given projector peels
+//! off columns located by the leftmost non-zero path of the projector TDD.
+
+use std::collections::BTreeMap;
+
+use qits_num::Cplx;
+use qits_tensor::Var;
+use qits_tdd::{Edge, TddManager};
+
+/// Squared-norm threshold below which a Gram–Schmidt residual counts as
+/// zero (the vector lies in the subspace already).
+///
+/// Distinct from the TDD weight tolerance: residual norms accumulate error
+/// from full contractions, so the rank decision uses a coarser cutoff.
+pub const RANK_TOLERANCE: f64 = 1e-9;
+
+/// A (closed) subspace of an `n`-qubit state space.
+///
+/// Kets live on the position-0 wire variables `x_i = Var::wire(i, 0)`; the
+/// projector uses `x_i` as column and `y_i = Var::wire(i, 1)` as row
+/// variables, giving the interleaved order `x1 < y1 < x2 < y2 < ...` shown
+/// in the paper's Fig. 1.
+///
+/// All edges are owned by the [`TddManager`] passed to each method; using
+/// a subspace with a different manager is a logic error.
+///
+/// # Example
+///
+/// ```
+/// use qits_tdd::TddManager;
+/// use qits_tensor::Var;
+/// use qits::Subspace;
+///
+/// let mut m = TddManager::new();
+/// let vars: Vec<Var> = (0..2).map(Var::ket).collect();
+/// let k00 = m.basis_ket(&vars, &[false, false]);
+/// let k11 = m.basis_ket(&vars, &[true, true]);
+/// let s = Subspace::from_states(&mut m, 2, &[k00, k11]);
+/// assert_eq!(s.dim(), 2);
+/// let bell = m.product_ket(&vars, &[(qits_num::Cplx::FRAC_1_SQRT_2, qits_num::Cplx::FRAC_1_SQRT_2); 2]);
+/// assert!(!s.contains(&mut m, bell)); // |++> is not in span{|00>,|11>}
+/// ```
+#[derive(Debug, Clone)]
+pub struct Subspace {
+    n_qubits: u32,
+    basis: Vec<Edge>,
+    projector: Edge,
+}
+
+impl Subspace {
+    /// The zero subspace of an `n`-qubit space.
+    pub fn zero(n_qubits: u32) -> Subspace {
+        Subspace {
+            n_qubits,
+            basis: Vec::new(),
+            projector: Edge::ZERO,
+        }
+    }
+
+    /// The ket variables `x_i` of an `n`-qubit space.
+    pub fn ket_vars(n_qubits: u32) -> Vec<Var> {
+        (0..n_qubits).map(Var::ket).collect()
+    }
+
+    /// The projector row variables `y_i` of an `n`-qubit space.
+    pub fn row_vars(n_qubits: u32) -> Vec<Var> {
+        (0..n_qubits).map(Var::row).collect()
+    }
+
+    /// Spans a subspace from arbitrary (possibly dependent, possibly
+    /// unnormalised) states via the Gram–Schmidt join of Section IV-B.
+    pub fn from_states(m: &mut TddManager, n_qubits: u32, states: &[Edge]) -> Subspace {
+        let mut s = Subspace::zero(n_qubits);
+        for &e in states {
+            s.absorb(m, e);
+        }
+        s
+    }
+
+    /// Register width.
+    pub fn n_qubits(&self) -> u32 {
+        self.n_qubits
+    }
+
+    /// Dimension of the subspace.
+    pub fn dim(&self) -> usize {
+        self.basis.len()
+    }
+
+    /// The orthonormal basis kets.
+    pub fn basis(&self) -> &[Edge] {
+        &self.basis
+    }
+
+    /// The projector TDD over interleaved `(x_i, y_i)` variables.
+    pub fn projector(&self) -> Edge {
+        self.projector
+    }
+
+    /// Applies the projector to a ket: `P |psi>`.
+    pub fn project(&self, m: &mut TddManager, psi: Edge) -> Edge {
+        if self.basis.is_empty() {
+            return Edge::ZERO;
+        }
+        let xs = Self::ket_vars(self.n_qubits);
+        let projected = m.contract(self.projector, psi, &xs);
+        let map: BTreeMap<Var, Var> = (0..self.n_qubits)
+            .map(|q| (Var::row(q), Var::ket(q)))
+            .collect();
+        m.rename_monotone(projected, &map)
+    }
+
+    /// Gram–Schmidt step: extends the basis by (the normalised residual
+    /// of) `psi` if it adds a new dimension. Returns `true` if the
+    /// dimension grew.
+    ///
+    /// This is the paper's subspace-join primitive: `u = psi - P psi`;
+    /// if `u` is non-zero, normalise it, add it to the basis, and update
+    /// `P += |u><u|`.
+    pub fn absorb(&mut self, m: &mut TddManager, psi: Edge) -> bool {
+        if psi.is_zero() {
+            return false;
+        }
+        let proj = self.project(m, psi);
+        let u = m.sub(psi, proj);
+        if u.is_zero() {
+            return false;
+        }
+        let xs = Self::ket_vars(self.n_qubits);
+        let n2 = m.norm_sqr(u, &xs);
+        if n2 <= RANK_TOLERANCE {
+            return false;
+        }
+        let v = m.scale(u, Cplx::real(1.0 / n2.sqrt()));
+        self.basis.push(v);
+        let outer = self.outer(m, v);
+        self.projector = m.add(self.projector, outer);
+        true
+    }
+
+    /// `|v><v|` over the projector variable convention.
+    fn outer(&self, m: &mut TddManager, v: Edge) -> Edge {
+        let bra = m.conj(v); // column variables x_i
+        let map: BTreeMap<Var, Var> = (0..self.n_qubits)
+            .map(|q| (Var::ket(q), Var::row(q)))
+            .collect();
+        let ket_rows = m.rename_monotone(v, &map); // row variables y_i
+        m.contract(bra, ket_rows, &[])
+    }
+
+    /// The join `self v other` (smallest subspace containing both).
+    pub fn join(&self, m: &mut TddManager, other: &Subspace) -> Subspace {
+        assert_eq!(self.n_qubits, other.n_qubits, "join needs equal registers");
+        let mut s = self.clone();
+        for &e in &other.basis {
+            s.absorb(m, e);
+        }
+        s
+    }
+
+    /// Whether a (normalised) ket lies in the subspace.
+    pub fn contains(&self, m: &mut TddManager, psi: Edge) -> bool {
+        let proj = self.project(m, psi);
+        let u = m.sub(psi, proj);
+        if u.is_zero() {
+            return true;
+        }
+        let xs = Self::ket_vars(self.n_qubits);
+        m.norm_sqr(u, &xs) <= RANK_TOLERANCE
+    }
+
+    /// Whether `self` is contained in `other`.
+    pub fn is_subspace_of(&self, m: &mut TddManager, other: &Subspace) -> bool {
+        self.basis.iter().all(|&e| other.contains(m, e))
+    }
+
+    /// Subspace equality (mutual containment; dimensions checked first).
+    pub fn equals(&self, m: &mut TddManager, other: &Subspace) -> bool {
+        self.dim() == other.dim() && self.is_subspace_of(m, other)
+    }
+
+    /// The full `2^n`-dimensional space, whose projector is the identity.
+    ///
+    /// Useful as the trivial invariant and as the starting point for
+    /// [`Subspace::complement`]. Cost is `O(4^n)` basis kets; intended for
+    /// the small registers model-checking properties are stated on.
+    pub fn full(m: &mut TddManager, n_qubits: u32) -> Subspace {
+        let mut identity = Edge::ONE;
+        for q in 0..n_qubits {
+            let id = m.identity(Var::ket(q), Var::row(q));
+            identity = m.contract(identity, id, &[]);
+        }
+        Subspace::from_projector(m, n_qubits, identity)
+    }
+
+    /// The orthogonal complement: the subspace with projector `I - P`.
+    ///
+    /// Safety properties are often stated as "never reach `Bad`"; checking
+    /// them as an invariant needs `Bad`'s complement.
+    pub fn complement(&self, m: &mut TddManager) -> Subspace {
+        let mut identity = Edge::ONE;
+        for q in 0..self.n_qubits {
+            let id = m.identity(Var::ket(q), Var::row(q));
+            identity = m.contract(identity, id, &[]);
+        }
+        let comp = m.sub(identity, self.projector);
+        Subspace::from_projector(m, self.n_qubits, comp)
+    }
+
+    /// Reconstructs a subspace from a projector TDD via the paper's
+    /// Section IV-A basis decomposition: repeatedly locate the leftmost
+    /// non-zero path, slice out that column, normalise it into a basis
+    /// vector, and subtract its outer product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `projector` is not (numerically) an orthogonal projector —
+    /// detected when a peeled column fails to reduce the remainder.
+    pub fn from_projector(m: &mut TddManager, n_qubits: u32, projector: Edge) -> Subspace {
+        let xs = Self::ket_vars(n_qubits);
+        let ys = Self::row_vars(n_qubits);
+        let all: Vec<Var> = {
+            let mut v = xs.clone();
+            v.extend(ys.iter().copied());
+            v.sort_unstable();
+            v
+        };
+        let mut s = Subspace::zero(n_qubits);
+        let mut p = projector;
+        let max_dim = 1usize << n_qubits.min(30);
+        while !p.is_zero() {
+            assert!(
+                s.dim() < max_dim,
+                "projector decomposition exceeded the space dimension; \
+                 input is not a projector"
+            );
+            let asn = m
+                .first_nonzero_assignment(p, &all)
+                .expect("non-zero diagram has a non-zero path");
+            // Column index: the x-variable bits of the leftmost path.
+            let mut column = p;
+            for (i, &v) in all.iter().enumerate() {
+                if v.position() == 0 {
+                    column = m.slice(column, v, asn[i]);
+                }
+            }
+            // `column` is a ket over the row variables y_i.
+            let n2 = m.norm_sqr(column, &ys);
+            assert!(
+                n2 > RANK_TOLERANCE,
+                "leftmost non-zero column has zero norm; input is not a projector"
+            );
+            let v = m.scale(column, Cplx::real(1.0 / n2.sqrt()));
+            let map: BTreeMap<Var, Var> = (0..n_qubits)
+                .map(|q| (Var::row(q), Var::ket(q)))
+                .collect();
+            let ket = m.rename_monotone(v, &map);
+            s.basis.push(ket);
+            let outer = s.outer(m, ket);
+            p = m.sub(p, outer);
+        }
+        s.projector = projector;
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qits_circuit::tensorize::states;
+
+    fn ket(m: &mut TddManager, n: u32, bits: &[bool]) -> Edge {
+        let vars = Subspace::ket_vars(n);
+        m.basis_ket(&vars, bits)
+    }
+
+    #[test]
+    fn zero_subspace() {
+        let mut m = TddManager::new();
+        let s = Subspace::zero(2);
+        assert_eq!(s.dim(), 0);
+        let k = ket(&mut m, 2, &[false, true]);
+        assert!(!s.contains(&mut m, k));
+        assert!(s.project(&mut m, k).is_zero());
+    }
+
+    #[test]
+    fn absorb_builds_orthonormal_basis() {
+        let mut m = TddManager::new();
+        let mut s = Subspace::zero(2);
+        let k00 = ket(&mut m, 2, &[false, false]);
+        let k01 = ket(&mut m, 2, &[false, true]);
+        assert!(s.absorb(&mut m, k00));
+        assert!(!s.absorb(&mut m, k00)); // already inside
+        assert!(s.absorb(&mut m, k01));
+        assert_eq!(s.dim(), 2);
+        // Orthonormality of the stored basis.
+        let vars = Subspace::ket_vars(2);
+        for (i, &a) in s.basis().iter().enumerate() {
+            for (j, &b) in s.basis().iter().enumerate() {
+                let ip = m.inner_product(a, b, &vars);
+                let expect = if i == j { Cplx::ONE } else { Cplx::ZERO };
+                assert!(ip.approx_eq_with(expect, 1e-8));
+            }
+        }
+    }
+
+    #[test]
+    fn absorb_dependent_superposition() {
+        let mut m = TddManager::new();
+        let mut s = Subspace::zero(1);
+        let k0 = ket(&mut m, 1, &[false]);
+        let k1 = ket(&mut m, 1, &[true]);
+        s.absorb(&mut m, k0);
+        s.absorb(&mut m, k1);
+        // |+> is dependent on {|0>, |1>}.
+        let vars = Subspace::ket_vars(1);
+        let plus = m.product_ket(&vars, &[states::PLUS]);
+        assert!(!s.absorb(&mut m, plus));
+        assert_eq!(s.dim(), 2);
+    }
+
+    #[test]
+    fn projector_is_idempotent_and_hermitian() {
+        let mut m = TddManager::new();
+        let vars = Subspace::ket_vars(3);
+        let a = m.product_ket(&vars, &[states::PLUS, states::PLUS, states::MINUS]);
+        let b = m.basis_ket(&vars, &[true, true, false]);
+        let s = Subspace::from_states(&mut m, 3, &[a, b]);
+        assert_eq!(s.dim(), 2);
+        // P applied twice equals P applied once, on a probe state.
+        let probe = m.product_ket(&vars, &[states::PLUS, states::ZERO, states::ONE]);
+        let p1 = s.project(&mut m, probe);
+        let p2 = s.project(&mut m, p1);
+        let diff = m.sub(p1, p2);
+        assert!(diff.is_zero() || m.norm_sqr(diff, &vars) < 1e-16);
+        // Hermitian: P == conj(P) transposed == rename-swapped conj. The
+        // interleaved convention makes transposition a x<->y swap, which is
+        // NOT monotone; check instead <a|P b> == <P a|b>.
+        let pa = s.project(&mut m, probe);
+        let c = m.basis_ket(&vars, &[false, true, true]);
+        let pc = s.project(&mut m, c);
+        let lhs = m.inner_product(c, pa, &vars);
+        let rhs = m.inner_product(pc, probe, &vars);
+        assert!(lhs.approx_eq_with(rhs, 1e-8));
+    }
+
+    #[test]
+    fn paper_example_2_join() {
+        // Section IV-B, Example 2: completing {|++->} with |11->.
+        let mut m = TddManager::new();
+        let vars = Subspace::ket_vars(3);
+        let ppm = m.product_ket(&vars, &[states::PLUS, states::PLUS, states::MINUS]);
+        let oom = m.product_ket(&vars, &[states::ONE, states::ONE, states::MINUS]);
+        let s = Subspace::from_states(&mut m, 3, &[ppm, oom]);
+        assert_eq!(s.dim(), 2);
+        // The second basis vector is -1/(2 sqrt 3) (|00>+|01>+|10>-3|11>)|->.
+        let v = s.basis()[1];
+        let amp = |m: &mut TddManager, bits: [bool; 3]| {
+            let asn: BTreeMap<Var, bool> =
+                vars.iter().copied().zip(bits.iter().copied()).collect();
+            m.eval(v, &asn)
+        };
+        let c = 1.0 / (2.0 * 3f64.sqrt()) * std::f64::consts::FRAC_1_SQRT_2;
+        // |xy0> component of |-> carries +1/sqrt2; overall sign is a global
+        // phase, so compare ratios: a(110)/a(000) = -3.
+        let a000 = amp(&mut m, [false, false, false]);
+        let a110 = amp(&mut m, [true, true, false]);
+        assert!((a000.abs() - c).abs() < 1e-9, "got {a000}");
+        assert!((a110 / a000).approx_eq_with(Cplx::real(-3.0), 1e-6));
+    }
+
+    #[test]
+    fn paper_example_1_projector_decomposition() {
+        // Section IV-A, Example 1: decompose the projector of
+        // span{|++->, |11->} (the matrix of Fig. 1) back into a basis.
+        let mut m = TddManager::new();
+        let vars = Subspace::ket_vars(3);
+        let ppm = m.product_ket(&vars, &[states::PLUS, states::PLUS, states::MINUS]);
+        let oom = m.product_ket(&vars, &[states::ONE, states::ONE, states::MINUS]);
+        let s = Subspace::from_states(&mut m, 3, &[ppm, oom]);
+        let decomposed = Subspace::from_projector(&mut m, 3, s.projector());
+        assert_eq!(decomposed.dim(), 2);
+        assert!(decomposed.equals(&mut m, &s));
+        // First recovered vector: normalised first non-zero column =
+        // 1/sqrt(3)(|00>+|01>+|10>)|->, as computed in the paper.
+        let v1 = decomposed.basis()[0];
+        let a = {
+            let asn: BTreeMap<Var, bool> = vars
+                .iter()
+                .copied()
+                .zip([false, false, false])
+                .collect();
+            m.eval(v1, &asn)
+        };
+        assert!((a.abs() - 1.0 / 6f64.sqrt()).abs() < 1e-9, "got {a}");
+    }
+
+    #[test]
+    fn join_of_disjoint_spaces() {
+        let mut m = TddManager::new();
+        let k0 = ket(&mut m, 2, &[false, false]);
+        let k1 = ket(&mut m, 2, &[true, true]);
+        let a = Subspace::from_states(&mut m, 2, &[k0]);
+        let b = Subspace::from_states(&mut m, 2, &[k1]);
+        let j = a.join(&mut m, &b);
+        assert_eq!(j.dim(), 2);
+        assert!(a.is_subspace_of(&mut m, &j));
+        assert!(b.is_subspace_of(&mut m, &j));
+        assert!(!j.is_subspace_of(&mut m, &a));
+    }
+
+    #[test]
+    fn equality_is_basis_independent() {
+        let mut m = TddManager::new();
+        let vars = Subspace::ket_vars(1);
+        let k0 = ket(&mut m, 1, &[false]);
+        let k1 = ket(&mut m, 1, &[true]);
+        let plus = m.product_ket(&vars, &[states::PLUS]);
+        let minus = m.product_ket(&vars, &[states::MINUS]);
+        let a = Subspace::from_states(&mut m, 1, &[k0, k1]);
+        let b = Subspace::from_states(&mut m, 1, &[plus, minus]);
+        assert!(a.equals(&mut m, &b));
+    }
+
+    #[test]
+    fn full_space_has_full_dimension() {
+        let mut m = TddManager::new();
+        let s = Subspace::full(&mut m, 3);
+        assert_eq!(s.dim(), 8);
+        let probe = m.product_ket(
+            &Subspace::ket_vars(3),
+            &[states::PLUS, states::MINUS, states::ONE],
+        );
+        assert!(s.contains(&mut m, probe));
+    }
+
+    #[test]
+    fn complement_properties() {
+        let mut m = TddManager::new();
+        let vars = Subspace::ket_vars(2);
+        let bell_pieces = [
+            m.basis_ket(&vars, &[false, false]),
+            m.basis_ket(&vars, &[true, true]),
+        ];
+        let s = Subspace::from_states(&mut m, 2, &bell_pieces);
+        let c = s.complement(&mut m);
+        assert_eq!(s.dim() + c.dim(), 4);
+        // Complement basis is orthogonal to the original space.
+        for &b in c.basis() {
+            assert!(!s.contains(&mut m, b));
+            let proj = s.project(&mut m, b);
+            assert!(proj.is_zero() || m.norm_sqr(proj, &vars) < 1e-12);
+        }
+        // Double complement returns the original space.
+        let cc = c.complement(&mut m);
+        assert!(cc.equals(&mut m, &s));
+    }
+
+    #[test]
+    fn complement_of_full_space_is_zero() {
+        let mut m = TddManager::new();
+        let s = Subspace::full(&mut m, 2);
+        let c = s.complement(&mut m);
+        assert_eq!(c.dim(), 0);
+    }
+
+    #[test]
+    fn full_space_projector_is_identity() {
+        let mut m = TddManager::new();
+        let k0 = ket(&mut m, 1, &[false]);
+        let k1 = ket(&mut m, 1, &[true]);
+        let s = Subspace::from_states(&mut m, 1, &[k0, k1]);
+        let expect = m.identity(Var::ket(0), Var::row(0));
+        assert_eq!(s.projector(), expect);
+    }
+}

@@ -1,0 +1,60 @@
+//! Tolerance-based floating-point comparisons.
+//!
+//! Decision-diagram canonicity (weight interning in `qits-tdd`) and subspace
+//! rank decisions (`qits` Gram–Schmidt) both need a single, shared notion of
+//! "numerically equal". Keeping the tolerance here avoids every crate
+//! inventing its own epsilon.
+
+/// Default absolute tolerance used across the workspace.
+///
+/// Chosen so that products of O(hundreds) of gate amplitudes (each exact to
+/// ~1e-16) stay well inside it, while genuinely distinct amplitudes produced
+/// by the benchmark circuits (multiples of `1/sqrt(2)^k`, `e^{i pi/2^k}`) stay
+/// well outside it for the circuit depths the paper evaluates.
+pub const DEFAULT_TOLERANCE: f64 = 1e-10;
+
+/// Absolute-difference equality test: `|a - b| <= tol`.
+///
+/// ```
+/// use qits_num::approx::approx_eq_f64;
+/// assert!(approx_eq_f64(0.1 + 0.2, 0.3, 1e-12));
+/// assert!(!approx_eq_f64(1.0, 1.1, 1e-12));
+/// ```
+#[inline]
+pub fn approx_eq_f64(a: f64, b: f64, tol: f64) -> bool {
+    (a - b).abs() <= tol
+}
+
+/// Rounds `x` to the nearest multiple of `grid`.
+///
+/// Used by the TDD complex table to derive hash-bucket keys; equality is
+/// still decided by [`approx_eq_f64`], buckets only narrow the search.
+#[inline]
+pub fn snap_to_grid(x: f64, grid: f64) -> f64 {
+    (x / grid).round() * grid
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn approx_eq_symmetric() {
+        assert!(approx_eq_f64(1.0, 1.0 + 1e-12, 1e-10));
+        assert!(approx_eq_f64(1.0 + 1e-12, 1.0, 1e-10));
+    }
+
+    #[test]
+    fn approx_eq_boundary() {
+        assert!(approx_eq_f64(0.0, 1e-10, 1e-10));
+        assert!(!approx_eq_f64(0.0, 2e-10, 1e-10));
+    }
+
+    #[test]
+    fn snapping() {
+        assert_eq!(snap_to_grid(0.1234, 0.01), 0.12);
+        // f64::round rounds half away from zero.
+        assert_eq!(snap_to_grid(-0.005, 0.01), -0.01);
+        assert_eq!(snap_to_grid(7.0, 1.0), 7.0);
+    }
+}

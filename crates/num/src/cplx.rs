@@ -1,0 +1,322 @@
+//! The [`Cplx`] complex-number type.
+
+use std::fmt;
+use std::iter::{Product, Sum};
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+use crate::approx::{approx_eq_f64, DEFAULT_TOLERANCE};
+
+/// A complex number backed by two `f64` components.
+///
+/// `qits` deliberately rolls its own complex type instead of pulling in a
+/// numerics crate: the workspace needs exactly the operations below, plus
+/// tolerance-aware helpers ([`Cplx::approx_eq`], [`Cplx::is_zero`]) that match
+/// the decision-diagram weight-interning semantics in `qits-tdd`.
+///
+/// # Example
+///
+/// ```
+/// use qits_num::Cplx;
+///
+/// let omega = Cplx::from_polar(1.0, std::f64::consts::FRAC_PI_4);
+/// assert!((omega * omega.conj()).approx_eq(Cplx::ONE));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Cplx {
+    /// Real component.
+    pub re: f64,
+    /// Imaginary component.
+    pub im: f64,
+}
+
+impl Cplx {
+    /// The additive identity `0 + 0i`.
+    pub const ZERO: Cplx = Cplx { re: 0.0, im: 0.0 };
+    /// The multiplicative identity `1 + 0i`.
+    pub const ONE: Cplx = Cplx { re: 1.0, im: 0.0 };
+    /// The imaginary unit `0 + 1i`.
+    pub const I: Cplx = Cplx { re: 0.0, im: 1.0 };
+    /// `-1 + 0i`.
+    pub const NEG_ONE: Cplx = Cplx { re: -1.0, im: 0.0 };
+    /// `1/sqrt(2)`, the ubiquitous Hadamard amplitude.
+    pub const FRAC_1_SQRT_2: Cplx = Cplx {
+        re: std::f64::consts::FRAC_1_SQRT_2,
+        im: 0.0,
+    };
+
+    /// Creates a complex number from rectangular components.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Cplx { re, im }
+    }
+
+    /// Creates a real-valued complex number.
+    #[inline]
+    pub const fn real(re: f64) -> Self {
+        Cplx { re, im: 0.0 }
+    }
+
+    /// Creates a complex number from polar coordinates `r * e^{i theta}`.
+    ///
+    /// ```
+    /// use qits_num::Cplx;
+    /// let minus_one = Cplx::from_polar(1.0, std::f64::consts::PI);
+    /// assert!(minus_one.approx_eq(Cplx::NEG_ONE));
+    /// ```
+    #[inline]
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        Cplx::new(r * theta.cos(), r * theta.sin())
+    }
+
+    /// The complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Cplx::new(self.re, -self.im)
+    }
+
+    /// The squared magnitude `|z|^2`. Cheaper than [`Cplx::abs`].
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// The magnitude `|z|`.
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// The argument (phase angle) in radians.
+    #[inline]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// The multiplicative inverse `1/z`.
+    ///
+    /// Returns [`Cplx::ZERO`] divided by zero semantics (infinities/NaN) if
+    /// `self` is exactly zero; callers in this workspace guard with
+    /// [`Cplx::is_zero`] first.
+    #[inline]
+    pub fn recip(self) -> Self {
+        let d = self.norm_sqr();
+        Cplx::new(self.re / d, -self.im / d)
+    }
+
+    /// The principal square root.
+    #[inline]
+    pub fn sqrt(self) -> Self {
+        Cplx::from_polar(self.abs().sqrt(), self.arg() / 2.0)
+    }
+
+    /// Whether both components are within [`DEFAULT_TOLERANCE`] of zero.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.is_zero_with(DEFAULT_TOLERANCE)
+    }
+
+    /// Whether both components are within `tol` of zero.
+    #[inline]
+    pub fn is_zero_with(self, tol: f64) -> bool {
+        self.re.abs() <= tol && self.im.abs() <= tol
+    }
+
+    /// Component-wise approximate equality at [`DEFAULT_TOLERANCE`].
+    #[inline]
+    pub fn approx_eq(self, other: Cplx) -> bool {
+        self.approx_eq_with(other, DEFAULT_TOLERANCE)
+    }
+
+    /// Component-wise approximate equality at tolerance `tol`.
+    #[inline]
+    pub fn approx_eq_with(self, other: Cplx, tol: f64) -> bool {
+        approx_eq_f64(self.re, other.re, tol) && approx_eq_f64(self.im, other.im, tol)
+    }
+
+    /// Scales by a real factor.
+    #[inline]
+    pub fn scale(self, k: f64) -> Self {
+        Cplx::new(self.re * k, self.im * k)
+    }
+}
+
+impl From<f64> for Cplx {
+    fn from(re: f64) -> Self {
+        Cplx::real(re)
+    }
+}
+
+impl Add for Cplx {
+    type Output = Cplx;
+    #[inline]
+    fn add(self, rhs: Cplx) -> Cplx {
+        Cplx::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl AddAssign for Cplx {
+    #[inline]
+    fn add_assign(&mut self, rhs: Cplx) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Cplx {
+    type Output = Cplx;
+    #[inline]
+    fn sub(self, rhs: Cplx) -> Cplx {
+        Cplx::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl SubAssign for Cplx {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Cplx) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul for Cplx {
+    type Output = Cplx;
+    #[inline]
+    fn mul(self, rhs: Cplx) -> Cplx {
+        Cplx::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl MulAssign for Cplx {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Cplx) {
+        *self = *self * rhs;
+    }
+}
+
+impl Div for Cplx {
+    type Output = Cplx;
+    #[inline]
+    fn div(self, rhs: Cplx) -> Cplx {
+        self * rhs.recip()
+    }
+}
+
+impl DivAssign for Cplx {
+    #[inline]
+    fn div_assign(&mut self, rhs: Cplx) {
+        *self = *self / rhs;
+    }
+}
+
+impl Neg for Cplx {
+    type Output = Cplx;
+    #[inline]
+    fn neg(self) -> Cplx {
+        Cplx::new(-self.re, -self.im)
+    }
+}
+
+impl Mul<f64> for Cplx {
+    type Output = Cplx;
+    #[inline]
+    fn mul(self, rhs: f64) -> Cplx {
+        self.scale(rhs)
+    }
+}
+
+impl Sum for Cplx {
+    fn sum<I: Iterator<Item = Cplx>>(iter: I) -> Cplx {
+        iter.fold(Cplx::ZERO, |a, b| a + b)
+    }
+}
+
+impl Product for Cplx {
+    fn product<I: Iterator<Item = Cplx>>(iter: I) -> Cplx {
+        iter.fold(Cplx::ONE, |a, b| a * b)
+    }
+}
+
+impl fmt::Display for Cplx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im == 0.0 {
+            write!(f, "{}", self.re)
+        } else if self.re == 0.0 {
+            write!(f, "{}i", self.im)
+        } else if self.im < 0.0 {
+            write!(f, "{}{}i", self.re, self.im)
+        } else {
+            write!(f, "{}+{}i", self.re, self.im)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_behave() {
+        assert_eq!(Cplx::ONE + Cplx::NEG_ONE, Cplx::ZERO);
+        assert_eq!(Cplx::I * Cplx::I, Cplx::NEG_ONE);
+        assert!((Cplx::FRAC_1_SQRT_2.norm_sqr() - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn arithmetic_identities() {
+        let a = Cplx::new(1.5, -2.0);
+        let b = Cplx::new(-0.25, 3.0);
+        assert!((a + b - b).approx_eq(a));
+        assert!((a * b / b).approx_eq(a));
+        assert!((-a + a).approx_eq(Cplx::ZERO));
+        assert!((a * a.recip()).approx_eq(Cplx::ONE));
+    }
+
+    #[test]
+    fn conjugation_and_norm() {
+        let a = Cplx::new(3.0, 4.0);
+        assert_eq!(a.conj().im, -4.0);
+        assert_eq!(a.norm_sqr(), 25.0);
+        assert_eq!(a.abs(), 5.0);
+        assert!((a * a.conj()).approx_eq(Cplx::real(25.0)));
+    }
+
+    #[test]
+    fn polar_roundtrip() {
+        let z = Cplx::new(-1.0, 1.0);
+        let back = Cplx::from_polar(z.abs(), z.arg());
+        assert!(back.approx_eq(z));
+    }
+
+    #[test]
+    fn sqrt_squares_back() {
+        for &z in &[Cplx::new(2.0, 0.0), Cplx::new(0.0, 1.0), Cplx::new(-3.0, 4.0)] {
+            let r = z.sqrt();
+            assert!((r * r).approx_eq(z), "sqrt({z}) = {r}");
+        }
+    }
+
+    #[test]
+    fn zero_detection_uses_tolerance() {
+        assert!(Cplx::new(1e-14, -1e-14).is_zero());
+        assert!(!Cplx::new(1e-6, 0.0).is_zero());
+        assert!(Cplx::new(0.1, 0.0).is_zero_with(0.2));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Cplx::real(2.0).to_string(), "2");
+        assert_eq!(Cplx::new(0.0, -1.0).to_string(), "-1i");
+        assert_eq!(Cplx::new(1.0, 1.0).to_string(), "1+1i");
+        assert_eq!(Cplx::new(1.0, -1.0).to_string(), "1-1i");
+    }
+
+    #[test]
+    fn sums_and_products() {
+        let xs = [Cplx::ONE, Cplx::I, Cplx::NEG_ONE];
+        let s: Cplx = xs.iter().copied().sum();
+        assert!(s.approx_eq(Cplx::I));
+        let p: Cplx = xs.iter().copied().product();
+        assert!(p.approx_eq(-Cplx::I));
+    }
+}

@@ -1,0 +1,140 @@
+//! Dense vector routines used as reference implementations.
+//!
+//! The `qits` core crate performs all subspace arithmetic symbolically on
+//! TDDs; these dense equivalents exist so tests can check the symbolic
+//! pipeline against textbook linear algebra on small systems.
+
+use crate::{Cplx, DEFAULT_TOLERANCE};
+
+/// Hermitian inner product `<a|b>` (conjugate-linear in the first argument).
+///
+/// # Panics
+///
+/// Panics if the vectors have different lengths.
+pub fn inner(a: &[Cplx], b: &[Cplx]) -> Cplx {
+    assert_eq!(a.len(), b.len(), "inner product dimension mismatch");
+    a.iter().zip(b.iter()).map(|(x, y)| x.conj() * *y).sum()
+}
+
+/// Euclidean norm of a complex vector.
+pub fn norm(v: &[Cplx]) -> f64 {
+    inner(v, v).re.max(0.0).sqrt()
+}
+
+/// Scales `v` in place by `k`.
+pub fn scale_in_place(v: &mut [Cplx], k: Cplx) {
+    for x in v.iter_mut() {
+        *x *= k;
+    }
+}
+
+/// Returns `a - k*b` element-wise.
+///
+/// # Panics
+///
+/// Panics if the vectors have different lengths.
+pub fn axpy_neg(a: &[Cplx], k: Cplx, b: &[Cplx]) -> Vec<Cplx> {
+    assert_eq!(a.len(), b.len(), "axpy dimension mismatch");
+    a.iter().zip(b.iter()).map(|(x, y)| *x - k * *y).collect()
+}
+
+/// Orthonormalises `vectors` with modified Gram–Schmidt, dropping
+/// numerically-zero residuals.
+///
+/// This is the dense mirror of the paper's subspace-join procedure
+/// (Section IV-B): the result spans the same space and is orthonormal.
+///
+/// ```
+/// use qits_num::{Cplx, linalg::gram_schmidt};
+/// let e0 = vec![Cplx::ONE, Cplx::ZERO];
+/// let sum = vec![Cplx::ONE, Cplx::ONE];
+/// let basis = gram_schmidt(&[e0, sum]);
+/// assert_eq!(basis.len(), 2);
+/// ```
+pub fn gram_schmidt(vectors: &[Vec<Cplx>]) -> Vec<Vec<Cplx>> {
+    let mut basis: Vec<Vec<Cplx>> = Vec::new();
+    for v in vectors {
+        let mut u = v.clone();
+        for b in &basis {
+            let c = inner(b, &u);
+            u = axpy_neg(&u, c, b);
+        }
+        let n = norm(&u);
+        if n > DEFAULT_TOLERANCE.sqrt() {
+            scale_in_place(&mut u, Cplx::real(1.0 / n));
+            basis.push(u);
+        }
+    }
+    basis
+}
+
+/// The rank of the span of `vectors` (dimension of the subspace).
+pub fn rank(vectors: &[Vec<Cplx>]) -> usize {
+    gram_schmidt(vectors).len()
+}
+
+/// Whether `v` lies in the span of the orthonormal set `basis`, within the
+/// default tolerance.
+pub fn in_span(basis: &[Vec<Cplx>], v: &[Cplx]) -> bool {
+    let mut residual = v.to_vec();
+    for b in basis {
+        let c = inner(b, &residual);
+        residual = axpy_neg(&residual, c, b);
+    }
+    norm(&residual) <= DEFAULT_TOLERANCE.sqrt() * (v.len() as f64).sqrt().max(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(re: f64) -> Cplx {
+        Cplx::real(re)
+    }
+
+    #[test]
+    fn inner_product_conjugates_left() {
+        let a = vec![Cplx::I];
+        let b = vec![Cplx::ONE];
+        assert!(inner(&a, &b).approx_eq(-Cplx::I));
+        assert!(inner(&b, &a).approx_eq(Cplx::I));
+    }
+
+    #[test]
+    fn norm_of_unit_vectors() {
+        let v = vec![Cplx::FRAC_1_SQRT_2, Cplx::FRAC_1_SQRT_2];
+        assert!((norm(&v) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gram_schmidt_orthonormalises() {
+        let v1 = vec![c(1.0), c(1.0), c(0.0)];
+        let v2 = vec![c(1.0), c(0.0), c(1.0)];
+        let basis = gram_schmidt(&[v1, v2]);
+        assert_eq!(basis.len(), 2);
+        assert!((norm(&basis[0]) - 1.0).abs() < 1e-10);
+        assert!((norm(&basis[1]) - 1.0).abs() < 1e-10);
+        assert!(inner(&basis[0], &basis[1]).is_zero_with(1e-10));
+    }
+
+    #[test]
+    fn gram_schmidt_drops_dependent_vectors() {
+        let v1 = vec![c(1.0), c(0.0)];
+        let v2 = vec![c(2.0), c(0.0)];
+        let v3 = vec![c(0.0), c(3.0)];
+        assert_eq!(rank(&[v1, v2, v3]), 2);
+    }
+
+    #[test]
+    fn span_membership() {
+        let basis = gram_schmidt(&[vec![c(1.0), c(1.0)]]);
+        assert!(in_span(&basis, &[c(2.0), c(2.0)]));
+        assert!(!in_span(&basis, &[c(1.0), c(-1.0)]));
+    }
+
+    #[test]
+    fn empty_rank_is_zero() {
+        assert_eq!(rank(&[]), 0);
+        assert_eq!(rank(&[vec![Cplx::ZERO, Cplx::ZERO]]), 0);
+    }
+}

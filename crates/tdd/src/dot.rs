@@ -1,0 +1,127 @@
+//! Graphviz export, reproducing the visual conventions of the paper's
+//! Fig. 1: one oval per node labelled with its index, blue edges for index
+//! value 0, red for 1, edge labels showing non-unit weights, and the
+//! incoming root edge carrying the global factor.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use crate::manager::TddManager;
+use crate::node::{Edge, NodeId};
+
+impl TddManager {
+    /// Renders the diagram rooted at `e` as a Graphviz `digraph`.
+    ///
+    /// ```
+    /// use qits_tensor::Var;
+    /// use qits_tdd::TddManager;
+    ///
+    /// let mut m = TddManager::new();
+    /// let ket = m.basis_ket(&[Var(0)], &[true]);
+    /// let dot = m.to_dot(ket, "ket1");
+    /// assert!(dot.contains("digraph"));
+    /// ```
+    pub fn to_dot(&self, e: Edge, name: &str) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "digraph \"{name}\" {{");
+        let _ = writeln!(out, "  rankdir=TB;");
+        let _ = writeln!(out, "  node [shape=circle, fontsize=10];");
+        let _ = writeln!(out, "  entry [shape=point, style=invis];");
+
+        let mut ids: HashMap<NodeId, usize> = HashMap::new();
+        let mut order: Vec<NodeId> = Vec::new();
+        let mut stack = vec![e.node];
+        while let Some(n) = stack.pop() {
+            if ids.contains_key(&n) {
+                continue;
+            }
+            ids.insert(n, order.len());
+            order.push(n);
+            if !n.is_terminal() {
+                let node = self.node(n);
+                stack.push(node.low.node);
+                stack.push(node.high.node);
+            }
+        }
+
+        for n in &order {
+            let id = ids[n];
+            if n.is_terminal() {
+                let _ = writeln!(out, "  n{id} [shape=box, label=\"1\"];");
+            } else {
+                let node = self.node(*n);
+                let _ = writeln!(out, "  n{id} [label=\"{}\"];", node.var);
+            }
+        }
+
+        let root_w = self.weight_value(e.weight);
+        let _ = writeln!(
+            out,
+            "  entry -> n{} [label=\"{root_w}\"];",
+            ids[&e.node]
+        );
+
+        for n in &order {
+            if n.is_terminal() {
+                continue;
+            }
+            let node = self.node(*n);
+            let id = ids[n];
+            for (succ, colour) in [(node.low, "blue"), (node.high, "red")] {
+                if succ.is_zero() {
+                    continue; // the paper omits weight-0 edges
+                }
+                let w = self.weight_value(succ.weight);
+                let label = if succ.weight.is_one() {
+                    String::new()
+                } else {
+                    format!(" [label=\"{w}\", color={colour}]")
+                };
+                if label.is_empty() {
+                    let _ = writeln!(
+                        out,
+                        "  n{id} -> n{} [color={colour}];",
+                        ids[&succ.node]
+                    );
+                } else {
+                    let _ = writeln!(out, "  n{id} -> n{}{label};", ids[&succ.node]);
+                }
+            }
+        }
+        let _ = writeln!(out, "}}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qits_num::Cplx;
+    use qits_tensor::Var;
+
+    #[test]
+    fn dot_contains_nodes_and_colours() {
+        let mut m = TddManager::new();
+        let v = m.product_ket(
+            &[Var::wire(0, 0), Var::wire(1, 0)],
+            &[
+                (Cplx::FRAC_1_SQRT_2, Cplx::FRAC_1_SQRT_2),
+                (Cplx::ONE, Cplx::ZERO),
+            ],
+        );
+        let dot = m.to_dot(v, "test");
+        assert!(dot.contains("digraph \"test\""));
+        assert!(dot.contains("color=blue"));
+        assert!(dot.contains("q1.0"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn zero_edges_omitted() {
+        let mut m = TddManager::new();
+        let k = m.basis_ket(&[Var(0)], &[false]);
+        let dot = m.to_dot(k, "k0");
+        // |0> has a zero high edge — no red edge should be drawn.
+        assert!(!dot.contains("color=red"));
+    }
+}

@@ -1,0 +1,674 @@
+//! The TDD manager: node arena, unique table, and constructors.
+
+use std::collections::BTreeMap;
+
+use qits_num::{Cplx, Mat};
+use qits_tensor::{Tensor, Var, VarSet};
+
+use crate::cnum::{CIdx, ComplexTable};
+use crate::hash::FastMap;
+use crate::node::{Edge, Node, NodeId, TERMINAL, TERMINAL_VAR};
+use crate::stats::ManagerStats;
+
+/// Owns every node and weight of a family of TDDs and implements all
+/// operations on them.
+///
+/// All edges ([`Edge`]) are only meaningful relative to the manager that
+/// created them. The manager enforces the two invariants that give TDDs
+/// canonicity:
+///
+/// 1. **Reduction** — no node has identical low and high edges, and the zero
+///    tensor is always the canonical zero edge;
+/// 2. **Normalisation** — among each node's outgoing weights, the one with
+///    the largest magnitude (the low one on ties) is exactly 1, with the
+///    common factor pushed to the incoming edge.
+///
+/// There is no garbage collection: the arena only grows. Image computations
+/// are bounded runs; create a fresh manager per experiment (cheap) or call
+/// [`TddManager::clear_caches`] between phases to bound cache growth.
+#[derive(Debug)]
+pub struct TddManager {
+    nodes: Vec<Node>,
+    unique: FastMap<Node, NodeId>,
+    table: ComplexTable,
+    pub(crate) add_cache: FastMap<(Edge, Edge), Edge>,
+    pub(crate) stats: ManagerStats,
+}
+
+impl Default for TddManager {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TddManager {
+    /// Creates an empty manager with the default weight tolerance.
+    pub fn new() -> Self {
+        Self::with_tolerance(qits_num::DEFAULT_TOLERANCE)
+    }
+
+    /// Creates an empty manager with a custom weight tolerance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tol` is not strictly positive and finite.
+    pub fn with_tolerance(tol: f64) -> Self {
+        let mut nodes = Vec::with_capacity(1 << 12);
+        // Slot 0 is the terminal; its fields are never read through edges.
+        nodes.push(Node {
+            var: TERMINAL_VAR,
+            low: Edge::ZERO,
+            high: Edge::ZERO,
+        });
+        TddManager {
+            nodes,
+            unique: FastMap::default(),
+            table: ComplexTable::with_tolerance(tol),
+            add_cache: FastMap::default(),
+            stats: ManagerStats::default(),
+        }
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> &ManagerStats {
+        &self.stats
+    }
+
+    /// Total nodes ever created (including the terminal).
+    pub fn arena_len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Drops all operation caches (unique table and arena are kept).
+    ///
+    /// Useful between phases of a long run to bound memory; results built so
+    /// far remain valid.
+    pub fn clear_caches(&mut self) {
+        self.add_cache.clear();
+    }
+
+    // ------------------------------------------------------------------
+    // Weight arithmetic (interned).
+    // ------------------------------------------------------------------
+
+    /// The complex value behind an interned weight.
+    #[inline]
+    pub fn weight_value(&self, w: CIdx) -> Cplx {
+        self.table.value(w)
+    }
+
+    /// Interns a complex value.
+    #[inline]
+    pub fn intern(&mut self, c: Cplx) -> CIdx {
+        self.table.intern(c)
+    }
+
+    #[inline]
+    pub(crate) fn cmul(&mut self, a: CIdx, b: CIdx) -> CIdx {
+        if a.is_zero() || b.is_zero() {
+            return CIdx::ZERO;
+        }
+        if a.is_one() {
+            return b;
+        }
+        if b.is_one() {
+            return a;
+        }
+        let v = self.table.value(a) * self.table.value(b);
+        self.table.intern(v)
+    }
+
+    #[inline]
+    pub(crate) fn cadd(&mut self, a: CIdx, b: CIdx) -> CIdx {
+        if a.is_zero() {
+            return b;
+        }
+        if b.is_zero() {
+            return a;
+        }
+        let v = self.table.value(a) + self.table.value(b);
+        self.table.intern(v)
+    }
+
+    #[inline]
+    pub(crate) fn cdiv(&mut self, a: CIdx, b: CIdx) -> CIdx {
+        debug_assert!(!b.is_zero(), "division by interned zero");
+        if a.is_zero() {
+            return CIdx::ZERO;
+        }
+        if b.is_one() {
+            return a;
+        }
+        if a == b {
+            return CIdx::ONE;
+        }
+        let v = self.table.value(a) / self.table.value(b);
+        self.table.intern(v)
+    }
+
+    #[inline]
+    pub(crate) fn cconj(&mut self, a: CIdx) -> CIdx {
+        let v = self.table.value(a).conj();
+        self.table.intern(v)
+    }
+
+    // ------------------------------------------------------------------
+    // Node construction.
+    // ------------------------------------------------------------------
+
+    /// The variable of the node behind an edge ([`TERMINAL_VAR`] sentinel —
+    /// larger than any real variable — for the terminal).
+    #[inline]
+    pub(crate) fn var_of(&self, n: NodeId) -> Var {
+        self.nodes[n.0 as usize].var
+    }
+
+    /// The variable labelling the root node of `e`, or `None` for scalars.
+    pub fn top_var(&self, e: Edge) -> Option<Var> {
+        if e.is_terminal() {
+            None
+        } else {
+            Some(self.var_of(e.node))
+        }
+    }
+
+    #[inline]
+    pub(crate) fn node(&self, n: NodeId) -> &Node {
+        &self.nodes[n.0 as usize]
+    }
+
+    /// Low/high cofactor edges of `e` with respect to variable `x`.
+    ///
+    /// If the root of `e` is labelled `x`, these are its successors with the
+    /// root weight multiplied in; if the diagram does not depend on `x`
+    /// (root variable greater than `x`), both cofactors are `e` itself.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug) if the root variable is *smaller* than `x`:
+    /// cofactors must be taken in variable order.
+    pub fn cofactors(&mut self, e: Edge, x: Var) -> (Edge, Edge) {
+        if e.is_terminal() || self.var_of(e.node) > x {
+            return (e, e);
+        }
+        debug_assert_eq!(self.var_of(e.node), x, "cofactor below root variable");
+        let Node { low, high, .. } = *self.node(e.node);
+        let lo = self.mul_weight(low, e.weight);
+        let hi = self.mul_weight(high, e.weight);
+        (lo, hi)
+    }
+
+    /// Multiplies an edge's weight by `w`, preserving the zero invariant.
+    #[inline]
+    pub(crate) fn mul_weight(&mut self, e: Edge, w: CIdx) -> Edge {
+        if w.is_one() {
+            return e;
+        }
+        let nw = self.cmul(e.weight, w);
+        if nw.is_zero() {
+            Edge::ZERO
+        } else {
+            e.with_weight(nw)
+        }
+    }
+
+    /// Creates (or finds) the node `var ? high : low` and returns the
+    /// normalised edge to it.
+    ///
+    /// This is the single entry point through which every diagram is built;
+    /// it applies the reduction and normalisation rules, so any two calls
+    /// describing the same tensor return identical edges.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug) if a successor's root variable does not come after
+    /// `var` in the global order.
+    pub fn make_node(&mut self, var: Var, low: Edge, high: Edge) -> Edge {
+        debug_assert!(
+            low.is_terminal() || self.var_of(low.node) > var,
+            "low successor out of order"
+        );
+        debug_assert!(
+            high.is_terminal() || self.var_of(high.node) > var,
+            "high successor out of order"
+        );
+        // Redundant node: both branches denote the same tensor.
+        if low == high {
+            return low;
+        }
+        // Normalise: the largest-magnitude outgoing weight becomes 1.
+        let (wl, wh) = (low.weight, high.weight);
+        let pivot = if wl.is_zero() {
+            wh
+        } else if wh.is_zero() {
+            wl
+        } else {
+            let (al, ah) = (
+                self.table.value(wl).abs(),
+                self.table.value(wh).abs(),
+            );
+            if al >= ah {
+                wl
+            } else {
+                wh
+            }
+        };
+        debug_assert!(!pivot.is_zero(), "both branches zero should have reduced");
+        let nl = if wl == pivot {
+            low.with_weight(if wl.is_zero() { CIdx::ZERO } else { CIdx::ONE })
+        } else {
+            let w = self.cdiv(wl, pivot);
+            if w.is_zero() {
+                Edge::ZERO
+            } else {
+                low.with_weight(w)
+            }
+        };
+        let nh = if wh == pivot && wl != pivot {
+            high.with_weight(CIdx::ONE)
+        } else {
+            let w = self.cdiv(wh, pivot);
+            if w.is_zero() {
+                Edge::ZERO
+            } else {
+                high.with_weight(w)
+            }
+        };
+        // Division may round a near-tie to make branches equal after all.
+        if nl == nh {
+            return self.mul_weight(nl, pivot);
+        }
+        let node = Node {
+            var,
+            low: nl,
+            high: nh,
+        };
+        let id = match self.unique.get(&node) {
+            Some(&id) => id,
+            None => {
+                let id = NodeId(u32::try_from(self.nodes.len()).expect("node arena overflow"));
+                self.nodes.push(node);
+                self.unique.insert(node, id);
+                self.stats.nodes_created += 1;
+                self.stats.peak_arena = self.stats.peak_arena.max(self.nodes.len());
+                id
+            }
+        };
+        Edge {
+            node: id,
+            weight: pivot,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Constructors for common tensors.
+    // ------------------------------------------------------------------
+
+    /// The scalar tensor with the given value.
+    pub fn constant(&mut self, c: Cplx) -> Edge {
+        let w = self.intern(c);
+        if w.is_zero() {
+            Edge::ZERO
+        } else {
+            Edge {
+                node: TERMINAL,
+                weight: w,
+            }
+        }
+    }
+
+    /// The rank-1 selector tensor over `var`: `[1, 0]` if `value` is false,
+    /// `[0, 1]` if true. This is `<var = value>` — the building block for
+    /// basis kets and control legs.
+    pub fn selector(&mut self, var: Var, value: bool) -> Edge {
+        if value {
+            self.make_node(var, Edge::ZERO, Edge::ONE)
+        } else {
+            self.make_node(var, Edge::ONE, Edge::ZERO)
+        }
+    }
+
+    /// The identity tensor `delta(x, y)` over two variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x >= y` (variables must respect the global order).
+    pub fn identity(&mut self, x: Var, y: Var) -> Edge {
+        assert!(x < y, "identity requires x < y in the variable order");
+        let y0 = self.selector(y, false);
+        let y1 = self.selector(y, true);
+        self.make_node(x, y0, y1)
+    }
+
+    /// The computational-basis ket `|bits>` over the given variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ or variables are not strictly ascending.
+    pub fn basis_ket(&mut self, vars: &[Var], bits: &[bool]) -> Edge {
+        assert_eq!(vars.len(), bits.len(), "one bit per variable");
+        assert!(
+            vars.windows(2).all(|w| w[0] < w[1]),
+            "variables must be ascending"
+        );
+        let mut e = Edge::ONE;
+        for (&v, &b) in vars.iter().zip(bits.iter()).rev() {
+            e = if b {
+                self.make_node(v, Edge::ZERO, e)
+            } else {
+                self.make_node(v, e, Edge::ZERO)
+            };
+        }
+        e
+    }
+
+    /// A product state: qubit `i` in state `amps[i] = (alpha, beta)` meaning
+    /// `alpha|0> + beta|1>` on variable `vars[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ or variables are not strictly ascending.
+    pub fn product_ket(&mut self, vars: &[Var], amps: &[(Cplx, Cplx)]) -> Edge {
+        assert_eq!(vars.len(), amps.len(), "one amplitude pair per variable");
+        assert!(
+            vars.windows(2).all(|w| w[0] < w[1]),
+            "variables must be ascending"
+        );
+        let mut e = Edge::ONE;
+        for (&v, &(a, b)) in vars.iter().zip(amps.iter()).rev() {
+            let wa = self.intern(a);
+            let wb = self.intern(b);
+            let lo = self.mul_weight(e, wa);
+            let hi = self.mul_weight(e, wb);
+            e = self.make_node(v, lo, hi);
+        }
+        e
+    }
+
+    // ------------------------------------------------------------------
+    // Evaluation and dense conversion.
+    // ------------------------------------------------------------------
+
+    /// Evaluates the tensor at a (partial) assignment.
+    ///
+    /// Variables the diagram does not depend on may be omitted; variables it
+    /// *does* depend on must be present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the diagram branches on a variable missing from `asn`.
+    pub fn eval(&self, e: Edge, asn: &BTreeMap<Var, bool>) -> Cplx {
+        let mut acc = self.table.value(e.weight);
+        let mut cur = e;
+        while !cur.is_terminal() && !acc.is_zero() {
+            let n = self.node(cur.node);
+            let bit = *asn
+                .get(&n.var)
+                .unwrap_or_else(|| panic!("assignment missing variable {}", n.var));
+            cur = if bit { n.high } else { n.low };
+            acc *= self.table.value(cur.weight);
+        }
+        acc
+    }
+
+    /// Builds a TDD from a dense tensor.
+    pub fn from_tensor(&mut self, t: &Tensor) -> Edge {
+        let vars: Vec<Var> = t.vars().iter().collect();
+        self.from_tensor_rec(t, &vars)
+    }
+
+    fn from_tensor_rec(&mut self, t: &Tensor, vars: &[Var]) -> Edge {
+        match vars.split_first() {
+            None => self.constant(t.value_at(0)),
+            Some((&v, rest)) => {
+                let lo_t = t.slice(v, false);
+                let hi_t = t.slice(v, true);
+                let lo = self.from_tensor_rec(&lo_t, rest);
+                let hi = self.from_tensor_rec(&hi_t, rest);
+                self.make_node(v, lo, hi)
+            }
+        }
+    }
+
+    /// Builds the TDD of a `2^k x 2^k` matrix over explicit column and row
+    /// variables (see [`Tensor::from_matrix`] for conventions).
+    pub fn from_matrix(&mut self, m: &Mat, col_vars: &[Var], row_vars: &[Var]) -> Edge {
+        let t = Tensor::from_matrix(m, col_vars, row_vars);
+        self.from_tensor(&t)
+    }
+
+    /// Expands the TDD to a dense tensor over `vars` (which must contain the
+    /// diagram's support).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the diagram depends on a variable not listed in `vars`.
+    pub fn to_tensor(&self, e: Edge, vars: &[Var]) -> Tensor {
+        let sorted: Vec<Var> = {
+            let mut v = vars.to_vec();
+            v.sort_unstable();
+            v.dedup();
+            v
+        };
+        let k = sorted.len();
+        let mut data = vec![Cplx::ZERO; 1 << k];
+        let mut asn = BTreeMap::new();
+        for (bits, slot) in data.iter_mut().enumerate() {
+            asn.clear();
+            for (i, &v) in sorted.iter().enumerate() {
+                asn.insert(v, (bits >> (k - 1 - i)) & 1 == 1);
+            }
+            *slot = self.eval(e, &asn);
+        }
+        Tensor::new(sorted, data)
+    }
+
+    /// The set of variables the diagram actually depends on.
+    pub fn support(&self, e: Edge) -> VarSet {
+        let mut seen = std::collections::HashSet::new();
+        let mut vars = Vec::new();
+        let mut stack = vec![e.node];
+        while let Some(n) = stack.pop() {
+            if n.is_terminal() || !seen.insert(n) {
+                continue;
+            }
+            let node = self.node(n);
+            vars.push(node.var);
+            stack.push(node.low.node);
+            stack.push(node.high.node);
+        }
+        VarSet::from_iter(vars)
+    }
+
+    /// Number of distinct non-terminal nodes reachable from `e`.
+    ///
+    /// This is the "#node" metric of the paper's Table I.
+    pub fn node_count(&self, e: Edge) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        let mut stack = vec![e.node];
+        let mut count = 0usize;
+        while let Some(n) = stack.pop() {
+            if n.is_terminal() || !seen.insert(n) {
+                continue;
+            }
+            count += 1;
+            let node = self.node(n);
+            stack.push(node.low.node);
+            stack.push(node.high.node);
+        }
+        count
+    }
+
+    /// The lexicographically smallest assignment of `vars` on which the
+    /// tensor is non-zero, or `None` for the zero tensor.
+    ///
+    /// "Lexicographically smallest" orders assignments by the given
+    /// (ascending) variable order with `false < true` — i.e. it finds the
+    /// *leftmost non-zero path* of the paper's Section IV-A, used there to
+    /// locate the first non-zero column of a projector. Variables in `vars`
+    /// the diagram does not branch on are reported `false`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the diagram depends on a variable missing from `vars`.
+    pub fn first_nonzero_assignment(&self, e: Edge, vars: &[Var]) -> Option<Vec<bool>> {
+        if e.is_zero() {
+            return None;
+        }
+        let mut out = vec![false; vars.len()];
+        let mut cur = e;
+        let mut i = 0usize;
+        while !cur.is_terminal() {
+            let n = self.node(cur.node);
+            while i < vars.len() && vars[i] < n.var {
+                i += 1; // skipped variable: don't-care, keep false
+            }
+            assert!(
+                i < vars.len() && vars[i] == n.var,
+                "diagram depends on {} not listed in vars",
+                n.var
+            );
+            // Normalisation guarantees at least one non-zero branch.
+            if n.low.is_zero() {
+                out[i] = true;
+                cur = n.high;
+            } else {
+                out[i] = false;
+                cur = n.low;
+            }
+            i += 1;
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn asn(pairs: &[(u32, bool)]) -> BTreeMap<Var, bool> {
+        pairs.iter().map(|&(v, b)| (Var(v), b)).collect()
+    }
+
+    #[test]
+    fn make_node_reduces_redundant() {
+        let mut m = TddManager::new();
+        let e = m.make_node(Var(0), Edge::ONE, Edge::ONE);
+        assert_eq!(e, Edge::ONE);
+    }
+
+    #[test]
+    fn make_node_is_hash_consed() {
+        let mut m = TddManager::new();
+        let a = m.selector(Var(3), true);
+        let b = m.selector(Var(3), true);
+        assert_eq!(a, b);
+        assert_eq!(m.stats().nodes_created, 1);
+    }
+
+    #[test]
+    fn normalisation_pushes_largest_weight_up() {
+        let mut m = TddManager::new();
+        // Build [2, 1] over var 0: root weight must be 2, low branch 1,
+        // high branch 0.5.
+        let two = m.constant(Cplx::real(2.0));
+        let e = m.make_node(Var(0), two, Edge::ONE);
+        assert!(m.weight_value(e.weight).approx_eq(Cplx::real(2.0)));
+        let n = *m.node(e.node);
+        assert!(n.low.weight.is_one());
+        assert!(m.weight_value(n.high.weight).approx_eq(Cplx::real(0.5)));
+    }
+
+    #[test]
+    fn canonicity_same_tensor_same_edge() {
+        let mut m = TddManager::new();
+        // Two different construction orders of the same tensor [1,1,1,-1].
+        let h = Cplx::FRAC_1_SQRT_2;
+        let mat = Mat::from_rows(&[&[h, h], &[h, -h]]);
+        let t = Tensor::from_matrix(&mat, &[Var(0)], &[Var(1)]);
+        let a = m.from_tensor(&t);
+        let b = m.from_matrix(&mat, &[Var(0)], &[Var(1)]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn eval_multiplies_path_weights() {
+        let mut m = TddManager::new();
+        let v = m.product_ket(
+            &[Var(0), Var(1)],
+            &[
+                (Cplx::FRAC_1_SQRT_2, Cplx::FRAC_1_SQRT_2),
+                (Cplx::ONE, Cplx::ZERO),
+            ],
+        );
+        assert!(m.eval(v, &asn(&[(0, false), (1, false)])).approx_eq(Cplx::FRAC_1_SQRT_2));
+        assert!(m.eval(v, &asn(&[(0, true), (1, false)])).approx_eq(Cplx::FRAC_1_SQRT_2));
+        assert!(m.eval(v, &asn(&[(0, true), (1, true)])).approx_eq(Cplx::ZERO));
+    }
+
+    #[test]
+    fn basis_ket_roundtrip() {
+        let mut m = TddManager::new();
+        let vars = [Var(0), Var(1), Var(2)];
+        let e = m.basis_ket(&vars, &[true, false, true]);
+        assert!(m.eval(e, &asn(&[(0, true), (1, false), (2, true)])).approx_eq(Cplx::ONE));
+        assert!(m.eval(e, &asn(&[(0, true), (1, true), (2, true)])).approx_eq(Cplx::ZERO));
+        assert_eq!(m.node_count(e), 3);
+    }
+
+    #[test]
+    fn identity_tensor() {
+        let mut m = TddManager::new();
+        let e = m.identity(Var(0), Var(1));
+        assert!(m.eval(e, &asn(&[(0, false), (1, false)])).approx_eq(Cplx::ONE));
+        assert!(m.eval(e, &asn(&[(0, true), (1, true)])).approx_eq(Cplx::ONE));
+        assert!(m.eval(e, &asn(&[(0, false), (1, true)])).approx_eq(Cplx::ZERO));
+    }
+
+    #[test]
+    fn dense_roundtrip() {
+        let mut m = TddManager::new();
+        let t = Tensor::new(
+            vec![Var(0), Var(1)],
+            vec![
+                Cplx::real(0.25),
+                Cplx::new(0.0, -0.5),
+                Cplx::ZERO,
+                Cplx::real(1.0),
+            ],
+        );
+        let e = m.from_tensor(&t);
+        let back = m.to_tensor(e, &[Var(0), Var(1)]);
+        assert!(back.approx_eq(&t));
+    }
+
+    #[test]
+    fn support_skips_dont_care_vars() {
+        let mut m = TddManager::new();
+        // Tensor over vars {0,2} that doesn't depend on var 1.
+        let s0 = m.selector(Var(2), true);
+        let e = m.make_node(Var(0), s0, s0);
+        assert_eq!(e, s0); // reduced: no dependence on var 0 either
+        let sup = m.support(e);
+        assert_eq!(sup.as_slice(), &[Var(2)]);
+    }
+
+    #[test]
+    fn first_nonzero_assignment_finds_leftmost() {
+        let mut m = TddManager::new();
+        // |10> + |11> over vars 0,1: leftmost non-zero assignment is (1,0).
+        let a = m.basis_ket(&[Var(0), Var(1)], &[true, false]);
+        let b = m.basis_ket(&[Var(0), Var(1)], &[true, true]);
+        let s = m.add(a, b);
+        let path = m.first_nonzero_assignment(s, &[Var(0), Var(1)]).unwrap();
+        assert_eq!(path, vec![true, false]);
+        assert_eq!(m.first_nonzero_assignment(Edge::ZERO, &[Var(0)]), None);
+    }
+
+    #[test]
+    fn node_count_of_zero_and_scalar() {
+        let m = TddManager::new();
+        assert_eq!(m.node_count(Edge::ZERO), 0);
+        assert_eq!(m.node_count(Edge::ONE), 0);
+    }
+}

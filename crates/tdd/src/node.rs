@@ -1,0 +1,100 @@
+//! TDD nodes and edges.
+
+use qits_tensor::Var;
+
+use crate::cnum::CIdx;
+
+/// Handle to a node in a [`crate::TddManager`] arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) u32);
+
+/// The terminal node (the unique sink; represents the scalar 1).
+pub const TERMINAL: NodeId = NodeId(0);
+
+/// The pseudo-variable of the terminal node: larger than every real index.
+pub(crate) const TERMINAL_VAR: Var = Var(u32::MAX);
+
+impl NodeId {
+    /// Whether this is the terminal node.
+    #[inline]
+    pub fn is_terminal(self) -> bool {
+        self == TERMINAL
+    }
+}
+
+/// A weighted edge: the unit of every TDD operation.
+///
+/// The tensor denoted by an edge is `weight * tensor(node)`. The **zero
+/// edge** — weight [`CIdx::ZERO`] into the terminal — is the canonical
+/// representation of the all-zero tensor; managers never produce an edge
+/// with zero weight into a non-terminal node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Edge {
+    /// Target node.
+    pub node: NodeId,
+    /// Interned weight multiplying the whole sub-tensor.
+    pub weight: CIdx,
+}
+
+impl Edge {
+    /// The canonical zero edge.
+    pub const ZERO: Edge = Edge {
+        node: TERMINAL,
+        weight: CIdx::ZERO,
+    };
+
+    /// The canonical one edge (scalar 1).
+    pub const ONE: Edge = Edge {
+        node: TERMINAL,
+        weight: CIdx::ONE,
+    };
+
+    /// Whether this is the zero edge (represents the zero tensor).
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.weight.is_zero()
+    }
+
+    /// Whether the edge points at the terminal (a scalar).
+    #[inline]
+    pub fn is_terminal(self) -> bool {
+        self.node.is_terminal()
+    }
+
+    /// This edge with its weight replaced (used internally when factoring
+    /// weights out of cached operations).
+    #[inline]
+    pub(crate) fn with_weight(self, weight: CIdx) -> Edge {
+        Edge {
+            node: self.node,
+            weight,
+        }
+    }
+}
+
+/// An internal node: an index variable plus low/high successors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) struct Node {
+    pub var: Var,
+    pub low: Edge,
+    pub high: Edge,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_edge_is_zero() {
+        assert!(Edge::ZERO.is_zero());
+        assert!(!Edge::ONE.is_zero());
+        assert!(Edge::ONE.is_terminal());
+    }
+
+    #[test]
+    fn terminal_var_is_maximal() {
+        // u32::MAX itself is reserved for the terminal sentinel.
+        assert!(Var::wire(65534, 65535) < TERMINAL_VAR);
+        assert!(Var::wire(65535, 65534) < TERMINAL_VAR);
+    }
+}

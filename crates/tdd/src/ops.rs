@@ -1,0 +1,523 @@
+//! Tensor operations on TDDs: addition, contraction, slicing, conjugation,
+//! scaling, renaming, and inner products.
+
+use std::collections::BTreeMap;
+
+use qits_num::Cplx;
+use qits_tensor::Var;
+
+use crate::cnum::CIdx;
+use crate::hash::FastMap;
+use crate::manager::TddManager;
+use crate::node::{Edge, NodeId};
+
+/// Per-call memo table for contraction: `(left node, right node, summation
+/// suffix start)` — weights are factored out, so entries are reusable for
+/// any incoming weights.
+type ContMemo = FastMap<(NodeId, NodeId, usize), Edge>;
+
+impl TddManager {
+    // ------------------------------------------------------------------
+    // Addition.
+    // ------------------------------------------------------------------
+
+    /// Point-wise sum of two tensors.
+    ///
+    /// Operands may have different supports; a variable absent from one
+    /// operand is treated as a variable the tensor does not depend on
+    /// (standard reduced-diagram semantics).
+    pub fn add(&mut self, a: Edge, b: Edge) -> Edge {
+        self.stats.add_calls += 1;
+        self.add_rec(a, b)
+    }
+
+    fn add_rec(&mut self, a: Edge, b: Edge) -> Edge {
+        if a.is_zero() {
+            return b;
+        }
+        if b.is_zero() {
+            return a;
+        }
+        if a.node == b.node {
+            let w = self.cadd(a.weight, b.weight);
+            return if w.is_zero() {
+                Edge::ZERO
+            } else {
+                a.with_weight(w)
+            };
+        }
+        // Commutative: canonicalise operand order for the cache.
+        let (a, b) = if (a.node, a.weight) <= (b.node, b.weight) {
+            (a, b)
+        } else {
+            (b, a)
+        };
+        // Factor the first weight out: a + b = wa * (A + (wb/wa) B).
+        let beta = self.cdiv(b.weight, a.weight);
+        if beta.is_zero() {
+            // b is negligible relative to a at the working tolerance.
+            return a;
+        }
+        let ka = a.with_weight(CIdx::ONE);
+        let kb = b.with_weight(beta);
+        if let Some(&r) = self.add_cache.get(&(ka, kb)) {
+            return self.mul_weight(r, a.weight);
+        }
+        let va = self.var_of(a.node);
+        let vb = self.var_of(b.node);
+        let x = va.min(vb);
+        let (a0, a1) = self.cofactors(ka, x);
+        let (b0, b1) = self.cofactors(kb, x);
+        let lo = self.add_rec(a0, b0);
+        let hi = self.add_rec(a1, b1);
+        let r = self.make_node(x, lo, hi);
+        self.add_cache.insert((ka, kb), r);
+        self.mul_weight(r, a.weight)
+    }
+
+    /// Sums an iterator of tensors (`0` for an empty iterator).
+    pub fn add_many<I: IntoIterator<Item = Edge>>(&mut self, edges: I) -> Edge {
+        edges
+            .into_iter()
+            .fold(Edge::ZERO, |acc, e| self.add(acc, e))
+    }
+
+    /// Point-wise difference `a - b`.
+    pub fn sub(&mut self, a: Edge, b: Edge) -> Edge {
+        let nb = self.scale(b, Cplx::NEG_ONE);
+        self.add(a, nb)
+    }
+
+    // ------------------------------------------------------------------
+    // Contraction.
+    // ------------------------------------------------------------------
+
+    /// Contracts two tensors, summing over the sorted variable list `sum`.
+    ///
+    /// This is the `cont` operation of the paper: the result's indices are
+    /// `(vars(a) U vars(b)) \ sum`. A summation variable that appears in
+    /// *neither* operand multiplies the result by 2 (both assignments
+    /// contribute equally) — callers pass the full list of bond indices and
+    /// the algorithm handles diagrams that have reduced them away.
+    ///
+    /// A variable shared by both operands but **not** listed in `sum` is
+    /// combined element-wise, which is exactly the hyper-edge semantics the
+    /// tensor-network layer relies on for diagonal gates and control legs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sum` is not strictly ascending.
+    pub fn contract(&mut self, a: Edge, b: Edge, sum: &[Var]) -> Edge {
+        assert!(
+            sum.windows(2).all(|w| w[0] < w[1]),
+            "summation variables must be strictly ascending"
+        );
+        self.stats.cont_calls += 1;
+        let mut memo = ContMemo::default();
+        self.cont_rec(a, b, sum, 0, &mut memo)
+    }
+
+    fn cont_rec(&mut self, a: Edge, b: Edge, sum: &[Var], si: usize, memo: &mut ContMemo) -> Edge {
+        if a.is_zero() || b.is_zero() {
+            return Edge::ZERO;
+        }
+        let w = self.cmul(a.weight, b.weight);
+        if w.is_zero() {
+            return Edge::ZERO;
+        }
+        if a.is_terminal() && b.is_terminal() {
+            // Every remaining summation variable doubles the scalar.
+            let remaining = (sum.len() - si) as i32;
+            let v = self.weight_value(w).scale(2f64.powi(remaining));
+            return self.constant(v);
+        }
+        let key = (a.node, b.node, si);
+        if let Some(&r) = memo.get(&key) {
+            return self.mul_weight(r, w);
+        }
+        let ka = a.with_weight(CIdx::ONE);
+        let kb = b.with_weight(CIdx::ONE);
+        let va = self.var_of(a.node);
+        let vb = self.var_of(b.node);
+        let x = va.min(vb);
+        let r = if si < sum.len() && sum[si] <= x {
+            let sv = sum[si];
+            if sv < x {
+                // Summation variable absent from both operands: factor 2.
+                let inner = self.cont_rec(ka, kb, sum, si + 1, memo);
+                self.scale(inner, Cplx::real(2.0))
+            } else {
+                // sv == x: sum the two cofactor contractions.
+                let (a0, a1) = self.cofactors(ka, x);
+                let (b0, b1) = self.cofactors(kb, x);
+                let r0 = self.cont_rec(a0, b0, sum, si + 1, memo);
+                let r1 = self.cont_rec(a1, b1, sum, si + 1, memo);
+                self.add(r0, r1)
+            }
+        } else {
+            // Free variable: branch on it.
+            let (a0, a1) = self.cofactors(ka, x);
+            let (b0, b1) = self.cofactors(kb, x);
+            let r0 = self.cont_rec(a0, b0, sum, si, memo);
+            let r1 = self.cont_rec(a1, b1, sum, si, memo);
+            self.make_node(x, r0, r1)
+        };
+        memo.insert(key, r);
+        self.mul_weight(r, w)
+    }
+
+    // ------------------------------------------------------------------
+    // Slicing, scaling, conjugation, renaming.
+    // ------------------------------------------------------------------
+
+    /// Fixes `var = value`, removing `var` from the tensor's indices.
+    ///
+    /// Slicing a diagram that does not depend on `var` returns it unchanged.
+    pub fn slice(&mut self, e: Edge, var: Var, value: bool) -> Edge {
+        let mut memo: FastMap<NodeId, Edge> = FastMap::default();
+        self.slice_rec(e, var, value, &mut memo)
+    }
+
+    fn slice_rec(
+        &mut self,
+        e: Edge,
+        var: Var,
+        value: bool,
+        memo: &mut FastMap<NodeId, Edge>,
+    ) -> Edge {
+        if e.is_zero() || e.is_terminal() || self.var_of(e.node) > var {
+            return e;
+        }
+        if let Some(&r) = memo.get(&e.node) {
+            return self.mul_weight(r, e.weight);
+        }
+        let n = *self.node(e.node);
+        let r = if n.var == var {
+            if value {
+                n.high
+            } else {
+                n.low
+            }
+        } else {
+            let lo = self.slice_rec(n.low, var, value, memo);
+            let hi = self.slice_rec(n.high, var, value, memo);
+            self.make_node(n.var, lo, hi)
+        };
+        memo.insert(e.node, r);
+        self.mul_weight(r, e.weight)
+    }
+
+    /// Multiplies the whole tensor by the scalar `c`.
+    pub fn scale(&mut self, e: Edge, c: Cplx) -> Edge {
+        let w = self.intern(c);
+        self.mul_weight(e, w)
+    }
+
+    /// Complex-conjugates every entry (used to form bras from kets).
+    pub fn conj(&mut self, e: Edge) -> Edge {
+        let mut memo: FastMap<NodeId, Edge> = FastMap::default();
+        self.conj_rec(e, &mut memo)
+    }
+
+    fn conj_rec(&mut self, e: Edge, memo: &mut FastMap<NodeId, Edge>) -> Edge {
+        if e.is_zero() {
+            return Edge::ZERO;
+        }
+        let w = self.cconj(e.weight);
+        if e.is_terminal() {
+            return Edge::ZERO.with_weight(w);
+        }
+        if let Some(&r) = memo.get(&e.node) {
+            return self.mul_weight(r, w);
+        }
+        let n = *self.node(e.node);
+        let lo = self.conj_rec(n.low, memo);
+        let hi = self.conj_rec(n.high, memo);
+        let r = self.make_node(n.var, lo, hi);
+        memo.insert(e.node, r);
+        self.mul_weight(r, w)
+    }
+
+    /// Renames variables according to `map` (old -> new), which must be
+    /// **monotone**: if `u < v` then `map(u) < map(v)` for all variables the
+    /// diagram depends on (identity outside the map). Monotone renamings
+    /// preserve canonical structure, so this is a relabelling pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug) if the renaming violates the variable order.
+    pub fn rename_monotone(&mut self, e: Edge, map: &BTreeMap<Var, Var>) -> Edge {
+        debug_assert!(
+            map.iter().collect::<Vec<_>>().windows(2).all(|w| w[0].1 < w[1].1),
+            "renaming must be monotone"
+        );
+        let mut memo: FastMap<NodeId, Edge> = FastMap::default();
+        self.rename_rec(e, map, &mut memo)
+    }
+
+    fn rename_rec(
+        &mut self,
+        e: Edge,
+        map: &BTreeMap<Var, Var>,
+        memo: &mut FastMap<NodeId, Edge>,
+    ) -> Edge {
+        if e.is_zero() || e.is_terminal() {
+            return e;
+        }
+        if let Some(&r) = memo.get(&e.node) {
+            return self.mul_weight(r, e.weight);
+        }
+        let n = *self.node(e.node);
+        let lo = self.rename_rec(n.low, map, memo);
+        let hi = self.rename_rec(n.high, map, memo);
+        let nv = map.get(&n.var).copied().unwrap_or(n.var);
+        let r = self.make_node(nv, lo, hi);
+        memo.insert(e.node, r);
+        self.mul_weight(r, e.weight)
+    }
+
+    // ------------------------------------------------------------------
+    // Inner products.
+    // ------------------------------------------------------------------
+
+    /// Hermitian inner product `<a|b>` over the explicit variable list
+    /// `vars` (conjugate-linear in `a`).
+    ///
+    /// The variable list must cover the supports of both operands *and* any
+    /// reduced-away qubit variables: a product state like `|+...+>` reduces
+    /// to a bare scalar edge, and only the variable list tells the
+    /// contraction how many factors of 2 that hides.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vars` is not strictly ascending or misses a support
+    /// variable of either operand.
+    pub fn inner_product(&mut self, a: Edge, b: Edge, vars: &[Var]) -> Cplx {
+        let ca = self.conj(a);
+        let r = self.contract(ca, b, vars);
+        assert!(
+            r.is_terminal(),
+            "inner product variable list must cover both supports"
+        );
+        self.weight_value(r.weight)
+    }
+
+    /// Squared norm `<e|e>` over `vars`.
+    pub fn norm_sqr(&mut self, e: Edge, vars: &[Var]) -> f64 {
+        self.inner_product(e, e, vars).re
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qits_num::Mat;
+    use qits_tensor::{Tensor, VarSet};
+
+    fn c(x: f64) -> Cplx {
+        Cplx::real(x)
+    }
+
+    fn rand_tensor(vars: &[Var], seed: u64) -> Tensor {
+        // Small deterministic pseudo-random tensor for cross-checking.
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+        };
+        let data: Vec<Cplx> = (0..(1usize << vars.len()))
+            .map(|_| Cplx::new(next(), next()))
+            .collect();
+        Tensor::new(vars.to_vec(), data)
+    }
+
+    #[test]
+    fn add_matches_dense() {
+        let mut m = TddManager::new();
+        let vars = [Var(0), Var(1), Var(2)];
+        let ta = rand_tensor(&vars, 1);
+        let tb = rand_tensor(&vars, 2);
+        let ea = m.from_tensor(&ta);
+        let eb = m.from_tensor(&tb);
+        let sum = m.add(ea, eb);
+        let expect = ta.add(&tb);
+        assert!(m.to_tensor(sum, &vars).approx_eq(&expect));
+    }
+
+    #[test]
+    fn add_is_commutative_and_cancels() {
+        let mut m = TddManager::new();
+        let vars = [Var(0), Var(1)];
+        let ta = rand_tensor(&vars, 3);
+        let ea = m.from_tensor(&ta);
+        let eb = m.from_tensor(&rand_tensor(&vars, 4));
+        assert_eq!(m.add(ea, eb), m.add(eb, ea));
+        let neg = m.scale(ea, Cplx::NEG_ONE);
+        assert!(m.add(ea, neg).is_zero());
+    }
+
+    #[test]
+    fn contract_matches_dense_matrix_vector() {
+        let mut m = TddManager::new();
+        let h = Cplx::FRAC_1_SQRT_2;
+        let hm = Mat::from_rows(&[&[h, h], &[h, -h]]);
+        let g = m.from_matrix(&hm, &[Var(0)], &[Var(1)]);
+        let ket = m.basis_ket(&[Var(0)], &[true]);
+        let out = m.contract(g, ket, &[Var(0)]);
+        let expect_t = {
+            let gt = Tensor::from_matrix(&hm, &[Var(0)], &[Var(1)]);
+            let kt = Tensor::new(vec![Var(0)], vec![Cplx::ZERO, Cplx::ONE]);
+            Tensor::contract(&gt, &kt, &VarSet::from_iter([Var(0)]))
+        };
+        assert!(m.to_tensor(out, &[Var(1)]).approx_eq(&expect_t));
+    }
+
+    #[test]
+    fn contract_matches_dense_random() {
+        let mut m = TddManager::new();
+        // a over {0,1,2}, b over {1,2,3}; sum over {1,2}.
+        let ta = rand_tensor(&[Var(0), Var(1), Var(2)], 7);
+        let tb = rand_tensor(&[Var(1), Var(2), Var(3)], 8);
+        let ea = m.from_tensor(&ta);
+        let eb = m.from_tensor(&tb);
+        let out = m.contract(ea, eb, &[Var(1), Var(2)]);
+        let expect = Tensor::contract(&ta, &tb, &VarSet::from_iter([Var(1), Var(2)]));
+        assert!(m.to_tensor(out, &[Var(0), Var(3)]).approx_eq(&expect));
+    }
+
+    #[test]
+    fn contract_elementwise_shared_free_var() {
+        let mut m = TddManager::new();
+        let ta = rand_tensor(&[Var(0)], 9);
+        let tb = rand_tensor(&[Var(0)], 10);
+        let ea = m.from_tensor(&ta);
+        let eb = m.from_tensor(&tb);
+        let out = m.contract(ea, eb, &[]);
+        let expect = Tensor::contract(&ta, &tb, &VarSet::new());
+        assert!(m.to_tensor(out, &[Var(0)]).approx_eq(&expect));
+    }
+
+    #[test]
+    fn contract_phantom_var_doubles() {
+        let mut m = TddManager::new();
+        let a = m.constant(c(3.0));
+        let b = m.constant(c(5.0));
+        let out = m.contract(a, b, &[Var(4)]);
+        assert!(m.weight_value(out.weight).approx_eq(c(30.0)));
+    }
+
+    #[test]
+    fn contract_reduced_plus_state_norm() {
+        // |+>^n reduces to a scalar edge; contraction must reintroduce the
+        // 2^n factor via the phantom-variable rule.
+        let mut m = TddManager::new();
+        let n = 5;
+        let vars: Vec<Var> = (0..n).map(|i| Var::wire(i, 0)).collect();
+        let amps = vec![(Cplx::FRAC_1_SQRT_2, Cplx::FRAC_1_SQRT_2); n as usize];
+        let plus = m.product_ket(&vars, &amps);
+        assert!(plus.is_terminal(), "uniform product state should reduce");
+        let n2 = m.norm_sqr(plus, &vars);
+        assert!((n2 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slice_matches_dense() {
+        let mut m = TddManager::new();
+        let vars = [Var(0), Var(1), Var(2)];
+        let t = rand_tensor(&vars, 11);
+        let e = m.from_tensor(&t);
+        for v in vars {
+            for val in [false, true] {
+                let s = m.slice(e, v, val);
+                let expect = t.slice(v, val);
+                let rest: Vec<Var> = vars.iter().copied().filter(|x| *x != v).collect();
+                assert!(m.to_tensor(s, &rest).approx_eq(&expect));
+            }
+        }
+    }
+
+    #[test]
+    fn slices_rejoin_via_selectors() {
+        // e == sel0 * e|0  +  sel1 * e|1 (the addition-partition identity).
+        let mut m = TddManager::new();
+        let vars = [Var(0), Var(1)];
+        let t = rand_tensor(&vars, 12);
+        let e = m.from_tensor(&t);
+        let s0 = m.slice(e, Var(0), false);
+        let s1 = m.slice(e, Var(0), true);
+        let sel0 = m.selector(Var(0), false);
+        let sel1 = m.selector(Var(0), true);
+        let p0 = m.contract(s0, sel0, &[]);
+        let p1 = m.contract(s1, sel1, &[]);
+        let back = m.add(p0, p1);
+        assert_eq!(back, e);
+    }
+
+    #[test]
+    fn conj_matches_dense() {
+        let mut m = TddManager::new();
+        let vars = [Var(0), Var(1)];
+        let t = rand_tensor(&vars, 13);
+        let e = m.from_tensor(&t);
+        let ce = m.conj(e);
+        assert!(m.to_tensor(ce, &vars).approx_eq(&t.conj()));
+        // Involution.
+        assert_eq!(m.conj(ce), e);
+    }
+
+    #[test]
+    fn rename_monotone_relabels() {
+        let mut m = TddManager::new();
+        let t = rand_tensor(&[Var(0), Var(2)], 14);
+        let e = m.from_tensor(&t);
+        let map: BTreeMap<Var, Var> = [(Var(0), Var(1)), (Var(2), Var(5))].into();
+        let r = m.rename_monotone(e, &map);
+        let expect = t.rename(&map);
+        assert!(m.to_tensor(r, &[Var(1), Var(5)]).approx_eq(&expect));
+        // Same structure, same node count.
+        assert_eq!(m.node_count(e), m.node_count(r));
+    }
+
+    #[test]
+    fn inner_product_orthonormal_basis() {
+        let mut m = TddManager::new();
+        let vars = [Var(0), Var(1)];
+        let k00 = m.basis_ket(&vars, &[false, false]);
+        let k01 = m.basis_ket(&vars, &[false, true]);
+        assert!(m.inner_product(k00, k00, &vars).approx_eq(Cplx::ONE));
+        assert!(m.inner_product(k00, k01, &vars).approx_eq(Cplx::ZERO));
+    }
+
+    #[test]
+    fn inner_product_conjugates_left() {
+        let mut m = TddManager::new();
+        let vars = [Var(0)];
+        let a = m.product_ket(&vars, &[(Cplx::ZERO, Cplx::I)]);
+        let b = m.basis_ket(&vars, &[true]);
+        assert!(m.inner_product(a, b, &vars).approx_eq(-Cplx::I));
+        assert!(m.inner_product(b, a, &vars).approx_eq(Cplx::I));
+    }
+
+    #[test]
+    fn sub_self_is_zero() {
+        let mut m = TddManager::new();
+        let t = rand_tensor(&[Var(0), Var(1)], 15);
+        let e = m.from_tensor(&t);
+        assert!(m.sub(e, e).is_zero());
+    }
+
+    #[test]
+    fn contract_gate_chain_is_matrix_product() {
+        // (H on wire) twice over a 3-index chain == identity operator.
+        let mut m = TddManager::new();
+        let h = Cplx::FRAC_1_SQRT_2;
+        let hm = Mat::from_rows(&[&[h, h], &[h, -h]]);
+        let g1 = m.from_matrix(&hm, &[Var(0)], &[Var(1)]);
+        let g2 = m.from_matrix(&hm, &[Var(1)], &[Var(2)]);
+        let id = m.contract(g1, g2, &[Var(1)]);
+        let expect = m.identity(Var(0), Var(2));
+        assert_eq!(id, expect);
+    }
+}

@@ -1,0 +1,32 @@
+//! Manager-level statistics.
+
+/// Counters accumulated by a [`crate::TddManager`] over its lifetime.
+///
+/// `peak_arena` approximates the memory high-water mark; the per-result
+/// node counts reported in the paper's Table I are computed separately via
+/// [`crate::TddManager::node_count`] by the image-computation layer.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ManagerStats {
+    /// Distinct non-terminal nodes ever created.
+    pub nodes_created: u64,
+    /// Largest arena size observed (number of node slots).
+    pub peak_arena: usize,
+    /// Top-level calls to `add`.
+    pub add_calls: u64,
+    /// Top-level calls to `contract`.
+    pub cont_calls: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_zeroed() {
+        let s = ManagerStats::default();
+        assert_eq!(s.nodes_created, 0);
+        assert_eq!(s.peak_arena, 0);
+        assert_eq!(s.add_calls, 0);
+        assert_eq!(s.cont_calls, 0);
+    }
+}

@@ -1,0 +1,465 @@
+//! Dense tensor representation and operations.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use qits_num::{Cplx, Mat};
+
+use crate::{Var, VarSet};
+
+/// A dense tensor over binary indices, stored in variable order.
+///
+/// Entry layout: for sorted variables `v_0 < v_1 < ... < v_{k-1}`, the value
+/// at assignment `(a_0, ..., a_{k-1})` lives at offset
+/// `a_0 * 2^{k-1} + a_1 * 2^{k-2} + ... + a_{k-1}` — the *first* variable is
+/// the most significant bit, matching how decision diagrams branch first on
+/// the smallest variable.
+///
+/// # Example
+///
+/// ```
+/// use qits_num::Cplx;
+/// use qits_tensor::{Tensor, Var};
+///
+/// // The Hadamard gate as a rank-2 tensor over column var x, row var y.
+/// let h = Cplx::FRAC_1_SQRT_2;
+/// let t = Tensor::new(vec![Var(0), Var(1)], vec![h, h, h, -h]);
+/// assert!(t.value_at(0b01).approx_eq(h)); // <1|H|0>
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    vars: VarSet,
+    data: Vec<Cplx>,
+}
+
+impl Tensor {
+    /// Creates a tensor from sorted variables and `2^k` values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vars` are not strictly ascending or `data.len() != 2^k`.
+    pub fn new(vars: Vec<Var>, data: Vec<Cplx>) -> Self {
+        assert!(
+            vars.windows(2).all(|w| w[0] < w[1]),
+            "tensor variables must be strictly ascending"
+        );
+        assert_eq!(
+            data.len(),
+            1usize << vars.len(),
+            "data length must be 2^rank"
+        );
+        Tensor {
+            vars: VarSet::from_iter(vars),
+            data,
+        }
+    }
+
+    /// The scalar tensor (rank 0) with the given value.
+    pub fn scalar(value: Cplx) -> Self {
+        Tensor {
+            vars: VarSet::new(),
+            data: vec![value],
+        }
+    }
+
+    /// The all-zero tensor over `vars`.
+    pub fn zeros(vars: Vec<Var>) -> Self {
+        let n = vars.len();
+        Tensor::new(vars, vec![Cplx::ZERO; 1 << n])
+    }
+
+    /// Builds a rank-`2k` tensor from a `2^k x 2^k` matrix.
+    ///
+    /// `col_vars` index the matrix columns (kets in), `row_vars` the rows
+    /// (kets out); both are given most-significant-qubit first, mirroring
+    /// the usual binary encoding of computational basis states.
+    ///
+    /// # Panics
+    ///
+    /// Panics if variable counts do not match the matrix dimension or any
+    /// variable is repeated.
+    pub fn from_matrix(m: &Mat, col_vars: &[Var], row_vars: &[Var]) -> Self {
+        let k = m.qubits();
+        assert_eq!(col_vars.len(), k, "need one column var per qubit");
+        assert_eq!(row_vars.len(), k, "need one row var per qubit");
+        let mut all: Vec<Var> = col_vars.iter().chain(row_vars.iter()).copied().collect();
+        all.sort_unstable();
+        assert!(
+            all.windows(2).all(|w| w[0] < w[1]),
+            "matrix tensor variables must be distinct"
+        );
+        let mut t = Tensor::zeros(all);
+        for row in 0..m.dim() {
+            for col in 0..m.dim() {
+                let v = m[(row, col)];
+                if v.is_zero() {
+                    continue;
+                }
+                let mut asn: BTreeMap<Var, bool> = BTreeMap::new();
+                for (bit, var) in col_vars.iter().enumerate() {
+                    asn.insert(*var, (col >> (k - 1 - bit)) & 1 == 1);
+                }
+                for (bit, var) in row_vars.iter().enumerate() {
+                    asn.insert(*var, (row >> (k - 1 - bit)) & 1 == 1);
+                }
+                let off = t.offset_of(&asn);
+                t.data[off] = v;
+            }
+        }
+        t
+    }
+
+    /// The tensor's variables in ascending order.
+    pub fn vars(&self) -> &VarSet {
+        &self.vars
+    }
+
+    /// The rank (number of indices).
+    pub fn rank(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Raw data in variable-order layout.
+    pub fn as_slice(&self) -> &[Cplx] {
+        &self.data
+    }
+
+    /// Value at the packed assignment `bits`, where bit `k-1-i` of `bits`
+    /// holds the value of the `i`-th (smallest) variable.
+    pub fn value_at(&self, bits: usize) -> Cplx {
+        self.data[bits]
+    }
+
+    /// Value at a full assignment of this tensor's variables.
+    ///
+    /// Extra variables in `asn` are ignored; missing ones panic.
+    pub fn value(&self, asn: &BTreeMap<Var, bool>) -> Cplx {
+        self.data[self.offset_of(asn)]
+    }
+
+    /// Sets the entry at a full assignment of this tensor's variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `asn` misses one of this tensor's variables.
+    pub fn set(&mut self, asn: &BTreeMap<Var, bool>, value: Cplx) {
+        let off = self.offset_of(asn);
+        self.data[off] = value;
+    }
+
+    fn offset_of(&self, asn: &BTreeMap<Var, bool>) -> usize {
+        let k = self.rank();
+        let mut off = 0usize;
+        for (i, v) in self.vars.iter().enumerate() {
+            let bit = *asn
+                .get(&v)
+                .unwrap_or_else(|| panic!("assignment missing variable {v}"));
+            if bit {
+                off |= 1 << (k - 1 - i);
+            }
+        }
+        off
+    }
+
+    /// Element-wise sum. Both tensors must have identical variable sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the variable sets differ.
+    pub fn add(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.vars, other.vars, "tensor addition needs equal index sets");
+        let data = self
+            .data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| *a + *b)
+            .collect();
+        Tensor {
+            vars: self.vars.clone(),
+            data,
+        }
+    }
+
+    /// Scales every entry by `k`.
+    pub fn scale(&self, k: Cplx) -> Tensor {
+        Tensor {
+            vars: self.vars.clone(),
+            data: self.data.iter().map(|v| *v * k).collect(),
+        }
+    }
+
+    /// Complex-conjugates every entry.
+    pub fn conj(&self) -> Tensor {
+        Tensor {
+            vars: self.vars.clone(),
+            data: self.data.iter().map(|v| v.conj()).collect(),
+        }
+    }
+
+    /// Slices on `var = value`, removing `var` from the index set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` is not an index of this tensor.
+    pub fn slice(&self, var: Var, value: bool) -> Tensor {
+        assert!(self.vars.contains(var), "cannot slice absent variable {var}");
+        let rest: Vec<Var> = self.vars.iter().filter(|v| *v != var).collect();
+        let mut out = Tensor::zeros(rest);
+        let mut asn = BTreeMap::new();
+        for bits in 0..out.data.len() {
+            asn.clear();
+            for (i, v) in out.vars.iter().enumerate() {
+                asn.insert(v, (bits >> (out.rank() - 1 - i)) & 1 == 1);
+            }
+            asn.insert(var, value);
+            out.data[bits] = self.value(&asn);
+        }
+        out
+    }
+
+    /// Contracts two tensors, summing over `sum_vars`.
+    ///
+    /// The result's indices are `(vars(a) U vars(b)) \ sum_vars`. Variables
+    /// in `sum_vars` that appear in *neither* operand still contribute a
+    /// factor of 2 per the summation semantics — the same convention the
+    /// symbolic algorithm must honour, which is exactly why this oracle
+    /// exists.
+    pub fn contract(a: &Tensor, b: &Tensor, sum_vars: &VarSet) -> Tensor {
+        let union = a.vars.union(&b.vars).union(sum_vars);
+        let out_vars = union.difference(sum_vars);
+        let mut out = Tensor::zeros(out_vars.iter().collect());
+        let sum_list: Vec<Var> = sum_vars.iter().collect();
+        let mut asn: BTreeMap<Var, bool> = BTreeMap::new();
+        for out_bits in 0..out.data.len() {
+            asn.clear();
+            for (i, v) in out.vars.iter().enumerate() {
+                asn.insert(v, (out_bits >> (out.rank() - 1 - i)) & 1 == 1);
+            }
+            let mut acc = Cplx::ZERO;
+            for sum_bits in 0..(1usize << sum_list.len()) {
+                for (i, v) in sum_list.iter().enumerate() {
+                    asn.insert(*v, (sum_bits >> (sum_list.len() - 1 - i)) & 1 == 1);
+                }
+                acc += a.value_masked(&asn) * b.value_masked(&asn);
+            }
+            out.data[out_bits] = acc;
+        }
+        out
+    }
+
+    /// Like [`Tensor::value`] but ignores variables this tensor lacks.
+    fn value_masked(&self, asn: &BTreeMap<Var, bool>) -> Cplx {
+        self.data[self.offset_of(asn)]
+    }
+
+    /// Renames variables according to `map` (old -> new).
+    ///
+    /// The renaming need not be monotone; data is permuted as needed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the renaming maps two variables to the same target.
+    pub fn rename(&self, map: &BTreeMap<Var, Var>) -> Tensor {
+        let new_of = |v: Var| map.get(&v).copied().unwrap_or(v);
+        let new_vars: Vec<Var> = self.vars.iter().map(new_of).collect();
+        let sorted = VarSet::from_iter(new_vars.iter().copied());
+        assert_eq!(
+            sorted.len(),
+            new_vars.len(),
+            "renaming must keep variables distinct"
+        );
+        let mut out = Tensor::zeros(sorted.iter().collect());
+        let k = self.rank();
+        for bits in 0..self.data.len() {
+            let mut asn = BTreeMap::new();
+            for (i, v) in self.vars.iter().enumerate() {
+                asn.insert(new_of(v), (bits >> (k - 1 - i)) & 1 == 1);
+            }
+            let off = out.offset_of(&asn);
+            out.data[off] = self.data[bits];
+        }
+        out
+    }
+
+    /// Whether all entries agree with `other` within the default tolerance.
+    pub fn approx_eq(&self, other: &Tensor) -> bool {
+        self.vars == other.vars
+            && self
+                .data
+                .iter()
+                .zip(other.data.iter())
+                .all(|(a, b)| a.approx_eq(*b))
+    }
+
+    /// Maximum entry magnitude; 0 for the empty tensor.
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().map(|v| v.abs()).fold(0.0, f64::max)
+    }
+}
+
+impl fmt::Display for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor[")?;
+        for (i, v) in self.vars.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, "](")?;
+        for (i, v) in self.data.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(x: f64) -> Cplx {
+        Cplx::real(x)
+    }
+
+    fn hadamard_tensor(xv: Var, yv: Var) -> Tensor {
+        let h = Cplx::FRAC_1_SQRT_2;
+        let m = Mat::from_rows(&[&[h, h], &[h, -h]]);
+        Tensor::from_matrix(&m, &[xv], &[yv])
+    }
+
+    #[test]
+    fn scalar_roundtrip() {
+        let t = Tensor::scalar(Cplx::I);
+        assert_eq!(t.rank(), 0);
+        assert!(t.value_at(0).approx_eq(Cplx::I));
+    }
+
+    #[test]
+    fn from_matrix_layout() {
+        // X gate: <y|X|x> nonzero iff y != x.
+        let x = Mat::from_rows(&[&[Cplx::ZERO, Cplx::ONE], &[Cplx::ONE, Cplx::ZERO]]);
+        let t = Tensor::from_matrix(&x, &[Var(0)], &[Var(1)]);
+        // Offset bit0 = var0 (x index), bit1 = var1 (y index); var0 is MSB.
+        assert!(t.value_at(0b01).approx_eq(Cplx::ONE)); // x=0,y=1
+        assert!(t.value_at(0b10).approx_eq(Cplx::ONE)); // x=1,y=0
+        assert!(t.value_at(0b00).approx_eq(Cplx::ZERO));
+        assert!(t.value_at(0b11).approx_eq(Cplx::ZERO));
+    }
+
+    #[test]
+    fn contract_matrix_vector_is_matvec() {
+        // H |0> = |+>.
+        let t = hadamard_tensor(Var(0), Var(1));
+        let ket0 = Tensor::new(vec![Var(0)], vec![Cplx::ONE, Cplx::ZERO]);
+        let sum: VarSet = vec![Var(0)].into();
+        let out = Tensor::contract(&t, &ket0, &sum);
+        assert_eq!(out.vars().as_slice(), &[Var(1)]);
+        assert!(out.value_at(0).approx_eq(Cplx::FRAC_1_SQRT_2));
+        assert!(out.value_at(1).approx_eq(Cplx::FRAC_1_SQRT_2));
+    }
+
+    #[test]
+    fn contract_chains_matrices() {
+        // H then H = identity: contract over the middle index.
+        let h1 = hadamard_tensor(Var(0), Var(1));
+        let h2 = hadamard_tensor(Var(1), Var(2));
+        let sum: VarSet = vec![Var(1)].into();
+        let id = Tensor::contract(&h1, &h2, &sum);
+        let expect = Tensor::from_matrix(&Mat::identity(2), &[Var(0)], &[Var(2)]);
+        assert!(id.approx_eq(&expect));
+    }
+
+    #[test]
+    fn contract_phantom_sum_var_doubles() {
+        // Summing over a variable absent from both operands multiplies by 2.
+        let a = Tensor::scalar(c(3.0));
+        let b = Tensor::scalar(c(5.0));
+        let sum: VarSet = vec![Var(9)].into();
+        let out = Tensor::contract(&a, &b, &sum);
+        assert!(out.value_at(0).approx_eq(c(30.0)));
+    }
+
+    #[test]
+    fn contract_shared_free_var_is_elementwise() {
+        // A shared index not summed: element-wise (hyper-edge semantics).
+        let a = Tensor::new(vec![Var(0)], vec![c(2.0), c(3.0)]);
+        let b = Tensor::new(vec![Var(0)], vec![c(5.0), c(7.0)]);
+        let out = Tensor::contract(&a, &b, &VarSet::new());
+        assert_eq!(out.vars().as_slice(), &[Var(0)]);
+        assert!(out.value_at(0).approx_eq(c(10.0)));
+        assert!(out.value_at(1).approx_eq(c(21.0)));
+    }
+
+    #[test]
+    fn slice_picks_hyperplane() {
+        let t = hadamard_tensor(Var(0), Var(1));
+        let col0 = t.slice(Var(0), false);
+        assert_eq!(col0.vars().as_slice(), &[Var(1)]);
+        assert!(col0.value_at(0).approx_eq(Cplx::FRAC_1_SQRT_2));
+        assert!(col0.value_at(1).approx_eq(Cplx::FRAC_1_SQRT_2));
+        let col1 = t.slice(Var(0), true);
+        assert!(col1.value_at(1).approx_eq(-Cplx::FRAC_1_SQRT_2));
+    }
+
+    #[test]
+    fn slices_recombine_to_whole() {
+        // t = t|v=0 (x) |0><0| + t|v=1 (x) |1><1| — the addition-partition
+        // identity, checked densely.
+        let t = hadamard_tensor(Var(0), Var(1));
+        let s0 = t.slice(Var(0), false);
+        let s1 = t.slice(Var(0), true);
+        let sel0 = Tensor::new(vec![Var(0)], vec![Cplx::ONE, Cplx::ZERO]);
+        let sel1 = Tensor::new(vec![Var(0)], vec![Cplx::ZERO, Cplx::ONE]);
+        let none = VarSet::new();
+        let rebuilt = Tensor::contract(&s0, &sel0, &none).add(&Tensor::contract(&s1, &sel1, &none));
+        assert!(rebuilt.approx_eq(&t));
+    }
+
+    #[test]
+    fn add_and_scale() {
+        let a = Tensor::new(vec![Var(0)], vec![c(1.0), c(2.0)]);
+        let b = a.scale(c(2.0));
+        let s = a.add(&b);
+        assert!(s.value_at(0).approx_eq(c(3.0)));
+        assert!(s.value_at(1).approx_eq(c(6.0)));
+    }
+
+    #[test]
+    fn conj_negates_imaginary() {
+        let a = Tensor::new(vec![Var(0)], vec![Cplx::I, c(1.0)]);
+        let cj = a.conj();
+        assert!(cj.value_at(0).approx_eq(-Cplx::I));
+    }
+
+    #[test]
+    fn rename_non_monotone_permutes() {
+        // Swap the two indices of a non-symmetric tensor: transposition.
+        let x = Mat::from_rows(&[&[c(1.0), c(2.0)], &[c(3.0), c(4.0)]]);
+        let t = Tensor::from_matrix(&x, &[Var(0)], &[Var(1)]);
+        let mut map = BTreeMap::new();
+        map.insert(Var(0), Var(1));
+        map.insert(Var(1), Var(0));
+        let tt = t.rename(&map);
+        let expect = Tensor::from_matrix(&x.transpose(), &[Var(0)], &[Var(1)]);
+        assert!(tt.approx_eq(&expect));
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn rejects_unsorted_vars() {
+        let _ = Tensor::new(vec![Var(1), Var(0)], vec![Cplx::ZERO; 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn rename_rejects_collisions() {
+        let t = Tensor::zeros(vec![Var(0), Var(1)]);
+        let mut map = BTreeMap::new();
+        map.insert(Var(0), Var(1));
+        let _ = t.rename(&map);
+    }
+}

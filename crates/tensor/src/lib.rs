@@ -1,0 +1,20 @@
+//! Dense named-index tensors — the reference semantics for `qits`.
+//!
+//! Everything the symbolic pipeline does (TDD contraction, slicing,
+//! addition, renaming) has a dense, obviously-correct counterpart here.
+//! The dense representation is exponential in the number of indices, so it
+//! is only used for gate bases (rank <= 4) and for cross-checking symbolic
+//! results on small systems in tests — exactly the role BDD packages give
+//! explicit truth tables.
+//!
+//! The crate also defines [`Var`], the *global index* type shared by the
+//! whole workspace: every tensor-network index is a `Var`, ordered by
+//! `(qubit, position-on-wire)`. See the crate-level docs of `qits-tdd` for
+//! how this ordering yields the interleaved variable order of the paper's
+//! Fig. 1.
+
+mod dense;
+mod var;
+
+pub use dense::Tensor;
+pub use var::{Var, VarSet};

@@ -1,0 +1,255 @@
+//! Global tensor-network index identifiers.
+
+use std::fmt;
+
+/// A tensor-network index (a "variable" in decision-diagram terms).
+///
+/// Encodes `(qubit, position)` as `qubit << 16 | position`, so the natural
+/// `u32` order is *qubit-major, then left-to-right along the wire*. With the
+/// conventions used throughout `qits`:
+///
+/// * position `0` on each wire is the **column** (input) variable `x_i`;
+/// * the last position on each wire is the **row** (output) variable `y_i`;
+/// * kets occupy position `0`; projectors put `x_i` at position 0 and `y_i`
+///   at position 1, giving the interleaved order `x1 < y1 < x2 < y2 < ...`
+///   shown in Fig. 1 of the paper.
+///
+/// # Example
+///
+/// ```
+/// use qits_tensor::Var;
+/// let x0 = Var::wire(0, 0);
+/// let y0 = Var::wire(0, 1);
+/// let x1 = Var::wire(1, 0);
+/// assert!(x0 < y0 && y0 < x1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(pub u32);
+
+impl Var {
+    /// Maximum supported position on a single wire (exclusive).
+    pub const MAX_POS: u32 = 1 << 16;
+
+    /// Creates the index at `position` on `qubit`'s wire.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `position >= Var::MAX_POS` or `qubit >= Var::MAX_POS`.
+    #[inline]
+    pub fn wire(qubit: u32, position: u32) -> Var {
+        assert!(qubit < Self::MAX_POS, "qubit {qubit} out of range");
+        assert!(position < Self::MAX_POS, "position {position} out of range");
+        Var((qubit << 16) | position)
+    }
+
+    /// The qubit whose wire this index lives on.
+    #[inline]
+    pub fn qubit(self) -> u32 {
+        self.0 >> 16
+    }
+
+    /// The position of this index along its wire.
+    #[inline]
+    pub fn position(self) -> u32 {
+        self.0 & 0xFFFF
+    }
+
+    /// The ket variable (position 0) for `qubit`.
+    #[inline]
+    pub fn ket(qubit: u32) -> Var {
+        Var::wire(qubit, 0)
+    }
+
+    /// The projector row variable (position 1) for `qubit`.
+    #[inline]
+    pub fn row(qubit: u32) -> Var {
+        Var::wire(qubit, 1)
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q{}.{}", self.qubit(), self.position())
+    }
+}
+
+/// A sorted set of [`Var`]s.
+///
+/// Kept as a sorted `Vec` because the sets in play are small (the indices of
+/// one tensor) and the dominant operations are ordered traversal and merge.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct VarSet {
+    vars: Vec<Var>,
+}
+
+impl VarSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        VarSet::default()
+    }
+
+    /// Creates a set from an iterator, sorting and deduplicating.
+    pub fn from_iter<I: IntoIterator<Item = Var>>(iter: I) -> Self {
+        let mut vars: Vec<Var> = iter.into_iter().collect();
+        vars.sort_unstable();
+        vars.dedup();
+        VarSet { vars }
+    }
+
+    /// Number of variables in the set.
+    pub fn len(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.vars.is_empty()
+    }
+
+    /// Whether `v` is a member.
+    pub fn contains(&self, v: Var) -> bool {
+        self.vars.binary_search(&v).is_ok()
+    }
+
+    /// Inserts `v`, keeping the set sorted. Returns `true` if newly added.
+    pub fn insert(&mut self, v: Var) -> bool {
+        match self.vars.binary_search(&v) {
+            Ok(_) => false,
+            Err(pos) => {
+                self.vars.insert(pos, v);
+                true
+            }
+        }
+    }
+
+    /// Removes `v`. Returns `true` if it was present.
+    pub fn remove(&mut self, v: Var) -> bool {
+        match self.vars.binary_search(&v) {
+            Ok(pos) => {
+                self.vars.remove(pos);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// The smallest variable, if any.
+    pub fn min(&self) -> Option<Var> {
+        self.vars.first().copied()
+    }
+
+    /// Set union.
+    pub fn union(&self, other: &VarSet) -> VarSet {
+        let mut out = Vec::with_capacity(self.len() + other.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.vars.len() && j < other.vars.len() {
+            match self.vars[i].cmp(&other.vars[j]) {
+                std::cmp::Ordering::Less => {
+                    out.push(self.vars[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    out.push(other.vars[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    out.push(self.vars[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out.extend_from_slice(&self.vars[i..]);
+        out.extend_from_slice(&other.vars[j..]);
+        VarSet { vars: out }
+    }
+
+    /// Set intersection.
+    pub fn intersection(&self, other: &VarSet) -> VarSet {
+        VarSet {
+            vars: self
+                .vars
+                .iter()
+                .copied()
+                .filter(|v| other.contains(*v))
+                .collect(),
+        }
+    }
+
+    /// Set difference `self \ other`.
+    pub fn difference(&self, other: &VarSet) -> VarSet {
+        VarSet {
+            vars: self
+                .vars
+                .iter()
+                .copied()
+                .filter(|v| !other.contains(*v))
+                .collect(),
+        }
+    }
+
+    /// Iterates in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = Var> + '_ {
+        self.vars.iter().copied()
+    }
+
+    /// The sorted variables as a slice.
+    pub fn as_slice(&self) -> &[Var] {
+        &self.vars
+    }
+}
+
+impl FromIterator<Var> for VarSet {
+    fn from_iter<I: IntoIterator<Item = Var>>(iter: I) -> Self {
+        VarSet::from_iter(iter)
+    }
+}
+
+impl From<Vec<Var>> for VarSet {
+    fn from(vars: Vec<Var>) -> Self {
+        VarSet::from_iter(vars)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_encoding_orders_qubit_major() {
+        assert!(Var::wire(0, 5) < Var::wire(1, 0));
+        assert!(Var::wire(2, 0) < Var::wire(2, 1));
+        assert_eq!(Var::wire(3, 7).qubit(), 3);
+        assert_eq!(Var::wire(3, 7).position(), 7);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        assert_eq!(Var::wire(2, 4).to_string(), "q2.4");
+    }
+
+    #[test]
+    fn varset_operations() {
+        let a: VarSet = vec![Var(3), Var(1), Var(2), Var(1)].into();
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.min(), Some(Var(1)));
+        assert!(a.contains(Var(2)));
+
+        let b: VarSet = vec![Var(2), Var(4)].into();
+        assert_eq!(a.union(&b).as_slice(), &[Var(1), Var(2), Var(3), Var(4)]);
+        assert_eq!(a.intersection(&b).as_slice(), &[Var(2)]);
+        assert_eq!(a.difference(&b).as_slice(), &[Var(1), Var(3)]);
+    }
+
+    #[test]
+    fn varset_insert_remove() {
+        let mut s = VarSet::new();
+        assert!(s.insert(Var(5)));
+        assert!(!s.insert(Var(5)));
+        assert!(s.insert(Var(1)));
+        assert_eq!(s.as_slice(), &[Var(1), Var(5)]);
+        assert!(s.remove(Var(1)));
+        assert!(!s.remove(Var(1)));
+        assert_eq!(s.as_slice(), &[Var(5)]);
+    }
+}

@@ -1,0 +1,159 @@
+//! The interaction graph of a tensor network (the paper's Fig. 5).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use qits_tensor::Var;
+
+use crate::network::TensorNetwork;
+
+/// The undirected graph whose vertices are tensor-network indices and
+/// whose edges connect indices belonging to the same gate.
+///
+/// Because diagonal gates and control legs share a single index per wire,
+/// gates contribute *hyper-edges*: a CCX gate connects its two control
+/// indices and its two target indices pairwise. The degree ranking of this
+/// graph selects the slicing indices of the addition partition.
+///
+/// # Example
+///
+/// ```
+/// use qits_circuit::{Circuit, Gate};
+/// use qits_tdd::TddManager;
+/// use qits_tensornet::{InteractionGraph, TensorNetwork};
+///
+/// let mut c = Circuit::new(3);
+/// c.push(Gate::ccx(0, 1, 2));
+/// let mut m = TddManager::new();
+/// let net = TensorNetwork::from_circuit(&mut m, &c);
+/// let g = InteractionGraph::of(&net);
+/// // The CCX hyper-edge makes a 4-clique of its legs.
+/// assert_eq!(g.degree(net.in_var(0)), 3);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct InteractionGraph {
+    adjacency: BTreeMap<Var, BTreeSet<Var>>,
+    /// Number of tensors (gates) each index belongs to.
+    membership: BTreeMap<Var, usize>,
+}
+
+impl InteractionGraph {
+    /// Builds the graph of a network: one hyper-edge (clique) per tensor.
+    pub fn of(net: &TensorNetwork) -> InteractionGraph {
+        let mut g = InteractionGraph::default();
+        for t in net.tensors() {
+            let vars: Vec<Var> = t.vars.iter().collect();
+            for &v in &vars {
+                *g.membership.entry(v).or_insert(0) += 1;
+                g.adjacency.entry(v).or_default();
+            }
+            for (i, &a) in vars.iter().enumerate() {
+                for &b in &vars[i + 1..] {
+                    g.adjacency.entry(a).or_default().insert(b);
+                    g.adjacency.entry(b).or_default().insert(a);
+                }
+            }
+        }
+        g
+    }
+
+    /// Number of distinct neighbours of `v`.
+    pub fn degree(&self, v: Var) -> usize {
+        self.adjacency.get(&v).map_or(0, BTreeSet::len)
+    }
+
+    /// Number of tensors whose index set contains `v`.
+    pub fn membership(&self, v: Var) -> usize {
+        self.membership.get(&v).copied().unwrap_or(0)
+    }
+
+    /// All vertices, ascending.
+    pub fn vertices(&self) -> impl Iterator<Item = Var> + '_ {
+        self.adjacency.keys().copied()
+    }
+
+    /// Neighbours of `v`, ascending.
+    pub fn neighbours(&self, v: Var) -> impl Iterator<Item = Var> + '_ {
+        self.adjacency.get(&v).into_iter().flatten().copied()
+    }
+
+    /// The `k` highest-degree vertices (degree descending, then variable
+    /// ascending for determinism) — the slicing candidates of the addition
+    /// partition.
+    pub fn highest_degree_vars(&self, k: usize) -> Vec<Var> {
+        let mut vs: Vec<(usize, Var)> = self
+            .adjacency
+            .keys()
+            .map(|&v| (self.degree(v), v))
+            .collect();
+        vs.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        vs.into_iter().take(k).map(|(_, v)| v).collect()
+    }
+
+    /// A text rendering of the graph: one `index: neighbours` line per
+    /// vertex, ascending — used by the Fig. 5 example.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (v, ns) in &self.adjacency {
+            out.push_str(&format!("{v} (deg {}):", ns.len()));
+            for n in ns {
+                out.push_str(&format!(" {n}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qits_circuit::{Circuit, Gate};
+    use qits_tdd::TddManager;
+
+    fn graph_of(c: &Circuit) -> (InteractionGraph, TensorNetwork) {
+        let mut m = TddManager::new();
+        let net = TensorNetwork::from_circuit(&mut m, c);
+        (InteractionGraph::of(&net), net)
+    }
+
+    #[test]
+    fn single_qubit_gate_connects_in_out() {
+        let mut c = Circuit::new(1);
+        c.push(Gate::h(0));
+        let (g, net) = graph_of(&c);
+        assert_eq!(g.degree(net.in_var(0)), 1);
+        assert!(g.neighbours(net.in_var(0)).eq([net.out_var(0)]));
+    }
+
+    #[test]
+    fn chain_degrees_accumulate() {
+        let mut c = Circuit::new(1);
+        c.push(Gate::h(0));
+        c.push(Gate::h(0));
+        let (g, _) = graph_of(&c);
+        // Middle index (0,1) belongs to both H gates.
+        assert_eq!(g.degree(Var::wire(0, 1)), 2);
+        assert_eq!(g.membership(Var::wire(0, 1)), 2);
+    }
+
+    #[test]
+    fn highest_degree_ranking_deterministic() {
+        let mut c = Circuit::new(3);
+        c.push(Gate::ccx(0, 1, 2));
+        c.push(Gate::h(0));
+        let (g, net) = graph_of(&c);
+        let top = g.highest_degree_vars(1);
+        // q0 input: CCX clique (3 neighbours) + H out (1) = degree 4.
+        assert_eq!(top, vec![net.in_var(0)]);
+    }
+
+    #[test]
+    fn render_lists_all_vertices() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::cx(0, 1));
+        let (g, _) = graph_of(&c);
+        let r = g.render();
+        assert_eq!(r.lines().count(), 3); // q0.0 (hyper), q1.0, q1.1
+        assert!(r.contains("deg"));
+    }
+}

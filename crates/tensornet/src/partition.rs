@@ -1,0 +1,192 @@
+//! The contraction partition of Section V-B.
+//!
+//! For parameters `k1`, `k2`: cut the circuit *horizontally* into
+//! `ceil(n/k1)` qubit bands, then *vertically* after every `k2` multi-qubit
+//! gates that cross a band boundary (the gates "cut by a horizontal line").
+//! Every gate is assigned to the cell (band of its topmost qubit, current
+//! vertical segment); the contraction of all cells over their shared
+//! indices equals the whole circuit, whatever the assignment — the
+//! parameters only steer efficiency, which is exactly what Table II sweeps.
+
+use qits_circuit::Circuit;
+
+/// A partition of a circuit's gates into contraction blocks.
+///
+/// `blocks[i]` holds gate indices in circuit order; blocks themselves are
+/// ordered by (segment, band), the order the engine contracts them in.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Blocks {
+    /// Gate indices per block, each in circuit order.
+    pub blocks: Vec<Vec<usize>>,
+    /// Number of horizontal bands used.
+    pub n_bands: u32,
+    /// Number of vertical segments used.
+    pub n_segments: u32,
+}
+
+impl Blocks {
+    /// Total gates across all blocks.
+    pub fn gate_count(&self) -> usize {
+        self.blocks.iter().map(Vec::len).sum()
+    }
+
+    /// Number of rectangular regions the cut lines create
+    /// (`bands x segments`) — what the paper's Fig. 3 counts as "six
+    /// blocks". Regions that contain no gate contribute no tensor, so
+    /// `blocks.len() <= regions()`.
+    pub fn regions(&self) -> u32 {
+        self.n_bands * self.n_segments
+    }
+}
+
+/// Computes the contraction-partition blocks of `circuit` for parameters
+/// `(k1, k2)`.
+///
+/// # Panics
+///
+/// Panics if `k1 == 0` or `k2 == 0`.
+pub fn contraction_blocks(circuit: &Circuit, k1: u32, k2: u32) -> Blocks {
+    assert!(k1 > 0, "k1 must be positive");
+    assert!(k2 > 0, "k2 must be positive");
+    let n = circuit.n_qubits();
+    let n_bands = n.div_ceil(k1);
+    let band_of = |q: u32| q / k1;
+
+    // Pass 1: assign each gate a (segment, band) cell.
+    let mut seg = 0u32;
+    let mut crossings = 0u32;
+    let mut cells: Vec<(u32, u32)> = Vec::with_capacity(circuit.len());
+    for gate in circuit.gates() {
+        let min_q = gate.qubits().min().expect("gate touches a qubit");
+        let max_q = gate.max_qubit();
+        let crosses = band_of(min_q) != band_of(max_q);
+        cells.push((seg, band_of(min_q)));
+        if crosses {
+            crossings += 1;
+            if crossings >= k2 {
+                // Vertical cut across the whole circuit after this gate.
+                seg += 1;
+                crossings = 0;
+            }
+        }
+    }
+    // Only count segments that actually hold a gate (a cut after the last
+    // gate opens no new segment).
+    let n_segments = cells.iter().map(|&(s, _)| s).max().map_or(1, |s| s + 1);
+
+    // Pass 2: bucket gates by cell, ordered by (segment, band).
+    let mut blocks: Vec<Vec<usize>> = Vec::new();
+    let mut index_of = std::collections::BTreeMap::new();
+    for (gi, &cell) in cells.iter().enumerate() {
+        let bi = *index_of.entry(cell).or_insert_with(|| {
+            blocks.push(Vec::new());
+            blocks.len() - 1
+        });
+        blocks[bi].push(gi);
+    }
+    // BTreeMap iteration is (segment, band)-ordered, but insertion order
+    // above follows gate order; rebuild in cell order.
+    let mut ordered: Vec<Vec<usize>> = Vec::with_capacity(blocks.len());
+    for (_, &bi) in &index_of {
+        ordered.push(blocks[bi].clone());
+    }
+    Blocks {
+        blocks: ordered,
+        n_bands,
+        n_segments,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qits_circuit::Gate;
+
+    /// The paper's Fig. 3 claim: the bit-flip code circuit at k1 = 3,
+    /// k2 = 2 is cut into six blocks.
+    #[test]
+    fn bitflip_code_cuts_into_six_blocks() {
+        // Syndrome extraction: 6 CX gates on 6 qubits (3 data, 3 ancilla).
+        let mut c = Circuit::new(6);
+        c.push(Gate::cx(0, 3));
+        c.push(Gate::cx(1, 3));
+        c.push(Gate::cx(1, 4));
+        c.push(Gate::cx(2, 4));
+        c.push(Gate::cx(0, 5));
+        c.push(Gate::cx(2, 5));
+        let blocks = contraction_blocks(&c, 3, 2);
+        assert_eq!(blocks.n_bands, 2);
+        assert_eq!(blocks.n_segments, 3);
+        // Six rectangular regions, as in Fig. 3. Every CX's topmost qubit
+        // is a data qubit, so the three gate-holding blocks are all in
+        // band 0 (the rest of each region is bare wire).
+        assert_eq!(blocks.regions(), 6);
+        assert_eq!(blocks.blocks.len(), 3);
+        assert_eq!(blocks.gate_count(), 6);
+    }
+
+    #[test]
+    fn single_band_never_cuts() {
+        let mut c = Circuit::new(3);
+        for _ in 0..10 {
+            c.push(Gate::cx(0, 2));
+        }
+        let blocks = contraction_blocks(&c, 3, 1);
+        // Everything in one band: no gate ever crosses.
+        assert_eq!(blocks.n_segments, 1);
+        assert_eq!(blocks.blocks.len(), 1);
+    }
+
+    #[test]
+    fn k2_counts_crossing_gates_only() {
+        let mut c = Circuit::new(4);
+        c.push(Gate::cx(0, 1)); // inside band 0 (k1 = 2)
+        c.push(Gate::cx(1, 2)); // crosses
+        c.push(Gate::cx(2, 3)); // inside band 1
+        c.push(Gate::cx(1, 2)); // crosses -> cut after (k2 = 2)
+        c.push(Gate::h(0));
+        let blocks = contraction_blocks(&c, 2, 2);
+        assert_eq!(blocks.n_segments, 2);
+        // Gates 0..3 in segment 0, gate 4 in segment 1.
+        let seg_of_gate: Vec<u32> = {
+            let mut v = vec![0u32; 5];
+            for (bi, b) in blocks.blocks.iter().enumerate() {
+                for &g in b {
+                    // Recover segment from block ordering: blocks are
+                    // (segment, band) ordered; segment 1 blocks come last.
+                    v[g] = if bi >= blocks.blocks.len() - 1 { 1 } else { 0 };
+                }
+            }
+            v
+        };
+        assert_eq!(seg_of_gate[4], 1);
+    }
+
+    #[test]
+    fn every_gate_assigned_exactly_once() {
+        let mut c = Circuit::new(8);
+        for q in 0..7 {
+            c.push(Gate::cx(q, q + 1));
+            c.push(Gate::h(q));
+        }
+        for (k1, k2) in [(1, 1), (2, 3), (4, 4), (8, 1), (3, 2)] {
+            let blocks = contraction_blocks(&c, k1, k2);
+            assert_eq!(blocks.gate_count(), c.len(), "k1={k1} k2={k2}");
+            let mut seen = vec![false; c.len()];
+            for b in &blocks.blocks {
+                for &g in b {
+                    assert!(!seen[g], "gate {g} in two blocks");
+                    seen[g] = true;
+                }
+            }
+            assert!(seen.iter().all(|&s| s));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "k1 must be positive")]
+    fn rejects_zero_k1() {
+        let c = Circuit::new(2);
+        let _ = contraction_blocks(&c, 0, 1);
+    }
+}

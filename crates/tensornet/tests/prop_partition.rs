@@ -1,0 +1,110 @@
+//! Property tests for the partition schemes: on random circuits, both
+//! partitions must reconstruct the whole-network contraction exactly.
+
+use proptest::prelude::*;
+
+use qits_circuit::{Circuit, Gate};
+use qits_tdd::TddManager;
+use qits_tensornet::{
+    contract_network, contraction_blocks, precontract_blocks, InteractionGraph, TensorNetwork,
+};
+
+fn arb_gate(n: u32) -> impl Strategy<Value = Gate> {
+    let q = 0..n;
+    prop_oneof![
+        q.clone().prop_map(Gate::h),
+        q.clone().prop_map(Gate::x),
+        (q.clone(), 0.0..std::f64::consts::TAU).prop_map(|(q, t)| Gate::phase(q, t)),
+        (q.clone(), q.clone())
+            .prop_filter_map("distinct", |(a, b)| (a != b).then(|| Gate::cx(a, b))),
+        (q.clone(), q.clone())
+            .prop_filter_map("distinct", |(a, b)| (a != b).then(|| Gate::cz(a, b))),
+        (q.clone(), q.clone(), q.clone()).prop_filter_map("distinct", |(a, b, c)| {
+            (a != b && b != c && a != c).then(|| Gate::ccx(a, b, c))
+        }),
+    ]
+}
+
+fn arb_circuit(n: u32, max_len: usize) -> impl Strategy<Value = Circuit> {
+    proptest::collection::vec(arb_gate(n), 1..=max_len).prop_map(move |gates| {
+        let mut c = Circuit::new(n);
+        for g in gates {
+            c.push(g);
+        }
+        c
+    })
+}
+
+/// Dense equality of two operator edges over the network's external
+/// variables (structural edge equality is too strict across different
+/// float evaluation orders).
+fn same_operator(
+    m: &TddManager,
+    net: &TensorNetwork,
+    a: qits_tdd::Edge,
+    b: qits_tdd::Edge,
+) -> bool {
+    let ext: Vec<_> = net.external_vars().iter().collect();
+    m.to_tensor(a, &ext).approx_eq(&m.to_tensor(b, &ext))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Slicing at ANY index (not just the highest-degree one) and summing
+    /// the two slice contractions reproduces the whole-network operator.
+    #[test]
+    fn slices_always_sum_to_whole(circuit in arb_circuit(3, 8), pick in 0usize..16) {
+        let mut m = TddManager::new();
+        let net = TensorNetwork::from_circuit(&mut m, &circuit);
+        let keep = net.external_vars();
+        let whole = contract_network(&mut m, net.tensors(), &keep);
+        let all_vars: Vec<_> = net.all_vars().iter().collect();
+        let var = all_vars[pick % all_vars.len()];
+        let s0 = net.slice_at(&mut m, var, false);
+        let s1 = net.slice_at(&mut m, var, true);
+        let e0 = contract_network(&mut m, s0.tensors(), &keep);
+        let e1 = contract_network(&mut m, s1.tensors(), &keep);
+        let sum = m.add(e0.edge, e1.edge);
+        prop_assert!(same_operator(&m, &net, sum, whole.edge));
+    }
+
+    /// Block pre-contraction followed by block contraction reproduces the
+    /// whole-network operator for every (k1, k2).
+    #[test]
+    fn blocks_always_recontract_to_whole(
+        circuit in arb_circuit(4, 8),
+        k1 in 1u32..5,
+        k2 in 1u32..5,
+    ) {
+        let mut m = TddManager::new();
+        let net = TensorNetwork::from_circuit(&mut m, &circuit);
+        let keep = net.external_vars();
+        let whole = contract_network(&mut m, net.tensors(), &keep);
+        let blocks = contraction_blocks(&circuit, k1, k2);
+        prop_assert_eq!(blocks.gate_count(), circuit.len());
+        let (bt, _) = precontract_blocks(&mut m, &net, &blocks);
+        let re = contract_network(&mut m, &bt, &keep);
+        prop_assert!(same_operator(&m, &net, re.edge, whole.edge));
+    }
+
+    /// The interaction graph's degree ranking is stable and its vertex set
+    /// covers every index of every tensor.
+    #[test]
+    fn graph_covers_all_indices(circuit in arb_circuit(3, 8)) {
+        let mut m = TddManager::new();
+        let net = TensorNetwork::from_circuit(&mut m, &circuit);
+        let g = InteractionGraph::of(&net);
+        let vertices: std::collections::BTreeSet<_> = g.vertices().collect();
+        for t in net.tensors() {
+            for v in t.vars.iter() {
+                prop_assert!(vertices.contains(&v), "missing index {v}");
+            }
+        }
+        let top2 = g.highest_degree_vars(2);
+        prop_assert_eq!(top2.clone(), g.highest_degree_vars(2), "ranking not deterministic");
+        if top2.len() == 2 {
+            prop_assert!(g.degree(top2[0]) >= g.degree(top2[1]));
+        }
+    }
+}

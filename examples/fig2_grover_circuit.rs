@@ -1,0 +1,37 @@
+//! Reproduces Fig. 2 of the paper: the Grover-iteration circuit as a
+//! tensor network, with its wire indices `x_i^j`.
+//!
+//! Run with: `cargo run --example fig2_grover_circuit`
+
+use qits_circuit::{generators, render};
+use qits_tdd::TddManager;
+use qits_tensornet::TensorNetwork;
+
+fn main() {
+    let spec = generators::grover(3);
+    let circuit = spec.operations[0].kraus_branches().remove(0);
+    println!("Grover iteration (2 search qubits + oracle ancilla):\n");
+    println!("{}", render::ascii(&circuit));
+
+    let mut m = TddManager::new();
+    let net = TensorNetwork::from_circuit(&mut m, &circuit);
+    println!("tensor network: {} tensors", net.tensors().len());
+    println!("(diagonal gates and control legs share one index per wire)\n");
+    for (i, (gate, legs)) in circuit.gates().iter().zip(net.gate_legs()).enumerate() {
+        let mut parts = Vec::new();
+        for (v, pol) in &legs.controls {
+            parts.push(format!("{}{}", if *pol { "●" } else { "○" }, v));
+        }
+        for (vin, vout) in legs.target_in.iter().zip(legs.target_out.iter()) {
+            if vin == vout {
+                parts.push(format!("{vin}*"));
+            } else {
+                parts.push(format!("{vin}->{vout}"));
+            }
+        }
+        println!("  gate {i:>2} {:<10} legs: {}", gate.kind.mnemonic(), parts.join(" "));
+    }
+    for q in 0..3 {
+        println!("  wire q{q}: input {} output {}", net.in_var(q), net.out_var(q));
+    }
+}

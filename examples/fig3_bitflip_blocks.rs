@@ -1,0 +1,31 @@
+//! Reproduces Fig. 3 of the paper: the bit-flip-code circuit and its
+//! contraction partition at `k1 = 3`, `k2 = 2` — six rectangular regions.
+//!
+//! Run with: `cargo run --example fig3_bitflip_blocks`
+
+use qits_circuit::{generators, render};
+use qits_tensornet::contraction_blocks;
+
+fn main() {
+    let spec = generators::bitflip_code();
+    // The syndrome-extraction circuit is shared by all four operations;
+    // take the no-error branch (T000) for the partition illustration.
+    let circuit = spec.operations[0].kraus_branches().remove(0);
+    println!("bit-flip code (3 data + 3 syndrome qubits), branch T000:\n");
+    println!("{}", render::ascii(&circuit));
+
+    let blocks = contraction_blocks(&circuit, 3, 2);
+    println!(
+        "contraction partition k1=3, k2=2: {} bands x {} segments = {} regions (paper: six blocks)",
+        blocks.n_bands,
+        blocks.n_segments,
+        blocks.regions()
+    );
+    for (i, b) in blocks.blocks.iter().enumerate() {
+        let gates: Vec<String> = b
+            .iter()
+            .map(|&g| circuit.gates()[g].to_string())
+            .collect();
+        println!("  block {i}: {}", gates.join(" ; "));
+    }
+}

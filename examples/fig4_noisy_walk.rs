@@ -1,0 +1,23 @@
+//! Reproduces Fig. 4 of the paper: the noisy quantum-walk circuit on an
+//! 8-length cycle — Hadamard coin, bit-flip noise `N`, and the
+//! multi-controlled-X shift cascades.
+//!
+//! Run with: `cargo run --example fig4_noisy_walk`
+
+use qits_circuit::{generators, render};
+
+fn main() {
+    let spec = generators::qrw(4, 0.1);
+    println!("quantum walk on an 8-cycle (coin qubit q0, position q1..q3)\n");
+
+    println!("T1 (noiseless): coin, then shift S = S0 (+) S1");
+    let t1 = spec.operations[0].kraus_branches().remove(0);
+    println!("{}", render::ascii(&t1));
+
+    println!("T2 (bit-flip after the coin) expands into Kraus branches:");
+    for (i, branch) in spec.operations[1].kraus_branches().iter().enumerate() {
+        println!("\nKraus branch {i}:");
+        println!("{}", render::ascii(branch));
+    }
+    println!("(negative controls ○ implement the X-conjugated controls drawn in the paper)");
+}

@@ -1,0 +1,26 @@
+//! Reproduces Fig. 5 of the paper: the undirected interaction graph of the
+//! Grover-iteration tensor network, whose highest-degree vertices are the
+//! slicing candidates of the addition partition.
+//!
+//! Run with: `cargo run --example fig5_graph`
+
+use qits_circuit::generators;
+use qits_tdd::TddManager;
+use qits_tensornet::{InteractionGraph, TensorNetwork};
+
+fn main() {
+    let spec = generators::grover(3);
+    let circuit = spec.operations[0].kraus_branches().remove(0);
+    let mut m = TddManager::new();
+    let net = TensorNetwork::from_circuit(&mut m, &circuit);
+    let g = InteractionGraph::of(&net);
+
+    println!("interaction graph of the Grover iteration (q<i>.<j> = j-th index on qubit i):\n");
+    println!("{}", g.render());
+
+    let top = g.highest_degree_vars(3);
+    println!("highest-degree vertices (addition-partition slicing candidates):");
+    for v in top {
+        println!("  {v} with degree {}", g.degree(v));
+    }
+}

@@ -1,0 +1,38 @@
+//! Quickstart: verify the Grover-iteration invariant of Section III-A.1.
+//!
+//! The subspace `S = span{|++->, |11->}` is invariant under one Grover
+//! iteration: `T(S) = S`. We build the transition system, compute the image
+//! with all three methods, and check they agree.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use qits::{image, QuantumTransitionSystem, Strategy};
+use qits_circuit::generators;
+use qits_tdd::TddManager;
+
+fn main() {
+    let n = 5; // 4 search qubits + 1 oracle ancilla
+    let mut m = TddManager::new();
+    let spec = generators::grover(n);
+    println!("benchmark: {} ({} qubits)", spec.name, spec.n_qubits);
+
+    let qts = QuantumTransitionSystem::from_spec(&mut m, &spec);
+    println!("initial subspace dimension: {}", qts.initial().dim());
+
+    for strategy in [
+        Strategy::Basic,
+        Strategy::Addition { k: 1 },
+        Strategy::Contraction { k1: 4, k2: 4 },
+    ] {
+        let (img, stats) = image(&mut m, qts.operations(), qts.initial(), strategy);
+        let invariant = img.equals(&mut m, qts.initial());
+        println!(
+            "{strategy:<24} image dim {dim}  max #node {nodes:<6}  time {t:?}  T(S)=S: {invariant}",
+            dim = img.dim(),
+            nodes = stats.max_nodes,
+            t = stats.elapsed,
+        );
+        assert!(invariant, "Grover subspace must be invariant");
+    }
+    println!("all methods agree: T(S) = S holds");
+}

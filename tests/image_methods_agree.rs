@@ -1,0 +1,104 @@
+//! Cross-strategy agreement: the basic algorithm, the addition partition,
+//! and the contraction partition must compute the *same* image subspace on
+//! every benchmark family — the central soundness claim behind Table I.
+
+use qits::{image, QuantumTransitionSystem, Strategy, Subspace};
+use qits_circuit::generators::{self, QtsSpec};
+use qits_tdd::TddManager;
+
+fn strategies() -> Vec<Strategy> {
+    vec![
+        Strategy::Basic,
+        Strategy::Addition { k: 1 },
+        Strategy::Addition { k: 2 },
+        Strategy::Addition { k: 3 },
+        Strategy::Contraction { k1: 1, k2: 1 },
+        Strategy::Contraction { k1: 2, k2: 2 },
+        Strategy::Contraction { k1: 4, k2: 4 },
+        Strategy::Contraction { k1: 3, k2: 1 },
+        Strategy::AdditionParallel { k: 1 },
+        Strategy::AdditionParallel { k: 2 },
+    ]
+}
+
+fn check_all_agree(spec: &QtsSpec) {
+    let mut m = TddManager::new();
+    let qts = QuantumTransitionSystem::from_spec(&mut m, spec);
+    let mut reference: Option<Subspace> = None;
+    for s in strategies() {
+        let (img, stats) = image(&mut m, qts.operations(), qts.initial(), s);
+        assert_eq!(img.dim(), stats.output_dim);
+        match &reference {
+            None => reference = Some(img),
+            Some(r) => assert!(
+                img.equals(&mut m, r),
+                "{}: strategy {s} disagrees with basic",
+                spec.name
+            ),
+        }
+    }
+}
+
+#[test]
+fn ghz_all_strategies_agree() {
+    check_all_agree(&generators::ghz(6));
+}
+
+#[test]
+fn grover_all_strategies_agree() {
+    check_all_agree(&generators::grover(5));
+}
+
+#[test]
+fn bv_all_strategies_agree() {
+    let secret = generators::bv_secret(6);
+    check_all_agree(&generators::bernstein_vazirani(6, &secret));
+}
+
+#[test]
+fn qft_all_strategies_agree() {
+    check_all_agree(&generators::qft(5));
+}
+
+#[test]
+fn qft_with_swaps_all_strategies_agree() {
+    check_all_agree(&generators::qft_with_swaps(4));
+}
+
+#[test]
+fn qrw_all_strategies_agree() {
+    check_all_agree(&generators::qrw(4, 0.3));
+}
+
+#[test]
+fn bitflip_code_all_strategies_agree() {
+    check_all_agree(&generators::bitflip_code());
+}
+
+#[test]
+fn grover_invariance_at_moderate_size() {
+    // T(S) = S scales with the register: check at 7 qubits.
+    let mut m = TddManager::new();
+    let qts = QuantumTransitionSystem::from_spec(&mut m, &generators::grover(7));
+    let (img, _) = image(
+        &mut m,
+        qts.operations(),
+        qts.initial(),
+        Strategy::Contraction { k1: 4, k2: 4 },
+    );
+    assert!(img.equals(&mut m, qts.initial()));
+}
+
+#[test]
+fn image_dim_is_bounded_by_branches_times_input_dim() {
+    let mut m = TddManager::new();
+    let spec = generators::qrw(4, 0.2);
+    let qts = QuantumTransitionSystem::from_spec(&mut m, &spec);
+    let (img, stats) = image(
+        &mut m,
+        qts.operations(),
+        qts.initial(),
+        Strategy::Basic,
+    );
+    assert!(img.dim() <= stats.branches * qts.initial().dim());
+}

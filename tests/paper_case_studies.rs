@@ -1,0 +1,137 @@
+//! End-to-end reproductions of the three worked examples in the paper's
+//! Section III-A: combinational (Grover), dynamic (bit-flip code), and
+//! noisy (quantum walk) circuits.
+
+use qits::{image, QuantumTransitionSystem, Strategy, Subspace};
+use qits_circuit::generators;
+use qits_circuit::tensorize::states;
+use qits_tdd::TddManager;
+
+const STRATEGY: Strategy = Strategy::Contraction { k1: 3, k2: 2 };
+
+/// Section III-A.1: `T1(S) = S` for `S = span{|++->, |11->}`.
+#[test]
+fn grover_iteration_preserves_its_invariant_subspace() {
+    let mut m = TddManager::new();
+    let qts = QuantumTransitionSystem::from_spec(&mut m, &generators::grover(3));
+    assert_eq!(qts.initial().dim(), 2);
+    let (img, _) = image(&mut m, qts.operations(), qts.initial(), STRATEGY);
+    assert!(img.equals(&mut m, qts.initial()));
+}
+
+/// Section III-A.1, sharper: a state in S maps into S, and a state outside
+/// S maps outside S's one-step image.
+#[test]
+fn grover_iteration_image_of_single_state() {
+    let mut m = TddManager::new();
+    let spec = generators::grover(3);
+    let vars = Subspace::ket_vars(3);
+    let ppm = m.product_ket(&vars, &[states::PLUS, states::PLUS, states::MINUS]);
+    let single = Subspace::from_states(&mut m, 3, &[ppm]);
+    let qts = QuantumTransitionSystem::new(3, spec.operations.clone(), single);
+    let (img, _) = image(&mut m, qts.operations(), qts.initial(), STRATEGY);
+    // One Grover iteration of |++-> is exactly |11-> (marked state found).
+    let oom = m.product_ket(&vars, &[states::ONE, states::ONE, states::MINUS]);
+    assert_eq!(img.dim(), 1);
+    assert!(img.contains(&mut m, oom));
+}
+
+/// Section III-A.2: the bit-flip correction maps
+/// `span{|100>,|010>,|001>} (x) |000>` to data `|000>` in every branch.
+#[test]
+fn bitflip_code_corrects_single_errors() {
+    let mut m = TddManager::new();
+    let qts = QuantumTransitionSystem::from_spec(&mut m, &generators::bitflip_code());
+    let (img, _) = image(&mut m, qts.operations(), qts.initial(), STRATEGY);
+    // Expected: data |000> with the three firing syndromes.
+    let vars = Subspace::ket_vars(6);
+    let expected_states: Vec<_> = [[true, false, true], [true, true, false], [false, true, true]]
+        .iter()
+        .map(|synd| {
+            m.basis_ket(
+                &vars,
+                &[false, false, false, synd[0], synd[1], synd[2]],
+            )
+        })
+        .collect();
+    let expected = Subspace::from_states(&mut m, 6, &expected_states);
+    assert!(img.equals(&mut m, &expected));
+}
+
+/// Section III-A.2: with *no* error, only T000 fires and the data is
+/// untouched.
+#[test]
+fn bitflip_code_no_error_passes_through() {
+    let mut m = TddManager::new();
+    let spec = generators::bitflip_code();
+    let vars = Subspace::ket_vars(6);
+    let clean = m.basis_ket(&vars, &[false; 6]);
+    let init = Subspace::from_states(&mut m, 6, &[clean]);
+    let qts = QuantumTransitionSystem::new(6, spec.operations.clone(), init);
+    let (img, _) = image(&mut m, qts.operations(), qts.initial(), STRATEGY);
+    assert_eq!(img.dim(), 1);
+    let expected = m.basis_ket(&vars, &[false; 6]); // syndrome 000
+    assert!(img.contains(&mut m, expected));
+}
+
+/// Section III-A.3: one noisy walk step maps `span{|0>|i>}` into
+/// `span{|0>|(i-1) mod 8>, |1>|(i+1) mod 8>}` — the paper's bound. The
+/// exact image is the single ray `(|0>|i-1> + |1>|i+1>)/sqrt(2)`: the
+/// bit-flip leaves `|+>` alone, so the noise branches coincide and (as the
+/// paper notes) the error "will not influence the reachable subspace".
+#[test]
+fn noisy_walk_single_step_images() {
+    let mut m = TddManager::new();
+    let spec = generators::qrw(4, 0.3);
+    let vars = Subspace::ket_vars(4);
+    for i in 0..8usize {
+        let bits: Vec<bool> = std::iter::once(false)
+            .chain((0..3).map(|b| (i >> (2 - b)) & 1 == 1))
+            .collect();
+        let start = m.basis_ket(&vars, &bits);
+        let init = Subspace::from_states(&mut m, 4, &[start]);
+        let qts = QuantumTransitionSystem::new(4, spec.operations.clone(), init);
+        let (img, _) = image(&mut m, qts.operations(), qts.initial(), STRATEGY);
+
+        let down = (i + 7) % 8;
+        let up = (i + 1) % 8;
+        let down_bits: Vec<bool> = std::iter::once(false)
+            .chain((0..3).map(|b| (down >> (2 - b)) & 1 == 1))
+            .collect();
+        let up_bits: Vec<bool> = std::iter::once(true)
+            .chain((0..3).map(|b| (up >> (2 - b)) & 1 == 1))
+            .collect();
+        let kd = m.basis_ket(&vars, &down_bits);
+        let ku = m.basis_ket(&vars, &up_bits);
+        // The exact image: one entangled ray inside the paper's span.
+        assert_eq!(img.dim(), 1, "walk step from position {i}");
+        let superpos = {
+            let sum = m.add(kd, ku);
+            m.scale(sum, qits_num::Cplx::FRAC_1_SQRT_2)
+        };
+        assert!(
+            img.contains(&mut m, superpos),
+            "walk step from position {i}: ray mismatch"
+        );
+        let bound = Subspace::from_states(&mut m, 4, &[kd, ku]);
+        assert!(
+            img.is_subspace_of(&mut m, &bound),
+            "walk step from position {i}: escapes the paper's span"
+        );
+    }
+}
+
+/// The noise probability must not change the *subspace* semantics (only
+/// amplitudes): images for different p coincide.
+#[test]
+fn noisy_walk_subspace_independent_of_noise_probability() {
+    let mut m = TddManager::new();
+    let mut images = Vec::new();
+    for p in [0.05, 0.5, 0.95] {
+        let qts = QuantumTransitionSystem::from_spec(&mut m, &generators::qrw(4, p));
+        let (img, _) = image(&mut m, qts.operations(), qts.initial(), STRATEGY);
+        images.push(img);
+    }
+    assert!(images[0].equals(&mut m, &images[1]));
+    assert!(images[1].equals(&mut m, &images[2]));
+}
