@@ -19,11 +19,9 @@ fn ablation_gate_lowering(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_millis(1200));
     for family in ["grover", "grover-elem", "grover-ct"] {
         let spec = spec_for(family, 6);
-        group.bench_with_input(
-            BenchmarkId::new(family, "contraction"),
-            &spec,
-            |b, spec| b.iter(|| run_image(spec, Strategy::Contraction { k1: 4, k2: 4 })),
-        );
+        group.bench_with_input(BenchmarkId::new(family, "contraction"), &spec, |b, spec| {
+            b.iter(|| run_image(spec, Strategy::Contraction { k1: 4, k2: 4 }))
+        });
         group.bench_with_input(BenchmarkId::new(family, "basic"), &spec, |b, spec| {
             b.iter(|| run_image(spec, Strategy::Basic))
         });

@@ -14,11 +14,9 @@ fn bench_family(c: &mut Criterion, family: &'static str, sizes: &[u32]) {
         let spec = spec_for(family, n);
         for method in METHODS {
             let strategy = strategy_for(method);
-            group.bench_with_input(
-                BenchmarkId::new(method, n),
-                &spec,
-                |b, spec| b.iter(|| run_image(spec, strategy)),
-            );
+            group.bench_with_input(BenchmarkId::new(method, n), &spec, |b, spec| {
+                b.iter(|| run_image(spec, strategy))
+            });
         }
     }
     group.finish();

@@ -17,9 +17,7 @@ fn table2_bench(c: &mut Criterion) {
             group.bench_with_input(
                 BenchmarkId::from_parameter(format!("k1={k1}/k2={k2}")),
                 &(k1, k2),
-                |b, &(k1, k2)| {
-                    b.iter(|| run_image(&spec, Strategy::Contraction { k1, k2 }))
-                },
+                |b, &(k1, k2)| b.iter(|| run_image(&spec, Strategy::Contraction { k1, k2 })),
             );
         }
     }

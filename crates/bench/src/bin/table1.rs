@@ -28,57 +28,129 @@ fn default_rows() -> Vec<Row> {
     // Elementary-gate Grover reproduces the paper's hardness profile
     // (the primitive-tensor variant is listed separately below).
     for n in [9, 11, 13] {
-        rows.push(Row { family: "grover-elem", n, contraction_only: false });
+        rows.push(Row {
+            family: "grover-elem",
+            n,
+            contraction_only: false,
+        });
     }
-    rows.push(Row { family: "grover-elem", n: 17, contraction_only: true });
+    rows.push(Row {
+        family: "grover-elem",
+        n: 17,
+        contraction_only: true,
+    });
     for n in [9, 11, 13] {
-        rows.push(Row { family: "grover", n, contraction_only: false });
+        rows.push(Row {
+            family: "grover",
+            n,
+            contraction_only: false,
+        });
     }
     for n in [9, 11, 13] {
-        rows.push(Row { family: "qft", n, contraction_only: false });
+        rows.push(Row {
+            family: "qft",
+            n,
+            contraction_only: false,
+        });
     }
     for n in [30, 50] {
-        rows.push(Row { family: "qft", n, contraction_only: true });
+        rows.push(Row {
+            family: "qft",
+            n,
+            contraction_only: true,
+        });
     }
     for n in [50, 100] {
-        rows.push(Row { family: "bv", n, contraction_only: false });
+        rows.push(Row {
+            family: "bv",
+            n,
+            contraction_only: false,
+        });
     }
     for n in [50, 100] {
-        rows.push(Row { family: "ghz", n, contraction_only: false });
+        rows.push(Row {
+            family: "ghz",
+            n,
+            contraction_only: false,
+        });
     }
     for n in [8, 10, 12] {
-        rows.push(Row { family: "qrw-elem", n, contraction_only: false });
+        rows.push(Row {
+            family: "qrw-elem",
+            n,
+            contraction_only: false,
+        });
     }
     for n in [8, 10, 12] {
-        rows.push(Row { family: "qrw", n, contraction_only: false });
+        rows.push(Row {
+            family: "qrw",
+            n,
+            contraction_only: false,
+        });
     }
-    rows.push(Row { family: "qrw", n: 16, contraction_only: true });
+    rows.push(Row {
+        family: "qrw",
+        n: 16,
+        contraction_only: true,
+    });
     rows
 }
 
 fn full_rows() -> Vec<Row> {
     let mut rows = Vec::new();
     for n in [15, 18, 20] {
-        rows.push(Row { family: "grover-elem", n, contraction_only: false });
+        rows.push(Row {
+            family: "grover-elem",
+            n,
+            contraction_only: false,
+        });
     }
-    rows.push(Row { family: "grover-elem", n: 40, contraction_only: true });
+    rows.push(Row {
+        family: "grover-elem",
+        n: 40,
+        contraction_only: true,
+    });
     for n in [15, 18, 20] {
-        rows.push(Row { family: "qft", n, contraction_only: false });
+        rows.push(Row {
+            family: "qft",
+            n,
+            contraction_only: false,
+        });
     }
     for n in [30, 50, 100] {
-        rows.push(Row { family: "qft", n, contraction_only: true });
+        rows.push(Row {
+            family: "qft",
+            n,
+            contraction_only: true,
+        });
     }
     for n in [100, 200, 300, 400, 500] {
-        rows.push(Row { family: "bv", n, contraction_only: false });
+        rows.push(Row {
+            family: "bv",
+            n,
+            contraction_only: false,
+        });
     }
     for n in [100, 200, 300, 400, 500] {
-        rows.push(Row { family: "ghz", n, contraction_only: false });
+        rows.push(Row {
+            family: "ghz",
+            n,
+            contraction_only: false,
+        });
     }
     for n in [15, 18, 20] {
-        rows.push(Row { family: "qrw-elem", n, contraction_only: false });
+        rows.push(Row {
+            family: "qrw-elem",
+            n,
+            contraction_only: false,
+        });
     }
     for n in [30, 50, 100] {
-        rows.push(Row { family: "qrw", n, contraction_only: true });
+        rows.push(Row {
+            family: "qrw",
+            n,
+            contraction_only: true,
+        });
     }
     rows
 }
@@ -103,11 +175,21 @@ fn main() {
         if full { "paper" } else { "laptop" },
         timeout_secs
     );
+    println!("cache% = contraction-cache hit rate of the run (see ImageStats)");
     println!(
-        "{:<12} | {:>9} {:>10} | {:>9} {:>10} | {:>9} {:>10}",
-        "Benchmark", "basic", "max#node", "addition", "max#node", "contract", "max#node"
+        "{:<12} | {:>9} {:>10} {:>7} | {:>9} {:>10} {:>7} | {:>9} {:>10} {:>7}",
+        "Benchmark",
+        "basic",
+        "max#node",
+        "cache%",
+        "addition",
+        "max#node",
+        "cache%",
+        "contract",
+        "max#node",
+        "cache%"
     );
-    println!("{}", "-".repeat(12 + 3 * 24));
+    println!("{}", "-".repeat(12 + 3 * 32));
 
     for row in rows {
         let mut cells = Vec::new();
@@ -119,14 +201,15 @@ fn main() {
                 run_case_subprocess(row.family, row.n, method, timeout)
             };
             match result {
-                Some((secs, nodes)) => {
+                Some(case) => {
                     cells.push(format!(
-                        "{:>9} {:>10}",
-                        fmt_secs(Duration::from_secs_f64(secs)),
-                        nodes
+                        "{:>9} {:>10} {:>6.1}%",
+                        fmt_secs(Duration::from_secs_f64(case.secs)),
+                        case.max_nodes,
+                        100.0 * case.cont_hit_rate
                     ));
                 }
-                None => cells.push(format!("{:>9} {:>10}", "-", "-")),
+                None => cells.push(format!("{:>9} {:>10} {:>7}", "-", "-", "-")),
             }
         }
         let name = format!(

@@ -39,11 +39,14 @@ fn main() {
     println!();
     println!("{}", "-".repeat(7 + 8 * kmax as usize));
 
+    let mut hit_rates = vec![vec![0.0f64; kmax as usize]; kmax as usize];
     for k1 in 1..=kmax {
         print!("{k1:>5} |");
         for k2 in 1..=kmax {
             // Fresh manager per cell: no cache sharing between parameter
-            // settings, matching the paper's per-run measurements.
+            // settings, matching the paper's per-run measurements. The
+            // hit rate reported below is therefore purely within-run
+            // reuse (blocks against many basis states).
             let mut m = TddManager::new();
             let qts = QuantumTransitionSystem::from_spec(&mut m, &spec);
             let (_, stats) = image(
@@ -52,7 +55,27 @@ fn main() {
                 qts.initial(),
                 Strategy::Contraction { k1, k2 },
             );
+            hit_rates[(k1 - 1) as usize][(k2 - 1) as usize] = stats.cont_hit_rate();
             print!("{:>8.4}", stats.elapsed.as_secs_f64());
+        }
+        println!();
+    }
+
+    println!();
+    println!("Contraction-cache hit rate (%) per cell (within-run reuse):");
+    print!("{:>5} |", "k1\\k2");
+    for k2 in 1..=kmax {
+        print!("{k2:>8}");
+    }
+    println!();
+    println!("{}", "-".repeat(7 + 8 * kmax as usize));
+    for k1 in 1..=kmax {
+        print!("{k1:>5} |");
+        for k2 in 1..=kmax {
+            print!(
+                "{:>8.1}",
+                100.0 * hit_rates[(k1 - 1) as usize][(k2 - 1) as usize]
+            );
         }
         println!();
     }

@@ -59,7 +59,7 @@ fn elementarized_grover(n: u32, clifford_t: bool) -> QtsSpec {
         .iter()
         .map(|amps| {
             let mut a = amps.clone();
-            a.extend(std::iter::repeat(states::ZERO).take(pad));
+            a.extend(std::iter::repeat_n(states::ZERO, pad));
             a
         })
         .collect();
@@ -67,7 +67,11 @@ fn elementarized_grover(n: u32, clifford_t: bool) -> QtsSpec {
         name: format!(
             "Grover{}{}{n}",
             if clifford_t { "CT" } else { "Elem" },
-            if pad > 0 { format!("+{pad}a ") } else { String::new() }
+            if pad > 0 {
+                format!("+{pad}a ")
+            } else {
+                String::new()
+            }
         ),
         n_qubits: elem.n_qubits(),
         operations: vec![Operation::from_circuit("grover-elem", &elem)],
@@ -110,7 +114,7 @@ fn elementarized_qrw(n: u32) -> QtsSpec {
         .iter()
         .map(|amps| {
             let mut a = amps.clone();
-            a.extend(std::iter::repeat(states::ZERO).take(pad));
+            a.extend(std::iter::repeat_n(states::ZERO, pad));
             a
         })
         .collect();
@@ -165,19 +169,31 @@ pub fn fmt_secs(d: Duration) -> String {
     format!("{:.2}", d.as_secs_f64())
 }
 
+/// One subprocess measurement: wall-clock seconds, peak TDD node count,
+/// and the contraction-cache hit rate of the run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CaseMeasurement {
+    /// Wall-clock seconds of the image computation.
+    pub secs: f64,
+    /// Peak TDD node count ("max #node").
+    pub max_nodes: usize,
+    /// Contraction-cache hit rate in `[0, 1]`.
+    pub cont_hit_rate: f64,
+}
+
 /// Runs a single `(family, n, method)` case in a subprocess of the current
 /// executable, so a case that exceeds `timeout` can be killed without
 /// poisoning later measurements (the paper uses a 3600 s timeout the same
 /// way). Returns `None` on timeout or subprocess failure.
 ///
 /// The subprocess is invoked as `<exe> --one <family> <n> <method>` and
-/// must print `<seconds> <max_nodes>` on success.
+/// must print `<seconds> <max_nodes> <cont_hit_rate>` on success.
 pub fn run_case_subprocess(
     family: &str,
     n: u32,
     method: &str,
     timeout: Duration,
-) -> Option<(f64, usize)> {
+) -> Option<CaseMeasurement> {
     use std::process::{Command, Stdio};
     let exe = std::env::current_exe().ok()?;
     let mut child = Command::new(exe)
@@ -211,8 +227,13 @@ pub fn run_case_subprocess(
     child.stdout.take()?.read_to_string(&mut out).ok()?;
     let mut it = out.split_whitespace();
     let secs: f64 = it.next()?.parse().ok()?;
-    let nodes: usize = it.next()?.parse().ok()?;
-    Some((secs, nodes))
+    let max_nodes: usize = it.next()?.parse().ok()?;
+    let cont_hit_rate: f64 = it.next()?.parse().ok()?;
+    Some(CaseMeasurement {
+        secs,
+        max_nodes,
+        cont_hit_rate,
+    })
 }
 
 /// Entry point for the `--one` subprocess mode shared by the table
@@ -222,7 +243,12 @@ pub fn maybe_run_one(args: &[String]) -> bool {
         let family = &args[2];
         let n: u32 = args[3].parse().expect("size must be an integer");
         let stats = run_image(&spec_for(family, n), strategy_for(&args[4]));
-        println!("{} {}", stats.elapsed.as_secs_f64(), stats.max_nodes);
+        println!(
+            "{} {} {:.6}",
+            stats.elapsed.as_secs_f64(),
+            stats.max_nodes,
+            stats.cont_hit_rate()
+        );
         true
     } else {
         false

@@ -61,11 +61,7 @@ pub fn ccx_to_clifford_t(c1: u32, c2: u32, t: u32) -> Vec<Gate> {
 ///
 /// Panics if fewer than `controls.len() - 1` ancillas are supplied (extra
 /// ancillas are ignored), or if ancillas collide with gate qubits.
-pub fn mcx_with_ancillas(
-    controls: &[(u32, bool)],
-    target: u32,
-    ancillas: &[u32],
-) -> Vec<Gate> {
+pub fn mcx_with_ancillas(controls: &[(u32, bool)], target: u32, ancillas: &[u32]) -> Vec<Gate> {
     let k = controls.len();
     let mut gates = Vec::new();
     // Flip negative controls to positive.
@@ -166,7 +162,12 @@ pub fn elementarize(circuit: &Circuit, opts: ElementarizeOptions) -> Circuit {
             // Multi-controlled X: Toffoli ladder (or direct CCX for k = 2).
             for gg in mcx_with_ancillas(&ctl_pairs, g.targets[0], &ancillas) {
                 if matches!(gg.kind, GateKind::X) && gg.controls.len() == 2 {
-                    push_ccx(&mut out, gg.controls[0].qubit, gg.controls[1].qubit, gg.targets[0]);
+                    push_ccx(
+                        &mut out,
+                        gg.controls[0].qubit,
+                        gg.controls[1].qubit,
+                        gg.targets[0],
+                    );
                 } else {
                     out.push(gg);
                 }
@@ -179,7 +180,12 @@ pub fn elementarize(circuit: &Circuit, opts: ElementarizeOptions) -> Circuit {
             let compute = mcx_with_ancillas(&ctl_pairs, collect, ladder_anc);
             for gg in &compute {
                 if matches!(gg.kind, GateKind::X) && gg.controls.len() == 2 {
-                    push_ccx(&mut out, gg.controls[0].qubit, gg.controls[1].qubit, gg.targets[0]);
+                    push_ccx(
+                        &mut out,
+                        gg.controls[0].qubit,
+                        gg.controls[1].qubit,
+                        gg.targets[0],
+                    );
                 } else {
                     out.push(gg.clone());
                 }
@@ -187,17 +193,30 @@ pub fn elementarize(circuit: &Circuit, opts: ElementarizeOptions) -> Circuit {
             out.push(Gate::new(
                 g.kind.clone(),
                 g.targets.clone(),
-                vec![Control { qubit: collect, value: true }],
+                vec![Control {
+                    qubit: collect,
+                    value: true,
+                }],
             ));
             for gg in compute.iter().rev() {
                 if matches!(gg.kind, GateKind::X) && gg.controls.len() == 2 {
-                    push_ccx(&mut out, gg.controls[0].qubit, gg.controls[1].qubit, gg.targets[0]);
+                    push_ccx(
+                        &mut out,
+                        gg.controls[0].qubit,
+                        gg.controls[1].qubit,
+                        gg.targets[0],
+                    );
                 } else {
                     out.push(gg.clone());
                 }
             }
         } else if is_x && k == 2 {
-            push_ccx(&mut out, g.controls[0].qubit, g.controls[1].qubit, g.targets[0]);
+            push_ccx(
+                &mut out,
+                g.controls[0].qubit,
+                g.controls[1].qubit,
+                g.targets[0],
+            );
         } else {
             out.push(g.clone());
         }
@@ -316,8 +335,14 @@ mod tests {
             GateKind::Phase(0.7),
             vec![2],
             vec![
-                Control { qubit: 0, value: true },
-                Control { qubit: 1, value: true },
+                Control {
+                    qubit: 0,
+                    value: true,
+                },
+                Control {
+                    qubit: 1,
+                    value: true,
+                },
             ],
         );
         let mut c = Circuit::new(3);

@@ -108,10 +108,7 @@ impl Operation {
     /// malformed (projector length mismatch, empty channel).
     pub fn then(mut self, e: Element) -> Operation {
         match &e {
-            Element::Gate(g) => assert!(
-                g.max_qubit() < self.n_qubits,
-                "gate {g} exceeds register"
-            ),
+            Element::Gate(g) => assert!(g.max_qubit() < self.n_qubits, "gate {g} exceeds register"),
             Element::Projector { qubits, bits } => {
                 assert_eq!(qubits.len(), bits.len(), "one bit per projected qubit");
                 assert!(
@@ -121,7 +118,10 @@ impl Operation {
             }
             Element::Channel { qubit, kraus, .. } => {
                 assert!(*qubit < self.n_qubits, "channel exceeds register");
-                assert!(!kraus.is_empty(), "channel needs at least one Kraus operator");
+                assert!(
+                    !kraus.is_empty(),
+                    "channel needs at least one Kraus operator"
+                );
                 assert!(
                     kraus.iter().all(|m| m.dim() == 2),
                     "single-qubit channel Kraus operators must be 2x2"
@@ -227,7 +227,9 @@ mod tests {
 
     #[test]
     fn channels_multiply_branches() {
-        let op = Operation::new("nn", 1).then(bitflip(0.1)).then(bitflip(0.2));
+        let op = Operation::new("nn", 1)
+            .then(bitflip(0.1))
+            .then(bitflip(0.2));
         assert_eq!(op.branch_count(), 4);
         assert_eq!(op.kraus_branches().len(), 4);
     }
@@ -245,7 +247,9 @@ mod tests {
 
     #[test]
     fn branch_digit_order_first_channel_slowest() {
-        let op = Operation::new("nn", 1).then(bitflip(0.1)).then(bitflip(0.2));
+        let op = Operation::new("nn", 1)
+            .then(bitflip(0.1))
+            .then(bitflip(0.2));
         let branches = op.kraus_branches();
         // Branch 1 = digits (0,1): first channel I-scaled, second X-scaled.
         let b1 = &branches[1];

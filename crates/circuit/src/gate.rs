@@ -81,8 +81,14 @@ impl GateKind {
             Z => Mat::diagonal(&[Cplx::ONE, Cplx::NEG_ONE]),
             S => Mat::diagonal(&[Cplx::ONE, Cplx::I]),
             Sdg => Mat::diagonal(&[Cplx::ONE, -Cplx::I]),
-            T => Mat::diagonal(&[Cplx::ONE, Cplx::from_polar(1.0, std::f64::consts::FRAC_PI_4)]),
-            Tdg => Mat::diagonal(&[Cplx::ONE, Cplx::from_polar(1.0, -std::f64::consts::FRAC_PI_4)]),
+            T => Mat::diagonal(&[
+                Cplx::ONE,
+                Cplx::from_polar(1.0, std::f64::consts::FRAC_PI_4),
+            ]),
+            Tdg => Mat::diagonal(&[
+                Cplx::ONE,
+                Cplx::from_polar(1.0, -std::f64::consts::FRAC_PI_4),
+            ]),
             Phase(theta) => Mat::diagonal(&[Cplx::ONE, Cplx::from_polar(1.0, *theta)]),
             Rx(theta) => {
                 let (c, s) = ((theta / 2.0).cos(), (theta / 2.0).sin());
@@ -236,12 +242,26 @@ impl Gate {
 
     /// Controlled-X with control `c` and target `t`.
     pub fn cx(c: u32, t: u32) -> Gate {
-        Gate::new(GateKind::X, vec![t], vec![Control { qubit: c, value: true }])
+        Gate::new(
+            GateKind::X,
+            vec![t],
+            vec![Control {
+                qubit: c,
+                value: true,
+            }],
+        )
     }
 
     /// Controlled-Z between `c` and `t`.
     pub fn cz(c: u32, t: u32) -> Gate {
-        Gate::new(GateKind::Z, vec![t], vec![Control { qubit: c, value: true }])
+        Gate::new(
+            GateKind::Z,
+            vec![t],
+            vec![Control {
+                qubit: c,
+                value: true,
+            }],
+        )
     }
 
     /// Controlled phase (the QFT workhorse).
@@ -249,7 +269,10 @@ impl Gate {
         Gate::new(
             GateKind::Phase(theta),
             vec![t],
-            vec![Control { qubit: c, value: true }],
+            vec![Control {
+                qubit: c,
+                value: true,
+            }],
         )
     }
 
@@ -362,7 +385,22 @@ mod tests {
     #[test]
     fn standard_gates_are_unitary() {
         use GateKind::*;
-        for k in [I, H, X, Y, Z, S, Sdg, T, Tdg, Phase(0.3), Rx(0.7), Ry(1.1), Rz(2.3), Swap] {
+        for k in [
+            I,
+            H,
+            X,
+            Y,
+            Z,
+            S,
+            Sdg,
+            T,
+            Tdg,
+            Phase(0.3),
+            Rx(0.7),
+            Ry(1.1),
+            Rz(2.3),
+            Swap,
+        ] {
             assert!(k.matrix().is_unitary(), "{} not unitary", k.mnemonic());
         }
     }

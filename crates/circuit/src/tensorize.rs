@@ -21,8 +21,8 @@
 
 use std::collections::BTreeMap;
 
-use qits_tensor::{Tensor, Var};
 use qits_tdd::{Edge, TddManager};
+use qits_tensor::{Tensor, Var};
 
 use crate::gate::Gate;
 
@@ -245,8 +245,7 @@ mod tests {
                 // For non-target wires the output must match the input bits
                 // (the gate tensor doesn't touch them).
                 let input_consistent = (0..n).all(|q| {
-                    gate.targets.contains(&q)
-                        || ((jdx >> (n - 1 - q)) & 1 == 1) == bits[q as usize]
+                    gate.targets.contains(&q) || ((jdx >> (n - 1 - q)) & 1 == 1) == bits[q as usize]
                 });
                 if !input_consistent {
                     continue;
@@ -314,14 +313,14 @@ mod tests {
 
     #[test]
     fn controlled_custom_nonunitary() {
-        let damp = Mat::from_rows(&[
-            &[Cplx::ONE, Cplx::ZERO],
-            &[Cplx::ZERO, Cplx::real(0.5)],
-        ]);
+        let damp = Mat::from_rows(&[&[Cplx::ONE, Cplx::ZERO], &[Cplx::ZERO, Cplx::real(0.5)]]);
         let g = Gate::new(
             GateKind::Custom1(damp),
             vec![1],
-            vec![crate::Control { qubit: 0, value: true }],
+            vec![crate::Control {
+                qubit: 0,
+                value: true,
+            }],
         );
         check_gate_against_sim(&g, 2);
     }

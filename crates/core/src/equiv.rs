@@ -11,8 +11,8 @@
 use std::collections::BTreeMap;
 
 use qits_circuit::Circuit;
-use qits_tensor::Var;
 use qits_tdd::{Edge, TddManager};
+use qits_tensor::Var;
 use qits_tensornet::{contract_network, TensorNetwork};
 
 /// Contracts `circuit` into its operator TDD over the canonical variables
@@ -91,9 +91,7 @@ pub fn equivalent_exactly(m: &mut TddManager, a: &Circuit, b: &Circuit) -> bool 
         return false;
     }
     // Proportional; check the ratio at a witness entry.
-    let vars: Vec<Var> = (0..n)
-        .flat_map(|q| [Var::ket(q), Var::row(q)])
-        .collect();
+    let vars: Vec<Var> = (0..n).flat_map(|q| [Var::ket(q), Var::row(q)]).collect();
     let asn = m
         .first_nonzero_assignment(oa, &vars)
         .expect("fidelity 1 implies non-zero");

@@ -4,8 +4,8 @@ use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
 use qits_circuit::Operation;
+use qits_tdd::{CacheStats, Edge, TddManager};
 use qits_tensor::{Var, VarSet};
-use qits_tdd::{Edge, TddManager};
 use qits_tensornet::{
     contract_network, contraction_blocks, precontract_blocks, InteractionGraph, NetTensor,
     TensorNetwork,
@@ -58,7 +58,8 @@ impl std::fmt::Display for Strategy {
     }
 }
 
-/// Measurements of one image computation — the quantities Table I reports.
+/// Measurements of one image computation — the quantities Table I reports,
+/// plus the operation-cache movement behind them.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ImageStats {
     /// Peak node count over every TDD produced ("max #node").
@@ -69,6 +70,20 @@ pub struct ImageStats {
     pub branches: usize,
     /// Dimension of the computed image.
     pub output_dim: usize,
+    /// Contraction-cache movement across this computation (worker managers
+    /// of the parallel strategies included).
+    pub cont_cache: CacheStats,
+    /// Addition-cache movement across this computation.
+    pub add_cache: CacheStats,
+}
+
+impl ImageStats {
+    /// Contraction-cache hit rate in `[0, 1]` — the headline reuse metric:
+    /// the contraction partition wins precisely when repeated
+    /// block-against-state contractions share structure.
+    pub fn cont_hit_rate(&self) -> f64 {
+        self.cont_cache.hit_rate()
+    }
 }
 
 /// Computes the image `T(S)` of subspace `input` under the given
@@ -86,6 +101,7 @@ pub fn image(
 ) -> (Subspace, ImageStats) {
     let n = input.n_qubits();
     let start = Instant::now();
+    let manager_before = m.stats();
     let mut out = Subspace::zero(n);
     let mut stats = ImageStats::default();
 
@@ -103,7 +119,8 @@ pub fn image(
                         vars: net.external_vars(),
                     };
                     for &psi in input.basis() {
-                        let (phi, peak) = apply_tensors(m, &[op_tensor.clone()], &net, psi);
+                        let (phi, peak) =
+                            apply_tensors(m, std::slice::from_ref(&op_tensor), &net, psi);
                         stats.max_nodes = stats.max_nodes.max(peak);
                         out.absorb(m, phi);
                     }
@@ -124,7 +141,8 @@ pub fn image(
                     for &psi in input.basis() {
                         let mut total = Edge::ZERO;
                         for part in &op_tensors {
-                            let (phi, peak) = apply_tensors(m, &[part.clone()], &net, psi);
+                            let (phi, peak) =
+                                apply_tensors(m, std::slice::from_ref(part), &net, psi);
                             stats.max_nodes = stats.max_nodes.max(peak);
                             total = m.add(total, phi);
                             stats.max_nodes = stats.max_nodes.max(m.node_count(total));
@@ -147,6 +165,13 @@ pub fn image(
                     let cut_vars = graph.highest_degree_vars(k);
                     let psis: Vec<Edge> = input.basis().to_vec();
                     let worker_out = run_addition_workers(m, &branch, &cut_vars, &psis);
+                    // Worker managers start from zero, so their lifetime
+                    // counters are exactly this branch's movement.
+                    for (local, _, _) in &worker_out {
+                        let ws = local.stats();
+                        stats.cont_cache.absorb(&ws.cont_cache);
+                        stats.add_cache.absorb(&ws.add_cache);
+                    }
                     for i in 0..psis.len() {
                         let mut total = Edge::ZERO;
                         for (local, phis, peak) in &worker_out {
@@ -162,6 +187,9 @@ pub fn image(
         }
     }
 
+    let moved = m.stats().since(&manager_before);
+    stats.cont_cache.absorb(&moved.cont_cache);
+    stats.add_cache.absorb(&moved.add_cache);
     stats.output_dim = out.dim();
     stats.elapsed = start.elapsed();
     (out, stats)
@@ -200,8 +228,12 @@ fn run_addition_workers(
                         .iter()
                         .map(|&psi_main| {
                             let psi = local.import(m, psi_main);
-                            let (phi, p) =
-                                apply_tensors(&mut local, &[op_tensor.clone()], &net, psi);
+                            let (phi, p) = apply_tensors(
+                                &mut local,
+                                std::slice::from_ref(&op_tensor),
+                                &net,
+                                psi,
+                            );
                             peak = peak.max(p);
                             phi
                         })
@@ -283,11 +315,7 @@ mod tests {
 
     /// Dense reference image: apply every Kraus matrix to every basis
     /// vector, Gram–Schmidt the lot.
-    fn dense_image(
-        m: &mut TddManager,
-        ops: &[Operation],
-        input: &Subspace,
-    ) -> Vec<Vec<Cplx>> {
+    fn dense_image(m: &mut TddManager, ops: &[Operation], input: &Subspace) -> Vec<Vec<Cplx>> {
         let n = input.n_qubits();
         let vars = Subspace::ket_vars(n);
         let mut vectors = Vec::new();

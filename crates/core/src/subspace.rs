@@ -9,8 +9,8 @@
 use std::collections::BTreeMap;
 
 use qits_num::Cplx;
-use qits_tensor::Var;
 use qits_tdd::{Edge, TddManager};
+use qits_tensor::Var;
 
 /// Squared-norm threshold below which a Gram–Schmidt residual counts as
 /// zero (the vector lies in the subspace already).
@@ -256,9 +256,8 @@ impl Subspace {
                 "leftmost non-zero column has zero norm; input is not a projector"
             );
             let v = m.scale(column, Cplx::real(1.0 / n2.sqrt()));
-            let map: BTreeMap<Var, Var> = (0..n_qubits)
-                .map(|q| (Var::row(q), Var::ket(q)))
-                .collect();
+            let map: BTreeMap<Var, Var> =
+                (0..n_qubits).map(|q| (Var::row(q), Var::ket(q))).collect();
             let ket = m.rename_monotone(v, &map);
             s.basis.push(ket);
             let outer = s.outer(m, ket);
@@ -362,8 +361,7 @@ mod tests {
         // The second basis vector is -1/(2 sqrt 3) (|00>+|01>+|10>-3|11>)|->.
         let v = s.basis()[1];
         let amp = |m: &mut TddManager, bits: [bool; 3]| {
-            let asn: BTreeMap<Var, bool> =
-                vars.iter().copied().zip(bits.iter().copied()).collect();
+            let asn: BTreeMap<Var, bool> = vars.iter().copied().zip(bits.iter().copied()).collect();
             m.eval(v, &asn)
         };
         let c = 1.0 / (2.0 * 3f64.sqrt()) * std::f64::consts::FRAC_1_SQRT_2;
@@ -391,11 +389,8 @@ mod tests {
         // 1/sqrt(3)(|00>+|01>+|10>)|->, as computed in the paper.
         let v1 = decomposed.basis()[0];
         let a = {
-            let asn: BTreeMap<Var, bool> = vars
-                .iter()
-                .copied()
-                .zip([false, false, false])
-                .collect();
+            let asn: BTreeMap<Var, bool> =
+                vars.iter().copied().zip([false, false, false]).collect();
             m.eval(v1, &asn)
         };
         assert!((a.abs() - 1.0 / 6f64.sqrt()).abs() < 1e-9, "got {a}");

@@ -197,6 +197,8 @@ impl MulAssign for Cplx {
 impl Div for Cplx {
     type Output = Cplx;
     #[inline]
+    // Division via the reciprocal is the intended formula, not a typo.
+    #[allow(clippy::suspicious_arithmetic_impl)]
     fn div(self, rhs: Cplx) -> Cplx {
         self * rhs.recip()
     }
@@ -290,7 +292,11 @@ mod tests {
 
     #[test]
     fn sqrt_squares_back() {
-        for &z in &[Cplx::new(2.0, 0.0), Cplx::new(0.0, 1.0), Cplx::new(-3.0, 4.0)] {
+        for &z in &[
+            Cplx::new(2.0, 0.0),
+            Cplx::new(0.0, 1.0),
+            Cplx::new(-3.0, 4.0),
+        ] {
             let r = z.sqrt();
             assert!((r * r).approx_eq(z), "sqrt({z}) = {r}");
         }

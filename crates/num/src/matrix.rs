@@ -92,7 +92,11 @@ impl Mat {
     ///
     /// Panics if the dimension is not a power of two.
     pub fn qubits(&self) -> usize {
-        assert!(self.dim.is_power_of_two(), "dimension {} not a power of two", self.dim);
+        assert!(
+            self.dim.is_power_of_two(),
+            "dimension {} not a power of two",
+            self.dim
+        );
         self.dim.trailing_zeros() as usize
     }
 
@@ -224,7 +228,8 @@ impl Mat {
 
     /// Whether `self * self^dagger = I` within the default tolerance.
     pub fn is_unitary(&self) -> bool {
-        self.matmul(&self.adjoint()).approx_eq(&Mat::identity(self.dim))
+        self.matmul(&self.adjoint())
+            .approx_eq(&Mat::identity(self.dim))
     }
 
     /// Whether the matrix is diagonal within the default tolerance.

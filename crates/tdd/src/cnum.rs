@@ -140,7 +140,10 @@ impl ComplexTable {
     }
 
     fn bucket_of(&self, c: Cplx) -> (i64, i64) {
-        ((c.re / self.grid).round() as i64, (c.im / self.grid).round() as i64)
+        (
+            (c.re / self.grid).round() as i64,
+            (c.im / self.grid).round() as i64,
+        )
     }
 
     fn push(&mut self, c: Cplx) -> CIdx {

@@ -55,11 +55,7 @@ impl TddManager {
         }
 
         let root_w = self.weight_value(e.weight);
-        let _ = writeln!(
-            out,
-            "  entry -> n{} [label=\"{root_w}\"];",
-            ids[&e.node]
-        );
+        let _ = writeln!(out, "  entry -> n{} [label=\"{root_w}\"];", ids[&e.node]);
 
         for n in &order {
             if n.is_terminal() {
@@ -78,11 +74,7 @@ impl TddManager {
                     format!(" [label=\"{w}\", color={colour}]")
                 };
                 if label.is_empty() {
-                    let _ = writeln!(
-                        out,
-                        "  n{id} -> n{} [color={colour}];",
-                        ids[&succ.node]
-                    );
+                    let _ = writeln!(out, "  n{id} -> n{} [color={colour}];", ids[&succ.node]);
                 } else {
                     let _ = writeln!(out, "  n{id} -> n{}{label};", ids[&succ.node]);
                 }

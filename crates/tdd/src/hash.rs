@@ -57,9 +57,7 @@ mod tests {
     use std::hash::{BuildHasher, Hash};
 
     fn hash_of<T: Hash>(v: &T) -> u64 {
-        let mut h = FastBuild::default().build_hasher();
-        v.hash(&mut h);
-        h.finish()
+        FastBuild::default().hash_one(v)
     }
 
     #[test]

@@ -47,6 +47,7 @@
 //! assert!(amp.approx_eq(h));
 //! ```
 
+pub mod cache;
 mod cnum;
 mod dot;
 mod hash;
@@ -56,6 +57,7 @@ mod ops;
 mod stats;
 mod transfer;
 
+pub use cache::{CacheSizes, CacheStats, DEFAULT_CACHE_CAPACITY};
 pub use cnum::{CIdx, ComplexTable};
 pub use manager::TddManager;
 pub use node::{Edge, NodeId, TERMINAL};

@@ -5,6 +5,7 @@ use std::collections::BTreeMap;
 use qits_num::{Cplx, Mat};
 use qits_tensor::{Tensor, Var, VarSet};
 
+use crate::cache::{CacheSizes, OpCaches, DEFAULT_CACHE_CAPACITY};
 use crate::cnum::{CIdx, ComplexTable};
 use crate::hash::FastMap;
 use crate::node::{Edge, Node, NodeId, TERMINAL, TERMINAL_VAR};
@@ -23,15 +24,17 @@ use crate::stats::ManagerStats;
 ///    the largest magnitude (the low one on ties) is exactly 1, with the
 ///    common factor pushed to the incoming edge.
 ///
-/// There is no garbage collection: the arena only grows. Image computations
-/// are bounded runs; create a fresh manager per experiment (cheap) or call
-/// [`TddManager::clear_caches`] between phases to bound cache growth.
+/// There is no garbage collection: the arena only grows. Operation caches
+/// are **manager-owned** (see [`crate::cache`]) so memoised results survive
+/// across top-level calls — the reuse repeated image computations depend
+/// on — and they are size-bounded, so long runs stay within memory;
+/// [`TddManager::clear_caches`] drops them all between phases if needed.
 #[derive(Debug)]
 pub struct TddManager {
     nodes: Vec<Node>,
     unique: FastMap<Node, NodeId>,
     table: ComplexTable,
-    pub(crate) add_cache: FastMap<(Edge, Edge), Edge>,
+    pub(crate) caches: OpCaches,
     pub(crate) stats: ManagerStats,
 }
 
@@ -64,14 +67,21 @@ impl TddManager {
             nodes,
             unique: FastMap::default(),
             table: ComplexTable::with_tolerance(tol),
-            add_cache: FastMap::default(),
+            caches: OpCaches::with_capacity(DEFAULT_CACHE_CAPACITY),
             stats: ManagerStats::default(),
         }
     }
 
-    /// Statistics accumulated so far.
-    pub fn stats(&self) -> &ManagerStats {
-        &self.stats
+    /// Statistics accumulated so far, including the live counters of every
+    /// operation cache.
+    pub fn stats(&self) -> ManagerStats {
+        let mut s = self.stats;
+        s.add_cache = *self.caches.add.stats();
+        s.cont_cache = *self.caches.cont.stats();
+        s.slice_cache = *self.caches.slice.stats();
+        s.conj_cache = *self.caches.conj.stats();
+        s.rename_cache = *self.caches.rename.stats();
+        s
     }
 
     /// Total nodes ever created (including the terminal).
@@ -79,12 +89,27 @@ impl TddManager {
         self.nodes.len()
     }
 
-    /// Drops all operation caches (unique table and arena are kept).
+    /// Drops every operation cache (unique table and arena are kept).
     ///
     /// Useful between phases of a long run to bound memory; results built so
-    /// far remain valid.
+    /// far remain valid. Cache counters are cumulative and survive the
+    /// clear.
     pub fn clear_caches(&mut self) {
-        self.add_cache.clear();
+        self.caches.clear();
+    }
+
+    /// Re-bounds every operation cache to at most `capacity` entries.
+    ///
+    /// `0` disables operation caching entirely (every lookup misses and
+    /// inserts are dropped) — results are identical either way, only the
+    /// work to reach them changes; the equivalence tests rely on this.
+    pub fn set_cache_capacity(&mut self, capacity: usize) {
+        self.caches.set_capacity(capacity);
+    }
+
+    /// Live entry counts of every operation cache.
+    pub fn cache_sizes(&self) -> CacheSizes {
+        self.caches.sizes()
     }
 
     // ------------------------------------------------------------------
@@ -243,10 +268,7 @@ impl TddManager {
         } else if wh.is_zero() {
             wl
         } else {
-            let (al, ah) = (
-                self.table.value(wl).abs(),
-                self.table.value(wh).abs(),
-            );
+            let (al, ah) = (self.table.value(wl).abs(), self.table.value(wh).abs());
             if al >= ah {
                 wl
             } else {
@@ -414,17 +436,17 @@ impl TddManager {
     /// Builds a TDD from a dense tensor.
     pub fn from_tensor(&mut self, t: &Tensor) -> Edge {
         let vars: Vec<Var> = t.vars().iter().collect();
-        self.from_tensor_rec(t, &vars)
+        self.build_tensor_rec(t, &vars)
     }
 
-    fn from_tensor_rec(&mut self, t: &Tensor, vars: &[Var]) -> Edge {
+    fn build_tensor_rec(&mut self, t: &Tensor, vars: &[Var]) -> Edge {
         match vars.split_first() {
             None => self.constant(t.value_at(0)),
             Some((&v, rest)) => {
                 let lo_t = t.slice(v, false);
                 let hi_t = t.slice(v, true);
-                let lo = self.from_tensor_rec(&lo_t, rest);
-                let hi = self.from_tensor_rec(&hi_t, rest);
+                let lo = self.build_tensor_rec(&lo_t, rest);
+                let hi = self.build_tensor_rec(&hi_t, rest);
                 self.make_node(v, lo, hi)
             }
         }
@@ -601,9 +623,15 @@ mod tests {
                 (Cplx::ONE, Cplx::ZERO),
             ],
         );
-        assert!(m.eval(v, &asn(&[(0, false), (1, false)])).approx_eq(Cplx::FRAC_1_SQRT_2));
-        assert!(m.eval(v, &asn(&[(0, true), (1, false)])).approx_eq(Cplx::FRAC_1_SQRT_2));
-        assert!(m.eval(v, &asn(&[(0, true), (1, true)])).approx_eq(Cplx::ZERO));
+        assert!(m
+            .eval(v, &asn(&[(0, false), (1, false)]))
+            .approx_eq(Cplx::FRAC_1_SQRT_2));
+        assert!(m
+            .eval(v, &asn(&[(0, true), (1, false)]))
+            .approx_eq(Cplx::FRAC_1_SQRT_2));
+        assert!(m
+            .eval(v, &asn(&[(0, true), (1, true)]))
+            .approx_eq(Cplx::ZERO));
     }
 
     #[test]
@@ -611,8 +639,12 @@ mod tests {
         let mut m = TddManager::new();
         let vars = [Var(0), Var(1), Var(2)];
         let e = m.basis_ket(&vars, &[true, false, true]);
-        assert!(m.eval(e, &asn(&[(0, true), (1, false), (2, true)])).approx_eq(Cplx::ONE));
-        assert!(m.eval(e, &asn(&[(0, true), (1, true), (2, true)])).approx_eq(Cplx::ZERO));
+        assert!(m
+            .eval(e, &asn(&[(0, true), (1, false), (2, true)]))
+            .approx_eq(Cplx::ONE));
+        assert!(m
+            .eval(e, &asn(&[(0, true), (1, true), (2, true)]))
+            .approx_eq(Cplx::ZERO));
         assert_eq!(m.node_count(e), 3);
     }
 
@@ -620,9 +652,15 @@ mod tests {
     fn identity_tensor() {
         let mut m = TddManager::new();
         let e = m.identity(Var(0), Var(1));
-        assert!(m.eval(e, &asn(&[(0, false), (1, false)])).approx_eq(Cplx::ONE));
-        assert!(m.eval(e, &asn(&[(0, true), (1, true)])).approx_eq(Cplx::ONE));
-        assert!(m.eval(e, &asn(&[(0, false), (1, true)])).approx_eq(Cplx::ZERO));
+        assert!(m
+            .eval(e, &asn(&[(0, false), (1, false)]))
+            .approx_eq(Cplx::ONE));
+        assert!(m
+            .eval(e, &asn(&[(0, true), (1, true)]))
+            .approx_eq(Cplx::ONE));
+        assert!(m
+            .eval(e, &asn(&[(0, false), (1, true)]))
+            .approx_eq(Cplx::ZERO));
     }
 
     #[test]

@@ -6,15 +6,10 @@ use std::collections::BTreeMap;
 use qits_num::Cplx;
 use qits_tensor::Var;
 
+use crate::cache::SumId;
 use crate::cnum::CIdx;
-use crate::hash::FastMap;
 use crate::manager::TddManager;
-use crate::node::{Edge, NodeId};
-
-/// Per-call memo table for contraction: `(left node, right node, summation
-/// suffix start)` — weights are factored out, so entries are reusable for
-/// any incoming weights.
-type ContMemo = FastMap<(NodeId, NodeId, usize), Edge>;
+use crate::node::Edge;
 
 impl TddManager {
     // ------------------------------------------------------------------
@@ -60,7 +55,7 @@ impl TddManager {
         }
         let ka = a.with_weight(CIdx::ONE);
         let kb = b.with_weight(beta);
-        if let Some(&r) = self.add_cache.get(&(ka, kb)) {
+        if let Some(r) = self.caches.add.get(&(ka, kb)) {
             return self.mul_weight(r, a.weight);
         }
         let va = self.var_of(a.node);
@@ -71,7 +66,7 @@ impl TddManager {
         let lo = self.add_rec(a0, b0);
         let hi = self.add_rec(a1, b1);
         let r = self.make_node(x, lo, hi);
-        self.add_cache.insert((ka, kb), r);
+        self.caches.add.insert((ka, kb), r);
         self.mul_weight(r, a.weight)
     }
 
@@ -113,11 +108,17 @@ impl TddManager {
             "summation variables must be strictly ascending"
         );
         self.stats.cont_calls += 1;
-        let mut memo = ContMemo::default();
-        self.cont_rec(a, b, sum, 0, &mut memo)
+        // Intern every suffix of the summation list: the manager-owned
+        // contraction cache keys on `(nodes, remaining-suffix id)`, which
+        // is stable across top-level calls — entries written while
+        // contracting one basis state (or one Kraus branch) are hit again
+        // by every later contraction that reaches the same sub-diagrams
+        // with the same remaining summation variables.
+        let suffixes = self.caches.sums.suffix_ids(sum);
+        self.cont_rec(a, b, sum, 0, &suffixes)
     }
 
-    fn cont_rec(&mut self, a: Edge, b: Edge, sum: &[Var], si: usize, memo: &mut ContMemo) -> Edge {
+    fn cont_rec(&mut self, a: Edge, b: Edge, sum: &[Var], si: usize, suffixes: &[SumId]) -> Edge {
         if a.is_zero() || b.is_zero() {
             return Edge::ZERO;
         }
@@ -131,8 +132,10 @@ impl TddManager {
             let v = self.weight_value(w).scale(2f64.powi(remaining));
             return self.constant(v);
         }
-        let key = (a.node, b.node, si);
-        if let Some(&r) = memo.get(&key) {
+        // Weight-normalized key: both weights are factored into `w`, so one
+        // entry serves every scalar multiple of this operand pair.
+        let key = (a.node, b.node, suffixes[si]);
+        if let Some(r) = self.caches.cont.get(&key) {
             return self.mul_weight(r, w);
         }
         let ka = a.with_weight(CIdx::ONE);
@@ -144,25 +147,25 @@ impl TddManager {
             let sv = sum[si];
             if sv < x {
                 // Summation variable absent from both operands: factor 2.
-                let inner = self.cont_rec(ka, kb, sum, si + 1, memo);
+                let inner = self.cont_rec(ka, kb, sum, si + 1, suffixes);
                 self.scale(inner, Cplx::real(2.0))
             } else {
                 // sv == x: sum the two cofactor contractions.
                 let (a0, a1) = self.cofactors(ka, x);
                 let (b0, b1) = self.cofactors(kb, x);
-                let r0 = self.cont_rec(a0, b0, sum, si + 1, memo);
-                let r1 = self.cont_rec(a1, b1, sum, si + 1, memo);
+                let r0 = self.cont_rec(a0, b0, sum, si + 1, suffixes);
+                let r1 = self.cont_rec(a1, b1, sum, si + 1, suffixes);
                 self.add(r0, r1)
             }
         } else {
             // Free variable: branch on it.
             let (a0, a1) = self.cofactors(ka, x);
             let (b0, b1) = self.cofactors(kb, x);
-            let r0 = self.cont_rec(a0, b0, sum, si, memo);
-            let r1 = self.cont_rec(a1, b1, sum, si, memo);
+            let r0 = self.cont_rec(a0, b0, sum, si, suffixes);
+            let r1 = self.cont_rec(a1, b1, sum, si, suffixes);
             self.make_node(x, r0, r1)
         };
-        memo.insert(key, r);
+        self.caches.cont.insert(key, r);
         self.mul_weight(r, w)
     }
 
@@ -174,21 +177,16 @@ impl TddManager {
     ///
     /// Slicing a diagram that does not depend on `var` returns it unchanged.
     pub fn slice(&mut self, e: Edge, var: Var, value: bool) -> Edge {
-        let mut memo: FastMap<NodeId, Edge> = FastMap::default();
-        self.slice_rec(e, var, value, &mut memo)
+        self.stats.slice_calls += 1;
+        self.slice_rec(e, var, value)
     }
 
-    fn slice_rec(
-        &mut self,
-        e: Edge,
-        var: Var,
-        value: bool,
-        memo: &mut FastMap<NodeId, Edge>,
-    ) -> Edge {
+    fn slice_rec(&mut self, e: Edge, var: Var, value: bool) -> Edge {
         if e.is_zero() || e.is_terminal() || self.var_of(e.node) > var {
             return e;
         }
-        if let Some(&r) = memo.get(&e.node) {
+        let key = (e.node, var, value);
+        if let Some(r) = self.caches.slice.get(&key) {
             return self.mul_weight(r, e.weight);
         }
         let n = *self.node(e.node);
@@ -199,11 +197,11 @@ impl TddManager {
                 n.low
             }
         } else {
-            let lo = self.slice_rec(n.low, var, value, memo);
-            let hi = self.slice_rec(n.high, var, value, memo);
+            let lo = self.slice_rec(n.low, var, value);
+            let hi = self.slice_rec(n.high, var, value);
             self.make_node(n.var, lo, hi)
         };
-        memo.insert(e.node, r);
+        self.caches.slice.insert(key, r);
         self.mul_weight(r, e.weight)
     }
 
@@ -215,11 +213,11 @@ impl TddManager {
 
     /// Complex-conjugates every entry (used to form bras from kets).
     pub fn conj(&mut self, e: Edge) -> Edge {
-        let mut memo: FastMap<NodeId, Edge> = FastMap::default();
-        self.conj_rec(e, &mut memo)
+        self.stats.conj_calls += 1;
+        self.conj_rec(e)
     }
 
-    fn conj_rec(&mut self, e: Edge, memo: &mut FastMap<NodeId, Edge>) -> Edge {
+    fn conj_rec(&mut self, e: Edge) -> Edge {
         if e.is_zero() {
             return Edge::ZERO;
         }
@@ -227,14 +225,14 @@ impl TddManager {
         if e.is_terminal() {
             return Edge::ZERO.with_weight(w);
         }
-        if let Some(&r) = memo.get(&e.node) {
+        if let Some(r) = self.caches.conj.get(&e.node) {
             return self.mul_weight(r, w);
         }
         let n = *self.node(e.node);
-        let lo = self.conj_rec(n.low, memo);
-        let hi = self.conj_rec(n.high, memo);
+        let lo = self.conj_rec(n.low);
+        let hi = self.conj_rec(n.high);
         let r = self.make_node(n.var, lo, hi);
-        memo.insert(e.node, r);
+        self.caches.conj.insert(e.node, r);
         self.mul_weight(r, w)
     }
 
@@ -248,31 +246,39 @@ impl TddManager {
     /// Panics (in debug) if the renaming violates the variable order.
     pub fn rename_monotone(&mut self, e: Edge, map: &BTreeMap<Var, Var>) -> Edge {
         debug_assert!(
-            map.iter().collect::<Vec<_>>().windows(2).all(|w| w[0].1 < w[1].1),
+            map.iter()
+                .collect::<Vec<_>>()
+                .windows(2)
+                .all(|w| w[0].1 < w[1].1),
             "renaming must be monotone"
         );
-        let mut memo: FastMap<NodeId, Edge> = FastMap::default();
-        self.rename_rec(e, map, &mut memo)
+        self.stats.rename_calls += 1;
+        // BTreeMap iteration is ascending, so the pair list is already a
+        // canonical form for interning.
+        let pairs: Vec<(Var, Var)> = map.iter().map(|(&o, &n)| (o, n)).collect();
+        let map_id = self.caches.renames.intern(pairs);
+        self.rename_rec(e, map, map_id)
     }
 
     fn rename_rec(
         &mut self,
         e: Edge,
         map: &BTreeMap<Var, Var>,
-        memo: &mut FastMap<NodeId, Edge>,
+        map_id: crate::cache::RenameId,
     ) -> Edge {
         if e.is_zero() || e.is_terminal() {
             return e;
         }
-        if let Some(&r) = memo.get(&e.node) {
+        let key = (e.node, map_id);
+        if let Some(r) = self.caches.rename.get(&key) {
             return self.mul_weight(r, e.weight);
         }
         let n = *self.node(e.node);
-        let lo = self.rename_rec(n.low, map, memo);
-        let hi = self.rename_rec(n.high, map, memo);
+        let lo = self.rename_rec(n.low, map, map_id);
+        let hi = self.rename_rec(n.high, map, map_id);
         let nv = map.get(&n.var).copied().unwrap_or(n.var);
         let r = self.make_node(nv, lo, hi);
-        memo.insert(e.node, r);
+        self.caches.rename.insert(key, r);
         self.mul_weight(r, e.weight)
     }
 

@@ -1,11 +1,18 @@
 //! Manager-level statistics.
 
+use crate::cache::CacheStats;
+
 /// Counters accumulated by a [`crate::TddManager`] over its lifetime.
 ///
 /// `peak_arena` approximates the memory high-water mark; the per-result
 /// node counts reported in the paper's Table I are computed separately via
 /// [`crate::TddManager::node_count`] by the image-computation layer.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+///
+/// The `*_cache` fields are snapshots of the operation caches' lifetime
+/// counters (see [`crate::cache`]); [`CacheStats::since`] turns two
+/// snapshots into the movement across a phase, which is how the
+/// image-computation layer attributes hit rates to individual runs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ManagerStats {
     /// Distinct non-terminal nodes ever created.
     pub nodes_created: u64,
@@ -15,6 +22,43 @@ pub struct ManagerStats {
     pub add_calls: u64,
     /// Top-level calls to `contract`.
     pub cont_calls: u64,
+    /// Top-level calls to `slice`.
+    pub slice_calls: u64,
+    /// Top-level calls to `conj`.
+    pub conj_calls: u64,
+    /// Top-level calls to `rename_monotone`.
+    pub rename_calls: u64,
+    /// Addition-cache counters.
+    pub add_cache: CacheStats,
+    /// Contraction-cache counters.
+    pub cont_cache: CacheStats,
+    /// Slice-cache counters.
+    pub slice_cache: CacheStats,
+    /// Conjugation-cache counters.
+    pub conj_cache: CacheStats,
+    /// Renaming-cache counters.
+    pub rename_cache: CacheStats,
+}
+
+impl ManagerStats {
+    /// Counter movement since an earlier snapshot of the same manager.
+    pub fn since(&self, earlier: &ManagerStats) -> ManagerStats {
+        ManagerStats {
+            nodes_created: self.nodes_created.saturating_sub(earlier.nodes_created),
+            // High-water mark, not a counter: report the later value.
+            peak_arena: self.peak_arena,
+            add_calls: self.add_calls.saturating_sub(earlier.add_calls),
+            cont_calls: self.cont_calls.saturating_sub(earlier.cont_calls),
+            slice_calls: self.slice_calls.saturating_sub(earlier.slice_calls),
+            conj_calls: self.conj_calls.saturating_sub(earlier.conj_calls),
+            rename_calls: self.rename_calls.saturating_sub(earlier.rename_calls),
+            add_cache: self.add_cache.since(&earlier.add_cache),
+            cont_cache: self.cont_cache.since(&earlier.cont_cache),
+            slice_cache: self.slice_cache.since(&earlier.slice_cache),
+            conj_cache: self.conj_cache.since(&earlier.conj_cache),
+            rename_cache: self.rename_cache.since(&earlier.rename_cache),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -28,5 +72,32 @@ mod tests {
         assert_eq!(s.peak_arena, 0);
         assert_eq!(s.add_calls, 0);
         assert_eq!(s.cont_calls, 0);
+        assert_eq!(s.cont_cache, CacheStats::default());
+    }
+
+    #[test]
+    fn since_subtracts_counters() {
+        let later = ManagerStats {
+            nodes_created: 10,
+            add_calls: 4,
+            cont_cache: CacheStats {
+                hits: 7,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let earlier = ManagerStats {
+            nodes_created: 6,
+            add_calls: 1,
+            cont_cache: CacheStats {
+                hits: 2,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let d = later.since(&earlier);
+        assert_eq!(d.nodes_created, 4);
+        assert_eq!(d.add_calls, 3);
+        assert_eq!(d.cont_cache.hits, 5);
     }
 }

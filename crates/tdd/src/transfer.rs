@@ -22,12 +22,7 @@ impl TddManager {
         self.import_rec(src, e, &mut memo)
     }
 
-    fn import_rec(
-        &mut self,
-        src: &TddManager,
-        e: Edge,
-        memo: &mut FastMap<NodeId, Edge>,
-    ) -> Edge {
+    fn import_rec(&mut self, src: &TddManager, e: Edge, memo: &mut FastMap<NodeId, Edge>) -> Edge {
         if e.is_zero() {
             return Edge::ZERO;
         }
@@ -72,7 +67,9 @@ mod tests {
         let e = src.from_tensor(&t);
         let mut dst = TddManager::new();
         let imported = dst.import(&src, e);
-        assert!(dst.to_tensor(imported, &[Var(0), Var(1), Var(2)]).approx_eq(&t));
+        assert!(dst
+            .to_tensor(imported, &[Var(0), Var(1), Var(2)])
+            .approx_eq(&t));
     }
 
     #[test]

@@ -1,0 +1,245 @@
+//! Behavioural tests for the manager-owned cache subsystem: cross-call
+//! reuse, full clearing, capacity bounds, and result equivalence with
+//! caching disabled.
+
+use std::collections::BTreeMap;
+
+use qits_num::{Cplx, Mat};
+use qits_tdd::{CacheSizes, Edge, TddManager};
+use qits_tensor::{Tensor, Var};
+
+fn rand_tensor(vars: &[Var], seed: u64) -> Tensor {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+    };
+    let data: Vec<Cplx> = (0..(1usize << vars.len()))
+        .map(|_| Cplx::new(next(), next()))
+        .collect();
+    Tensor::new(vars.to_vec(), data)
+}
+
+#[test]
+fn repeated_contraction_is_a_cache_hit() {
+    let mut m = TddManager::new();
+    let ta = rand_tensor(&[Var(0), Var(1), Var(2)], 1);
+    let tb = rand_tensor(&[Var(1), Var(2), Var(3)], 2);
+    let ea = m.from_tensor(&ta);
+    let eb = m.from_tensor(&tb);
+
+    let first = m.contract(ea, eb, &[Var(1), Var(2)]);
+    let after_first = m.stats();
+    assert!(
+        after_first.cont_cache.inserts > 0,
+        "first call must populate"
+    );
+
+    let second = m.contract(ea, eb, &[Var(1), Var(2)]);
+    let delta = m.stats().since(&after_first);
+    assert_eq!(first, second, "memoised result must be identical");
+    assert!(
+        delta.cont_cache.hits > 0,
+        "repeat contraction must hit the manager-owned cache: {delta:?}"
+    );
+    assert_eq!(
+        delta.cont_cache.misses, 0,
+        "repeat contraction must not recompute anything"
+    );
+}
+
+#[test]
+fn contraction_cache_survives_across_different_left_operands() {
+    // The block-against-basis-state pattern: the same right operand (a
+    // "block") contracted against many different states still reuses the
+    // sub-contractions that coincide below the root.
+    let mut m = TddManager::new();
+    let h = Cplx::FRAC_1_SQRT_2;
+    let hm = Mat::from_rows(&[&[h, h], &[h, -h]]);
+    let gate = m.from_matrix(&hm, &[Var(1)], &[Var(2)]);
+    let ket0 = m.basis_ket(&[Var(0), Var(1)], &[false, false]);
+    let ket1 = m.basis_ket(&[Var(0), Var(1)], &[true, false]);
+
+    let _ = m.contract(ket0, gate, &[Var(1)]);
+    let snapshot = m.stats();
+    let _ = m.contract(ket1, gate, &[Var(1)]);
+    let delta = m.stats().since(&snapshot);
+    assert!(
+        delta.cont_cache.hits > 0,
+        "shared sub-contraction across basis states must hit: {delta:?}"
+    );
+}
+
+#[test]
+fn clear_caches_empties_every_table() {
+    let mut m = TddManager::new();
+    let vars = [Var(0), Var(1), Var(2)];
+    let ta = rand_tensor(&vars, 3);
+    let tb = rand_tensor(&vars, 4);
+    let ea = m.from_tensor(&ta);
+    let eb = m.from_tensor(&tb);
+
+    // Populate all five operation caches.
+    let _ = m.add(ea, eb);
+    let _ = m.contract(ea, eb, &[Var(1)]);
+    let _ = m.slice(ea, Var(1), true);
+    let _ = m.conj(ea);
+    let map: BTreeMap<Var, Var> = [(Var(0), Var(5)), (Var(1), Var(6)), (Var(2), Var(7))].into();
+    let _ = m.rename_monotone(ea, &map);
+
+    let sizes = m.cache_sizes();
+    assert!(sizes.add > 0, "add cache untouched: {sizes:?}");
+    assert!(sizes.cont > 0, "cont cache untouched: {sizes:?}");
+    assert!(sizes.slice > 0, "slice cache untouched: {sizes:?}");
+    assert!(sizes.conj > 0, "conj cache untouched: {sizes:?}");
+    assert!(sizes.rename > 0, "rename cache untouched: {sizes:?}");
+
+    m.clear_caches();
+    assert_eq!(m.cache_sizes(), CacheSizes::default());
+
+    // Cleared caches must refill and results stay correct.
+    let again = m.contract(ea, eb, &[Var(1)]);
+    let expect = {
+        let mut fresh = TddManager::new();
+        let fa = fresh.from_tensor(&ta);
+        let fb = fresh.from_tensor(&tb);
+        let r = fresh.contract(fa, fb, &[Var(1)]);
+        fresh.to_tensor(r, &[Var(0), Var(2)])
+    };
+    assert!(m.to_tensor(again, &[Var(0), Var(2)]).approx_eq(&expect));
+}
+
+#[test]
+fn results_identical_with_caching_disabled() {
+    // Same operation sequence on a cached and an uncached manager: every
+    // produced tensor must match entry for entry, bit for bit.
+    let mut cached = TddManager::new();
+    let mut uncached = TddManager::new();
+    uncached.set_cache_capacity(0);
+
+    let vars = [Var(0), Var(1), Var(2)];
+    let out_vars = [Var(0), Var(3)];
+    let ta = rand_tensor(&vars, 7);
+    let tb = rand_tensor(&[Var(1), Var(2), Var(3)], 8);
+
+    let run = |m: &mut TddManager| -> Vec<Cplx> {
+        let ea = m.from_tensor(&ta);
+        let eb = m.from_tensor(&tb);
+        let sum = m.add(ea, ea);
+        let cont = m.contract(ea, eb, &[Var(1), Var(2)]);
+        let cont2 = m.contract(ea, eb, &[Var(1), Var(2)]);
+        assert_eq!(cont, cont2, "same manager, same inputs, same edge");
+        let sliced = m.slice(ea, Var(1), true);
+        let conj = m.conj(ea);
+        let mut values = Vec::new();
+        for (edge, vs) in [
+            (sum, &vars[..]),
+            (cont, &out_vars[..]),
+            (sliced, &[Var(0), Var(2)][..]),
+            (conj, &vars[..]),
+        ] {
+            values.extend(m.to_tensor(edge, vs).as_slice().iter().copied());
+        }
+        values
+    };
+
+    let with_cache = run(&mut cached);
+    let without_cache = run(&mut uncached);
+    assert!(
+        uncached.cache_sizes().total() == 0,
+        "disabled cache stored entries"
+    );
+    assert!(
+        cached.cache_sizes().total() > 0,
+        "enabled cache stored nothing"
+    );
+    assert_eq!(with_cache.len(), without_cache.len());
+    for (i, (a, b)) in with_cache.iter().zip(without_cache.iter()).enumerate() {
+        assert!(
+            a.re.to_bits() == b.re.to_bits() && a.im.to_bits() == b.im.to_bits(),
+            "entry {i} differs: cached {a} vs uncached {b}"
+        );
+    }
+}
+
+#[test]
+fn cache_capacity_bounds_table_growth() {
+    let mut m = TddManager::new();
+    m.set_cache_capacity(64);
+    for seed in 0..20u64 {
+        let ta = rand_tensor(&[Var(0), Var(1), Var(2)], 100 + seed);
+        let tb = rand_tensor(&[Var(1), Var(2), Var(3)], 200 + seed);
+        let ea = m.from_tensor(&ta);
+        let eb = m.from_tensor(&tb);
+        let _ = m.contract(ea, eb, &[Var(1), Var(2)]);
+        let _ = m.add(ea, eb);
+    }
+    let sizes = m.cache_sizes();
+    assert!(sizes.add <= 64, "add cache exceeded capacity: {sizes:?}");
+    assert!(sizes.cont <= 64, "cont cache exceeded capacity: {sizes:?}");
+    // Work of this volume against a 64-slot bound must have collided.
+    let stats = m.stats();
+    assert!(
+        stats.add_cache.evictions > 0 || stats.cont_cache.evictions > 0,
+        "expected at least one collision eviction: {stats:?}"
+    );
+}
+
+#[test]
+fn add_cache_reuses_across_calls() {
+    let mut m = TddManager::new();
+    let vars = [Var(0), Var(1), Var(2)];
+    let ea = m.from_tensor(&rand_tensor(&vars, 11));
+    let eb = m.from_tensor(&rand_tensor(&vars, 12));
+    let r1 = m.add(ea, eb);
+    let snapshot = m.stats();
+    let r2 = m.add(ea, eb);
+    let delta = m.stats().since(&snapshot);
+    assert_eq!(r1, r2);
+    assert!(delta.add_cache.hits > 0, "repeat add must hit: {delta:?}");
+}
+
+#[test]
+fn conj_and_slice_and_rename_caches_reuse() {
+    let mut m = TddManager::new();
+    let vars = [Var(0), Var(1), Var(2)];
+    let e = m.from_tensor(&rand_tensor(&vars, 13));
+
+    let c1 = m.conj(e);
+    let s1 = m.slice(e, Var(1), false);
+    let map: BTreeMap<Var, Var> = [(Var(0), Var(4)), (Var(1), Var(5)), (Var(2), Var(6))].into();
+    let r1 = m.rename_monotone(e, &map);
+
+    let snapshot = m.stats();
+    assert_eq!(m.conj(e), c1);
+    assert_eq!(m.slice(e, Var(1), false), s1);
+    assert_eq!(m.rename_monotone(e, &map), r1);
+    let delta = m.stats().since(&snapshot);
+    assert!(delta.conj_cache.hits > 0, "conj repeat must hit: {delta:?}");
+    assert!(
+        delta.slice_cache.hits > 0,
+        "slice repeat must hit: {delta:?}"
+    );
+    assert!(
+        delta.rename_cache.hits > 0,
+        "rename repeat must hit: {delta:?}"
+    );
+    assert_eq!(delta.conj_cache.misses, 0);
+    assert_eq!(delta.slice_cache.misses, 0);
+    assert_eq!(delta.rename_cache.misses, 0);
+}
+
+#[test]
+fn zero_capacity_matches_edge_level_canonicity() {
+    // Even without caches, hash-consing alone guarantees canonical edges.
+    let mut m = TddManager::new();
+    m.set_cache_capacity(0);
+    let t = rand_tensor(&[Var(0), Var(1)], 21);
+    let a = m.from_tensor(&t);
+    let b = m.from_tensor(&t);
+    assert_eq!(a, b);
+    let z = m.sub(a, b);
+    assert_eq!(z, Edge::ZERO);
+}

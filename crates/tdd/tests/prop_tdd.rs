@@ -5,8 +5,8 @@
 use proptest::prelude::*;
 
 use qits_num::Cplx;
-use qits_tensor::{Tensor, Var, VarSet};
 use qits_tdd::{Edge, TddManager};
+use qits_tensor::{Tensor, Var, VarSet};
 
 /// A random dense tensor over the given variables, with entries from a
 /// small lattice (so exact zeros and coincidences occur often — the

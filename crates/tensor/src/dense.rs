@@ -167,7 +167,10 @@ impl Tensor {
     ///
     /// Panics if the variable sets differ.
     pub fn add(&self, other: &Tensor) -> Tensor {
-        assert_eq!(self.vars, other.vars, "tensor addition needs equal index sets");
+        assert_eq!(
+            self.vars, other.vars,
+            "tensor addition needs equal index sets"
+        );
         let data = self
             .data
             .iter()
@@ -202,7 +205,10 @@ impl Tensor {
     ///
     /// Panics if `var` is not an index of this tensor.
     pub fn slice(&self, var: Var, value: bool) -> Tensor {
-        assert!(self.vars.contains(var), "cannot slice absent variable {var}");
+        assert!(
+            self.vars.contains(var),
+            "cannot slice absent variable {var}"
+        );
         let rest: Vec<Var> = self.vars.iter().filter(|v| *v != var).collect();
         let mut out = Tensor::zeros(rest);
         let mut asn = BTreeMap::new();

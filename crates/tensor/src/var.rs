@@ -89,6 +89,11 @@ impl VarSet {
     }
 
     /// Creates a set from an iterator, sorting and deduplicating.
+    ///
+    /// Also available through the `FromIterator` trait; the inherent
+    /// method keeps `VarSet::from_iter(..)` calls working without a
+    /// `use` of the trait.
+    #[allow(clippy::should_implement_trait)]
     pub fn from_iter<I: IntoIterator<Item = Var>>(iter: I) -> Self {
         let mut vars: Vec<Var> = iter.into_iter().collect();
         vars.sort_unstable();

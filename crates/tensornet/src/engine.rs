@@ -1,7 +1,7 @@
 //! Sequential network contraction with last-use index summation.
 
+use qits_tdd::{CacheStats, Edge, TddManager};
 use qits_tensor::{Var, VarSet};
-use qits_tdd::{Edge, TddManager};
 
 use crate::network::{NetTensor, TensorNetwork};
 use crate::partition::Blocks;
@@ -14,6 +14,10 @@ pub struct ContractionOutcome {
     /// Peak node count over all intermediate TDDs — the paper's
     /// "max #node" measurement.
     pub max_nodes: usize,
+    /// Movement of the manager's contraction cache across this call
+    /// (hits here are sub-contractions reused from *earlier* work on the
+    /// same manager — other slices, blocks, or basis states).
+    pub cont_cache: CacheStats,
 }
 
 /// Contracts `tensors` in order, summing every index at its *last* use
@@ -37,8 +41,10 @@ pub fn contract_network(
         return ContractionOutcome {
             edge: Edge::ONE,
             max_nodes: 0,
+            cont_cache: CacheStats::default(),
         };
     }
+    let cache_before = m.stats().cont_cache;
     // Last tensor index in which each variable occurs.
     let mut last_use = std::collections::BTreeMap::new();
     for (i, t) in tensors.iter().enumerate() {
@@ -56,7 +62,11 @@ pub fn contract_network(
         s
     };
 
-    let mut max_nodes = tensors.iter().map(|t| m.node_count(t.edge)).max().unwrap_or(0);
+    let mut max_nodes = tensors
+        .iter()
+        .map(|t| m.node_count(t.edge))
+        .max()
+        .unwrap_or(0);
     let first_sums = sums_at(0);
     let mut acc = m.contract(tensors[0].edge, Edge::ONE, &first_sums);
     max_nodes = max_nodes.max(m.node_count(acc));
@@ -68,6 +78,7 @@ pub fn contract_network(
     ContractionOutcome {
         edge: acc,
         max_nodes,
+        cont_cache: m.stats().cont_cache.since(&cache_before),
     }
 }
 
@@ -240,7 +251,10 @@ mod tests {
         let p: f64 = 0.36;
         let mut c = Circuit::new(1);
         c.push(Gate::h(0));
-        c.push(Gate::custom1(0, Mat::identity(2).scale(Cplx::real((1.0 - p).sqrt()))));
+        c.push(Gate::custom1(
+            0,
+            Mat::identity(2).scale(Cplx::real((1.0 - p).sqrt())),
+        ));
         c.push(Gate::single(GateKind::X, 0));
         let mut m = TddManager::new();
         let net = TensorNetwork::from_circuit(&mut m, &c);

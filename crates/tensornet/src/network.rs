@@ -2,8 +2,8 @@
 
 use qits_circuit::tensorize::{gate_tdd, GateLegs};
 use qits_circuit::Circuit;
-use qits_tensor::{Var, VarSet};
 use qits_tdd::{Edge, TddManager};
+use qits_tensor::{Var, VarSet};
 
 /// One tensor of a network: a TDD plus the set of network indices it
 /// carries.

@@ -87,7 +87,7 @@ pub fn contraction_blocks(circuit: &Circuit, k1: u32, k2: u32) -> Blocks {
     // BTreeMap iteration is (segment, band)-ordered, but insertion order
     // above follows gate order; rebuild in cell order.
     let mut ordered: Vec<Vec<usize>> = Vec::with_capacity(blocks.len());
-    for (_, &bi) in &index_of {
+    for &bi in index_of.values() {
         ordered.push(blocks[bi].clone());
     }
     Blocks {

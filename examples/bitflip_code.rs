@@ -37,13 +37,17 @@ fn main() {
 
     // The corrected space: data |000>, syndromes in {101, 110, 011}.
     let vars = Subspace::ket_vars(6);
-    let expected_states: Vec<_> = [[true, false, true], [true, true, false], [false, true, true]]
-        .iter()
-        .map(|synd| {
-            let bits = [false, false, false, synd[0], synd[1], synd[2]];
-            m.basis_ket(&vars, &bits)
-        })
-        .collect();
+    let expected_states: Vec<_> = [
+        [true, false, true],
+        [true, true, false],
+        [false, true, true],
+    ]
+    .iter()
+    .map(|synd| {
+        let bits = [false, false, false, synd[0], synd[1], synd[2]];
+        m.basis_ket(&vars, &bits)
+    })
+    .collect();
     let expected = Subspace::from_states(&mut m, 6, &expected_states);
 
     let corrected = img.equals(&mut m, &expected);

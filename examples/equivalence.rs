@@ -4,7 +4,7 @@
 //! Run with: `cargo run --example equivalence`
 
 use qits::equiv;
-use qits_circuit::decompose::{elementarize, ccx_to_clifford_t, ElementarizeOptions};
+use qits_circuit::decompose::{ccx_to_clifford_t, elementarize, ElementarizeOptions};
 use qits_circuit::{generators, Circuit, Gate};
 use qits_tdd::TddManager;
 
@@ -42,7 +42,9 @@ fn main() {
     //    circuit agrees only on the |0...0> ancilla sector (elsewhere the
     //    ladders act differently), so project both sides onto that sector
     //    before comparing — full-operator equivalence would rightly fail.
-    let grover = generators::grover(4).operations[0].kraus_branches().remove(0);
+    let grover = generators::grover(4).operations[0]
+        .kraus_branches()
+        .remove(0);
     let elem = elementarize(&grover, ElementarizeOptions::default());
     let (sector_a, sector_b) = {
         let project_ancillas = |src: &Circuit| {

@@ -10,8 +10,8 @@ use std::collections::BTreeMap;
 
 use qits::Subspace;
 use qits_circuit::tensorize::states;
-use qits_tensor::Var;
 use qits_tdd::TddManager;
+use qits_tensor::Var;
 
 fn main() {
     let mut m = TddManager::new();

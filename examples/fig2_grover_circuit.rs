@@ -29,9 +29,17 @@ fn main() {
                 parts.push(format!("{vin}->{vout}"));
             }
         }
-        println!("  gate {i:>2} {:<10} legs: {}", gate.kind.mnemonic(), parts.join(" "));
+        println!(
+            "  gate {i:>2} {:<10} legs: {}",
+            gate.kind.mnemonic(),
+            parts.join(" ")
+        );
     }
     for q in 0..3 {
-        println!("  wire q{q}: input {} output {}", net.in_var(q), net.out_var(q));
+        println!(
+            "  wire q{q}: input {} output {}",
+            net.in_var(q),
+            net.out_var(q)
+        );
     }
 }

@@ -22,10 +22,7 @@ fn main() {
         blocks.regions()
     );
     for (i, b) in blocks.blocks.iter().enumerate() {
-        let gates: Vec<String> = b
-            .iter()
-            .map(|&g| circuit.gates()[g].to_string())
-            .collect();
+        let gates: Vec<String> = b.iter().map(|&g| circuit.gates()[g].to_string()).collect();
         println!("  block {i}: {}", gates.join(" ; "));
     }
 }

@@ -33,7 +33,10 @@ fn main() {
     println!("image inside span{{|0>|i-1>, |1>|i+1>}}: {inside}");
     // The bit-flip fixes |+>, so the exact image is the single ray
     // (|0>|i-1> + |1>|i+1>)/sqrt(2) — the noise does not enlarge it.
-    println!("image dimension: {} (noise did not enlarge the subspace)", img.dim());
+    println!(
+        "image dimension: {} (noise did not enlarge the subspace)",
+        img.dim()
+    );
     assert!(inside && img.dim() == 1);
 
     // Reachability: the walk eventually spreads over the cycle.

@@ -27,10 +27,12 @@ fn main() {
         let (img, stats) = image(&mut m, qts.operations(), qts.initial(), strategy);
         let invariant = img.equals(&mut m, qts.initial());
         println!(
-            "{strategy:<24} image dim {dim}  max #node {nodes:<6}  time {t:?}  T(S)=S: {invariant}",
+            "{strategy:<24} image dim {dim}  max #node {nodes:<6}  time {t:?}  \
+             cont-cache {hit:.1}%  T(S)=S: {invariant}",
             dim = img.dim(),
             nodes = stats.max_nodes,
             t = stats.elapsed,
+            hit = 100.0 * stats.cont_hit_rate(),
         );
         assert!(invariant, "Grover subspace must be invariant");
     }

@@ -1,0 +1,106 @@
+//! The PR's acceptance criterion: operation caching is manager-owned, so
+//! repeated image computations on one manager reuse each other's work, and
+//! the hit rates are observable from `ImageStats` / `ManagerStats`.
+
+use qits::{image, QuantumTransitionSystem, Strategy};
+use qits_circuit::generators;
+use qits_tdd::TddManager;
+
+#[test]
+fn second_contraction_image_hits_the_cache() {
+    let mut m = TddManager::new();
+    let qts = QuantumTransitionSystem::from_spec(&mut m, &generators::grover(3));
+    let strategy = Strategy::Contraction { k1: 2, k2: 2 };
+
+    let (img1, stats1) = image(&mut m, qts.operations(), qts.initial(), strategy);
+    let (img2, stats2) = image(&mut m, qts.operations(), qts.initial(), strategy);
+
+    assert!(img1.equals(&mut m, &img2), "same computation, same image");
+    assert!(
+        stats2.cont_cache.hits > 0,
+        "second image() run on the same manager must hit the contraction \
+         cache: {:?}",
+        stats2.cont_cache
+    );
+    assert!(
+        stats2.cont_hit_rate() > stats1.cont_hit_rate(),
+        "reuse must increase on the repeat run: first {:.3}, second {:.3}",
+        stats1.cont_hit_rate(),
+        stats2.cont_hit_rate()
+    );
+    // The manager-level view agrees with the per-run deltas.
+    let total = m.stats();
+    assert!(total.cont_cache.hits >= stats1.cont_cache.hits + stats2.cont_cache.hits);
+}
+
+#[test]
+fn contraction_partition_reuses_within_a_single_run() {
+    // Multiple basis states against the same pre-contracted blocks: the
+    // reuse the paper's contraction partition depends on shows up as a
+    // nonzero hit rate already within one image() call (Grover's initial
+    // subspace has dimension 2).
+    let mut m = TddManager::new();
+    let qts = QuantumTransitionSystem::from_spec(&mut m, &generators::grover(3));
+    assert!(qts.initial().dim() >= 2, "need >= 2 basis states for reuse");
+    let (_, stats) = image(
+        &mut m,
+        qts.operations(),
+        qts.initial(),
+        Strategy::Contraction { k1: 2, k2: 2 },
+    );
+    assert!(
+        stats.cont_cache.hits > 0,
+        "block-against-state contractions must share structure: {:?}",
+        stats.cont_cache
+    );
+    assert!(stats.cont_hit_rate() > 0.0);
+}
+
+#[test]
+fn image_stats_cache_counters_cover_all_strategies() {
+    for strategy in [
+        Strategy::Basic,
+        Strategy::Addition { k: 1 },
+        Strategy::Contraction { k1: 2, k2: 2 },
+        Strategy::AdditionParallel { k: 1 },
+    ] {
+        let mut m = TddManager::new();
+        let qts = QuantumTransitionSystem::from_spec(&mut m, &generators::ghz(4));
+        let (_, stats) = image(&mut m, qts.operations(), qts.initial(), strategy);
+        assert!(
+            stats.cont_cache.lookups() > 0,
+            "{strategy}: image() must exercise the contraction cache"
+        );
+        let rate = stats.cont_hit_rate();
+        assert!(
+            (0.0..=1.0).contains(&rate),
+            "{strategy}: hit rate out of range: {rate}"
+        );
+    }
+}
+
+#[test]
+fn caching_disabled_computes_the_same_image() {
+    let strategy = Strategy::Contraction { k1: 2, k2: 2 };
+
+    let mut cached = TddManager::new();
+    let qts_c = QuantumTransitionSystem::from_spec(&mut cached, &generators::grover(3));
+    let (img_c, stats_c) = image(&mut cached, qts_c.operations(), qts_c.initial(), strategy);
+
+    let mut plain = TddManager::new();
+    plain.set_cache_capacity(0);
+    let qts_p = QuantumTransitionSystem::from_spec(&mut plain, &generators::grover(3));
+    let (img_p, stats_p) = image(&mut plain, qts_p.operations(), qts_p.initial(), strategy);
+
+    assert_eq!(img_c.dim(), img_p.dim());
+    assert_eq!(stats_c.output_dim, stats_p.output_dim);
+    assert_eq!(stats_p.cont_cache.hits, 0, "disabled cache must never hit");
+    // Same subspace: every cached basis vector lies in the uncached image.
+    for &b in img_c.basis() {
+        let moved = plain.import(&cached, b);
+        assert!(
+            img_p.contains(&mut plain, moved),
+            "cached image vector escapes the uncached image"
+        );
+    }
+}

@@ -94,11 +94,6 @@ fn image_dim_is_bounded_by_branches_times_input_dim() {
     let mut m = TddManager::new();
     let spec = generators::qrw(4, 0.2);
     let qts = QuantumTransitionSystem::from_spec(&mut m, &spec);
-    let (img, stats) = image(
-        &mut m,
-        qts.operations(),
-        qts.initial(),
-        Strategy::Basic,
-    );
+    let (img, stats) = image(&mut m, qts.operations(), qts.initial(), Strategy::Basic);
     assert!(img.dim() <= stats.branches * qts.initial().dim());
 }

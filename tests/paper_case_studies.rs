@@ -45,15 +45,14 @@ fn bitflip_code_corrects_single_errors() {
     let (img, _) = image(&mut m, qts.operations(), qts.initial(), STRATEGY);
     // Expected: data |000> with the three firing syndromes.
     let vars = Subspace::ket_vars(6);
-    let expected_states: Vec<_> = [[true, false, true], [true, true, false], [false, true, true]]
-        .iter()
-        .map(|synd| {
-            m.basis_ket(
-                &vars,
-                &[false, false, false, synd[0], synd[1], synd[2]],
-            )
-        })
-        .collect();
+    let expected_states: Vec<_> = [
+        [true, false, true],
+        [true, true, false],
+        [false, true, true],
+    ]
+    .iter()
+    .map(|synd| m.basis_ket(&vars, &[false, false, false, synd[0], synd[1], synd[2]]))
+    .collect();
     let expected = Subspace::from_states(&mut m, 6, &expected_states);
     assert!(img.equals(&mut m, &expected));
 }

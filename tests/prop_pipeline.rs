@@ -11,8 +11,8 @@ use proptest::strategy::Strategy as _;
 use qits::{image, QuantumTransitionSystem, Strategy, Subspace};
 use qits_circuit::{sim, Circuit, Gate, Operation};
 use qits_num::{linalg, Cplx};
-use qits_tensor::Var;
 use qits_tdd::TddManager;
+use qits_tensor::Var;
 
 /// A random gate on up to `n` qubits.
 fn arb_gate(n: u32) -> impl proptest::strategy::Strategy<Value = Gate> {
@@ -21,29 +21,29 @@ fn arb_gate(n: u32) -> impl proptest::strategy::Strategy<Value = Gate> {
         q.clone().prop_map(Gate::h),
         q.clone().prop_map(Gate::x),
         q.clone().prop_map(Gate::z),
-        q.clone().prop_map(|q| Gate::single(qits_circuit::GateKind::S, q)),
-        q.clone().prop_map(|q| Gate::single(qits_circuit::GateKind::T, q)),
+        q.clone()
+            .prop_map(|q| Gate::single(qits_circuit::GateKind::S, q)),
+        q.clone()
+            .prop_map(|q| Gate::single(qits_circuit::GateKind::T, q)),
         (q.clone(), 0.0..std::f64::consts::TAU).prop_map(|(q, t)| Gate::phase(q, t)),
-        (q.clone(), q.clone()).prop_filter_map("distinct", |(a, b)| {
-            (a != b).then(|| Gate::cx(a, b))
-        }),
-        (q.clone(), q.clone()).prop_filter_map("distinct", |(a, b)| {
-            (a != b).then(|| Gate::cz(a, b))
-        }),
-        (q.clone(), q.clone(), 0.0..std::f64::consts::TAU).prop_filter_map(
-            "distinct",
-            |(a, b, t)| (a != b).then(|| Gate::cp(a, b, t))
-        ),
-        (q.clone(), q.clone()).prop_filter_map("distinct", |(a, b)| {
-            (a != b).then(|| Gate::swap(a, b))
-        }),
-        (q.clone(), q.clone(), q.clone(), any::<bool>(), any::<bool>()).prop_filter_map(
-            "distinct",
-            |(a, b, c, pa, pb)| {
-                (a != b && b != c && a != c)
-                    .then(|| Gate::mcx_polarity(&[(a, pa), (b, pb)], c))
-            }
-        ),
+        (q.clone(), q.clone())
+            .prop_filter_map("distinct", |(a, b)| { (a != b).then(|| Gate::cx(a, b)) }),
+        (q.clone(), q.clone())
+            .prop_filter_map("distinct", |(a, b)| { (a != b).then(|| Gate::cz(a, b)) }),
+        (q.clone(), q.clone(), 0.0..std::f64::consts::TAU)
+            .prop_filter_map("distinct", |(a, b, t)| (a != b).then(|| Gate::cp(a, b, t))),
+        (q.clone(), q.clone())
+            .prop_filter_map("distinct", |(a, b)| { (a != b).then(|| Gate::swap(a, b)) }),
+        (
+            q.clone(),
+            q.clone(),
+            q.clone(),
+            any::<bool>(),
+            any::<bool>()
+        )
+            .prop_filter_map("distinct", |(a, b, c, pa, pb)| {
+                (a != b && b != c && a != c).then(|| Gate::mcx_polarity(&[(a, pa), (b, pb)], c))
+            }),
     ]
 }
 

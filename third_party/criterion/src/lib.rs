@@ -1,0 +1,246 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! Implements the API surface the qits benches use — [`Criterion`],
+//! [`BenchmarkGroup`], [`BenchmarkId`], [`Bencher::iter`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros — with a plain
+//! mean-of-samples wall-clock measurement printed per benchmark. There are
+//! no plots, no statistics beyond mean and min, and no saved baselines;
+//! environments with crates.io access can substitute the real crate through
+//! the workspace manifest without editing any bench.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimiser from discarding a value. A best-effort port of
+/// `criterion::black_box` to stable Rust.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifies one benchmark within a group: a function name and an
+/// optional parameter rendering.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id from a function name plus a parameter.
+    pub fn new(function_name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// An id carrying only a parameter rendering.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Runs closures under timing. Handed to every bench body.
+pub struct Bencher {
+    samples: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    result: Option<Sample>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Sample {
+    mean: Duration,
+    min: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, first warming up, then sampling until the
+    /// measurement budget or the sample count is reached.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run until the warm-up budget elapses at least once.
+        let warm_start = Instant::now();
+        loop {
+            black_box(routine());
+            if warm_start.elapsed() >= self.warm_up {
+                break;
+            }
+        }
+        let mut total = Duration::ZERO;
+        let mut min = Duration::MAX;
+        let mut iters = 0u64;
+        let budget_start = Instant::now();
+        while iters < self.samples as u64 || budget_start.elapsed() < self.measurement {
+            let t0 = Instant::now();
+            black_box(routine());
+            let dt = t0.elapsed();
+            total += dt;
+            min = min.min(dt);
+            iters += 1;
+            if iters >= self.samples as u64 && budget_start.elapsed() >= self.measurement {
+                break;
+            }
+            // Never loop unboundedly on very fast routines.
+            if iters >= 10_000 {
+                break;
+            }
+        }
+        self.result = Some(Sample {
+            mean: total / u32::try_from(iters.max(1)).unwrap_or(u32::MAX),
+            min,
+            iters,
+        });
+    }
+}
+
+/// A named collection of benchmarks sharing sampling settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the target number of samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the warm-up budget.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Sets the measurement budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Benchmarks `routine` against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, R>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: R,
+    ) -> &mut Self
+    where
+        R: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            result: None,
+        };
+        routine(&mut bencher, input);
+        self.criterion
+            .report(&format!("{}/{}", self.name, id), bencher.result);
+        self
+    }
+
+    /// Benchmarks a closure with no external input.
+    pub fn bench_function<R>(&mut self, id: BenchmarkId, mut routine: R) -> &mut Self
+    where
+        R: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            result: None,
+        };
+        routine(&mut bencher);
+        self.criterion
+            .report(&format!("{}/{}", self.name, id), bencher.result);
+        self
+    }
+
+    /// Ends the group (kept for API parity; reporting is immediate).
+    pub fn finish(self) {}
+}
+
+/// The harness entry object, one per bench binary.
+#[derive(Default)]
+pub struct Criterion {
+    benches_run: usize,
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 100,
+            warm_up: Duration::from_millis(500),
+            measurement: Duration::from_secs(1),
+        }
+    }
+
+    /// Benchmarks a standalone function outside any group.
+    pub fn bench_function<R>(&mut self, name: &str, mut routine: R) -> &mut Self
+    where
+        R: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            samples: 100,
+            warm_up: Duration::from_millis(500),
+            measurement: Duration::from_secs(1),
+            result: None,
+        };
+        routine(&mut bencher);
+        self.report(name, bencher.result);
+        self
+    }
+
+    fn report(&mut self, label: &str, sample: Option<Sample>) {
+        self.benches_run += 1;
+        match sample {
+            Some(s) => println!(
+                "{label:<56} mean {:>12?}  min {:>12?}  ({} iters)",
+                s.mean, s.min, s.iters
+            ),
+            None => println!("{label:<56} (no measurement: bench body never called iter)"),
+        }
+    }
+
+    /// Called by [`criterion_main!`] after all groups ran.
+    pub fn final_summary(&self) {
+        println!("criterion-stub: {} benchmarks measured", self.benches_run);
+    }
+}
+
+/// Declares a function that runs a list of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+            c.final_summary();
+        }
+    };
+}

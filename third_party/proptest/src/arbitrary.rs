@@ -1,0 +1,60 @@
+//! The [`Arbitrary`] trait and [`any`] entry point.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Types with a canonical "generate any value" strategy.
+pub trait Arbitrary: Sized {
+    /// The strategy [`any`] returns.
+    type Strategy: Strategy<Value = Self>;
+
+    /// The canonical strategy for this type.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The canonical strategy generating any value of `A`.
+pub fn any<A: Arbitrary>() -> A::Strategy {
+    A::arbitrary()
+}
+
+/// Uniform strategy over the whole domain of a primitive type.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AnyPrimitive<T>(std::marker::PhantomData<T>);
+
+impl Strategy for AnyPrimitive<bool> {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.bool()
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = AnyPrimitive<bool>;
+
+    fn arbitrary() -> Self::Strategy {
+        AnyPrimitive(std::marker::PhantomData)
+    }
+}
+
+macro_rules! arbitrary_uint {
+    ($($t:ty),*) => {$(
+        impl Strategy for AnyPrimitive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+
+        impl Arbitrary for $t {
+            type Strategy = AnyPrimitive<$t>;
+
+            fn arbitrary() -> Self::Strategy {
+                AnyPrimitive(std::marker::PhantomData)
+            }
+        }
+    )*};
+}
+
+arbitrary_uint!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);

@@ -1,0 +1,12 @@
+//! Glob-import surface mirroring `proptest::prelude`.
+
+pub use crate::arbitrary::{any, Arbitrary};
+pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+pub use crate::test_runner::ProptestConfig;
+pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+
+/// Mirrors `proptest::prelude::prop` (module alias used by some suites).
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::strategy;
+}
