@@ -13,7 +13,7 @@
 
 use std::time::Duration;
 
-use qits_bench::{fmt_secs, maybe_run_one, run_case_subprocess, METHODS};
+use qits_bench::{fmt_count, fmt_secs, maybe_run_one, run_case_subprocess, METHODS};
 
 struct Row {
     family: &'static str,
@@ -177,19 +177,26 @@ fn main() {
     );
     println!("cache% = contraction-cache hit rate of the run (see ImageStats)");
     println!(
-        "{:<12} | {:>9} {:>10} {:>7} | {:>9} {:>10} {:>7} | {:>9} {:>10} {:>7}",
+        "live/alloc/recl = live vs allocated arena nodes at the end, and nodes \
+         reclaimed by GC during the run"
+    );
+    println!(
+        "{:<12} | {:>9} {:>10} {:>7} {:>15} | {:>9} {:>10} {:>7} {:>15} | {:>9} {:>10} {:>7} {:>15}",
         "Benchmark",
         "basic",
         "max#node",
         "cache%",
+        "live/alloc/recl",
         "addition",
         "max#node",
         "cache%",
+        "live/alloc/recl",
         "contract",
         "max#node",
-        "cache%"
+        "cache%",
+        "live/alloc/recl",
     );
-    println!("{}", "-".repeat(12 + 3 * 32));
+    println!("{}", "-".repeat(12 + 3 * 48));
 
     for row in rows {
         let mut cells = Vec::new();
@@ -203,13 +210,19 @@ fn main() {
             match result {
                 Some(case) => {
                     cells.push(format!(
-                        "{:>9} {:>10} {:>6.1}%",
+                        "{:>9} {:>10} {:>6.1}% {:>15}",
                         fmt_secs(Duration::from_secs_f64(case.secs)),
                         case.max_nodes,
-                        100.0 * case.cont_hit_rate
+                        100.0 * case.cont_hit_rate,
+                        format!(
+                            "{}/{}/{}",
+                            fmt_count(case.live_nodes as u64),
+                            fmt_count(case.allocated_nodes as u64),
+                            fmt_count(case.reclaimed_nodes),
+                        ),
                     ));
                 }
-                None => cells.push(format!("{:>9} {:>10} {:>7}", "-", "-", "-")),
+                None => cells.push(format!("{:>9} {:>10} {:>7} {:>15}", "-", "-", "-", "-")),
             }
         }
         let name = format!(

@@ -10,7 +10,7 @@
 //! monolithic operator).
 
 use qits::{image, QuantumTransitionSystem, Strategy};
-use qits_bench::spec_for;
+use qits_bench::{fmt_count, spec_for};
 use qits_tdd::TddManager;
 
 fn main() {
@@ -40,6 +40,7 @@ fn main() {
     println!("{}", "-".repeat(7 + 8 * kmax as usize));
 
     let mut hit_rates = vec![vec![0.0f64; kmax as usize]; kmax as usize];
+    let mut node_cells = vec![vec![String::new(); kmax as usize]; kmax as usize];
     for k1 in 1..=kmax {
         print!("{k1:>5} |");
         for k2 in 1..=kmax {
@@ -56,6 +57,12 @@ fn main() {
                 Strategy::Contraction { k1, k2 },
             );
             hit_rates[(k1 - 1) as usize][(k2 - 1) as usize] = stats.cont_hit_rate();
+            node_cells[(k1 - 1) as usize][(k2 - 1) as usize] = format!(
+                "{}/{}/{}",
+                fmt_count(stats.live_nodes as u64),
+                fmt_count(stats.allocated_nodes as u64),
+                fmt_count(stats.reclaimed_nodes),
+            );
             print!("{:>8.4}", stats.elapsed.as_secs_f64());
         }
         println!();
@@ -76,6 +83,22 @@ fn main() {
                 "{:>8.1}",
                 100.0 * hit_rates[(k1 - 1) as usize][(k2 - 1) as usize]
             );
+        }
+        println!();
+    }
+
+    println!();
+    println!("Node accounting per cell: live / allocated / reclaimed-by-GC:");
+    print!("{:>5} |", "k1\\k2");
+    for k2 in 1..=kmax {
+        print!("{k2:>16}");
+    }
+    println!();
+    println!("{}", "-".repeat(7 + 16 * kmax as usize));
+    for k1 in 1..=kmax {
+        print!("{k1:>5} |");
+        for k2 in 1..=kmax {
+            print!("{:>16}", node_cells[(k1 - 1) as usize][(k2 - 1) as usize]);
         }
         println!();
     }

@@ -9,9 +9,9 @@
 
 use std::time::Duration;
 
-use qits::{image, ImageStats, QuantumTransitionSystem, Strategy, Subspace};
+use qits::{image, mc, ImageStats, QuantumTransitionSystem, Strategy, Subspace};
 use qits_circuit::generators::{self, QtsSpec};
-use qits_tdd::TddManager;
+use qits_tdd::{GcPolicy, TddManager};
 
 /// Bit-flip probability used for all QRW benchmarks (the paper does not
 /// report its value; the image subspace is independent of it).
@@ -144,12 +144,22 @@ pub fn strategy_for(method: &str) -> Strategy {
     }
 }
 
-/// One measured image computation: builds a fresh manager, runs the image
-/// of the spec's initial subspace, and returns its statistics.
+/// One measured image computation: builds a fresh manager (with the
+/// default GC watermark installed, so the parallel strategies' workers may
+/// reclaim mid-run), runs the image of the spec's initial subspace, and
+/// finishes with the end-of-run collection a fixpoint driver would do
+/// here — its reclaim count is what the `recl` table column reports.
+///
+/// `live_nodes`/`allocated_nodes`/`elapsed` are snapshotted by `image()`
+/// *before* that final sweep, so the timing and node columns describe the
+/// uncollected run and `reclaimed_nodes` the garbage it left behind.
 pub fn run_image(spec: &QtsSpec, strategy: Strategy) -> ImageStats {
     let mut m = TddManager::new();
-    let qts = QuantumTransitionSystem::from_spec(&mut m, spec);
-    let (_, stats) = image(&mut m, qts.operations(), qts.initial(), strategy);
+    m.set_gc_policy(Some(GcPolicy::default()));
+    let mut qts = QuantumTransitionSystem::from_spec(&mut m, spec);
+    let (mut img, mut stats) = image(&mut m, qts.operations(), qts.initial(), strategy);
+    let out = m.collect_retaining(&mut [&mut qts, &mut img]);
+    stats.reclaimed_nodes += out.reclaimed as u64;
     stats
 }
 
@@ -164,21 +174,59 @@ pub fn run_image_with_result(
     (img, stats, m)
 }
 
+/// One measured reachability fixpoint on a fresh manager, with an optional
+/// GC policy — the workload behind the `gc_overhead` bench and the GC
+/// columns of the table binaries.
+pub fn run_reachability(
+    spec: &QtsSpec,
+    strategy: Strategy,
+    max_iterations: usize,
+    policy: Option<GcPolicy>,
+) -> (mc::ReachabilityResult, TddManager) {
+    let mut m = TddManager::new();
+    m.set_gc_policy(policy);
+    let mut qts = QuantumTransitionSystem::from_spec(&mut m, spec);
+    let r = mc::reachable_space(&mut m, &mut qts, strategy, max_iterations);
+    (r, m)
+}
+
+/// Formats a node count compactly (`1234567` → `"1.2M"`), table style.
+pub fn fmt_count(n: u64) -> String {
+    if n >= 10_000_000 {
+        format!("{}M", n / 1_000_000)
+    } else if n >= 1_000_000 {
+        format!("{:.1}M", n as f64 / 1e6)
+    } else if n >= 10_000 {
+        format!("{}k", n / 1000)
+    } else if n >= 1000 {
+        format!("{:.1}k", n as f64 / 1e3)
+    } else {
+        n.to_string()
+    }
+}
+
 /// Formats a duration as fractional seconds, Table I style.
 pub fn fmt_secs(d: Duration) -> String {
     format!("{:.2}", d.as_secs_f64())
 }
 
 /// One subprocess measurement: wall-clock seconds, peak TDD node count,
-/// and the contraction-cache hit rate of the run.
+/// the contraction-cache hit rate, and the live/allocated/reclaimed node
+/// accounting of the run.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CaseMeasurement {
     /// Wall-clock seconds of the image computation.
     pub secs: f64,
-    /// Peak TDD node count ("max #node").
+    /// Peak TDD node count ("max #node", live nodes per diagram).
     pub max_nodes: usize,
     /// Contraction-cache hit rate in `[0, 1]`.
     pub cont_hit_rate: f64,
+    /// Nodes still live (reachable from input/output) at the end.
+    pub live_nodes: usize,
+    /// Arena slots allocated at the end (live plus uncollected garbage).
+    pub allocated_nodes: usize,
+    /// Nodes reclaimed by garbage collections during the run.
+    pub reclaimed_nodes: u64,
 }
 
 /// Runs a single `(family, n, method)` case in a subprocess of the current
@@ -187,7 +235,8 @@ pub struct CaseMeasurement {
 /// way). Returns `None` on timeout or subprocess failure.
 ///
 /// The subprocess is invoked as `<exe> --one <family> <n> <method>` and
-/// must print `<seconds> <max_nodes> <cont_hit_rate>` on success.
+/// must print `<seconds> <max_nodes> <cont_hit_rate> <live> <allocated>
+/// <reclaimed>` on success.
 pub fn run_case_subprocess(
     family: &str,
     n: u32,
@@ -229,10 +278,16 @@ pub fn run_case_subprocess(
     let secs: f64 = it.next()?.parse().ok()?;
     let max_nodes: usize = it.next()?.parse().ok()?;
     let cont_hit_rate: f64 = it.next()?.parse().ok()?;
+    let live_nodes: usize = it.next()?.parse().ok()?;
+    let allocated_nodes: usize = it.next()?.parse().ok()?;
+    let reclaimed_nodes: u64 = it.next()?.parse().ok()?;
     Some(CaseMeasurement {
         secs,
         max_nodes,
         cont_hit_rate,
+        live_nodes,
+        allocated_nodes,
+        reclaimed_nodes,
     })
 }
 
@@ -244,10 +299,13 @@ pub fn maybe_run_one(args: &[String]) -> bool {
         let n: u32 = args[3].parse().expect("size must be an integer");
         let stats = run_image(&spec_for(family, n), strategy_for(&args[4]));
         println!(
-            "{} {} {:.6}",
+            "{} {} {:.6} {} {} {}",
             stats.elapsed.as_secs_f64(),
             stats.max_nodes,
-            stats.cont_hit_rate()
+            stats.cont_hit_rate(),
+            stats.live_nodes,
+            stats.allocated_nodes,
+            stats.reclaimed_nodes,
         );
         true
     } else {
@@ -297,5 +355,36 @@ mod tests {
     #[test]
     fn fmt_secs_two_decimals() {
         assert_eq!(fmt_secs(Duration::from_millis(1234)), "1.23");
+    }
+
+    #[test]
+    fn fmt_count_humanizes() {
+        assert_eq!(fmt_count(999), "999");
+        assert_eq!(fmt_count(1234), "1.2k");
+        assert_eq!(fmt_count(56_789), "56k");
+        assert_eq!(fmt_count(1_234_567), "1.2M");
+        assert_eq!(fmt_count(45_000_000), "45M");
+    }
+
+    #[test]
+    fn reachability_with_gc_matches_without() {
+        let spec = spec_for("qrw", 3);
+        let strategy = Strategy::Contraction { k1: 2, k2: 2 };
+        let (plain, m_plain) = run_reachability(&spec, strategy, 20, None);
+        let (gc, m_gc) = run_reachability(&spec, strategy, 20, Some(GcPolicy::aggressive()));
+        assert_eq!(plain.space.dim(), gc.space.dim());
+        assert!(gc.reclaimed_nodes > 0);
+        assert!(m_gc.arena_len() < m_plain.arena_len());
+    }
+
+    #[test]
+    fn image_stats_report_node_accounting() {
+        let stats = run_image(&spec_for("ghz", 5), strategy_for("contraction"));
+        assert!(stats.live_nodes > 0);
+        assert!(stats.allocated_nodes >= stats.live_nodes);
+        assert!(
+            stats.reclaimed_nodes > 0,
+            "the end-of-run sweep must reclaim the run's garbage"
+        );
     }
 }

@@ -1,7 +1,7 @@
 //! Combinational circuit equivalence checking.
 //!
 //! Equivalence checking of quantum circuits is the application area the
-//! paper's introduction builds on (its refs. [1]–[4]); it falls out of the
+//! paper's introduction builds on (its refs. \[1\]–\[4\]); it falls out of the
 //! same machinery: contract each circuit's tensor network into a canonical
 //! operator TDD, then compare. Two operators are proportional (equal up to
 //! global phase) iff Cauchy–Schwarz holds with equality for the

@@ -62,7 +62,8 @@ impl std::fmt::Display for Strategy {
 /// plus the operation-cache movement behind them.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ImageStats {
-    /// Peak node count over every TDD produced ("max #node").
+    /// Peak **live** node count over every TDD produced ("max #node") —
+    /// per-diagram reachable nodes, never arena slots.
     pub max_nodes: usize,
     /// Wall-clock time.
     pub elapsed: Duration,
@@ -70,6 +71,16 @@ pub struct ImageStats {
     pub branches: usize,
     /// Dimension of the computed image.
     pub output_dim: usize,
+    /// Nodes still live when the computation finished: everything
+    /// reachable from the input and output subspaces (and any registered
+    /// GC roots).
+    pub live_nodes: usize,
+    /// Arena slots allocated in the main manager when the computation
+    /// finished — live nodes plus uncollected garbage.
+    pub allocated_nodes: usize,
+    /// Nodes reclaimed by garbage collections during this computation
+    /// (worker managers of the parallel strategies included).
+    pub reclaimed_nodes: u64,
     /// Contraction-cache movement across this computation (worker managers
     /// of the parallel strategies included).
     pub cont_cache: CacheStats,
@@ -171,6 +182,7 @@ pub fn image(
                         let ws = local.stats();
                         stats.cont_cache.absorb(&ws.cont_cache);
                         stats.add_cache.absorb(&ws.add_cache);
+                        stats.reclaimed_nodes += ws.nodes_reclaimed;
                     }
                     for i in 0..psis.len() {
                         let mut total = Edge::ZERO;
@@ -190,7 +202,18 @@ pub fn image(
     let moved = m.stats().since(&manager_before);
     stats.cont_cache.absorb(&moved.cont_cache);
     stats.add_cache.absorb(&moved.add_cache);
+    stats.reclaimed_nodes += moved.nodes_reclaimed;
     stats.output_dim = out.dim();
+    // Live-vs-allocated accounting: the live set is what a collection run
+    // right now would keep (input + output + registered roots); the arena
+    // additionally holds every uncollected intermediate.
+    let mut live_edges: Vec<Edge> = Vec::with_capacity(input.dim() + out.dim() + 2);
+    live_edges.extend_from_slice(input.basis());
+    live_edges.push(input.projector());
+    live_edges.extend_from_slice(out.basis());
+    live_edges.push(out.projector());
+    stats.live_nodes = m.live_node_count(&live_edges);
+    stats.allocated_nodes = m.arena_len();
     stats.elapsed = start.elapsed();
     (out, stats)
 }
@@ -211,7 +234,11 @@ fn run_addition_workers(
             .map(|bits| {
                 scope.spawn(move || {
                     let mut local = TddManager::new();
-                    let net = TensorNetwork::from_circuit(&mut local, branch);
+                    // Workers inherit the main manager's GC policy: a
+                    // worker owns its entire live set, so collecting
+                    // between state applications is always root-safe.
+                    local.set_gc_policy(m.gc_policy());
+                    let mut net = TensorNetwork::from_circuit(&mut local, branch);
                     let cuts: Vec<(Var, bool)> = cut_vars
                         .iter()
                         .enumerate()
@@ -220,24 +247,30 @@ fn run_addition_workers(
                     let sliced = net.slice_all(&mut local, &cuts);
                     let part = contract_network(&mut local, sliced.tensors(), &net.external_vars());
                     let mut peak = part.max_nodes;
-                    let op_tensor = NetTensor {
+                    let mut op_tensor = NetTensor {
                         edge: part.edge,
                         vars: net.external_vars(),
                     };
-                    let phis: Vec<Edge> = psis
-                        .iter()
-                        .map(|&psi_main| {
-                            let psi = local.import(m, psi_main);
-                            let (phi, p) = apply_tensors(
-                                &mut local,
-                                std::slice::from_ref(&op_tensor),
-                                &net,
-                                psi,
-                            );
-                            peak = peak.max(p);
-                            phi
-                        })
-                        .collect();
+                    let mut phis: Vec<Edge> = Vec::with_capacity(psis.len());
+                    for (i, &psi_main) in psis.iter().enumerate() {
+                        let psi = local.import(m, psi_main);
+                        let (phi, p) =
+                            apply_tensors(&mut local, std::slice::from_ref(&op_tensor), &net, psi);
+                        peak = peak.max(p);
+                        phis.push(phi);
+                        // Live set between applications: the slice
+                        // operator, the network's gate tensors, and the
+                        // images computed so far. Skip the sweep after the
+                        // last state — the worker returns right away and
+                        // the compaction would buy nothing.
+                        if i + 1 < psis.len() {
+                            local.maybe_collect_retaining(&mut [
+                                &mut op_tensor,
+                                &mut net,
+                                &mut phis,
+                            ]);
+                        }
+                    }
                     (local, phis, peak)
                 })
             })

@@ -1,8 +1,21 @@
 //! Model checking on quantum transition systems: reachability via repeated
 //! image computation, and invariant checking — the application that
 //! motivates image computation in the first place (Section I).
+//!
+//! # Garbage collection
+//!
+//! A reachability fixpoint iterates `S <- S v T(S)` on one manager, and
+//! without reclamation every dead intermediate of every iteration stays
+//! resident. The drivers here are GC-aware: if the manager has a
+//! [`qits_tdd::GcPolicy`] installed, they collect **between iterations** —
+//! the one point where the full live set is known (the transition system's
+//! initial subspace, the working space, and any invariant under check).
+//! All of those are protected as roots, the arena is compacted, and every
+//! held edge is relocated, so callers' structures remain valid after the
+//! run. With no policy installed (the default), behaviour is identical to
+//! the grow-only arena.
 
-use qits_tdd::TddManager;
+use qits_tdd::{Relocatable, TddManager};
 
 use crate::image::{image, ImageStats, Strategy};
 use crate::qts::QuantumTransitionSystem;
@@ -19,24 +32,62 @@ pub struct ReachabilityResult {
     pub converged: bool,
     /// Per-iteration statistics.
     pub stats: Vec<ImageStats>,
+    /// Garbage collections performed between iterations.
+    pub collections: usize,
+    /// Nodes reclaimed by those collections.
+    pub reclaimed_nodes: u64,
+}
+
+/// Whether a subspace already spans its whole `2^n`-dimensional space, so
+/// any image is necessarily contained in it and the fixpoint is reached.
+fn space_is_full(s: &Subspace) -> bool {
+    s.n_qubits() < usize::BITS && s.dim() == 1usize << s.n_qubits()
 }
 
 /// Computes the reachable subspace of `qts` by iterating
 /// `S <- S v T(S)` until the dimension stabilises.
 ///
 /// The dimension is bounded by `2^n`, so with enough iterations this
-/// always converges; `max_iterations` guards runtime.
+/// always converges; `max_iterations` guards runtime. A space that has
+/// grown to the full `2^n` dimension short-circuits: the image of the full
+/// space is contained in it by construction, so the final image
+/// computation is skipped.
+///
+/// `qts` is taken mutably because a garbage collection between iterations
+/// (see the module docs) relocates its initial subspace in place, keeping
+/// it valid for the caller afterwards.
 pub fn reachable_space(
     m: &mut TddManager,
-    qts: &QuantumTransitionSystem,
+    qts: &mut QuantumTransitionSystem,
     strategy: Strategy,
     max_iterations: usize,
+) -> ReachabilityResult {
+    reachable_space_keeping(m, qts, strategy, max_iterations, &mut [])
+}
+
+/// [`reachable_space`], additionally keeping `kept` subspaces alive and
+/// relocated across any between-iteration collection. This is how
+/// [`check_invariant`] carries the invariant through a GC'd run; callers
+/// holding other subspaces on the same manager can do the same.
+pub fn reachable_space_keeping(
+    m: &mut TddManager,
+    qts: &mut QuantumTransitionSystem,
+    strategy: Strategy,
+    max_iterations: usize,
+    kept: &mut [&mut Subspace],
 ) -> ReachabilityResult {
     let mut space = qts.initial().clone();
     let mut stats = Vec::new();
     let mut converged = false;
     let mut iterations = 0;
+    let mut collections = 0usize;
+    let mut reclaimed_nodes = 0u64;
     while iterations < max_iterations {
+        if space_is_full(&space) {
+            // The space cannot grow further: skip the final image.
+            converged = true;
+            break;
+        }
         let (img, st) = image(m, qts.operations(), &space, strategy);
         iterations += 1;
         stats.push(st);
@@ -46,12 +97,30 @@ pub fn reachable_space(
             break;
         }
         space = joined;
+        // Re-check fullness right after the join: saturating on the very
+        // last permitted iteration is still a proven fixpoint.
+        if space_is_full(&space) {
+            converged = true;
+            break;
+        }
+        // Between iterations every intermediate (images, slices, residuals)
+        // is garbage; only the system, the working space, and the kept
+        // subspaces are live. Collect if the policy asks for it.
+        if m.should_collect() {
+            let mut holders: Vec<&mut dyn Relocatable> = vec![qts, &mut space];
+            holders.extend(kept.iter_mut().map(|s| &mut **s as &mut dyn Relocatable));
+            let out = m.collect_retaining(&mut holders);
+            collections += 1;
+            reclaimed_nodes += out.reclaimed as u64;
+        }
     }
     ReachabilityResult {
         space,
         iterations,
         converged,
         stats,
+        collections,
+        reclaimed_nodes,
     }
 }
 
@@ -61,15 +130,20 @@ pub fn reachable_space(
 /// Returns the verdict plus the reachability result that witnessed it.
 /// A `false` verdict with `converged = false` means the analysis was
 /// truncated and the verdict is only valid for the explored prefix.
+///
+/// `qts` and `invariant` are taken mutably because between-iteration
+/// garbage collections relocate their edges in place (see the module
+/// docs); both remain valid for the caller afterwards.
 pub fn check_invariant(
     m: &mut TddManager,
-    qts: &QuantumTransitionSystem,
-    invariant: &Subspace,
+    qts: &mut QuantumTransitionSystem,
+    invariant: &mut Subspace,
     strategy: Strategy,
     max_iterations: usize,
 ) -> (bool, ReachabilityResult) {
-    let reach = reachable_space(m, qts, strategy, max_iterations);
-    let holds = reach.space.is_subspace_of(m, invariant);
+    let mut kept = [invariant];
+    let reach = reachable_space_keeping(m, qts, strategy, max_iterations, &mut kept);
+    let holds = reach.space.is_subspace_of(m, kept[0]);
     (holds, reach)
 }
 
@@ -78,13 +152,14 @@ mod tests {
     use super::*;
     use qits_circuit::generators;
     use qits_circuit::tensorize::states;
+    use qits_tdd::GcPolicy;
 
     #[test]
     fn grover_reaches_fixpoint_immediately() {
         // The Grover initial subspace is invariant: 1 iteration suffices.
         let mut m = TddManager::new();
-        let qts = QuantumTransitionSystem::from_spec(&mut m, &generators::grover(3));
-        let r = reachable_space(&mut m, &qts, Strategy::Contraction { k1: 2, k2: 2 }, 10);
+        let mut qts = QuantumTransitionSystem::from_spec(&mut m, &generators::grover(3));
+        let r = reachable_space(&mut m, &mut qts, Strategy::Contraction { k1: 2, k2: 2 }, 10);
         assert!(r.converged);
         assert_eq!(r.iterations, 1);
         assert!(r.space.equals(&mut m, qts.initial()));
@@ -95,8 +170,8 @@ mod tests {
         // The noiseless+noisy walk spreads over the whole cycle; its
         // reachable space saturates at the full 2^n dimension eventually.
         let mut m = TddManager::new();
-        let qts = QuantumTransitionSystem::from_spec(&mut m, &generators::qrw(3, 0.5));
-        let r = reachable_space(&mut m, &qts, Strategy::Contraction { k1: 2, k2: 2 }, 20);
+        let mut qts = QuantumTransitionSystem::from_spec(&mut m, &generators::qrw(3, 0.5));
+        let r = reachable_space(&mut m, &mut qts, Strategy::Contraction { k1: 2, k2: 2 }, 20);
         assert!(r.converged);
         assert!(r.space.dim() > qts.initial().dim());
         // Fixpoint really is a fixpoint.
@@ -110,13 +185,64 @@ mod tests {
     }
 
     #[test]
+    fn saturating_on_the_last_iteration_still_converges() {
+        // The walk fills the 2^3-dimensional space; give it exactly as
+        // many iterations as it needs and no spare one: fullness after
+        // the final join must still report convergence.
+        let mut probe = TddManager::new();
+        let mut qts_probe =
+            QuantumTransitionSystem::from_spec(&mut probe, &generators::qrw(3, 0.5));
+        let full_run = reachable_space(
+            &mut probe,
+            &mut qts_probe,
+            Strategy::Contraction { k1: 2, k2: 2 },
+            20,
+        );
+        assert!(full_run.converged);
+        assert_eq!(full_run.space.dim(), 8, "walk must fill the space");
+
+        let mut m = TddManager::new();
+        let mut qts = QuantumTransitionSystem::from_spec(&mut m, &generators::qrw(3, 0.5));
+        let tight = reachable_space(
+            &mut m,
+            &mut qts,
+            Strategy::Contraction { k1: 2, k2: 2 },
+            full_run.iterations,
+        );
+        assert_eq!(tight.space.dim(), 8);
+        assert!(
+            tight.converged,
+            "saturating exactly at max_iterations proves the fixpoint"
+        );
+    }
+
+    #[test]
+    fn full_space_short_circuits_without_an_image() {
+        // Starting from the full space, the fixpoint is immediate and no
+        // image computation runs at all.
+        let mut m = TddManager::new();
+        let full = Subspace::full(&mut m, 2);
+        let op = qits_circuit::Operation::from_circuit("id", &{
+            let mut c = qits_circuit::Circuit::new(2);
+            c.push(qits_circuit::Gate::h(0));
+            c
+        });
+        let mut qts = QuantumTransitionSystem::new(2, vec![op], full);
+        let r = reachable_space(&mut m, &mut qts, Strategy::Basic, 10);
+        assert!(r.converged);
+        assert_eq!(r.iterations, 0, "full space needs no image computation");
+        assert_eq!(r.space.dim(), 4);
+    }
+
+    #[test]
     fn reachable_space_is_an_invariant() {
         // The reachable space itself always satisfies the invariant check.
         let mut m = TddManager::new();
-        let qts = QuantumTransitionSystem::from_spec(&mut m, &generators::ghz(3));
-        let r = reachable_space(&mut m, &qts, Strategy::Basic, 20);
+        let mut qts = QuantumTransitionSystem::from_spec(&mut m, &generators::ghz(3));
+        let r = reachable_space(&mut m, &mut qts, Strategy::Basic, 20);
         assert!(r.converged);
-        let (holds, r2) = check_invariant(&mut m, &qts, &r.space, Strategy::Basic, 20);
+        let mut inv = r.space.clone();
+        let (holds, r2) = check_invariant(&mut m, &mut qts, &mut inv, Strategy::Basic, 20);
         assert!(holds);
         assert!(r2.converged);
         assert_eq!(r2.space.dim(), r.space.dim());
@@ -125,21 +251,83 @@ mod tests {
     #[test]
     fn invariant_violated_when_too_small() {
         let mut m = TddManager::new();
-        let qts = QuantumTransitionSystem::from_spec(&mut m, &generators::ghz(3));
+        let mut qts = QuantumTransitionSystem::from_spec(&mut m, &generators::ghz(3));
         // The initial state alone is not invariant under GHZ preparation.
         let vars = Subspace::ket_vars(3);
         let zero_ket = m.product_ket(&vars, &[states::ZERO; 3]);
-        let only_zero = Subspace::from_states(&mut m, 3, &[zero_ket]);
-        let (holds, _) = check_invariant(&mut m, &qts, &only_zero, Strategy::Basic, 10);
+        let mut only_zero = Subspace::from_states(&mut m, 3, &[zero_ket]);
+        let (holds, _) = check_invariant(&mut m, &mut qts, &mut only_zero, Strategy::Basic, 10);
         assert!(!holds);
     }
 
     #[test]
     fn max_iterations_truncates() {
         let mut m = TddManager::new();
-        let qts = QuantumTransitionSystem::from_spec(&mut m, &generators::qrw(4, 0.5));
-        let r = reachable_space(&mut m, &qts, Strategy::Contraction { k1: 2, k2: 2 }, 1);
+        let mut qts = QuantumTransitionSystem::from_spec(&mut m, &generators::qrw(4, 0.5));
+        let r = reachable_space(&mut m, &mut qts, Strategy::Contraction { k1: 2, k2: 2 }, 1);
         assert!(!r.converged);
         assert_eq!(r.iterations, 1);
+    }
+
+    #[test]
+    fn gc_between_iterations_matches_grow_only_run() {
+        // The same fixpoint, with and without an aggressive GC policy:
+        // identical space, nodes actually reclaimed, smaller final arena.
+        let spec = generators::qrw(3, 0.5);
+        let strategy = Strategy::Contraction { k1: 2, k2: 2 };
+
+        let mut m_plain = TddManager::new();
+        let mut qts_plain = QuantumTransitionSystem::from_spec(&mut m_plain, &spec);
+        let r_plain = reachable_space(&mut m_plain, &mut qts_plain, strategy, 20);
+
+        let mut m_gc = TddManager::new();
+        let mut qts_gc = QuantumTransitionSystem::from_spec(&mut m_gc, &spec);
+        m_gc.set_gc_policy(Some(GcPolicy::aggressive()));
+        let r_gc = reachable_space(&mut m_gc, &mut qts_gc, strategy, 20);
+
+        assert!(r_gc.converged);
+        assert_eq!(r_plain.space.dim(), r_gc.space.dim());
+        assert!(r_gc.collections > 0, "aggressive policy must collect");
+        assert!(r_gc.reclaimed_nodes > 0, "iterations must produce garbage");
+        assert!(
+            m_gc.arena_len() < m_plain.arena_len(),
+            "GC run must end with a smaller arena: {} vs {}",
+            m_gc.arena_len(),
+            m_plain.arena_len()
+        );
+        // The relocated structures are still usable: the fixpoint is a
+        // fixpoint and the initial space is contained in it.
+        assert!(qts_gc
+            .initial()
+            .clone()
+            .is_subspace_of(&mut m_gc, &r_gc.space));
+        let (img, _) = image(&mut m_gc, qts_gc.operations(), &r_gc.space, strategy);
+        assert!(img.is_subspace_of(&mut m_gc, &r_gc.space));
+    }
+
+    #[test]
+    fn gc_keeps_the_checked_invariant_valid() {
+        let mut m = TddManager::new();
+        let mut qts = QuantumTransitionSystem::from_spec(&mut m, &generators::qrw(3, 0.3));
+        m.set_gc_policy(Some(GcPolicy::aggressive()));
+        let vars = Subspace::ket_vars(3);
+        let bad_ket = m.basis_ket(&vars, &[true, false, false]);
+        let bad = Subspace::from_states(&mut m, 3, &[bad_ket]);
+        let mut safe = bad.complement(&mut m);
+        let (holds, r) = check_invariant(
+            &mut m,
+            &mut qts,
+            &mut safe,
+            Strategy::Contraction { k1: 2, k2: 2 },
+            20,
+        );
+        assert!(r.converged);
+        assert!(!holds, "the walk eventually reaches the bad state");
+        assert!(r.collections > 0);
+        // `safe` was relocated, not corrupted: it still has dimension 7
+        // and still excludes the bad state.
+        assert_eq!(safe.dim(), 7);
+        let bad_again = m.basis_ket(&vars, &[true, false, false]);
+        assert!(!safe.contains(&mut m, bad_again));
     }
 }

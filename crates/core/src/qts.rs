@@ -83,6 +83,30 @@ impl QuantumTransitionSystem {
     pub fn initial(&self) -> &Subspace {
         &self.initial
     }
+
+    /// Registers the system's long-lived edges (the initial subspace's
+    /// basis and projector; operations are circuits and hold no edges) as
+    /// GC roots. Pair with [`QuantumTransitionSystem::relocate`] after a
+    /// collection.
+    pub fn protect(&self, m: &mut TddManager) -> Vec<qits_tdd::RootId> {
+        self.initial.protect(m)
+    }
+
+    /// Rewrites the system's edges after a garbage collection (they must
+    /// have been protected across it).
+    pub fn relocate(&mut self, r: &qits_tdd::Relocations) {
+        self.initial.relocate(r);
+    }
+}
+
+impl qits_tdd::Relocatable for QuantumTransitionSystem {
+    fn gc_protect(&self, m: &mut TddManager) -> Vec<qits_tdd::RootId> {
+        self.protect(m)
+    }
+
+    fn gc_relocate(&mut self, r: &qits_tdd::Relocations) {
+        self.relocate(r);
+    }
 }
 
 #[cfg(test)]

@@ -9,7 +9,7 @@
 use std::collections::BTreeMap;
 
 use qits_num::Cplx;
-use qits_tdd::{Edge, TddManager};
+use qits_tdd::{Edge, Relocatable, Relocations, RootId, TddManager};
 use qits_tensor::Var;
 
 /// Squared-norm threshold below which a Gram–Schmidt residual counts as
@@ -28,6 +28,17 @@ pub const RANK_TOLERANCE: f64 = 1e-9;
 ///
 /// All edges are owned by the [`TddManager`] passed to each method; using
 /// a subspace with a different manager is a logic error.
+///
+/// # Garbage collection
+///
+/// A subspace holds long-lived edges (the basis kets and the projector),
+/// so it participates in the manager's root-tracked GC (see
+/// [`qits_tdd::gc`]): before a [`TddManager::collect`], protect it with
+/// [`Subspace::protect`]; afterwards, rewrite its edges with
+/// [`Subspace::relocate`] and release the roots. A subspace that was
+/// neither protected nor relocated across a collection holds dangling
+/// edges and must not be used again. The fixpoint drivers in
+/// [`crate::mc`] do this automatically for every subspace they manage.
 ///
 /// # Example
 ///
@@ -102,6 +113,39 @@ impl Subspace {
         self.projector
     }
 
+    /// Registers every edge of the subspace (basis kets and projector) as
+    /// a GC root, returning the ids for a later
+    /// [`TddManager::unprotect_all`].
+    pub fn protect(&self, m: &mut TddManager) -> Vec<RootId> {
+        let mut ids = Vec::with_capacity(self.basis.len() + 1);
+        ids.extend(self.basis.iter().map(|&e| m.protect(e)));
+        ids.push(m.protect(self.projector));
+        ids
+    }
+
+    /// Rewrites every edge of the subspace after a garbage collection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any edge was not rooted at the collection — protect the
+    /// subspace (e.g. with [`Subspace::protect`]) before collecting.
+    pub fn relocate(&mut self, r: &Relocations) {
+        r.apply_all(&mut self.basis);
+        self.projector = r.apply(self.projector);
+    }
+}
+
+impl Relocatable for Subspace {
+    fn gc_protect(&self, m: &mut TddManager) -> Vec<RootId> {
+        self.protect(m)
+    }
+
+    fn gc_relocate(&mut self, r: &Relocations) {
+        self.relocate(r);
+    }
+}
+
+impl Subspace {
     /// Applies the projector to a ket: `P |psi>`.
     pub fn project(&self, m: &mut TddManager, psi: Edge) -> Edge {
         if self.basis.is_empty() {

@@ -31,6 +31,15 @@
 //! disables caching entirely (every lookup misses, inserts are dropped),
 //! which is how the equivalence tests compare cached against uncached runs
 //! bit for bit.
+//!
+//! # Garbage collection
+//!
+//! Cache keys name [`NodeId`]s, which a garbage collection (see
+//! [`crate::gc`]) renumbers, so entries are **epoch-tagged**: each carries
+//! the GC epoch it was written in, lookups only answer from the current
+//! epoch, and [`OpCaches::on_collect`] advances the epoch and purges stale
+//! entries (counted in [`CacheStats::purged`]). The interners survive
+//! collections — they key on variables, never on nodes.
 
 use std::hash::Hash;
 
@@ -53,6 +62,9 @@ pub struct CacheStats {
     pub inserts: u64,
     /// Entries dropped by capacity flushes.
     pub evictions: u64,
+    /// Entries invalidated by garbage collections (their keys named node
+    /// ids from a pre-collection epoch; see [`crate::gc`]).
+    pub purged: u64,
 }
 
 impl CacheStats {
@@ -78,6 +90,7 @@ impl CacheStats {
             misses: self.misses.saturating_sub(earlier.misses),
             inserts: self.inserts.saturating_sub(earlier.inserts),
             evictions: self.evictions.saturating_sub(earlier.evictions),
+            purged: self.purged.saturating_sub(earlier.purged),
         }
     }
 
@@ -87,6 +100,7 @@ impl CacheStats {
         self.misses += other.misses;
         self.inserts += other.inserts;
         self.evictions += other.evictions;
+        self.purged += other.purged;
     }
 }
 
@@ -101,20 +115,36 @@ const MIN_SLOTS: usize = 1 << 12;
 /// per-slot and incremental — a contraction deep in recursion can lose
 /// individual entries to collisions (and gracefully recompute them) but
 /// never has its entire working set flushed out from under it, which a
-/// clear-on-full policy would do. The array starts at [`MIN_SLOTS`] and
+/// clear-on-full policy would do. The array starts at `MIN_SLOTS` and
 /// doubles (rehashing) until it reaches the configured capacity.
 ///
 /// Values must be `Copy` (they are [`Edge`]s in practice) so a hit never
 /// borrows the table.
+///
+/// Entries are **epoch-tagged**: each carries the GC epoch it was written
+/// in, and a lookup only answers from the current epoch. A garbage
+/// collection renumbers node ids, so every pre-collection entry is
+/// meaningless afterwards; [`OpCache::advance_epoch`] (called by
+/// [`crate::TddManager::collect`] via [`OpCaches::on_collect`]) bumps the
+/// epoch and purges stale entries, counting them in
+/// [`CacheStats::purged`]. The eager purge keeps `len` (and the grow
+/// trigger) honest, so after a collection no stale entry remains and the
+/// epoch guards in `get`/`insert` cannot fire — they are kept anyway as
+/// the local statement of the invariant: an entry is only valid in the
+/// epoch that wrote it, independent of when (or whether) a purge walked
+/// its slot. A caller that defers or skips the purge still gets correct
+/// lookups.
 #[derive(Debug)]
 pub struct OpCache<K, V> {
     /// Power-of-two slot array; empty until the first insert so idle
-    /// caches cost nothing.
-    slots: Vec<Option<(K, V)>>,
+    /// caches cost nothing. Each entry carries the epoch it was written in.
+    slots: Vec<Option<(K, V, u32)>>,
     /// Occupied slot count.
     len: usize,
     /// Maximum slot count (power of two; `0` disables the cache).
     capacity: usize,
+    /// Current GC epoch; entries from older epochs are stale.
+    epoch: u32,
     stats: CacheStats,
 }
 
@@ -131,6 +161,7 @@ impl<K: Eq + Hash + Copy, V: Copy> OpCache<K, V> {
             slots: Vec::new(),
             len: 0,
             capacity,
+            epoch: 0,
             stats: CacheStats::default(),
         }
     }
@@ -142,12 +173,13 @@ impl<K: Eq + Hash + Copy, V: Copy> OpCache<K, V> {
         (h as usize) & (self.slots.len() - 1)
     }
 
-    /// Looks `key` up, counting a hit or miss.
+    /// Looks `key` up, counting a hit or miss. Entries from an older GC
+    /// epoch never answer (their keys name renumbered nodes).
     #[inline]
     pub fn get(&mut self, key: &K) -> Option<V> {
         if !self.slots.is_empty() {
-            if let Some((k, v)) = self.slots[self.slot_of(key)] {
-                if k == *key {
+            if let Some((k, v, e)) = self.slots[self.slot_of(key)] {
+                if e == self.epoch && k == *key {
                     self.stats.hits += 1;
                     return Some(v);
                 }
@@ -157,7 +189,8 @@ impl<K: Eq + Hash + Copy, V: Copy> OpCache<K, V> {
         None
     }
 
-    /// Records `key -> value`, replacing at most the one colliding entry.
+    /// Records `key -> value` in the current epoch, replacing at most the
+    /// one colliding entry.
     #[inline]
     pub fn insert(&mut self, key: K, value: V) {
         if self.capacity == 0 {
@@ -171,10 +204,10 @@ impl<K: Eq + Hash + Copy, V: Copy> OpCache<K, V> {
         let idx = self.slot_of(&key);
         match &self.slots[idx] {
             None => self.len += 1,
-            Some((k, _)) if *k != key => self.stats.evictions += 1,
+            Some((k, _, e)) if *e != self.epoch || *k != key => self.stats.evictions += 1,
             Some(_) => {}
         }
-        self.slots[idx] = Some((key, value));
+        self.slots[idx] = Some((key, value, self.epoch));
         self.stats.inserts += 1;
     }
 
@@ -197,6 +230,29 @@ impl<K: Eq + Hash + Copy, V: Copy> OpCache<K, V> {
     pub fn clear(&mut self) {
         self.slots = Vec::new();
         self.len = 0;
+    }
+
+    /// Advances the GC epoch and purges every entry written before it,
+    /// returning how many were purged (also counted in
+    /// [`CacheStats::purged`]). Called on every collection: stale entries
+    /// key on pre-collection node ids and must never answer again.
+    pub fn advance_epoch(&mut self) -> u64 {
+        self.epoch = self.epoch.wrapping_add(1);
+        let mut purged = 0u64;
+        for slot in self.slots.iter_mut() {
+            if matches!(slot, Some((_, _, e)) if *e != self.epoch) {
+                *slot = None;
+                self.len -= 1;
+                purged += 1;
+            }
+        }
+        self.stats.purged += purged;
+        purged
+    }
+
+    /// The current GC epoch of this table.
+    pub fn epoch(&self) -> u32 {
+        self.epoch
     }
 
     /// Current number of live entries.
@@ -391,6 +447,18 @@ impl OpCaches {
         self.rename.clear();
     }
 
+    /// Garbage-collection hook: advances every table's epoch, purging
+    /// entries whose keys name pre-collection node ids. Returns the total
+    /// number of entries purged. Interners are untouched — they key on
+    /// variables, which collections never renumber.
+    pub fn on_collect(&mut self) -> u64 {
+        self.add.advance_epoch()
+            + self.cont.advance_epoch()
+            + self.slice.advance_epoch()
+            + self.conj.advance_epoch()
+            + self.rename.advance_epoch()
+    }
+
     /// Re-bounds every table.
     pub fn set_capacity(&mut self, capacity: usize) {
         self.add.set_capacity(capacity);
@@ -475,6 +543,23 @@ mod tests {
     }
 
     #[test]
+    fn epoch_advance_purges_and_blinds_old_entries() {
+        let mut c: OpCache<u32, u32> = OpCache::with_capacity(16);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        assert_eq!(c.len(), 2);
+        let purged = c.advance_epoch();
+        assert_eq!(purged, 2);
+        assert_eq!(c.len(), 0);
+        assert_eq!(c.stats().purged, 2);
+        assert_eq!(c.get(&1), None, "stale entries must not answer");
+        // Fresh inserts in the new epoch work normally.
+        c.insert(1, 11);
+        assert_eq!(c.get(&1), Some(11));
+        assert_eq!(c.epoch(), 1);
+    }
+
+    #[test]
     fn zero_capacity_disables() {
         let mut c: OpCache<u32, u32> = OpCache::with_capacity(0);
         c.insert(1, 1);
@@ -490,13 +575,13 @@ mod tests {
             hits: 10,
             misses: 6,
             inserts: 6,
-            evictions: 0,
+            ..Default::default()
         };
         let b = CacheStats {
             hits: 4,
             misses: 2,
             inserts: 2,
-            evictions: 0,
+            ..Default::default()
         };
         let d = a.since(&b);
         assert_eq!((d.hits, d.misses), (6, 4));

@@ -1,0 +1,793 @@
+//! Root-tracked garbage collection for the TDD arena.
+//!
+//! The arena of a [`TddManager`] is append-only between collections: every
+//! operation hash-conses new nodes and nothing is ever freed in place. The
+//! paper's headline workload — reachability via repeated image computation,
+//! iterating `S <- S v T(S)` on one manager — therefore accumulates every
+//! dead intermediate of every slice, block, and Gram–Schmidt residual, and
+//! long fixpoints become memory-bound before they are time-bound. This
+//! module is the reclamation subsystem that fixes that, in the style of
+//! mature decision-diagram managers: explicit root tracking plus
+//! mark-and-sweep.
+//!
+//! # The root contract
+//!
+//! Collection is always **explicit**: it runs only when [`TddManager::collect`]
+//! (or [`TddManager::maybe_collect`]) is called, never implicitly inside an
+//! operation. At a collection, the set of live diagrams is exactly the set
+//! reachable from the **root registry**:
+//!
+//! * [`TddManager::protect`] registers an edge as a root and returns a
+//!   [`RootId`]; [`TddManager::unprotect`] releases it.
+//! * [`TddManager::root_scope`] wraps the manager in a [`RootScope`] RAII
+//!   guard that unprotects everything it protected when dropped — the
+//!   convenient form for protecting temporaries across a collection.
+//!
+//! The sweep **compacts** the arena: surviving nodes are renumbered densely
+//! and the unique table is rebuilt, so canonical identity (hash-consing:
+//! equal tensors ⇔ equal edges) is fully preserved among survivors. The
+//! price of compaction is that every raw [`Edge`] held outside the manager
+//! is renumbered too. Two mechanisms keep holders sound:
+//!
+//! 1. edges in the root registry are rewritten in place — after a
+//!    collection, [`TddManager::root_edge`] returns the relocated edge;
+//! 2. [`TddManager::collect`] returns a [`Relocations`] map, and every
+//!    layer that holds long-lived raw edges (subspaces, tensor networks,
+//!    pre-contracted blocks) exposes a `relocate` method that rewrites its
+//!    copies through it.
+//!
+//! An edge that was neither rooted nor remapped is **dead** after a
+//! collection: dereferencing it is a logic error (it names a recycled or
+//! out-of-range slot). [`Relocations::try_apply`] returns `None` for such
+//! edges, which is how the tests assert reclamation actually happened.
+//!
+//! # Epoch-aware operation caches
+//!
+//! Operation-cache entries key on [`crate::NodeId`]s, which a compaction
+//! renumbers, so every entry written before a collection is invalid after
+//! it. Each cache entry carries the **GC epoch** it was written in; a
+//! collection advances the epoch and purges stale entries (counted in
+//! [`crate::CacheStats::purged`]), and lookups ignore entries from older
+//! epochs. Interners ([`crate::cache::SumInterner`],
+//! [`crate::cache::RenameInterner`]) key on variables, not nodes, and
+//! survive collections untouched, as does the complex table (weights are
+//! value-interned and never relocated).
+//!
+//! # Automatic collection
+//!
+//! [`GcPolicy`] makes collection automatic at the call sites that opt in:
+//! [`TddManager::maybe_collect`] collects only when the arena has grown
+//! past `watermark` times its size after the previous collection and at
+//! least `min_interval` nodes were allocated since. The policy is **off by
+//! default** — a manager without a policy behaves exactly like the
+//! pre-GC, grow-only arena. The reachability fixpoint drivers in the
+//! `qits` crate and the per-worker managers of the parallel addition
+//! partition check the policy between iterations / slices.
+
+use std::ops::{Deref, DerefMut};
+
+use crate::manager::TddManager;
+use crate::node::{Edge, Node, NodeId, TERMINAL};
+
+/// Handle to a protected edge in a manager's root registry.
+///
+/// Obtained from [`TddManager::protect`]; released with
+/// [`TddManager::unprotect`]. Ids are recycled after release, so a stale
+/// `RootId` must not be reused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RootId(u32);
+
+/// The manager-owned root registry: a slab of protected edges.
+///
+/// Edges in the registry are updated in place by the sweep, so a root
+/// always refers to the protected diagram regardless of how many
+/// collections have run.
+#[derive(Debug, Default)]
+pub(crate) struct RootRegistry {
+    slots: Vec<Option<Edge>>,
+    free: Vec<u32>,
+}
+
+impl RootRegistry {
+    pub(crate) fn insert(&mut self, e: Edge) -> RootId {
+        match self.free.pop() {
+            Some(i) => {
+                self.slots[i as usize] = Some(e);
+                RootId(i)
+            }
+            None => {
+                let i = u32::try_from(self.slots.len()).expect("root registry overflow");
+                self.slots.push(Some(e));
+                RootId(i)
+            }
+        }
+    }
+
+    pub(crate) fn remove(&mut self, id: RootId) -> Option<Edge> {
+        let slot = self.slots.get_mut(id.0 as usize)?;
+        let e = slot.take();
+        if e.is_some() {
+            self.free.push(id.0);
+        }
+        e
+    }
+
+    pub(crate) fn get(&self, id: RootId) -> Option<Edge> {
+        self.slots.get(id.0 as usize).copied().flatten()
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.slots.len() - self.free.len()
+    }
+
+    pub(crate) fn iter(&self) -> impl Iterator<Item = Edge> + '_ {
+        self.slots.iter().copied().flatten()
+    }
+
+    fn relocate(&mut self, r: &Relocations) {
+        for e in self.slots.iter_mut().flatten() {
+            *e = r.apply(*e);
+        }
+    }
+}
+
+/// Where every node went in one collection: old [`NodeId`] → new.
+///
+/// Returned by [`TddManager::collect`] so holders of raw edges can rewrite
+/// their copies. The map is only meaningful for edges that existed *at*
+/// the collection; applying it to an edge created afterwards panics.
+#[derive(Debug, Clone)]
+pub struct Relocations {
+    /// Indexed by old node id; [`Relocations::DEAD`] marks a swept node.
+    map: Vec<u32>,
+}
+
+impl Relocations {
+    const DEAD: u32 = u32::MAX;
+
+    /// Rewrites an edge through the relocation, or `None` if its node was
+    /// swept (the edge was garbage at the collection).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the edge's node id postdates the collection.
+    pub fn try_apply(&self, e: Edge) -> Option<Edge> {
+        let old = e.node.index();
+        assert!(
+            old < self.map.len(),
+            "edge (node {old}) was created after this collection"
+        );
+        match self.map[old] {
+            Self::DEAD => None,
+            new => Some(Edge {
+                node: NodeId::from_index(new as usize),
+                weight: e.weight,
+            }),
+        }
+    }
+
+    /// Rewrites an edge through the relocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the edge was dead at the collection (not reachable from
+    /// any root) or postdates it — both are root-safety bugs in the
+    /// caller: every long-lived edge must be protected before collecting.
+    pub fn apply(&self, e: Edge) -> Edge {
+        self.try_apply(e)
+            .expect("edge was not rooted at the collection (root-safety violation)")
+    }
+
+    /// Rewrites a slice of edges in place (all must have survived).
+    pub fn apply_all(&self, edges: &mut [Edge]) {
+        for e in edges {
+            *e = self.apply(*e);
+        }
+    }
+
+    /// Arena size (in nodes, terminal included) at the collection.
+    pub fn old_len(&self) -> usize {
+        self.map.len()
+    }
+}
+
+/// When [`TddManager::maybe_collect`] actually collects.
+///
+/// The policy is deliberately simple — a watermark ratio over the live set
+/// plus a minimum allocation interval — because collection cost is linear
+/// in the arena and mark cost linear in the live set; anything cleverer
+/// needs workload knowledge the caller has and the manager does not.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GcPolicy {
+    /// Collect when `arena_len() >= watermark * floor`, where `floor` is
+    /// the arena size right after the previous collection (values `< 1`
+    /// are treated as `1`).
+    pub watermark: f64,
+    /// Never collect before this many nodes were allocated since the
+    /// previous collection — bounds collection *frequency* so tight loops
+    /// on small diagrams do not pay a sweep per iteration.
+    pub min_interval: usize,
+}
+
+impl Default for GcPolicy {
+    /// Collect when the arena doubles, at most every 2¹⁶ allocations.
+    fn default() -> Self {
+        GcPolicy {
+            watermark: 2.0,
+            min_interval: 1 << 16,
+        }
+    }
+}
+
+impl GcPolicy {
+    /// Collects at every opportunity — maximal reclamation, maximal
+    /// overhead. Intended for tests and for measuring GC cost.
+    pub fn aggressive() -> Self {
+        GcPolicy {
+            watermark: 1.0,
+            min_interval: 0,
+        }
+    }
+}
+
+/// What one [`TddManager::collect`] call did.
+#[derive(Debug)]
+pub struct GcOutcome {
+    /// Old-to-new node map for rewriting held edges.
+    pub relocations: Relocations,
+    /// Nodes swept (allocated minus surviving).
+    pub reclaimed: usize,
+    /// Non-terminal nodes that survived.
+    pub live: usize,
+    /// Operation-cache entries purged as stale.
+    pub cache_entries_purged: u64,
+}
+
+/// A structure holding long-lived [`Edge`]s that can ride through a
+/// collection: it can root every edge it holds and rewrite them through a
+/// [`Relocations`] map afterwards.
+///
+/// Implemented by [`Edge`] and `Vec<Edge>` here, and by the higher-level
+/// holders (subspaces, transition systems, tensor networks) in their own
+/// crates. The point of the trait is [`TddManager::collect_retaining`]:
+/// one call that protects every holder, collects, relocates, and releases
+/// the roots — so call sites cannot forget a step of the root contract.
+pub trait Relocatable {
+    /// Protects every edge this holder owns, returning the root ids.
+    fn gc_protect(&self, m: &mut TddManager) -> Vec<RootId>;
+
+    /// Rewrites every held edge after a collection.
+    fn gc_relocate(&mut self, r: &Relocations);
+}
+
+impl Relocatable for Edge {
+    fn gc_protect(&self, m: &mut TddManager) -> Vec<RootId> {
+        vec![m.protect(*self)]
+    }
+
+    fn gc_relocate(&mut self, r: &Relocations) {
+        *self = r.apply(*self);
+    }
+}
+
+impl Relocatable for Vec<Edge> {
+    fn gc_protect(&self, m: &mut TddManager) -> Vec<RootId> {
+        self.iter().map(|&e| m.protect(e)).collect()
+    }
+
+    fn gc_relocate(&mut self, r: &Relocations) {
+        r.apply_all(self);
+    }
+}
+
+/// RAII guard pairing a manager borrow with a set of scoped roots.
+///
+/// Derefs to the [`TddManager`], so operations run through the guard; any
+/// edge passed to [`RootScope::protect`] is unprotected again when the
+/// guard drops. This is the intended way to hold temporaries across a
+/// [`TddManager::collect`] / [`TddManager::maybe_collect`]:
+///
+/// ```
+/// use qits_tdd::{GcPolicy, TddManager};
+/// use qits_tensor::Var;
+///
+/// let mut m = TddManager::new();
+/// let mut scope = m.root_scope();
+/// let e = scope.identity(Var(0), Var(1));
+/// let id = scope.protect(e);
+/// let outcome = scope.collect();
+/// let e = scope.root_edge(id); // relocated, still the identity tensor
+/// assert_eq!(scope.node_count(e), 3);
+/// drop(scope); // unprotects `e`
+/// assert_eq!(m.root_count(), 0);
+/// # let _ = outcome;
+/// # let _ = GcPolicy::default();
+/// ```
+#[derive(Debug)]
+pub struct RootScope<'m> {
+    m: &'m mut TddManager,
+    roots: Vec<RootId>,
+}
+
+impl RootScope<'_> {
+    /// Protects `e` for the lifetime of this scope.
+    pub fn protect(&mut self, e: Edge) -> RootId {
+        let id = self.m.protect(e);
+        self.roots.push(id);
+        id
+    }
+}
+
+impl Deref for RootScope<'_> {
+    type Target = TddManager;
+
+    fn deref(&self) -> &TddManager {
+        self.m
+    }
+}
+
+impl DerefMut for RootScope<'_> {
+    fn deref_mut(&mut self) -> &mut TddManager {
+        self.m
+    }
+}
+
+impl Drop for RootScope<'_> {
+    fn drop(&mut self) {
+        for id in self.roots.drain(..) {
+            self.m.unprotect(id);
+        }
+    }
+}
+
+impl TddManager {
+    // ------------------------------------------------------------------
+    // Root management.
+    // ------------------------------------------------------------------
+
+    /// Registers `e` as a GC root: the diagram below it survives every
+    /// collection, and the registry's copy is relocated in place (read it
+    /// back with [`TddManager::root_edge`]).
+    pub fn protect(&mut self, e: Edge) -> RootId {
+        self.roots.insert(e)
+    }
+
+    /// Releases a root. Releasing an already-released id is a no-op.
+    pub fn unprotect(&mut self, id: RootId) {
+        let _ = self.roots.remove(id);
+    }
+
+    /// Releases a batch of roots (the shape `Subspace::protect` returns).
+    pub fn unprotect_all<I: IntoIterator<Item = RootId>>(&mut self, ids: I) {
+        for id in ids {
+            self.unprotect(id);
+        }
+    }
+
+    /// The current (relocation-adjusted) edge behind a root.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the root was released.
+    pub fn root_edge(&self, id: RootId) -> Edge {
+        self.roots.get(id).expect("root was released")
+    }
+
+    /// Number of live roots.
+    pub fn root_count(&self) -> usize {
+        self.roots.len()
+    }
+
+    /// Opens an RAII scope whose roots are released when it drops.
+    pub fn root_scope(&mut self) -> RootScope<'_> {
+        RootScope {
+            m: self,
+            roots: Vec::new(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Policy.
+    // ------------------------------------------------------------------
+
+    /// Installs (or removes, with `None`) the automatic-collection policy
+    /// consulted by [`TddManager::maybe_collect`]. `None` — the default —
+    /// restores the grow-only behaviour.
+    pub fn set_gc_policy(&mut self, policy: Option<GcPolicy>) {
+        self.gc_policy = policy;
+    }
+
+    /// The installed automatic-collection policy, if any.
+    pub fn gc_policy(&self) -> Option<GcPolicy> {
+        self.gc_policy
+    }
+
+    /// Whether the installed policy asks for a collection right now.
+    /// Always `false` without a policy.
+    pub fn should_collect(&self) -> bool {
+        match self.gc_policy {
+            None => false,
+            Some(p) => {
+                let arena = self.nodes.len();
+                let grown = arena.saturating_sub(self.gc_floor);
+                grown >= p.min_interval.max(1)
+                    && arena as f64 >= self.gc_floor as f64 * p.watermark.max(1.0)
+            }
+        }
+    }
+
+    /// Collects if (and only if) the installed policy asks for it.
+    pub fn maybe_collect(&mut self) -> Option<GcOutcome> {
+        if self.should_collect() {
+            Some(self.collect())
+        } else {
+            None
+        }
+    }
+
+    /// The whole root dance in one call: protects every holder, collects,
+    /// relocates them all, and releases the roots.
+    ///
+    /// This is the intended way to run a collection at a point where a
+    /// known set of structures must survive — hand-rolling the
+    /// protect/collect/relocate/unprotect sequence risks forgetting a
+    /// holder, which is a panic (or silent corruption) at the next use.
+    pub fn collect_retaining(&mut self, holders: &mut [&mut dyn Relocatable]) -> GcOutcome {
+        let mut roots = Vec::new();
+        for h in holders.iter() {
+            roots.extend(h.gc_protect(self));
+        }
+        let out = self.collect();
+        for h in holders.iter_mut() {
+            h.gc_relocate(&out.relocations);
+        }
+        self.unprotect_all(roots);
+        out
+    }
+
+    /// [`TddManager::collect_retaining`] gated on the installed policy.
+    pub fn maybe_collect_retaining(
+        &mut self,
+        holders: &mut [&mut dyn Relocatable],
+    ) -> Option<GcOutcome> {
+        if self.should_collect() {
+            Some(self.collect_retaining(holders))
+        } else {
+            None
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Collection.
+    // ------------------------------------------------------------------
+
+    /// Mark-and-sweep collection over the root registry.
+    ///
+    /// Marks every node reachable from a protected edge, compacts the
+    /// arena to the survivors (renumbering them densely in creation
+    /// order), rebuilds the unique table, rewrites the registry in place,
+    /// advances the cache epoch (purging stale entries), and returns the
+    /// [`Relocations`] map plus reclaim counters. Counters are also folded
+    /// into [`crate::ManagerStats`].
+    ///
+    /// Every raw edge held outside the registry must be rewritten through
+    /// the returned relocations before its next use; see the module docs
+    /// for the full root contract.
+    pub fn collect(&mut self) -> GcOutcome {
+        let old_len = self.nodes.len();
+        // Mark.
+        let mut marked = vec![false; old_len];
+        marked[TERMINAL.index()] = true;
+        let mut stack: Vec<NodeId> = self
+            .roots
+            .iter()
+            .map(|e| e.node)
+            .filter(|n| !n.is_terminal())
+            .collect();
+        while let Some(n) = stack.pop() {
+            if marked[n.index()] {
+                continue;
+            }
+            marked[n.index()] = true;
+            let node = self.nodes[n.index()];
+            if !node.low.node.is_terminal() {
+                stack.push(node.low.node);
+            }
+            if !node.high.node.is_terminal() {
+                stack.push(node.high.node);
+            }
+        }
+        // Sweep and compact. `make_node` guarantees successors are created
+        // before their parent, so ascending old-id order remaps children
+        // before any node that points at them.
+        let mut map = vec![Relocations::DEAD; old_len];
+        map[TERMINAL.index()] = TERMINAL.index() as u32;
+        let old_nodes = std::mem::take(&mut self.nodes);
+        self.nodes = Vec::with_capacity(old_len.min(1 << 12));
+        self.nodes.push(old_nodes[TERMINAL.index()]);
+        self.unique.clear();
+        for (old_id, node) in old_nodes.iter().enumerate().skip(1) {
+            if !marked[old_id] {
+                continue;
+            }
+            debug_assert!(
+                node.low.node.index() < old_id && node.high.node.index() < old_id,
+                "arena order invariant broken: successor created after parent"
+            );
+            let n = Node {
+                var: node.var,
+                low: Edge {
+                    node: NodeId::from_index(map[node.low.node.index()] as usize),
+                    weight: node.low.weight,
+                },
+                high: Edge {
+                    node: NodeId::from_index(map[node.high.node.index()] as usize),
+                    weight: node.high.weight,
+                },
+            };
+            let new_id = NodeId::from_index(self.nodes.len());
+            map[old_id] = new_id.index() as u32;
+            self.unique.insert(n, new_id);
+            self.nodes.push(n);
+        }
+        let relocations = Relocations { map };
+        self.roots.relocate(&relocations);
+        // Invalidate the operation caches: their keys name old node ids.
+        let cache_entries_purged = self.caches.on_collect();
+        // Counters.
+        let live = self.nodes.len() - 1;
+        let reclaimed = old_len - self.nodes.len();
+        self.stats.gc_runs += 1;
+        self.stats.nodes_reclaimed += reclaimed as u64;
+        self.stats.live_after_last_gc = live;
+        self.gc_floor = self.nodes.len();
+        GcOutcome {
+            relocations,
+            reclaimed,
+            live,
+            cache_entries_purged,
+        }
+    }
+
+    /// Number of distinct non-terminal nodes reachable from the root
+    /// registry plus `extra` — the live set a collection run right now
+    /// would keep. `O(live)`; does not modify the manager.
+    pub fn live_node_count(&self, extra: &[Edge]) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        let mut stack: Vec<NodeId> = self
+            .roots
+            .iter()
+            .chain(extra.iter().copied())
+            .map(|e| e.node)
+            .filter(|n| !n.is_terminal())
+            .collect();
+        let mut count = 0usize;
+        while let Some(n) = stack.pop() {
+            if !seen.insert(n) {
+                continue;
+            }
+            count += 1;
+            let node = self.node(n);
+            if !node.low.node.is_terminal() {
+                stack.push(node.low.node);
+            }
+            if !node.high.node.is_terminal() {
+                stack.push(node.high.node);
+            }
+        }
+        count
+    }
+
+    /// Collections performed so far (equals the current cache epoch).
+    pub fn gc_runs(&self) -> u64 {
+        self.stats.gc_runs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qits_num::Cplx;
+    use qits_tensor::{Tensor, Var};
+
+    fn sample_tensor(seed: u64) -> Tensor {
+        let data: Vec<Cplx> = (0..8u64)
+            .map(|i| {
+                let x = (i * 7 + seed * 13 + 3) % 17;
+                Cplx::new(x as f64 * 0.125 - 1.0, (x % 5) as f64 * 0.25)
+            })
+            .collect();
+        Tensor::new(vec![Var(0), Var(1), Var(2)], data)
+    }
+
+    #[test]
+    fn collect_without_roots_empties_the_arena() {
+        let mut m = TddManager::new();
+        let _garbage = m.from_tensor(&sample_tensor(1));
+        assert!(m.arena_len() > 1);
+        let out = m.collect();
+        assert_eq!(m.arena_len(), 1, "only the terminal survives");
+        assert_eq!(out.live, 0);
+        assert!(out.reclaimed > 0);
+        assert_eq!(m.stats().nodes_reclaimed, out.reclaimed as u64);
+    }
+
+    #[test]
+    fn rooted_diagram_survives_and_keeps_its_tensor() {
+        let mut m = TddManager::new();
+        let t = sample_tensor(2);
+        let e = m.from_tensor(&t);
+        let before = m.to_tensor(e, &[Var(0), Var(1), Var(2)]);
+        let _garbage = m.from_tensor(&sample_tensor(3));
+        let id = m.protect(e);
+        let out = m.collect();
+        let e2 = m.root_edge(id);
+        assert_eq!(out.relocations.apply(e), e2);
+        let after = m.to_tensor(e2, &[Var(0), Var(1), Var(2)]);
+        assert!(after.approx_eq(&before));
+        assert_eq!(m.arena_len(), m.node_count(e2) + 1);
+    }
+
+    #[test]
+    fn canonical_identity_survives_compaction() {
+        // Rebuilding the same tensor after a collection must hash-cons to
+        // exactly the relocated edge.
+        let mut m = TddManager::new();
+        let t = sample_tensor(4);
+        let e = m.from_tensor(&t);
+        let id = m.protect(e);
+        m.collect();
+        let relocated = m.root_edge(id);
+        let rebuilt = m.from_tensor(&t);
+        assert_eq!(rebuilt, relocated);
+    }
+
+    #[test]
+    fn dead_edges_are_reported_dead() {
+        let mut m = TddManager::new();
+        let keep = m.from_tensor(&sample_tensor(5));
+        let drop_ = m.from_tensor(&sample_tensor(6));
+        m.protect(keep);
+        let out = m.collect();
+        assert!(out.relocations.try_apply(keep).is_some());
+        assert!(out.relocations.try_apply(drop_).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "root-safety violation")]
+    fn applying_relocations_to_dead_edge_panics() {
+        let mut m = TddManager::new();
+        let dead = m.from_tensor(&sample_tensor(7));
+        let out = m.collect();
+        let _ = out.relocations.apply(dead);
+    }
+
+    #[test]
+    fn scalar_and_zero_edges_pass_through() {
+        let mut m = TddManager::new();
+        let s = m.constant(Cplx::new(0.5, -0.25));
+        let out = m.collect();
+        assert_eq!(out.relocations.apply(Edge::ZERO), Edge::ZERO);
+        assert_eq!(out.relocations.apply(Edge::ONE), Edge::ONE);
+        assert_eq!(out.relocations.apply(s), s); // terminal edge: unchanged
+    }
+
+    #[test]
+    fn root_scope_unprotects_on_drop() {
+        let mut m = TddManager::new();
+        let e = m.from_tensor(&sample_tensor(8));
+        {
+            let mut scope = m.root_scope();
+            scope.protect(e);
+            assert_eq!(scope.root_count(), 1);
+        }
+        assert_eq!(m.root_count(), 0);
+        m.collect();
+        assert_eq!(m.arena_len(), 1);
+    }
+
+    #[test]
+    fn unprotect_is_idempotent_and_ids_recycle() {
+        let mut m = TddManager::new();
+        let e = m.from_tensor(&sample_tensor(9));
+        let a = m.protect(e);
+        m.unprotect(a);
+        m.unprotect(a); // no-op
+        assert_eq!(m.root_count(), 0);
+        let b = m.protect(e);
+        assert_eq!(m.root_count(), 1);
+        assert_eq!(m.root_edge(b), e);
+    }
+
+    #[test]
+    fn collection_purges_operation_caches() {
+        let mut m = TddManager::new();
+        let a = m.from_tensor(&sample_tensor(10));
+        let b = m.from_tensor(&sample_tensor(11));
+        let r = m.add(a, b);
+        assert!(m.cache_sizes().total() > 0);
+        m.protect(a);
+        m.protect(b);
+        m.protect(r);
+        let out = m.collect();
+        assert!(out.cache_entries_purged > 0);
+        assert_eq!(m.cache_sizes().total(), 0, "stale entries must be gone");
+        // The purge is visible in the lifetime counters.
+        assert!(m.stats().add_cache.purged > 0);
+    }
+
+    #[test]
+    fn operations_recompute_correctly_after_collection() {
+        let (ta, tb) = (sample_tensor(12), sample_tensor(13));
+        let mut m = TddManager::new();
+        let a = m.from_tensor(&ta);
+        let b = m.from_tensor(&tb);
+        let sum_before = m.add(a, b);
+        let ia = m.protect(a);
+        let ib = m.protect(b);
+        let is = m.protect(sum_before);
+        m.collect();
+        let (a2, b2, s2) = (m.root_edge(ia), m.root_edge(ib), m.root_edge(is));
+        let sum_after = m.add(a2, b2);
+        assert_eq!(sum_after, s2, "post-GC addition must re-canonicalise");
+        let vars = [Var(0), Var(1), Var(2)];
+        assert!(m.to_tensor(sum_after, &vars).approx_eq(&ta.add(&tb)));
+    }
+
+    #[test]
+    fn policy_watermark_and_interval_gate_collection() {
+        let mut m = TddManager::new();
+        assert!(!m.should_collect(), "no policy: never collect");
+        m.set_gc_policy(Some(GcPolicy {
+            watermark: 1.0,
+            min_interval: 1 << 20,
+        }));
+        let _ = m.from_tensor(&sample_tensor(14));
+        assert!(!m.should_collect(), "min_interval not reached");
+        m.set_gc_policy(Some(GcPolicy::aggressive()));
+        assert!(m.should_collect());
+        let out = m.maybe_collect().expect("aggressive policy collects");
+        assert!(out.reclaimed > 0);
+        assert!(!m.should_collect(), "arena is clean right after a collect");
+        assert!(m.maybe_collect().is_none());
+    }
+
+    #[test]
+    fn collect_retaining_runs_the_whole_root_dance() {
+        let mut m = TddManager::new();
+        let t = sample_tensor(20);
+        let mut keep = m.from_tensor(&t);
+        let mut kept_many = vec![m.from_tensor(&sample_tensor(21))];
+        let _garbage = m.from_tensor(&sample_tensor(22));
+        let out = m.collect_retaining(&mut [&mut keep, &mut kept_many]);
+        assert!(out.reclaimed > 0);
+        assert_eq!(m.root_count(), 0, "roots must be released afterwards");
+        // Both holders were relocated in place and still denote their
+        // tensors.
+        assert!(m.to_tensor(keep, &[Var(0), Var(1), Var(2)]).approx_eq(&t));
+        assert_eq!(m.arena_len(), m.live_node_count(&[keep, kept_many[0]]) + 1);
+    }
+
+    #[test]
+    fn live_node_count_tracks_roots_and_extras() {
+        let mut m = TddManager::new();
+        let a = m.from_tensor(&sample_tensor(15));
+        let b = m.from_tensor(&sample_tensor(16));
+        assert_eq!(m.live_node_count(&[]), 0);
+        m.protect(a);
+        assert_eq!(m.live_node_count(&[]), m.node_count(a));
+        let both = m.live_node_count(&[b]);
+        assert!(both >= m.node_count(a).max(m.node_count(b)));
+        assert!(both <= m.node_count(a) + m.node_count(b));
+    }
+
+    #[test]
+    fn gc_runs_counts_collections() {
+        let mut m = TddManager::new();
+        assert_eq!(m.gc_runs(), 0);
+        m.collect();
+        m.collect();
+        assert_eq!(m.gc_runs(), 2);
+        assert_eq!(m.stats().gc_runs, 2);
+    }
+}

@@ -27,7 +27,12 @@
 //!   [`TddManager::scale`], monotone renaming, and inner products;
 //! * conversions to and from dense [`qits_tensor::Tensor`]s for testing, a
 //!   Graphviz exporter reproducing the style of the paper's Fig. 1, and node
-//!   statistics (the "max #node" column of Table I).
+//!   statistics (the "max #node" column of Table I);
+//! * **root-tracked garbage collection** ([`gc`]): long fixpoint
+//!   computations protect their live diagrams ([`TddManager::protect`] /
+//!   [`RootScope`]) and reclaim everything else with
+//!   [`TddManager::collect`], keeping the arena bounded by the live set —
+//!   optionally automatically, under a [`GcPolicy`] watermark.
 //!
 //! # Example
 //!
@@ -50,6 +55,7 @@
 pub mod cache;
 mod cnum;
 mod dot;
+pub mod gc;
 mod hash;
 mod manager;
 mod node;
@@ -59,6 +65,7 @@ mod transfer;
 
 pub use cache::{CacheSizes, CacheStats, DEFAULT_CACHE_CAPACITY};
 pub use cnum::{CIdx, ComplexTable};
+pub use gc::{GcOutcome, GcPolicy, Relocatable, Relocations, RootId, RootScope};
 pub use manager::TddManager;
 pub use node::{Edge, NodeId, TERMINAL};
 pub use stats::ManagerStats;

@@ -7,6 +7,7 @@ use qits_tensor::{Tensor, Var, VarSet};
 
 use crate::cache::{CacheSizes, OpCaches, DEFAULT_CACHE_CAPACITY};
 use crate::cnum::{CIdx, ComplexTable};
+use crate::gc::{GcPolicy, RootRegistry};
 use crate::hash::FastMap;
 use crate::node::{Edge, Node, NodeId, TERMINAL, TERMINAL_VAR};
 use crate::stats::ManagerStats;
@@ -24,18 +25,33 @@ use crate::stats::ManagerStats;
 ///    the largest magnitude (the low one on ties) is exactly 1, with the
 ///    common factor pushed to the incoming edge.
 ///
-/// There is no garbage collection: the arena only grows. Operation caches
-/// are **manager-owned** (see [`crate::cache`]) so memoised results survive
-/// across top-level calls — the reuse repeated image computations depend
-/// on — and they are size-bounded, so long runs stay within memory;
-/// [`TddManager::clear_caches`] drops them all between phases if needed.
+/// The arena grows as operations run and is reclaimed by **root-tracked
+/// garbage collection** (see [`crate::gc`]): edges registered through
+/// [`TddManager::protect`] (or a [`crate::RootScope`]) survive a
+/// [`TddManager::collect`], everything unreachable from the root registry
+/// is swept, and the arena is compacted. Collection only ever runs when
+/// explicitly invoked — with no [`GcPolicy`] installed (the default) the
+/// manager behaves exactly like a grow-only arena.
+///
+/// Operation caches are **manager-owned** (see [`crate::cache`]) so
+/// memoised results survive across top-level calls — the reuse repeated
+/// image computations depend on — and they are size-bounded and
+/// epoch-tagged (a collection invalidates them), so long runs stay within
+/// memory; [`TddManager::clear_caches`] drops them all between phases if
+/// needed.
 #[derive(Debug)]
 pub struct TddManager {
-    nodes: Vec<Node>,
-    unique: FastMap<Node, NodeId>,
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) unique: FastMap<Node, NodeId>,
     table: ComplexTable,
     pub(crate) caches: OpCaches,
     pub(crate) stats: ManagerStats,
+    /// Protected edges: the GC's mark sources (see [`crate::gc`]).
+    pub(crate) roots: RootRegistry,
+    /// Automatic-collection policy; `None` disables [`TddManager::maybe_collect`].
+    pub(crate) gc_policy: Option<GcPolicy>,
+    /// Arena size right after the last collection (watermark baseline).
+    pub(crate) gc_floor: usize,
 }
 
 impl Default for TddManager {
@@ -69,6 +85,9 @@ impl TddManager {
             table: ComplexTable::with_tolerance(tol),
             caches: OpCaches::with_capacity(DEFAULT_CACHE_CAPACITY),
             stats: ManagerStats::default(),
+            roots: RootRegistry::default(),
+            gc_policy: None,
+            gc_floor: 1,
         }
     }
 
@@ -84,7 +103,13 @@ impl TddManager {
         s
     }
 
-    /// Total nodes ever created (including the terminal).
+    /// Nodes currently allocated in the arena (including the terminal).
+    ///
+    /// Between collections this only grows; a [`TddManager::collect`]
+    /// compacts it down to the rooted live set. Note this counts
+    /// *allocated* slots — the live set of any particular diagram is
+    /// [`TddManager::node_count`], and the rooted live set is
+    /// [`TddManager::live_node_count`].
     pub fn arena_len(&self) -> usize {
         self.nodes.len()
     }

@@ -20,6 +20,18 @@ impl NodeId {
     pub fn is_terminal(self) -> bool {
         self == TERMINAL
     }
+
+    /// Arena slot index (used by the GC sweep and relocation maps).
+    #[inline]
+    pub(crate) fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Handle to an arena slot index.
+    #[inline]
+    pub(crate) fn from_index(i: usize) -> NodeId {
+        NodeId(u32::try_from(i).expect("node arena overflow"))
+    }
 }
 
 /// A weighted edge: the unit of every TDD operation.

@@ -16,8 +16,16 @@ use crate::cache::CacheStats;
 pub struct ManagerStats {
     /// Distinct non-terminal nodes ever created.
     pub nodes_created: u64,
-    /// Largest arena size observed (number of node slots).
+    /// Largest arena size observed (number of **allocated** node slots —
+    /// garbage included; the live set is [`crate::TddManager::live_node_count`]).
     pub peak_arena: usize,
+    /// Garbage collections performed (see [`crate::gc`]).
+    pub gc_runs: u64,
+    /// Nodes reclaimed across all collections.
+    pub nodes_reclaimed: u64,
+    /// Non-terminal nodes that survived the most recent collection
+    /// (`0` before the first collection).
+    pub live_after_last_gc: usize,
     /// Top-level calls to `add`.
     pub add_calls: u64,
     /// Top-level calls to `contract`.
@@ -47,6 +55,10 @@ impl ManagerStats {
             nodes_created: self.nodes_created.saturating_sub(earlier.nodes_created),
             // High-water mark, not a counter: report the later value.
             peak_arena: self.peak_arena,
+            gc_runs: self.gc_runs.saturating_sub(earlier.gc_runs),
+            nodes_reclaimed: self.nodes_reclaimed.saturating_sub(earlier.nodes_reclaimed),
+            // Snapshot, not a counter: report the later value.
+            live_after_last_gc: self.live_after_last_gc,
             add_calls: self.add_calls.saturating_sub(earlier.add_calls),
             cont_calls: self.cont_calls.saturating_sub(earlier.cont_calls),
             slice_calls: self.slice_calls.saturating_sub(earlier.slice_calls),

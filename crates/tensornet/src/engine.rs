@@ -11,9 +11,17 @@ use crate::partition::Blocks;
 pub struct ContractionOutcome {
     /// The contracted tensor over the kept indices.
     pub edge: Edge,
-    /// Peak node count over all intermediate TDDs — the paper's
-    /// "max #node" measurement.
+    /// Peak **live** node count over all intermediate TDDs — the paper's
+    /// "max #node" measurement. This counts the nodes reachable from each
+    /// intermediate diagram ([`TddManager::node_count`]), never arena
+    /// slots, so it is unaffected by garbage accumulated in the arena and
+    /// comparable across GC-on and GC-off runs.
     pub max_nodes: usize,
+    /// Arena slots allocated in the manager when the contraction finished
+    /// ([`TddManager::arena_len`]) — the *allocated* counterpart to the
+    /// live `max_nodes`, which is what a [`qits_tdd::GcPolicy`]-driven
+    /// collection reclaims down to the live set.
+    pub allocated_nodes: usize,
     /// Movement of the manager's contraction cache across this call
     /// (hits here are sub-contractions reused from *earlier* work on the
     /// same manager — other slices, blocks, or basis states).
@@ -41,6 +49,7 @@ pub fn contract_network(
         return ContractionOutcome {
             edge: Edge::ONE,
             max_nodes: 0,
+            allocated_nodes: m.arena_len(),
             cont_cache: CacheStats::default(),
         };
     }
@@ -78,6 +87,7 @@ pub fn contract_network(
     ContractionOutcome {
         edge: acc,
         max_nodes,
+        allocated_nodes: m.arena_len(),
         cont_cache: m.stats().cont_cache.since(&cache_before),
     }
 }

@@ -2,7 +2,7 @@
 
 use qits_circuit::tensorize::{gate_tdd, GateLegs};
 use qits_circuit::Circuit;
-use qits_tdd::{Edge, TddManager};
+use qits_tdd::{Edge, Relocatable, Relocations, RootId, TddManager};
 use qits_tensor::{Var, VarSet};
 
 /// One tensor of a network: a TDD plus the set of network indices it
@@ -18,6 +18,31 @@ pub struct NetTensor {
     pub edge: Edge,
     /// The network indices of this tensor.
     pub vars: VarSet,
+}
+
+impl NetTensor {
+    /// Rewrites the tensor's edge after a garbage collection.
+    ///
+    /// Network tensors (gate TDDs, pre-contracted blocks) are long-lived
+    /// edges: whoever holds them across a [`TddManager::collect`] must
+    /// protect them beforehand and relocate them afterwards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the edge was not rooted at the collection.
+    pub fn relocate(&mut self, r: &Relocations) {
+        self.edge = r.apply(self.edge);
+    }
+}
+
+impl Relocatable for NetTensor {
+    fn gc_protect(&self, m: &mut TddManager) -> Vec<RootId> {
+        vec![m.protect(self.edge)]
+    }
+
+    fn gc_relocate(&mut self, r: &Relocations) {
+        self.relocate(r);
+    }
 }
 
 /// A quantum circuit as a tensor network.
@@ -181,6 +206,31 @@ impl TensorNetwork {
         }
         net
     }
+
+    /// Protects every tensor of the network as a GC root, returning the
+    /// ids for a later [`TddManager::unprotect_all`].
+    pub fn protect(&self, m: &mut TddManager) -> Vec<RootId> {
+        self.tensors.iter().map(|t| m.protect(t.edge)).collect()
+    }
+
+    /// Rewrites every tensor edge after a garbage collection (the tensors
+    /// must have been protected across it, e.g. via
+    /// [`TensorNetwork::protect`]).
+    pub fn relocate(&mut self, r: &Relocations) {
+        for t in self.tensors.iter_mut() {
+            t.relocate(r);
+        }
+    }
+}
+
+impl Relocatable for TensorNetwork {
+    fn gc_protect(&self, m: &mut TddManager) -> Vec<RootId> {
+        self.protect(m)
+    }
+
+    fn gc_relocate(&mut self, r: &Relocations) {
+        self.relocate(r);
+    }
 }
 
 #[cfg(test)]
@@ -226,6 +276,37 @@ mod tests {
         assert_eq!(sliced.tensors().len(), 2);
         assert!(!sliced.tensors()[0].vars.contains(v));
         assert!(sliced.tensors()[1].vars.contains(v));
+    }
+
+    #[test]
+    fn network_survives_collection_via_protect_relocate() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::h(0));
+        c.push(Gate::cx(0, 1));
+        let mut m = TddManager::new();
+        let mut net = TensorNetwork::from_circuit(&mut m, &c);
+        let ext: Vec<Var> = vec![
+            Var::wire(0, 0),
+            Var::wire(0, 1),
+            Var::wire(1, 0),
+            Var::wire(1, 1),
+        ];
+        let whole_before = crate::contract_network(&mut m, net.tensors(), &net.external_vars());
+        let dense_before = m.to_tensor(whole_before.edge, &ext);
+        // Everything except the network itself becomes garbage.
+        let roots = net.protect(&mut m);
+        let out = m.collect();
+        net.relocate(&out.relocations);
+        m.unprotect_all(roots);
+        assert!(out.reclaimed > 0, "the monolithic operator was garbage");
+        assert!(
+            out.relocations.try_apply(whole_before.edge).is_none(),
+            "the unrooted operator must have been swept"
+        );
+        // Re-contracting the relocated network rebuilds the same tensor.
+        let whole_after = crate::contract_network(&mut m, net.tensors(), &net.external_vars());
+        let dense_after = m.to_tensor(whole_after.edge, &ext);
+        assert!(dense_after.approx_eq(&dense_before));
     }
 
     #[test]

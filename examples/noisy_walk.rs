@@ -14,7 +14,7 @@ use qits_tdd::TddManager;
 fn main() {
     let mut m = TddManager::new();
     let spec = generators::qrw(4, 0.25); // coin + 3 position qubits
-    let qts = QuantumTransitionSystem::from_spec(&mut m, &spec);
+    let mut qts = QuantumTransitionSystem::from_spec(&mut m, &spec);
     let strategy = Strategy::Contraction { k1: 2, k2: 2 };
 
     // One step from |0>|000>: expect span{|0>|111>, |1>|001>}.
@@ -40,7 +40,7 @@ fn main() {
     assert!(inside && img.dim() == 1);
 
     // Reachability: the walk eventually spreads over the cycle.
-    let reach = mc::reachable_space(&mut m, &qts, strategy, 32);
+    let reach = mc::reachable_space(&mut m, &mut qts, strategy, 32);
     println!(
         "reachable space dim {} after {} iterations (converged: {})",
         reach.space.dim(),

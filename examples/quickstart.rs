@@ -2,7 +2,9 @@
 //!
 //! The subspace `S = span{|++->, |11->}` is invariant under one Grover
 //! iteration: `T(S) = S`. We build the transition system, compute the image
-//! with all three methods, and check they agree.
+//! with all three methods, and check they agree — then garbage-collect the
+//! arena down to the rooted transition system and verify the invariant
+//! again on the relocated diagrams.
 //!
 //! Run with: `cargo run --example quickstart`
 
@@ -16,7 +18,7 @@ fn main() {
     let spec = generators::grover(n);
     println!("benchmark: {} ({} qubits)", spec.name, spec.n_qubits);
 
-    let qts = QuantumTransitionSystem::from_spec(&mut m, &spec);
+    let mut qts = QuantumTransitionSystem::from_spec(&mut m, &spec);
     println!("initial subspace dimension: {}", qts.initial().dim());
 
     for strategy in [
@@ -37,4 +39,25 @@ fn main() {
         assert!(invariant, "Grover subspace must be invariant");
     }
     println!("all methods agree: T(S) = S holds");
+
+    // Reclaim every dead intermediate: protect the system, sweep, relocate.
+    let before = m.arena_len();
+    let out = m.collect_retaining(&mut [&mut qts]);
+    println!(
+        "gc: arena {before} -> {after} nodes ({reclaimed} reclaimed, {live} live)",
+        after = m.arena_len(),
+        reclaimed = out.reclaimed,
+        live = out.live,
+    );
+    assert!(out.reclaimed > 0, "three image computations leave garbage");
+
+    // The relocated system is fully usable: re-verify the invariant.
+    let (img, _) = image(
+        &mut m,
+        qts.operations(),
+        qts.initial(),
+        Strategy::Contraction { k1: 4, k2: 4 },
+    );
+    assert!(img.equals(&mut m, qts.initial()));
+    println!("post-gc image computation still verifies T(S) = S");
 }

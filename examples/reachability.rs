@@ -2,13 +2,17 @@
 //! exists for (Section I).
 //!
 //! Computes the reachable subspace of several benchmark systems and checks
-//! a safety invariant on each.
+//! a safety invariant on each — with automatic garbage collection enabled,
+//! so the fixpoint iterations run with a bounded live set. The reclaim
+//! counters printed per system are the observable effect: between
+//! iterations the driver protects the live subspaces, sweeps everything
+//! else, and relocates the survivors.
 //!
 //! Run with: `cargo run --example reachability`
 
 use qits::{mc, QuantumTransitionSystem, Strategy};
 use qits_circuit::generators;
-use qits_tdd::TddManager;
+use qits_tdd::{GcPolicy, TddManager};
 
 fn main() {
     let strategy = Strategy::Contraction { k1: 4, k2: 4 };
@@ -20,8 +24,14 @@ fn main() {
     ];
     for spec in specs {
         let mut m = TddManager::new();
-        let qts = QuantumTransitionSystem::from_spec(&mut m, &spec);
-        let r = mc::reachable_space(&mut m, &qts, strategy, 40);
+        // Collect whenever the arena grows 1.5x past the last live set,
+        // re-checked between fixpoint iterations.
+        m.set_gc_policy(Some(GcPolicy {
+            watermark: 1.5,
+            min_interval: 1 << 10,
+        }));
+        let mut qts = QuantumTransitionSystem::from_spec(&mut m, &spec);
+        let r = mc::reachable_space(&mut m, &mut qts, strategy, 40);
         let total_time: std::time::Duration = r.stats.iter().map(|s| s.elapsed).sum();
         println!(
             "{name:<14} initial dim {init:>2} -> reachable dim {dim:>3} in {it:>2} iterations \
@@ -33,9 +43,21 @@ fn main() {
             conv = r.converged,
             time = total_time,
         );
-        // Safety: the reachable space is itself an invariant.
-        let (holds, _) = mc::check_invariant(&mut m, &qts, &r.space, strategy, 40);
+        println!(
+            "  gc: {coll} collections reclaimed {recl} nodes; arena {arena} \
+             (live after last gc {live})",
+            coll = r.collections,
+            recl = r.reclaimed_nodes,
+            arena = m.arena_len(),
+            live = m.stats().live_after_last_gc,
+        );
+        // Safety: the reachable space is itself an invariant. The GC'd
+        // run above relocated `qts` and `r.space` in place, so both are
+        // valid here — a root-registration bug would panic or corrupt
+        // this check.
+        let mut inv = r.space.clone();
+        let (holds, _) = mc::check_invariant(&mut m, &mut qts, &mut inv, strategy, 40);
         assert!(holds, "reachable space must be invariant");
     }
-    println!("all reachability fixpoints verified as invariants");
+    println!("all reachability fixpoints verified as invariants (with GC enabled)");
 }

@@ -1,0 +1,263 @@
+//! Garbage-collection integration tests: a forced collection preserves
+//! semantics across random circuits, and GC'd reachability fixpoints keep
+//! the arena bounded by the live set.
+
+use proptest::prelude::*;
+// `qits::Strategy` shadows the proptest trait of the same name.
+use proptest::strategy::Strategy as _;
+
+use qits::{image, mc, QuantumTransitionSystem, Strategy, Subspace};
+use qits_circuit::{generators, Circuit, Gate, Operation};
+use qits_num::Cplx;
+use qits_tdd::{GcPolicy, TddManager};
+use qits_tensornet::{contract_network, TensorNetwork};
+
+fn arb_gate(n: u32) -> impl proptest::strategy::Strategy<Value = Gate> {
+    let q = 0..n;
+    prop_oneof![
+        q.clone().prop_map(Gate::h),
+        q.clone().prop_map(Gate::x),
+        q.clone().prop_map(Gate::z),
+        (q.clone(), 0.0..std::f64::consts::TAU).prop_map(|(q, t)| Gate::phase(q, t)),
+        (q.clone(), q.clone())
+            .prop_filter_map("distinct", |(a, b)| (a != b).then(|| Gate::cx(a, b))),
+        (q.clone(), q.clone())
+            .prop_filter_map("distinct", |(a, b)| (a != b).then(|| Gate::cz(a, b))),
+    ]
+}
+
+fn arb_circuit(n: u32, max_len: usize) -> impl proptest::strategy::Strategy<Value = Circuit> {
+    proptest::collection::vec(arb_gate(n), 1..=max_len).prop_map(move |gates| {
+        let mut c = Circuit::new(n);
+        for g in gates {
+            c.push(g);
+        }
+        c
+    })
+}
+
+fn arb_amp() -> impl proptest::strategy::Strategy<Value = (Cplx, Cplx)> {
+    (0.0..std::f64::consts::PI, 0.0..std::f64::consts::TAU).prop_map(|(theta, phi)| {
+        (
+            Cplx::real((theta / 2.0).cos()),
+            Cplx::from_polar((theta / 2.0).sin(), phi),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Forced `collect()` preserves semantics: contraction, addition, and
+    /// inner-product results over a random circuit are bit-identical
+    /// (canonical identity) after protect → collect → relocate.
+    #[test]
+    fn forced_collect_preserves_operation_results(
+        circuit in arb_circuit(3, 8),
+        amps1 in proptest::collection::vec(arb_amp(), 3),
+        amps2 in proptest::collection::vec(arb_amp(), 3),
+    ) {
+        let mut m = TddManager::new();
+        let vars = Subspace::ket_vars(3);
+        let psi1 = m.product_ket(&vars, &amps1);
+        let psi2 = m.product_ket(&vars, &amps2);
+        let mut net = TensorNetwork::from_circuit(&mut m, &circuit);
+
+        // Reference results, before any collection.
+        let op_before = contract_network(&mut m, net.tensors(), &net.external_vars());
+        let sum_before = m.add(psi1, psi2);
+        let ip_before = m.inner_product(psi1, psi2, &vars);
+
+        // Protect the inputs and the results, collect, relocate.
+        let mut roots = vec![m.protect(psi1), m.protect(psi2)];
+        roots.push(m.protect(op_before.edge));
+        roots.push(m.protect(sum_before));
+        roots.extend(net.protect(&mut m));
+        let out = m.collect();
+        let psi1 = out.relocations.apply(psi1);
+        let psi2 = out.relocations.apply(psi2);
+        let op_reloc = out.relocations.apply(op_before.edge);
+        let sum_reloc = out.relocations.apply(sum_before);
+        net.relocate(&out.relocations);
+        m.unprotect_all(roots);
+
+        // Recomputing after the collection reproduces the relocated
+        // results exactly — hash-consing survives compaction.
+        let op_after = contract_network(&mut m, net.tensors(), &net.external_vars());
+        prop_assert_eq!(op_after.edge, op_reloc, "contraction changed across GC");
+        let sum_after = m.add(psi1, psi2);
+        prop_assert_eq!(sum_after, sum_reloc, "addition changed across GC");
+        let ip_after = m.inner_product(psi1, psi2, &vars);
+        prop_assert!(ip_after.approx_eq(ip_before), "inner product changed across GC");
+    }
+
+    /// `Subspace::contains` answers are identical before and after a
+    /// forced collection, across random circuits and states.
+    #[test]
+    fn forced_collect_preserves_containment_answers(
+        circuit in arb_circuit(3, 8),
+        amps in proptest::collection::vec(proptest::collection::vec(arb_amp(), 3), 2..4),
+        probe_amps in proptest::collection::vec(arb_amp(), 3),
+    ) {
+        let mut m = TddManager::new();
+        let vars = Subspace::ket_vars(3);
+        let states: Vec<_> = amps.iter().map(|a| m.product_ket(&vars, a)).collect();
+        let init = Subspace::from_states(&mut m, 3, &states);
+        let op = Operation::from_circuit("rand", &circuit);
+        let mut qts = QuantumTransitionSystem::new(3, vec![op], init);
+        let (mut img, _) = image(&mut m, qts.operations(), qts.initial(), Strategy::Basic);
+        let probe = m.product_ket(&vars, &probe_amps);
+
+        let in_image_before = img.contains(&mut m, probe);
+        let in_initial_before = qts.initial().clone().contains(&mut m, probe);
+
+        let mut probe = probe;
+        let out = m.collect_retaining(&mut [&mut qts, &mut img, &mut probe]);
+        prop_assert!(out.reclaimed > 0, "an image computation must leave garbage");
+
+        prop_assert_eq!(img.contains(&mut m, probe), in_image_before);
+        prop_assert_eq!(qts.initial().clone().contains(&mut m, probe), in_initial_before);
+        // The image is still the image: recomputing it on the relocated
+        // system agrees with the relocated copy.
+        let (img2, _) = image(&mut m, qts.operations(), qts.initial(), Strategy::Basic);
+        prop_assert!(img2.equals(&mut m, &img));
+    }
+}
+
+/// Regression: a multi-iteration reachability run under an aggressive
+/// `GcPolicy` keeps `arena_len()` pinned to the live set — right after
+/// each collection the arena holds exactly the rooted survivors.
+#[test]
+fn aggressive_gc_keeps_arena_bounded_by_live_set() {
+    let mut m = TddManager::new();
+    let mut qts = QuantumTransitionSystem::from_spec(&mut m, &generators::qrw(3, 0.4));
+    let strategy = Strategy::Contraction { k1: 2, k2: 2 };
+    let mut space = qts.initial().clone();
+    let mut collected = 0u64;
+    for _ in 0..10 {
+        let (img, _) = image(&mut m, qts.operations(), &space, strategy);
+        space = space.join(&mut m, &img);
+        // Force a collection every iteration, as aggressively as possible.
+        let mut roots = qts.protect(&mut m);
+        roots.extend(space.protect(&mut m));
+        let out = m.collect();
+        qts.relocate(&out.relocations);
+        space.relocate(&out.relocations);
+        collected += out.reclaimed as u64;
+        // Compaction invariant: the arena is exactly the live set plus
+        // the terminal — allocated never drifts away from live.
+        let live = m.live_node_count(&[]);
+        assert_eq!(out.live, live);
+        assert_eq!(
+            m.arena_len(),
+            live + 1,
+            "post-collect arena must hold exactly the rooted survivors"
+        );
+        m.unprotect_all(roots);
+    }
+    assert!(collected > 0, "ten iterations must reclaim something");
+    // The relocated fixpoint state is still sound.
+    let (img, _) = image(&mut m, qts.operations(), &space, strategy);
+    assert!(img.is_subspace_of(&mut m, &space) || space.join(&mut m, &img).dim() > space.dim());
+}
+
+/// A 4-qubit binary increment (mod 16): from `|0000>` the reachable
+/// dimension grows by exactly one basis state per iteration, giving a
+/// guaranteed 15-iteration fixpoint — the long-fixpoint shape the GC
+/// exists for.
+fn increment_qts(m: &mut TddManager) -> QuantumTransitionSystem {
+    let mut c = Circuit::new(4);
+    // MSB-first ripple: bit k flips iff all lower bits are 1 (pre-state).
+    c.push(Gate::mcx_polarity(&[(1, true), (2, true), (3, true)], 0));
+    c.push(Gate::mcx_polarity(&[(2, true), (3, true)], 1));
+    c.push(Gate::cx(3, 2));
+    c.push(Gate::x(3));
+    let vars = Subspace::ket_vars(4);
+    let zero = m.basis_ket(&vars, &[false; 4]);
+    let initial = Subspace::from_states(m, 4, &[zero]);
+    QuantumTransitionSystem::new(4, vec![Operation::from_circuit("inc", &c)], initial)
+}
+
+/// Acceptance: a ≥10-iteration reachability fixpoint under `GcPolicy`
+/// reclaims nodes and ends with a strictly smaller arena than the grow-only
+/// run, while computing the same space.
+#[test]
+fn ten_iteration_fixpoint_reclaims_and_shrinks_arena() {
+    let strategy = Strategy::Contraction { k1: 2, k2: 2 };
+
+    let mut m_plain = TddManager::new();
+    let mut qts_plain = increment_qts(&mut m_plain);
+    let r_plain = mc::reachable_space(&mut m_plain, &mut qts_plain, strategy, 30);
+
+    let mut m_gc = TddManager::new();
+    let mut qts_gc = increment_qts(&mut m_gc);
+    m_gc.set_gc_policy(Some(GcPolicy::aggressive()));
+    let r_gc = mc::reachable_space(&mut m_gc, &mut qts_gc, strategy, 30);
+
+    assert!(r_gc.converged);
+    assert!(
+        r_gc.iterations >= 10,
+        "increment fixpoint must run long: got {} iterations",
+        r_gc.iterations
+    );
+    assert_eq!(r_plain.iterations, r_gc.iterations);
+    assert_eq!(r_plain.space.dim(), 16);
+    assert_eq!(r_gc.space.dim(), 16);
+    assert!(r_gc.collections > 0);
+    assert!(r_gc.reclaimed_nodes > 0, "reclaimed counter must move");
+    assert!(
+        m_gc.arena_len() < m_plain.arena_len(),
+        "GC'd run must end below the grow-only arena: {} vs {}",
+        m_gc.arena_len(),
+        m_plain.arena_len()
+    );
+    // Same space as the grow-only fixpoint, compared by importing its
+    // basis into the GC'd manager.
+    let mut independent = Subspace::zero(4);
+    for &b in r_plain.space.basis() {
+        let imported = m_gc.import(&m_plain, b);
+        independent.absorb(&mut m_gc, imported);
+    }
+    assert!(r_gc.space.clone().equals(&mut m_gc, &independent));
+}
+
+/// The parallel addition partition inherits the policy into its worker
+/// managers and reclaims there without changing the image. Grover's
+/// initial subspace has dimension 2, so each worker applies its slice
+/// operator to two states — the between-state collection point fires.
+#[test]
+fn parallel_workers_collect_under_policy() {
+    let spec = generators::grover(4);
+
+    let mut m_plain = TddManager::new();
+    let qts_plain = QuantumTransitionSystem::from_spec(&mut m_plain, &spec);
+    let (img_plain, stats_plain) = image(
+        &mut m_plain,
+        qts_plain.operations(),
+        qts_plain.initial(),
+        Strategy::AdditionParallel { k: 2 },
+    );
+    assert_eq!(stats_plain.reclaimed_nodes, 0);
+
+    let mut m_gc = TddManager::new();
+    m_gc.set_gc_policy(Some(GcPolicy::aggressive()));
+    let qts_gc = QuantumTransitionSystem::from_spec(&mut m_gc, &spec);
+    let (img_gc, stats_gc) = image(
+        &mut m_gc,
+        qts_gc.operations(),
+        qts_gc.initial(),
+        Strategy::AdditionParallel { k: 2 },
+    );
+    assert!(
+        stats_gc.reclaimed_nodes > 0,
+        "workers must collect under the inherited policy"
+    );
+    assert_eq!(img_plain.dim(), img_gc.dim());
+    // Same image: import the GC run's basis and check mutual containment.
+    let mut imported = Subspace::zero(4);
+    for &b in img_gc.basis() {
+        let e = m_plain.import(&m_gc, b);
+        imported.absorb(&mut m_plain, e);
+    }
+    assert!(imported.equals(&mut m_plain, &img_plain));
+}

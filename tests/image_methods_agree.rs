@@ -22,18 +22,38 @@ fn strategies() -> Vec<Strategy> {
 }
 
 fn check_all_agree(spec: &QtsSpec) {
+    check_all_agree_inner(spec, false);
+}
+
+/// Like [`check_all_agree`], but forces a garbage collection after every
+/// strategy's image computation: the system, the reference image, and the
+/// freshly computed image are protected, everything else is swept, and all
+/// three are relocated. Cross-strategy agreement must be unaffected.
+fn check_all_agree_with_forced_gc(spec: &QtsSpec) {
+    check_all_agree_inner(spec, true);
+}
+
+fn check_all_agree_inner(spec: &QtsSpec, force_gc: bool) {
     let mut m = TddManager::new();
-    let qts = QuantumTransitionSystem::from_spec(&mut m, spec);
+    let mut qts = QuantumTransitionSystem::from_spec(&mut m, spec);
     let mut reference: Option<Subspace> = None;
     for s in strategies() {
-        let (img, stats) = image(&mut m, qts.operations(), qts.initial(), s);
+        let (mut img, stats) = image(&mut m, qts.operations(), qts.initial(), s);
         assert_eq!(img.dim(), stats.output_dim);
+        if force_gc {
+            let mut holders: Vec<&mut dyn qits_tdd::Relocatable> = vec![&mut qts, &mut img];
+            if let Some(r) = reference.as_mut() {
+                holders.push(r);
+            }
+            m.collect_retaining(&mut holders);
+        }
         match &reference {
             None => reference = Some(img),
             Some(r) => assert!(
                 img.equals(&mut m, r),
-                "{}: strategy {s} disagrees with basic",
-                spec.name
+                "{}: strategy {s} disagrees with basic{}",
+                spec.name,
+                if force_gc { " (with forced GC)" } else { "" }
             ),
         }
     }
@@ -73,6 +93,21 @@ fn qrw_all_strategies_agree() {
 #[test]
 fn bitflip_code_all_strategies_agree() {
     check_all_agree(&generators::bitflip_code());
+}
+
+#[test]
+fn ghz_all_strategies_agree_with_forced_gc() {
+    check_all_agree_with_forced_gc(&generators::ghz(5));
+}
+
+#[test]
+fn qrw_all_strategies_agree_with_forced_gc() {
+    check_all_agree_with_forced_gc(&generators::qrw(4, 0.3));
+}
+
+#[test]
+fn grover_all_strategies_agree_with_forced_gc() {
+    check_all_agree_with_forced_gc(&generators::grover(4));
 }
 
 #[test]

@@ -3,7 +3,7 @@
 //!
 //! The qits workspace builds in environments without crates.io access, so
 //! this crate reimplements exactly the slice of proptest's API the test
-//! suites use: the [`proptest!`] test macro, the [`Strategy`] trait with
+//! suites use: the [`proptest!`] test macro, the [`strategy::Strategy`] trait with
 //! `prop_map` / `prop_filter_map` / `boxed`, range and tuple strategies,
 //! [`collection::vec`], [`strategy::Union`], [`prop_oneof!`], and the
 //! `prop_assert*` macros.
