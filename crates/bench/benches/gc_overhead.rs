@@ -64,13 +64,9 @@ fn gc_overhead_parallel_workers(c: &mut Criterion) {
                 use qits_tdd::TddManager;
                 let mut m = TddManager::new();
                 m.set_gc_policy(*p);
-                let qts = QuantumTransitionSystem::from_spec(&mut m, &spec);
-                image(
-                    &mut m,
-                    qts.operations(),
-                    qts.initial(),
-                    Strategy::AdditionParallel { k: 2 },
-                )
+                let mut qts = QuantumTransitionSystem::from_spec(&mut m, &spec);
+                let (ops, initial) = qts.parts_mut();
+                image(&mut m, &ops, initial, Strategy::AdditionParallel { k: 2 })
             })
         });
     }

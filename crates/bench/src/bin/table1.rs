@@ -5,15 +5,25 @@
 //!   cargo run -p qits-bench --release --bin table1              # laptop sizes
 //!   cargo run -p qits-bench --release --bin table1 -- --full    # paper sizes
 //!   cargo run -p qits-bench --release --bin table1 -- --timeout 600
+//!   cargo run -p qits-bench --release --bin table1 -- --ci      # CI bench smoke
 //!
 //! Each case runs in a subprocess so timeouts ('-' entries, as in the
 //! paper) do not poison later rows. Sizes where only the contraction
 //! partition is feasible (the paper's Grover40, QFT30+, QRW30+) are listed
 //! with the other methods expected to time out.
+//!
+//! `--ci` runs the bench-smoke cases (one small paper instance per
+//! method), exits non-zero if any subprocess panics, times out, or breaks
+//! the 6-field measurement protocol, and writes the `BENCH_ci.json` perf
+//! artifact CI uploads on every push.
 
 use std::time::Duration;
 
-use qits_bench::{fmt_count, fmt_secs, maybe_run_one, run_case_subprocess, METHODS};
+use qits_bench::{
+    ci_report_json, fmt_count, fmt_secs, maybe_run_one, run_case_subprocess, run_image_gc,
+    spec_for, strategy_for, CiRow, METHODS,
+};
+use qits_tdd::GcPolicy;
 
 struct Row {
     family: &'static str,
@@ -155,6 +165,64 @@ fn full_rows() -> Vec<Row> {
     rows
 }
 
+/// The CI bench-smoke mode: one small paper instance per method, each
+/// measured through the subprocess protocol (so the protocol itself is
+/// under test) and once more in-process under `GcPolicy::aggressive()`
+/// for the safepoint counters. Returns the process exit code.
+fn run_ci_smoke(timeout: Duration) -> i32 {
+    let mut rows = Vec::new();
+    for &(family, n, method) in qits_bench::CI_CASES.iter() {
+        println!(
+            "ci: {family}{n} / {method} (timeout {}s)",
+            timeout.as_secs()
+        );
+        let Some(case) = run_case_subprocess(family, n, method, timeout) else {
+            eprintln!(
+                "ci: FAIL {family}{n}/{method}: subprocess panicked, timed out, \
+                 or broke the 6-field measurement protocol"
+            );
+            return 1;
+        };
+        let gc = run_image_gc(
+            &spec_for(family, n),
+            strategy_for(method),
+            Some(GcPolicy::aggressive()),
+        );
+        if gc.safepoints == 0 {
+            // Every serial strategy polls at least one per-state
+            // safepoint; a zero counter means the in-image safepoint
+            // wiring regressed.
+            eprintln!("ci: FAIL {family}{n}/{method}: no safepoint polled");
+            return 1;
+        }
+        println!(
+            "ci:   ok  {:.3}s  max#node {}  live/alloc {}/{}  \
+             safepoints {} ({} collected, {} nodes reclaimed)",
+            case.secs,
+            case.max_nodes,
+            case.live_nodes,
+            case.allocated_nodes,
+            gc.safepoints,
+            gc.safepoint_collections,
+            gc.safepoint_reclaimed,
+        );
+        rows.push(CiRow {
+            family: family.into(),
+            n,
+            method: method.into(),
+            subprocess: case,
+            gc,
+        });
+    }
+    let json = ci_report_json(&rows);
+    if let Err(e) = std::fs::write("BENCH_ci.json", &json) {
+        eprintln!("ci: FAIL cannot write BENCH_ci.json: {e}");
+        return 1;
+    }
+    println!("ci: wrote BENCH_ci.json ({} cases)", rows.len());
+    0
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     if maybe_run_one(&args) {
@@ -168,6 +236,9 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(if full { 3600 } else { 120 });
     let timeout = Duration::from_secs(timeout_secs);
+    if args.iter().any(|a| a == "--ci") {
+        std::process::exit(run_ci_smoke(timeout));
+    }
     let rows = if full { full_rows() } else { default_rows() };
 
     println!(

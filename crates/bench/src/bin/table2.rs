@@ -49,13 +49,9 @@ fn main() {
             // hit rate reported below is therefore purely within-run
             // reuse (blocks against many basis states).
             let mut m = TddManager::new();
-            let qts = QuantumTransitionSystem::from_spec(&mut m, &spec);
-            let (_, stats) = image(
-                &mut m,
-                qts.operations(),
-                qts.initial(),
-                Strategy::Contraction { k1, k2 },
-            );
+            let mut qts = QuantumTransitionSystem::from_spec(&mut m, &spec);
+            let (ops, initial) = qts.parts_mut();
+            let (_, stats) = image(&mut m, &ops, initial, Strategy::Contraction { k1, k2 });
             hit_rates[(k1 - 1) as usize][(k2 - 1) as usize] = stats.cont_hit_rate();
             node_cells[(k1 - 1) as usize][(k2 - 1) as usize] = format!(
                 "{}/{}/{}",

@@ -157,10 +157,24 @@ pub fn run_image(spec: &QtsSpec, strategy: Strategy) -> ImageStats {
     let mut m = TddManager::new();
     m.set_gc_policy(Some(GcPolicy::default()));
     let mut qts = QuantumTransitionSystem::from_spec(&mut m, spec);
-    let (mut img, mut stats) = image(&mut m, qts.operations(), qts.initial(), strategy);
+    let (ops, initial) = qts.parts_mut();
+    let (mut img, mut stats) = image(&mut m, &ops, initial, strategy);
     let out = m.collect_retaining(&mut [&mut qts, &mut img]);
     stats.reclaimed_nodes += out.reclaimed as u64;
     stats
+}
+
+/// One measured image computation on a fresh manager with an explicit GC
+/// policy (`None` = grow-only): the A/B shape behind the peak-arena
+/// regression test and the safepoint counters of `BENCH_ci.json`. No
+/// end-of-run sweep — the stats describe the run exactly as the policy
+/// (and the in-image safepoints) left it.
+pub fn run_image_gc(spec: &QtsSpec, strategy: Strategy, policy: Option<GcPolicy>) -> ImageStats {
+    let mut m = TddManager::new();
+    m.set_gc_policy(policy);
+    let mut qts = QuantumTransitionSystem::from_spec(&mut m, spec);
+    let (ops, initial) = qts.parts_mut();
+    image(&mut m, &ops, initial, strategy).1
 }
 
 /// Like [`run_image`] but also returns the image for validation.
@@ -169,8 +183,9 @@ pub fn run_image_with_result(
     strategy: Strategy,
 ) -> (Subspace, ImageStats, TddManager) {
     let mut m = TddManager::new();
-    let qts = QuantumTransitionSystem::from_spec(&mut m, spec);
-    let (img, stats) = image(&mut m, qts.operations(), qts.initial(), strategy);
+    let mut qts = QuantumTransitionSystem::from_spec(&mut m, spec);
+    let (ops, initial) = qts.parts_mut();
+    let (img, stats) = image(&mut m, &ops, initial, strategy);
     (img, stats, m)
 }
 
@@ -291,6 +306,82 @@ pub fn run_case_subprocess(
     })
 }
 
+/// The bench-smoke cases CI runs: one small paper instance per Table-I
+/// method. Small enough to finish in seconds, real enough that a strategy
+/// regression (panic, wrong dimension, runaway time) surfaces pre-merge.
+/// The basic method only polls safepoints between Gram–Schmidt residuals
+/// (and skips the final one), so its case needs an initial dimension > 1 —
+/// Grover's is 2.
+pub const CI_CASES: [(&str, u32, &str); 3] = [
+    ("grover", 4, "basic"),
+    ("ghz", 5, "addition"),
+    ("qrw", 4, "contraction"),
+];
+
+/// One row of the `BENCH_ci.json` perf artifact: the subprocess
+/// measurement of a case (the 6-field protocol, exactly what Table I
+/// reports) next to an in-process run under `GcPolicy::aggressive()`
+/// whose safepoint counters prove the in-image collection machinery ran.
+#[derive(Debug, Clone)]
+pub struct CiRow {
+    /// Benchmark family (`"ghz"`, `"grover"`, ...).
+    pub family: String,
+    /// Register size.
+    pub n: u32,
+    /// Table-I method name.
+    pub method: String,
+    /// The subprocess measurement (GC off beyond the default watermark).
+    pub subprocess: CaseMeasurement,
+    /// The in-process aggressive-GC measurement with safepoint counters.
+    pub gc: ImageStats,
+}
+
+/// Serialises the CI bench rows as `BENCH_ci.json` (hand-rolled — the
+/// workspace carries no serde). Schema is versioned so downstream
+/// trajectory tooling can evolve it.
+pub fn ci_report_json(rows: &[CiRow]) -> String {
+    let mut out = String::from("{\n  \"schema\": \"qits-bench-ci/1\",\n  \"cases\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let sub = &r.subprocess;
+        let gc = &r.gc;
+        out.push_str(&format!(
+            concat!(
+                "    {{\n",
+                "      \"family\": \"{}\", \"n\": {}, \"method\": \"{}\",\n",
+                "      \"subprocess\": {{\"secs\": {:.6}, \"max_nodes\": {}, ",
+                "\"cont_hit_rate\": {:.6}, \"live_nodes\": {}, ",
+                "\"allocated_nodes\": {}, \"reclaimed_nodes\": {}}},\n",
+                "      \"gc_aggressive\": {{\"secs\": {:.6}, \"max_nodes\": {}, ",
+                "\"peak_arena\": {}, \"live_nodes\": {}, \"allocated_nodes\": {}, ",
+                "\"reclaimed_nodes\": {}, \"safepoints\": {}, ",
+                "\"safepoint_collections\": {}, \"safepoint_reclaimed\": {}}}\n",
+                "    }}{}\n",
+            ),
+            r.family,
+            r.n,
+            r.method,
+            sub.secs,
+            sub.max_nodes,
+            sub.cont_hit_rate,
+            sub.live_nodes,
+            sub.allocated_nodes,
+            sub.reclaimed_nodes,
+            gc.elapsed.as_secs_f64(),
+            gc.max_nodes,
+            gc.peak_arena,
+            gc.live_nodes,
+            gc.allocated_nodes,
+            gc.reclaimed_nodes,
+            gc.safepoints,
+            gc.safepoint_collections,
+            gc.safepoint_reclaimed,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 /// Entry point for the `--one` subprocess mode shared by the table
 /// binaries. Returns `true` if the arguments selected subprocess mode.
 pub fn maybe_run_one(args: &[String]) -> bool {
@@ -364,6 +455,50 @@ mod tests {
         assert_eq!(fmt_count(56_789), "56k");
         assert_eq!(fmt_count(1_234_567), "1.2M");
         assert_eq!(fmt_count(45_000_000), "45M");
+    }
+
+    #[test]
+    fn ci_cases_run_and_serialise() {
+        // The exact pipeline of the CI bench-smoke job, minus the
+        // subprocess hop: every CI case must run, and the JSON must carry
+        // the safepoint counters of the aggressive-GC run.
+        let (family, n, method) = CI_CASES[2];
+        let stats = run_image(&spec_for(family, n), strategy_for(method));
+        let gc = run_image_gc(
+            &spec_for(family, n),
+            strategy_for(method),
+            Some(GcPolicy::aggressive()),
+        );
+        assert_eq!(
+            stats.output_dim, gc.output_dim,
+            "GC must not change results"
+        );
+        assert!(gc.safepoints > 0);
+        assert!(gc.safepoint_collections > 0);
+        let rows = vec![CiRow {
+            family: family.into(),
+            n,
+            method: method.into(),
+            subprocess: CaseMeasurement {
+                secs: stats.elapsed.as_secs_f64(),
+                max_nodes: stats.max_nodes,
+                cont_hit_rate: stats.cont_hit_rate(),
+                live_nodes: stats.live_nodes,
+                allocated_nodes: stats.allocated_nodes,
+                reclaimed_nodes: stats.reclaimed_nodes,
+            },
+            gc,
+        }];
+        let json = ci_report_json(&rows);
+        assert!(json.contains("\"schema\": \"qits-bench-ci/1\""));
+        assert!(json.contains("\"safepoint_collections\""));
+        assert!(json.contains(&format!("\"family\": \"{family}\"")));
+        // Balanced braces: crude structural sanity for the hand-rolled JSON.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced JSON"
+        );
     }
 
     #[test]

@@ -62,6 +62,19 @@ pub fn operator_fidelity(m: &mut TddManager, a: Edge, b: Edge, n_qubits: u32) ->
 /// Whether two circuits on the same register implement the same operator
 /// *up to global phase*.
 ///
+/// Polls a GC safepoint between the two operator contractions (holding the
+/// first operator live), so batch equivalence checking on one manager with
+/// a [`qits_tdd::GcPolicy`] installed reclaims each circuit's contraction
+/// garbage instead of accumulating it.
+///
+/// **GC hazard:** with a policy installed, that safepoint may collect, and
+/// any caller-held edge that is not a registered root (via
+/// [`qits_tdd::TddManager::protect`] or [`qits_tdd::TddManager::pin`]) is
+/// swept — the same root discipline [`crate::image`] signals through its
+/// `&mut Subspace` input, which this circuit-taking signature cannot
+/// express. Without a policy (the default), the function never collects
+/// and behaves exactly as before.
+///
 /// # Panics
 ///
 /// Panics if the register widths differ.
@@ -71,20 +84,24 @@ pub fn equivalent_up_to_phase(m: &mut TddManager, a: &Circuit, b: &Circuit) -> b
         b.n_qubits(),
         "equivalence needs equal registers"
     );
-    let oa = canonical_operator(m, a);
+    let mut oa = canonical_operator(m, a);
+    m.maybe_collect_at_safepoint(&mut [&mut oa]);
     let ob = canonical_operator(m, b);
     (operator_fidelity(m, oa, ob, a.n_qubits()) - 1.0).abs() < 1e-8
 }
 
 /// Whether two circuits implement *exactly* the same operator (global
 /// phase included): proportional with ratio 1.
+///
+/// Safepoint behaviour matches [`equivalent_up_to_phase`].
 pub fn equivalent_exactly(m: &mut TddManager, a: &Circuit, b: &Circuit) -> bool {
     assert_eq!(
         a.n_qubits(),
         b.n_qubits(),
         "equivalence needs equal registers"
     );
-    let oa = canonical_operator(m, a);
+    let mut oa = canonical_operator(m, a);
+    m.maybe_collect_at_safepoint(&mut [&mut oa]);
     let ob = canonical_operator(m, b);
     let n = a.n_qubits();
     if (operator_fidelity(m, oa, ob, n) - 1.0).abs() >= 1e-8 {
@@ -168,6 +185,21 @@ mod tests {
             c
         };
         assert!(equivalent_exactly(&mut m, &a, &b));
+    }
+
+    #[test]
+    fn equivalence_checks_survive_aggressive_gc() {
+        // With a collect-at-every-opportunity policy, the between-operator
+        // safepoint fires and the verdicts must not change.
+        let mut m = TddManager::new();
+        m.set_gc_policy(Some(qits_tdd::GcPolicy::aggressive()));
+        let a = circuit(2, vec![Gate::swap(0, 1)]);
+        let b = circuit(2, vec![Gate::cx(0, 1), Gate::cx(1, 0), Gate::cx(0, 1)]);
+        assert!(equivalent_exactly(&mut m, &a, &b));
+        assert!(equivalent_up_to_phase(&mut m, &a, &b));
+        let c = circuit(2, vec![Gate::cx(1, 0)]);
+        assert!(!equivalent_up_to_phase(&mut m, &a, &c));
+        assert!(m.stats().safepoint_collections > 0, "safepoint must fire");
     }
 
     #[test]

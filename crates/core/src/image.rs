@@ -4,10 +4,10 @@ use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
 use qits_circuit::Operation;
-use qits_tdd::{CacheStats, Edge, TddManager};
+use qits_tdd::{CacheStats, Edge, Relocatable, TddManager};
 use qits_tensor::{Var, VarSet};
 use qits_tensornet::{
-    contract_network, contraction_blocks, precontract_blocks, InteractionGraph, NetTensor,
+    block_keep_vars, contract_network, contraction_blocks, InteractionGraph, NetTensor,
     TensorNetwork,
 };
 
@@ -78,9 +78,26 @@ pub struct ImageStats {
     /// Arena slots allocated in the main manager when the computation
     /// finished — live nodes plus uncollected garbage.
     pub allocated_nodes: usize,
+    /// Arena high-water mark of the main manager when the computation
+    /// finished ([`qits_tdd::ManagerStats::peak_arena`]). A lifetime
+    /// counter of the manager, so only comparable across runs on fresh
+    /// managers — where it is exactly the quantity in-image safepoint
+    /// collections exist to keep down.
+    pub peak_arena: usize,
     /// Nodes reclaimed by garbage collections during this computation
     /// (worker managers of the parallel strategies included).
     pub reclaimed_nodes: u64,
+    /// GC safepoints polled during this computation: between addition
+    /// slices, between contraction blocks, after each Gram–Schmidt
+    /// residual, and between worker state applications (worker managers of
+    /// the parallel strategies included).
+    pub safepoints: u64,
+    /// Safepoint polls that actually collected.
+    pub safepoint_collections: u64,
+    /// Nodes reclaimed by in-image safepoint collections on the main
+    /// manager (the serial strategies' reclaim; worker reclaim is in
+    /// [`ImageStats::reclaimed_nodes`]).
+    pub safepoint_reclaimed: u64,
     /// Contraction-cache movement across this computation (worker managers
     /// of the parallel strategies included).
     pub cont_cache: CacheStats,
@@ -97,6 +114,17 @@ impl ImageStats {
     }
 }
 
+/// Polls an in-image GC safepoint: at this point of a serial strategy,
+/// `holders` are exactly the structures that must survive — the input and
+/// output subspaces, the network's gate tensors, and the operator/block
+/// tensors built so far. Everything else in the arena is garbage a
+/// collection may sweep.
+fn safepoint(m: &mut TddManager, stats: &mut ImageStats, holders: &mut [&mut dyn Relocatable]) {
+    if let Some(out) = m.maybe_collect_at_safepoint(holders) {
+        stats.safepoint_reclaimed += out.reclaimed as u64;
+    }
+}
+
 /// Computes the image `T(S)` of subspace `input` under the given
 /// operations, with the chosen strategy.
 ///
@@ -104,10 +132,32 @@ impl ImageStats {
 /// state `|psi>` of `input`; the results are joined with the symbolic
 /// Gram–Schmidt procedure. This realises Algorithm 1 of the paper, with
 /// the operator-application step swapped per strategy.
+///
+/// # Garbage collection: the `&mut` input contract
+///
+/// `input` is taken mutably because the three serial strategies poll **GC
+/// safepoints** mid-call — between addition-partition slices, between
+/// contraction-partition blocks, and after every Gram–Schmidt residual of
+/// the output's basis extension. If the manager has a
+/// [`qits_tdd::GcPolicy`] installed and the policy asks for it, a
+/// safepoint compacts the arena down to the strategy's live set and
+/// relocates `input` (and every internal holder) in place, so the arena
+/// stays pinned to the live set *inside* one `image()` call instead of
+/// growing for its whole duration. With no policy installed (the default)
+/// no safepoint ever collects and the call behaves exactly as before.
+///
+/// Callers holding **other** long-lived diagrams on the same manager
+/// (another subspace, a transition system whose initial subspace is not
+/// the input) must keep them rooted across the call with
+/// [`qits_tdd::TddManager::pin`] / [`qits_tdd::TddManager::unpin`] —
+/// anything unrooted is swept by the first safepoint collection. The
+/// fixpoint drivers in [`crate::mc`] do exactly that. Use
+/// [`crate::QuantumTransitionSystem::parts_mut`] to obtain the
+/// `(operations, &mut initial)` split this signature wants.
 pub fn image(
     m: &mut TddManager,
     operations: &[Operation],
-    input: &Subspace,
+    input: &mut Subspace,
     strategy: Strategy,
 ) -> (Subspace, ImageStats) {
     let n = input.n_qubits();
@@ -116,40 +166,83 @@ pub fn image(
     let mut out = Subspace::zero(n);
     let mut stats = ImageStats::default();
 
-    for op in operations {
+    for (op_i, op) in operations.iter().enumerate() {
         debug_assert_eq!(op.n_qubits(), n, "operation register mismatch");
-        for branch in op.kraus_branches() {
+        let branches = op.kraus_branches();
+        let n_branches = branches.len();
+        for (b_i, branch) in branches.into_iter().enumerate() {
+            // After the very last Gram–Schmidt residual of the very last
+            // branch nothing runs that could benefit from a collection,
+            // so that one per-state poll is skipped (the worker loop in
+            // `run_addition_workers` does the same).
+            let final_branch = op_i + 1 == operations.len() && b_i + 1 == n_branches;
             stats.branches += 1;
-            let net = TensorNetwork::from_circuit(m, &branch);
+            let mut net = TensorNetwork::from_circuit(m, &branch);
             match strategy {
                 Strategy::Basic => {
                     let whole = contract_network(m, net.tensors(), &net.external_vars());
                     stats.max_nodes = stats.max_nodes.max(whole.max_nodes);
-                    let op_tensor = NetTensor {
+                    let mut op_tensor = NetTensor {
                         edge: whole.edge,
                         vars: net.external_vars(),
                     };
-                    for &psi in input.basis() {
+                    for i in 0..input.dim() {
+                        // Fetch the state afresh each round: a safepoint
+                        // collection relocates `input` in place.
+                        let psi = input.basis()[i];
                         let (phi, peak) =
                             apply_tensors(m, std::slice::from_ref(&op_tensor), &net, psi);
                         stats.max_nodes = stats.max_nodes.max(peak);
                         out.absorb(m, phi);
+                        if !(final_branch && i + 1 == input.dim()) {
+                            safepoint(
+                                m,
+                                &mut stats,
+                                &mut [
+                                    &mut *input as &mut dyn Relocatable,
+                                    &mut out,
+                                    &mut op_tensor,
+                                    &mut net,
+                                ],
+                            );
+                        }
                     }
                 }
                 Strategy::Addition { k } => {
                     let graph = InteractionGraph::of(&net);
                     let cut_vars = graph.highest_degree_vars(k);
-                    let slices = enumerate_slices(m, &net, &cut_vars);
-                    let mut op_tensors = Vec::with_capacity(slices.len());
-                    for sliced in &slices {
+                    let k = cut_vars.len();
+                    let mut op_tensors: Vec<NetTensor> = Vec::with_capacity(1 << k);
+                    for bits in 0..(1usize << k) {
+                        let cuts: Vec<(Var, bool)> = cut_vars
+                            .iter()
+                            .enumerate()
+                            .map(|(i, &v)| (v, (bits >> (k - 1 - i)) & 1 == 1))
+                            .collect();
+                        // Slice lazily, one part at a time, so the
+                        // between-slice safepoint has nothing pending to
+                        // protect beyond the parts already contracted.
+                        let sliced = net.slice_all(m, &cuts);
                         let part = contract_network(m, sliced.tensors(), &net.external_vars());
+                        drop(sliced);
                         stats.max_nodes = stats.max_nodes.max(part.max_nodes);
                         op_tensors.push(NetTensor {
                             edge: part.edge,
                             vars: net.external_vars(),
                         });
+                        safepoint(
+                            m,
+                            &mut stats,
+                            &mut [
+                                &mut *input as &mut dyn Relocatable,
+                                &mut out,
+                                &mut op_tensors,
+                                &mut net,
+                            ],
+                        );
                     }
-                    for &psi in input.basis() {
+                    for i in 0..input.dim() {
+                        let psi = input.basis()[i];
                         let mut total = Edge::ZERO;
                         for part in &op_tensors {
                             let (phi, peak) =
@@ -159,16 +252,64 @@ pub fn image(
                             stats.max_nodes = stats.max_nodes.max(m.node_count(total));
                         }
                         out.absorb(m, total);
+                        if !(final_branch && i + 1 == input.dim()) {
+                            safepoint(
+                                m,
+                                &mut stats,
+                                &mut [
+                                    &mut *input as &mut dyn Relocatable,
+                                    &mut out,
+                                    &mut op_tensors,
+                                    &mut net,
+                                ],
+                            );
+                        }
                     }
                 }
                 Strategy::Contraction { k1, k2 } => {
                     let blocks = contraction_blocks(&branch, k1, k2);
-                    let (block_tensors, peak) = precontract_blocks(m, &net, &blocks);
-                    stats.max_nodes = stats.max_nodes.max(peak);
-                    for &psi in input.basis() {
+                    let keeps = block_keep_vars(&net, &blocks);
+                    let mut block_tensors: Vec<NetTensor> = Vec::with_capacity(blocks.blocks.len());
+                    for (block, keep) in blocks.blocks.iter().zip(keeps) {
+                        // Member tensors are re-read from the (possibly
+                        // relocated) network each round.
+                        let members: Vec<NetTensor> =
+                            block.iter().map(|&gi| net.tensors()[gi].clone()).collect();
+                        let outcome = contract_network(m, &members, &keep);
+                        drop(members);
+                        stats.max_nodes = stats.max_nodes.max(outcome.max_nodes);
+                        block_tensors.push(NetTensor {
+                            edge: outcome.edge,
+                            vars: keep,
+                        });
+                        safepoint(
+                            m,
+                            &mut stats,
+                            &mut [
+                                &mut *input as &mut dyn Relocatable,
+                                &mut out,
+                                &mut block_tensors,
+                                &mut net,
+                            ],
+                        );
+                    }
+                    for i in 0..input.dim() {
+                        let psi = input.basis()[i];
                         let (phi, peak) = apply_tensors(m, &block_tensors, &net, psi);
                         stats.max_nodes = stats.max_nodes.max(peak);
                         out.absorb(m, phi);
+                        if !(final_branch && i + 1 == input.dim()) {
+                            safepoint(
+                                m,
+                                &mut stats,
+                                &mut [
+                                    &mut *input as &mut dyn Relocatable,
+                                    &mut out,
+                                    &mut block_tensors,
+                                    &mut net,
+                                ],
+                            );
+                        }
                     }
                 }
                 Strategy::AdditionParallel { k } => {
@@ -183,6 +324,8 @@ pub fn image(
                         stats.cont_cache.absorb(&ws.cont_cache);
                         stats.add_cache.absorb(&ws.add_cache);
                         stats.reclaimed_nodes += ws.nodes_reclaimed;
+                        stats.safepoints += ws.safepoints_polled;
+                        stats.safepoint_collections += ws.safepoint_collections;
                     }
                     for i in 0..psis.len() {
                         let mut total = Edge::ZERO;
@@ -203,6 +346,8 @@ pub fn image(
     stats.cont_cache.absorb(&moved.cont_cache);
     stats.add_cache.absorb(&moved.add_cache);
     stats.reclaimed_nodes += moved.nodes_reclaimed;
+    stats.safepoints += moved.safepoints_polled;
+    stats.safepoint_collections += moved.safepoint_collections;
     stats.output_dim = out.dim();
     // Live-vs-allocated accounting: the live set is what a collection run
     // right now would keep (input + output + registered roots); the arena
@@ -214,6 +359,7 @@ pub fn image(
     live_edges.push(out.projector());
     stats.live_nodes = m.live_node_count(&live_edges);
     stats.allocated_nodes = m.arena_len();
+    stats.peak_arena = m.stats().peak_arena;
     stats.elapsed = start.elapsed();
     (out, stats)
 }
@@ -258,13 +404,14 @@ fn run_addition_workers(
                             apply_tensors(&mut local, std::slice::from_ref(&op_tensor), &net, psi);
                         peak = peak.max(p);
                         phis.push(phi);
-                        // Live set between applications: the slice
-                        // operator, the network's gate tensors, and the
-                        // images computed so far. Skip the sweep after the
-                        // last state — the worker returns right away and
-                        // the compaction would buy nothing.
+                        // Safepoint between state applications: the live
+                        // set is the slice operator, the network's gate
+                        // tensors, and the images computed so far. Skip
+                        // the poll after the last state — the worker
+                        // returns right away and the compaction would buy
+                        // nothing.
                         if i + 1 < psis.len() {
-                            local.maybe_collect_retaining(&mut [
+                            local.maybe_collect_at_safepoint(&mut [
                                 &mut op_tensor,
                                 &mut net,
                                 &mut phis,
@@ -309,32 +456,13 @@ fn apply_tensors(
     (ket, outcome.max_nodes.max(m.node_count(ket)))
 }
 
-/// All `2^k` slicings of `net` at `cut_vars`, each with its selector
-/// tensors re-attached so the slices sum to the original network.
-fn enumerate_slices(
-    m: &mut TddManager,
-    net: &TensorNetwork,
-    cut_vars: &[Var],
-) -> Vec<TensorNetwork> {
-    let k = cut_vars.len();
-    (0..(1usize << k))
-        .map(|bits| {
-            let cuts: Vec<(Var, bool)> = cut_vars
-                .iter()
-                .enumerate()
-                .map(|(i, &v)| (v, (bits >> (k - 1 - i)) & 1 == 1))
-                .collect();
-            net.slice_all(m, &cuts)
-        })
-        .collect()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use qits_circuit::{generators, sim};
     use qits_num::linalg;
     use qits_num::Cplx;
+    use qits_tdd::GcPolicy;
 
     use crate::qts::QuantumTransitionSystem;
 
@@ -374,8 +502,9 @@ mod tests {
 
     fn check_image_matches_dense(spec: &generators::QtsSpec, strategy: Strategy) {
         let mut m = TddManager::new();
-        let qts = QuantumTransitionSystem::from_spec(&mut m, spec);
-        let (img, stats) = image(&mut m, qts.operations(), qts.initial(), strategy);
+        let mut qts = QuantumTransitionSystem::from_spec(&mut m, spec);
+        let (ops, initial) = qts.parts_mut();
+        let (img, stats) = image(&mut m, &ops, initial, strategy);
         let expect = dense_image(&mut m, qts.operations(), qts.initial());
         assert_eq!(
             img.dim(),
@@ -453,9 +582,10 @@ mod tests {
     fn grover_invariant_subspace() {
         // T(S) = S for S = span{|++->, |11->} (Section III-A.1).
         let mut m = TddManager::new();
-        let qts = QuantumTransitionSystem::from_spec(&mut m, &generators::grover(3));
+        let mut qts = QuantumTransitionSystem::from_spec(&mut m, &generators::grover(3));
         for s in STRATEGIES {
-            let (img, _) = image(&mut m, qts.operations(), qts.initial(), s);
+            let (ops, initial) = qts.parts_mut();
+            let (img, _) = image(&mut m, &ops, initial, s);
             assert!(img.equals(&mut m, qts.initial()), "strategy {s}");
         }
     }
@@ -463,15 +593,14 @@ mod tests {
     #[test]
     fn strategies_agree_pairwise() {
         let mut m = TddManager::new();
-        let qts = QuantumTransitionSystem::from_spec(&mut m, &generators::qrw(4, 0.3));
-        let images: Vec<Subspace> = STRATEGIES
-            .iter()
-            .map(|&s| image(&mut m, qts.operations(), qts.initial(), s).0)
-            .collect();
+        let mut qts = QuantumTransitionSystem::from_spec(&mut m, &generators::qrw(4, 0.3));
+        let mut images: Vec<Subspace> = Vec::new();
+        for &s in STRATEGIES.iter() {
+            let (ops, initial) = qts.parts_mut();
+            images.push(image(&mut m, &ops, initial, s).0);
+        }
         for w in images.windows(2) {
             let (a, b) = (&w[0], &w[1]);
-            let mut a2 = a.clone();
-            let _ = &mut a2;
             assert!(a.clone().equals(&mut m, b));
         }
     }
@@ -480,10 +609,58 @@ mod tests {
     fn image_of_zero_subspace_is_zero() {
         let mut m = TddManager::new();
         let qts = QuantumTransitionSystem::from_spec(&mut m, &generators::ghz(3));
-        let zero = Subspace::zero(3);
-        let (img, stats) = image(&mut m, qts.operations(), &zero, Strategy::Basic);
+        let mut zero = Subspace::zero(3);
+        let (img, stats) = image(&mut m, qts.operations(), &mut zero, Strategy::Basic);
         assert_eq!(img.dim(), 0);
         assert_eq!(stats.output_dim, 0);
+    }
+
+    #[test]
+    fn serial_safepoints_collect_under_aggressive_policy() {
+        // Every serial strategy must poll safepoints; under the
+        // collect-at-every-opportunity policy they must actually reclaim,
+        // and the relocated input/output must still verify against the
+        // GC-off run.
+        let spec = generators::qrw(3, 0.2);
+        for s in [
+            Strategy::Basic,
+            Strategy::Addition { k: 1 },
+            Strategy::Contraction { k1: 2, k2: 2 },
+        ] {
+            let mut m_gc = TddManager::new();
+            m_gc.set_gc_policy(Some(GcPolicy::aggressive()));
+            let mut qts_gc = QuantumTransitionSystem::from_spec(&mut m_gc, &spec);
+            let (ops, initial) = qts_gc.parts_mut();
+            let (img_gc, st) = image(&mut m_gc, &ops, initial, s);
+            assert!(st.safepoints > 0, "{s}: no safepoint polled");
+            assert!(st.safepoint_collections > 0, "{s}: no safepoint collected");
+            assert!(st.safepoint_reclaimed > 0, "{s}: nothing reclaimed");
+
+            let mut m = TddManager::new();
+            let mut qts = QuantumTransitionSystem::from_spec(&mut m, &spec);
+            let (ops, initial) = qts.parts_mut();
+            let (img, st_plain) = image(&mut m, &ops, initial, s);
+            assert_eq!(st_plain.safepoint_collections, 0, "no policy: no collect");
+            assert_eq!(img.dim(), img_gc.dim(), "{s}");
+            // Same subspace: import the GC run's basis and compare.
+            let mut imported = Subspace::zero(3);
+            for &b in img_gc.basis() {
+                let e = m.import(&m_gc, b);
+                imported.absorb(&mut m, e);
+            }
+            assert!(imported.equals(&mut m, &img), "{s}");
+            // The relocated input is intact: still the initial subspace.
+            let fresh = {
+                let vars = Subspace::ket_vars(3);
+                let states: Vec<Edge> = spec
+                    .initial_states
+                    .iter()
+                    .map(|amps| m_gc.product_ket(&vars, amps))
+                    .collect();
+                Subspace::from_states(&mut m_gc, 3, &states)
+            };
+            assert!(qts_gc.initial().clone().equals(&mut m_gc, &fresh), "{s}");
+        }
     }
 
     #[test]

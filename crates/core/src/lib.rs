@@ -33,11 +33,15 @@
 //!
 //! let mut m = TddManager::new();
 //! let spec = generators::grover(3);
-//! let qts = QuantumTransitionSystem::from_spec(&mut m, &spec);
+//! let mut qts = QuantumTransitionSystem::from_spec(&mut m, &spec);
+//! // `image` takes its input `&mut` (in-image GC safepoints may relocate
+//! // it); `parts_mut` splits the system into a shared operations handle
+//! // plus that mutable input.
+//! let (ops, initial) = qts.parts_mut();
 //! let (img, stats) = image(
 //!     &mut m,
-//!     qts.operations(),
-//!     qts.initial(),
+//!     &ops,
+//!     initial,
 //!     Strategy::Contraction { k1: 2, k2: 2 },
 //! );
 //! assert!(img.equals(&mut m, qts.initial()));
@@ -53,5 +57,5 @@ mod qts;
 mod subspace;
 
 pub use image::{image, ImageStats, Strategy};
-pub use qts::QuantumTransitionSystem;
+pub use qts::{Operations, QuantumTransitionSystem};
 pub use subspace::{Subspace, RANK_TOLERANCE};

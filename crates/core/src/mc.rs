@@ -6,14 +6,22 @@
 //!
 //! A reachability fixpoint iterates `S <- S v T(S)` on one manager, and
 //! without reclamation every dead intermediate of every iteration stays
-//! resident. The drivers here are GC-aware: if the manager has a
-//! [`qits_tdd::GcPolicy`] installed, they collect **between iterations** —
-//! the one point where the full live set is known (the transition system's
-//! initial subspace, the working space, and any invariant under check).
-//! All of those are protected as roots, the arena is compacted, and every
-//! held edge is relocated, so callers' structures remain valid after the
-//! run. With no policy installed (the default), behaviour is identical to
-//! the grow-only arena.
+//! resident. The drivers here are GC-aware on two levels when the manager
+//! has a [`qits_tdd::GcPolicy`] installed:
+//!
+//! * **inside** each `image()` call, the serial strategies poll their own
+//!   safepoints (see [`crate::image`]); the drivers keep the transition
+//!   system and any invariant under check alive across those collections
+//!   by pinning them ([`qits_tdd::TddManager::pin`]) for the duration of
+//!   the call;
+//! * **between** iterations, the drivers poll the same safepoint entry
+//!   ([`qits_tdd::TddManager::maybe_collect_at_safepoint`]) with the full
+//!   live set as holders — the system, the working space, and the kept
+//!   subspaces.
+//!
+//! Either way the arena is compacted and every held edge is relocated, so
+//! callers' structures remain valid after the run. With no policy
+//! installed (the default), behaviour is identical to the grow-only arena.
 
 use qits_tdd::{Relocatable, TddManager};
 
@@ -32,9 +40,11 @@ pub struct ReachabilityResult {
     pub converged: bool,
     /// Per-iteration statistics.
     pub stats: Vec<ImageStats>,
-    /// Garbage collections performed between iterations.
+    /// Garbage collections performed by the driver: between iterations
+    /// plus the in-image safepoint collections of every `image()` call.
     pub collections: usize,
-    /// Nodes reclaimed by those collections.
+    /// Nodes reclaimed by those collections (in-image safepoint reclaim
+    /// included).
     pub reclaimed_nodes: u64,
 }
 
@@ -76,6 +86,7 @@ pub fn reachable_space_keeping(
     max_iterations: usize,
     kept: &mut [&mut Subspace],
 ) -> ReachabilityResult {
+    let ops = qts.operations_handle();
     let mut space = qts.initial().clone();
     let mut stats = Vec::new();
     let mut converged = false;
@@ -88,7 +99,23 @@ pub fn reachable_space_keeping(
             converged = true;
             break;
         }
-        let (img, st) = image(m, qts.operations(), &space, strategy);
+        // The image call may collect at its internal safepoints; the
+        // system's initial subspace and the kept subspaces are live but
+        // not part of the call, so pin them across it.
+        let (img, st) = {
+            let mut pinned: Vec<&mut dyn Relocatable> = vec![qts];
+            pinned.extend(kept.iter_mut().map(|s| &mut **s as &mut dyn Relocatable));
+            let pins = m.pin(&mut pinned);
+            let result = image(m, &ops, &mut space, strategy);
+            m.unpin(pins, &mut pinned);
+            result
+        };
+        // `reclaimed_nodes` must cover the same collections `collections`
+        // counts: the in-image total includes worker-manager reclaim
+        // (parallel strategies), which `safepoint_reclaimed` alone — a
+        // main-manager counter — would miss.
+        collections += st.safepoint_collections as usize;
+        reclaimed_nodes += st.reclaimed_nodes;
         iterations += 1;
         stats.push(st);
         let joined = space.join(m, &img);
@@ -105,11 +132,11 @@ pub fn reachable_space_keeping(
         }
         // Between iterations every intermediate (images, slices, residuals)
         // is garbage; only the system, the working space, and the kept
-        // subspaces are live. Collect if the policy asks for it.
-        if m.should_collect() {
-            let mut holders: Vec<&mut dyn Relocatable> = vec![qts, &mut space];
-            holders.extend(kept.iter_mut().map(|s| &mut **s as &mut dyn Relocatable));
-            let out = m.collect_retaining(&mut holders);
+        // subspaces are live. This is a safepoint like the in-image ones:
+        // poll the policy through the same entry.
+        let mut holders: Vec<&mut dyn Relocatable> = vec![qts, &mut space];
+        holders.extend(kept.iter_mut().map(|s| &mut **s as &mut dyn Relocatable));
+        if let Some(out) = m.maybe_collect_at_safepoint(&mut holders) {
             collections += 1;
             reclaimed_nodes += out.reclaimed as u64;
         }
@@ -171,14 +198,15 @@ mod tests {
         // reachable space saturates at the full 2^n dimension eventually.
         let mut m = TddManager::new();
         let mut qts = QuantumTransitionSystem::from_spec(&mut m, &generators::qrw(3, 0.5));
-        let r = reachable_space(&mut m, &mut qts, Strategy::Contraction { k1: 2, k2: 2 }, 20);
+        let mut r = reachable_space(&mut m, &mut qts, Strategy::Contraction { k1: 2, k2: 2 }, 20);
         assert!(r.converged);
         assert!(r.space.dim() > qts.initial().dim());
         // Fixpoint really is a fixpoint.
+        let ops = qts.operations_handle();
         let (img, _) = image(
             &mut m,
-            qts.operations(),
-            &r.space,
+            &ops,
+            &mut r.space,
             Strategy::Contraction { k1: 2, k2: 2 },
         );
         assert!(img.is_subspace_of(&mut m, &r.space));
@@ -301,7 +329,9 @@ mod tests {
             .initial()
             .clone()
             .is_subspace_of(&mut m_gc, &r_gc.space));
-        let (img, _) = image(&mut m_gc, qts_gc.operations(), &r_gc.space, strategy);
+        let mut r_gc = r_gc;
+        let ops = qts_gc.operations_handle();
+        let (img, _) = image(&mut m_gc, &ops, &mut r_gc.space, strategy);
         assert!(img.is_subspace_of(&mut m_gc, &r_gc.space));
     }
 

@@ -1,13 +1,77 @@
 //! Quantum transition systems (Definition 2 of the paper).
 
+use std::ops::Deref;
+use std::sync::Arc;
+
 use qits_circuit::{generators::QtsSpec, Operation};
 use qits_tdd::TddManager;
 
 use crate::subspace::Subspace;
 
+/// The operations view of a transition system: the symbols `Sigma` and
+/// their quantum operations `T_sigma`, detached from any subspace state.
+///
+/// Operations are circuits — they hold **no TDD edges** — so this view is
+/// immutable and cheaply cloneable (the operation list is behind an
+/// [`Arc`]). That is the point of the type: [`crate::image`] takes its
+/// input subspace `&mut` so in-image GC safepoints can relocate it, and a
+/// caller that stores operations and initial subspace in one
+/// [`QuantumTransitionSystem`] could never hand out both borrows at once.
+/// [`QuantumTransitionSystem::parts_mut`] splits the borrow instead: an
+/// owned `Operations` handle plus `&mut Subspace`.
+///
+/// Derefs to `[Operation]`, so anything taking `&[Operation]` accepts
+/// `&ops` directly.
+#[derive(Debug, Clone)]
+pub struct Operations {
+    n_qubits: u32,
+    ops: Arc<[Operation]>,
+}
+
+impl Operations {
+    /// Wraps an operation list as a shareable view.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any operation disagrees on the register width.
+    pub fn new(n_qubits: u32, operations: Vec<Operation>) -> Self {
+        for op in &operations {
+            assert_eq!(
+                op.n_qubits(),
+                n_qubits,
+                "operation '{}' register mismatch",
+                op.label()
+            );
+        }
+        Operations {
+            n_qubits,
+            ops: operations.into(),
+        }
+    }
+
+    /// Register width.
+    pub fn n_qubits(&self) -> u32 {
+        self.n_qubits
+    }
+}
+
+impl Deref for Operations {
+    type Target = [Operation];
+
+    fn deref(&self) -> &[Operation] {
+        &self.ops
+    }
+}
+
 /// A quantum transition system `M = (H, S0, Sigma, T)`: an `n`-qubit
 /// Hilbert space, an initial subspace `S0`, and one quantum operation
 /// `T_sigma` per symbol.
+///
+/// Internally this is two views glued together: an immutable, shareable
+/// [`Operations`] handle and the mutable initial-subspace state. Use
+/// [`QuantumTransitionSystem::parts_mut`] to borrow them apart — the shape
+/// [`crate::image`] wants now that its input is `&mut` (see the GC
+/// safepoint discussion there).
 ///
 /// # Example
 ///
@@ -17,14 +81,17 @@ use crate::subspace::Subspace;
 /// use qits_tdd::TddManager;
 ///
 /// let mut m = TddManager::new();
-/// let qts = QuantumTransitionSystem::from_spec(&mut m, &generators::ghz(4));
+/// let mut qts = QuantumTransitionSystem::from_spec(&mut m, &generators::ghz(4));
 /// assert_eq!(qts.n_qubits(), 4);
 /// assert_eq!(qts.initial().dim(), 1);
+/// // Borrow split: shared operations handle + mutable initial subspace.
+/// let (ops, initial) = qts.parts_mut();
+/// assert_eq!(ops.len(), 1);
+/// assert_eq!(initial.dim(), 1);
 /// ```
 #[derive(Debug, Clone)]
 pub struct QuantumTransitionSystem {
-    n_qubits: u32,
-    operations: Vec<Operation>,
+    operations: Operations,
     initial: Subspace,
 }
 
@@ -41,17 +108,8 @@ impl QuantumTransitionSystem {
             n_qubits,
             "initial subspace register mismatch"
         );
-        for op in &operations {
-            assert_eq!(
-                op.n_qubits(),
-                n_qubits,
-                "operation '{}' register mismatch",
-                op.label()
-            );
-        }
         QuantumTransitionSystem {
-            n_qubits,
-            operations,
+            operations: Operations::new(n_qubits, operations),
             initial,
         }
     }
@@ -71,17 +129,48 @@ impl QuantumTransitionSystem {
 
     /// Register width.
     pub fn n_qubits(&self) -> u32 {
-        self.n_qubits
+        self.operations.n_qubits()
     }
 
-    /// The operations `T_sigma`.
-    pub fn operations(&self) -> &[Operation] {
+    /// The operations `T_sigma` (derefs to `&[Operation]`).
+    pub fn operations(&self) -> &Operations {
         &self.operations
+    }
+
+    /// An owned, shareable handle to the operations — an [`Arc`] clone,
+    /// not a deep copy. Taking the handle leaves `self` free to be
+    /// borrowed mutably (e.g. as a GC holder) while an `image()` runs.
+    pub fn operations_handle(&self) -> Operations {
+        self.operations.clone()
     }
 
     /// The initial subspace `S0`.
     pub fn initial(&self) -> &Subspace {
         &self.initial
+    }
+
+    /// Mutable access to the initial subspace — the state half of the
+    /// borrow split; GC safepoints inside [`crate::image`] relocate it in
+    /// place when `S0` is the image input.
+    pub fn initial_mut(&mut self) -> &mut Subspace {
+        &mut self.initial
+    }
+
+    /// Splits the system into its two views: an owned operations handle
+    /// (cheap [`Arc`] clone) and the mutable initial subspace. This is the
+    /// calling convention for computing the image of `S0` itself:
+    ///
+    /// ```
+    /// # use qits::{image, QuantumTransitionSystem, Strategy};
+    /// # use qits_circuit::generators;
+    /// # use qits_tdd::TddManager;
+    /// # let mut m = TddManager::new();
+    /// # let mut qts = QuantumTransitionSystem::from_spec(&mut m, &generators::ghz(3));
+    /// let (ops, initial) = qts.parts_mut();
+    /// let (img, _) = image(&mut m, &ops, initial, Strategy::Basic);
+    /// ```
+    pub fn parts_mut(&mut self) -> (Operations, &mut Subspace) {
+        (self.operations.clone(), &mut self.initial)
     }
 
     /// Registers the system's long-lived edges (the initial subspace's
@@ -106,6 +195,10 @@ impl qits_tdd::Relocatable for QuantumTransitionSystem {
 
     fn gc_relocate(&mut self, r: &qits_tdd::Relocations) {
         self.relocate(r);
+    }
+
+    fn gc_restore(&mut self, m: &TddManager, ids: &mut std::slice::Iter<'_, qits_tdd::RootId>) {
+        self.initial.gc_restore(m, ids);
     }
 }
 
@@ -136,5 +229,28 @@ mod tests {
         let initial = Subspace::zero(2);
         let op = qits_circuit::Operation::new("op", 3);
         let _ = QuantumTransitionSystem::new(2, vec![op], initial);
+    }
+
+    #[test]
+    fn operations_handle_is_shared_not_copied() {
+        let mut m = TddManager::new();
+        let qts = QuantumTransitionSystem::from_spec(&mut m, &generators::bitflip_code());
+        let a = qts.operations_handle();
+        let b = qts.operations_handle();
+        assert!(Arc::ptr_eq(&a.ops, &b.ops), "handles must share the list");
+        assert_eq!(a.len(), 4);
+        assert_eq!(a.n_qubits(), qts.n_qubits());
+    }
+
+    #[test]
+    fn parts_mut_splits_the_borrow() {
+        let mut m = TddManager::new();
+        let mut qts = QuantumTransitionSystem::from_spec(&mut m, &generators::grover(3));
+        let (ops, initial) = qts.parts_mut();
+        // Both halves usable simultaneously: the whole point of the split.
+        assert_eq!(ops.len(), 1);
+        assert_eq!(initial.dim(), 2);
+        let ops_slice: &[Operation] = &ops; // deref coercion
+        assert_eq!(ops_slice.len(), 1);
     }
 }

@@ -38,7 +38,11 @@ pub const RANK_TOLERANCE: f64 = 1e-9;
 /// [`Subspace::relocate`] and release the roots. A subspace that was
 /// neither protected nor relocated across a collection holds dangling
 /// edges and must not be used again. The fixpoint drivers in
-/// [`crate::mc`] do this automatically for every subspace they manage.
+/// [`crate::mc`] do this automatically for every subspace they manage,
+/// and [`crate::image`] does it for its `&mut` input at every in-image
+/// safepoint; a subspace that must merely *survive* an `image()` call on
+/// the same manager (without being its input) rides through via
+/// [`TddManager::pin`] / [`TddManager::unpin`] instead.
 ///
 /// # Example
 ///
@@ -142,6 +146,14 @@ impl Relocatable for Subspace {
 
     fn gc_relocate(&mut self, r: &Relocations) {
         self.relocate(r);
+    }
+
+    fn gc_restore(&mut self, m: &TddManager, ids: &mut std::slice::Iter<'_, RootId>) {
+        // Same order as `protect`: basis kets first, projector last.
+        for b in self.basis.iter_mut() {
+            *b = m.root_edge(*ids.next().expect("gc_restore: root id underflow"));
+        }
+        self.projector = m.root_edge(*ids.next().expect("gc_restore: root id underflow"));
     }
 }
 

@@ -230,6 +230,17 @@ impl GcPolicy {
     }
 }
 
+/// Token returned by [`TddManager::pin`]: the root ids of a set of holders
+/// kept alive across a multi-collection region. Spend it with
+/// [`TddManager::unpin`] — dropping it instead leaks the roots (the edges
+/// stay protected forever).
+#[derive(Debug)]
+#[must_use = "unpin the holders or their roots leak"]
+pub struct Pins {
+    /// Root ids per holder, in pin order.
+    ids: Vec<Vec<RootId>>,
+}
+
 /// What one [`TddManager::collect`] call did.
 #[derive(Debug)]
 pub struct GcOutcome {
@@ -258,6 +269,18 @@ pub trait Relocatable {
 
     /// Rewrites every held edge after a collection.
     fn gc_relocate(&mut self, r: &Relocations);
+
+    /// Reads every held edge back from the root registry, consuming ids
+    /// from `ids` in the same order [`Relocatable::gc_protect`] registered
+    /// them. Registry copies are relocated in place at every collection,
+    /// so this restores a holder that stayed pinned across *any number* of
+    /// collections — the situation a single [`Relocations`] map cannot
+    /// express. See [`TddManager::pin`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ids` runs out of ids (protect/restore mismatch).
+    fn gc_restore(&mut self, m: &TddManager, ids: &mut std::slice::Iter<'_, RootId>);
 }
 
 impl Relocatable for Edge {
@@ -268,15 +291,28 @@ impl Relocatable for Edge {
     fn gc_relocate(&mut self, r: &Relocations) {
         *self = r.apply(*self);
     }
+
+    fn gc_restore(&mut self, m: &TddManager, ids: &mut std::slice::Iter<'_, RootId>) {
+        let id = *ids.next().expect("gc_restore: root id underflow");
+        *self = m.root_edge(id);
+    }
 }
 
-impl Relocatable for Vec<Edge> {
+impl<T: Relocatable> Relocatable for Vec<T> {
     fn gc_protect(&self, m: &mut TddManager) -> Vec<RootId> {
-        self.iter().map(|&e| m.protect(e)).collect()
+        self.iter().flat_map(|t| t.gc_protect(m)).collect()
     }
 
     fn gc_relocate(&mut self, r: &Relocations) {
-        r.apply_all(self);
+        for t in self {
+            t.gc_relocate(r);
+        }
+    }
+
+    fn gc_restore(&mut self, m: &TddManager, ids: &mut std::slice::Iter<'_, RootId>) {
+        for t in self {
+            t.gc_restore(m, ids);
+        }
     }
 }
 
@@ -454,6 +490,68 @@ impl TddManager {
             Some(self.collect_retaining(holders))
         } else {
             None
+        }
+    }
+
+    /// Polls a **GC safepoint**: a point where the caller's `holders` are
+    /// exactly the structures that must survive a collection. Collects
+    /// (via [`TddManager::collect_retaining`]) iff the installed policy
+    /// asks for it, and counts every poll and every collection in
+    /// [`crate::ManagerStats::safepoints_polled`] /
+    /// [`crate::ManagerStats::safepoint_collections`].
+    ///
+    /// This is the single entry the image-computation strategies and the
+    /// fixpoint drivers call between slices, blocks, Gram–Schmidt
+    /// residuals, and iterations; anything else live on the manager at a
+    /// safepoint must be pinned via [`TddManager::pin`] or it is swept.
+    pub fn maybe_collect_at_safepoint(
+        &mut self,
+        holders: &mut [&mut dyn Relocatable],
+    ) -> Option<GcOutcome> {
+        self.stats.safepoints_polled += 1;
+        let out = self.maybe_collect_retaining(holders);
+        if out.is_some() {
+            self.stats.safepoint_collections += 1;
+        }
+        out
+    }
+
+    /// Roots every holder for an extended region that may contain **any
+    /// number of collections** (e.g. an `image()` call with in-image
+    /// safepoints), returning a [`Pins`] token for [`TddManager::unpin`].
+    ///
+    /// Unlike [`TddManager::collect_retaining`] — which brackets exactly
+    /// one collection and hands back one [`Relocations`] map — pinning
+    /// relies on the registry's in-place relocation: however many sweeps
+    /// run, the registry's copies stay current, and `unpin` writes them
+    /// back into the holders. The holders' own edges are stale (dangling
+    /// after the first collection) until then and must not be used.
+    pub fn pin(&mut self, holders: &mut [&mut dyn Relocatable]) -> Pins {
+        Pins {
+            ids: holders.iter().map(|h| h.gc_protect(self)).collect(),
+        }
+    }
+
+    /// Ends a [`TddManager::pin`] region: restores every holder from the
+    /// registry (in the order they were pinned) and releases the roots.
+    /// If no collection ran in between, the restore is an exact no-op.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `holders` differs in shape from the pinned set.
+    pub fn unpin(&mut self, pins: Pins, holders: &mut [&mut dyn Relocatable]) {
+        assert_eq!(
+            pins.ids.len(),
+            holders.len(),
+            "unpin: holder count differs from pin"
+        );
+        for (h, ids) in holders.iter_mut().zip(&pins.ids) {
+            let mut it = ids.iter();
+            h.gc_restore(self, &mut it);
+            assert!(it.next().is_none(), "unpin: holder consumed too few roots");
+        }
+        for ids in pins.ids {
+            self.unprotect_all(ids);
         }
     }
 
@@ -766,6 +864,64 @@ mod tests {
         // tensors.
         assert!(m.to_tensor(keep, &[Var(0), Var(1), Var(2)]).approx_eq(&t));
         assert_eq!(m.arena_len(), m.live_node_count(&[keep, kept_many[0]]) + 1);
+    }
+
+    #[test]
+    fn pin_unpin_survives_multiple_collections() {
+        // A single Relocations map cannot carry a holder across two
+        // sweeps; pin/unpin can, because the registry's copies are
+        // relocated in place at every collection.
+        let mut m = TddManager::new();
+        let t = sample_tensor(30);
+        let mut keep = m.from_tensor(&t);
+        let mut nested = vec![m.from_tensor(&sample_tensor(31))];
+        let mut pinned: Vec<&mut dyn Relocatable> = vec![&mut keep, &mut nested];
+        let pins = m.pin(&mut pinned);
+        let _g1 = m.from_tensor(&sample_tensor(32));
+        m.collect();
+        let _g2 = m.from_tensor(&sample_tensor(33));
+        m.collect();
+        m.unpin(pins, &mut pinned);
+        assert_eq!(m.root_count(), 0, "unpin must release every root");
+        let vars = [Var(0), Var(1), Var(2)];
+        assert!(m.to_tensor(keep, &vars).approx_eq(&t));
+        assert!(m.to_tensor(nested[0], &vars).approx_eq(&sample_tensor(31)));
+    }
+
+    #[test]
+    fn unpin_without_collection_is_identity() {
+        let mut m = TddManager::new();
+        let original = m.from_tensor(&sample_tensor(34));
+        let mut e = original;
+        let mut pinned: Vec<&mut dyn Relocatable> = vec![&mut e];
+        let pins = m.pin(&mut pinned);
+        m.unpin(pins, &mut pinned);
+        assert_eq!(e, original);
+        assert_eq!(m.root_count(), 0);
+    }
+
+    #[test]
+    fn safepoint_counters_track_polls_and_collections() {
+        let mut m = TddManager::new();
+        let t = sample_tensor(35);
+        let mut e = m.from_tensor(&t);
+        // No policy: the poll is counted, nothing collects.
+        assert!(m.maybe_collect_at_safepoint(&mut [&mut e]).is_none());
+        assert_eq!(m.stats().safepoints_polled, 1);
+        assert_eq!(m.stats().safepoint_collections, 0);
+        // Aggressive policy: the next poll collects and retains `e`.
+        let _garbage = m.from_tensor(&sample_tensor(36));
+        m.set_gc_policy(Some(GcPolicy::aggressive()));
+        let out = m.maybe_collect_at_safepoint(&mut [&mut e]);
+        assert!(out.expect("must collect").reclaimed > 0);
+        assert_eq!(m.stats().safepoints_polled, 2);
+        assert_eq!(m.stats().safepoint_collections, 1);
+        assert!(m.to_tensor(e, &[Var(0), Var(1), Var(2)]).approx_eq(&t));
+        // The counters diff like any other ManagerStats counter.
+        let snap = m.stats();
+        let _ = m.maybe_collect_at_safepoint(&mut [&mut e]);
+        let moved = m.stats().since(&snap);
+        assert_eq!(moved.safepoints_polled, 1);
     }
 
     #[test]

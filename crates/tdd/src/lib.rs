@@ -65,7 +65,7 @@ mod transfer;
 
 pub use cache::{CacheSizes, CacheStats, DEFAULT_CACHE_CAPACITY};
 pub use cnum::{CIdx, ComplexTable};
-pub use gc::{GcOutcome, GcPolicy, Relocatable, Relocations, RootId, RootScope};
+pub use gc::{GcOutcome, GcPolicy, Pins, Relocatable, Relocations, RootId, RootScope};
 pub use manager::TddManager;
 pub use node::{Edge, NodeId, TERMINAL};
 pub use stats::ManagerStats;

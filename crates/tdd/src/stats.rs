@@ -23,6 +23,12 @@ pub struct ManagerStats {
     pub gc_runs: u64,
     /// Nodes reclaimed across all collections.
     pub nodes_reclaimed: u64,
+    /// GC safepoints polled via
+    /// [`crate::TddManager::maybe_collect_at_safepoint`] — every poll, not
+    /// just the ones that collected.
+    pub safepoints_polled: u64,
+    /// Safepoint polls that actually ran a collection.
+    pub safepoint_collections: u64,
     /// Non-terminal nodes that survived the most recent collection
     /// (`0` before the first collection).
     pub live_after_last_gc: usize,
@@ -57,6 +63,12 @@ impl ManagerStats {
             peak_arena: self.peak_arena,
             gc_runs: self.gc_runs.saturating_sub(earlier.gc_runs),
             nodes_reclaimed: self.nodes_reclaimed.saturating_sub(earlier.nodes_reclaimed),
+            safepoints_polled: self
+                .safepoints_polled
+                .saturating_sub(earlier.safepoints_polled),
+            safepoint_collections: self
+                .safepoint_collections
+                .saturating_sub(earlier.safepoint_collections),
             // Snapshot, not a counter: report the later value.
             live_after_last_gc: self.live_after_last_gc,
             add_calls: self.add_calls.saturating_sub(earlier.add_calls),

@@ -92,6 +92,46 @@ pub fn contract_network(
     }
 }
 
+/// The keep-set of every block of a contraction partition: the indices
+/// shared with other blocks or external to the circuit (everything else is
+/// internal to the block and summed when the block is pre-contracted).
+///
+/// Exposed separately from [`precontract_blocks`] so a caller that wants
+/// control *between* block contractions — e.g. to poll a GC safepoint with
+/// its own live set — can run the per-block loop itself:
+/// `contract_network(m, &members_of_block_i, &keeps[i])`.
+pub fn block_keep_vars(net: &TensorNetwork, blocks: &Blocks) -> Vec<VarSet> {
+    let tensors = net.tensors();
+    // How many tensors use each variable, across the whole network.
+    let mut usage = std::collections::BTreeMap::new();
+    for t in tensors {
+        for v in t.vars.iter() {
+            *usage.entry(v).or_insert(0usize) += 1;
+        }
+    }
+    let external = net.external_vars();
+
+    blocks
+        .blocks
+        .iter()
+        .map(|block| {
+            // A variable is internal iff all its users are inside this
+            // block and it is not an external index.
+            let mut in_block = std::collections::BTreeMap::new();
+            for &gi in block {
+                for v in tensors[gi].vars.iter() {
+                    *in_block.entry(v).or_insert(0usize) += 1;
+                }
+            }
+            in_block
+                .iter()
+                .filter(|&(v, &cnt)| external.contains(*v) || usage[v] > cnt)
+                .map(|(&v, _)| v)
+                .collect()
+        })
+        .collect()
+}
+
 /// Pre-contracts each block of a contraction partition into a single
 /// [`NetTensor`], keeping every index shared with other blocks or external
 /// to the circuit.
@@ -103,33 +143,11 @@ pub fn precontract_blocks(
     net: &TensorNetwork,
     blocks: &Blocks,
 ) -> (Vec<NetTensor>, usize) {
-    let tensors = net.tensors();
-    // How many tensors use each variable, across the whole network.
-    let mut usage = std::collections::BTreeMap::new();
-    for t in tensors {
-        for v in t.vars.iter() {
-            *usage.entry(v).or_insert(0usize) += 1;
-        }
-    }
-    let external = net.external_vars();
-
+    let keeps = block_keep_vars(net, blocks);
     let mut out = Vec::with_capacity(blocks.blocks.len());
     let mut max_nodes = 0usize;
-    for block in &blocks.blocks {
-        let members: Vec<NetTensor> = block.iter().map(|&gi| tensors[gi].clone()).collect();
-        // A variable is internal iff all its users are inside this block
-        // and it is not an external index.
-        let mut in_block = std::collections::BTreeMap::new();
-        for t in &members {
-            for v in t.vars.iter() {
-                *in_block.entry(v).or_insert(0usize) += 1;
-            }
-        }
-        let keep: VarSet = in_block
-            .iter()
-            .filter(|&(v, &cnt)| external.contains(*v) || usage[v] > cnt)
-            .map(|(&v, _)| v)
-            .collect();
+    for (block, keep) in blocks.blocks.iter().zip(keeps) {
+        let members: Vec<NetTensor> = block.iter().map(|&gi| net.tensors()[gi].clone()).collect();
         let outcome = contract_network(m, &members, &keep);
         max_nodes = max_nodes.max(outcome.max_nodes);
         out.push(NetTensor {

@@ -25,7 +25,7 @@ mod graph;
 mod network;
 mod partition;
 
-pub use engine::{contract_network, precontract_blocks, ContractionOutcome};
+pub use engine::{block_keep_vars, contract_network, precontract_blocks, ContractionOutcome};
 pub use graph::InteractionGraph;
 pub use network::{NetTensor, TensorNetwork};
 pub use partition::{contraction_blocks, Blocks};

@@ -43,6 +43,11 @@ impl Relocatable for NetTensor {
     fn gc_relocate(&mut self, r: &Relocations) {
         self.relocate(r);
     }
+
+    fn gc_restore(&mut self, m: &TddManager, ids: &mut std::slice::Iter<'_, RootId>) {
+        let id = *ids.next().expect("gc_restore: root id underflow");
+        self.edge = m.root_edge(id);
+    }
 }
 
 /// A quantum circuit as a tensor network.
@@ -230,6 +235,12 @@ impl Relocatable for TensorNetwork {
 
     fn gc_relocate(&mut self, r: &Relocations) {
         self.relocate(r);
+    }
+
+    fn gc_restore(&mut self, m: &TddManager, ids: &mut std::slice::Iter<'_, RootId>) {
+        for t in self.tensors.iter_mut() {
+            t.gc_restore(m, ids);
+        }
     }
 }
 

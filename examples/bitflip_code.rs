@@ -15,17 +15,18 @@ use qits_tdd::TddManager;
 fn main() {
     let mut m = TddManager::new();
     let spec = generators::bitflip_code();
-    let qts = QuantumTransitionSystem::from_spec(&mut m, &spec);
+    let mut qts = QuantumTransitionSystem::from_spec(&mut m, &spec);
     println!(
         "bit-flip code: {} operations, initial dim {}",
         qts.operations().len(),
         qts.initial().dim()
     );
 
+    let (ops, initial) = qts.parts_mut();
     let (img, stats) = image(
         &mut m,
-        qts.operations(),
-        qts.initial(),
+        &ops,
+        initial,
         Strategy::Contraction { k1: 3, k2: 2 },
     );
     println!(

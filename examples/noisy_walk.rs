@@ -18,7 +18,8 @@ fn main() {
     let strategy = Strategy::Contraction { k1: 2, k2: 2 };
 
     // One step from |0>|000>: expect span{|0>|111>, |1>|001>}.
-    let (img, stats) = image(&mut m, qts.operations(), qts.initial(), strategy);
+    let (ops, initial) = qts.parts_mut();
+    let (img, stats) = image(&mut m, &ops, initial, strategy);
     println!(
         "one-step image dim {} (max #node {}, {:?})",
         img.dim(),

@@ -26,7 +26,8 @@ fn main() {
         Strategy::Addition { k: 1 },
         Strategy::Contraction { k1: 4, k2: 4 },
     ] {
-        let (img, stats) = image(&mut m, qts.operations(), qts.initial(), strategy);
+        let (ops, initial) = qts.parts_mut();
+        let (img, stats) = image(&mut m, &ops, initial, strategy);
         let invariant = img.equals(&mut m, qts.initial());
         println!(
             "{strategy:<24} image dim {dim}  max #node {nodes:<6}  time {t:?}  \
@@ -52,10 +53,11 @@ fn main() {
     assert!(out.reclaimed > 0, "three image computations leave garbage");
 
     // The relocated system is fully usable: re-verify the invariant.
+    let (ops, initial) = qts.parts_mut();
     let (img, _) = image(
         &mut m,
-        qts.operations(),
-        qts.initial(),
+        &ops,
+        initial,
         Strategy::Contraction { k1: 4, k2: 4 },
     );
     assert!(img.equals(&mut m, qts.initial()));

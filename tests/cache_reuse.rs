@@ -9,11 +9,12 @@ use qits_tdd::TddManager;
 #[test]
 fn second_contraction_image_hits_the_cache() {
     let mut m = TddManager::new();
-    let qts = QuantumTransitionSystem::from_spec(&mut m, &generators::grover(3));
+    let mut qts = QuantumTransitionSystem::from_spec(&mut m, &generators::grover(3));
     let strategy = Strategy::Contraction { k1: 2, k2: 2 };
 
-    let (img1, stats1) = image(&mut m, qts.operations(), qts.initial(), strategy);
-    let (img2, stats2) = image(&mut m, qts.operations(), qts.initial(), strategy);
+    let (ops, initial) = qts.parts_mut();
+    let (img1, stats1) = image(&mut m, &ops, initial, strategy);
+    let (img2, stats2) = image(&mut m, &ops, initial, strategy);
 
     assert!(img1.equals(&mut m, &img2), "same computation, same image");
     assert!(
@@ -40,12 +41,13 @@ fn contraction_partition_reuses_within_a_single_run() {
     // nonzero hit rate already within one image() call (Grover's initial
     // subspace has dimension 2).
     let mut m = TddManager::new();
-    let qts = QuantumTransitionSystem::from_spec(&mut m, &generators::grover(3));
+    let mut qts = QuantumTransitionSystem::from_spec(&mut m, &generators::grover(3));
     assert!(qts.initial().dim() >= 2, "need >= 2 basis states for reuse");
+    let (ops, initial) = qts.parts_mut();
     let (_, stats) = image(
         &mut m,
-        qts.operations(),
-        qts.initial(),
+        &ops,
+        initial,
         Strategy::Contraction { k1: 2, k2: 2 },
     );
     assert!(
@@ -65,8 +67,9 @@ fn image_stats_cache_counters_cover_all_strategies() {
         Strategy::AdditionParallel { k: 1 },
     ] {
         let mut m = TddManager::new();
-        let qts = QuantumTransitionSystem::from_spec(&mut m, &generators::ghz(4));
-        let (_, stats) = image(&mut m, qts.operations(), qts.initial(), strategy);
+        let mut qts = QuantumTransitionSystem::from_spec(&mut m, &generators::ghz(4));
+        let (ops, initial) = qts.parts_mut();
+        let (_, stats) = image(&mut m, &ops, initial, strategy);
         assert!(
             stats.cont_cache.lookups() > 0,
             "{strategy}: image() must exercise the contraction cache"
@@ -84,13 +87,15 @@ fn caching_disabled_computes_the_same_image() {
     let strategy = Strategy::Contraction { k1: 2, k2: 2 };
 
     let mut cached = TddManager::new();
-    let qts_c = QuantumTransitionSystem::from_spec(&mut cached, &generators::grover(3));
-    let (img_c, stats_c) = image(&mut cached, qts_c.operations(), qts_c.initial(), strategy);
+    let mut qts_c = QuantumTransitionSystem::from_spec(&mut cached, &generators::grover(3));
+    let (ops_c, initial_c) = qts_c.parts_mut();
+    let (img_c, stats_c) = image(&mut cached, &ops_c, initial_c, strategy);
 
     let mut plain = TddManager::new();
     plain.set_cache_capacity(0);
-    let qts_p = QuantumTransitionSystem::from_spec(&mut plain, &generators::grover(3));
-    let (img_p, stats_p) = image(&mut plain, qts_p.operations(), qts_p.initial(), strategy);
+    let mut qts_p = QuantumTransitionSystem::from_spec(&mut plain, &generators::grover(3));
+    let (ops_p, initial_p) = qts_p.parts_mut();
+    let (img_p, stats_p) = image(&mut plain, &ops_p, initial_p, strategy);
 
     assert_eq!(img_c.dim(), img_p.dim());
     assert_eq!(stats_c.output_dim, stats_p.output_dim);

@@ -105,7 +105,8 @@ proptest! {
         let init = Subspace::from_states(&mut m, 3, &states);
         let op = Operation::from_circuit("rand", &circuit);
         let mut qts = QuantumTransitionSystem::new(3, vec![op], init);
-        let (mut img, _) = image(&mut m, qts.operations(), qts.initial(), Strategy::Basic);
+        let (ops, initial) = qts.parts_mut();
+        let (mut img, _) = image(&mut m, &ops, initial, Strategy::Basic);
         let probe = m.product_ket(&vars, &probe_amps);
 
         let in_image_before = img.contains(&mut m, probe);
@@ -119,7 +120,8 @@ proptest! {
         prop_assert_eq!(qts.initial().clone().contains(&mut m, probe), in_initial_before);
         // The image is still the image: recomputing it on the relocated
         // system agrees with the relocated copy.
-        let (img2, _) = image(&mut m, qts.operations(), qts.initial(), Strategy::Basic);
+        let (ops, initial) = qts.parts_mut();
+        let (img2, _) = image(&mut m, &ops, initial, Strategy::Basic);
         prop_assert!(img2.equals(&mut m, &img));
     }
 }
@@ -132,10 +134,11 @@ fn aggressive_gc_keeps_arena_bounded_by_live_set() {
     let mut m = TddManager::new();
     let mut qts = QuantumTransitionSystem::from_spec(&mut m, &generators::qrw(3, 0.4));
     let strategy = Strategy::Contraction { k1: 2, k2: 2 };
+    let ops = qts.operations_handle();
     let mut space = qts.initial().clone();
     let mut collected = 0u64;
     for _ in 0..10 {
-        let (img, _) = image(&mut m, qts.operations(), &space, strategy);
+        let (img, _) = image(&mut m, &ops, &mut space, strategy);
         space = space.join(&mut m, &img);
         // Force a collection every iteration, as aggressively as possible.
         let mut roots = qts.protect(&mut m);
@@ -157,7 +160,7 @@ fn aggressive_gc_keeps_arena_bounded_by_live_set() {
     }
     assert!(collected > 0, "ten iterations must reclaim something");
     // The relocated fixpoint state is still sound.
-    let (img, _) = image(&mut m, qts.operations(), &space, strategy);
+    let (img, _) = image(&mut m, &ops, &mut space, strategy);
     assert!(img.is_subspace_of(&mut m, &space) || space.join(&mut m, &img).dim() > space.dim());
 }
 
@@ -230,22 +233,24 @@ fn parallel_workers_collect_under_policy() {
     let spec = generators::grover(4);
 
     let mut m_plain = TddManager::new();
-    let qts_plain = QuantumTransitionSystem::from_spec(&mut m_plain, &spec);
+    let mut qts_plain = QuantumTransitionSystem::from_spec(&mut m_plain, &spec);
+    let (ops_plain, initial_plain) = qts_plain.parts_mut();
     let (img_plain, stats_plain) = image(
         &mut m_plain,
-        qts_plain.operations(),
-        qts_plain.initial(),
+        &ops_plain,
+        initial_plain,
         Strategy::AdditionParallel { k: 2 },
     );
     assert_eq!(stats_plain.reclaimed_nodes, 0);
 
     let mut m_gc = TddManager::new();
     m_gc.set_gc_policy(Some(GcPolicy::aggressive()));
-    let qts_gc = QuantumTransitionSystem::from_spec(&mut m_gc, &spec);
+    let mut qts_gc = QuantumTransitionSystem::from_spec(&mut m_gc, &spec);
+    let (ops_gc, initial_gc) = qts_gc.parts_mut();
     let (img_gc, stats_gc) = image(
         &mut m_gc,
-        qts_gc.operations(),
-        qts_gc.initial(),
+        &ops_gc,
+        initial_gc,
         Strategy::AdditionParallel { k: 2 },
     );
     assert!(

@@ -1,0 +1,279 @@
+//! In-image GC safepoint integration tests.
+//!
+//! The serial Table-I strategies poll safepoints between addition slices,
+//! between contraction blocks, and after every Gram–Schmidt residual.
+//! These tests force a collection at **every** safepoint (the aggressive
+//! policy collects whenever anything was allocated) and check that
+//!
+//! * `image()` results are bit-for-bit identical to the GC-off run across
+//!   random circuits and strategies,
+//! * peak arena occupancy of a serial addition-partition `image()` stays
+//!   measurably below the grow-only baseline (the memory win the ROADMAP
+//!   follow-up asked for), and
+//! * unrelated structures pinned across the call survive every mid-image
+//!   collection.
+
+use proptest::prelude::*;
+// `qits::Strategy` shadows the proptest trait of the same name.
+use proptest::strategy::Strategy as _;
+
+use qits::{image, QuantumTransitionSystem, Strategy, Subspace};
+use qits_circuit::{generators, Circuit, Gate, Operation};
+use qits_num::Cplx;
+use qits_tdd::{GcPolicy, Relocatable, TddManager};
+
+fn arb_gate(n: u32) -> impl proptest::strategy::Strategy<Value = Gate> {
+    let q = 0..n;
+    prop_oneof![
+        q.clone().prop_map(Gate::h),
+        q.clone().prop_map(Gate::x),
+        q.clone().prop_map(Gate::z),
+        (q.clone(), 0.0..std::f64::consts::TAU).prop_map(|(q, t)| Gate::phase(q, t)),
+        (q.clone(), q.clone())
+            .prop_filter_map("distinct", |(a, b)| (a != b).then(|| Gate::cx(a, b))),
+        (q.clone(), q.clone())
+            .prop_filter_map("distinct", |(a, b)| (a != b).then(|| Gate::cz(a, b))),
+    ]
+}
+
+fn arb_circuit(n: u32, max_len: usize) -> impl proptest::strategy::Strategy<Value = Circuit> {
+    proptest::collection::vec(arb_gate(n), 1..=max_len).prop_map(move |gates| {
+        let mut c = Circuit::new(n);
+        for g in gates {
+            c.push(g);
+        }
+        c
+    })
+}
+
+fn arb_amp() -> impl proptest::strategy::Strategy<Value = (Cplx, Cplx)> {
+    (0.0..std::f64::consts::PI, 0.0..std::f64::consts::TAU).prop_map(|(theta, phi)| {
+        (
+            Cplx::real((theta / 2.0).cos()),
+            Cplx::from_polar((theta / 2.0).sin(), phi),
+        )
+    })
+}
+
+/// Builds the same random system twice — once per manager — so the GC-on
+/// and GC-off runs start from identical state.
+fn build_qts(
+    m: &mut TddManager,
+    n: u32,
+    circuit: &Circuit,
+    amps: &[Vec<(Cplx, Cplx)>],
+) -> QuantumTransitionSystem {
+    let vars = Subspace::ket_vars(n);
+    let states: Vec<_> = amps.iter().map(|a| m.product_ket(&vars, a)).collect();
+    let init = Subspace::from_states(m, n, &states);
+    let op = Operation::from_circuit("rand", circuit);
+    QuantumTransitionSystem::new(n, vec![op], init)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Collecting at every safepoint leaves `image()` bit-for-bit
+    /// identical to the GC-off run: same dimension, and every basis
+    /// vector imports to the *exact same canonical edge* (hash-consing
+    /// makes equal tensors equal edges, so this is equality of the
+    /// diagrams themselves, not merely of the spanned subspace).
+    #[test]
+    fn collect_at_every_safepoint_is_invisible(
+        circuit in arb_circuit(3, 8),
+        amps in proptest::collection::vec(proptest::collection::vec(arb_amp(), 3), 1..3),
+    ) {
+        for strategy in [
+            Strategy::Basic,
+            Strategy::Addition { k: 1 },
+            Strategy::Addition { k: 2 },
+            Strategy::Contraction { k1: 2, k2: 1 },
+            Strategy::Contraction { k1: 1, k2: 2 },
+        ] {
+            let mut m_plain = TddManager::new();
+            let mut qts_plain = build_qts(&mut m_plain, 3, &circuit, &amps);
+            let (ops, initial) = qts_plain.parts_mut();
+            let (img_plain, st_plain) = image(&mut m_plain, &ops, initial, strategy);
+            prop_assert_eq!(st_plain.safepoint_collections, 0);
+
+            let mut m_gc = TddManager::new();
+            m_gc.set_gc_policy(Some(GcPolicy::aggressive()));
+            let mut qts_gc = build_qts(&mut m_gc, 3, &circuit, &amps);
+            let input_dim = qts_gc.initial().dim();
+            let (ops, initial) = qts_gc.parts_mut();
+            let (img_gc, st_gc) = image(&mut m_gc, &ops, initial, strategy);
+            // The basic method's only polls are between Gram–Schmidt
+            // residuals, and the final one is skipped: a dimension-1
+            // input legitimately polls zero times there.
+            if !matches!(strategy, Strategy::Basic) || input_dim > 1 {
+                prop_assert!(st_gc.safepoints > 0, "{}: no safepoint polled", strategy);
+            }
+
+            prop_assert_eq!(
+                img_plain.dim(), img_gc.dim(),
+                "{}: dimension changed under forced safepoint collection", strategy
+            );
+            for (&b_plain, &b_gc) in img_plain.basis().iter().zip(img_gc.basis()) {
+                let imported = m_plain.import(&m_gc, b_gc);
+                prop_assert_eq!(
+                    imported, b_plain,
+                    "{}: basis vector differs bit-for-bit", strategy
+                );
+            }
+            // The relocated input is intact too.
+            for (&i_plain, &i_gc) in
+                qts_plain.initial().basis().iter().zip(qts_gc.initial().basis())
+            {
+                let imported = m_plain.import(&m_gc, i_gc);
+                prop_assert_eq!(imported, i_plain, "{}: input corrupted", strategy);
+            }
+        }
+    }
+}
+
+/// Acceptance regression: with the aggressive policy, peak arena
+/// occupancy during a serial addition-partition `image()` on the
+/// reachability example's systems stays measurably below the grow-only
+/// baseline, with bit-for-bit identical results.
+#[test]
+fn addition_safepoints_cut_peak_arena_below_grow_only() {
+    for spec in [generators::grover(4), generators::qrw(4, 0.1)] {
+        let strategy = Strategy::Addition { k: 1 };
+
+        let mut m_plain = TddManager::new();
+        let mut qts_plain = QuantumTransitionSystem::from_spec(&mut m_plain, &spec);
+        let (ops, initial) = qts_plain.parts_mut();
+        let (img_plain, st_plain) = image(&mut m_plain, &ops, initial, strategy);
+
+        let mut m_gc = TddManager::new();
+        m_gc.set_gc_policy(Some(GcPolicy::aggressive()));
+        let mut qts_gc = QuantumTransitionSystem::from_spec(&mut m_gc, &spec);
+        let (ops, initial) = qts_gc.parts_mut();
+        let (img_gc, st_gc) = image(&mut m_gc, &ops, initial, strategy);
+
+        assert!(
+            st_gc.safepoint_collections > 0,
+            "{}: safepoints must collect",
+            spec.name
+        );
+        assert!(
+            st_gc.safepoint_reclaimed > 0,
+            "{}: safepoints must reclaim",
+            spec.name
+        );
+        assert!(
+            st_gc.peak_arena < st_plain.peak_arena,
+            "{}: peak arena must drop below the grow-only baseline: {} vs {}",
+            spec.name,
+            st_gc.peak_arena,
+            st_plain.peak_arena
+        );
+        // Bit-for-bit agreement of the images.
+        assert_eq!(img_plain.dim(), img_gc.dim(), "{}", spec.name);
+        for (&b_plain, &b_gc) in img_plain.basis().iter().zip(img_gc.basis()) {
+            let imported = m_plain.import(&m_gc, b_gc);
+            assert_eq!(imported, b_plain, "{}: image differs", spec.name);
+        }
+    }
+}
+
+/// The same regression for the contraction partition: per-block and
+/// per-residual safepoints keep the arena below the grow-only peak.
+#[test]
+fn contraction_safepoints_cut_peak_arena_below_grow_only() {
+    let spec = generators::qrw(4, 0.1);
+    let strategy = Strategy::Contraction { k1: 2, k2: 2 };
+
+    let mut m_plain = TddManager::new();
+    let mut qts_plain = QuantumTransitionSystem::from_spec(&mut m_plain, &spec);
+    let (ops, initial) = qts_plain.parts_mut();
+    let (_, st_plain) = image(&mut m_plain, &ops, initial, strategy);
+
+    let mut m_gc = TddManager::new();
+    m_gc.set_gc_policy(Some(GcPolicy::aggressive()));
+    let mut qts_gc = QuantumTransitionSystem::from_spec(&mut m_gc, &spec);
+    let (ops, initial) = qts_gc.parts_mut();
+    let (_, st_gc) = image(&mut m_gc, &ops, initial, strategy);
+
+    assert!(st_gc.safepoint_collections > 0);
+    assert!(
+        st_gc.peak_arena < st_plain.peak_arena,
+        "peak arena must drop below the grow-only baseline: {} vs {}",
+        st_gc.peak_arena,
+        st_plain.peak_arena
+    );
+}
+
+/// A subspace that is neither the image input nor its output survives
+/// in-image safepoint collections when pinned — the contract the fixpoint
+/// drivers rely on — and unpin restores it exactly.
+#[test]
+fn pinned_bystander_survives_in_image_collections() {
+    let mut m = TddManager::new();
+    m.set_gc_policy(Some(GcPolicy::aggressive()));
+    let spec = generators::qrw(4, 0.1);
+    let mut qts = QuantumTransitionSystem::from_spec(&mut m, &spec);
+
+    // An unrelated subspace living on the same manager.
+    let vars = Subspace::ket_vars(4);
+    let b0 = m.basis_ket(&vars, &[false, true, false, true]);
+    let b1 = m.basis_ket(&vars, &[true, true, false, false]);
+    let mut bystander = Subspace::from_states(&mut m, 4, &[b0, b1]);
+
+    let (ops, _) = qts.parts_mut();
+    let mut input = qts.initial().clone();
+    let (img, st) = {
+        let mut pinned: Vec<&mut dyn Relocatable> = vec![&mut qts, &mut bystander];
+        let pins = m.pin(&mut pinned);
+        let result = image(&mut m, &ops, &mut input, Strategy::Addition { k: 1 });
+        m.unpin(pins, &mut pinned);
+        result
+    };
+    assert!(
+        st.safepoint_collections > 0,
+        "test must actually exercise mid-image collections"
+    );
+    assert!(img.dim() > 0);
+
+    // The bystander was relocated, not corrupted: still dimension 2,
+    // still contains exactly its generators.
+    assert_eq!(bystander.dim(), 2);
+    let b0_again = m.basis_ket(&vars, &[false, true, false, true]);
+    let b1_again = m.basis_ket(&vars, &[true, true, false, false]);
+    let b2_other = m.basis_ket(&vars, &[true, true, true, true]);
+    assert!(bystander.contains(&mut m, b0_again));
+    assert!(bystander.contains(&mut m, b1_again));
+    assert!(!bystander.contains(&mut m, b2_other));
+    // And the pinned transition system still denotes its initial space.
+    let fresh = {
+        let states: Vec<_> = spec
+            .initial_states
+            .iter()
+            .map(|amps| m.product_ket(&vars, amps))
+            .collect();
+        Subspace::from_states(&mut m, 4, &states)
+    };
+    assert!(qts.initial().clone().equals(&mut m, &fresh));
+    assert_eq!(m.root_count(), 0, "unpin must release every root");
+}
+
+/// The fixpoint drivers fold in-image safepoint collections into their
+/// reported totals: an aggressive-GC reachability run shows collections
+/// both between iterations and inside images, and per-iteration stats
+/// carry the safepoint counters.
+#[test]
+fn reachability_reports_in_image_safepoint_collections() {
+    let mut m = TddManager::new();
+    m.set_gc_policy(Some(GcPolicy::aggressive()));
+    let mut qts = QuantumTransitionSystem::from_spec(&mut m, &generators::qrw(3, 0.4));
+    let r = qits::mc::reachable_space(&mut m, &mut qts, Strategy::Addition { k: 1 }, 20);
+    assert!(r.converged);
+    assert!(r.collections > 0);
+    assert!(r.reclaimed_nodes > 0);
+    let in_image: u64 = r.stats.iter().map(|s| s.safepoint_collections).sum();
+    assert!(in_image > 0, "image() calls must have collected internally");
+    assert!(
+        r.collections as u64 >= in_image,
+        "driver totals must include the in-image collections"
+    );
+}

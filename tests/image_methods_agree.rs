@@ -38,7 +38,8 @@ fn check_all_agree_inner(spec: &QtsSpec, force_gc: bool) {
     let mut qts = QuantumTransitionSystem::from_spec(&mut m, spec);
     let mut reference: Option<Subspace> = None;
     for s in strategies() {
-        let (mut img, stats) = image(&mut m, qts.operations(), qts.initial(), s);
+        let (ops, initial) = qts.parts_mut();
+        let (mut img, stats) = image(&mut m, &ops, initial, s);
         assert_eq!(img.dim(), stats.output_dim);
         if force_gc {
             let mut holders: Vec<&mut dyn qits_tdd::Relocatable> = vec![&mut qts, &mut img];
@@ -114,11 +115,12 @@ fn grover_all_strategies_agree_with_forced_gc() {
 fn grover_invariance_at_moderate_size() {
     // T(S) = S scales with the register: check at 7 qubits.
     let mut m = TddManager::new();
-    let qts = QuantumTransitionSystem::from_spec(&mut m, &generators::grover(7));
+    let mut qts = QuantumTransitionSystem::from_spec(&mut m, &generators::grover(7));
+    let (ops, initial) = qts.parts_mut();
     let (img, _) = image(
         &mut m,
-        qts.operations(),
-        qts.initial(),
+        &ops,
+        initial,
         Strategy::Contraction { k1: 4, k2: 4 },
     );
     assert!(img.equals(&mut m, qts.initial()));
@@ -128,7 +130,8 @@ fn grover_invariance_at_moderate_size() {
 fn image_dim_is_bounded_by_branches_times_input_dim() {
     let mut m = TddManager::new();
     let spec = generators::qrw(4, 0.2);
-    let qts = QuantumTransitionSystem::from_spec(&mut m, &spec);
-    let (img, stats) = image(&mut m, qts.operations(), qts.initial(), Strategy::Basic);
+    let mut qts = QuantumTransitionSystem::from_spec(&mut m, &spec);
+    let (ops, initial) = qts.parts_mut();
+    let (img, stats) = image(&mut m, &ops, initial, Strategy::Basic);
     assert!(img.dim() <= stats.branches * qts.initial().dim());
 }

@@ -13,9 +13,10 @@ const STRATEGY: Strategy = Strategy::Contraction { k1: 3, k2: 2 };
 #[test]
 fn grover_iteration_preserves_its_invariant_subspace() {
     let mut m = TddManager::new();
-    let qts = QuantumTransitionSystem::from_spec(&mut m, &generators::grover(3));
+    let mut qts = QuantumTransitionSystem::from_spec(&mut m, &generators::grover(3));
     assert_eq!(qts.initial().dim(), 2);
-    let (img, _) = image(&mut m, qts.operations(), qts.initial(), STRATEGY);
+    let (ops, initial) = qts.parts_mut();
+    let (img, _) = image(&mut m, &ops, initial, STRATEGY);
     assert!(img.equals(&mut m, qts.initial()));
 }
 
@@ -28,8 +29,9 @@ fn grover_iteration_image_of_single_state() {
     let vars = Subspace::ket_vars(3);
     let ppm = m.product_ket(&vars, &[states::PLUS, states::PLUS, states::MINUS]);
     let single = Subspace::from_states(&mut m, 3, &[ppm]);
-    let qts = QuantumTransitionSystem::new(3, spec.operations.clone(), single);
-    let (img, _) = image(&mut m, qts.operations(), qts.initial(), STRATEGY);
+    let mut qts = QuantumTransitionSystem::new(3, spec.operations.clone(), single);
+    let (ops, initial) = qts.parts_mut();
+    let (img, _) = image(&mut m, &ops, initial, STRATEGY);
     // One Grover iteration of |++-> is exactly |11-> (marked state found).
     let oom = m.product_ket(&vars, &[states::ONE, states::ONE, states::MINUS]);
     assert_eq!(img.dim(), 1);
@@ -41,8 +43,9 @@ fn grover_iteration_image_of_single_state() {
 #[test]
 fn bitflip_code_corrects_single_errors() {
     let mut m = TddManager::new();
-    let qts = QuantumTransitionSystem::from_spec(&mut m, &generators::bitflip_code());
-    let (img, _) = image(&mut m, qts.operations(), qts.initial(), STRATEGY);
+    let mut qts = QuantumTransitionSystem::from_spec(&mut m, &generators::bitflip_code());
+    let (ops, initial) = qts.parts_mut();
+    let (img, _) = image(&mut m, &ops, initial, STRATEGY);
     // Expected: data |000> with the three firing syndromes.
     let vars = Subspace::ket_vars(6);
     let expected_states: Vec<_> = [
@@ -66,8 +69,9 @@ fn bitflip_code_no_error_passes_through() {
     let vars = Subspace::ket_vars(6);
     let clean = m.basis_ket(&vars, &[false; 6]);
     let init = Subspace::from_states(&mut m, 6, &[clean]);
-    let qts = QuantumTransitionSystem::new(6, spec.operations.clone(), init);
-    let (img, _) = image(&mut m, qts.operations(), qts.initial(), STRATEGY);
+    let mut qts = QuantumTransitionSystem::new(6, spec.operations.clone(), init);
+    let (ops, initial) = qts.parts_mut();
+    let (img, _) = image(&mut m, &ops, initial, STRATEGY);
     assert_eq!(img.dim(), 1);
     let expected = m.basis_ket(&vars, &[false; 6]); // syndrome 000
     assert!(img.contains(&mut m, expected));
@@ -89,8 +93,9 @@ fn noisy_walk_single_step_images() {
             .collect();
         let start = m.basis_ket(&vars, &bits);
         let init = Subspace::from_states(&mut m, 4, &[start]);
-        let qts = QuantumTransitionSystem::new(4, spec.operations.clone(), init);
-        let (img, _) = image(&mut m, qts.operations(), qts.initial(), STRATEGY);
+        let mut qts = QuantumTransitionSystem::new(4, spec.operations.clone(), init);
+        let (ops, initial) = qts.parts_mut();
+        let (img, _) = image(&mut m, &ops, initial, STRATEGY);
 
         let down = (i + 7) % 8;
         let up = (i + 1) % 8;
@@ -127,8 +132,9 @@ fn noisy_walk_subspace_independent_of_noise_probability() {
     let mut m = TddManager::new();
     let mut images = Vec::new();
     for p in [0.05, 0.5, 0.95] {
-        let qts = QuantumTransitionSystem::from_spec(&mut m, &generators::qrw(4, p));
-        let (img, _) = image(&mut m, qts.operations(), qts.initial(), STRATEGY);
+        let mut qts = QuantumTransitionSystem::from_spec(&mut m, &generators::qrw(4, p));
+        let (ops, initial) = qts.parts_mut();
+        let (img, _) = image(&mut m, &ops, initial, STRATEGY);
         images.push(img);
     }
     assert!(images[0].equals(&mut m, &images[1]));

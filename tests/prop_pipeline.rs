@@ -97,7 +97,7 @@ proptest! {
         let psi = m.product_ket(&vars, &amps);
         let init = Subspace::from_states(&mut m, n, &[psi]);
         let op = Operation::from_circuit("rand", &circuit);
-        let qts = QuantumTransitionSystem::new(n, vec![op], init);
+        let mut qts = QuantumTransitionSystem::new(n, vec![op], init);
 
         // Dense reference.
         let dense_in = sim::product_state(&amps);
@@ -110,7 +110,8 @@ proptest! {
             Strategy::Contraction { k1: 2, k2: 1 },
             Strategy::Contraction { k1: 1, k2: 2 },
         ] {
-            let (img, _) = image(&mut m, qts.operations(), qts.initial(), strategy);
+            let (ops, initial) = qts.parts_mut();
+            let (img, _) = image(&mut m, &ops, initial, strategy);
             prop_assert_eq!(img.dim(), expect.len(), "dim mismatch ({})", strategy);
             for &b in img.basis() {
                 let v = dense_of_ket(&m, n, b);

@@ -28,9 +28,10 @@ fn iterates_are_monotone() {
     let qts = QuantumTransitionSystem::from_spec(&mut m, &generators::qrw(4, 0.2));
     let strategy = Strategy::Contraction { k1: 2, k2: 2 };
     // Manually unroll the iteration, checking S_i <= S_{i+1}.
+    let ops = qts.operations_handle();
     let mut space = qts.initial().clone();
     for _ in 0..6 {
-        let (img, _) = qits::image(&mut m, qts.operations(), &space, strategy);
+        let (img, _) = qits::image(&mut m, &ops, &mut space, strategy);
         let joined = space.join(&mut m, &img);
         assert!(space.is_subspace_of(&mut m, &joined));
         if joined.dim() == space.dim() {
