@@ -60,13 +60,13 @@ fn gc_overhead_parallel_workers(c: &mut Criterion) {
     for (label, policy) in [("off", None), ("aggressive", Some(GcPolicy::aggressive()))] {
         group.bench_with_input(BenchmarkId::new("grover8", label), &policy, |b, p| {
             b.iter(|| {
-                use qits::{image, QuantumTransitionSystem};
-                use qits_tdd::TddManager;
-                let mut m = TddManager::new();
-                m.set_gc_policy(*p);
-                let mut qts = QuantumTransitionSystem::from_spec(&mut m, &spec);
-                let (ops, initial) = qts.parts_mut();
-                image(&mut m, &ops, initial, Strategy::AdditionParallel { k: 2 })
+                use qits::EngineBuilder;
+                let mut engine = EngineBuilder::new()
+                    .gc_policy(*p)
+                    .strategy(Strategy::AdditionParallel { k: 2 })
+                    .build_from_spec(&spec)
+                    .expect("benchmark spec must form a valid system");
+                engine.image().expect("bench image must compute")
             })
         });
     }

@@ -20,8 +20,8 @@
 use std::time::Duration;
 
 use qits_bench::{
-    ci_report_json, fmt_count, fmt_secs, maybe_run_one, run_case_subprocess, run_image_gc,
-    spec_for, strategy_for, CiRow, METHODS,
+    auto_selected, ci_report_json, fmt_count, fmt_secs, maybe_run_one, run_case_subprocess,
+    run_image_gc, spec_for, strategy_for, CiRow, METHODS,
 };
 use qits_tdd::GcPolicy;
 
@@ -195,9 +195,10 @@ fn run_ci_smoke(timeout: Duration) -> i32 {
             eprintln!("ci: FAIL {family}{n}/{method}: no safepoint polled");
             return 1;
         }
+        let auto = auto_selected(family, n);
         println!(
             "ci:   ok  {:.3}s  max#node {}  live/alloc {}/{}  \
-             safepoints {} ({} collected, {} nodes reclaimed)",
+             safepoints {} ({} collected, {} nodes reclaimed)  auto→{}",
             case.secs,
             case.max_nodes,
             case.live_nodes,
@@ -205,6 +206,7 @@ fn run_ci_smoke(timeout: Duration) -> i32 {
             gc.safepoints,
             gc.safepoint_collections,
             gc.safepoint_reclaimed,
+            auto,
         );
         rows.push(CiRow {
             family: family.into(),
@@ -212,6 +214,7 @@ fn run_ci_smoke(timeout: Duration) -> i32 {
             method: method.into(),
             subprocess: case,
             gc,
+            auto_selected: auto,
         });
     }
     let json = ci_report_json(&rows);

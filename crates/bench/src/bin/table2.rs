@@ -9,9 +9,8 @@
 //! moderate (k1, k2) and degrade as both grow (the blocks approach the
 //! monolithic operator).
 
-use qits::{image, QuantumTransitionSystem, Strategy};
+use qits::{EngineBuilder, Strategy};
 use qits_bench::{fmt_count, spec_for};
-use qits_tdd::TddManager;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -44,14 +43,15 @@ fn main() {
     for k1 in 1..=kmax {
         print!("{k1:>5} |");
         for k2 in 1..=kmax {
-            // Fresh manager per cell: no cache sharing between parameter
+            // Fresh session per cell: no cache sharing between parameter
             // settings, matching the paper's per-run measurements. The
             // hit rate reported below is therefore purely within-run
             // reuse (blocks against many basis states).
-            let mut m = TddManager::new();
-            let mut qts = QuantumTransitionSystem::from_spec(&mut m, &spec);
-            let (ops, initial) = qts.parts_mut();
-            let (_, stats) = image(&mut m, &ops, initial, Strategy::Contraction { k1, k2 });
+            let mut engine = EngineBuilder::new()
+                .strategy(Strategy::Contraction { k1, k2 })
+                .build_from_spec(&spec)
+                .expect("benchmark spec must form a valid system");
+            let (_, stats) = engine.image().expect("table cell must compute");
             hit_rates[(k1 - 1) as usize][(k2 - 1) as usize] = stats.cont_hit_rate();
             node_cells[(k1 - 1) as usize][(k2 - 1) as usize] = format!(
                 "{}/{}/{}",

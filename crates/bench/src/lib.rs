@@ -9,9 +9,9 @@
 
 use std::time::Duration;
 
-use qits::{image, mc, ImageStats, QuantumTransitionSystem, Strategy, Subspace};
+use qits::{mc, Auto, Engine, EngineBuilder, ImageStats, ImageStrategy, Strategy, Subspace};
 use qits_circuit::generators::{self, QtsSpec};
-use qits_tdd::{GcPolicy, TddManager};
+use qits_tdd::GcPolicy;
 
 /// Bit-flip probability used for all QRW benchmarks (the paper does not
 /// report its value; the image subspace is independent of it).
@@ -144,65 +144,81 @@ pub fn strategy_for(method: &str) -> Strategy {
     }
 }
 
-/// One measured image computation: builds a fresh manager (with the
-/// default GC watermark installed, so the parallel strategies' workers may
-/// reclaim mid-run), runs the image of the spec's initial subspace, and
-/// finishes with the end-of-run collection a fixpoint driver would do
-/// here — its reclaim count is what the `recl` table column reports.
+/// One measured image computation: builds a fresh engine session (with
+/// the default GC watermark installed, so the parallel strategies'
+/// workers may reclaim mid-run), runs the image of the spec's initial
+/// subspace, and finishes with the end-of-run collection a fixpoint
+/// driver would do here — its reclaim count is what the `recl` table
+/// column reports.
 ///
-/// `live_nodes`/`allocated_nodes`/`elapsed` are snapshotted by `image()`
-/// *before* that final sweep, so the timing and node columns describe the
-/// uncollected run and `reclaimed_nodes` the garbage it left behind.
+/// `live_nodes`/`allocated_nodes`/`elapsed` are snapshotted by the image
+/// kernel *before* that final sweep, so the timing and node columns
+/// describe the uncollected run and `reclaimed_nodes` the garbage it
+/// left behind.
 pub fn run_image(spec: &QtsSpec, strategy: Strategy) -> ImageStats {
-    let mut m = TddManager::new();
-    m.set_gc_policy(Some(GcPolicy::default()));
-    let mut qts = QuantumTransitionSystem::from_spec(&mut m, spec);
-    let (ops, initial) = qts.parts_mut();
-    let (mut img, mut stats) = image(&mut m, &ops, initial, strategy);
-    let out = m.collect_retaining(&mut [&mut qts, &mut img]);
+    let mut engine = EngineBuilder::new()
+        .gc_policy(Some(GcPolicy::default()))
+        .strategy(strategy)
+        .build_from_spec(spec)
+        .expect("benchmark spec must form a valid system");
+    let (mut img, mut stats) = engine.image().expect("benchmark image must compute");
+    let out = engine.collect(&mut [&mut img]);
     stats.reclaimed_nodes += out.reclaimed as u64;
     stats
 }
 
-/// One measured image computation on a fresh manager with an explicit GC
+/// One measured image computation on a fresh session with an explicit GC
 /// policy (`None` = grow-only): the A/B shape behind the peak-arena
 /// regression test and the safepoint counters of `BENCH_ci.json`. No
 /// end-of-run sweep — the stats describe the run exactly as the policy
 /// (and the in-image safepoints) left it.
 pub fn run_image_gc(spec: &QtsSpec, strategy: Strategy, policy: Option<GcPolicy>) -> ImageStats {
-    let mut m = TddManager::new();
-    m.set_gc_policy(policy);
-    let mut qts = QuantumTransitionSystem::from_spec(&mut m, spec);
-    let (ops, initial) = qts.parts_mut();
-    image(&mut m, &ops, initial, strategy).1
+    let mut engine = EngineBuilder::new()
+        .gc_policy(policy)
+        .strategy(strategy)
+        .build_from_spec(spec)
+        .expect("benchmark spec must form a valid system");
+    engine.image().expect("benchmark image must compute").1
 }
 
-/// Like [`run_image`] but also returns the image for validation.
-pub fn run_image_with_result(
-    spec: &QtsSpec,
-    strategy: Strategy,
-) -> (Subspace, ImageStats, TddManager) {
-    let mut m = TddManager::new();
-    let mut qts = QuantumTransitionSystem::from_spec(&mut m, spec);
-    let (ops, initial) = qts.parts_mut();
-    let (img, stats) = image(&mut m, &ops, initial, strategy);
-    (img, stats, m)
+/// Like [`run_image`] but also returns the image and the session that
+/// owns it, for validation.
+pub fn run_image_with_result(spec: &QtsSpec, strategy: Strategy) -> (Subspace, ImageStats, Engine) {
+    let mut engine = EngineBuilder::new()
+        .strategy(strategy)
+        .build_from_spec(spec)
+        .expect("benchmark spec must form a valid system");
+    let (img, stats) = engine.image().expect("benchmark image must compute");
+    (img, stats, engine)
 }
 
-/// One measured reachability fixpoint on a fresh manager, with an optional
-/// GC policy — the workload behind the `gc_overhead` bench and the GC
-/// columns of the table binaries.
+/// One measured reachability fixpoint on a fresh session, with an
+/// optional GC policy — the workload behind the `gc_overhead` bench and
+/// the GC columns of the table binaries.
 pub fn run_reachability(
     spec: &QtsSpec,
     strategy: Strategy,
     max_iterations: usize,
     policy: Option<GcPolicy>,
-) -> (mc::ReachabilityResult, TddManager) {
-    let mut m = TddManager::new();
-    m.set_gc_policy(policy);
-    let mut qts = QuantumTransitionSystem::from_spec(&mut m, spec);
-    let r = mc::reachable_space(&mut m, &mut qts, strategy, max_iterations);
-    (r, m)
+) -> (mc::ReachabilityResult, Engine) {
+    let mut engine = EngineBuilder::new()
+        .gc_policy(policy)
+        .strategy(strategy)
+        .build_from_spec(spec)
+        .expect("benchmark spec must form a valid system");
+    let r = engine
+        .reachable_space(max_iterations)
+        .expect("benchmark fixpoint must run");
+    (r, engine)
+}
+
+/// The kernel the [`Auto`] selector picks for a benchmark instance —
+/// recorded per CI case in `BENCH_ci.json` so the selector's decisions
+/// are tracked as a perf artifact over time.
+pub fn auto_selected(family: &str, n: u32) -> String {
+    let spec = spec_for(family, n);
+    let ops = qits::Operations::new(spec.n_qubits, spec.operations.clone());
+    Auto::default().select(&ops).to_string()
 }
 
 /// Formats a node count compactly (`1234567` → `"1.2M"`), table style.
@@ -334,20 +350,25 @@ pub struct CiRow {
     pub subprocess: CaseMeasurement,
     /// The in-process aggressive-GC measurement with safepoint counters.
     pub gc: ImageStats,
+    /// The kernel the `Auto` strategy selector would run for this
+    /// instance (see [`auto_selected`]) — tracked so selector drift shows
+    /// up in the perf trajectory.
+    pub auto_selected: String,
 }
 
 /// Serialises the CI bench rows as `BENCH_ci.json` (hand-rolled — the
 /// workspace carries no serde). Schema is versioned so downstream
 /// trajectory tooling can evolve it.
 pub fn ci_report_json(rows: &[CiRow]) -> String {
-    let mut out = String::from("{\n  \"schema\": \"qits-bench-ci/1\",\n  \"cases\": [\n");
+    let mut out = String::from("{\n  \"schema\": \"qits-bench-ci/2\",\n  \"cases\": [\n");
     for (i, r) in rows.iter().enumerate() {
         let sub = &r.subprocess;
         let gc = &r.gc;
         out.push_str(&format!(
             concat!(
                 "    {{\n",
-                "      \"family\": \"{}\", \"n\": {}, \"method\": \"{}\",\n",
+                "      \"family\": \"{}\", \"n\": {}, \"method\": \"{}\", ",
+                "\"auto_selected\": \"{}\",\n",
                 "      \"subprocess\": {{\"secs\": {:.6}, \"max_nodes\": {}, ",
                 "\"cont_hit_rate\": {:.6}, \"live_nodes\": {}, ",
                 "\"allocated_nodes\": {}, \"reclaimed_nodes\": {}}},\n",
@@ -360,6 +381,7 @@ pub fn ci_report_json(rows: &[CiRow]) -> String {
             r.family,
             r.n,
             r.method,
+            r.auto_selected,
             sub.secs,
             sub.max_nodes,
             sub.cont_hit_rate,
@@ -488,10 +510,12 @@ mod tests {
                 reclaimed_nodes: stats.reclaimed_nodes,
             },
             gc,
+            auto_selected: auto_selected(family, n),
         }];
         let json = ci_report_json(&rows);
-        assert!(json.contains("\"schema\": \"qits-bench-ci/1\""));
+        assert!(json.contains("\"schema\": \"qits-bench-ci/2\""));
         assert!(json.contains("\"safepoint_collections\""));
+        assert!(json.contains("\"auto_selected\""));
         assert!(json.contains(&format!("\"family\": \"{family}\"")));
         // Balanced braces: crude structural sanity for the hand-rolled JSON.
         assert_eq!(
@@ -505,11 +529,21 @@ mod tests {
     fn reachability_with_gc_matches_without() {
         let spec = spec_for("qrw", 3);
         let strategy = Strategy::Contraction { k1: 2, k2: 2 };
-        let (plain, m_plain) = run_reachability(&spec, strategy, 20, None);
-        let (gc, m_gc) = run_reachability(&spec, strategy, 20, Some(GcPolicy::aggressive()));
+        let (plain, e_plain) = run_reachability(&spec, strategy, 20, None);
+        let (gc, e_gc) = run_reachability(&spec, strategy, 20, Some(GcPolicy::aggressive()));
         assert_eq!(plain.space.dim(), gc.space.dim());
         assert!(gc.reclaimed_nodes > 0);
-        assert!(m_gc.arena_len() < m_plain.arena_len());
+        assert!(e_gc.manager().arena_len() < e_plain.manager().arena_len());
+    }
+
+    #[test]
+    fn auto_selected_matches_the_table_one_crossover() {
+        // Wide-shallow families sit on the addition side, deep ones on
+        // the contraction side.
+        assert!(auto_selected("ghz", 50).starts_with("addition"));
+        assert!(auto_selected("bv", 50).starts_with("addition"));
+        assert!(auto_selected("qft", 9).starts_with("contraction"));
+        assert!(auto_selected("grover-elem", 9).starts_with("contraction"));
     }
 
     #[test]

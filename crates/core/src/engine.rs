@@ -1,0 +1,718 @@
+//! The session facade: one object that owns the manager, the transition
+//! system, the GC policy, and the strategy — so user code never touches
+//! the pin/`parts_mut` ceremony.
+//!
+//! Everything the paper's workflows need — image computation (Section IV
+//! and V), reachability fixpoints and invariant checking (Section I), and
+//! circuit equivalence — previously required the caller to hand-assemble
+//! the machinery: split the system with `parts_mut`, pass `&mut Subspace`
+//! into the kernel, and `pin`/`unpin` every bystander across GC
+//! safepoints. [`Engine`] is the manager-owned-session shape mature
+//! decision-diagram libraries use (OBDDimal's `BDDManager`, rsdd's
+//! builder-owned backends): the session owns all of that state, its
+//! methods return `Result<_, QitsError>` instead of panicking, and root
+//! management is invisible — the engine pins its own system (and any
+//! caller-provided `kept` subspaces) across every collection point.
+//!
+//! Strategy dispatch goes through the [`ImageStrategy`] trait, making the
+//! method set an open extension point: the four built-in kernels (the
+//! [`Strategy`] enum) implement it directly, [`Auto`] picks between the
+//! addition and contraction partitions from circuit shape (the Table I
+//! crossover), and downstream code can implement the trait to plug in new
+//! methods without touching this crate.
+//!
+//! ```
+//! use qits::{EngineBuilder, Strategy};
+//! use qits_circuit::generators;
+//!
+//! let mut engine = EngineBuilder::new()
+//!     .strategy(Strategy::Contraction { k1: 2, k2: 2 })
+//!     .build_from_spec(&generators::grover(3))
+//!     .unwrap();
+//! let (img, stats) = engine.image().unwrap();
+//! let initial = engine.initial().clone();
+//! assert!(img.equals(engine.manager_mut(), &initial));
+//! assert!(stats.cont_hit_rate() > 0.0);
+//! ```
+
+use std::fmt;
+
+use qits_circuit::generators::QtsSpec;
+use qits_circuit::{Circuit, Element, Operation};
+use qits_tdd::{Edge, GcOutcome, GcPolicy, Relocatable, TddManager};
+
+use crate::error::QitsError;
+use crate::image::{try_image, ImageStats, Strategy};
+use crate::mc::{fixpoint_with, ReachabilityResult};
+use crate::qts::{Operations, QuantumTransitionSystem};
+use crate::subspace::Subspace;
+
+/// A pluggable image-computation method.
+///
+/// Implementations pick (or are) a way of computing `T(S)`. The built-in
+/// [`Strategy`] enum implements this trait by running its own kernel;
+/// [`Auto`] implements it by inspecting the operations' circuit shape and
+/// delegating to the kernel Table I says should win. Custom
+/// implementations may override [`ImageStrategy::compute`] entirely —
+/// the engine only ever dispatches through the trait.
+pub trait ImageStrategy: fmt::Debug {
+    /// Human-readable name, used by stats sinks, logs, and the CI perf
+    /// artifact.
+    fn name(&self) -> String;
+
+    /// The built-in kernel this strategy would run for the given
+    /// operations. [`Auto`]'s whole behaviour lives here; fixed
+    /// strategies return themselves. Also the hook the CI artifact uses
+    /// to record which kernel [`Auto`] chose per benchmark instance.
+    fn select(&self, ops: &Operations) -> Strategy;
+
+    /// Computes the image of `input` under `ops`, honouring the manager's
+    /// GC safepoint contract (the default delegates to [`try_image`] with
+    /// the kernel [`ImageStrategy::select`] picks, which polls safepoints
+    /// and relocates `input` in place).
+    fn compute(
+        &self,
+        m: &mut TddManager,
+        ops: &Operations,
+        input: &mut Subspace,
+    ) -> Result<(Subspace, ImageStats), QitsError> {
+        try_image(m, ops, input, self.select(ops))
+    }
+}
+
+impl ImageStrategy for Strategy {
+    fn name(&self) -> String {
+        self.to_string()
+    }
+
+    fn select(&self, _ops: &Operations) -> Strategy {
+        *self
+    }
+}
+
+/// Strategy auto-selection from circuit shape, per Table I's crossover.
+///
+/// The paper's evaluation splits the benchmark families in two: on
+/// **wide, shallow** circuits (GHZ, Bernstein–Vazirani — gate count linear
+/// in the register) the addition partition keeps every slice tiny and is
+/// at least competitive, while on **deep** circuits (Grover iterations,
+/// QFT — gate count superlinear, many crossing gates) the contraction
+/// partition dominates because the monolithic/sliced operator blows up
+/// where per-block pre-contractions stay small. `Auto` measures gates per
+/// qubit across the operation set and picks the side of that crossover.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Auto {
+    /// Slice count exponent handed to [`Strategy::Addition`].
+    pub addition_k: usize,
+    /// Band width handed to [`Strategy::Contraction`].
+    pub k1: u32,
+    /// Segment length handed to [`Strategy::Contraction`].
+    pub k2: u32,
+    /// Gates-per-qubit threshold: at or below it the circuit counts as
+    /// shallow (addition side), above it as deep (contraction side).
+    pub depth_threshold: f64,
+}
+
+impl Default for Auto {
+    /// The paper's Table I parameters (`k = 1`, `k1 = k2 = 4`) with the
+    /// shallow/deep cut at 2.5 gate layers per qubit — GHZ and BV sit
+    /// well below it, Grover and QFT instances well above.
+    fn default() -> Self {
+        Auto {
+            addition_k: 1,
+            k1: 4,
+            k2: 4,
+            depth_threshold: 2.5,
+        }
+    }
+}
+
+impl Auto {
+    /// Mean gates per qubit per operation — the shape statistic the
+    /// selector thresholds. Projectors count one gate per measured qubit;
+    /// a channel counts as a single (noise) gate regardless of arity.
+    pub fn gates_per_qubit(ops: &Operations) -> f64 {
+        let mut gates = 0usize;
+        for op in ops.iter() {
+            for e in op.elements() {
+                gates += match e {
+                    Element::Gate(_) => 1,
+                    Element::Projector { qubits, .. } => qubits.len(),
+                    Element::Channel { .. } => 1,
+                }
+            }
+        }
+        let per_op = gates as f64 / ops.len().max(1) as f64;
+        per_op / f64::from(ops.n_qubits().max(1))
+    }
+}
+
+impl ImageStrategy for Auto {
+    fn name(&self) -> String {
+        format!(
+            "auto(k={},k1={},k2={},depth<={})",
+            self.addition_k, self.k1, self.k2, self.depth_threshold
+        )
+    }
+
+    fn select(&self, ops: &Operations) -> Strategy {
+        if Self::gates_per_qubit(ops) <= self.depth_threshold {
+            Strategy::Addition { k: self.addition_k }
+        } else {
+            Strategy::Contraction {
+                k1: self.k1,
+                k2: self.k2,
+            }
+        }
+    }
+}
+
+/// Callback receiving `(strategy name, stats)` after every image
+/// computation an engine performs (fixpoint iterations included).
+pub type StatsSink = Box<dyn FnMut(&str, &ImageStats)>;
+
+/// Configures and constructs an [`Engine`].
+///
+/// All knobs that used to be scattered over `TddManager` setters and
+/// per-call arguments live here: weight tolerance, operation-cache
+/// capacity, GC policy, the image strategy, and an optional stats sink.
+///
+/// ```
+/// use qits::{Auto, EngineBuilder};
+/// use qits_circuit::generators;
+/// use qits_tdd::GcPolicy;
+///
+/// let engine = EngineBuilder::new()
+///     .tolerance(1e-12)
+///     .cache_capacity(1 << 14)
+///     .gc_policy(Some(GcPolicy::default()))
+///     .strategy(Auto::default())
+///     .build_from_spec(&generators::ghz(4))
+///     .unwrap();
+/// assert_eq!(engine.n_qubits(), 4);
+/// ```
+pub struct EngineBuilder {
+    tolerance: f64,
+    cache_capacity: Option<usize>,
+    gc_policy: Option<GcPolicy>,
+    strategy: Box<dyn ImageStrategy>,
+    sink: Option<StatsSink>,
+}
+
+impl Default for EngineBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EngineBuilder {
+    /// A builder with the default tolerance, default cache capacity, GC
+    /// off, and the [`Auto`] strategy.
+    pub fn new() -> Self {
+        EngineBuilder {
+            tolerance: qits_num::DEFAULT_TOLERANCE,
+            cache_capacity: None,
+            gc_policy: None,
+            strategy: Box::new(Auto::default()),
+            sink: None,
+        }
+    }
+
+    /// Weight tolerance of the session's manager (see
+    /// [`TddManager::with_tolerance`]).
+    pub fn tolerance(mut self, tol: f64) -> Self {
+        self.tolerance = tol;
+        self
+    }
+
+    /// Bounds every operation cache to at most this many entries
+    /// (`0` disables operation caching).
+    pub fn cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = Some(capacity);
+        self
+    }
+
+    /// Installs (or, with `None` — the default — omits) the automatic
+    /// collection policy. With a policy, every safepoint the kernels and
+    /// fixpoint drivers poll may compact the arena; the engine keeps its
+    /// own system and all `kept` subspaces rooted across those
+    /// collections.
+    pub fn gc_policy(mut self, policy: Option<GcPolicy>) -> Self {
+        self.gc_policy = policy;
+        self
+    }
+
+    /// The image strategy the session dispatches through (default:
+    /// [`Auto`]).
+    pub fn strategy(mut self, strategy: impl ImageStrategy + 'static) -> Self {
+        self.strategy = Box::new(strategy);
+        self
+    }
+
+    /// A callback invoked with `(strategy name, stats)` after every image
+    /// computation.
+    pub fn stats_sink(mut self, sink: impl FnMut(&str, &ImageStats) + 'static) -> Self {
+        self.sink = Some(Box::new(sink));
+        self
+    }
+
+    fn make_manager(&self) -> TddManager {
+        TddManager::with_config(self.tolerance, self.cache_capacity, self.gc_policy)
+    }
+
+    /// Builds an engine for a benchmark spec, spanning the initial
+    /// subspace from the spec's product states.
+    pub fn build_from_spec(self, spec: &QtsSpec) -> Result<Engine, QitsError> {
+        let mut m = self.make_manager();
+        let qts = QuantumTransitionSystem::try_from_spec(&mut m, spec)?;
+        Ok(Engine {
+            m,
+            qts,
+            strategy: self.strategy,
+            sink: self.sink,
+        })
+    }
+
+    /// Builds an engine from explicit parts; `initial` constructs the
+    /// initial subspace on the session's fresh manager.
+    pub fn build_with(
+        self,
+        n_qubits: u32,
+        operations: Vec<Operation>,
+        initial: impl FnOnce(&mut TddManager) -> Subspace,
+    ) -> Result<Engine, QitsError> {
+        let mut m = self.make_manager();
+        let init = initial(&mut m);
+        let qts = QuantumTransitionSystem::try_new(n_qubits, operations, init)?;
+        Ok(Engine {
+            m,
+            qts,
+            strategy: self.strategy,
+            sink: self.sink,
+        })
+    }
+
+    /// Builds an engine with no operations and an empty initial subspace —
+    /// a session for workloads that need only the manager, such as
+    /// circuit equivalence checking. Image and reachability methods on
+    /// such an engine return [`QitsError::EmptyOperationSet`].
+    pub fn build_bare(self, n_qubits: u32) -> Result<Engine, QitsError> {
+        self.build_with(n_qubits, Vec::new(), |_| Subspace::zero(n_qubits))
+    }
+}
+
+/// A model-checking session: owns the [`TddManager`], the
+/// [`QuantumTransitionSystem`], the GC policy, and the root bookkeeping
+/// for everything it computes.
+///
+/// Every method returns `Result<_, QitsError>`; nothing here panics on
+/// malformed input, in release builds included. See the module docs for
+/// the design rationale and [`EngineBuilder`] for construction.
+pub struct Engine {
+    m: TddManager,
+    qts: QuantumTransitionSystem,
+    strategy: Box<dyn ImageStrategy>,
+    sink: Option<StatsSink>,
+}
+
+impl fmt::Debug for Engine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Engine")
+            .field("n_qubits", &self.qts.n_qubits())
+            .field("operations", &self.qts.operations().len())
+            .field("initial_dim", &self.qts.initial().dim())
+            .field("strategy", &self.strategy.name())
+            .field("arena_len", &self.m.arena_len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Engine {
+    // ------------------------------------------------------------------
+    // Accessors.
+    // ------------------------------------------------------------------
+
+    /// Register width of the session's system.
+    pub fn n_qubits(&self) -> u32 {
+        self.qts.n_qubits()
+    }
+
+    /// The session's transition system.
+    pub fn qts(&self) -> &QuantumTransitionSystem {
+        &self.qts
+    }
+
+    /// The initial subspace `S0`.
+    pub fn initial(&self) -> &Subspace {
+        self.qts.initial()
+    }
+
+    /// The operations `T_sigma`.
+    pub fn operations(&self) -> &Operations {
+        self.qts.operations()
+    }
+
+    /// The session's manager (read-only).
+    pub fn manager(&self) -> &TddManager {
+        &self.m
+    }
+
+    /// The session's manager. Subspace queries (`equals`, `contains`,
+    /// ...) and ket constructors take `&mut TddManager`; this is the
+    /// handle to pass them. Installing a GC policy or clearing caches
+    /// through it is also fine — the engine re-reads the manager state on
+    /// every call.
+    pub fn manager_mut(&mut self) -> &mut TddManager {
+        &mut self.m
+    }
+
+    /// The configured strategy object.
+    pub fn strategy(&self) -> &dyn ImageStrategy {
+        &*self.strategy
+    }
+
+    /// Replaces the session's strategy.
+    pub fn set_strategy(&mut self, strategy: impl ImageStrategy + 'static) {
+        self.strategy = Box::new(strategy);
+    }
+
+    /// The concrete built-in kernel the configured strategy would run for
+    /// this session's operations — [`Auto`]'s choice made observable.
+    pub fn selected_kernel(&self) -> Strategy {
+        self.strategy.select(self.qts.operations())
+    }
+
+    fn record(&mut self, name: &str, stats: &ImageStats) {
+        if let Some(sink) = self.sink.as_mut() {
+            sink(name, stats);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Image computation.
+    // ------------------------------------------------------------------
+
+    /// Computes `T(S0)`, the image of the system's initial subspace, with
+    /// the session strategy. The initial subspace is relocated in place
+    /// across any mid-image collection; no caller-side rooting needed.
+    pub fn image(&mut self) -> Result<(Subspace, ImageStats), QitsError> {
+        let (ops, initial) = self.qts.parts_mut();
+        let result = self.strategy.compute(&mut self.m, &ops, initial);
+        let name = self.strategy.name();
+        let (img, stats) = result?;
+        self.record(&name, &stats);
+        Ok((img, stats))
+    }
+
+    /// [`Engine::image`] with a one-off strategy override.
+    pub fn image_with(
+        &mut self,
+        strategy: &dyn ImageStrategy,
+    ) -> Result<(Subspace, ImageStats), QitsError> {
+        let (ops, initial) = self.qts.parts_mut();
+        let result = strategy.compute(&mut self.m, &ops, initial);
+        let name = strategy.name();
+        let (img, stats) = result?;
+        self.record(&name, &stats);
+        Ok((img, stats))
+    }
+
+    /// Computes the image of an arbitrary subspace (living on this
+    /// session's manager) under the system's operations. The system's own
+    /// initial subspace is pinned across the call — the rooting dance
+    /// callers previously performed by hand.
+    pub fn image_of(&mut self, input: &mut Subspace) -> Result<(Subspace, ImageStats), QitsError> {
+        self.image_of_keeping(input, &mut [])
+    }
+
+    /// [`Engine::image_of`], additionally keeping `kept` subspaces alive
+    /// and relocated across every mid-image collection (the bystander
+    /// contract: anything on the manager that is neither the input nor in
+    /// `kept` may be swept once a GC policy is installed).
+    pub fn image_of_keeping(
+        &mut self,
+        input: &mut Subspace,
+        kept: &mut [&mut Subspace],
+    ) -> Result<(Subspace, ImageStats), QitsError> {
+        let ops = self.qts.operations().clone();
+        let mut pinned: Vec<&mut dyn Relocatable> = vec![&mut self.qts];
+        pinned.extend(kept.iter_mut().map(|s| &mut **s as &mut dyn Relocatable));
+        let pins = self.m.pin(&mut pinned);
+        let result = self.strategy.compute(&mut self.m, &ops, input);
+        self.m.unpin(pins, &mut pinned);
+        let name = self.strategy.name();
+        let (img, stats) = result?;
+        self.record(&name, &stats);
+        Ok((img, stats))
+    }
+
+    // ------------------------------------------------------------------
+    // Model checking.
+    // ------------------------------------------------------------------
+
+    /// Computes the reachable subspace by iterating `S <- S v T(S)` until
+    /// the dimension stabilises (see [`crate::mc::reachable_space`] for
+    /// the fixpoint semantics). GC roots — the system and the working
+    /// space — are managed internally between and inside iterations.
+    pub fn reachable_space(
+        &mut self,
+        max_iterations: usize,
+    ) -> Result<ReachabilityResult, QitsError> {
+        let r = fixpoint_with(
+            &mut self.m,
+            &mut self.qts,
+            &*self.strategy,
+            max_iterations,
+            &mut [],
+        )?;
+        let name = self.strategy.name();
+        for st in &r.stats {
+            self.record(&name, st);
+        }
+        Ok(r)
+    }
+
+    /// Checks the safety property "every reachable state stays inside
+    /// `invariant`", keeping the invariant rooted and relocated across
+    /// the whole run. Returns the verdict plus the witnessing
+    /// reachability result.
+    pub fn check_invariant(
+        &mut self,
+        invariant: &mut Subspace,
+        max_iterations: usize,
+    ) -> Result<(bool, ReachabilityResult), QitsError> {
+        if invariant.n_qubits() != self.qts.n_qubits() {
+            return Err(QitsError::RegisterMismatch {
+                expected: self.qts.n_qubits(),
+                found: invariant.n_qubits(),
+                context: "the invariant subspace".to_string(),
+            });
+        }
+        let mut kept = [invariant];
+        let r = fixpoint_with(
+            &mut self.m,
+            &mut self.qts,
+            &*self.strategy,
+            max_iterations,
+            &mut kept,
+        )?;
+        let holds = r.space.is_subspace_of(&mut self.m, kept[0]);
+        let name = self.strategy.name();
+        for st in &r.stats {
+            self.record(&name, st);
+        }
+        Ok((holds, r))
+    }
+
+    // ------------------------------------------------------------------
+    // Equivalence checking.
+    // ------------------------------------------------------------------
+
+    /// Whether two circuits implement exactly the same operator (global
+    /// phase included), on this session's manager. The equivalence
+    /// checkers poll a GC safepoint between the two operator
+    /// contractions; the engine pins its own system across the call so a
+    /// collection there cannot sweep the session state.
+    pub fn equivalent(&mut self, a: &Circuit, b: &Circuit) -> Result<bool, QitsError> {
+        let mut pinned: Vec<&mut dyn Relocatable> = vec![&mut self.qts];
+        let pins = self.m.pin(&mut pinned);
+        let result = crate::equiv::try_equivalent_exactly(&mut self.m, a, b);
+        self.m.unpin(pins, &mut pinned);
+        result
+    }
+
+    /// Whether two circuits implement the same operator up to global
+    /// phase. Safepoint rooting matches [`Engine::equivalent`].
+    pub fn equivalent_up_to_phase(&mut self, a: &Circuit, b: &Circuit) -> Result<bool, QitsError> {
+        let mut pinned: Vec<&mut dyn Relocatable> = vec![&mut self.qts];
+        let pins = self.m.pin(&mut pinned);
+        let result = crate::equiv::try_equivalent_up_to_phase(&mut self.m, a, b);
+        self.m.unpin(pins, &mut pinned);
+        result
+    }
+
+    // ------------------------------------------------------------------
+    // Memory management and subspace construction.
+    // ------------------------------------------------------------------
+
+    /// Runs an explicit garbage collection, retaining the session's
+    /// system plus every subspace in `kept` (all relocated in place).
+    /// Anything else on the manager is swept.
+    pub fn collect(&mut self, kept: &mut [&mut Subspace]) -> GcOutcome {
+        let mut holders: Vec<&mut dyn Relocatable> = vec![&mut self.qts];
+        holders.extend(kept.iter_mut().map(|s| &mut **s as &mut dyn Relocatable));
+        self.m.collect_retaining(&mut holders)
+    }
+
+    /// Spans a subspace from states on this session's manager, validating
+    /// that every state fits the session register (the check
+    /// [`Subspace::try_absorb`] performs).
+    pub fn subspace_from_states(&mut self, states: &[Edge]) -> Result<Subspace, QitsError> {
+        let mut s = Subspace::zero(self.qts.n_qubits());
+        for &e in states {
+            s.try_absorb(&mut self.m, e)?;
+        }
+        Ok(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qits_circuit::generators;
+    use qits_tdd::GcPolicy;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn engine_image_matches_initial_invariant() {
+        let mut engine = EngineBuilder::new()
+            .strategy(Strategy::Contraction { k1: 2, k2: 2 })
+            .build_from_spec(&generators::grover(3))
+            .unwrap();
+        let (img, stats) = engine.image().unwrap();
+        assert_eq!(stats.output_dim, img.dim());
+        let initial = engine.initial().clone();
+        assert!(img.equals(engine.manager_mut(), &initial));
+    }
+
+    #[test]
+    fn bare_engine_reports_empty_operation_set() {
+        let mut engine = EngineBuilder::new().build_bare(3).unwrap();
+        assert_eq!(engine.image().unwrap_err(), QitsError::EmptyOperationSet);
+        assert_eq!(
+            engine.reachable_space(10).unwrap_err(),
+            QitsError::EmptyOperationSet
+        );
+    }
+
+    #[test]
+    fn zero_qubit_engine_is_rejected_at_build() {
+        let err = EngineBuilder::new().build_bare(0).unwrap_err();
+        assert_eq!(err, QitsError::ZeroQubitSystem);
+    }
+
+    #[test]
+    fn image_of_mismatched_register_is_an_error_not_a_panic() {
+        let mut engine = EngineBuilder::new()
+            .build_from_spec(&generators::ghz(3))
+            .unwrap();
+        let mut wrong = Subspace::zero(5);
+        let err = engine.image_of(&mut wrong).unwrap_err();
+        assert!(matches!(
+            err,
+            QitsError::RegisterMismatch {
+                expected: 5,
+                found: 3,
+                ..
+            }
+        ));
+        // The engine session stays usable after the error.
+        assert!(engine.image().is_ok());
+    }
+
+    #[test]
+    fn builder_knobs_reach_the_manager() {
+        let engine = EngineBuilder::new()
+            .cache_capacity(0)
+            .gc_policy(Some(GcPolicy::aggressive()))
+            .build_from_spec(&generators::ghz(3))
+            .unwrap();
+        assert_eq!(engine.manager().gc_policy(), Some(GcPolicy::aggressive()));
+        assert_eq!(engine.manager().cache_sizes().total(), 0);
+    }
+
+    #[test]
+    fn stats_sink_sees_every_image_with_the_strategy_name() {
+        let seen: Rc<RefCell<Vec<String>>> = Rc::default();
+        let seen2 = seen.clone();
+        let mut engine = EngineBuilder::new()
+            .strategy(Strategy::Basic)
+            .stats_sink(move |name, stats| {
+                assert!(stats.branches > 0);
+                seen2.borrow_mut().push(name.to_string());
+            })
+            .build_from_spec(&generators::qrw(3, 0.3))
+            .unwrap();
+        engine.image().unwrap();
+        let r = engine.reachable_space(10).unwrap();
+        assert!(r.converged);
+        let names = seen.borrow();
+        assert_eq!(names.len(), 1 + r.iterations);
+        assert!(names.iter().all(|n| n == "basic"));
+    }
+
+    #[test]
+    fn auto_selects_addition_for_wide_and_contraction_for_deep() {
+        let auto = Auto::default();
+        let ghz = generators::ghz(8);
+        let wide = Operations::new(ghz.n_qubits, ghz.operations.clone());
+        assert_eq!(auto.select(&wide), Strategy::Addition { k: 1 });
+        let qft = generators::qft(6);
+        let deep = Operations::new(qft.n_qubits, qft.operations.clone());
+        assert_eq!(auto.select(&deep), Strategy::Contraction { k1: 4, k2: 4 });
+    }
+
+    #[test]
+    fn auto_engine_computes_the_same_image_as_its_selected_kernel() {
+        let spec = generators::ghz(4);
+        let mut auto_engine = EngineBuilder::new()
+            .strategy(Auto::default())
+            .build_from_spec(&spec)
+            .unwrap();
+        let kernel = auto_engine.selected_kernel();
+        let (img_auto, _) = auto_engine.image().unwrap();
+        let mut kernel_engine = EngineBuilder::new()
+            .strategy(kernel)
+            .build_from_spec(&spec)
+            .unwrap();
+        let (img_kernel, _) = kernel_engine.image().unwrap();
+        assert_eq!(img_auto.dim(), img_kernel.dim());
+    }
+
+    #[test]
+    fn image_of_keeping_protects_bystanders_under_gc() {
+        let mut engine = EngineBuilder::new()
+            .gc_policy(Some(GcPolicy::aggressive()))
+            .strategy(Strategy::Addition { k: 1 })
+            .build_from_spec(&generators::qrw(3, 0.2))
+            .unwrap();
+        let vars = Subspace::ket_vars(3);
+        let k = engine.manager_mut().basis_ket(&vars, &[true, false, true]);
+        let mut bystander = engine.subspace_from_states(&[k]).unwrap();
+        let mut input = engine.initial().clone();
+        let (_, stats) = engine
+            .image_of_keeping(&mut input, &mut [&mut bystander])
+            .unwrap();
+        assert!(stats.safepoint_collections > 0, "GC must actually run");
+        assert_eq!(bystander.dim(), 1);
+        let k_again = engine.manager_mut().basis_ket(&vars, &[true, false, true]);
+        let m = engine.manager_mut();
+        assert!(bystander.contains(m, k_again));
+    }
+
+    #[test]
+    fn subspace_from_states_validates_the_register() {
+        let mut engine = EngineBuilder::new()
+            .build_from_spec(&generators::ghz(2))
+            .unwrap();
+        let wide_vars = Subspace::ket_vars(4);
+        let wide = engine
+            .manager_mut()
+            .basis_ket(&wide_vars, &[true, false, false, true]);
+        assert!(matches!(
+            engine.subspace_from_states(&[wide]).unwrap_err(),
+            QitsError::RegisterMismatch { expected: 2, .. }
+        ));
+    }
+
+    #[test]
+    fn debug_names_the_session_shape() {
+        let engine = EngineBuilder::new()
+            .build_from_spec(&generators::ghz(3))
+            .unwrap();
+        let text = format!("{engine:?}");
+        assert!(text.contains("n_qubits: 3"));
+        assert!(text.contains("auto"));
+    }
+}

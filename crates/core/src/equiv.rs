@@ -15,6 +15,19 @@ use qits_tdd::{Edge, TddManager};
 use qits_tensor::Var;
 use qits_tensornet::{contract_network, TensorNetwork};
 
+use crate::error::QitsError;
+
+fn check_registers(a: &Circuit, b: &Circuit) -> Result<u32, QitsError> {
+    if a.n_qubits() != b.n_qubits() {
+        return Err(QitsError::RegisterMismatch {
+            expected: a.n_qubits(),
+            found: b.n_qubits(),
+            context: "the second circuit of an equivalence check".to_string(),
+        });
+    }
+    Ok(a.n_qubits())
+}
+
 /// Contracts `circuit` into its operator TDD over the canonical variables
 /// `x_q = Var::wire(q, 0)` (columns) and `y_q = Var::wire(q, 1)` (rows).
 ///
@@ -77,35 +90,55 @@ pub fn operator_fidelity(m: &mut TddManager, a: Edge, b: Edge, n_qubits: u32) ->
 ///
 /// # Panics
 ///
-/// Panics if the register widths differ.
+/// Panics if the register widths differ;
+/// [`try_equivalent_up_to_phase`] reports that as a [`QitsError`] value
+/// instead (and is what [`crate::Engine::equivalent_up_to_phase`] calls).
 pub fn equivalent_up_to_phase(m: &mut TddManager, a: &Circuit, b: &Circuit) -> bool {
-    assert_eq!(
-        a.n_qubits(),
-        b.n_qubits(),
-        "equivalence needs equal registers"
-    );
+    try_equivalent_up_to_phase(m, a, b)
+        .unwrap_or_else(|e| panic!("equivalence needs equal registers: {e}"))
+}
+
+/// Fallible [`equivalent_up_to_phase`]: register mismatch is an `Err`,
+/// not a panic.
+pub fn try_equivalent_up_to_phase(
+    m: &mut TddManager,
+    a: &Circuit,
+    b: &Circuit,
+) -> Result<bool, QitsError> {
+    let n = check_registers(a, b)?;
     let mut oa = canonical_operator(m, a);
     m.maybe_collect_at_safepoint(&mut [&mut oa]);
     let ob = canonical_operator(m, b);
-    (operator_fidelity(m, oa, ob, a.n_qubits()) - 1.0).abs() < 1e-8
+    Ok((operator_fidelity(m, oa, ob, n) - 1.0).abs() < 1e-8)
 }
 
 /// Whether two circuits implement *exactly* the same operator (global
 /// phase included): proportional with ratio 1.
 ///
 /// Safepoint behaviour matches [`equivalent_up_to_phase`].
+///
+/// # Panics
+///
+/// Panics if the register widths differ; [`try_equivalent_exactly`] is
+/// the fallible form.
 pub fn equivalent_exactly(m: &mut TddManager, a: &Circuit, b: &Circuit) -> bool {
-    assert_eq!(
-        a.n_qubits(),
-        b.n_qubits(),
-        "equivalence needs equal registers"
-    );
+    try_equivalent_exactly(m, a, b)
+        .unwrap_or_else(|e| panic!("equivalence needs equal registers: {e}"))
+}
+
+/// Fallible [`equivalent_exactly`]: register mismatch is an `Err`, not a
+/// panic.
+pub fn try_equivalent_exactly(
+    m: &mut TddManager,
+    a: &Circuit,
+    b: &Circuit,
+) -> Result<bool, QitsError> {
+    let n = check_registers(a, b)?;
     let mut oa = canonical_operator(m, a);
     m.maybe_collect_at_safepoint(&mut [&mut oa]);
     let ob = canonical_operator(m, b);
-    let n = a.n_qubits();
     if (operator_fidelity(m, oa, ob, n) - 1.0).abs() >= 1e-8 {
-        return false;
+        return Ok(false);
     }
     // Proportional; check the ratio at a witness entry.
     let vars: Vec<Var> = (0..n).flat_map(|q| [Var::ket(q), Var::row(q)]).collect();
@@ -115,7 +148,7 @@ pub fn equivalent_exactly(m: &mut TddManager, a: &Circuit, b: &Circuit) -> bool 
     let point: BTreeMap<Var, bool> = vars.iter().copied().zip(asn).collect();
     let va = m.eval(oa, &point);
     let vb = m.eval(ob, &point);
-    va.approx_eq_with(vb, 1e-8)
+    Ok(va.approx_eq_with(vb, 1e-8))
 }
 
 #[cfg(test)]

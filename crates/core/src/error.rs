@@ -1,0 +1,152 @@
+//! The crate's typed error: failures are values, not panics.
+//!
+//! Every fallible entry point of the engine-facing API —
+//! [`crate::Engine`]'s methods, [`crate::try_image`],
+//! [`crate::mc::try_reachable_space`], the `try_*` equivalence checkers —
+//! returns `Result<_, QitsError>`. The historical free functions
+//! ([`crate::image`], [`crate::mc::reachable_space`]) remain as thin shims
+//! that panic on these same conditions with the error's `Display` text, so
+//! legacy call sites keep their signatures while the conditions themselves
+//! are detected in **release builds** too (they used to be `debug_assert`s
+//! or silent acceptance).
+
+use std::fmt;
+
+/// Everything that can go wrong when driving image computation through
+/// the public API.
+///
+/// The variants mirror the validation points of the paper's machinery:
+/// register agreement between operations and subspaces (Definition 2
+/// requires every `T_sigma` to act on the system's Hilbert space), Kraus
+/// sets being non-empty (a quantum operation has at least one operator),
+/// slice counts staying addressable, and the parallel addition partition's
+/// worker threads finishing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum QitsError {
+    /// An operation or state acts on a different register width than the
+    /// system it was handed to.
+    RegisterMismatch {
+        /// Register width of the system (qubits).
+        expected: u32,
+        /// Register width actually found.
+        found: u32,
+        /// What carried the mismatched width (operation label, input
+        /// subspace, ...).
+        context: String,
+    },
+    /// The transition system has no operations, so no image exists.
+    EmptyOperationSet,
+    /// An operation's Kraus set is empty — not a quantum operation.
+    EmptyKrausSet {
+        /// Label of the offending operation.
+        label: String,
+    },
+    /// A system on zero qubits has no state space to compute images in.
+    ZeroQubitSystem,
+    /// A partition parameter would index more than `usize::BITS` worth of
+    /// slices/states: `2^bits` overflows the machine word.
+    DimensionOverflow {
+        /// The bit count that overflowed (e.g. the addition partition's
+        /// `k`).
+        bits: u32,
+    },
+    /// A worker thread of the parallel addition partition panicked.
+    WorkerFailure {
+        /// The worker's panic message, when it carried one.
+        detail: String,
+    },
+}
+
+impl fmt::Display for QitsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QitsError::RegisterMismatch {
+                expected,
+                found,
+                context,
+            } => write!(
+                f,
+                "register mismatch: {context} is on {found} qubit(s), \
+                 the system on {expected}"
+            ),
+            QitsError::EmptyOperationSet => {
+                write!(f, "the transition system has no operations")
+            }
+            QitsError::EmptyKrausSet { label } => {
+                write!(f, "operation '{label}' has an empty Kraus set")
+            }
+            QitsError::ZeroQubitSystem => {
+                write!(f, "a zero-qubit system has no state space")
+            }
+            QitsError::DimensionOverflow { bits } => {
+                write!(
+                    f,
+                    "2^{bits} overflows the machine word (dimension overflow)"
+                )
+            }
+            QitsError::WorkerFailure { detail } => {
+                write!(f, "an image-computation worker thread failed: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QitsError {}
+
+/// Extracts a human-readable message from a worker thread's panic payload.
+pub(crate) fn panic_detail(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker panicked without a message".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_every_variant() {
+        let cases: Vec<(QitsError, &str)> = vec![
+            (
+                QitsError::RegisterMismatch {
+                    expected: 3,
+                    found: 2,
+                    context: "operation 'op'".into(),
+                },
+                "register mismatch",
+            ),
+            (QitsError::EmptyOperationSet, "no operations"),
+            (
+                QitsError::EmptyKrausSet { label: "T".into() },
+                "empty Kraus set",
+            ),
+            (QitsError::ZeroQubitSystem, "zero-qubit"),
+            (QitsError::DimensionOverflow { bits: 70 }, "2^70"),
+            (
+                QitsError::WorkerFailure {
+                    detail: "boom".into(),
+                },
+                "boom",
+            ),
+        ];
+        for (e, needle) in cases {
+            let text = e.to_string();
+            assert!(text.contains(needle), "{text:?} missing {needle:?}");
+        }
+    }
+
+    #[test]
+    fn panic_detail_downcasts_both_string_kinds() {
+        let a: Box<dyn std::any::Any + Send> = Box::new("static str");
+        assert_eq!(panic_detail(a.as_ref()), "static str");
+        let b: Box<dyn std::any::Any + Send> = Box::new(String::from("owned"));
+        assert_eq!(panic_detail(b.as_ref()), "owned");
+        let c: Box<dyn std::any::Any + Send> = Box::new(42u8);
+        assert!(panic_detail(c.as_ref()).contains("without a message"));
+    }
+}

@@ -11,6 +11,7 @@ use qits_tensornet::{
     TensorNetwork,
 };
 
+use crate::error::{panic_detail, QitsError};
 use crate::subspace::Subspace;
 
 /// Which image-computation method to run (the three columns of Table I).
@@ -151,23 +152,57 @@ fn safepoint(m: &mut TddManager, stats: &mut ImageStats, holders: &mut [&mut dyn
 /// the input) must keep them rooted across the call with
 /// [`qits_tdd::TddManager::pin`] / [`qits_tdd::TddManager::unpin`] —
 /// anything unrooted is swept by the first safepoint collection. The
-/// fixpoint drivers in [`crate::mc`] do exactly that. Use
-/// [`crate::QuantumTransitionSystem::parts_mut`] to obtain the
-/// `(operations, &mut initial)` split this signature wants.
-pub fn image(
+/// fixpoint drivers in [`crate::mc`] and the [`crate::Engine`] facade do
+/// exactly that; the engine is the intended way to drive this kernel.
+///
+/// # Errors
+///
+/// Returns [`QitsError::ZeroQubitSystem`] for an empty register,
+/// [`QitsError::EmptyOperationSet`] when `operations` is empty,
+/// [`QitsError::RegisterMismatch`] when any operation's width differs
+/// from the input's (checked in release builds — this used to be a
+/// `debug_assert`), [`QitsError::EmptyKrausSet`] for an operation with
+/// zero Kraus operators, [`QitsError::DimensionOverflow`] when an
+/// addition partition's `k` cannot index its `2^k` slices, and
+/// [`QitsError::WorkerFailure`] when a parallel worker thread panics.
+pub fn try_image(
     m: &mut TddManager,
     operations: &[Operation],
     input: &mut Subspace,
     strategy: Strategy,
-) -> (Subspace, ImageStats) {
+) -> Result<(Subspace, ImageStats), QitsError> {
     let n = input.n_qubits();
+    if n == 0 {
+        return Err(QitsError::ZeroQubitSystem);
+    }
+    if operations.is_empty() {
+        return Err(QitsError::EmptyOperationSet);
+    }
+    for op in operations {
+        if op.n_qubits() != n {
+            return Err(QitsError::RegisterMismatch {
+                expected: n,
+                found: op.n_qubits(),
+                context: format!("operation '{}'", op.label()),
+            });
+        }
+        if op.branch_count() == 0 {
+            return Err(QitsError::EmptyKrausSet {
+                label: op.label().to_string(),
+            });
+        }
+    }
+    if let Strategy::Addition { k } | Strategy::AdditionParallel { k } = strategy {
+        if k >= usize::BITS as usize {
+            return Err(QitsError::DimensionOverflow { bits: k as u32 });
+        }
+    }
     let start = Instant::now();
     let manager_before = m.stats();
     let mut out = Subspace::zero(n);
     let mut stats = ImageStats::default();
 
     for (op_i, op) in operations.iter().enumerate() {
-        debug_assert_eq!(op.n_qubits(), n, "operation register mismatch");
         let branches = op.kraus_branches();
         let n_branches = branches.len();
         for (b_i, branch) in branches.into_iter().enumerate() {
@@ -316,7 +351,7 @@ pub fn image(
                     let graph = InteractionGraph::of(&net);
                     let cut_vars = graph.highest_degree_vars(k);
                     let psis: Vec<Edge> = input.basis().to_vec();
-                    let worker_out = run_addition_workers(m, &branch, &cut_vars, &psis);
+                    let worker_out = run_addition_workers(m, &branch, &cut_vars, &psis)?;
                     // Worker managers start from zero, so their lifetime
                     // counters are exactly this branch's movement.
                     for (local, _, _) in &worker_out {
@@ -361,19 +396,38 @@ pub fn image(
     stats.allocated_nodes = m.arena_len();
     stats.peak_arena = m.stats().peak_arena;
     stats.elapsed = start.elapsed();
-    (out, stats)
+    Ok((out, stats))
+}
+
+/// Infallible shim over [`try_image`], kept as the strategy-agreement
+/// test baseline and for legacy call sites.
+///
+/// # Panics
+///
+/// Panics — in release builds too — on every condition [`try_image`]
+/// reports as a [`QitsError`] (register mismatch, empty operation or
+/// Kraus set, zero-qubit register, slice-count overflow, worker failure).
+/// Fallible callers should use [`try_image`] or [`crate::Engine`].
+pub fn image(
+    m: &mut TddManager,
+    operations: &[Operation],
+    input: &mut Subspace,
+    strategy: Strategy,
+) -> (Subspace, ImageStats) {
+    try_image(m, operations, input, strategy).unwrap_or_else(|e| panic!("image(): {e}"))
 }
 
 /// Contracts the `2^k` slices of the addition partition on worker
 /// threads, one private manager each, and applies every slice operator to
 /// every basis state. Returns per-worker `(manager, images, peak nodes)`;
-/// the caller imports and sums.
+/// the caller imports and sums. A panicking worker surfaces as
+/// [`QitsError::WorkerFailure`] carrying its panic message.
 fn run_addition_workers(
     m: &TddManager,
     branch: &qits_circuit::Circuit,
     cut_vars: &[Var],
     psis: &[Edge],
-) -> Vec<(TddManager, Vec<Edge>, usize)> {
+) -> Result<Vec<(TddManager, Vec<Edge>, usize)>, QitsError> {
     let k = cut_vars.len();
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..(1usize << k))
@@ -424,7 +478,11 @@ fn run_addition_workers(
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("addition-partition worker panicked"))
+            .map(|h| {
+                h.join().map_err(|payload| QitsError::WorkerFailure {
+                    detail: panic_detail(payload.as_ref()),
+                })
+            })
             .collect()
     })
 }
@@ -661,6 +719,56 @@ mod tests {
             };
             assert!(qts_gc.initial().clone().equals(&mut m_gc, &fresh), "{s}");
         }
+    }
+
+    #[test]
+    fn try_image_reports_register_mismatch_in_release() {
+        let mut m = TddManager::new();
+        let mut input = Subspace::zero(3);
+        let wide = Operation::new("wide", 5);
+        let err = try_image(&mut m, &[wide], &mut input, Strategy::Basic).unwrap_err();
+        assert!(matches!(
+            err,
+            crate::error::QitsError::RegisterMismatch {
+                expected: 3,
+                found: 5,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn try_image_reports_empty_operation_set_and_zero_register() {
+        let mut m = TddManager::new();
+        let mut input = Subspace::zero(3);
+        assert_eq!(
+            try_image(&mut m, &[], &mut input, Strategy::Basic).unwrap_err(),
+            crate::error::QitsError::EmptyOperationSet
+        );
+        let mut zero = Subspace::zero(0);
+        let op = Operation::new("id", 0);
+        assert_eq!(
+            try_image(&mut m, &[op], &mut zero, Strategy::Basic).unwrap_err(),
+            crate::error::QitsError::ZeroQubitSystem
+        );
+    }
+
+    #[test]
+    fn try_image_reports_slice_count_overflow() {
+        let mut m = TddManager::new();
+        let mut qts = QuantumTransitionSystem::from_spec(&mut m, &generators::ghz(3));
+        let (ops, initial) = qts.parts_mut();
+        let err = try_image(&mut m, &ops, initial, Strategy::Addition { k: 64 }).unwrap_err();
+        assert_eq!(err, crate::error::QitsError::DimensionOverflow { bits: 64 });
+    }
+
+    #[test]
+    #[should_panic(expected = "register mismatch")]
+    fn image_shim_panics_on_mismatch_with_the_error_text() {
+        let mut m = TddManager::new();
+        let mut input = Subspace::zero(3);
+        let wide = Operation::new("wide", 5);
+        let _ = image(&mut m, &[wide], &mut input, Strategy::Basic);
     }
 
     #[test]

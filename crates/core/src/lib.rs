@@ -21,41 +21,52 @@
 //!   operator (Section V-B — the method the paper's evaluation shows to
 //!   dominate).
 //!
+//! The public API is the session-based [`Engine`], configured through
+//! [`EngineBuilder`]: one object owns the TDD manager, the transition
+//! system, the GC policy, and all root bookkeeping, its methods return
+//! `Result<_, QitsError>` instead of panicking, and strategy dispatch
+//! goes through the pluggable [`ImageStrategy`] trait ([`Auto`] picks the
+//! addition or contraction partition from circuit shape, per Table I's
+//! crossover).
+//!
 //! # Quickstart
 //!
 //! Check the Grover-iteration invariant of the paper's Section III-A.1:
 //! the subspace `S = span{|++->, |11->}` satisfies `T(S) = S`.
 //!
 //! ```
-//! use qits::{image, QuantumTransitionSystem, Strategy};
+//! use qits::{EngineBuilder, Strategy};
 //! use qits_circuit::generators;
-//! use qits_tdd::TddManager;
 //!
-//! let mut m = TddManager::new();
-//! let spec = generators::grover(3);
-//! let mut qts = QuantumTransitionSystem::from_spec(&mut m, &spec);
-//! // `image` takes its input `&mut` (in-image GC safepoints may relocate
-//! // it); `parts_mut` splits the system into a shared operations handle
-//! // plus that mutable input.
-//! let (ops, initial) = qts.parts_mut();
-//! let (img, stats) = image(
-//!     &mut m,
-//!     &ops,
-//!     initial,
-//!     Strategy::Contraction { k1: 2, k2: 2 },
-//! );
-//! assert!(img.equals(&mut m, qts.initial()));
+//! let mut engine = EngineBuilder::new()
+//!     .strategy(Strategy::Contraction { k1: 2, k2: 2 })
+//!     .build_from_spec(&generators::grover(3))
+//!     .expect("well-formed benchmark system");
+//! let (img, stats) = engine.image().expect("image computation");
+//! let initial = engine.initial().clone();
+//! assert!(img.equals(engine.manager_mut(), &initial));
 //! // Operation caches are manager-owned, so the repeated
 //! // block-against-state contractions above reuse each other's work:
 //! assert!(stats.cont_hit_rate() > 0.0);
 //! ```
+//!
+//! The engine handles garbage-collection rooting internally — install a
+//! [`qits_tdd::GcPolicy`] through the builder and every safepoint keeps
+//! the session's system (plus any subspaces passed as `kept`) alive and
+//! relocated. The pre-engine free functions ([`image`], the
+//! [`mc`] drivers) remain as thin shims over the same kernels.
 
 pub mod equiv;
-mod image;
 pub mod mc;
+
+mod engine;
+mod error;
+mod image;
 mod qts;
 mod subspace;
 
-pub use image::{image, ImageStats, Strategy};
+pub use engine::{Auto, Engine, EngineBuilder, ImageStrategy, StatsSink};
+pub use error::QitsError;
+pub use image::{image, try_image, ImageStats, Strategy};
 pub use qts::{Operations, QuantumTransitionSystem};
 pub use subspace::{Subspace, RANK_TOLERANCE};

@@ -25,7 +25,9 @@
 
 use qits_tdd::{Relocatable, TddManager};
 
-use crate::image::{image, ImageStats, Strategy};
+use crate::engine::ImageStrategy;
+use crate::error::QitsError;
+use crate::image::{ImageStats, Strategy};
 use crate::qts::QuantumTransitionSystem;
 use crate::subspace::Subspace;
 
@@ -66,19 +68,41 @@ fn space_is_full(s: &Subspace) -> bool {
 /// `qts` is taken mutably because a garbage collection between iterations
 /// (see the module docs) relocates its initial subspace in place, keeping
 /// it valid for the caller afterwards.
+///
+/// This is an infallible shim over [`try_reachable_space`] (it panics
+/// where that returns `Err`), kept for legacy call sites and the
+/// strategy-agreement baseline; [`crate::Engine::reachable_space`] is the
+/// fallible session API.
 pub fn reachable_space(
     m: &mut TddManager,
     qts: &mut QuantumTransitionSystem,
     strategy: Strategy,
     max_iterations: usize,
 ) -> ReachabilityResult {
-    reachable_space_keeping(m, qts, strategy, max_iterations, &mut [])
+    try_reachable_space(m, qts, strategy, max_iterations)
+        .unwrap_or_else(|e| panic!("reachable_space: {e}"))
+}
+
+/// Fallible reachability: every condition the image kernel reports as a
+/// [`QitsError`] surfaces here instead of panicking.
+pub fn try_reachable_space(
+    m: &mut TddManager,
+    qts: &mut QuantumTransitionSystem,
+    strategy: Strategy,
+    max_iterations: usize,
+) -> Result<ReachabilityResult, QitsError> {
+    fixpoint_with(m, qts, &strategy, max_iterations, &mut [])
 }
 
 /// [`reachable_space`], additionally keeping `kept` subspaces alive and
 /// relocated across any between-iteration collection. This is how
 /// [`check_invariant`] carries the invariant through a GC'd run; callers
 /// holding other subspaces on the same manager can do the same.
+///
+/// # Panics
+///
+/// Panics where the fallible drivers ([`try_reachable_space`],
+/// [`crate::Engine::reachable_space`]) return `Err`.
 pub fn reachable_space_keeping(
     m: &mut TddManager,
     qts: &mut QuantumTransitionSystem,
@@ -86,7 +110,23 @@ pub fn reachable_space_keeping(
     max_iterations: usize,
     kept: &mut [&mut Subspace],
 ) -> ReachabilityResult {
-    let ops = qts.operations_handle();
+    fixpoint_with(m, qts, &strategy, max_iterations, kept)
+        .unwrap_or_else(|e| panic!("reachable_space_keeping: {e}"))
+}
+
+/// The fixpoint core behind every reachability driver — free-function
+/// shims and [`crate::Engine`] alike: iterates `S <- S v T(S)` with the
+/// image computed through an [`ImageStrategy`] object, pinning the system
+/// and the `kept` subspaces across in-image safepoints and polling the
+/// between-iteration safepoint with the full live set.
+pub(crate) fn fixpoint_with(
+    m: &mut TddManager,
+    qts: &mut QuantumTransitionSystem,
+    strategy: &dyn ImageStrategy,
+    max_iterations: usize,
+    kept: &mut [&mut Subspace],
+) -> Result<ReachabilityResult, QitsError> {
+    let ops = qts.operations().clone();
     let mut space = qts.initial().clone();
     let mut stats = Vec::new();
     let mut converged = false;
@@ -106,9 +146,9 @@ pub fn reachable_space_keeping(
             let mut pinned: Vec<&mut dyn Relocatable> = vec![qts];
             pinned.extend(kept.iter_mut().map(|s| &mut **s as &mut dyn Relocatable));
             let pins = m.pin(&mut pinned);
-            let result = image(m, &ops, &mut space, strategy);
+            let result = strategy.compute(m, &ops, &mut space);
             m.unpin(pins, &mut pinned);
-            result
+            result?
         };
         // `reclaimed_nodes` must cover the same collections `collections`
         // counts: the in-image total includes worker-manager reclaim
@@ -141,14 +181,14 @@ pub fn reachable_space_keeping(
             reclaimed_nodes += out.reclaimed as u64;
         }
     }
-    ReachabilityResult {
+    Ok(ReachabilityResult {
         space,
         iterations,
         converged,
         stats,
         collections,
         reclaimed_nodes,
-    }
+    })
 }
 
 /// Checks the safety property "every reachable state stays inside
@@ -161,6 +201,9 @@ pub fn reachable_space_keeping(
 /// `qts` and `invariant` are taken mutably because between-iteration
 /// garbage collections relocate their edges in place (see the module
 /// docs); both remain valid for the caller afterwards.
+///
+/// Infallible shim over [`try_check_invariant`] (panics where that
+/// errors); [`crate::Engine::check_invariant`] is the session API.
 pub fn check_invariant(
     m: &mut TddManager,
     qts: &mut QuantumTransitionSystem,
@@ -168,15 +211,30 @@ pub fn check_invariant(
     strategy: Strategy,
     max_iterations: usize,
 ) -> (bool, ReachabilityResult) {
+    try_check_invariant(m, qts, invariant, strategy, max_iterations)
+        .unwrap_or_else(|e| panic!("check_invariant: {e}"))
+}
+
+/// Fallible invariant checking: the verdict plus the reachability result
+/// that witnessed it, or the [`QitsError`] the underlying image
+/// computation hit.
+pub fn try_check_invariant(
+    m: &mut TddManager,
+    qts: &mut QuantumTransitionSystem,
+    invariant: &mut Subspace,
+    strategy: Strategy,
+    max_iterations: usize,
+) -> Result<(bool, ReachabilityResult), QitsError> {
     let mut kept = [invariant];
-    let reach = reachable_space_keeping(m, qts, strategy, max_iterations, &mut kept);
+    let reach = fixpoint_with(m, qts, &strategy, max_iterations, &mut kept)?;
     let holds = reach.space.is_subspace_of(m, kept[0]);
-    (holds, reach)
+    Ok((holds, reach))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::image::image;
     use qits_circuit::generators;
     use qits_circuit::tensorize::states;
     use qits_tdd::GcPolicy;
@@ -202,7 +260,7 @@ mod tests {
         assert!(r.converged);
         assert!(r.space.dim() > qts.initial().dim());
         // Fixpoint really is a fixpoint.
-        let ops = qts.operations_handle();
+        let ops = qts.operations().clone();
         let (img, _) = image(
             &mut m,
             &ops,
@@ -330,7 +388,7 @@ mod tests {
             .clone()
             .is_subspace_of(&mut m_gc, &r_gc.space));
         let mut r_gc = r_gc;
-        let ops = qts_gc.operations_handle();
+        let ops = qts_gc.operations().clone();
         let (img, _) = image(&mut m_gc, &ops, &mut r_gc.space, strategy);
         assert!(img.is_subspace_of(&mut m_gc, &r_gc.space));
     }

@@ -6,6 +6,7 @@ use std::sync::Arc;
 use qits_circuit::{generators::QtsSpec, Operation};
 use qits_tdd::TddManager;
 
+use crate::error::QitsError;
 use crate::subspace::Subspace;
 
 /// The operations view of a transition system: the symbols `Sigma` and
@@ -13,12 +14,13 @@ use crate::subspace::Subspace;
 ///
 /// Operations are circuits — they hold **no TDD edges** — so this view is
 /// immutable and cheaply cloneable (the operation list is behind an
-/// [`Arc`]). That is the point of the type: [`crate::image`] takes its
+/// [`Arc`]). That is the point of the type: the image kernel takes its
 /// input subspace `&mut` so in-image GC safepoints can relocate it, and a
 /// caller that stores operations and initial subspace in one
 /// [`QuantumTransitionSystem`] could never hand out both borrows at once.
-/// [`QuantumTransitionSystem::parts_mut`] splits the borrow instead: an
-/// owned `Operations` handle plus `&mut Subspace`.
+/// [`crate::Engine`] performs that borrow split internally; cloning
+/// [`QuantumTransitionSystem::operations`] gives the same owned handle to
+/// anyone driving the free-function shims by hand.
 ///
 /// Derefs to `[Operation]`, so anything taking `&[Operation]` accepts
 /// `&ops` directly.
@@ -29,29 +31,48 @@ pub struct Operations {
 }
 
 impl Operations {
+    /// Wraps an operation list as a shareable view, validating that every
+    /// operation acts on the given register and has a non-empty Kraus set.
+    pub fn try_new(n_qubits: u32, operations: Vec<Operation>) -> Result<Self, QitsError> {
+        for op in &operations {
+            if op.n_qubits() != n_qubits {
+                return Err(QitsError::RegisterMismatch {
+                    expected: n_qubits,
+                    found: op.n_qubits(),
+                    context: format!("operation '{}'", op.label()),
+                });
+            }
+            if op.branch_count() == 0 {
+                return Err(QitsError::EmptyKrausSet {
+                    label: op.label().to_string(),
+                });
+            }
+        }
+        Ok(Operations {
+            n_qubits,
+            ops: operations.into(),
+        })
+    }
+
     /// Wraps an operation list as a shareable view.
     ///
     /// # Panics
     ///
-    /// Panics if any operation disagrees on the register width.
+    /// Panics if any operation disagrees on the register width or has an
+    /// empty Kraus set; [`Operations::try_new`] reports the same
+    /// conditions as [`QitsError`] values instead.
     pub fn new(n_qubits: u32, operations: Vec<Operation>) -> Self {
-        for op in &operations {
-            assert_eq!(
-                op.n_qubits(),
-                n_qubits,
-                "operation '{}' register mismatch",
-                op.label()
-            );
-        }
-        Operations {
-            n_qubits,
-            ops: operations.into(),
-        }
+        Self::try_new(n_qubits, operations).unwrap_or_else(|e| panic!("Operations::new: {e}"))
     }
 
     /// Register width.
     pub fn n_qubits(&self) -> u32 {
         self.n_qubits
+    }
+
+    /// Whether two handles share the same underlying operation list.
+    pub fn shares_list_with(&self, other: &Operations) -> bool {
+        Arc::ptr_eq(&self.ops, &other.ops)
     }
 }
 
@@ -68,10 +89,10 @@ impl Deref for Operations {
 /// `T_sigma` per symbol.
 ///
 /// Internally this is two views glued together: an immutable, shareable
-/// [`Operations`] handle and the mutable initial-subspace state. Use
-/// [`QuantumTransitionSystem::parts_mut`] to borrow them apart — the shape
-/// [`crate::image`] wants now that its input is `&mut` (see the GC
-/// safepoint discussion there).
+/// [`Operations`] handle and the mutable initial-subspace state. The
+/// [`crate::Engine`] facade owns the system and splits those views apart
+/// internally whenever an image computation needs `(operations, &mut
+/// initial)` at once; user code never performs the split itself.
 ///
 /// # Example
 ///
@@ -81,13 +102,10 @@ impl Deref for Operations {
 /// use qits_tdd::TddManager;
 ///
 /// let mut m = TddManager::new();
-/// let mut qts = QuantumTransitionSystem::from_spec(&mut m, &generators::ghz(4));
+/// let qts = QuantumTransitionSystem::from_spec(&mut m, &generators::ghz(4));
 /// assert_eq!(qts.n_qubits(), 4);
 /// assert_eq!(qts.initial().dim(), 1);
-/// // Borrow split: shared operations handle + mutable initial subspace.
-/// let (ops, initial) = qts.parts_mut();
-/// assert_eq!(ops.len(), 1);
-/// assert_eq!(initial.dim(), 1);
+/// assert_eq!(qts.operations().len(), 1);
 /// ```
 #[derive(Debug, Clone)]
 pub struct QuantumTransitionSystem {
@@ -96,27 +114,45 @@ pub struct QuantumTransitionSystem {
 }
 
 impl QuantumTransitionSystem {
+    /// Assembles a transition system from parts, validating register
+    /// agreement (operations and initial subspace) and that the register
+    /// is non-empty.
+    pub fn try_new(
+        n_qubits: u32,
+        operations: Vec<Operation>,
+        initial: Subspace,
+    ) -> Result<Self, QitsError> {
+        if n_qubits == 0 {
+            return Err(QitsError::ZeroQubitSystem);
+        }
+        if initial.n_qubits() != n_qubits {
+            return Err(QitsError::RegisterMismatch {
+                expected: n_qubits,
+                found: initial.n_qubits(),
+                context: "the initial subspace".to_string(),
+            });
+        }
+        Ok(QuantumTransitionSystem {
+            operations: Operations::try_new(n_qubits, operations)?,
+            initial,
+        })
+    }
+
     /// Assembles a transition system from parts.
     ///
     /// # Panics
     ///
-    /// Panics if any operation or the initial subspace disagrees on the
-    /// register width.
+    /// Panics on the conditions [`QuantumTransitionSystem::try_new`]
+    /// reports as [`QitsError`] values (register mismatch, zero-qubit
+    /// register, empty Kraus set).
     pub fn new(n_qubits: u32, operations: Vec<Operation>, initial: Subspace) -> Self {
-        assert_eq!(
-            initial.n_qubits(),
-            n_qubits,
-            "initial subspace register mismatch"
-        );
-        QuantumTransitionSystem {
-            operations: Operations::new(n_qubits, operations),
-            initial,
-        }
+        Self::try_new(n_qubits, operations, initial)
+            .unwrap_or_else(|e| panic!("QuantumTransitionSystem::new: {e}"))
     }
 
     /// Builds the system of a benchmark spec, spanning the initial
     /// subspace from the spec's product states.
-    pub fn from_spec(m: &mut TddManager, spec: &QtsSpec) -> Self {
+    pub fn try_from_spec(m: &mut TddManager, spec: &QtsSpec) -> Result<Self, QitsError> {
         let vars = Subspace::ket_vars(spec.n_qubits);
         let states: Vec<_> = spec
             .initial_states
@@ -124,7 +160,17 @@ impl QuantumTransitionSystem {
             .map(|amps| m.product_ket(&vars, amps))
             .collect();
         let initial = Subspace::from_states(m, spec.n_qubits, &states);
-        QuantumTransitionSystem::new(spec.n_qubits, spec.operations.clone(), initial)
+        QuantumTransitionSystem::try_new(spec.n_qubits, spec.operations.clone(), initial)
+    }
+
+    /// Builds the system of a benchmark spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics where [`QuantumTransitionSystem::try_from_spec`] errors.
+    pub fn from_spec(m: &mut TddManager, spec: &QtsSpec) -> Self {
+        Self::try_from_spec(m, spec)
+            .unwrap_or_else(|e| panic!("QuantumTransitionSystem::from_spec: {e}"))
     }
 
     /// Register width.
@@ -132,16 +178,11 @@ impl QuantumTransitionSystem {
         self.operations.n_qubits()
     }
 
-    /// The operations `T_sigma` (derefs to `&[Operation]`).
+    /// The operations `T_sigma` — the one canonical accessor. Derefs to
+    /// `&[Operation]`; clone it to obtain an owned, `Arc`-shared handle
+    /// that outlives any borrow of `self`.
     pub fn operations(&self) -> &Operations {
         &self.operations
-    }
-
-    /// An owned, shareable handle to the operations — an [`Arc`] clone,
-    /// not a deep copy. Taking the handle leaves `self` free to be
-    /// borrowed mutably (e.g. as a GC holder) while an `image()` runs.
-    pub fn operations_handle(&self) -> Operations {
-        self.operations.clone()
     }
 
     /// The initial subspace `S0`.
@@ -150,7 +191,7 @@ impl QuantumTransitionSystem {
     }
 
     /// Mutable access to the initial subspace — the state half of the
-    /// borrow split; GC safepoints inside [`crate::image`] relocate it in
+    /// borrow split; GC safepoints inside the image kernel relocate it in
     /// place when `S0` is the image input.
     pub fn initial_mut(&mut self) -> &mut Subspace {
         &mut self.initial
@@ -158,18 +199,10 @@ impl QuantumTransitionSystem {
 
     /// Splits the system into its two views: an owned operations handle
     /// (cheap [`Arc`] clone) and the mutable initial subspace. This is the
-    /// calling convention for computing the image of `S0` itself:
-    ///
-    /// ```
-    /// # use qits::{image, QuantumTransitionSystem, Strategy};
-    /// # use qits_circuit::generators;
-    /// # use qits_tdd::TddManager;
-    /// # let mut m = TddManager::new();
-    /// # let mut qts = QuantumTransitionSystem::from_spec(&mut m, &generators::ghz(3));
-    /// let (ops, initial) = qts.parts_mut();
-    /// let (img, _) = image(&mut m, &ops, initial, Strategy::Basic);
-    /// ```
-    pub fn parts_mut(&mut self) -> (Operations, &mut Subspace) {
+    /// calling convention the image kernel wants when computing the image
+    /// of `S0` itself; the [`crate::Engine`] facade owns the split, so it
+    /// is crate-internal.
+    pub(crate) fn parts_mut(&mut self) -> (Operations, &mut Subspace) {
         (self.operations.clone(), &mut self.initial)
     }
 
@@ -232,12 +265,49 @@ mod tests {
     }
 
     #[test]
-    fn operations_handle_is_shared_not_copied() {
+    fn try_new_reports_mismatch_as_value() {
+        let initial = Subspace::zero(2);
+        let op = qits_circuit::Operation::new("op", 3);
+        let err = QuantumTransitionSystem::try_new(2, vec![op], initial).unwrap_err();
+        assert!(matches!(
+            err,
+            QitsError::RegisterMismatch {
+                expected: 2,
+                found: 3,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn try_new_reports_initial_subspace_mismatch() {
+        let initial = Subspace::zero(4);
+        let op = qits_circuit::Operation::new("op", 2);
+        let err = QuantumTransitionSystem::try_new(2, vec![op], initial).unwrap_err();
+        assert!(matches!(
+            err,
+            QitsError::RegisterMismatch {
+                expected: 2,
+                found: 4,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn try_new_rejects_zero_qubits() {
+        let err = QuantumTransitionSystem::try_new(0, Vec::new(), Subspace::zero(0)).unwrap_err();
+        assert_eq!(err, QitsError::ZeroQubitSystem);
+    }
+
+    #[test]
+    fn cloned_operations_handle_is_shared_not_copied() {
         let mut m = TddManager::new();
         let qts = QuantumTransitionSystem::from_spec(&mut m, &generators::bitflip_code());
-        let a = qts.operations_handle();
-        let b = qts.operations_handle();
-        assert!(Arc::ptr_eq(&a.ops, &b.ops), "handles must share the list");
+        let a = qts.operations().clone();
+        let b = qts.operations().clone();
+        assert!(a.shares_list_with(&b), "handles must share the list");
+        assert!(a.shares_list_with(qts.operations()));
         assert_eq!(a.len(), 4);
         assert_eq!(a.n_qubits(), qts.n_qubits());
     }

@@ -12,6 +12,8 @@ use qits_num::Cplx;
 use qits_tdd::{Edge, Relocatable, Relocations, RootId, TddManager};
 use qits_tensor::Var;
 
+use crate::error::QitsError;
+
 /// Squared-norm threshold below which a Gram–Schmidt residual counts as
 /// zero (the vector lies in the subspace already).
 ///
@@ -199,6 +201,40 @@ impl Subspace {
         true
     }
 
+    /// [`Subspace::absorb`] with the implicit register assumption made
+    /// explicit: `psi` must be a ket over this subspace's register — its
+    /// support may only contain ket variables `x_q` with `q < n_qubits`.
+    /// `absorb` silently trusts this (a wider ket corrupts the projector
+    /// bookkeeping); here it is validated and reported as a
+    /// [`QitsError::RegisterMismatch`] value. [`crate::Engine`]'s
+    /// subspace constructor routes through this check.
+    pub fn try_absorb(&mut self, m: &mut TddManager, psi: Edge) -> Result<bool, QitsError> {
+        for v in m.support(psi).iter() {
+            if v.position() != 0 {
+                // Not a width problem at all: the tensor carries a
+                // non-ket index (row/intermediate wire position), so it
+                // is not a state vector over this register.
+                return Err(QitsError::RegisterMismatch {
+                    expected: self.n_qubits,
+                    found: v.qubit() + 1,
+                    context: format!(
+                        "a tensor that is not a ket (variable {v} sits at wire \
+                         position {}, not 0)",
+                        v.position()
+                    ),
+                });
+            }
+            if v.qubit() >= self.n_qubits {
+                return Err(QitsError::RegisterMismatch {
+                    expected: self.n_qubits,
+                    found: v.qubit() + 1,
+                    context: format!("a state depending on ket variable {v}"),
+                });
+            }
+        }
+        Ok(self.absorb(m, psi))
+    }
+
     /// `|v><v|` over the projector variable convention.
     fn outer(&self, m: &mut TddManager, v: Edge) -> Edge {
         let bra = m.conj(v); // column variables x_i
@@ -363,6 +399,26 @@ mod tests {
                 assert!(ip.approx_eq_with(expect, 1e-8));
             }
         }
+    }
+
+    #[test]
+    fn try_absorb_rejects_wider_kets_and_row_variables() {
+        let mut m = TddManager::new();
+        let mut s = Subspace::zero(2);
+        // A ket on qubit 2 exceeds the 2-qubit register.
+        let wide = ket(&mut m, 3, &[false, false, true]);
+        let err = s.try_absorb(&mut m, wide).unwrap_err();
+        assert!(matches!(
+            err,
+            crate::error::QitsError::RegisterMismatch { expected: 2, .. }
+        ));
+        // A projector-shaped tensor (row variable) is not a ket at all.
+        let id = m.identity(Var::ket(0), Var::row(0));
+        assert!(s.try_absorb(&mut m, id).is_err());
+        // In-register kets absorb exactly as `absorb` would.
+        let k = ket(&mut m, 2, &[true, false]);
+        assert!(s.try_absorb(&mut m, k).unwrap());
+        assert_eq!(s.dim(), 1);
     }
 
     #[test]

@@ -91,6 +91,24 @@ impl TddManager {
         }
     }
 
+    /// Creates an empty manager with every session knob applied at once:
+    /// weight tolerance, operation-cache capacity (`None` keeps the
+    /// default bound), and automatic-collection policy. This is the
+    /// constructor session facades build on, so a configured manager is
+    /// never observable in a half-initialised state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tol` is not strictly positive and finite.
+    pub fn with_config(tol: f64, cache_capacity: Option<usize>, policy: Option<GcPolicy>) -> Self {
+        let mut m = Self::with_tolerance(tol);
+        if let Some(cap) = cache_capacity {
+            m.set_cache_capacity(cap);
+        }
+        m.set_gc_policy(policy);
+        m
+    }
+
     /// Statistics accumulated so far, including the live counters of every
     /// operation cache.
     pub fn stats(&self) -> ManagerStats {

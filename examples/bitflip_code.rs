@@ -8,27 +8,22 @@
 //!
 //! Run with: `cargo run --example bitflip_code`
 
-use qits::{image, QuantumTransitionSystem, Strategy, Subspace};
+use qits::{EngineBuilder, Strategy, Subspace};
 use qits_circuit::generators;
-use qits_tdd::TddManager;
 
 fn main() {
-    let mut m = TddManager::new();
     let spec = generators::bitflip_code();
-    let mut qts = QuantumTransitionSystem::from_spec(&mut m, &spec);
+    let mut engine = EngineBuilder::new()
+        .strategy(Strategy::Contraction { k1: 3, k2: 2 })
+        .build_from_spec(&spec)
+        .expect("well-formed benchmark system");
     println!(
         "bit-flip code: {} operations, initial dim {}",
-        qts.operations().len(),
-        qts.initial().dim()
+        engine.operations().len(),
+        engine.initial().dim()
     );
 
-    let (ops, initial) = qts.parts_mut();
-    let (img, stats) = image(
-        &mut m,
-        &ops,
-        initial,
-        Strategy::Contraction { k1: 3, k2: 2 },
-    );
+    let (img, stats) = engine.image().expect("image computation succeeds");
     println!(
         "image dim {} (max #node {}, {:?})",
         img.dim(),
@@ -46,12 +41,14 @@ fn main() {
     .iter()
     .map(|synd| {
         let bits = [false, false, false, synd[0], synd[1], synd[2]];
-        m.basis_ket(&vars, &bits)
+        engine.manager_mut().basis_ket(&vars, &bits)
     })
     .collect();
-    let expected = Subspace::from_states(&mut m, 6, &expected_states);
+    let expected = engine
+        .subspace_from_states(&expected_states)
+        .expect("states fit the register");
 
-    let corrected = img.equals(&mut m, &expected);
+    let corrected = img.equals(engine.manager_mut(), &expected);
     println!("data register corrected to |000> in every branch: {corrected}");
     assert!(corrected, "error correction must succeed");
 }

@@ -1,15 +1,19 @@
 //! Circuit equivalence checking on operator TDDs — the verification task
 //! the paper's introduction cites as motivation (its refs. [1]-[4]).
 //!
+//! A bare engine session (no transition system) supplies the manager and
+//! the fallible API: register mismatches come back as `Err`, not panics.
+//!
 //! Run with: `cargo run --example equivalence`
 
-use qits::equiv;
+use qits::EngineBuilder;
 use qits_circuit::decompose::{ccx_to_clifford_t, elementarize, ElementarizeOptions};
 use qits_circuit::{generators, Circuit, Gate};
-use qits_tdd::TddManager;
 
 fn main() {
-    let mut m = TddManager::new();
+    let mut engine = EngineBuilder::new()
+        .build_bare(2)
+        .expect("a bare session only needs a non-empty register");
 
     // 1. SWAP vs three CX gates.
     let mut swap = Circuit::new(2);
@@ -20,7 +24,7 @@ fn main() {
     cxs.push(Gate::cx(0, 1));
     println!(
         "SWAP == CX;CX;CX           : {}",
-        equiv::equivalent_exactly(&mut m, &swap, &cxs)
+        engine.equivalent(&swap, &cxs).unwrap()
     );
 
     // 2. Toffoli vs its 15-gate Clifford+T realisation.
@@ -35,7 +39,7 @@ fn main() {
     };
     println!(
         "CCX == Clifford+T sequence : {}",
-        equiv::equivalent_exactly(&mut m, &ccx, &ct)
+        engine.equivalent(&ccx, &ct).unwrap()
     );
 
     // 3. Primitive Grover vs its Toffoli-ladder compilation. The compiled
@@ -68,7 +72,7 @@ fn main() {
     };
     println!(
         "Grover4 == ladder compile  : {} (on the |0> ancilla sector)",
-        equiv::equivalent_exactly(&mut m, &sector_a, &sector_b)
+        engine.equivalent(&sector_a, &sector_b).unwrap()
     );
 
     // 4. A deliberate non-equivalence: CX direction matters.
@@ -78,6 +82,14 @@ fn main() {
     ba.push(Gate::cx(1, 0));
     println!(
         "CX(0,1) == CX(1,0)         : {}",
-        equiv::equivalent_up_to_phase(&mut m, &ab, &ba)
+        engine.equivalent_up_to_phase(&ab, &ba).unwrap()
+    );
+
+    // 5. Mismatched registers are an error value, not a panic.
+    let wide = Circuit::new(3);
+    let narrow = Circuit::new(2);
+    println!(
+        "3-qubit vs 2-qubit circuit : {}",
+        engine.equivalent(&wide, &narrow).unwrap_err()
     );
 }

@@ -7,19 +7,18 @@
 //!
 //! Run with: `cargo run --example noisy_walk`
 
-use qits::{image, mc, QuantumTransitionSystem, Strategy, Subspace};
+use qits::{EngineBuilder, Strategy, Subspace};
 use qits_circuit::generators;
-use qits_tdd::TddManager;
 
 fn main() {
-    let mut m = TddManager::new();
     let spec = generators::qrw(4, 0.25); // coin + 3 position qubits
-    let mut qts = QuantumTransitionSystem::from_spec(&mut m, &spec);
-    let strategy = Strategy::Contraction { k1: 2, k2: 2 };
+    let mut engine = EngineBuilder::new()
+        .strategy(Strategy::Contraction { k1: 2, k2: 2 })
+        .build_from_spec(&spec)
+        .expect("well-formed benchmark system");
 
     // One step from |0>|000>: expect span{|0>|111>, |1>|001>}.
-    let (ops, initial) = qts.parts_mut();
-    let (img, stats) = image(&mut m, &ops, initial, strategy);
+    let (img, stats) = engine.image().expect("image computation succeeds");
     println!(
         "one-step image dim {} (max #node {}, {:?})",
         img.dim(),
@@ -27,10 +26,13 @@ fn main() {
         stats.elapsed
     );
     let vars = Subspace::ket_vars(4);
+    let m = engine.manager_mut();
     let down = m.basis_ket(&vars, &[false, true, true, true]); // |0>|7>
     let up = m.basis_ket(&vars, &[true, false, false, true]); // |1>|1>
-    let bound = Subspace::from_states(&mut m, 4, &[down, up]);
-    let inside = img.is_subspace_of(&mut m, &bound);
+    let bound = engine
+        .subspace_from_states(&[down, up])
+        .expect("states fit the register");
+    let inside = img.is_subspace_of(engine.manager_mut(), &bound);
     println!("image inside span{{|0>|i-1>, |1>|i+1>}}: {inside}");
     // The bit-flip fixes |+>, so the exact image is the single ray
     // (|0>|i-1> + |1>|i+1>)/sqrt(2) — the noise does not enlarge it.
@@ -41,7 +43,7 @@ fn main() {
     assert!(inside && img.dim() == 1);
 
     // Reachability: the walk eventually spreads over the cycle.
-    let reach = mc::reachable_space(&mut m, &mut qts, strategy, 32);
+    let reach = engine.reachable_space(32).expect("fixpoint runs");
     println!(
         "reachable space dim {} after {} iterations (converged: {})",
         reach.space.dim(),

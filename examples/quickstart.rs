@@ -1,34 +1,38 @@
 //! Quickstart: verify the Grover-iteration invariant of Section III-A.1.
 //!
 //! The subspace `S = span{|++->, |11->}` is invariant under one Grover
-//! iteration: `T(S) = S`. We build the transition system, compute the image
-//! with all three methods, and check they agree — then garbage-collect the
-//! arena down to the rooted transition system and verify the invariant
-//! again on the relocated diagrams.
+//! iteration: `T(S) = S`. We open an engine session on the transition
+//! system, compute the image with all three methods, and check they agree
+//! — then garbage-collect the arena down to the session's live set and
+//! verify the invariant again on the relocated diagrams. The engine owns
+//! the manager, the system, and every GC root: no `parts_mut`, no
+//! `pin`/`unpin`.
 //!
 //! Run with: `cargo run --example quickstart`
 
-use qits::{image, QuantumTransitionSystem, Strategy};
+use qits::{Auto, EngineBuilder, ImageStrategy, Strategy};
 use qits_circuit::generators;
-use qits_tdd::TddManager;
 
 fn main() {
     let n = 5; // 4 search qubits + 1 oracle ancilla
-    let mut m = TddManager::new();
     let spec = generators::grover(n);
     println!("benchmark: {} ({} qubits)", spec.name, spec.n_qubits);
 
-    let mut qts = QuantumTransitionSystem::from_spec(&mut m, &spec);
-    println!("initial subspace dimension: {}", qts.initial().dim());
+    let mut engine = EngineBuilder::new()
+        .build_from_spec(&spec)
+        .expect("well-formed benchmark system");
+    println!("initial subspace dimension: {}", engine.initial().dim());
 
     for strategy in [
         Strategy::Basic,
         Strategy::Addition { k: 1 },
         Strategy::Contraction { k1: 4, k2: 4 },
     ] {
-        let (ops, initial) = qts.parts_mut();
-        let (img, stats) = image(&mut m, &ops, initial, strategy);
-        let invariant = img.equals(&mut m, qts.initial());
+        let (img, stats) = engine
+            .image_with(&strategy)
+            .expect("image computation succeeds");
+        let initial = engine.initial().clone();
+        let invariant = img.equals(engine.manager_mut(), &initial);
         println!(
             "{strategy:<24} image dim {dim}  max #node {nodes:<6}  time {t:?}  \
              cont-cache {hit:.1}%  T(S)=S: {invariant}",
@@ -41,25 +45,28 @@ fn main() {
     }
     println!("all methods agree: T(S) = S holds");
 
-    // Reclaim every dead intermediate: protect the system, sweep, relocate.
-    let before = m.arena_len();
-    let out = m.collect_retaining(&mut [&mut qts]);
+    // Reclaim every dead intermediate: the engine protects its system,
+    // sweeps, and relocates — one call.
+    let before = engine.manager().arena_len();
+    let out = engine.collect(&mut []);
     println!(
         "gc: arena {before} -> {after} nodes ({reclaimed} reclaimed, {live} live)",
-        after = m.arena_len(),
+        after = engine.manager().arena_len(),
         reclaimed = out.reclaimed,
         live = out.live,
     );
     assert!(out.reclaimed > 0, "three image computations leave garbage");
 
-    // The relocated system is fully usable: re-verify the invariant.
-    let (ops, initial) = qts.parts_mut();
-    let (img, _) = image(
-        &mut m,
-        &ops,
-        initial,
-        Strategy::Contraction { k1: 4, k2: 4 },
-    );
-    assert!(img.equals(&mut m, qts.initial()));
+    // The relocated session is fully usable: re-verify the invariant.
+    let kernel = Strategy::Contraction { k1: 4, k2: 4 };
+    let (img, _) = engine.image_with(&kernel).expect("post-gc image");
+    let initial = engine.initial().clone();
+    assert!(img.equals(engine.manager_mut(), &initial));
     println!("post-gc image computation still verifies T(S) = S");
+
+    // The Auto selector routes this deep circuit to the same kernel:
+    println!(
+        "auto selector would run: {}",
+        Auto::default().select(engine.operations())
+    );
 }

@@ -5,14 +5,15 @@
 //! a safety invariant on each — with automatic garbage collection enabled,
 //! so the fixpoint iterations run with a bounded live set. The reclaim
 //! counters printed per system are the observable effect: between
-//! iterations the driver protects the live subspaces, sweeps everything
-//! else, and relocates the survivors.
+//! iterations the engine protects the live subspaces, sweeps everything
+//! else, and relocates the survivors — all internal to the session, with
+//! failures surfacing as `Result` values rather than panics.
 //!
 //! Run with: `cargo run --example reachability`
 
-use qits::{mc, QuantumTransitionSystem, Strategy};
+use qits::{EngineBuilder, Strategy};
 use qits_circuit::generators;
-use qits_tdd::{GcPolicy, TddManager};
+use qits_tdd::GcPolicy;
 
 fn main() {
     let strategy = Strategy::Contraction { k1: 4, k2: 4 };
@@ -23,21 +24,23 @@ fn main() {
         generators::bitflip_code(),
     ];
     for spec in specs {
-        let mut m = TddManager::new();
         // Collect whenever the arena grows 1.5x past the last live set,
-        // re-checked between fixpoint iterations.
-        m.set_gc_policy(Some(GcPolicy {
-            watermark: 1.5,
-            min_interval: 1 << 10,
-        }));
-        let mut qts = QuantumTransitionSystem::from_spec(&mut m, &spec);
-        let r = mc::reachable_space(&mut m, &mut qts, strategy, 40);
+        // re-checked at every safepoint of the fixpoint.
+        let mut engine = EngineBuilder::new()
+            .gc_policy(Some(GcPolicy {
+                watermark: 1.5,
+                min_interval: 1 << 10,
+            }))
+            .strategy(strategy)
+            .build_from_spec(&spec)
+            .expect("well-formed benchmark system");
+        let r = engine.reachable_space(40).expect("fixpoint runs");
         let total_time: std::time::Duration = r.stats.iter().map(|s| s.elapsed).sum();
         println!(
             "{name:<14} initial dim {init:>2} -> reachable dim {dim:>3} in {it:>2} iterations \
              (converged {conv}, {time:?})",
             name = spec.name,
-            init = qts.initial().dim(),
+            init = engine.initial().dim(),
             dim = r.space.dim(),
             it = r.iterations,
             conv = r.converged,
@@ -48,15 +51,15 @@ fn main() {
              (live after last gc {live})",
             coll = r.collections,
             recl = r.reclaimed_nodes,
-            arena = m.arena_len(),
-            live = m.stats().live_after_last_gc,
+            arena = engine.manager().arena_len(),
+            live = engine.manager().stats().live_after_last_gc,
         );
         // Safety: the reachable space is itself an invariant. The GC'd
-        // run above relocated `qts` and `r.space` in place, so both are
-        // valid here — a root-registration bug would panic or corrupt
-        // this check.
+        // run above relocated the session's system and `r.space` in
+        // place, so both are valid here — a root-registration bug would
+        // panic or corrupt this check.
         let mut inv = r.space.clone();
-        let (holds, _) = mc::check_invariant(&mut m, &mut qts, &mut inv, strategy, 40);
+        let (holds, _) = engine.check_invariant(&mut inv, 40).expect("check runs");
         assert!(holds, "reachable space must be invariant");
     }
     println!("all reachability fixpoints verified as invariants (with GC enabled)");

@@ -1,25 +1,27 @@
-//! The PR's acceptance criterion: operation caching is manager-owned, so
-//! repeated image computations on one manager reuse each other's work, and
-//! the hit rates are observable from `ImageStats` / `ManagerStats`.
+//! Operation caching is manager-owned, so repeated image computations in
+//! one engine session reuse each other's work, and the hit rates are
+//! observable from `ImageStats` / `ManagerStats`.
 
-use qits::{image, QuantumTransitionSystem, Strategy};
+use qits::{EngineBuilder, Strategy};
 use qits_circuit::generators;
-use qits_tdd::TddManager;
 
 #[test]
 fn second_contraction_image_hits_the_cache() {
-    let mut m = TddManager::new();
-    let mut qts = QuantumTransitionSystem::from_spec(&mut m, &generators::grover(3));
-    let strategy = Strategy::Contraction { k1: 2, k2: 2 };
+    let mut engine = EngineBuilder::new()
+        .strategy(Strategy::Contraction { k1: 2, k2: 2 })
+        .build_from_spec(&generators::grover(3))
+        .unwrap();
 
-    let (ops, initial) = qts.parts_mut();
-    let (img1, stats1) = image(&mut m, &ops, initial, strategy);
-    let (img2, stats2) = image(&mut m, &ops, initial, strategy);
+    let (img1, stats1) = engine.image().unwrap();
+    let (img2, stats2) = engine.image().unwrap();
 
-    assert!(img1.equals(&mut m, &img2), "same computation, same image");
+    assert!(
+        img1.equals(engine.manager_mut(), &img2),
+        "same computation, same image"
+    );
     assert!(
         stats2.cont_cache.hits > 0,
-        "second image() run on the same manager must hit the contraction \
+        "second image() run in the same session must hit the contraction \
          cache: {:?}",
         stats2.cont_cache
     );
@@ -30,7 +32,7 @@ fn second_contraction_image_hits_the_cache() {
         stats2.cont_hit_rate()
     );
     // The manager-level view agrees with the per-run deltas.
-    let total = m.stats();
+    let total = engine.manager().stats();
     assert!(total.cont_cache.hits >= stats1.cont_cache.hits + stats2.cont_cache.hits);
 }
 
@@ -40,16 +42,15 @@ fn contraction_partition_reuses_within_a_single_run() {
     // reuse the paper's contraction partition depends on shows up as a
     // nonzero hit rate already within one image() call (Grover's initial
     // subspace has dimension 2).
-    let mut m = TddManager::new();
-    let mut qts = QuantumTransitionSystem::from_spec(&mut m, &generators::grover(3));
-    assert!(qts.initial().dim() >= 2, "need >= 2 basis states for reuse");
-    let (ops, initial) = qts.parts_mut();
-    let (_, stats) = image(
-        &mut m,
-        &ops,
-        initial,
-        Strategy::Contraction { k1: 2, k2: 2 },
+    let mut engine = EngineBuilder::new()
+        .strategy(Strategy::Contraction { k1: 2, k2: 2 })
+        .build_from_spec(&generators::grover(3))
+        .unwrap();
+    assert!(
+        engine.initial().dim() >= 2,
+        "need >= 2 basis states for reuse"
     );
+    let (_, stats) = engine.image().unwrap();
     assert!(
         stats.cont_cache.hits > 0,
         "block-against-state contractions must share structure: {:?}",
@@ -66,10 +67,11 @@ fn image_stats_cache_counters_cover_all_strategies() {
         Strategy::Contraction { k1: 2, k2: 2 },
         Strategy::AdditionParallel { k: 1 },
     ] {
-        let mut m = TddManager::new();
-        let mut qts = QuantumTransitionSystem::from_spec(&mut m, &generators::ghz(4));
-        let (ops, initial) = qts.parts_mut();
-        let (_, stats) = image(&mut m, &ops, initial, strategy);
+        let mut engine = EngineBuilder::new()
+            .strategy(strategy)
+            .build_from_spec(&generators::ghz(4))
+            .unwrap();
+        let (_, stats) = engine.image().unwrap();
         assert!(
             stats.cont_cache.lookups() > 0,
             "{strategy}: image() must exercise the contraction cache"
@@ -86,25 +88,27 @@ fn image_stats_cache_counters_cover_all_strategies() {
 fn caching_disabled_computes_the_same_image() {
     let strategy = Strategy::Contraction { k1: 2, k2: 2 };
 
-    let mut cached = TddManager::new();
-    let mut qts_c = QuantumTransitionSystem::from_spec(&mut cached, &generators::grover(3));
-    let (ops_c, initial_c) = qts_c.parts_mut();
-    let (img_c, stats_c) = image(&mut cached, &ops_c, initial_c, strategy);
+    let mut cached = EngineBuilder::new()
+        .strategy(strategy)
+        .build_from_spec(&generators::grover(3))
+        .unwrap();
+    let (img_c, stats_c) = cached.image().unwrap();
 
-    let mut plain = TddManager::new();
-    plain.set_cache_capacity(0);
-    let mut qts_p = QuantumTransitionSystem::from_spec(&mut plain, &generators::grover(3));
-    let (ops_p, initial_p) = qts_p.parts_mut();
-    let (img_p, stats_p) = image(&mut plain, &ops_p, initial_p, strategy);
+    let mut plain = EngineBuilder::new()
+        .strategy(strategy)
+        .cache_capacity(0)
+        .build_from_spec(&generators::grover(3))
+        .unwrap();
+    let (img_p, stats_p) = plain.image().unwrap();
 
     assert_eq!(img_c.dim(), img_p.dim());
     assert_eq!(stats_c.output_dim, stats_p.output_dim);
     assert_eq!(stats_p.cont_cache.hits, 0, "disabled cache must never hit");
     // Same subspace: every cached basis vector lies in the uncached image.
     for &b in img_c.basis() {
-        let moved = plain.import(&cached, b);
+        let moved = plain.manager_mut().import(cached.manager(), b);
         assert!(
-            img_p.contains(&mut plain, moved),
+            img_p.contains(plain.manager_mut(), moved),
             "cached image vector escapes the uncached image"
         );
     }

@@ -105,8 +105,8 @@ proptest! {
         let init = Subspace::from_states(&mut m, 3, &states);
         let op = Operation::from_circuit("rand", &circuit);
         let mut qts = QuantumTransitionSystem::new(3, vec![op], init);
-        let (ops, initial) = qts.parts_mut();
-        let (mut img, _) = image(&mut m, &ops, initial, Strategy::Basic);
+        let ops = qts.operations().clone();
+        let (mut img, _) = image(&mut m, &ops, qts.initial_mut(), Strategy::Basic);
         let probe = m.product_ket(&vars, &probe_amps);
 
         let in_image_before = img.contains(&mut m, probe);
@@ -120,8 +120,7 @@ proptest! {
         prop_assert_eq!(qts.initial().clone().contains(&mut m, probe), in_initial_before);
         // The image is still the image: recomputing it on the relocated
         // system agrees with the relocated copy.
-        let (ops, initial) = qts.parts_mut();
-        let (img2, _) = image(&mut m, &ops, initial, Strategy::Basic);
+        let (img2, _) = image(&mut m, &ops, qts.initial_mut(), Strategy::Basic);
         prop_assert!(img2.equals(&mut m, &img));
     }
 }
@@ -134,7 +133,7 @@ fn aggressive_gc_keeps_arena_bounded_by_live_set() {
     let mut m = TddManager::new();
     let mut qts = QuantumTransitionSystem::from_spec(&mut m, &generators::qrw(3, 0.4));
     let strategy = Strategy::Contraction { k1: 2, k2: 2 };
-    let ops = qts.operations_handle();
+    let ops = qts.operations().clone();
     let mut space = qts.initial().clone();
     let mut collected = 0u64;
     for _ in 0..10 {
@@ -234,11 +233,11 @@ fn parallel_workers_collect_under_policy() {
 
     let mut m_plain = TddManager::new();
     let mut qts_plain = QuantumTransitionSystem::from_spec(&mut m_plain, &spec);
-    let (ops_plain, initial_plain) = qts_plain.parts_mut();
+    let ops_plain = qts_plain.operations().clone();
     let (img_plain, stats_plain) = image(
         &mut m_plain,
         &ops_plain,
-        initial_plain,
+        qts_plain.initial_mut(),
         Strategy::AdditionParallel { k: 2 },
     );
     assert_eq!(stats_plain.reclaimed_nodes, 0);
@@ -246,11 +245,11 @@ fn parallel_workers_collect_under_policy() {
     let mut m_gc = TddManager::new();
     m_gc.set_gc_policy(Some(GcPolicy::aggressive()));
     let mut qts_gc = QuantumTransitionSystem::from_spec(&mut m_gc, &spec);
-    let (ops_gc, initial_gc) = qts_gc.parts_mut();
+    let ops_gc = qts_gc.operations().clone();
     let (img_gc, stats_gc) = image(
         &mut m_gc,
         &ops_gc,
-        initial_gc,
+        qts_gc.initial_mut(),
         Strategy::AdditionParallel { k: 2 },
     );
     assert!(

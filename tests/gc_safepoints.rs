@@ -1,26 +1,26 @@
-//! In-image GC safepoint integration tests.
+//! In-image GC safepoint integration tests, driven through the engine.
 //!
 //! The serial Table-I strategies poll safepoints between addition slices,
 //! between contraction blocks, and after every Gram–Schmidt residual.
 //! These tests force a collection at **every** safepoint (the aggressive
 //! policy collects whenever anything was allocated) and check that
 //!
-//! * `image()` results are bit-for-bit identical to the GC-off run across
-//!   random circuits and strategies,
-//! * peak arena occupancy of a serial addition-partition `image()` stays
+//! * engine image results are bit-for-bit identical to the GC-off run
+//!   across random circuits and strategies,
+//! * peak arena occupancy of a serial addition-partition image stays
 //!   measurably below the grow-only baseline (the memory win the ROADMAP
 //!   follow-up asked for), and
-//! * unrelated structures pinned across the call survive every mid-image
-//!   collection.
+//! * unrelated structures passed as `kept` survive every mid-image
+//!   collection — the engine performs the pinning internally.
 
 use proptest::prelude::*;
 // `qits::Strategy` shadows the proptest trait of the same name.
 use proptest::strategy::Strategy as _;
 
-use qits::{image, QuantumTransitionSystem, Strategy, Subspace};
+use qits::{Engine, EngineBuilder, Strategy, Subspace};
 use qits_circuit::{generators, Circuit, Gate, Operation};
 use qits_num::Cplx;
-use qits_tdd::{GcPolicy, Relocatable, TddManager};
+use qits_tdd::GcPolicy;
 
 fn arb_gate(n: u32) -> impl proptest::strategy::Strategy<Value = Gate> {
     let q = 0..n;
@@ -55,25 +55,31 @@ fn arb_amp() -> impl proptest::strategy::Strategy<Value = (Cplx, Cplx)> {
     })
 }
 
-/// Builds the same random system twice — once per manager — so the GC-on
+/// Builds the same random system twice — once per session — so the GC-on
 /// and GC-off runs start from identical state.
-fn build_qts(
-    m: &mut TddManager,
+fn build_engine(
     n: u32,
     circuit: &Circuit,
     amps: &[Vec<(Cplx, Cplx)>],
-) -> QuantumTransitionSystem {
-    let vars = Subspace::ket_vars(n);
-    let states: Vec<_> = amps.iter().map(|a| m.product_ket(&vars, a)).collect();
-    let init = Subspace::from_states(m, n, &states);
+    strategy: Strategy,
+    policy: Option<GcPolicy>,
+) -> Engine {
     let op = Operation::from_circuit("rand", circuit);
-    QuantumTransitionSystem::new(n, vec![op], init)
+    EngineBuilder::new()
+        .strategy(strategy)
+        .gc_policy(policy)
+        .build_with(n, vec![op], |m| {
+            let vars = Subspace::ket_vars(n);
+            let states: Vec<_> = amps.iter().map(|a| m.product_ket(&vars, a)).collect();
+            Subspace::from_states(m, n, &states)
+        })
+        .unwrap()
 }
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
-    /// Collecting at every safepoint leaves `image()` bit-for-bit
+    /// Collecting at every safepoint leaves the engine's image bit-for-bit
     /// identical to the GC-off run: same dimension, and every basis
     /// vector imports to the *exact same canonical edge* (hash-consing
     /// makes equal tensors equal edges, so this is equality of the
@@ -90,18 +96,19 @@ proptest! {
             Strategy::Contraction { k1: 2, k2: 1 },
             Strategy::Contraction { k1: 1, k2: 2 },
         ] {
-            let mut m_plain = TddManager::new();
-            let mut qts_plain = build_qts(&mut m_plain, 3, &circuit, &amps);
-            let (ops, initial) = qts_plain.parts_mut();
-            let (img_plain, st_plain) = image(&mut m_plain, &ops, initial, strategy);
+            let mut e_plain = build_engine(3, &circuit, &amps, strategy, None);
+            let (img_plain, st_plain) = e_plain.image().unwrap();
             prop_assert_eq!(st_plain.safepoint_collections, 0);
 
-            let mut m_gc = TddManager::new();
-            m_gc.set_gc_policy(Some(GcPolicy::aggressive()));
-            let mut qts_gc = build_qts(&mut m_gc, 3, &circuit, &amps);
-            let input_dim = qts_gc.initial().dim();
-            let (ops, initial) = qts_gc.parts_mut();
-            let (img_gc, st_gc) = image(&mut m_gc, &ops, initial, strategy);
+            let mut e_gc = build_engine(
+                3,
+                &circuit,
+                &amps,
+                strategy,
+                Some(GcPolicy::aggressive()),
+            );
+            let input_dim = e_gc.initial().dim();
+            let (img_gc, st_gc) = e_gc.image().unwrap();
             // The basic method's only polls are between Gram–Schmidt
             // residuals, and the final one is skipped: a dimension-1
             // input legitimately polls zero times there.
@@ -111,20 +118,19 @@ proptest! {
 
             prop_assert_eq!(
                 img_plain.dim(), img_gc.dim(),
-                "{}: dimension changed under forced safepoint collection", strategy
+                "{}: image dimension differs under GC", strategy
             );
             for (&b_plain, &b_gc) in img_plain.basis().iter().zip(img_gc.basis()) {
-                let imported = m_plain.import(&m_gc, b_gc);
+                let imported = e_plain.manager_mut().import(e_gc.manager(), b_gc);
                 prop_assert_eq!(
                     imported, b_plain,
                     "{}: basis vector differs bit-for-bit", strategy
                 );
             }
             // The relocated input is intact too.
-            for (&i_plain, &i_gc) in
-                qts_plain.initial().basis().iter().zip(qts_gc.initial().basis())
-            {
-                let imported = m_plain.import(&m_gc, i_gc);
+            let plain_basis = e_plain.initial().basis().to_vec();
+            for (&i_plain, &i_gc) in plain_basis.iter().zip(e_gc.initial().basis()) {
+                let imported = e_plain.manager_mut().import(e_gc.manager(), i_gc);
                 prop_assert_eq!(imported, i_plain, "{}: input corrupted", strategy);
             }
         }
@@ -132,7 +138,7 @@ proptest! {
 }
 
 /// Acceptance regression: with the aggressive policy, peak arena
-/// occupancy during a serial addition-partition `image()` on the
+/// occupancy during a serial addition-partition image on the
 /// reachability example's systems stays measurably below the grow-only
 /// baseline, with bit-for-bit identical results.
 #[test]
@@ -140,16 +146,18 @@ fn addition_safepoints_cut_peak_arena_below_grow_only() {
     for spec in [generators::grover(4), generators::qrw(4, 0.1)] {
         let strategy = Strategy::Addition { k: 1 };
 
-        let mut m_plain = TddManager::new();
-        let mut qts_plain = QuantumTransitionSystem::from_spec(&mut m_plain, &spec);
-        let (ops, initial) = qts_plain.parts_mut();
-        let (img_plain, st_plain) = image(&mut m_plain, &ops, initial, strategy);
+        let mut e_plain = EngineBuilder::new()
+            .strategy(strategy)
+            .build_from_spec(&spec)
+            .unwrap();
+        let (img_plain, st_plain) = e_plain.image().unwrap();
 
-        let mut m_gc = TddManager::new();
-        m_gc.set_gc_policy(Some(GcPolicy::aggressive()));
-        let mut qts_gc = QuantumTransitionSystem::from_spec(&mut m_gc, &spec);
-        let (ops, initial) = qts_gc.parts_mut();
-        let (img_gc, st_gc) = image(&mut m_gc, &ops, initial, strategy);
+        let mut e_gc = EngineBuilder::new()
+            .strategy(strategy)
+            .gc_policy(Some(GcPolicy::aggressive()))
+            .build_from_spec(&spec)
+            .unwrap();
+        let (img_gc, st_gc) = e_gc.image().unwrap();
 
         assert!(
             st_gc.safepoint_collections > 0,
@@ -171,7 +179,7 @@ fn addition_safepoints_cut_peak_arena_below_grow_only() {
         // Bit-for-bit agreement of the images.
         assert_eq!(img_plain.dim(), img_gc.dim(), "{}", spec.name);
         for (&b_plain, &b_gc) in img_plain.basis().iter().zip(img_gc.basis()) {
-            let imported = m_plain.import(&m_gc, b_gc);
+            let imported = e_plain.manager_mut().import(e_gc.manager(), b_gc);
             assert_eq!(imported, b_plain, "{}: image differs", spec.name);
         }
     }
@@ -184,16 +192,18 @@ fn contraction_safepoints_cut_peak_arena_below_grow_only() {
     let spec = generators::qrw(4, 0.1);
     let strategy = Strategy::Contraction { k1: 2, k2: 2 };
 
-    let mut m_plain = TddManager::new();
-    let mut qts_plain = QuantumTransitionSystem::from_spec(&mut m_plain, &spec);
-    let (ops, initial) = qts_plain.parts_mut();
-    let (_, st_plain) = image(&mut m_plain, &ops, initial, strategy);
+    let mut e_plain = EngineBuilder::new()
+        .strategy(strategy)
+        .build_from_spec(&spec)
+        .unwrap();
+    let (_, st_plain) = e_plain.image().unwrap();
 
-    let mut m_gc = TddManager::new();
-    m_gc.set_gc_policy(Some(GcPolicy::aggressive()));
-    let mut qts_gc = QuantumTransitionSystem::from_spec(&mut m_gc, &spec);
-    let (ops, initial) = qts_gc.parts_mut();
-    let (_, st_gc) = image(&mut m_gc, &ops, initial, strategy);
+    let mut e_gc = EngineBuilder::new()
+        .strategy(strategy)
+        .gc_policy(Some(GcPolicy::aggressive()))
+        .build_from_spec(&spec)
+        .unwrap();
+    let (_, st_gc) = e_gc.image().unwrap();
 
     assert!(st_gc.safepoint_collections > 0);
     assert!(
@@ -205,30 +215,31 @@ fn contraction_safepoints_cut_peak_arena_below_grow_only() {
 }
 
 /// A subspace that is neither the image input nor its output survives
-/// in-image safepoint collections when pinned — the contract the fixpoint
-/// drivers rely on — and unpin restores it exactly.
+/// in-image safepoint collections when passed as `kept` — the engine pins
+/// it (and its own system) internally; no `pin`/`unpin` in sight.
 #[test]
-fn pinned_bystander_survives_in_image_collections() {
-    let mut m = TddManager::new();
-    m.set_gc_policy(Some(GcPolicy::aggressive()));
+fn kept_bystander_survives_in_image_collections() {
     let spec = generators::qrw(4, 0.1);
-    let mut qts = QuantumTransitionSystem::from_spec(&mut m, &spec);
+    let mut engine = EngineBuilder::new()
+        .strategy(Strategy::Addition { k: 1 })
+        .gc_policy(Some(GcPolicy::aggressive()))
+        .build_from_spec(&spec)
+        .unwrap();
 
-    // An unrelated subspace living on the same manager.
+    // An unrelated subspace living on the same session.
     let vars = Subspace::ket_vars(4);
-    let b0 = m.basis_ket(&vars, &[false, true, false, true]);
-    let b1 = m.basis_ket(&vars, &[true, true, false, false]);
-    let mut bystander = Subspace::from_states(&mut m, 4, &[b0, b1]);
+    let b0 = engine
+        .manager_mut()
+        .basis_ket(&vars, &[false, true, false, true]);
+    let b1 = engine
+        .manager_mut()
+        .basis_ket(&vars, &[true, true, false, false]);
+    let mut bystander = engine.subspace_from_states(&[b0, b1]).unwrap();
 
-    let (ops, _) = qts.parts_mut();
-    let mut input = qts.initial().clone();
-    let (img, st) = {
-        let mut pinned: Vec<&mut dyn Relocatable> = vec![&mut qts, &mut bystander];
-        let pins = m.pin(&mut pinned);
-        let result = image(&mut m, &ops, &mut input, Strategy::Addition { k: 1 });
-        m.unpin(pins, &mut pinned);
-        result
-    };
+    let mut input = engine.initial().clone();
+    let (img, st) = engine
+        .image_of_keeping(&mut input, &mut [&mut bystander])
+        .unwrap();
     assert!(
         st.safepoint_collections > 0,
         "test must actually exercise mid-image collections"
@@ -238,23 +249,34 @@ fn pinned_bystander_survives_in_image_collections() {
     // The bystander was relocated, not corrupted: still dimension 2,
     // still contains exactly its generators.
     assert_eq!(bystander.dim(), 2);
-    let b0_again = m.basis_ket(&vars, &[false, true, false, true]);
-    let b1_again = m.basis_ket(&vars, &[true, true, false, false]);
-    let b2_other = m.basis_ket(&vars, &[true, true, true, true]);
-    assert!(bystander.contains(&mut m, b0_again));
-    assert!(bystander.contains(&mut m, b1_again));
-    assert!(!bystander.contains(&mut m, b2_other));
-    // And the pinned transition system still denotes its initial space.
+    let b0_again = engine
+        .manager_mut()
+        .basis_ket(&vars, &[false, true, false, true]);
+    let b1_again = engine
+        .manager_mut()
+        .basis_ket(&vars, &[true, true, false, false]);
+    let b2_other = engine
+        .manager_mut()
+        .basis_ket(&vars, &[true, true, true, true]);
+    assert!(bystander.contains(engine.manager_mut(), b0_again));
+    assert!(bystander.contains(engine.manager_mut(), b1_again));
+    assert!(!bystander.contains(engine.manager_mut(), b2_other));
+    // And the internally pinned system still denotes its initial space.
     let fresh = {
         let states: Vec<_> = spec
             .initial_states
             .iter()
-            .map(|amps| m.product_ket(&vars, amps))
+            .map(|amps| engine.manager_mut().product_ket(&vars, amps))
             .collect();
-        Subspace::from_states(&mut m, 4, &states)
+        engine.subspace_from_states(&states).unwrap()
     };
-    assert!(qts.initial().clone().equals(&mut m, &fresh));
-    assert_eq!(m.root_count(), 0, "unpin must release every root");
+    let initial = engine.initial().clone();
+    assert!(initial.equals(engine.manager_mut(), &fresh));
+    assert_eq!(
+        engine.manager().root_count(),
+        0,
+        "the engine must release every root it takes"
+    );
 }
 
 /// The fixpoint drivers fold in-image safepoint collections into their
@@ -263,10 +285,12 @@ fn pinned_bystander_survives_in_image_collections() {
 /// carry the safepoint counters.
 #[test]
 fn reachability_reports_in_image_safepoint_collections() {
-    let mut m = TddManager::new();
-    m.set_gc_policy(Some(GcPolicy::aggressive()));
-    let mut qts = QuantumTransitionSystem::from_spec(&mut m, &generators::qrw(3, 0.4));
-    let r = qits::mc::reachable_space(&mut m, &mut qts, Strategy::Addition { k: 1 }, 20);
+    let mut engine = EngineBuilder::new()
+        .strategy(Strategy::Addition { k: 1 })
+        .gc_policy(Some(GcPolicy::aggressive()))
+        .build_from_spec(&generators::qrw(3, 0.4))
+        .unwrap();
+    let r = engine.reachable_space(20).unwrap();
     assert!(r.converged);
     assert!(r.collections > 0);
     assert!(r.reclaimed_nodes > 0);

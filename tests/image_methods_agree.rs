@@ -2,9 +2,8 @@
 //! and the contraction partition must compute the *same* image subspace on
 //! every benchmark family — the central soundness claim behind Table I.
 
-use qits::{image, QuantumTransitionSystem, Strategy, Subspace};
+use qits::{EngineBuilder, Strategy, Subspace};
 use qits_circuit::generators::{self, QtsSpec};
-use qits_tdd::TddManager;
 
 fn strategies() -> Vec<Strategy> {
     vec![
@@ -34,24 +33,24 @@ fn check_all_agree_with_forced_gc(spec: &QtsSpec) {
 }
 
 fn check_all_agree_inner(spec: &QtsSpec, force_gc: bool) {
-    let mut m = TddManager::new();
-    let mut qts = QuantumTransitionSystem::from_spec(&mut m, spec);
+    let mut engine = EngineBuilder::new().build_from_spec(spec).unwrap();
     let mut reference: Option<Subspace> = None;
     for s in strategies() {
-        let (ops, initial) = qts.parts_mut();
-        let (mut img, stats) = image(&mut m, &ops, initial, s);
+        let (mut img, stats) = engine.image_with(&s).unwrap();
         assert_eq!(img.dim(), stats.output_dim);
         if force_gc {
-            let mut holders: Vec<&mut dyn qits_tdd::Relocatable> = vec![&mut qts, &mut img];
+            // The engine retains its own system; the computed images ride
+            // through the sweep as `kept` subspaces.
+            let mut kept: Vec<&mut Subspace> = vec![&mut img];
             if let Some(r) = reference.as_mut() {
-                holders.push(r);
+                kept.push(r);
             }
-            m.collect_retaining(&mut holders);
+            engine.collect(&mut kept);
         }
         match &reference {
             None => reference = Some(img),
             Some(r) => assert!(
-                img.equals(&mut m, r),
+                img.equals(engine.manager_mut(), r),
                 "{}: strategy {s} disagrees with basic{}",
                 spec.name,
                 if force_gc { " (with forced GC)" } else { "" }
@@ -114,24 +113,21 @@ fn grover_all_strategies_agree_with_forced_gc() {
 #[test]
 fn grover_invariance_at_moderate_size() {
     // T(S) = S scales with the register: check at 7 qubits.
-    let mut m = TddManager::new();
-    let mut qts = QuantumTransitionSystem::from_spec(&mut m, &generators::grover(7));
-    let (ops, initial) = qts.parts_mut();
-    let (img, _) = image(
-        &mut m,
-        &ops,
-        initial,
-        Strategy::Contraction { k1: 4, k2: 4 },
-    );
-    assert!(img.equals(&mut m, qts.initial()));
+    let mut engine = EngineBuilder::new()
+        .strategy(Strategy::Contraction { k1: 4, k2: 4 })
+        .build_from_spec(&generators::grover(7))
+        .unwrap();
+    let (img, _) = engine.image().unwrap();
+    let initial = engine.initial().clone();
+    assert!(img.equals(engine.manager_mut(), &initial));
 }
 
 #[test]
 fn image_dim_is_bounded_by_branches_times_input_dim() {
-    let mut m = TddManager::new();
-    let spec = generators::qrw(4, 0.2);
-    let mut qts = QuantumTransitionSystem::from_spec(&mut m, &spec);
-    let (ops, initial) = qts.parts_mut();
-    let (img, stats) = image(&mut m, &ops, initial, Strategy::Basic);
-    assert!(img.dim() <= stats.branches * qts.initial().dim());
+    let mut engine = EngineBuilder::new()
+        .strategy(Strategy::Basic)
+        .build_from_spec(&generators::qrw(4, 0.2))
+        .unwrap();
+    let (img, stats) = engine.image().unwrap();
+    assert!(img.dim() <= stats.branches * engine.initial().dim());
 }

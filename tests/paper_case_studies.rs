@@ -1,51 +1,58 @@
 //! End-to-end reproductions of the three worked examples in the paper's
 //! Section III-A: combinational (Grover), dynamic (bit-flip code), and
-//! noisy (quantum walk) circuits.
+//! noisy (quantum walk) circuits — all driven through the engine session.
 
-use qits::{image, QuantumTransitionSystem, Strategy, Subspace};
+use qits::{EngineBuilder, Strategy, Subspace};
 use qits_circuit::generators;
 use qits_circuit::tensorize::states;
-use qits_tdd::TddManager;
 
 const STRATEGY: Strategy = Strategy::Contraction { k1: 3, k2: 2 };
 
 /// Section III-A.1: `T1(S) = S` for `S = span{|++->, |11->}`.
 #[test]
 fn grover_iteration_preserves_its_invariant_subspace() {
-    let mut m = TddManager::new();
-    let mut qts = QuantumTransitionSystem::from_spec(&mut m, &generators::grover(3));
-    assert_eq!(qts.initial().dim(), 2);
-    let (ops, initial) = qts.parts_mut();
-    let (img, _) = image(&mut m, &ops, initial, STRATEGY);
-    assert!(img.equals(&mut m, qts.initial()));
+    let mut engine = EngineBuilder::new()
+        .strategy(STRATEGY)
+        .build_from_spec(&generators::grover(3))
+        .unwrap();
+    assert_eq!(engine.initial().dim(), 2);
+    let (img, _) = engine.image().unwrap();
+    let initial = engine.initial().clone();
+    assert!(img.equals(engine.manager_mut(), &initial));
 }
 
 /// Section III-A.1, sharper: a state in S maps into S, and a state outside
 /// S maps outside S's one-step image.
 #[test]
 fn grover_iteration_image_of_single_state() {
-    let mut m = TddManager::new();
     let spec = generators::grover(3);
-    let vars = Subspace::ket_vars(3);
-    let ppm = m.product_ket(&vars, &[states::PLUS, states::PLUS, states::MINUS]);
-    let single = Subspace::from_states(&mut m, 3, &[ppm]);
-    let mut qts = QuantumTransitionSystem::new(3, spec.operations.clone(), single);
-    let (ops, initial) = qts.parts_mut();
-    let (img, _) = image(&mut m, &ops, initial, STRATEGY);
+    let mut engine = EngineBuilder::new()
+        .strategy(STRATEGY)
+        .build_with(3, spec.operations.clone(), |m| {
+            let vars = Subspace::ket_vars(3);
+            let ppm = m.product_ket(&vars, &[states::PLUS, states::PLUS, states::MINUS]);
+            Subspace::from_states(m, 3, &[ppm])
+        })
+        .unwrap();
+    let (img, _) = engine.image().unwrap();
     // One Grover iteration of |++-> is exactly |11-> (marked state found).
-    let oom = m.product_ket(&vars, &[states::ONE, states::ONE, states::MINUS]);
+    let vars = Subspace::ket_vars(3);
+    let oom = engine
+        .manager_mut()
+        .product_ket(&vars, &[states::ONE, states::ONE, states::MINUS]);
     assert_eq!(img.dim(), 1);
-    assert!(img.contains(&mut m, oom));
+    assert!(img.contains(engine.manager_mut(), oom));
 }
 
 /// Section III-A.2: the bit-flip correction maps
 /// `span{|100>,|010>,|001>} (x) |000>` to data `|000>` in every branch.
 #[test]
 fn bitflip_code_corrects_single_errors() {
-    let mut m = TddManager::new();
-    let mut qts = QuantumTransitionSystem::from_spec(&mut m, &generators::bitflip_code());
-    let (ops, initial) = qts.parts_mut();
-    let (img, _) = image(&mut m, &ops, initial, STRATEGY);
+    let mut engine = EngineBuilder::new()
+        .strategy(STRATEGY)
+        .build_from_spec(&generators::bitflip_code())
+        .unwrap();
+    let (img, _) = engine.image().unwrap();
     // Expected: data |000> with the three firing syndromes.
     let vars = Subspace::ket_vars(6);
     let expected_states: Vec<_> = [
@@ -54,27 +61,34 @@ fn bitflip_code_corrects_single_errors() {
         [false, true, true],
     ]
     .iter()
-    .map(|synd| m.basis_ket(&vars, &[false, false, false, synd[0], synd[1], synd[2]]))
+    .map(|synd| {
+        engine
+            .manager_mut()
+            .basis_ket(&vars, &[false, false, false, synd[0], synd[1], synd[2]])
+    })
     .collect();
-    let expected = Subspace::from_states(&mut m, 6, &expected_states);
-    assert!(img.equals(&mut m, &expected));
+    let expected = engine.subspace_from_states(&expected_states).unwrap();
+    assert!(img.equals(engine.manager_mut(), &expected));
 }
 
 /// Section III-A.2: with *no* error, only T000 fires and the data is
 /// untouched.
 #[test]
 fn bitflip_code_no_error_passes_through() {
-    let mut m = TddManager::new();
     let spec = generators::bitflip_code();
-    let vars = Subspace::ket_vars(6);
-    let clean = m.basis_ket(&vars, &[false; 6]);
-    let init = Subspace::from_states(&mut m, 6, &[clean]);
-    let mut qts = QuantumTransitionSystem::new(6, spec.operations.clone(), init);
-    let (ops, initial) = qts.parts_mut();
-    let (img, _) = image(&mut m, &ops, initial, STRATEGY);
+    let mut engine = EngineBuilder::new()
+        .strategy(STRATEGY)
+        .build_with(6, spec.operations.clone(), |m| {
+            let vars = Subspace::ket_vars(6);
+            let clean = m.basis_ket(&vars, &[false; 6]);
+            Subspace::from_states(m, 6, &[clean])
+        })
+        .unwrap();
+    let (img, _) = engine.image().unwrap();
     assert_eq!(img.dim(), 1);
-    let expected = m.basis_ket(&vars, &[false; 6]); // syndrome 000
-    assert!(img.contains(&mut m, expected));
+    let vars = Subspace::ket_vars(6);
+    let expected = engine.manager_mut().basis_ket(&vars, &[false; 6]); // syndrome 000
+    assert!(img.contains(engine.manager_mut(), expected));
 }
 
 /// Section III-A.3: one noisy walk step maps `span{|0>|i>}` into
@@ -84,18 +98,20 @@ fn bitflip_code_no_error_passes_through() {
 /// paper notes) the error "will not influence the reachable subspace".
 #[test]
 fn noisy_walk_single_step_images() {
-    let mut m = TddManager::new();
     let spec = generators::qrw(4, 0.3);
     let vars = Subspace::ket_vars(4);
     for i in 0..8usize {
         let bits: Vec<bool> = std::iter::once(false)
             .chain((0..3).map(|b| (i >> (2 - b)) & 1 == 1))
             .collect();
-        let start = m.basis_ket(&vars, &bits);
-        let init = Subspace::from_states(&mut m, 4, &[start]);
-        let mut qts = QuantumTransitionSystem::new(4, spec.operations.clone(), init);
-        let (ops, initial) = qts.parts_mut();
-        let (img, _) = image(&mut m, &ops, initial, STRATEGY);
+        let mut engine = EngineBuilder::new()
+            .strategy(STRATEGY)
+            .build_with(4, spec.operations.clone(), |m| {
+                let start = m.basis_ket(&Subspace::ket_vars(4), &bits);
+                Subspace::from_states(m, 4, &[start])
+            })
+            .unwrap();
+        let (img, _) = engine.image().unwrap();
 
         let down = (i + 7) % 8;
         let up = (i + 1) % 8;
@@ -105,21 +121,22 @@ fn noisy_walk_single_step_images() {
         let up_bits: Vec<bool> = std::iter::once(true)
             .chain((0..3).map(|b| (up >> (2 - b)) & 1 == 1))
             .collect();
-        let kd = m.basis_ket(&vars, &down_bits);
-        let ku = m.basis_ket(&vars, &up_bits);
+        let kd = engine.manager_mut().basis_ket(&vars, &down_bits);
+        let ku = engine.manager_mut().basis_ket(&vars, &up_bits);
         // The exact image: one entangled ray inside the paper's span.
         assert_eq!(img.dim(), 1, "walk step from position {i}");
         let superpos = {
+            let m = engine.manager_mut();
             let sum = m.add(kd, ku);
             m.scale(sum, qits_num::Cplx::FRAC_1_SQRT_2)
         };
         assert!(
-            img.contains(&mut m, superpos),
+            img.contains(engine.manager_mut(), superpos),
             "walk step from position {i}: ray mismatch"
         );
-        let bound = Subspace::from_states(&mut m, 4, &[kd, ku]);
+        let bound = engine.subspace_from_states(&[kd, ku]).unwrap();
         assert!(
-            img.is_subspace_of(&mut m, &bound),
+            img.is_subspace_of(engine.manager_mut(), &bound),
             "walk step from position {i}: escapes the paper's span"
         );
     }
@@ -129,14 +146,25 @@ fn noisy_walk_single_step_images() {
 /// amplitudes): images for different p coincide.
 #[test]
 fn noisy_walk_subspace_independent_of_noise_probability() {
-    let mut m = TddManager::new();
+    let mut engines = Vec::new();
     let mut images = Vec::new();
     for p in [0.05, 0.5, 0.95] {
-        let mut qts = QuantumTransitionSystem::from_spec(&mut m, &generators::qrw(4, p));
-        let (ops, initial) = qts.parts_mut();
-        let (img, _) = image(&mut m, &ops, initial, STRATEGY);
+        let mut engine = EngineBuilder::new()
+            .strategy(STRATEGY)
+            .build_from_spec(&generators::qrw(4, p))
+            .unwrap();
+        let (img, _) = engine.image().unwrap();
+        engines.push(engine);
         images.push(img);
     }
-    assert!(images[0].equals(&mut m, &images[1]));
-    assert!(images[1].equals(&mut m, &images[2]));
+    // Compare across sessions by importing each basis into the first.
+    let (first, rest) = engines.split_at_mut(1);
+    for (other_img, other_engine) in images[1..].iter().zip(rest.iter()) {
+        let mut imported = Subspace::zero(4);
+        for &b in other_img.basis() {
+            let e = first[0].manager_mut().import(other_engine.manager(), b);
+            imported.absorb(first[0].manager_mut(), e);
+        }
+        assert!(images[0].equals(first[0].manager_mut(), &imported));
+    }
 }

@@ -110,8 +110,8 @@ proptest! {
             Strategy::Contraction { k1: 2, k2: 1 },
             Strategy::Contraction { k1: 1, k2: 2 },
         ] {
-            let (ops, initial) = qts.parts_mut();
-            let (img, _) = image(&mut m, &ops, initial, strategy);
+            let ops = qts.operations().clone();
+            let (img, _) = image(&mut m, &ops, qts.initial_mut(), strategy);
             prop_assert_eq!(img.dim(), expect.len(), "dim mismatch ({})", strategy);
             for &b in img.basis() {
                 let v = dense_of_ket(&m, n, b);

@@ -28,7 +28,7 @@ fn iterates_are_monotone() {
     let qts = QuantumTransitionSystem::from_spec(&mut m, &generators::qrw(4, 0.2));
     let strategy = Strategy::Contraction { k1: 2, k2: 2 };
     // Manually unroll the iteration, checking S_i <= S_{i+1}.
-    let ops = qts.operations_handle();
+    let ops = qts.operations().clone();
     let mut space = qts.initial().clone();
     for _ in 0..6 {
         let (img, _) = qits::image(&mut m, &ops, &mut space, strategy);
