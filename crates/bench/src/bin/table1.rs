@@ -21,7 +21,7 @@ use std::time::Duration;
 
 use qits_bench::{
     auto_selected, ci_report_json, fmt_count, fmt_secs, maybe_run_one, run_case_subprocess,
-    run_image_gc, spec_for, strategy_for, CiRow, METHODS,
+    run_image_gc, run_pool_throughput, spec_for, strategy_for, CiRow, CI_POOL_CASE, METHODS,
 };
 use qits_tdd::GcPolicy;
 
@@ -217,12 +217,37 @@ fn run_ci_smoke(timeout: Duration) -> i32 {
             auto_selected: auto,
         });
     }
-    let json = ci_report_json(&rows);
+    // The pool throughput row (schema v3): a batch of independent image
+    // jobs through the EnginePool vs one fresh serial engine per job.
+    // Hard-fail on any failed job (a correctness regression); the speedup
+    // itself is recorded as a tracked perf number, not gated, because CI
+    // runner core counts vary.
+    let (family, n, method, workers, jobs) = CI_POOL_CASE;
+    println!("ci: pool {family}{n} / {method} ({workers} workers, {jobs} jobs)");
+    let pool = run_pool_throughput(family, n, method, workers, jobs);
+    if pool.jobs_failed > 0 {
+        eprintln!(
+            "ci: FAIL pool run failed {} of {} jobs",
+            pool.jobs_failed, pool.jobs
+        );
+        return 1;
+    }
+    println!(
+        "ci:   ok  serial {:.3}s  pool {:.3}s  speedup {:.2}x",
+        pool.serial_secs, pool.pool_secs, pool.speedup
+    );
+    if pool.speedup < 2.0 {
+        eprintln!(
+            "ci: WARN pool speedup {:.2}x below the 2x floor on this runner",
+            pool.speedup
+        );
+    }
+    let json = ci_report_json(&rows, &pool);
     if let Err(e) = std::fs::write("BENCH_ci.json", &json) {
         eprintln!("ci: FAIL cannot write BENCH_ci.json: {e}");
         return 1;
     }
-    println!("ci: wrote BENCH_ci.json ({} cases)", rows.len());
+    println!("ci: wrote BENCH_ci.json ({} cases + pool)", rows.len());
     0
 }
 

@@ -7,9 +7,12 @@
 //! ordering, node-count growth) is the reproduction target; see
 //! EXPERIMENTS.md.
 
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use qits::{mc, Auto, Engine, EngineBuilder, ImageStats, ImageStrategy, Strategy, Subspace};
+use qits::{
+    mc, Auto, Engine, EngineBuilder, EnginePool, EngineSpec, ImageStats, ImageStrategy, Job,
+    Strategy, Subspace,
+};
 use qits_circuit::generators::{self, QtsSpec};
 use qits_tdd::GcPolicy;
 
@@ -212,6 +215,95 @@ pub fn run_reachability(
     (r, engine)
 }
 
+/// One pool-vs-serial throughput measurement: the same batch of
+/// independent image jobs served by an [`EnginePool`] and by the
+/// pre-pool serving model (one **fresh** serial engine per job, which is
+/// also the differential suite's baseline semantics). The pool wins on
+/// two axes at once — parallelism across workers and warm per-worker
+/// operation caches across the jobs each worker serves — so the speedup
+/// floor holds even on single-core CI runners.
+#[derive(Debug, Clone)]
+pub struct PoolMeasurement {
+    /// Benchmark family of the job's system.
+    pub family: String,
+    /// Register size.
+    pub n: u32,
+    /// Table-I method name.
+    pub method: String,
+    /// Worker threads in the pool.
+    pub workers: usize,
+    /// Independent image jobs in the batch.
+    pub jobs: usize,
+    /// Wall-clock seconds for the serial fresh-engine-per-job run.
+    pub serial_secs: f64,
+    /// Wall-clock seconds for the pool run (submit batch, join all).
+    pub pool_secs: f64,
+    /// `serial_secs / pool_secs`.
+    pub speedup: f64,
+    /// Jobs the pool failed (must be 0 for a healthy run).
+    pub jobs_failed: u64,
+}
+
+/// Measures [`PoolMeasurement`] for one `(family, n, method)` workload:
+/// `jobs` independent image jobs, serially on fresh engines and through a
+/// `workers`-wide pool built from the same [`EngineSpec`].
+pub fn run_pool_throughput(
+    family: &str,
+    n: u32,
+    method: &str,
+    workers: usize,
+    jobs: usize,
+) -> PoolMeasurement {
+    // GC off: a throughput bench wants maximal operation-cache retention
+    // across the jobs a worker serves (a collection purges the epoch-
+    // tagged caches). Long-running deployments pick their own policy
+    // through the spec; correctness under forced GC is the differential
+    // suite's job, not this bench's.
+    let spec = EngineSpec::new(spec_for(family, n))
+        .strategy(strategy_for(method))
+        .gc_policy(None);
+
+    let start = Instant::now();
+    for _ in 0..jobs {
+        let mut engine = spec
+            .build()
+            .expect("benchmark spec must form a valid system");
+        engine.image().expect("benchmark image must compute");
+    }
+    let serial_secs = start.elapsed().as_secs_f64();
+
+    let pool = EnginePool::builder(spec)
+        .workers(workers)
+        .build()
+        .expect("benchmark spec must form a valid system");
+    let start = Instant::now();
+    let handles = pool.submit_batch(vec![Job::image(); jobs]);
+    for h in handles {
+        h.join().expect("pool image job must compute");
+    }
+    let pool_secs = start.elapsed().as_secs_f64();
+    let stats = pool.shutdown();
+
+    PoolMeasurement {
+        family: family.into(),
+        n,
+        method: method.into(),
+        workers,
+        jobs,
+        serial_secs,
+        pool_secs,
+        speedup: serial_secs / pool_secs.max(f64::MIN_POSITIVE),
+        jobs_failed: stats.jobs_failed,
+    }
+}
+
+/// The pool workload the CI bench-smoke measures: the elementarised
+/// Grover instance under the basic (monolithic-operator) method — heavy
+/// enough per job that compute dwarfs queue overhead, and cache-friendly
+/// enough that a worker's warm repeats run several times cheaper than a
+/// cold session — on a 4-worker pool and a 32-job batch.
+pub const CI_POOL_CASE: (&str, u32, &str, usize, usize) = ("grover-elem", 9, "basic", 4, 32);
+
 /// The kernel the [`Auto`] selector picks for a benchmark instance —
 /// recorded per CI case in `BENCH_ci.json` so the selector's decisions
 /// are tracked as a perf artifact over time.
@@ -356,11 +448,30 @@ pub struct CiRow {
     pub auto_selected: String,
 }
 
-/// Serialises the CI bench rows as `BENCH_ci.json` (hand-rolled — the
-/// workspace carries no serde). Schema is versioned so downstream
-/// trajectory tooling can evolve it.
-pub fn ci_report_json(rows: &[CiRow]) -> String {
-    let mut out = String::from("{\n  \"schema\": \"qits-bench-ci/2\",\n  \"cases\": [\n");
+/// Serialises the CI bench rows plus the pool throughput measurement as
+/// `BENCH_ci.json` (hand-rolled — the workspace carries no serde).
+/// Schema is versioned so downstream trajectory tooling can evolve it;
+/// v3 adds the `pool` object (workers, batch size, serial vs pool
+/// seconds, speedup).
+pub fn ci_report_json(rows: &[CiRow], pool: &PoolMeasurement) -> String {
+    let mut out = String::from("{\n  \"schema\": \"qits-bench-ci/3\",\n");
+    out.push_str(&format!(
+        concat!(
+            "  \"pool\": {{\"family\": \"{}\", \"n\": {}, \"method\": \"{}\", ",
+            "\"workers\": {}, \"jobs\": {}, \"serial_secs\": {:.6}, ",
+            "\"pool_secs\": {:.6}, \"speedup\": {:.3}, \"jobs_failed\": {}}},\n",
+        ),
+        pool.family,
+        pool.n,
+        pool.method,
+        pool.workers,
+        pool.jobs,
+        pool.serial_secs,
+        pool.pool_secs,
+        pool.speedup,
+        pool.jobs_failed,
+    ));
+    out.push_str("  \"cases\": [\n");
     for (i, r) in rows.iter().enumerate() {
         let sub = &r.subprocess;
         let gc = &r.gc;
@@ -512,8 +623,15 @@ mod tests {
             gc,
             auto_selected: auto_selected(family, n),
         }];
-        let json = ci_report_json(&rows);
-        assert!(json.contains("\"schema\": \"qits-bench-ci/2\""));
+        // A tiny pool measurement keeps this test fast; the real CI case
+        // is CI_POOL_CASE.
+        let pool = run_pool_throughput("ghz", 4, "contraction", 2, 4);
+        assert_eq!(pool.jobs_failed, 0);
+        assert!(pool.serial_secs > 0.0 && pool.pool_secs > 0.0);
+        let json = ci_report_json(&rows, &pool);
+        assert!(json.contains("\"schema\": \"qits-bench-ci/3\""));
+        assert!(json.contains("\"pool\": {\"family\": \"ghz\""));
+        assert!(json.contains("\"speedup\""));
         assert!(json.contains("\"safepoint_collections\""));
         assert!(json.contains("\"auto_selected\""));
         assert!(json.contains(&format!("\"family\": \"{family}\"")));

@@ -55,7 +55,13 @@ use crate::subspace::Subspace;
 /// delegating to the kernel Table I says should win. Custom
 /// implementations may override [`ImageStrategy::compute`] entirely —
 /// the engine only ever dispatches through the trait.
-pub trait ImageStrategy: fmt::Debug {
+///
+/// `Send` is a supertrait: a strategy travels with its [`Engine`] session,
+/// and sessions move between threads — [`crate::EnginePool`] workers each
+/// own one. Strategies are configuration, not shared mutable state, so
+/// every reasonable implementation is `Send` already; the bound makes a
+/// thread-affine regression a compile error.
+pub trait ImageStrategy: fmt::Debug + Send {
     /// Human-readable name, used by stats sinks, logs, and the CI perf
     /// artifact.
     fn name(&self) -> String;
@@ -169,7 +175,11 @@ impl ImageStrategy for Auto {
 
 /// Callback receiving `(strategy name, stats)` after every image
 /// computation an engine performs (fixpoint iterations included).
-pub type StatsSink = Box<dyn FnMut(&str, &ImageStats)>;
+///
+/// `Send` so the owning [`Engine`] stays `Send` — pool workers report
+/// their per-image stats through exactly this hook, from their own
+/// threads, into shared aggregation state.
+pub type StatsSink = Box<dyn FnMut(&str, &ImageStats) + Send>;
 
 /// Configures and constructs an [`Engine`].
 ///
@@ -249,9 +259,17 @@ impl EngineBuilder {
         self
     }
 
+    /// [`EngineBuilder::strategy`] for an already-boxed strategy object —
+    /// the form a strategy factory (e.g. [`crate::EngineSpec`]'s, which
+    /// stamps one strategy per pool worker) naturally produces.
+    pub fn strategy_boxed(mut self, strategy: Box<dyn ImageStrategy>) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
     /// A callback invoked with `(strategy name, stats)` after every image
     /// computation.
-    pub fn stats_sink(mut self, sink: impl FnMut(&str, &ImageStats) + 'static) -> Self {
+    pub fn stats_sink(mut self, sink: impl FnMut(&str, &ImageStats) + Send + 'static) -> Self {
         self.sink = Some(Box::new(sink));
         self
     }
@@ -561,8 +579,7 @@ mod tests {
     use super::*;
     use qits_circuit::generators;
     use qits_tdd::GcPolicy;
-    use std::cell::RefCell;
-    use std::rc::Rc;
+    use std::sync::{Arc, Mutex};
 
     #[test]
     fn engine_image_matches_initial_invariant() {
@@ -624,20 +641,22 @@ mod tests {
 
     #[test]
     fn stats_sink_sees_every_image_with_the_strategy_name() {
-        let seen: Rc<RefCell<Vec<String>>> = Rc::default();
+        // Arc<Mutex<_>>, not Rc<RefCell<_>>: the sink must be Send so the
+        // engine stays Send (see tests/send_bounds.rs).
+        let seen: Arc<Mutex<Vec<String>>> = Arc::default();
         let seen2 = seen.clone();
         let mut engine = EngineBuilder::new()
             .strategy(Strategy::Basic)
             .stats_sink(move |name, stats| {
                 assert!(stats.branches > 0);
-                seen2.borrow_mut().push(name.to_string());
+                seen2.lock().unwrap().push(name.to_string());
             })
             .build_from_spec(&generators::qrw(3, 0.3))
             .unwrap();
         engine.image().unwrap();
         let r = engine.reachable_space(10).unwrap();
         assert!(r.converged);
-        let names = seen.borrow();
+        let names = seen.lock().unwrap();
         assert_eq!(names.len(), 1 + r.iterations);
         assert!(names.iter().all(|n| n == "basic"));
     }

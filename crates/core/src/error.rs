@@ -56,6 +56,14 @@ pub enum QitsError {
         /// The worker's panic message, when it carried one.
         detail: String,
     },
+    /// A job submitted to an [`crate::EnginePool`] panicked inside its
+    /// worker, or its worker died before delivering a result. The failure
+    /// is isolated to the one job: the worker rebuilds its engine from the
+    /// pool spec and keeps serving, so the pool is never poisoned.
+    JobFailure {
+        /// The job's panic message, when it carried one.
+        detail: String,
+    },
 }
 
 impl fmt::Display for QitsError {
@@ -87,6 +95,9 @@ impl fmt::Display for QitsError {
             }
             QitsError::WorkerFailure { detail } => {
                 write!(f, "an image-computation worker thread failed: {detail}")
+            }
+            QitsError::JobFailure { detail } => {
+                write!(f, "a pool job failed in its worker: {detail}")
             }
         }
     }
@@ -132,6 +143,12 @@ mod tests {
                     detail: "boom".into(),
                 },
                 "boom",
+            ),
+            (
+                QitsError::JobFailure {
+                    detail: "job exploded".into(),
+                },
+                "job exploded",
             ),
         ];
         for (e, needle) in cases {

@@ -113,6 +113,31 @@ impl ImageStats {
     pub fn cont_hit_rate(&self) -> f64 {
         self.cont_cache.hit_rate()
     }
+
+    /// Merges the stats of another image computation into this aggregate,
+    /// for per-worker/per-session rollups ([`crate::PoolStats`] sums every
+    /// image a pool worker ran this way).
+    ///
+    /// Counters (`branches`, `elapsed`, safepoint and reclaim totals,
+    /// cache movement) **sum**; high-water marks (`max_nodes`,
+    /// `peak_arena`) take the **max**; end-of-run snapshots
+    /// (`output_dim`, `live_nodes`, `allocated_nodes`) take the **later**
+    /// value, so an aggregate reads like one long computation.
+    pub fn absorb(&mut self, other: &ImageStats) {
+        self.max_nodes = self.max_nodes.max(other.max_nodes);
+        self.elapsed += other.elapsed;
+        self.branches += other.branches;
+        self.output_dim = other.output_dim;
+        self.live_nodes = other.live_nodes;
+        self.allocated_nodes = other.allocated_nodes;
+        self.peak_arena = self.peak_arena.max(other.peak_arena);
+        self.reclaimed_nodes += other.reclaimed_nodes;
+        self.safepoints += other.safepoints;
+        self.safepoint_collections += other.safepoint_collections;
+        self.safepoint_reclaimed += other.safepoint_reclaimed;
+        self.cont_cache.absorb(&other.cont_cache);
+        self.add_cache.absorb(&other.add_cache);
+    }
 }
 
 /// Polls an in-image GC safepoint: at this point of a serial strategy,

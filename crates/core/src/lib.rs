@@ -27,7 +27,10 @@
 //! `Result<_, QitsError>` instead of panicking, and strategy dispatch
 //! goes through the pluggable [`ImageStrategy`] trait ([`Auto`] picks the
 //! addition or contraction partition from circuit shape, per Table I's
-//! crossover).
+//! crossover). Sessions are `Send`, and query-batched workloads run
+//! through the serving layer ([`EnginePool`], re-exported in [`serve`]):
+//! a pool of engine-owning workers behind a sharded work queue of typed
+//! jobs, with per-job fault isolation and aggregated [`PoolStats`].
 //!
 //! # Quickstart
 //!
@@ -62,11 +65,28 @@ pub mod mc;
 mod engine;
 mod error;
 mod image;
+mod pool;
 mod qts;
 mod subspace;
 
 pub use engine::{Auto, Engine, EngineBuilder, ImageStrategy, StatsSink};
 pub use error::QitsError;
 pub use image::{image, try_image, ImageStats, Strategy};
+pub use pool::{
+    run_job, EnginePool, EngineSpec, ImageOutcome, Job, JobHandle, JobOutput, PoolBuilder,
+    PoolStats, PoolStatsSink, ReachOutcome, StrategyFactory, WorkerStats,
+};
 pub use qts::{Operations, QuantumTransitionSystem};
 pub use subspace::{Subspace, RANK_TOLERANCE};
+
+/// The serving layer, re-exported under one roof: everything needed to
+/// stand up an [`EnginePool`] behind a request queue — the pool itself,
+/// the shared [`EngineSpec`], the typed [`Job`]/[`JobOutput`] vocabulary,
+/// and the aggregated [`PoolStats`]. `use qits::serve::*;` pulls in the
+/// batch-serving surface without the rest of the crate's namespace.
+pub mod serve {
+    pub use crate::pool::{
+        run_job, EnginePool, EngineSpec, ImageOutcome, Job, JobHandle, JobOutput, PoolBuilder,
+        PoolStats, PoolStatsSink, ReachOutcome, StrategyFactory, WorkerStats,
+    };
+}

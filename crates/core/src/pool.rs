@@ -1,0 +1,967 @@
+//! Batch serving: a fixed-size pool of worker threads, each owning a
+//! private [`Engine`], fed by a **sharded MPMC work queue** of typed jobs.
+//!
+//! The paper's image-computation kernels are embarrassingly parallel
+//! across *independent queries*: distinct initial subspaces, invariants,
+//! and circuit pairs share nothing but the algorithm, and quantum
+//! model-checking workloads arrive naturally query-batched (many pairwise
+//! equivalence or reachability questions over one system). One `Engine`
+//! session on one thread therefore leaves throughput on the table twice —
+//! once for every idle core, and once for every cold cache a
+//! fresh-session-per-query serving model pays. [`EnginePool`] fixes both:
+//!
+//! * **One engine per worker.** Each worker thread owns a private
+//!   [`Engine`] stamped from a shared [`EngineSpec`]; the manager-owned
+//!   operation caches stay warm across the jobs that worker serves, so
+//!   repeated queries over the same system reuse each other's
+//!   contractions exactly as a long-lived session would.
+//! * **Sharded queue, work stealing.** [`EnginePool::submit`] round-robins
+//!   jobs over one queue shard per worker; a worker drains its own shard
+//!   first and steals from its neighbours when empty, so a batch of
+//!   uneven jobs still keeps every worker busy.
+//! * **Failures are values, isolated per job.** Every result is a
+//!   `Result<JobOutput, QitsError>`. A malformed job errors through the
+//!   engine's fallible API; a job that *panics* inside its worker is
+//!   caught, surfaced as [`QitsError::JobFailure`], and the worker
+//!   rebuilds its engine from the spec and keeps serving — a poisoned job
+//!   never poisons the pool.
+//!
+//! Everything here compiles only because the whole session stack —
+//! [`qits_tdd::TddManager`], [`crate::QuantumTransitionSystem`],
+//! [`crate::Subspace`], [`Engine`] — is `Send` (asserted in
+//! `tests/send_bounds.rs`): workers *move* their engines onto their
+//! threads; nothing is shared but the queue and the stats slots.
+//!
+//! ```
+//! use qits::{EnginePool, EngineSpec, Job};
+//! use qits_circuit::generators;
+//!
+//! let spec = EngineSpec::new(generators::grover(3));
+//! let pool = EnginePool::builder(spec).workers(2).build().unwrap();
+//! let handles = pool.submit_batch(vec![Job::image(); 4]);
+//! for h in handles {
+//!     let out = h.join().unwrap();
+//!     assert_eq!(out.image().unwrap().dim, 2);
+//! }
+//! let stats = pool.shutdown();
+//! assert_eq!(stats.jobs_completed, 4);
+//! ```
+
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use qits_circuit::generators::QtsSpec;
+use qits_circuit::Circuit;
+use qits_num::Cplx;
+use qits_tdd::{GcPolicy, ManagerStats};
+use qits_tensor::Var;
+
+use crate::engine::{Auto, Engine, EngineBuilder, ImageStrategy};
+use crate::error::{panic_detail, QitsError};
+use crate::image::ImageStats;
+use crate::mc::ReachabilityResult;
+use crate::subspace::Subspace;
+
+// ----------------------------------------------------------------------
+// The shared engine spec.
+// ----------------------------------------------------------------------
+
+/// Produces one boxed strategy per engine built from an [`EngineSpec`] —
+/// each pool worker gets its own strategy object, so strategies need no
+/// shared state and no `Sync` bound beyond the factory's own.
+pub type StrategyFactory = Arc<dyn Fn() -> Box<dyn ImageStrategy> + Send + Sync>;
+
+/// A cloneable, thread-shareable description of an [`Engine`] session:
+/// every [`EngineBuilder`] knob plus the transition-system spec, with the
+/// strategy held as a factory so each built engine owns a private copy.
+///
+/// This is the contract between an [`EnginePool`] and its workers — the
+/// pool hands every worker the same spec, each worker builds (and, after
+/// a job panic, rebuilds) its private engine from it — and it doubles as
+/// the differential-testing baseline: [`EngineSpec::build`] constructs
+/// exactly the serial engine a pool worker runs, so "pool result equals
+/// fresh-serial-engine result" is a meaningful bit-for-bit statement.
+#[derive(Clone)]
+pub struct EngineSpec {
+    system: QtsSpec,
+    tolerance: f64,
+    cache_capacity: Option<usize>,
+    gc_policy: Option<GcPolicy>,
+    strategy: StrategyFactory,
+    strategy_name: String,
+}
+
+impl fmt::Debug for EngineSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EngineSpec")
+            .field("system", &self.system.name)
+            .field("n_qubits", &self.system.n_qubits)
+            .field("tolerance", &self.tolerance)
+            .field("cache_capacity", &self.cache_capacity)
+            .field("gc_policy", &self.gc_policy)
+            .field("strategy", &self.strategy_name)
+            .finish()
+    }
+}
+
+impl EngineSpec {
+    /// A spec with the builder defaults: default tolerance and cache
+    /// capacity, GC off, the [`Auto`] strategy.
+    pub fn new(system: QtsSpec) -> Self {
+        EngineSpec {
+            system,
+            tolerance: qits_num::DEFAULT_TOLERANCE,
+            cache_capacity: None,
+            gc_policy: None,
+            strategy: Arc::new(|| Box::new(Auto::default())),
+            strategy_name: Auto::default().name(),
+        }
+    }
+
+    /// Weight tolerance of every built engine's manager.
+    pub fn tolerance(mut self, tol: f64) -> Self {
+        self.tolerance = tol;
+        self
+    }
+
+    /// Operation-cache bound of every built engine (`0` disables caching).
+    pub fn cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = Some(capacity);
+        self
+    }
+
+    /// GC policy installed into every built engine (`None`, the default,
+    /// leaves collection off).
+    pub fn gc_policy(mut self, policy: Option<GcPolicy>) -> Self {
+        self.gc_policy = policy;
+        self
+    }
+
+    /// Session strategy of every built engine. The strategy is cloned
+    /// per engine, so each worker dispatches through a private copy
+    /// (`Sync` is only needed of the prototype held by the factory).
+    pub fn strategy(mut self, strategy: impl ImageStrategy + Clone + Sync + 'static) -> Self {
+        self.strategy_name = strategy.name();
+        self.strategy = Arc::new(move || Box::new(strategy.clone()));
+        self
+    }
+
+    /// The underlying transition-system spec.
+    pub fn system(&self) -> &QtsSpec {
+        &self.system
+    }
+
+    /// Name of the configured strategy (for logs and stats).
+    pub fn strategy_name(&self) -> &str {
+        &self.strategy_name
+    }
+
+    fn builder(&self) -> EngineBuilder {
+        let mut b = EngineBuilder::new()
+            .tolerance(self.tolerance)
+            .gc_policy(self.gc_policy)
+            .strategy_boxed((self.strategy)());
+        if let Some(cap) = self.cache_capacity {
+            b = b.cache_capacity(cap);
+        }
+        b
+    }
+
+    /// Builds one serial engine from the spec — the exact session a pool
+    /// worker owns, minus the pool's stats sink. Use this as the
+    /// reference when differential-testing pool results.
+    pub fn build(&self) -> Result<Engine, QitsError> {
+        self.builder().build_from_spec(&self.system)
+    }
+
+    /// Builds a worker engine wired to a per-image stats sink.
+    fn build_with_sink(
+        &self,
+        sink: impl FnMut(&str, &ImageStats) + Send + 'static,
+    ) -> Result<Engine, QitsError> {
+        self.builder()
+            .stats_sink(sink)
+            .build_from_spec(&self.system)
+    }
+}
+
+// ----------------------------------------------------------------------
+// Jobs and their outputs.
+// ----------------------------------------------------------------------
+
+/// A typed unit of work for an [`EnginePool`].
+///
+/// Jobs are **manager-independent by construction**: TDD edges only mean
+/// something relative to the manager that made them, so a job describes
+/// its inputs abstractly (product-state amplitude rows, circuits) and the
+/// worker materialises them on its own manager. That is what lets one
+/// `Job` value run identically on any worker — or on a fresh serial
+/// engine, which is how the differential suite checks the pool.
+#[derive(Debug, Clone)]
+pub enum Job {
+    /// Compute `T(S0)`, the image of the system's initial subspace, with
+    /// the worker's session strategy.
+    Image {
+        /// Also evaluate every output basis ket densely (all `2^n`
+        /// amplitudes, qubit 0 as the most significant bit) into
+        /// [`ImageOutcome::amplitudes`] — the manager-independent
+        /// representation differential tests compare bit-for-bit. Leave
+        /// `false` for throughput workloads; the dense pass costs
+        /// `O(dim * 2^n)`.
+        densify: bool,
+    },
+    /// Compute the reachable subspace by fixpoint iteration.
+    Reachability {
+        /// Iteration bound handed to [`Engine::reachable_space`].
+        max_iterations: usize,
+    },
+    /// Check the safety property "every reachable state stays inside the
+    /// subspace spanned by `states`".
+    Invariant {
+        /// Register width the invariant claims to live on. If it differs
+        /// from the system's, the job fails cleanly with
+        /// [`QitsError::RegisterMismatch`] — the canonical malformed job.
+        n_qubits: u32,
+        /// Product states spanning the invariant, one `(alpha, beta)`
+        /// amplitude pair per qubit per state (the [`QtsSpec`]
+        /// convention). A row whose length differs from `n_qubits`
+        /// panics in the worker and surfaces as
+        /// [`QitsError::JobFailure`], isolated to this job.
+        states: Vec<Vec<(Cplx, Cplx)>>,
+        /// Iteration bound for the underlying reachability run.
+        max_iterations: usize,
+    },
+    /// Decide whether two circuits implement the same operator.
+    Equivalence {
+        /// First circuit.
+        a: Circuit,
+        /// Second circuit.
+        b: Circuit,
+        /// Compare up to global phase instead of exactly.
+        up_to_phase: bool,
+    },
+}
+
+impl Job {
+    /// An image job without the dense snapshot (the throughput shape).
+    pub fn image() -> Job {
+        Job::Image { densify: false }
+    }
+
+    /// A reachability job.
+    pub fn reachability(max_iterations: usize) -> Job {
+        Job::Reachability { max_iterations }
+    }
+
+    /// An invariant job over product states on `n_qubits` wires.
+    pub fn invariant(n_qubits: u32, states: Vec<Vec<(Cplx, Cplx)>>, max_iterations: usize) -> Job {
+        Job::Invariant {
+            n_qubits,
+            states,
+            max_iterations,
+        }
+    }
+
+    /// An exact-equivalence job.
+    pub fn equivalence(a: Circuit, b: Circuit) -> Job {
+        Job::Equivalence {
+            a,
+            b,
+            up_to_phase: false,
+        }
+    }
+}
+
+/// Result of an image job.
+#[derive(Debug, Clone)]
+pub struct ImageOutcome {
+    /// Dimension of the computed image.
+    pub dim: usize,
+    /// Dense amplitudes of every output basis ket (empty unless the job
+    /// asked to densify): `amplitudes[i][b]` is basis vector `i` at
+    /// computational-basis index `b`, qubit 0 most significant.
+    pub amplitudes: Vec<Vec<Cplx>>,
+    /// The kernel's measurements.
+    pub stats: ImageStats,
+}
+
+/// Manager-independent summary of a reachability run (the
+/// [`ReachabilityResult`] minus its subspace, which lives on the worker's
+/// private manager and cannot leave it).
+#[derive(Debug, Clone)]
+pub struct ReachOutcome {
+    /// Dimension of the reachable subspace.
+    pub dim: usize,
+    /// Image computations performed.
+    pub iterations: usize,
+    /// Whether the fixpoint was reached.
+    pub converged: bool,
+    /// Garbage collections performed by the driver.
+    pub collections: usize,
+    /// Nodes reclaimed by those collections.
+    pub reclaimed_nodes: u64,
+    /// Per-iteration kernel measurements.
+    pub stats: Vec<ImageStats>,
+}
+
+impl From<ReachabilityResult> for ReachOutcome {
+    fn from(r: ReachabilityResult) -> Self {
+        ReachOutcome {
+            dim: r.space.dim(),
+            iterations: r.iterations,
+            converged: r.converged,
+            collections: r.collections,
+            reclaimed_nodes: r.reclaimed_nodes,
+            stats: r.stats,
+        }
+    }
+}
+
+/// What a completed job returns, one variant per [`Job`] variant.
+#[derive(Debug, Clone)]
+pub enum JobOutput {
+    /// From [`Job::Image`].
+    Image(ImageOutcome),
+    /// From [`Job::Reachability`].
+    Reachability(ReachOutcome),
+    /// From [`Job::Invariant`].
+    Invariant {
+        /// Whether every reachable state stays inside the invariant.
+        holds: bool,
+        /// The witnessing reachability run.
+        reach: ReachOutcome,
+    },
+    /// From [`Job::Equivalence`].
+    Equivalence {
+        /// The verdict.
+        equivalent: bool,
+    },
+}
+
+impl JobOutput {
+    /// The image outcome, if this was an image job.
+    pub fn image(&self) -> Option<&ImageOutcome> {
+        match self {
+            JobOutput::Image(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// The reachability outcome, if this was a reachability job.
+    pub fn reachability(&self) -> Option<&ReachOutcome> {
+        match self {
+            JobOutput::Reachability(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// The invariant verdict, if this was an invariant job.
+    pub fn invariant_holds(&self) -> Option<bool> {
+        match self {
+            JobOutput::Invariant { holds, .. } => Some(*holds),
+            _ => None,
+        }
+    }
+
+    /// The equivalence verdict, if this was an equivalence job.
+    pub fn equivalent(&self) -> Option<bool> {
+        match self {
+            JobOutput::Equivalence { equivalent } => Some(*equivalent),
+            _ => None,
+        }
+    }
+}
+
+/// Runs one job on an engine — the single semantics shared by pool
+/// workers and the serial baseline. Public so differential tests can run
+/// the *same function* on a fresh [`EngineSpec::build`] session and
+/// compare outputs with the pool's, bit for bit.
+pub fn run_job(engine: &mut Engine, job: &Job) -> Result<JobOutput, QitsError> {
+    match job {
+        Job::Image { densify } => {
+            let (img, stats) = engine.image()?;
+            let amplitudes = if *densify {
+                densify_basis(engine, &img)?
+            } else {
+                Vec::new()
+            };
+            Ok(JobOutput::Image(ImageOutcome {
+                dim: img.dim(),
+                amplitudes,
+                stats,
+            }))
+        }
+        Job::Reachability { max_iterations } => {
+            let r = engine.reachable_space(*max_iterations)?;
+            Ok(JobOutput::Reachability(r.into()))
+        }
+        Job::Invariant {
+            n_qubits,
+            states,
+            max_iterations,
+        } => {
+            // Materialise the invariant on the worker's manager. A row of
+            // the wrong length panics in `product_ket` (surfaced by the
+            // pool as JobFailure); a coherent-but-mismatched width errors
+            // in `check_invariant` as RegisterMismatch.
+            let vars = Subspace::ket_vars(*n_qubits);
+            let mut inv = Subspace::zero(*n_qubits);
+            for amps in states {
+                let ket = engine.manager_mut().product_ket(&vars, amps);
+                inv.absorb(engine.manager_mut(), ket);
+            }
+            let (holds, r) = engine.check_invariant(&mut inv, *max_iterations)?;
+            Ok(JobOutput::Invariant {
+                holds,
+                reach: r.into(),
+            })
+        }
+        Job::Equivalence { a, b, up_to_phase } => {
+            let equivalent = if *up_to_phase {
+                engine.equivalent_up_to_phase(a, b)?
+            } else {
+                engine.equivalent(a, b)?
+            };
+            Ok(JobOutput::Equivalence { equivalent })
+        }
+    }
+}
+
+/// Evaluates every basis ket of a subspace densely; see
+/// [`Job::Image::densify`] for the index convention.
+fn densify_basis(engine: &mut Engine, img: &Subspace) -> Result<Vec<Vec<Cplx>>, QitsError> {
+    let n = img.n_qubits();
+    if n >= usize::BITS {
+        return Err(QitsError::DimensionOverflow { bits: n });
+    }
+    let vars = Subspace::ket_vars(n);
+    let dim = 1usize << n;
+    let mut rows = Vec::with_capacity(img.dim());
+    for &ket in img.basis() {
+        let mut row = Vec::with_capacity(dim);
+        for b in 0..dim {
+            let asn: BTreeMap<Var, bool> = vars
+                .iter()
+                .enumerate()
+                .map(|(q, &v)| (v, (b >> (n as usize - 1 - q)) & 1 == 1))
+                .collect();
+            row.push(engine.manager().eval(ket, &asn));
+        }
+        rows.push(row);
+    }
+    Ok(rows)
+}
+
+// ----------------------------------------------------------------------
+// Handles, stats.
+// ----------------------------------------------------------------------
+
+/// The caller's side of one submitted job. Obtain the result with
+/// [`JobHandle::join`]; dropping the handle abandons the result (the job
+/// still runs and still counts in [`PoolStats`]).
+#[derive(Debug)]
+pub struct JobHandle {
+    rx: mpsc::Receiver<Result<JobOutput, QitsError>>,
+}
+
+impl JobHandle {
+    /// Blocks until the job's result arrives. A worker that died before
+    /// delivering (it panicked outside a job, or the pool was torn down
+    /// abnormally) reports as [`QitsError::JobFailure`].
+    pub fn join(self) -> Result<JobOutput, QitsError> {
+        self.rx.recv().unwrap_or_else(|_| {
+            Err(QitsError::JobFailure {
+                detail: "the worker disconnected before delivering a result".to_string(),
+            })
+        })
+    }
+
+    /// Non-blocking poll: `None` while the job is still in flight.
+    pub fn try_join(&mut self) -> Option<Result<JobOutput, QitsError>> {
+        match self.rx.try_recv() {
+            Ok(r) => Some(r),
+            Err(mpsc::TryRecvError::Empty) => None,
+            Err(mpsc::TryRecvError::Disconnected) => Some(Err(QitsError::JobFailure {
+                detail: "the worker disconnected before delivering a result".to_string(),
+            })),
+        }
+    }
+}
+
+/// Per-worker counters, snapshotted after every job that worker serves.
+#[derive(Debug, Clone, Default)]
+pub struct WorkerStats {
+    /// Jobs this worker finished with `Ok`.
+    pub jobs_completed: u64,
+    /// Jobs this worker finished with `Err` (malformed jobs and isolated
+    /// panics alike).
+    pub jobs_failed: u64,
+    /// Image computations this worker ran (fixpoint iterations included),
+    /// counted through the engine's stats sink.
+    pub images: u64,
+    /// Those image computations' stats, [`ImageStats::absorb`]-merged.
+    pub image: ImageStats,
+    /// The worker manager's lifetime counters as of its last finished job
+    /// (safepoints, reclaim, cache movement).
+    pub manager: ManagerStats,
+}
+
+/// Aggregated pool statistics: the per-worker breakdown plus fleet
+/// totals, where every total is the [`ManagerStats::absorb`] /
+/// [`ImageStats::absorb`] sum of the per-worker rows — the invariant the
+/// stats test suite pins down.
+#[derive(Debug, Clone)]
+pub struct PoolStats {
+    /// One row per worker, in worker order.
+    pub workers: Vec<WorkerStats>,
+    /// Jobs accepted by `submit`/`submit_batch` so far.
+    pub jobs_submitted: u64,
+    /// Jobs finished with `Ok` across all workers.
+    pub jobs_completed: u64,
+    /// Jobs finished with `Err` across all workers.
+    pub jobs_failed: u64,
+    /// Jobs currently queued (not yet picked up by a worker).
+    pub queue_depth: usize,
+    /// Total image computations across all workers.
+    pub images: u64,
+    /// All workers' image stats, absorbed: counters sum, peaks max, and —
+    /// because worker arenas are disjoint — the end-of-run snapshot
+    /// fields (`output_dim`, `live_nodes`, `allocated_nodes`) are **sums
+    /// of the per-worker rows** (each row's snapshot is that worker's
+    /// last image), matching how [`ManagerStats::absorb`] treats
+    /// `live_after_last_gc`.
+    pub image: ImageStats,
+    /// All workers' manager counters, absorbed (counters sum, peaks max).
+    pub manager: ManagerStats,
+}
+
+impl PoolStats {
+    fn aggregate(workers: Vec<WorkerStats>, jobs_submitted: u64, queue_depth: usize) -> PoolStats {
+        let mut jobs_completed = 0;
+        let mut jobs_failed = 0;
+        let mut images = 0;
+        let mut image = ImageStats::default();
+        let mut manager = ManagerStats::default();
+        for w in &workers {
+            jobs_completed += w.jobs_completed;
+            jobs_failed += w.jobs_failed;
+            images += w.images;
+            image.absorb(&w.image);
+            manager.absorb(&w.manager);
+        }
+        // `ImageStats::absorb`'s take-the-later rule for snapshot fields
+        // is right for a sequential per-worker rollup but not across
+        // disjoint worker arenas: there, the fleet figure is the sum of
+        // each worker's latest snapshot.
+        image.output_dim = workers.iter().map(|w| w.image.output_dim).sum();
+        image.live_nodes = workers.iter().map(|w| w.image.live_nodes).sum();
+        image.allocated_nodes = workers.iter().map(|w| w.image.allocated_nodes).sum();
+        PoolStats {
+            workers,
+            jobs_submitted,
+            jobs_completed,
+            jobs_failed,
+            queue_depth,
+            images,
+            image,
+            manager,
+        }
+    }
+}
+
+/// Callback receiving the final [`PoolStats`] when the pool shuts down.
+pub type PoolStatsSink = Arc<dyn Fn(&PoolStats) + Send + Sync>;
+
+// ----------------------------------------------------------------------
+// The pool.
+// ----------------------------------------------------------------------
+
+struct Task {
+    job: Job,
+    tx: mpsc::Sender<Result<JobOutput, QitsError>>,
+}
+
+#[derive(Default)]
+struct QueueState {
+    /// Tasks enqueued and not yet popped. Incremented *before* the shard
+    /// push so a concurrent pop can never underflow it; the worker side
+    /// uses a saturating decrement and re-checks the shards on wakeup.
+    pending: usize,
+    shutdown: bool,
+}
+
+struct Shared {
+    shards: Vec<Mutex<VecDeque<Task>>>,
+    state: Mutex<QueueState>,
+    available: Condvar,
+    workers: Vec<Mutex<WorkerStats>>,
+    submitted: AtomicU64,
+}
+
+impl Shared {
+    /// Pops the next task for worker `index`: own shard first, then steal
+    /// from the others in ring order. `None` = drained and shut down.
+    fn next_task(&self, index: usize) -> Option<Task> {
+        loop {
+            let n = self.shards.len();
+            for offset in 0..n {
+                let task = self.shards[(index + offset) % n]
+                    .lock()
+                    .unwrap()
+                    .pop_front();
+                if let Some(t) = task {
+                    let mut st = self.state.lock().unwrap();
+                    st.pending = st.pending.saturating_sub(1);
+                    return Some(t);
+                }
+            }
+            let mut st = self.state.lock().unwrap();
+            loop {
+                if st.pending > 0 {
+                    // Re-scan the shards; a submit may still be mid-push,
+                    // in which case the outer loop comes straight back
+                    // here and waits again.
+                    break;
+                }
+                if st.shutdown {
+                    return None;
+                }
+                st = self.available.wait(st).unwrap();
+            }
+        }
+    }
+}
+
+/// A fixed-size pool of [`Engine`]-owning worker threads behind a sharded
+/// work queue. See the [`crate::serve`] docs for the design and
+/// [`EnginePool::builder`] to construct one.
+pub struct EnginePool {
+    shared: Arc<Shared>,
+    spec: EngineSpec,
+    next_shard: AtomicUsize,
+    handles: Vec<JoinHandle<()>>,
+    sink: Option<PoolStatsSink>,
+}
+
+impl fmt::Debug for EnginePool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EnginePool")
+            .field("workers", &self.shared.workers.len())
+            .field("spec", &self.spec)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Configures and constructs an [`EnginePool`].
+pub struct PoolBuilder {
+    spec: EngineSpec,
+    workers: usize,
+    sink: Option<PoolStatsSink>,
+}
+
+impl PoolBuilder {
+    /// Number of worker threads (clamped to at least 1). Defaults to the
+    /// machine's available parallelism.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Installs a callback that receives the final aggregated
+    /// [`PoolStats`] when the pool shuts down.
+    pub fn stats_sink(mut self, sink: impl Fn(&PoolStats) + Send + Sync + 'static) -> Self {
+        self.sink = Some(Arc::new(sink));
+        self
+    }
+
+    /// Builds the pool: constructs every worker engine from the spec *on
+    /// the calling thread* — so a malformed spec is an `Err` here, before
+    /// any thread exists — then moves each engine onto its worker.
+    pub fn build(self) -> Result<EnginePool, QitsError> {
+        let n = self.workers;
+        let shared = Arc::new(Shared {
+            shards: (0..n).map(|_| Mutex::new(VecDeque::new())).collect(),
+            state: Mutex::new(QueueState::default()),
+            available: Condvar::new(),
+            workers: (0..n).map(|_| Mutex::new(WorkerStats::default())).collect(),
+            submitted: AtomicU64::new(0),
+        });
+        let mut engines = Vec::with_capacity(n);
+        for index in 0..n {
+            engines.push(build_worker_engine(&self.spec, &shared, index)?);
+        }
+        let handles = engines
+            .into_iter()
+            .enumerate()
+            .map(|(index, engine)| {
+                let shared = shared.clone();
+                let spec = self.spec.clone();
+                std::thread::Builder::new()
+                    .name(format!("qits-pool-{index}"))
+                    .spawn(move || worker_main(shared, spec, index, engine))
+                    .expect("spawning a pool worker thread")
+            })
+            .collect();
+        Ok(EnginePool {
+            shared,
+            spec: self.spec,
+            next_shard: AtomicUsize::new(0),
+            handles,
+            sink: self.sink,
+        })
+    }
+}
+
+impl EnginePool {
+    /// Starts configuring a pool over the given engine spec.
+    pub fn builder(spec: EngineSpec) -> PoolBuilder {
+        PoolBuilder {
+            spec,
+            workers: std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+            sink: None,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.shared.workers.len()
+    }
+
+    /// The shared spec workers build their engines from.
+    pub fn spec(&self) -> &EngineSpec {
+        &self.spec
+    }
+
+    /// Enqueues one job, round-robining over the queue shards, and
+    /// returns its handle. Never blocks on workers.
+    pub fn submit(&self, job: Job) -> JobHandle {
+        let (tx, rx) = mpsc::channel();
+        let shard = self.next_shard.fetch_add(1, Ordering::Relaxed) % self.shared.shards.len();
+        self.shared.submitted.fetch_add(1, Ordering::Relaxed);
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            st.pending += 1;
+        }
+        self.shared.shards[shard]
+            .lock()
+            .unwrap()
+            .push_back(Task { job, tx });
+        self.shared.available.notify_one();
+        JobHandle { rx }
+    }
+
+    /// Enqueues a batch, one handle per job, in order.
+    pub fn submit_batch(&self, jobs: Vec<Job>) -> Vec<JobHandle> {
+        jobs.into_iter().map(|j| self.submit(j)).collect()
+    }
+
+    /// A live snapshot of the aggregated pool statistics.
+    pub fn stats(&self) -> PoolStats {
+        let workers = self
+            .shared
+            .workers
+            .iter()
+            .map(|w| w.lock().unwrap().clone())
+            .collect();
+        let queue_depth = self.shared.state.lock().unwrap().pending;
+        PoolStats::aggregate(
+            workers,
+            self.shared.submitted.load(Ordering::Relaxed),
+            queue_depth,
+        )
+    }
+
+    /// Shuts the pool down: **drains the queue** (every job already
+    /// submitted still runs and its handle still resolves), joins every
+    /// worker, reports the final stats to the configured sink, and
+    /// returns them. Dropping the pool does the same, minus the return
+    /// value.
+    pub fn shutdown(mut self) -> PoolStats {
+        self.finish()
+    }
+
+    fn finish(&mut self) -> PoolStats {
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            st.shutdown = true;
+        }
+        self.shared.available.notify_all();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+        // Belt and braces: if a worker died outside a job, tasks could
+        // still sit in its shard. Fail them explicitly so no handle ever
+        // blocks forever.
+        for shard in &self.shared.shards {
+            while let Some(task) = shard.lock().unwrap().pop_front() {
+                let _ = task.tx.send(Err(QitsError::JobFailure {
+                    detail: "the pool shut down before a worker picked this job up".to_string(),
+                }));
+            }
+        }
+        let stats = self.stats();
+        if let Some(sink) = &self.sink {
+            sink(&stats);
+        }
+        stats
+    }
+}
+
+impl Drop for EnginePool {
+    fn drop(&mut self) {
+        if !self.handles.is_empty() {
+            self.finish();
+        }
+    }
+}
+
+/// Builds worker `index`'s engine, wiring its stats sink into the
+/// worker's shared stats slot.
+fn build_worker_engine(
+    spec: &EngineSpec,
+    shared: &Arc<Shared>,
+    index: usize,
+) -> Result<Engine, QitsError> {
+    let slot = shared.clone();
+    spec.build_with_sink(move |_, stats| {
+        let mut w = slot.workers[index].lock().unwrap();
+        w.images += 1;
+        w.image.absorb(stats);
+    })
+}
+
+fn worker_main(shared: Arc<Shared>, spec: EngineSpec, index: usize, mut engine: Engine) {
+    // Counters of engines this worker retired after a job panic. The
+    // published manager snapshot is always `retired + current engine`, so
+    // fleet totals stay monotonic across rebuilds instead of resetting to
+    // a fresh manager's zeros.
+    let mut retired = ManagerStats::default();
+    while let Some(task) = shared.next_task(index) {
+        let outcome = catch_unwind(AssertUnwindSafe(|| run_job(&mut engine, &task.job)));
+        let result = match outcome {
+            Ok(r) => r,
+            Err(payload) => {
+                // The panic may have unwound mid-mutation, leaving the
+                // session in an unknown state: bank its counters and
+                // rebuild it from the spec. The spec built every worker
+                // engine once already, and building is deterministic, so
+                // this cannot fail.
+                retired.absorb(&engine.manager().stats());
+                engine = build_worker_engine(&spec, &shared, index)
+                    .expect("rebuilding a worker engine from an already-validated spec");
+                Err(QitsError::JobFailure {
+                    detail: panic_detail(payload.as_ref()),
+                })
+            }
+        };
+        {
+            let mut w = shared.workers[index].lock().unwrap();
+            if result.is_ok() {
+                w.jobs_completed += 1;
+            } else {
+                w.jobs_failed += 1;
+            }
+            let mut snapshot = retired;
+            snapshot.absorb(&engine.manager().stats());
+            w.manager = snapshot;
+        }
+        // The submitter may have dropped its handle; that abandons the
+        // result, not the job.
+        let _ = task.tx.send(result);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qits_circuit::generators;
+
+    fn grover_spec() -> EngineSpec {
+        EngineSpec::new(generators::grover(3))
+    }
+
+    #[test]
+    fn pool_serves_a_batch_of_image_jobs() {
+        let pool = EnginePool::builder(grover_spec())
+            .workers(2)
+            .build()
+            .unwrap();
+        let handles = pool.submit_batch(vec![Job::image(); 6]);
+        for h in handles {
+            let out = h.join().unwrap();
+            // Grover's initial subspace is invariant: dim 2.
+            assert_eq!(out.image().unwrap().dim, 2);
+        }
+        let stats = pool.shutdown();
+        assert_eq!(stats.jobs_submitted, 6);
+        assert_eq!(stats.jobs_completed, 6);
+        assert_eq!(stats.jobs_failed, 0);
+        assert_eq!(stats.queue_depth, 0);
+        assert_eq!(stats.images, 6);
+    }
+
+    #[test]
+    fn malformed_spec_is_an_err_at_build_not_a_thread_death() {
+        let spec = EngineSpec::new(qits_circuit::generators::QtsSpec {
+            name: "empty".into(),
+            n_qubits: 0,
+            operations: vec![],
+            initial_states: vec![],
+        });
+        let err = EnginePool::builder(spec).workers(2).build().unwrap_err();
+        assert_eq!(err, QitsError::ZeroQubitSystem);
+    }
+
+    #[test]
+    fn dropping_a_handle_abandons_the_result_not_the_job() {
+        let pool = EnginePool::builder(grover_spec())
+            .workers(1)
+            .build()
+            .unwrap();
+        drop(pool.submit(Job::image()));
+        let kept = pool.submit(Job::image());
+        assert!(kept.join().is_ok());
+        let stats = pool.shutdown();
+        assert_eq!(stats.jobs_completed, 2, "the abandoned job still ran");
+    }
+
+    #[test]
+    fn try_join_polls_without_blocking() {
+        let pool = EnginePool::builder(grover_spec())
+            .workers(1)
+            .build()
+            .unwrap();
+        let mut h = pool.submit(Job::image());
+        loop {
+            if let Some(r) = h.try_join() {
+                assert!(r.is_ok());
+                break;
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    #[test]
+    fn workers_default_is_at_least_one() {
+        let pool = EnginePool::builder(grover_spec())
+            .workers(0)
+            .build()
+            .unwrap();
+        assert_eq!(pool.workers(), 1);
+        assert!(pool.submit(Job::image()).join().is_ok());
+    }
+
+    #[test]
+    fn spec_debug_names_the_strategy() {
+        let spec = grover_spec().strategy(crate::Strategy::Basic);
+        let text = format!("{spec:?}");
+        assert!(text.contains("basic"), "{text}");
+        assert!(text.contains("Grover3"), "{text}");
+    }
+}

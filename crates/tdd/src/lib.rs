@@ -69,3 +69,18 @@ pub use gc::{GcOutcome, GcPolicy, Pins, Relocatable, Relocations, RootId, RootSc
 pub use manager::TddManager;
 pub use node::{Edge, NodeId, TERMINAL};
 pub use stats::ManagerStats;
+
+// Thread-safety contract, checked at compile time: a manager (and every
+// handle into it) is plain owned data, so whole sessions can move between
+// threads — the property `qits`'s parallel addition workers and its
+// `EnginePool` worker threads are built on. A field that smuggles in
+// `Rc`/`RefCell`/raw-pointer state breaks this assertion, not a user at
+// runtime.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<TddManager>();
+    assert_send_sync::<Edge>();
+    assert_send_sync::<ManagerStats>();
+    assert_send_sync::<GcPolicy>();
+    assert_send_sync::<Relocations>();
+};

@@ -55,6 +55,35 @@ pub struct ManagerStats {
 }
 
 impl ManagerStats {
+    /// Merges another manager's counters into this aggregate — the shape a
+    /// pool of worker managers needs to report fleet-wide totals (e.g.
+    /// `qits`'s `EnginePool` summing per-worker safepoint and reclaim
+    /// counters into its `PoolStats`).
+    ///
+    /// Counters **sum**; the high-water mark `peak_arena` takes the
+    /// **max** (arenas are disjoint, so the fleet peak is at least the
+    /// largest single arena); `live_after_last_gc` **sums** (total nodes
+    /// live across all arenas after their respective last collections).
+    pub fn absorb(&mut self, other: &ManagerStats) {
+        self.nodes_created += other.nodes_created;
+        self.peak_arena = self.peak_arena.max(other.peak_arena);
+        self.gc_runs += other.gc_runs;
+        self.nodes_reclaimed += other.nodes_reclaimed;
+        self.safepoints_polled += other.safepoints_polled;
+        self.safepoint_collections += other.safepoint_collections;
+        self.live_after_last_gc += other.live_after_last_gc;
+        self.add_calls += other.add_calls;
+        self.cont_calls += other.cont_calls;
+        self.slice_calls += other.slice_calls;
+        self.conj_calls += other.conj_calls;
+        self.rename_calls += other.rename_calls;
+        self.add_cache.absorb(&other.add_cache);
+        self.cont_cache.absorb(&other.cont_cache);
+        self.slice_cache.absorb(&other.slice_cache);
+        self.conj_cache.absorb(&other.conj_cache);
+        self.rename_cache.absorb(&other.rename_cache);
+    }
+
     /// Counter movement since an earlier snapshot of the same manager.
     pub fn since(&self, earlier: &ManagerStats) -> ManagerStats {
         ManagerStats {
@@ -97,6 +126,41 @@ mod tests {
         assert_eq!(s.add_calls, 0);
         assert_eq!(s.cont_calls, 0);
         assert_eq!(s.cont_cache, CacheStats::default());
+    }
+
+    #[test]
+    fn absorb_sums_counters_and_maxes_peaks() {
+        let mut a = ManagerStats {
+            nodes_created: 10,
+            peak_arena: 100,
+            safepoints_polled: 3,
+            nodes_reclaimed: 7,
+            live_after_last_gc: 20,
+            cont_cache: CacheStats {
+                hits: 2,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let b = ManagerStats {
+            nodes_created: 5,
+            peak_arena: 250,
+            safepoints_polled: 4,
+            nodes_reclaimed: 1,
+            live_after_last_gc: 30,
+            cont_cache: CacheStats {
+                hits: 9,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        a.absorb(&b);
+        assert_eq!(a.nodes_created, 15);
+        assert_eq!(a.peak_arena, 250, "high-water mark takes the max");
+        assert_eq!(a.safepoints_polled, 7);
+        assert_eq!(a.nodes_reclaimed, 8);
+        assert_eq!(a.live_after_last_gc, 50);
+        assert_eq!(a.cont_cache.hits, 11);
     }
 
     #[test]

@@ -1,0 +1,253 @@
+//! Concurrency stress and fault isolation for `EnginePool`.
+//!
+//! The worker count honours `QITS_POOL_WORKERS` (CI runs this suite once
+//! with 2 threads and once oversubscribed with 8 on its 2-core runners),
+//! so the same tests double as a contention test at several widths.
+//!
+//! Covered here:
+//! * N >> workers jobs with one deliberately malformed job (register
+//!   mismatch): that job alone is `Err`, every other job completes, and
+//!   the pool stays usable afterwards;
+//! * a job that *panics* in its worker (invariant row shorter than its
+//!   claimed register hits `product_ket`'s length assert) surfaces as
+//!   `QitsError::JobFailure` and the worker rebuilds its engine and
+//!   keeps serving;
+//! * shutdown drains the queue — every handle of a pre-shutdown batch
+//!   resolves `Ok` even when shutdown is called with the queue still full;
+//! * `PoolStats` aggregation: fleet totals equal the sum of the
+//!   per-worker safepoint/reclaim counters, and the shutdown stats sink
+//!   observes the same totals.
+
+use std::sync::{Arc, Mutex};
+
+use qits::{EnginePool, EngineSpec, Job, PoolStats, QitsError, Strategy};
+use qits_num::Cplx;
+use qits_tdd::GcPolicy;
+
+fn worker_count() -> usize {
+    std::env::var("QITS_POOL_WORKERS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4)
+}
+
+fn qrw_spec() -> EngineSpec {
+    EngineSpec::new(qits_circuit::generators::qrw(3, 0.25))
+        .strategy(Strategy::Contraction { k1: 2, k2: 2 })
+        .gc_policy(Some(GcPolicy::aggressive()))
+}
+
+/// One `(alpha, beta)` row per qubit: the basis state `|0...0>`.
+fn zero_state(n: usize) -> Vec<(Cplx, Cplx)> {
+    vec![(Cplx::ONE, Cplx::ZERO); n]
+}
+
+#[test]
+fn one_malformed_job_fails_alone_and_the_pool_stays_usable() {
+    let workers = worker_count();
+    let pool = EnginePool::builder(qrw_spec())
+        .workers(workers)
+        .build()
+        .unwrap();
+    let total = workers * 12; // N >> workers
+    let bad_index = total / 2;
+    let jobs: Vec<Job> = (0..total)
+        .map(|i| {
+            if i == bad_index {
+                // Coherent in itself, wrong register for the 3-qubit
+                // system: the canonical malformed job.
+                Job::invariant(5, vec![zero_state(5)], 4)
+            } else {
+                Job::image()
+            }
+        })
+        .collect();
+    let results: Vec<_> = pool
+        .submit_batch(jobs)
+        .into_iter()
+        .map(|h| h.join())
+        .collect();
+    for (i, r) in results.iter().enumerate() {
+        if i == bad_index {
+            assert!(
+                matches!(
+                    r,
+                    Err(QitsError::RegisterMismatch {
+                        expected: 3,
+                        found: 5,
+                        ..
+                    })
+                ),
+                "job {i}: {r:?}"
+            );
+        } else {
+            assert!(r.is_ok(), "job {i} must be unaffected: {r:?}");
+        }
+    }
+    // The pool is not poisoned: it keeps serving after the failure.
+    assert!(pool.submit(Job::image()).join().is_ok());
+    let stats = pool.shutdown();
+    assert_eq!(stats.jobs_failed, 1);
+    assert_eq!(stats.jobs_completed, total as u64);
+    assert_eq!(stats.queue_depth, 0);
+}
+
+#[test]
+fn a_panicking_job_is_isolated_as_job_failure() {
+    let workers = worker_count();
+    let pool = EnginePool::builder(qrw_spec())
+        .workers(workers)
+        .build()
+        .unwrap();
+    let total = workers * 8;
+    let bad_index = 1; // early, so later jobs run on the rebuilt engine
+    let jobs: Vec<Job> = (0..total)
+        .map(|i| {
+            if i == bad_index {
+                // Claims 3 qubits but supplies a 2-amplitude row:
+                // `product_ket` panics inside the worker.
+                Job::invariant(3, vec![zero_state(2)], 4)
+            } else {
+                Job::image()
+            }
+        })
+        .collect();
+    let results: Vec<_> = pool
+        .submit_batch(jobs)
+        .into_iter()
+        .map(|h| h.join())
+        .collect();
+    for (i, r) in results.iter().enumerate() {
+        if i == bad_index {
+            assert!(
+                matches!(r, Err(QitsError::JobFailure { .. })),
+                "job {i}: {r:?}"
+            );
+        } else {
+            assert!(r.is_ok(), "job {i} must be unaffected: {r:?}");
+        }
+    }
+    // The worker that caught the panic rebuilt its engine; the pool still
+    // computes correct images afterwards.
+    let out = pool.submit(Job::Image { densify: true }).join().unwrap();
+    assert!(out.image().unwrap().dim > 0);
+    let stats = pool.shutdown();
+    assert_eq!(stats.jobs_failed, 1);
+    assert_eq!(stats.jobs_completed, total as u64);
+}
+
+#[test]
+fn shutdown_drains_the_queue() {
+    let workers = worker_count();
+    let pool = EnginePool::builder(qrw_spec())
+        .workers(workers)
+        .build()
+        .unwrap();
+    // Enqueue far more work than the workers can have started, then shut
+    // down immediately: every handle must still resolve Ok.
+    let handles = pool.submit_batch(vec![Job::image(); workers * 16]);
+    let stats = pool.shutdown();
+    assert_eq!(stats.jobs_completed, (workers * 16) as u64);
+    assert_eq!(stats.jobs_failed, 0);
+    assert_eq!(stats.queue_depth, 0, "shutdown must drain, not drop");
+    for h in handles {
+        assert!(h.join().is_ok());
+    }
+}
+
+#[test]
+fn pool_stats_totals_are_the_sum_of_worker_counters() {
+    let workers = worker_count();
+    let sink_seen: Arc<Mutex<Option<PoolStats>>> = Arc::default();
+    let sink_seen2 = sink_seen.clone();
+    let pool = EnginePool::builder(qrw_spec())
+        .workers(workers)
+        .stats_sink(move |s| {
+            *sink_seen2.lock().unwrap() = Some(s.clone());
+        })
+        .build()
+        .unwrap();
+    // Mixed batch so fixpoint iterations land in the image counters too.
+    let mut jobs = vec![Job::image(); workers * 6];
+    jobs.extend(vec![Job::reachability(6); workers * 2]);
+    let n_jobs = jobs.len() as u64;
+    for h in pool.submit_batch(jobs) {
+        h.join().unwrap();
+    }
+    let stats = pool.shutdown();
+
+    assert_eq!(stats.workers.len(), workers);
+    assert_eq!(stats.jobs_submitted, n_jobs);
+    assert_eq!(stats.jobs_completed, n_jobs);
+
+    // The aggregation invariant (the satellite under test): every fleet
+    // total is exactly the sum of the per-worker rows.
+    let sum = |f: &dyn Fn(&qits::WorkerStats) -> u64| stats.workers.iter().map(f).sum::<u64>();
+    assert_eq!(stats.jobs_completed, sum(&|w| w.jobs_completed));
+    assert_eq!(stats.jobs_failed, sum(&|w| w.jobs_failed));
+    assert_eq!(stats.images, sum(&|w| w.images));
+    assert_eq!(
+        stats.manager.safepoints_polled,
+        sum(&|w| w.manager.safepoints_polled),
+        "safepoint totals must sum across workers"
+    );
+    assert_eq!(
+        stats.manager.safepoint_collections,
+        sum(&|w| w.manager.safepoint_collections)
+    );
+    assert_eq!(
+        stats.manager.nodes_reclaimed,
+        sum(&|w| w.manager.nodes_reclaimed),
+        "reclaim totals must sum across workers"
+    );
+    assert_eq!(
+        stats.image.safepoint_reclaimed,
+        stats
+            .workers
+            .iter()
+            .map(|w| w.image.safepoint_reclaimed)
+            .sum::<u64>()
+    );
+
+    // Under the aggressive policy the counters are live, not zero.
+    assert!(stats.manager.safepoints_polled > 0);
+    assert!(stats.manager.safepoint_collections > 0);
+    assert!(stats.manager.nodes_reclaimed > 0);
+    assert!(stats.images >= n_jobs, "fixpoint jobs run >= 1 image each");
+
+    // The shutdown sink observed the same totals.
+    let seen = sink_seen.lock().unwrap();
+    let seen = seen.as_ref().expect("sink must run at shutdown");
+    assert_eq!(seen.jobs_completed, stats.jobs_completed);
+    assert_eq!(
+        seen.manager.safepoints_polled,
+        stats.manager.safepoints_polled
+    );
+    assert_eq!(seen.manager.nodes_reclaimed, stats.manager.nodes_reclaimed);
+}
+
+#[test]
+fn work_stealing_conserves_the_batch_across_workers() {
+    // Round-robin sharding spreads a batch over every shard, and
+    // stealing lets any worker drain any shard — so which worker serves
+    // which job is scheduler-dependent (a late-woken worker may serve
+    // none; that is stealing working, not failing). The invariant that
+    // IS guaranteed: no job is lost and no job is served twice, so the
+    // per-worker counters partition the batch exactly.
+    let workers = worker_count();
+    let pool = EnginePool::builder(qrw_spec())
+        .workers(workers)
+        .build()
+        .unwrap();
+    let total = workers * 10;
+    for h in pool.submit_batch(vec![Job::image(); total]) {
+        h.join().unwrap();
+    }
+    let stats = pool.shutdown();
+    let served: u64 = stats.workers.iter().map(|w| w.jobs_completed).sum();
+    assert_eq!(served, total as u64, "workers must partition the batch");
+    assert!(
+        stats.workers.iter().any(|w| w.jobs_completed > 0),
+        "someone served"
+    );
+}
