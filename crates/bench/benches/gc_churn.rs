@@ -1,0 +1,115 @@
+//! Node-churn microbench: how fast the generational store turns over
+//! slots when a workload allocates, sweeps, and reuses in a tight loop.
+//!
+//! The backed Robin Hood table frees a swept slot in place (tombstone +
+//! generation bump) and hands it back to the next insertion, so a
+//! steady-state churn loop should neither grow the store nor pay a
+//! per-collection index rebuild. This bench pins that cost on the two
+//! paper families whose fixpoints churn hardest — Grover (deep circuit,
+//! large per-iteration garbage) and the noisy quantum walk (many Kraus
+//! branches) — plus a pure manager-level build/collect/rebuild loop with
+//! no image machinery on top.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use qits::{mc, Strategy};
+use qits_bench::{spec_for, QRW_NOISE};
+use qits_circuit::generators;
+use qits_tdd::{GcPolicy, TddManager};
+use qits_tensornet::{contract_network, TensorNetwork};
+
+/// One churn round: compute an image, join it into the running space,
+/// collect everything else. Under `GcPolicy::aggressive()` every round
+/// sweeps the previous round's intermediates and the next round rebuilds
+/// into the freed slots.
+fn churn_fixpoint(spec_family: &str, n: u32, strategy: Strategy, policy: Option<GcPolicy>) {
+    let mut m = TddManager::new();
+    m.set_gc_policy(policy);
+    let spec = spec_for(spec_family, n);
+    let qts = qits::QuantumTransitionSystem::from_spec(&mut m, &spec);
+    let r = mc::try_reachable_space(&mut m, &qts, strategy, 10).expect("churn fixpoint");
+    assert!(r.space.dim() > 0);
+}
+
+fn gc_churn_fixpoints(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gc_churn/fixpoint");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    let cases: [(&str, u32, Strategy); 2] = [
+        ("grover", 4, Strategy::Basic),
+        ("qrw", 3, Strategy::Contraction { k1: 2, k2: 2 }),
+    ];
+    let policies: [(&str, Option<GcPolicy>); 3] = [
+        ("off", None),
+        ("aggressive", Some(GcPolicy::aggressive())),
+        (
+            // Bounded sweeps: the same collection work spread over
+            // safepoint polls, the shape a latency-sensitive caller picks.
+            "incremental",
+            Some(GcPolicy {
+                sweep_budget: 256,
+                ..GcPolicy::aggressive()
+            }),
+        ),
+    ];
+    for (family, n, strategy) in cases {
+        for (label, policy) in policies {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{family}{n}"), label),
+                &policy,
+                |b, p| b.iter(|| churn_fixpoint(family, n, strategy, *p)),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn gc_churn_slot_recycling(c: &mut Criterion) {
+    // The store-level loop with no image machinery: contract a circuit,
+    // collect with nothing rooted, contract again into the freed slots.
+    // This is the narrowest measurement of tombstone/free-list overhead —
+    // the arena must not grow after the first round.
+    let mut group = c.benchmark_group("gc_churn/slot_recycling");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1200));
+    for (family, n) in [("grover", 5u32), ("qrw", 3)] {
+        let spec = if family == "qrw" {
+            generators::qrw(n, QRW_NOISE)
+        } else {
+            generators::grover(n)
+        };
+        let circuit = spec.operations[0].kraus_branches().remove(0);
+        group.bench_with_input(
+            BenchmarkId::new("rebuild_collect", format!("{family}{n}")),
+            &circuit,
+            |b, circuit| {
+                b.iter(|| {
+                    let mut m = TddManager::new();
+                    let mut floor = 0;
+                    for round in 0..8 {
+                        let net = TensorNetwork::from_circuit(&mut m, circuit);
+                        let whole = contract_network(&mut m, net.tensors(), &net.external_vars());
+                        assert!(!whole.edge.is_zero());
+                        m.collect();
+                        if round == 0 {
+                            floor = m.arena_len();
+                        } else {
+                            assert_eq!(
+                                m.arena_len(),
+                                floor,
+                                "steady-state churn must reuse freed slots"
+                            );
+                        }
+                    }
+                    m.arena_len()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, gc_churn_fixpoints, gc_churn_slot_recycling);
+criterion_main!(benches);

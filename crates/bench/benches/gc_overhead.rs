@@ -26,6 +26,7 @@ fn gc_overhead_reachability(c: &mut Criterion) {
             Some(GcPolicy {
                 watermark: 1.5,
                 min_interval: 1 << 10,
+                sweep_budget: usize::MAX,
             }),
         ),
         ("aggressive", Some(GcPolicy::aggressive())),

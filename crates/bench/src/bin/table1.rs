@@ -222,6 +222,21 @@ fn run_ci_smoke(timeout: Duration) -> i32 {
     // Hard-fail on any failed job (a correctness regression); the speedup
     // itself is recorded as a tracked perf number, not gated, because CI
     // runner core counts vary.
+    // The unique-table health row (schema v4): Robin Hood probe
+    // percentiles, tombstone ratio, and GC pause time of the
+    // aggressive-GC runs. Collection recycles slots in place, so a
+    // rebuild count above zero here is a regression.
+    let health = qits_bench::UniqueTableHealth::from_rows(&rows);
+    println!(
+        "ci: unique_table probe p50/p99 {}/{}  tombstone ratio {:.3}  \
+         gen bumps {}  stale hits {}  gc pause {:.2}ms",
+        health.probe_p50,
+        health.probe_p99,
+        health.tombstone_ratio,
+        health.generation_bumps,
+        health.stale_handle_hits,
+        health.gc_pause_ms,
+    );
     let (family, n, method, workers, jobs) = CI_POOL_CASE;
     println!("ci: pool {family}{n} / {method} ({workers} workers, {jobs} jobs)");
     let pool = run_pool_throughput(family, n, method, workers, jobs);

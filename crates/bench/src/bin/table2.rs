@@ -40,6 +40,10 @@ fn main() {
 
     let mut hit_rates = vec![vec![0.0f64; kmax as usize]; kmax as usize];
     let mut node_cells = vec![vec![String::new(); kmax as usize]; kmax as usize];
+    let mut probe_p50 = 0u32;
+    let mut probe_p99 = 0u32;
+    let mut gc_pause_ms = 0.0f64;
+    let mut generation_bumps = 0u64;
     for k1 in 1..=kmax {
         print!("{k1:>5} |");
         for k2 in 1..=kmax {
@@ -52,6 +56,10 @@ fn main() {
                 .build_from_spec(&spec)
                 .expect("benchmark spec must form a valid system");
             let (_, stats) = engine.image().expect("table cell must compute");
+            probe_p50 = probe_p50.max(stats.probe_p50);
+            probe_p99 = probe_p99.max(stats.probe_p99);
+            gc_pause_ms += stats.gc_nanos as f64 / 1e6;
+            generation_bumps += stats.generation_bumps;
             hit_rates[(k1 - 1) as usize][(k2 - 1) as usize] = stats.cont_hit_rate();
             node_cells[(k1 - 1) as usize][(k2 - 1) as usize] = format!(
                 "{}/{}/{}",
@@ -98,4 +106,10 @@ fn main() {
         }
         println!();
     }
+
+    println!();
+    println!(
+        "Unique-table health across all cells: probe p50/p99 {probe_p50}/{probe_p99}, \
+         {generation_bumps} generation bumps, {gc_pause_ms:.2} ms total GC pause"
+    );
 }

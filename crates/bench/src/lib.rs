@@ -164,8 +164,8 @@ pub fn run_image(spec: &QtsSpec, strategy: Strategy) -> ImageStats {
         .strategy(strategy)
         .build_from_spec(spec)
         .expect("benchmark spec must form a valid system");
-    let (mut img, mut stats) = engine.image().expect("benchmark image must compute");
-    let out = engine.collect(&mut [&mut img]);
+    let (img, mut stats) = engine.image().expect("benchmark image must compute");
+    let out = engine.collect(&[&img]);
     stats.reclaimed_nodes += out.reclaimed as u64;
     stats
 }
@@ -448,13 +448,71 @@ pub struct CiRow {
     pub auto_selected: String,
 }
 
+/// Unique-table health aggregated over the CI cases' aggressive-GC runs:
+/// the `unique_table` row of `BENCH_ci.json` schema v4. Probe lengths
+/// take the worst case across rows; churn counters and pause time sum.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct UniqueTableHealth {
+    /// Worst median Robin Hood probe length across the CI cases.
+    pub probe_p50: u32,
+    /// Worst 99th-percentile probe length across the CI cases.
+    pub probe_p99: u32,
+    /// Stale index cells / allocated index cells at each case's end,
+    /// summed — how much probe-run pollution the aggressive policy left
+    /// behind (the rehash trigger bounds this below 0.75).
+    pub tombstone_ratio: f64,
+    /// Slot generations bumped by sweeps (one per reclaimed node).
+    pub generation_bumps: u64,
+    /// Unique-table hits on swept slots, detected by generation.
+    pub stale_handle_hits: u64,
+    /// Total milliseconds spent inside mark/sweep (GC pause time).
+    pub gc_pause_ms: f64,
+}
+
+impl UniqueTableHealth {
+    /// Aggregates the health row from the CI cases' aggressive-GC stats.
+    pub fn from_rows(rows: &[CiRow]) -> UniqueTableHealth {
+        let mut h = UniqueTableHealth::default();
+        let mut tombstones = 0usize;
+        let mut index_cells = 0usize;
+        for r in rows {
+            h.probe_p50 = h.probe_p50.max(r.gc.probe_p50);
+            h.probe_p99 = h.probe_p99.max(r.gc.probe_p99);
+            tombstones += r.gc.tombstones;
+            index_cells += r.gc.index_cells;
+            h.generation_bumps += r.gc.generation_bumps;
+            h.stale_handle_hits += r.gc.stale_handle_hits;
+            h.gc_pause_ms += r.gc.gc_nanos as f64 / 1e6;
+        }
+        h.tombstone_ratio = tombstones as f64 / index_cells.max(1) as f64;
+        h
+    }
+}
+
 /// Serialises the CI bench rows plus the pool throughput measurement as
 /// `BENCH_ci.json` (hand-rolled — the workspace carries no serde).
 /// Schema is versioned so downstream trajectory tooling can evolve it;
-/// v3 adds the `pool` object (workers, batch size, serial vs pool
-/// seconds, speedup).
+/// v3 added the `pool` object (workers, batch size, serial vs pool
+/// seconds, speedup); v4 adds the `unique_table` health row (Robin Hood
+/// probe percentiles, tombstone ratio, generational churn, GC pause
+/// time) now that collection recycles slots in place instead of
+/// rebuilding the table.
 pub fn ci_report_json(rows: &[CiRow], pool: &PoolMeasurement) -> String {
-    let mut out = String::from("{\n  \"schema\": \"qits-bench-ci/3\",\n");
+    let mut out = String::from("{\n  \"schema\": \"qits-bench-ci/4\",\n");
+    let ut = UniqueTableHealth::from_rows(rows);
+    out.push_str(&format!(
+        concat!(
+            "  \"unique_table\": {{\"probe_p50\": {}, \"probe_p99\": {}, ",
+            "\"tombstone_ratio\": {:.6}, \"generation_bumps\": {}, ",
+            "\"stale_handle_hits\": {}, \"gc_pause_ms\": {:.3}}},\n",
+        ),
+        ut.probe_p50,
+        ut.probe_p99,
+        ut.tombstone_ratio,
+        ut.generation_bumps,
+        ut.stale_handle_hits,
+        ut.gc_pause_ms,
+    ));
     out.push_str(&format!(
         concat!(
             "  \"pool\": {{\"family\": \"{}\", \"n\": {}, \"method\": \"{}\", ",
@@ -629,9 +687,18 @@ mod tests {
         assert_eq!(pool.jobs_failed, 0);
         assert!(pool.serial_secs > 0.0 && pool.pool_secs > 0.0);
         let json = ci_report_json(&rows, &pool);
-        assert!(json.contains("\"schema\": \"qits-bench-ci/3\""));
+        assert!(json.contains("\"schema\": \"qits-bench-ci/4\""));
         assert!(json.contains("\"pool\": {\"family\": \"ghz\""));
         assert!(json.contains("\"speedup\""));
+        assert!(json.contains("\"unique_table\": {\"probe_p50\""));
+        assert!(json.contains("\"tombstone_ratio\""));
+        assert!(json.contains("\"gc_pause_ms\""));
+        let health = UniqueTableHealth::from_rows(&rows);
+        assert!(
+            health.generation_bumps > 0,
+            "an aggressive-GC run must bump generations: {health:?}"
+        );
+        assert!(health.tombstone_ratio <= 1.0);
         assert!(json.contains("\"safepoint_collections\""));
         assert!(json.contains("\"auto_selected\""));
         assert!(json.contains(&format!("\"family\": \"{family}\"")));

@@ -1,18 +1,21 @@
 //! The session facade: one object that owns the manager, the transition
 //! system, the GC policy, and the strategy — so user code never touches
-//! the pin/`parts_mut` ceremony.
+//! root management by hand.
 //!
 //! Everything the paper's workflows need — image computation (Section IV
 //! and V), reachability fixpoints and invariant checking (Section I), and
 //! circuit equivalence — previously required the caller to hand-assemble
-//! the machinery: split the system with `parts_mut`, pass `&mut Subspace`
-//! into the kernel, and `pin`/`unpin` every bystander across GC
-//! safepoints. [`Engine`] is the manager-owned-session shape mature
-//! decision-diagram libraries use (OBDDimal's `BDDManager`, rsdd's
-//! builder-owned backends): the session owns all of that state, its
-//! methods return `Result<_, QitsError>` instead of panicking, and root
-//! management is invisible — the engine pins its own system (and any
-//! caller-provided `kept` subspaces) across every collection point.
+//! the machinery: pass the right subspaces into the kernel and keep every
+//! bystander alive across GC safepoints. [`Engine`] is the
+//! manager-owned-session shape mature decision-diagram libraries use
+//! (OBDDimal's `BDDManager`, rsdd's builder-owned backends): the session
+//! owns all of that state, its methods return `Result<_, QitsError>`
+//! instead of panicking, and root management is invisible — the engine
+//! roots its own system (and any caller-provided `kept` subspaces) across
+//! every collection point. Collection never moves a node, so inputs are
+//! plain `&Subspace` borrows and nothing is fixed up afterwards; even
+//! node-store exhaustion surfaces as a [`QitsError::ArenaExhausted`]
+//! value rather than a panic.
 //!
 //! Strategy dispatch goes through the [`ImageStrategy`] trait, making the
 //! method set an open extension point: the four built-in kernels (the
@@ -39,7 +42,7 @@ use std::fmt;
 
 use qits_circuit::generators::QtsSpec;
 use qits_circuit::{Circuit, Element, Operation};
-use qits_tdd::{Edge, GcOutcome, GcPolicy, Relocatable, TddManager};
+use qits_tdd::{ArenaExhausted, Edge, EdgeHolder, GcOutcome, GcPolicy, TddManager};
 
 use crate::error::QitsError;
 use crate::image::{try_image, ImageStats, Strategy};
@@ -75,12 +78,13 @@ pub trait ImageStrategy: fmt::Debug + Send {
     /// Computes the image of `input` under `ops`, honouring the manager's
     /// GC safepoint contract (the default delegates to [`try_image`] with
     /// the kernel [`ImageStrategy::select`] picks, which polls safepoints
-    /// and relocates `input` in place).
+    /// with `input` among the mark roots — collection never moves a node,
+    /// so `input` is a plain shared borrow).
     fn compute(
         &self,
         m: &mut TddManager,
         ops: &Operations,
-        input: &mut Subspace,
+        input: &Subspace,
     ) -> Result<(Subspace, ImageStats), QitsError> {
         try_image(m, ops, input, self.select(ops))
     }
@@ -204,6 +208,7 @@ pub type StatsSink = Box<dyn FnMut(&str, &ImageStats) + Send>;
 pub struct EngineBuilder {
     tolerance: f64,
     cache_capacity: Option<usize>,
+    node_capacity: Option<usize>,
     gc_policy: Option<GcPolicy>,
     strategy: Box<dyn ImageStrategy>,
     sink: Option<StatsSink>,
@@ -222,6 +227,7 @@ impl EngineBuilder {
         EngineBuilder {
             tolerance: qits_num::DEFAULT_TOLERANCE,
             cache_capacity: None,
+            node_capacity: None,
             gc_policy: None,
             strategy: Box::new(Auto::default()),
             sink: None,
@@ -242,9 +248,18 @@ impl EngineBuilder {
         self
     }
 
+    /// Hard bound on allocated node slots (see
+    /// [`TddManager::set_node_capacity`]). When a computation hits the
+    /// bound and collection frees nothing, the engine method reports
+    /// [`QitsError::ArenaExhausted`] instead of growing without limit.
+    pub fn node_capacity(mut self, capacity: usize) -> Self {
+        self.node_capacity = Some(capacity);
+        self
+    }
+
     /// Installs (or, with `None` — the default — omits) the automatic
     /// collection policy. With a policy, every safepoint the kernels and
-    /// fixpoint drivers poll may compact the arena; the engine keeps its
+    /// fixpoint drivers poll may sweep dead nodes; the engine keeps its
     /// own system and all `kept` subspaces rooted across those
     /// collections.
     pub fn gc_policy(mut self, policy: Option<GcPolicy>) -> Self {
@@ -275,7 +290,11 @@ impl EngineBuilder {
     }
 
     fn make_manager(&self) -> TddManager {
-        TddManager::with_config(self.tolerance, self.cache_capacity, self.gc_policy)
+        let mut m = TddManager::with_config(self.tolerance, self.cache_capacity, self.gc_policy);
+        if let Some(cap) = self.node_capacity {
+            m.set_node_capacity(cap);
+        }
+        m
     }
 
     /// Builds an engine for a benchmark spec, spanning the initial
@@ -406,16 +425,38 @@ impl Engine {
         }
     }
 
+    /// Runs a diagram computation, converting the node store's
+    /// [`ArenaExhausted`] unwind — the one panic [`TddManager::make_node`]
+    /// emits — into the fallible API's error value. Any other panic is
+    /// resumed unchanged. This is the session boundary the payload's
+    /// contract names: inside a recursive operation exhaustion has no
+    /// partial result to return, so it unwinds; here it becomes a
+    /// [`QitsError::ArenaExhausted`] and the session stays usable.
+    fn guard_exhaustion<T>(f: impl FnOnce() -> Result<T, QitsError>) -> Result<T, QitsError> {
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)) {
+            Ok(result) => result,
+            Err(payload) => match payload.downcast::<ArenaExhausted>() {
+                Ok(e) => Err(QitsError::ArenaExhausted {
+                    allocated: e.allocated,
+                    capacity: e.capacity,
+                }),
+                Err(other) => std::panic::resume_unwind(other),
+            },
+        }
+    }
+
     // ------------------------------------------------------------------
     // Image computation.
     // ------------------------------------------------------------------
 
     /// Computes `T(S0)`, the image of the system's initial subspace, with
-    /// the session strategy. The initial subspace is relocated in place
-    /// across any mid-image collection; no caller-side rooting needed.
+    /// the session strategy. The initial subspace rides through any
+    /// mid-image collection untouched (it is among the kernel's mark
+    /// roots); no caller-side rooting needed.
     pub fn image(&mut self) -> Result<(Subspace, ImageStats), QitsError> {
-        let (ops, initial) = self.qts.parts_mut();
-        let result = self.strategy.compute(&mut self.m, &ops, initial);
+        let (m, qts, strategy) = (&mut self.m, &self.qts, &*self.strategy);
+        let result =
+            Self::guard_exhaustion(|| strategy.compute(m, qts.operations(), qts.initial()));
         let name = self.strategy.name();
         let (img, stats) = result?;
         self.record(&name, &stats);
@@ -427,8 +468,9 @@ impl Engine {
         &mut self,
         strategy: &dyn ImageStrategy,
     ) -> Result<(Subspace, ImageStats), QitsError> {
-        let (ops, initial) = self.qts.parts_mut();
-        let result = strategy.compute(&mut self.m, &ops, initial);
+        let (m, qts) = (&mut self.m, &self.qts);
+        let result =
+            Self::guard_exhaustion(|| strategy.compute(m, qts.operations(), qts.initial()));
         let name = strategy.name();
         let (img, stats) = result?;
         self.record(&name, &stats);
@@ -437,27 +479,29 @@ impl Engine {
 
     /// Computes the image of an arbitrary subspace (living on this
     /// session's manager) under the system's operations. The system's own
-    /// initial subspace is pinned across the call — the rooting dance
+    /// initial subspace is rooted across the call — the rooting dance
     /// callers previously performed by hand.
-    pub fn image_of(&mut self, input: &mut Subspace) -> Result<(Subspace, ImageStats), QitsError> {
-        self.image_of_keeping(input, &mut [])
+    pub fn image_of(&mut self, input: &Subspace) -> Result<(Subspace, ImageStats), QitsError> {
+        self.image_of_keeping(input, &[])
     }
 
     /// [`Engine::image_of`], additionally keeping `kept` subspaces alive
-    /// and relocated across every mid-image collection (the bystander
-    /// contract: anything on the manager that is neither the input nor in
-    /// `kept` may be swept once a GC policy is installed).
+    /// across every mid-image collection (the bystander contract:
+    /// anything on the manager that is neither the input nor in `kept`
+    /// may be swept once a GC policy is installed — swept edges stay
+    /// where they were but report [`TddManager::is_live`] false).
     pub fn image_of_keeping(
         &mut self,
-        input: &mut Subspace,
-        kept: &mut [&mut Subspace],
+        input: &Subspace,
+        kept: &[&Subspace],
     ) -> Result<(Subspace, ImageStats), QitsError> {
-        let ops = self.qts.operations().clone();
-        let mut pinned: Vec<&mut dyn Relocatable> = vec![&mut self.qts];
-        pinned.extend(kept.iter_mut().map(|s| &mut **s as &mut dyn Relocatable));
-        let pins = self.m.pin(&mut pinned);
-        let result = self.strategy.compute(&mut self.m, &ops, input);
-        self.m.unpin(pins, &mut pinned);
+        let mut roots = self.qts.protect(&mut self.m);
+        for s in kept {
+            roots.extend(s.protect(&mut self.m));
+        }
+        let (m, qts, strategy) = (&mut self.m, &self.qts, &*self.strategy);
+        let result = Self::guard_exhaustion(|| strategy.compute(m, qts.operations(), input));
+        self.m.unprotect_all(roots);
         let name = self.strategy.name();
         let (img, stats) = result?;
         self.record(&name, &stats);
@@ -476,13 +520,8 @@ impl Engine {
         &mut self,
         max_iterations: usize,
     ) -> Result<ReachabilityResult, QitsError> {
-        let r = fixpoint_with(
-            &mut self.m,
-            &mut self.qts,
-            &*self.strategy,
-            max_iterations,
-            &mut [],
-        )?;
+        let (m, qts, strategy) = (&mut self.m, &self.qts, &*self.strategy);
+        let r = Self::guard_exhaustion(|| fixpoint_with(m, qts, strategy, max_iterations, &[]))?;
         let name = self.strategy.name();
         for st in &r.stats {
             self.record(&name, st);
@@ -491,12 +530,11 @@ impl Engine {
     }
 
     /// Checks the safety property "every reachable state stays inside
-    /// `invariant`", keeping the invariant rooted and relocated across
-    /// the whole run. Returns the verdict plus the witnessing
-    /// reachability result.
+    /// `invariant`", keeping the invariant rooted across the whole run.
+    /// Returns the verdict plus the witnessing reachability result.
     pub fn check_invariant(
         &mut self,
-        invariant: &mut Subspace,
+        invariant: &Subspace,
         max_iterations: usize,
     ) -> Result<(bool, ReachabilityResult), QitsError> {
         if invariant.n_qubits() != self.qts.n_qubits() {
@@ -506,15 +544,11 @@ impl Engine {
                 context: "the invariant subspace".to_string(),
             });
         }
-        let mut kept = [invariant];
-        let r = fixpoint_with(
-            &mut self.m,
-            &mut self.qts,
-            &*self.strategy,
-            max_iterations,
-            &mut kept,
-        )?;
-        let holds = r.space.is_subspace_of(&mut self.m, kept[0]);
+        let (m, qts, strategy) = (&mut self.m, &self.qts, &*self.strategy);
+        let r = Self::guard_exhaustion(|| {
+            fixpoint_with(m, qts, strategy, max_iterations, &[invariant])
+        })?;
+        let holds = r.space.is_subspace_of(&mut self.m, invariant);
         let name = self.strategy.name();
         for st in &r.stats {
             self.record(&name, st);
@@ -529,23 +563,23 @@ impl Engine {
     /// Whether two circuits implement exactly the same operator (global
     /// phase included), on this session's manager. The equivalence
     /// checkers poll a GC safepoint between the two operator
-    /// contractions; the engine pins its own system across the call so a
+    /// contractions; the engine roots its own system across the call so a
     /// collection there cannot sweep the session state.
     pub fn equivalent(&mut self, a: &Circuit, b: &Circuit) -> Result<bool, QitsError> {
-        let mut pinned: Vec<&mut dyn Relocatable> = vec![&mut self.qts];
-        let pins = self.m.pin(&mut pinned);
-        let result = crate::equiv::try_equivalent_exactly(&mut self.m, a, b);
-        self.m.unpin(pins, &mut pinned);
+        let roots = self.qts.protect(&mut self.m);
+        let m = &mut self.m;
+        let result = Self::guard_exhaustion(|| crate::equiv::try_equivalent_exactly(m, a, b));
+        self.m.unprotect_all(roots);
         result
     }
 
     /// Whether two circuits implement the same operator up to global
     /// phase. Safepoint rooting matches [`Engine::equivalent`].
     pub fn equivalent_up_to_phase(&mut self, a: &Circuit, b: &Circuit) -> Result<bool, QitsError> {
-        let mut pinned: Vec<&mut dyn Relocatable> = vec![&mut self.qts];
-        let pins = self.m.pin(&mut pinned);
-        let result = crate::equiv::try_equivalent_up_to_phase(&mut self.m, a, b);
-        self.m.unpin(pins, &mut pinned);
+        let roots = self.qts.protect(&mut self.m);
+        let m = &mut self.m;
+        let result = Self::guard_exhaustion(|| crate::equiv::try_equivalent_up_to_phase(m, a, b));
+        self.m.unprotect_all(roots);
         result
     }
 
@@ -554,12 +588,12 @@ impl Engine {
     // ------------------------------------------------------------------
 
     /// Runs an explicit garbage collection, retaining the session's
-    /// system plus every subspace in `kept` (all relocated in place).
-    /// Anything else on the manager is swept.
-    pub fn collect(&mut self, kept: &mut [&mut Subspace]) -> GcOutcome {
-        let mut holders: Vec<&mut dyn Relocatable> = vec![&mut self.qts];
-        holders.extend(kept.iter_mut().map(|s| &mut **s as &mut dyn Relocatable));
-        self.m.collect_retaining(&mut holders)
+    /// system plus every subspace in `kept` (all untouched — collection
+    /// never moves a node). Anything else on the manager is swept.
+    pub fn collect(&mut self, kept: &[&Subspace]) -> GcOutcome {
+        let mut holders: Vec<&dyn EdgeHolder> = vec![&self.qts];
+        holders.extend(kept.iter().map(|s| *s as &dyn EdgeHolder));
+        self.m.collect_retaining(&holders)
     }
 
     /// Spans a subspace from states on this session's manager, validating
@@ -614,8 +648,8 @@ mod tests {
         let mut engine = EngineBuilder::new()
             .build_from_spec(&generators::ghz(3))
             .unwrap();
-        let mut wrong = Subspace::zero(5);
-        let err = engine.image_of(&mut wrong).unwrap_err();
+        let wrong = Subspace::zero(5);
+        let err = engine.image_of(&wrong).unwrap_err();
         assert!(matches!(
             err,
             QitsError::RegisterMismatch {
@@ -698,16 +732,49 @@ mod tests {
             .unwrap();
         let vars = Subspace::ket_vars(3);
         let k = engine.manager_mut().basis_ket(&vars, &[true, false, true]);
-        let mut bystander = engine.subspace_from_states(&[k]).unwrap();
-        let mut input = engine.initial().clone();
-        let (_, stats) = engine
-            .image_of_keeping(&mut input, &mut [&mut bystander])
-            .unwrap();
+        let bystander = engine.subspace_from_states(&[k]).unwrap();
+        let input = engine.initial().clone();
+        let (_, stats) = engine.image_of_keeping(&input, &[&bystander]).unwrap();
         assert!(stats.safepoint_collections > 0, "GC must actually run");
         assert_eq!(bystander.dim(), 1);
         let k_again = engine.manager_mut().basis_ket(&vars, &[true, false, true]);
         let m = engine.manager_mut();
         assert!(bystander.contains(m, k_again));
+    }
+
+    #[test]
+    fn arena_exhaustion_is_an_error_not_a_panic() {
+        let mut engine = EngineBuilder::new()
+            .strategy(Strategy::Basic)
+            .build_from_spec(&generators::grover(3))
+            .unwrap();
+        // Clamp the node store to exactly what the build used: the next
+        // fresh node the image computation needs must exhaust it.
+        let cap = engine.manager().arena_len();
+        engine.manager_mut().set_node_capacity(cap);
+        let err = engine.image().unwrap_err();
+        assert_eq!(
+            err,
+            QitsError::ArenaExhausted {
+                allocated: cap,
+                capacity: cap
+            }
+        );
+        assert!(err.to_string().contains("exhausted"));
+        // The session survives the failed computation: the system is
+        // intact and cheap queries still work.
+        assert_eq!(engine.initial().dim(), 2);
+        engine.manager_mut().set_node_capacity(usize::MAX);
+        assert!(engine.image().is_ok());
+    }
+
+    #[test]
+    fn builder_node_capacity_reaches_the_manager() {
+        let engine = EngineBuilder::new()
+            .node_capacity(1 << 20)
+            .build_from_spec(&generators::ghz(3))
+            .unwrap();
+        assert_eq!(engine.manager().node_capacity(), 1 << 20);
     }
 
     #[test]

@@ -82,11 +82,12 @@ pub fn operator_fidelity(m: &mut TddManager, a: Edge, b: Edge, n_qubits: u32) ->
 ///
 /// **GC hazard:** with a policy installed, that safepoint may collect, and
 /// any caller-held edge that is not a registered root (via
-/// [`qits_tdd::TddManager::protect`] or [`qits_tdd::TddManager::pin`]) is
-/// swept — the same root discipline [`crate::image`] signals through its
-/// `&mut Subspace` input, which this circuit-taking signature cannot
-/// express. Without a policy (the default), the function never collects
-/// and behaves exactly as before.
+/// [`qits_tdd::TddManager::protect`]) or passed as an
+/// [`qits_tdd::EdgeHolder`] becomes detectably stale
+/// ([`qits_tdd::TddManager::is_live`] returns false) — nodes are never
+/// moved, but swept slots are recycled under a new generation. Without a
+/// policy (the default), the function never collects and behaves exactly
+/// as before.
 ///
 /// # Panics
 ///
@@ -106,8 +107,8 @@ pub fn try_equivalent_up_to_phase(
     b: &Circuit,
 ) -> Result<bool, QitsError> {
     let n = check_registers(a, b)?;
-    let mut oa = canonical_operator(m, a);
-    m.maybe_collect_at_safepoint(&mut [&mut oa]);
+    let oa = canonical_operator(m, a);
+    m.maybe_collect_at_safepoint(&[&oa]);
     let ob = canonical_operator(m, b);
     Ok((operator_fidelity(m, oa, ob, n) - 1.0).abs() < 1e-8)
 }
@@ -134,8 +135,8 @@ pub fn try_equivalent_exactly(
     b: &Circuit,
 ) -> Result<bool, QitsError> {
     let n = check_registers(a, b)?;
-    let mut oa = canonical_operator(m, a);
-    m.maybe_collect_at_safepoint(&mut [&mut oa]);
+    let oa = canonical_operator(m, a);
+    m.maybe_collect_at_safepoint(&[&oa]);
     let ob = canonical_operator(m, b);
     if (operator_fidelity(m, oa, ob, n) - 1.0).abs() >= 1e-8 {
         return Ok(false);

@@ -51,6 +51,17 @@ pub enum QitsError {
         /// `k`).
         bits: u32,
     },
+    /// The manager's node store hit its configured capacity
+    /// ([`qits_tdd::TddManager::set_node_capacity`]) and collection freed
+    /// nothing. The computation that hit the bound is abandoned (there is
+    /// no partial diagram to return) but the session and everything built
+    /// before the call remain valid.
+    ArenaExhausted {
+        /// Slots allocated when the store filled (terminal included).
+        allocated: usize,
+        /// The configured bound that was hit.
+        capacity: usize,
+    },
     /// A worker thread of the parallel addition partition panicked.
     WorkerFailure {
         /// The worker's panic message, when it carried one.
@@ -91,6 +102,15 @@ impl fmt::Display for QitsError {
                 write!(
                     f,
                     "2^{bits} overflows the machine word (dimension overflow)"
+                )
+            }
+            QitsError::ArenaExhausted {
+                allocated,
+                capacity,
+            } => {
+                write!(
+                    f,
+                    "node arena exhausted: {allocated} slots allocated of capacity {capacity}"
                 )
             }
             QitsError::WorkerFailure { detail } => {
@@ -138,6 +158,13 @@ mod tests {
             ),
             (QitsError::ZeroQubitSystem, "zero-qubit"),
             (QitsError::DimensionOverflow { bits: 70 }, "2^70"),
+            (
+                QitsError::ArenaExhausted {
+                    allocated: 64,
+                    capacity: 64,
+                },
+                "exhausted",
+            ),
             (
                 QitsError::WorkerFailure {
                     detail: "boom".into(),

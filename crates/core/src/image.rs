@@ -4,7 +4,7 @@ use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
 use qits_circuit::Operation;
-use qits_tdd::{CacheStats, Edge, Relocatable, TddManager};
+use qits_tdd::{CacheStats, Edge, EdgeHolder, TddManager};
 use qits_tensor::{Var, VarSet};
 use qits_tensornet::{
     block_keep_vars, contract_network, contraction_blocks, InteractionGraph, NetTensor,
@@ -104,6 +104,29 @@ pub struct ImageStats {
     pub cont_cache: CacheStats,
     /// Addition-cache movement across this computation.
     pub add_cache: CacheStats,
+    /// Median Robin Hood probe length of the unique-table lookups this
+    /// computation issued on the main manager.
+    pub probe_p50: u32,
+    /// 99th-percentile probe length of the same lookups.
+    pub probe_p99: u32,
+    /// Stale (tombstoned) Robin Hood index cells in the main manager's
+    /// unique table when the computation finished — an end-of-run
+    /// snapshot, like [`ImageStats::allocated_nodes`].
+    pub tombstones: usize,
+    /// Index cells allocated at the same moment — the denominator that
+    /// turns [`ImageStats::tombstones`] into a load ratio (the rehash
+    /// trigger keeps `live + tombstones` at or below 3/4 of this).
+    pub index_cells: usize,
+    /// Slot generations bumped by sweeps during this computation on the
+    /// main manager (one per reclaimed node).
+    pub generation_bumps: u64,
+    /// Unique-table hits on a swept slot's key during this computation —
+    /// each one is a dead node detected by its generation instead of a
+    /// dangling read.
+    pub stale_handle_hits: u64,
+    /// Nanoseconds the main manager spent inside mark/sweep during this
+    /// computation (GC pause time).
+    pub gc_nanos: u64,
 }
 
 impl ImageStats {
@@ -137,6 +160,13 @@ impl ImageStats {
         self.safepoint_reclaimed += other.safepoint_reclaimed;
         self.cont_cache.absorb(&other.cont_cache);
         self.add_cache.absorb(&other.add_cache);
+        self.probe_p50 = self.probe_p50.max(other.probe_p50);
+        self.probe_p99 = self.probe_p99.max(other.probe_p99);
+        self.tombstones = other.tombstones;
+        self.index_cells = other.index_cells;
+        self.generation_bumps += other.generation_bumps;
+        self.stale_handle_hits += other.stale_handle_hits;
+        self.gc_nanos += other.gc_nanos;
     }
 }
 
@@ -145,9 +175,14 @@ impl ImageStats {
 /// output subspaces, the network's gate tensors, and the operator/block
 /// tensors built so far. Everything else in the arena is garbage a
 /// collection may sweep.
-fn safepoint(m: &mut TddManager, stats: &mut ImageStats, holders: &mut [&mut dyn Relocatable]) {
+fn safepoint(m: &mut TddManager, stats: &mut ImageStats, holders: &[&dyn EdgeHolder]) {
+    let before = m.stats().nodes_reclaimed;
     if let Some(out) = m.maybe_collect_at_safepoint(holders) {
         stats.safepoint_reclaimed += out.reclaimed as u64;
+    } else {
+        // A poll that only ran an installment of a pending incremental
+        // sweep: count its reclaim as safepoint work too.
+        stats.safepoint_reclaimed += m.stats().nodes_reclaimed - before;
     }
 }
 
@@ -159,26 +194,28 @@ fn safepoint(m: &mut TddManager, stats: &mut ImageStats, holders: &mut [&mut dyn
 /// Gram–Schmidt procedure. This realises Algorithm 1 of the paper, with
 /// the operator-application step swapped per strategy.
 ///
-/// # Garbage collection: the `&mut` input contract
+/// # Garbage collection
 ///
-/// `input` is taken mutably because the three serial strategies poll **GC
-/// safepoints** mid-call — between addition-partition slices, between
-/// contraction-partition blocks, and after every Gram–Schmidt residual of
-/// the output's basis extension. If the manager has a
-/// [`qits_tdd::GcPolicy`] installed and the policy asks for it, a
-/// safepoint compacts the arena down to the strategy's live set and
-/// relocates `input` (and every internal holder) in place, so the arena
-/// stays pinned to the live set *inside* one `image()` call instead of
-/// growing for its whole duration. With no policy installed (the default)
-/// no safepoint ever collects and the call behaves exactly as before.
+/// The three serial strategies poll **GC safepoints** mid-call — between
+/// addition-partition slices, between contraction-partition blocks, and
+/// after every Gram–Schmidt residual of the output's basis extension. If
+/// the manager has a [`qits_tdd::GcPolicy`] installed and the policy asks
+/// for it, a safepoint sweeps everything not reachable from the
+/// strategy's live set (the input, the output so far, the network's gate
+/// tensors, and the operator/block tensors), so the node store stays
+/// pinned to the live set *inside* one `image()` call instead of growing
+/// for its whole duration. Collection never moves a node, so `input` is
+/// read-only: its edges are bit-identical before, during, and after the
+/// call. With no policy installed (the default) no safepoint ever
+/// collects and the call behaves exactly as before.
 ///
 /// Callers holding **other** long-lived diagrams on the same manager
 /// (another subspace, a transition system whose initial subspace is not
 /// the input) must keep them rooted across the call with
-/// [`qits_tdd::TddManager::pin`] / [`qits_tdd::TddManager::unpin`] —
-/// anything unrooted is swept by the first safepoint collection. The
-/// fixpoint drivers in [`crate::mc`] and the [`crate::Engine`] facade do
-/// exactly that; the engine is the intended way to drive this kernel.
+/// [`qits_tdd::TddManager::protect`] — anything unrooted is swept by the
+/// first safepoint collection and becomes detectably stale. The fixpoint
+/// drivers in [`crate::mc`] and the [`crate::Engine`] facade do exactly
+/// that; the engine is the intended way to drive this kernel.
 ///
 /// # Errors
 ///
@@ -193,7 +230,7 @@ fn safepoint(m: &mut TddManager, stats: &mut ImageStats, holders: &mut [&mut dyn
 pub fn try_image(
     m: &mut TddManager,
     operations: &[Operation],
-    input: &mut Subspace,
+    input: &Subspace,
     strategy: Strategy,
 ) -> Result<(Subspace, ImageStats), QitsError> {
     let n = input.n_qubits();
@@ -237,34 +274,23 @@ pub fn try_image(
             // `run_addition_workers` does the same).
             let final_branch = op_i + 1 == operations.len() && b_i + 1 == n_branches;
             stats.branches += 1;
-            let mut net = TensorNetwork::from_circuit(m, &branch);
+            let net = TensorNetwork::from_circuit(m, &branch);
             match strategy {
                 Strategy::Basic => {
                     let whole = contract_network(m, net.tensors(), &net.external_vars());
                     stats.max_nodes = stats.max_nodes.max(whole.max_nodes);
-                    let mut op_tensor = NetTensor {
+                    let op_tensor = NetTensor {
                         edge: whole.edge,
                         vars: net.external_vars(),
                     };
                     for i in 0..input.dim() {
-                        // Fetch the state afresh each round: a safepoint
-                        // collection relocates `input` in place.
                         let psi = input.basis()[i];
                         let (phi, peak) =
                             apply_tensors(m, std::slice::from_ref(&op_tensor), &net, psi);
                         stats.max_nodes = stats.max_nodes.max(peak);
                         out.absorb(m, phi);
                         if !(final_branch && i + 1 == input.dim()) {
-                            safepoint(
-                                m,
-                                &mut stats,
-                                &mut [
-                                    &mut *input as &mut dyn Relocatable,
-                                    &mut out,
-                                    &mut op_tensor,
-                                    &mut net,
-                                ],
-                            );
+                            safepoint(m, &mut stats, &[input, &out, &op_tensor, &net]);
                         }
                     }
                 }
@@ -290,16 +316,7 @@ pub fn try_image(
                             edge: part.edge,
                             vars: net.external_vars(),
                         });
-                        safepoint(
-                            m,
-                            &mut stats,
-                            &mut [
-                                &mut *input as &mut dyn Relocatable,
-                                &mut out,
-                                &mut op_tensors,
-                                &mut net,
-                            ],
-                        );
+                        safepoint(m, &mut stats, &[input, &out, &op_tensors, &net]);
                     }
                     for i in 0..input.dim() {
                         let psi = input.basis()[i];
@@ -313,16 +330,7 @@ pub fn try_image(
                         }
                         out.absorb(m, total);
                         if !(final_branch && i + 1 == input.dim()) {
-                            safepoint(
-                                m,
-                                &mut stats,
-                                &mut [
-                                    &mut *input as &mut dyn Relocatable,
-                                    &mut out,
-                                    &mut op_tensors,
-                                    &mut net,
-                                ],
-                            );
+                            safepoint(m, &mut stats, &[input, &out, &op_tensors, &net]);
                         }
                     }
                 }
@@ -331,8 +339,6 @@ pub fn try_image(
                     let keeps = block_keep_vars(&net, &blocks);
                     let mut block_tensors: Vec<NetTensor> = Vec::with_capacity(blocks.blocks.len());
                     for (block, keep) in blocks.blocks.iter().zip(keeps) {
-                        // Member tensors are re-read from the (possibly
-                        // relocated) network each round.
                         let members: Vec<NetTensor> =
                             block.iter().map(|&gi| net.tensors()[gi].clone()).collect();
                         let outcome = contract_network(m, &members, &keep);
@@ -342,16 +348,7 @@ pub fn try_image(
                             edge: outcome.edge,
                             vars: keep,
                         });
-                        safepoint(
-                            m,
-                            &mut stats,
-                            &mut [
-                                &mut *input as &mut dyn Relocatable,
-                                &mut out,
-                                &mut block_tensors,
-                                &mut net,
-                            ],
-                        );
+                        safepoint(m, &mut stats, &[input, &out, &block_tensors, &net]);
                     }
                     for i in 0..input.dim() {
                         let psi = input.basis()[i];
@@ -359,16 +356,7 @@ pub fn try_image(
                         stats.max_nodes = stats.max_nodes.max(peak);
                         out.absorb(m, phi);
                         if !(final_branch && i + 1 == input.dim()) {
-                            safepoint(
-                                m,
-                                &mut stats,
-                                &mut [
-                                    &mut *input as &mut dyn Relocatable,
-                                    &mut out,
-                                    &mut block_tensors,
-                                    &mut net,
-                                ],
-                            );
+                            safepoint(m, &mut stats, &[input, &out, &block_tensors, &net]);
                         }
                     }
                 }
@@ -420,6 +408,16 @@ pub fn try_image(
     stats.live_nodes = m.live_node_count(&live_edges);
     stats.allocated_nodes = m.arena_len();
     stats.peak_arena = m.stats().peak_arena;
+    // Unique-table health over this computation: probe lengths of the
+    // lookups it issued, plus the generational churn its collections
+    // caused.
+    stats.probe_p50 = moved.probe_hist.p50();
+    stats.probe_p99 = moved.probe_hist.p99();
+    stats.tombstones = m.stats().tombstones;
+    stats.index_cells = m.stats().index_cells;
+    stats.generation_bumps = moved.generation_bumps;
+    stats.stale_handle_hits = moved.stale_handle_hits;
+    stats.gc_nanos = moved.gc_nanos;
     stats.elapsed = start.elapsed();
     Ok((out, stats))
 }
@@ -436,7 +434,7 @@ pub fn try_image(
 pub fn image(
     m: &mut TddManager,
     operations: &[Operation],
-    input: &mut Subspace,
+    input: &Subspace,
     strategy: Strategy,
 ) -> (Subspace, ImageStats) {
     try_image(m, operations, input, strategy).unwrap_or_else(|e| panic!("image(): {e}"))
@@ -463,7 +461,7 @@ fn run_addition_workers(
                     // worker owns its entire live set, so collecting
                     // between state applications is always root-safe.
                     local.set_gc_policy(m.gc_policy());
-                    let mut net = TensorNetwork::from_circuit(&mut local, branch);
+                    let net = TensorNetwork::from_circuit(&mut local, branch);
                     let cuts: Vec<(Var, bool)> = cut_vars
                         .iter()
                         .enumerate()
@@ -472,7 +470,7 @@ fn run_addition_workers(
                     let sliced = net.slice_all(&mut local, &cuts);
                     let part = contract_network(&mut local, sliced.tensors(), &net.external_vars());
                     let mut peak = part.max_nodes;
-                    let mut op_tensor = NetTensor {
+                    let op_tensor = NetTensor {
                         edge: part.edge,
                         vars: net.external_vars(),
                     };
@@ -490,11 +488,7 @@ fn run_addition_workers(
                         // returns right away and the compaction would buy
                         // nothing.
                         if i + 1 < psis.len() {
-                            local.maybe_collect_at_safepoint(&mut [
-                                &mut op_tensor,
-                                &mut net,
-                                &mut phis,
-                            ]);
+                            local.maybe_collect_at_safepoint(&[&op_tensor, &net, &phis]);
                         }
                     }
                     (local, phis, peak)
@@ -585,9 +579,8 @@ mod tests {
 
     fn check_image_matches_dense(spec: &generators::QtsSpec, strategy: Strategy) {
         let mut m = TddManager::new();
-        let mut qts = QuantumTransitionSystem::from_spec(&mut m, spec);
-        let (ops, initial) = qts.parts_mut();
-        let (img, stats) = image(&mut m, &ops, initial, strategy);
+        let qts = QuantumTransitionSystem::from_spec(&mut m, spec);
+        let (img, stats) = image(&mut m, qts.operations(), qts.initial(), strategy);
         let expect = dense_image(&mut m, qts.operations(), qts.initial());
         assert_eq!(
             img.dim(),
@@ -665,10 +658,9 @@ mod tests {
     fn grover_invariant_subspace() {
         // T(S) = S for S = span{|++->, |11->} (Section III-A.1).
         let mut m = TddManager::new();
-        let mut qts = QuantumTransitionSystem::from_spec(&mut m, &generators::grover(3));
+        let qts = QuantumTransitionSystem::from_spec(&mut m, &generators::grover(3));
         for s in STRATEGIES {
-            let (ops, initial) = qts.parts_mut();
-            let (img, _) = image(&mut m, &ops, initial, s);
+            let (img, _) = image(&mut m, qts.operations(), qts.initial(), s);
             assert!(img.equals(&mut m, qts.initial()), "strategy {s}");
         }
     }
@@ -676,11 +668,10 @@ mod tests {
     #[test]
     fn strategies_agree_pairwise() {
         let mut m = TddManager::new();
-        let mut qts = QuantumTransitionSystem::from_spec(&mut m, &generators::qrw(4, 0.3));
+        let qts = QuantumTransitionSystem::from_spec(&mut m, &generators::qrw(4, 0.3));
         let mut images: Vec<Subspace> = Vec::new();
         for &s in STRATEGIES.iter() {
-            let (ops, initial) = qts.parts_mut();
-            images.push(image(&mut m, &ops, initial, s).0);
+            images.push(image(&mut m, qts.operations(), qts.initial(), s).0);
         }
         for w in images.windows(2) {
             let (a, b) = (&w[0], &w[1]);
@@ -692,8 +683,8 @@ mod tests {
     fn image_of_zero_subspace_is_zero() {
         let mut m = TddManager::new();
         let qts = QuantumTransitionSystem::from_spec(&mut m, &generators::ghz(3));
-        let mut zero = Subspace::zero(3);
-        let (img, stats) = image(&mut m, qts.operations(), &mut zero, Strategy::Basic);
+        let zero = Subspace::zero(3);
+        let (img, stats) = image(&mut m, qts.operations(), &zero, Strategy::Basic);
         assert_eq!(img.dim(), 0);
         assert_eq!(stats.output_dim, 0);
     }
@@ -712,17 +703,15 @@ mod tests {
         ] {
             let mut m_gc = TddManager::new();
             m_gc.set_gc_policy(Some(GcPolicy::aggressive()));
-            let mut qts_gc = QuantumTransitionSystem::from_spec(&mut m_gc, &spec);
-            let (ops, initial) = qts_gc.parts_mut();
-            let (img_gc, st) = image(&mut m_gc, &ops, initial, s);
+            let qts_gc = QuantumTransitionSystem::from_spec(&mut m_gc, &spec);
+            let (img_gc, st) = image(&mut m_gc, qts_gc.operations(), qts_gc.initial(), s);
             assert!(st.safepoints > 0, "{s}: no safepoint polled");
             assert!(st.safepoint_collections > 0, "{s}: no safepoint collected");
             assert!(st.safepoint_reclaimed > 0, "{s}: nothing reclaimed");
 
             let mut m = TddManager::new();
-            let mut qts = QuantumTransitionSystem::from_spec(&mut m, &spec);
-            let (ops, initial) = qts.parts_mut();
-            let (img, st_plain) = image(&mut m, &ops, initial, s);
+            let qts = QuantumTransitionSystem::from_spec(&mut m, &spec);
+            let (img, st_plain) = image(&mut m, qts.operations(), qts.initial(), s);
             assert_eq!(st_plain.safepoint_collections, 0, "no policy: no collect");
             assert_eq!(img.dim(), img_gc.dim(), "{s}");
             // Same subspace: import the GC run's basis and compare.
@@ -732,7 +721,7 @@ mod tests {
                 imported.absorb(&mut m, e);
             }
             assert!(imported.equals(&mut m, &img), "{s}");
-            // The relocated input is intact: still the initial subspace.
+            // The input is untouched: still the initial subspace.
             let fresh = {
                 let vars = Subspace::ket_vars(3);
                 let states: Vec<Edge> = spec
@@ -749,9 +738,9 @@ mod tests {
     #[test]
     fn try_image_reports_register_mismatch_in_release() {
         let mut m = TddManager::new();
-        let mut input = Subspace::zero(3);
+        let input = Subspace::zero(3);
         let wide = Operation::new("wide", 5);
-        let err = try_image(&mut m, &[wide], &mut input, Strategy::Basic).unwrap_err();
+        let err = try_image(&mut m, &[wide], &input, Strategy::Basic).unwrap_err();
         assert!(matches!(
             err,
             crate::error::QitsError::RegisterMismatch {
@@ -765,15 +754,15 @@ mod tests {
     #[test]
     fn try_image_reports_empty_operation_set_and_zero_register() {
         let mut m = TddManager::new();
-        let mut input = Subspace::zero(3);
+        let input = Subspace::zero(3);
         assert_eq!(
-            try_image(&mut m, &[], &mut input, Strategy::Basic).unwrap_err(),
+            try_image(&mut m, &[], &input, Strategy::Basic).unwrap_err(),
             crate::error::QitsError::EmptyOperationSet
         );
-        let mut zero = Subspace::zero(0);
+        let zero = Subspace::zero(0);
         let op = Operation::new("id", 0);
         assert_eq!(
-            try_image(&mut m, &[op], &mut zero, Strategy::Basic).unwrap_err(),
+            try_image(&mut m, &[op], &zero, Strategy::Basic).unwrap_err(),
             crate::error::QitsError::ZeroQubitSystem
         );
     }
@@ -781,9 +770,14 @@ mod tests {
     #[test]
     fn try_image_reports_slice_count_overflow() {
         let mut m = TddManager::new();
-        let mut qts = QuantumTransitionSystem::from_spec(&mut m, &generators::ghz(3));
-        let (ops, initial) = qts.parts_mut();
-        let err = try_image(&mut m, &ops, initial, Strategy::Addition { k: 64 }).unwrap_err();
+        let qts = QuantumTransitionSystem::from_spec(&mut m, &generators::ghz(3));
+        let err = try_image(
+            &mut m,
+            qts.operations(),
+            qts.initial(),
+            Strategy::Addition { k: 64 },
+        )
+        .unwrap_err();
         assert_eq!(err, crate::error::QitsError::DimensionOverflow { bits: 64 });
     }
 
@@ -791,9 +785,9 @@ mod tests {
     #[should_panic(expected = "register mismatch")]
     fn image_shim_panics_on_mismatch_with_the_error_text() {
         let mut m = TddManager::new();
-        let mut input = Subspace::zero(3);
+        let input = Subspace::zero(3);
         let wide = Operation::new("wide", 5);
-        let _ = image(&mut m, &[wide], &mut input, Strategy::Basic);
+        let _ = image(&mut m, &[wide], &input, Strategy::Basic);
     }
 
     #[test]

@@ -55,9 +55,11 @@
 //!
 //! The engine handles garbage-collection rooting internally — install a
 //! [`qits_tdd::GcPolicy`] through the builder and every safepoint keeps
-//! the session's system (plus any subspaces passed as `kept`) alive and
-//! relocated. The pre-engine free functions ([`image`], the
-//! [`mc`] drivers) remain as thin shims over the same kernels.
+//! the session's system (plus any subspaces passed as `kept`) alive.
+//! Collection never moves a node, so inputs are plain `&Subspace` borrows
+//! and survivors stay bit-identical; unrooted diagrams become detectably
+//! stale instead of dangling. The pre-engine free functions ([`image`],
+//! the [`mc`] drivers) remain as thin shims over the same kernels.
 
 pub mod equiv;
 pub mod mc;

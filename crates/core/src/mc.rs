@@ -12,18 +12,19 @@
 //! * **inside** each `image()` call, the serial strategies poll their own
 //!   safepoints (see [`crate::image`]); the drivers keep the transition
 //!   system and any invariant under check alive across those collections
-//!   by pinning them ([`qits_tdd::TddManager::pin`]) for the duration of
-//!   the call;
+//!   by rooting them ([`qits_tdd::TddManager::protect`]) for the duration
+//!   of the call;
 //! * **between** iterations, the drivers poll the same safepoint entry
 //!   ([`qits_tdd::TddManager::maybe_collect_at_safepoint`]) with the full
-//!   live set as holders — the system, the working space, and the kept
-//!   subspaces.
+//!   live set as [`qits_tdd::EdgeHolder`]s — the system, the working
+//!   space, and the kept subspaces.
 //!
-//! Either way the arena is compacted and every held edge is relocated, so
-//! callers' structures remain valid after the run. With no policy
-//! installed (the default), behaviour is identical to the grow-only arena.
+//! Collection never moves a node, so callers' structures are untouched by
+//! a run — every edge they held going in is bit-identical coming out.
+//! With no policy installed (the default), behaviour is identical to the
+//! grow-only node store.
 
-use qits_tdd::{Relocatable, TddManager};
+use qits_tdd::{EdgeHolder, TddManager};
 
 use crate::engine::ImageStrategy;
 use crate::error::QitsError;
@@ -65,17 +66,13 @@ fn space_is_full(s: &Subspace) -> bool {
 /// space is contained in it by construction, so the final image
 /// computation is skipped.
 ///
-/// `qts` is taken mutably because a garbage collection between iterations
-/// (see the module docs) relocates its initial subspace in place, keeping
-/// it valid for the caller afterwards.
-///
 /// This is an infallible shim over [`try_reachable_space`] (it panics
 /// where that returns `Err`), kept for legacy call sites and the
 /// strategy-agreement baseline; [`crate::Engine::reachable_space`] is the
 /// fallible session API.
 pub fn reachable_space(
     m: &mut TddManager,
-    qts: &mut QuantumTransitionSystem,
+    qts: &QuantumTransitionSystem,
     strategy: Strategy,
     max_iterations: usize,
 ) -> ReachabilityResult {
@@ -87,17 +84,17 @@ pub fn reachable_space(
 /// [`QitsError`] surfaces here instead of panicking.
 pub fn try_reachable_space(
     m: &mut TddManager,
-    qts: &mut QuantumTransitionSystem,
+    qts: &QuantumTransitionSystem,
     strategy: Strategy,
     max_iterations: usize,
 ) -> Result<ReachabilityResult, QitsError> {
-    fixpoint_with(m, qts, &strategy, max_iterations, &mut [])
+    fixpoint_with(m, qts, &strategy, max_iterations, &[])
 }
 
-/// [`reachable_space`], additionally keeping `kept` subspaces alive and
-/// relocated across any between-iteration collection. This is how
-/// [`check_invariant`] carries the invariant through a GC'd run; callers
-/// holding other subspaces on the same manager can do the same.
+/// [`reachable_space`], additionally keeping `kept` subspaces alive
+/// across every collection of the run. This is how [`check_invariant`]
+/// carries the invariant through a GC'd run; callers holding other
+/// subspaces on the same manager can do the same.
 ///
 /// # Panics
 ///
@@ -105,10 +102,10 @@ pub fn try_reachable_space(
 /// [`crate::Engine::reachable_space`]) return `Err`.
 pub fn reachable_space_keeping(
     m: &mut TddManager,
-    qts: &mut QuantumTransitionSystem,
+    qts: &QuantumTransitionSystem,
     strategy: Strategy,
     max_iterations: usize,
-    kept: &mut [&mut Subspace],
+    kept: &[&Subspace],
 ) -> ReachabilityResult {
     fixpoint_with(m, qts, &strategy, max_iterations, kept)
         .unwrap_or_else(|e| panic!("reachable_space_keeping: {e}"))
@@ -116,15 +113,15 @@ pub fn reachable_space_keeping(
 
 /// The fixpoint core behind every reachability driver — free-function
 /// shims and [`crate::Engine`] alike: iterates `S <- S v T(S)` with the
-/// image computed through an [`ImageStrategy`] object, pinning the system
+/// image computed through an [`ImageStrategy`] object, rooting the system
 /// and the `kept` subspaces across in-image safepoints and polling the
 /// between-iteration safepoint with the full live set.
 pub(crate) fn fixpoint_with(
     m: &mut TddManager,
-    qts: &mut QuantumTransitionSystem,
+    qts: &QuantumTransitionSystem,
     strategy: &dyn ImageStrategy,
     max_iterations: usize,
-    kept: &mut [&mut Subspace],
+    kept: &[&Subspace],
 ) -> Result<ReachabilityResult, QitsError> {
     let ops = qts.operations().clone();
     let mut space = qts.initial().clone();
@@ -141,13 +138,14 @@ pub(crate) fn fixpoint_with(
         }
         // The image call may collect at its internal safepoints; the
         // system's initial subspace and the kept subspaces are live but
-        // not part of the call, so pin them across it.
+        // not part of the call, so root them across it.
         let (img, st) = {
-            let mut pinned: Vec<&mut dyn Relocatable> = vec![qts];
-            pinned.extend(kept.iter_mut().map(|s| &mut **s as &mut dyn Relocatable));
-            let pins = m.pin(&mut pinned);
-            let result = strategy.compute(m, &ops, &mut space);
-            m.unpin(pins, &mut pinned);
+            let mut roots = qts.protect(m);
+            for s in kept {
+                roots.extend(s.protect(m));
+            }
+            let result = strategy.compute(m, &ops, &space);
+            m.unprotect_all(roots);
             result?
         };
         // `reclaimed_nodes` must cover the same collections `collections`
@@ -174,9 +172,9 @@ pub(crate) fn fixpoint_with(
         // is garbage; only the system, the working space, and the kept
         // subspaces are live. This is a safepoint like the in-image ones:
         // poll the policy through the same entry.
-        let mut holders: Vec<&mut dyn Relocatable> = vec![qts, &mut space];
-        holders.extend(kept.iter_mut().map(|s| &mut **s as &mut dyn Relocatable));
-        if let Some(out) = m.maybe_collect_at_safepoint(&mut holders) {
+        let mut holders: Vec<&dyn EdgeHolder> = vec![qts, &space];
+        holders.extend(kept.iter().map(|s| *s as &dyn EdgeHolder));
+        if let Some(out) = m.maybe_collect_at_safepoint(&holders) {
             collections += 1;
             reclaimed_nodes += out.reclaimed as u64;
         }
@@ -198,16 +196,12 @@ pub(crate) fn fixpoint_with(
 /// A `false` verdict with `converged = false` means the analysis was
 /// truncated and the verdict is only valid for the explored prefix.
 ///
-/// `qts` and `invariant` are taken mutably because between-iteration
-/// garbage collections relocate their edges in place (see the module
-/// docs); both remain valid for the caller afterwards.
-///
 /// Infallible shim over [`try_check_invariant`] (panics where that
 /// errors); [`crate::Engine::check_invariant`] is the session API.
 pub fn check_invariant(
     m: &mut TddManager,
-    qts: &mut QuantumTransitionSystem,
-    invariant: &mut Subspace,
+    qts: &QuantumTransitionSystem,
+    invariant: &Subspace,
     strategy: Strategy,
     max_iterations: usize,
 ) -> (bool, ReachabilityResult) {
@@ -220,14 +214,13 @@ pub fn check_invariant(
 /// computation hit.
 pub fn try_check_invariant(
     m: &mut TddManager,
-    qts: &mut QuantumTransitionSystem,
-    invariant: &mut Subspace,
+    qts: &QuantumTransitionSystem,
+    invariant: &Subspace,
     strategy: Strategy,
     max_iterations: usize,
 ) -> Result<(bool, ReachabilityResult), QitsError> {
-    let mut kept = [invariant];
-    let reach = fixpoint_with(m, qts, &strategy, max_iterations, &mut kept)?;
-    let holds = reach.space.is_subspace_of(m, kept[0]);
+    let reach = fixpoint_with(m, qts, &strategy, max_iterations, &[invariant])?;
+    let holds = reach.space.is_subspace_of(m, invariant);
     Ok((holds, reach))
 }
 
@@ -243,8 +236,8 @@ mod tests {
     fn grover_reaches_fixpoint_immediately() {
         // The Grover initial subspace is invariant: 1 iteration suffices.
         let mut m = TddManager::new();
-        let mut qts = QuantumTransitionSystem::from_spec(&mut m, &generators::grover(3));
-        let r = reachable_space(&mut m, &mut qts, Strategy::Contraction { k1: 2, k2: 2 }, 10);
+        let qts = QuantumTransitionSystem::from_spec(&mut m, &generators::grover(3));
+        let r = reachable_space(&mut m, &qts, Strategy::Contraction { k1: 2, k2: 2 }, 10);
         assert!(r.converged);
         assert_eq!(r.iterations, 1);
         assert!(r.space.equals(&mut m, qts.initial()));
@@ -255,8 +248,8 @@ mod tests {
         // The noiseless+noisy walk spreads over the whole cycle; its
         // reachable space saturates at the full 2^n dimension eventually.
         let mut m = TddManager::new();
-        let mut qts = QuantumTransitionSystem::from_spec(&mut m, &generators::qrw(3, 0.5));
-        let mut r = reachable_space(&mut m, &mut qts, Strategy::Contraction { k1: 2, k2: 2 }, 20);
+        let qts = QuantumTransitionSystem::from_spec(&mut m, &generators::qrw(3, 0.5));
+        let r = reachable_space(&mut m, &qts, Strategy::Contraction { k1: 2, k2: 2 }, 20);
         assert!(r.converged);
         assert!(r.space.dim() > qts.initial().dim());
         // Fixpoint really is a fixpoint.
@@ -264,7 +257,7 @@ mod tests {
         let (img, _) = image(
             &mut m,
             &ops,
-            &mut r.space,
+            &r.space,
             Strategy::Contraction { k1: 2, k2: 2 },
         );
         assert!(img.is_subspace_of(&mut m, &r.space));
@@ -276,11 +269,10 @@ mod tests {
         // many iterations as it needs and no spare one: fullness after
         // the final join must still report convergence.
         let mut probe = TddManager::new();
-        let mut qts_probe =
-            QuantumTransitionSystem::from_spec(&mut probe, &generators::qrw(3, 0.5));
+        let qts_probe = QuantumTransitionSystem::from_spec(&mut probe, &generators::qrw(3, 0.5));
         let full_run = reachable_space(
             &mut probe,
-            &mut qts_probe,
+            &qts_probe,
             Strategy::Contraction { k1: 2, k2: 2 },
             20,
         );
@@ -288,10 +280,10 @@ mod tests {
         assert_eq!(full_run.space.dim(), 8, "walk must fill the space");
 
         let mut m = TddManager::new();
-        let mut qts = QuantumTransitionSystem::from_spec(&mut m, &generators::qrw(3, 0.5));
+        let qts = QuantumTransitionSystem::from_spec(&mut m, &generators::qrw(3, 0.5));
         let tight = reachable_space(
             &mut m,
-            &mut qts,
+            &qts,
             Strategy::Contraction { k1: 2, k2: 2 },
             full_run.iterations,
         );
@@ -313,8 +305,8 @@ mod tests {
             c.push(qits_circuit::Gate::h(0));
             c
         });
-        let mut qts = QuantumTransitionSystem::new(2, vec![op], full);
-        let r = reachable_space(&mut m, &mut qts, Strategy::Basic, 10);
+        let qts = QuantumTransitionSystem::new(2, vec![op], full);
+        let r = reachable_space(&mut m, &qts, Strategy::Basic, 10);
         assert!(r.converged);
         assert_eq!(r.iterations, 0, "full space needs no image computation");
         assert_eq!(r.space.dim(), 4);
@@ -324,11 +316,11 @@ mod tests {
     fn reachable_space_is_an_invariant() {
         // The reachable space itself always satisfies the invariant check.
         let mut m = TddManager::new();
-        let mut qts = QuantumTransitionSystem::from_spec(&mut m, &generators::ghz(3));
-        let r = reachable_space(&mut m, &mut qts, Strategy::Basic, 20);
+        let qts = QuantumTransitionSystem::from_spec(&mut m, &generators::ghz(3));
+        let r = reachable_space(&mut m, &qts, Strategy::Basic, 20);
         assert!(r.converged);
-        let mut inv = r.space.clone();
-        let (holds, r2) = check_invariant(&mut m, &mut qts, &mut inv, Strategy::Basic, 20);
+        let inv = r.space.clone();
+        let (holds, r2) = check_invariant(&mut m, &qts, &inv, Strategy::Basic, 20);
         assert!(holds);
         assert!(r2.converged);
         assert_eq!(r2.space.dim(), r.space.dim());
@@ -337,20 +329,20 @@ mod tests {
     #[test]
     fn invariant_violated_when_too_small() {
         let mut m = TddManager::new();
-        let mut qts = QuantumTransitionSystem::from_spec(&mut m, &generators::ghz(3));
+        let qts = QuantumTransitionSystem::from_spec(&mut m, &generators::ghz(3));
         // The initial state alone is not invariant under GHZ preparation.
         let vars = Subspace::ket_vars(3);
         let zero_ket = m.product_ket(&vars, &[states::ZERO; 3]);
-        let mut only_zero = Subspace::from_states(&mut m, 3, &[zero_ket]);
-        let (holds, _) = check_invariant(&mut m, &mut qts, &mut only_zero, Strategy::Basic, 10);
+        let only_zero = Subspace::from_states(&mut m, 3, &[zero_ket]);
+        let (holds, _) = check_invariant(&mut m, &qts, &only_zero, Strategy::Basic, 10);
         assert!(!holds);
     }
 
     #[test]
     fn max_iterations_truncates() {
         let mut m = TddManager::new();
-        let mut qts = QuantumTransitionSystem::from_spec(&mut m, &generators::qrw(4, 0.5));
-        let r = reachable_space(&mut m, &mut qts, Strategy::Contraction { k1: 2, k2: 2 }, 1);
+        let qts = QuantumTransitionSystem::from_spec(&mut m, &generators::qrw(4, 0.5));
+        let r = reachable_space(&mut m, &qts, Strategy::Contraction { k1: 2, k2: 2 }, 1);
         assert!(!r.converged);
         assert_eq!(r.iterations, 1);
     }
@@ -363,13 +355,13 @@ mod tests {
         let strategy = Strategy::Contraction { k1: 2, k2: 2 };
 
         let mut m_plain = TddManager::new();
-        let mut qts_plain = QuantumTransitionSystem::from_spec(&mut m_plain, &spec);
-        let r_plain = reachable_space(&mut m_plain, &mut qts_plain, strategy, 20);
+        let qts_plain = QuantumTransitionSystem::from_spec(&mut m_plain, &spec);
+        let r_plain = reachable_space(&mut m_plain, &qts_plain, strategy, 20);
 
         let mut m_gc = TddManager::new();
-        let mut qts_gc = QuantumTransitionSystem::from_spec(&mut m_gc, &spec);
+        let qts_gc = QuantumTransitionSystem::from_spec(&mut m_gc, &spec);
         m_gc.set_gc_policy(Some(GcPolicy::aggressive()));
-        let r_gc = reachable_space(&mut m_gc, &mut qts_gc, strategy, 20);
+        let r_gc = reachable_space(&mut m_gc, &qts_gc, strategy, 20);
 
         assert!(r_gc.converged);
         assert_eq!(r_plain.space.dim(), r_gc.space.dim());
@@ -381,39 +373,38 @@ mod tests {
             m_gc.arena_len(),
             m_plain.arena_len()
         );
-        // The relocated structures are still usable: the fixpoint is a
-        // fixpoint and the initial space is contained in it.
+        // The held structures are untouched by the collections: the
+        // fixpoint is a fixpoint and the initial space is contained in it.
         assert!(qts_gc
             .initial()
             .clone()
             .is_subspace_of(&mut m_gc, &r_gc.space));
-        let mut r_gc = r_gc;
         let ops = qts_gc.operations().clone();
-        let (img, _) = image(&mut m_gc, &ops, &mut r_gc.space, strategy);
+        let (img, _) = image(&mut m_gc, &ops, &r_gc.space, strategy);
         assert!(img.is_subspace_of(&mut m_gc, &r_gc.space));
     }
 
     #[test]
     fn gc_keeps_the_checked_invariant_valid() {
         let mut m = TddManager::new();
-        let mut qts = QuantumTransitionSystem::from_spec(&mut m, &generators::qrw(3, 0.3));
+        let qts = QuantumTransitionSystem::from_spec(&mut m, &generators::qrw(3, 0.3));
         m.set_gc_policy(Some(GcPolicy::aggressive()));
         let vars = Subspace::ket_vars(3);
         let bad_ket = m.basis_ket(&vars, &[true, false, false]);
         let bad = Subspace::from_states(&mut m, 3, &[bad_ket]);
-        let mut safe = bad.complement(&mut m);
+        let safe = bad.complement(&mut m);
         let (holds, r) = check_invariant(
             &mut m,
-            &mut qts,
-            &mut safe,
+            &qts,
+            &safe,
             Strategy::Contraction { k1: 2, k2: 2 },
             20,
         );
         assert!(r.converged);
         assert!(!holds, "the walk eventually reaches the bad state");
         assert!(r.collections > 0);
-        // `safe` was relocated, not corrupted: it still has dimension 7
-        // and still excludes the bad state.
+        // `safe` rode through every collection untouched: it still has
+        // dimension 7 and still excludes the bad state.
         assert_eq!(safe.dim(), 7);
         let bad_again = m.basis_ket(&vars, &[true, false, false]);
         assert!(!safe.contains(&mut m, bad_again));

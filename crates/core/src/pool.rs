@@ -90,6 +90,7 @@ pub struct EngineSpec {
     system: QtsSpec,
     tolerance: f64,
     cache_capacity: Option<usize>,
+    node_capacity: Option<usize>,
     gc_policy: Option<GcPolicy>,
     strategy: StrategyFactory,
     strategy_name: String,
@@ -102,6 +103,7 @@ impl fmt::Debug for EngineSpec {
             .field("n_qubits", &self.system.n_qubits)
             .field("tolerance", &self.tolerance)
             .field("cache_capacity", &self.cache_capacity)
+            .field("node_capacity", &self.node_capacity)
             .field("gc_policy", &self.gc_policy)
             .field("strategy", &self.strategy_name)
             .finish()
@@ -116,6 +118,7 @@ impl EngineSpec {
             system,
             tolerance: qits_num::DEFAULT_TOLERANCE,
             cache_capacity: None,
+            node_capacity: None,
             gc_policy: None,
             strategy: Arc::new(|| Box::new(Auto::default())),
             strategy_name: Auto::default().name(),
@@ -131,6 +134,15 @@ impl EngineSpec {
     /// Operation-cache bound of every built engine (`0` disables caching).
     pub fn cache_capacity(mut self, capacity: usize) -> Self {
         self.cache_capacity = Some(capacity);
+        self
+    }
+
+    /// Node-store bound of every built engine (see
+    /// [`EngineBuilder::node_capacity`]). A job that hits the bound fails
+    /// with [`QitsError::ArenaExhausted`] — only that job; its worker and
+    /// the pool keep serving.
+    pub fn node_capacity(mut self, capacity: usize) -> Self {
+        self.node_capacity = Some(capacity);
         self
     }
 
@@ -167,6 +179,9 @@ impl EngineSpec {
             .strategy_boxed((self.strategy)());
         if let Some(cap) = self.cache_capacity {
             b = b.cache_capacity(cap);
+        }
+        if let Some(cap) = self.node_capacity {
+            b = b.node_capacity(cap);
         }
         b
     }
@@ -414,7 +429,7 @@ pub fn run_job(engine: &mut Engine, job: &Job) -> Result<JobOutput, QitsError> {
                 let ket = engine.manager_mut().product_ket(&vars, amps);
                 inv.absorb(engine.manager_mut(), ket);
             }
-            let (holds, r) = engine.check_invariant(&mut inv, *max_iterations)?;
+            let (holds, r) = engine.check_invariant(&inv, *max_iterations)?;
             Ok(JobOutput::Invariant {
                 holds,
                 reach: r.into(),
@@ -904,6 +919,33 @@ mod tests {
         assert_eq!(stats.jobs_failed, 0);
         assert_eq!(stats.queue_depth, 0);
         assert_eq!(stats.images, 6);
+    }
+
+    #[test]
+    fn arena_exhaustion_fails_the_job_not_the_pool() {
+        // Clamp every worker's node store to exactly what building the
+        // session uses (build is deterministic), so the first image
+        // computation on any worker exhausts it.
+        let probe = grover_spec().build().unwrap();
+        let cap = probe.manager().arena_len();
+        drop(probe);
+        let pool = EnginePool::builder(grover_spec().node_capacity(cap))
+            .workers(2)
+            .build()
+            .unwrap();
+        let handles = pool.submit_batch(vec![Job::image(); 4]);
+        for h in handles {
+            let err = h.join().unwrap_err();
+            assert!(
+                matches!(err, QitsError::ArenaExhausted { .. }),
+                "expected a typed exhaustion error, got {err:?}"
+            );
+        }
+        // Every failure was a value delivered through the job's own
+        // handle; the workers never died and the pool tears down cleanly.
+        let stats = pool.shutdown();
+        assert_eq!(stats.jobs_failed, 4);
+        assert_eq!(stats.jobs_completed, 0);
     }
 
     #[test]

@@ -14,13 +14,10 @@ use crate::subspace::Subspace;
 ///
 /// Operations are circuits — they hold **no TDD edges** — so this view is
 /// immutable and cheaply cloneable (the operation list is behind an
-/// [`Arc`]). That is the point of the type: the image kernel takes its
-/// input subspace `&mut` so in-image GC safepoints can relocate it, and a
-/// caller that stores operations and initial subspace in one
-/// [`QuantumTransitionSystem`] could never hand out both borrows at once.
-/// [`crate::Engine`] performs that borrow split internally; cloning
-/// [`QuantumTransitionSystem::operations`] gives the same owned handle to
-/// anyone driving the free-function shims by hand.
+/// [`Arc`]). Cloning [`QuantumTransitionSystem::operations`] gives an
+/// owned handle that outlives any borrow of the system — handy when a
+/// caller wants to drive the image kernel repeatedly while the system's
+/// initial subspace is also in play.
 ///
 /// Derefs to `[Operation]`, so anything taking `&[Operation]` accepts
 /// `&ops` directly.
@@ -89,10 +86,10 @@ impl Deref for Operations {
 /// `T_sigma` per symbol.
 ///
 /// Internally this is two views glued together: an immutable, shareable
-/// [`Operations`] handle and the mutable initial-subspace state. The
-/// [`crate::Engine`] facade owns the system and splits those views apart
-/// internally whenever an image computation needs `(operations, &mut
-/// initial)` at once; user code never performs the split itself.
+/// [`Operations`] handle and the initial-subspace state. Since the image
+/// kernel reads its input immutably (GC never moves nodes, so nothing is
+/// relocated in place), both views can be borrowed at once —
+/// [`crate::Engine`] simply passes `(qts.operations(), qts.initial())`.
 ///
 /// # Example
 ///
@@ -190,48 +187,25 @@ impl QuantumTransitionSystem {
         &self.initial
     }
 
-    /// Mutable access to the initial subspace — the state half of the
-    /// borrow split; GC safepoints inside the image kernel relocate it in
-    /// place when `S0` is the image input.
+    /// Mutable access to the initial subspace, for callers that replace
+    /// or extend `S0` between runs.
     pub fn initial_mut(&mut self) -> &mut Subspace {
         &mut self.initial
     }
 
-    /// Splits the system into its two views: an owned operations handle
-    /// (cheap [`Arc`] clone) and the mutable initial subspace. This is the
-    /// calling convention the image kernel wants when computing the image
-    /// of `S0` itself; the [`crate::Engine`] facade owns the split, so it
-    /// is crate-internal.
-    pub(crate) fn parts_mut(&mut self) -> (Operations, &mut Subspace) {
-        (self.operations.clone(), &mut self.initial)
-    }
-
     /// Registers the system's long-lived edges (the initial subspace's
     /// basis and projector; operations are circuits and hold no edges) as
-    /// GC roots. Pair with [`QuantumTransitionSystem::relocate`] after a
-    /// collection.
+    /// GC roots. Release them later with
+    /// [`TddManager::unprotect_all`]; nothing else is needed — collection
+    /// never moves a node.
     pub fn protect(&self, m: &mut TddManager) -> Vec<qits_tdd::RootId> {
         self.initial.protect(m)
     }
-
-    /// Rewrites the system's edges after a garbage collection (they must
-    /// have been protected across it).
-    pub fn relocate(&mut self, r: &qits_tdd::Relocations) {
-        self.initial.relocate(r);
-    }
 }
 
-impl qits_tdd::Relocatable for QuantumTransitionSystem {
-    fn gc_protect(&self, m: &mut TddManager) -> Vec<qits_tdd::RootId> {
-        self.protect(m)
-    }
-
-    fn gc_relocate(&mut self, r: &qits_tdd::Relocations) {
-        self.relocate(r);
-    }
-
-    fn gc_restore(&mut self, m: &TddManager, ids: &mut std::slice::Iter<'_, qits_tdd::RootId>) {
-        self.initial.gc_restore(m, ids);
+impl qits_tdd::EdgeHolder for QuantumTransitionSystem {
+    fn gc_edges(&self, visit: &mut dyn FnMut(qits_tdd::Edge)) {
+        self.initial.gc_edges(visit);
     }
 }
 
@@ -313,14 +287,14 @@ mod tests {
     }
 
     #[test]
-    fn parts_mut_splits_the_borrow() {
+    fn operations_and_initial_borrow_simultaneously() {
         let mut m = TddManager::new();
-        let mut qts = QuantumTransitionSystem::from_spec(&mut m, &generators::grover(3));
-        let (ops, initial) = qts.parts_mut();
-        // Both halves usable simultaneously: the whole point of the split.
+        let qts = QuantumTransitionSystem::from_spec(&mut m, &generators::grover(3));
+        // Both views usable at once: the image kernel's calling convention.
+        let (ops, initial) = (qts.operations(), qts.initial());
         assert_eq!(ops.len(), 1);
         assert_eq!(initial.dim(), 2);
-        let ops_slice: &[Operation] = &ops; // deref coercion
+        let ops_slice: &[Operation] = ops; // deref coercion
         assert_eq!(ops_slice.len(), 1);
     }
 }

@@ -9,7 +9,7 @@
 use std::collections::BTreeMap;
 
 use qits_num::Cplx;
-use qits_tdd::{Edge, Relocatable, Relocations, RootId, TddManager};
+use qits_tdd::{Edge, EdgeHolder, RootId, TddManager};
 use qits_tensor::Var;
 
 use crate::error::QitsError;
@@ -35,16 +35,16 @@ pub const RANK_TOLERANCE: f64 = 1e-9;
 ///
 /// A subspace holds long-lived edges (the basis kets and the projector),
 /// so it participates in the manager's root-tracked GC (see
-/// [`qits_tdd::gc`]): before a [`TddManager::collect`], protect it with
-/// [`Subspace::protect`]; afterwards, rewrite its edges with
-/// [`Subspace::relocate`] and release the roots. A subspace that was
-/// neither protected nor relocated across a collection holds dangling
-/// edges and must not be used again. The fixpoint drivers in
-/// [`crate::mc`] do this automatically for every subspace they manage,
-/// and [`crate::image`] does it for its `&mut` input at every in-image
-/// safepoint; a subspace that must merely *survive* an `image()` call on
-/// the same manager (without being its input) rides through via
-/// [`TddManager::pin`] / [`TddManager::unpin`] instead.
+/// [`qits_tdd::gc`]). Collection never moves a node, so there is no
+/// relocation step: a subspace that was kept alive across a collection —
+/// by rooting it with [`Subspace::protect`], or by passing it as an
+/// [`EdgeHolder`] to [`TddManager::collect_retaining`] /
+/// [`TddManager::maybe_collect_at_safepoint`] — is simply still valid
+/// afterwards, bit for bit. A subspace that was *not* kept alive holds
+/// detectably stale edges ([`TddManager::is_live`] returns `false`) and
+/// must not be used again. The fixpoint drivers in [`crate::mc`] and the
+/// image kernel hand every subspace they manage to each safepoint
+/// automatically; [`crate::Engine`] does the same for the session state.
 ///
 /// # Example
 ///
@@ -128,34 +128,14 @@ impl Subspace {
         ids.push(m.protect(self.projector));
         ids
     }
-
-    /// Rewrites every edge of the subspace after a garbage collection.
-    ///
-    /// # Panics
-    ///
-    /// Panics if any edge was not rooted at the collection — protect the
-    /// subspace (e.g. with [`Subspace::protect`]) before collecting.
-    pub fn relocate(&mut self, r: &Relocations) {
-        r.apply_all(&mut self.basis);
-        self.projector = r.apply(self.projector);
-    }
 }
 
-impl Relocatable for Subspace {
-    fn gc_protect(&self, m: &mut TddManager) -> Vec<RootId> {
-        self.protect(m)
-    }
-
-    fn gc_relocate(&mut self, r: &Relocations) {
-        self.relocate(r);
-    }
-
-    fn gc_restore(&mut self, m: &TddManager, ids: &mut std::slice::Iter<'_, RootId>) {
-        // Same order as `protect`: basis kets first, projector last.
-        for b in self.basis.iter_mut() {
-            *b = m.root_edge(*ids.next().expect("gc_restore: root id underflow"));
+impl EdgeHolder for Subspace {
+    fn gc_edges(&self, visit: &mut dyn FnMut(Edge)) {
+        for &e in &self.basis {
+            visit(e);
         }
-        self.projector = m.root_edge(*ids.next().expect("gc_restore: root id underflow"));
+        visit(self.projector);
     }
 }
 

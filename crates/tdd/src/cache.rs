@@ -34,12 +34,22 @@
 //!
 //! # Garbage collection
 //!
-//! Cache keys name [`NodeId`]s, which a garbage collection (see
-//! [`crate::gc`]) renumbers, so entries are **epoch-tagged**: each carries
-//! the GC epoch it was written in, lookups only answer from the current
-//! epoch, and [`OpCaches::on_collect`] advances the epoch and purges stale
-//! entries (counted in [`CacheStats::purged`]). The interners survive
-//! collections — they key on variables, never on nodes.
+//! Cache keys and values name generational [`NodeId`]s. A collection never
+//! renumbers a node (see [`crate::gc`]) — it can only sweep unreachable
+//! slots, bumping their generations — so an entry written before a
+//! collection is *usually* still correct afterwards. Entries are therefore
+//! **epoch-tagged** but kept across collections: [`OpCaches::on_collect`]
+//! only bumps the epoch, and a lookup that finds an old-epoch entry
+//! ([`CacheLookup::Stale`]) hands the decision to the manager, which
+//! re-admits the entry ([`OpCache::admit`]) when the cached value's node is
+//! still live — sound because marking is transitive, so a live root implies
+//! the whole memoised subgraph survived — and drops it otherwise
+//! ([`OpCache::reject_stale`], counted as a stale-handle hit in
+//! [`crate::ManagerStats`]). [`OpCache::retain_with`] backs the manager's
+//! targeted [`crate::TddManager::purge_stale`], evicting only
+//! dead-generation entries (counted in [`CacheStats::purged`]). The
+//! interners survive collections untouched — they key on variables, never
+//! on nodes.
 
 use std::hash::Hash;
 
@@ -62,9 +72,26 @@ pub struct CacheStats {
     pub inserts: u64,
     /// Entries dropped by capacity flushes.
     pub evictions: u64,
-    /// Entries invalidated by garbage collections (their keys named node
-    /// ids from a pre-collection epoch; see [`crate::gc`]).
+    /// Entries evicted by [`crate::TddManager::purge_stale`] because their
+    /// key or value named a swept (dead-generation) node.
     pub purged: u64,
+}
+
+/// Outcome of an epoch-aware cache probe ([`OpCache::probe`]).
+///
+/// `Stale` is the interesting case: the key matched but the entry was
+/// written before the last collection. With generational handles the value
+/// is usually still correct (collections never relocate), so the manager —
+/// which alone can check generation liveness — decides between
+/// [`OpCache::admit`] and [`OpCache::reject_stale`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheLookup<V> {
+    /// No entry for this key.
+    Miss,
+    /// A current-epoch entry answered.
+    Hit(V),
+    /// A pre-collection entry matched the key; the caller must validate it.
+    Stale(V),
 }
 
 impl CacheStats {
@@ -122,18 +149,15 @@ const MIN_SLOTS: usize = 1 << 12;
 /// borrows the table.
 ///
 /// Entries are **epoch-tagged**: each carries the GC epoch it was written
-/// in, and a lookup only answers from the current epoch. A garbage
-/// collection renumbers node ids, so every pre-collection entry is
-/// meaningless afterwards; [`OpCache::advance_epoch`] (called by
-/// [`crate::TddManager::collect`] via [`OpCaches::on_collect`]) bumps the
-/// epoch and purges stale entries, counting them in
-/// [`CacheStats::purged`]. The eager purge keeps `len` (and the grow
-/// trigger) honest, so after a collection no stale entry remains and the
-/// epoch guards in `get`/`insert` cannot fire — they are kept anyway as
-/// the local statement of the invariant: an entry is only valid in the
-/// epoch that wrote it, independent of when (or whether) a purge walked
-/// its slot. A caller that defers or skips the purge still gets correct
-/// lookups.
+/// in. With generational node handles a collection never invalidates an
+/// entry wholesale — it can only sweep the nodes an entry names — so
+/// [`OpCaches::on_collect`] merely bumps the epoch and **keeps** every
+/// entry. A probe that matches an old-epoch entry reports it as
+/// [`CacheLookup::Stale`] rather than answering, and the manager either
+/// re-admits it (promoting it to the current epoch via [`OpCache::admit`])
+/// after checking the cached value's generation, or rejects it. This turns
+/// the old purge-everything collection tax into a per-entry liveness check
+/// on the entries actually touched again.
 #[derive(Debug)]
 pub struct OpCache<K, V> {
     /// Power-of-two slot array; empty until the first insert so idle
@@ -173,20 +197,60 @@ impl<K: Eq + Hash + Copy, V: Copy> OpCache<K, V> {
         (h as usize) & (self.slots.len() - 1)
     }
 
-    /// Looks `key` up, counting a hit or miss. Entries from an older GC
-    /// epoch never answer (their keys name renumbered nodes).
+    /// Looks `key` up. A current-epoch match counts a hit; no match counts
+    /// a miss; an old-epoch match is returned as [`CacheLookup::Stale`]
+    /// **uncounted** — the caller must follow up with [`OpCache::admit`]
+    /// (counts the hit) or [`OpCache::reject_stale`] (counts the miss).
     #[inline]
-    pub fn get(&mut self, key: &K) -> Option<V> {
+    pub fn probe(&mut self, key: &K) -> CacheLookup<V> {
         if !self.slots.is_empty() {
             if let Some((k, v, e)) = self.slots[self.slot_of(key)] {
-                if e == self.epoch && k == *key {
-                    self.stats.hits += 1;
-                    return Some(v);
+                if k == *key {
+                    if e == self.epoch {
+                        self.stats.hits += 1;
+                        return CacheLookup::Hit(v);
+                    }
+                    return CacheLookup::Stale(v);
                 }
             }
         }
         self.stats.misses += 1;
-        None
+        CacheLookup::Miss
+    }
+
+    /// Looks `key` up, counting a hit or miss; stale entries count as
+    /// misses. The epoch-oblivious entry point for callers that cannot
+    /// validate stale values (tests, capacity-0 probes).
+    #[inline]
+    pub fn get(&mut self, key: &K) -> Option<V> {
+        match self.probe(key) {
+            CacheLookup::Hit(v) => Some(v),
+            CacheLookup::Stale(_) => {
+                self.stats.misses += 1;
+                None
+            }
+            CacheLookup::Miss => None,
+        }
+    }
+
+    /// Promotes a validated stale entry to the current epoch and counts the
+    /// hit [`OpCache::probe`] deferred. The entry re-lands in its own slot
+    /// (same key, same hash), so `len` is unchanged.
+    #[inline]
+    pub fn admit(&mut self, key: K, value: V) {
+        self.stats.hits += 1;
+        if self.slots.is_empty() {
+            return;
+        }
+        let idx = self.slot_of(&key);
+        self.slots[idx] = Some((key, value, self.epoch));
+    }
+
+    /// Counts the miss [`OpCache::probe`] deferred for a stale entry the
+    /// caller rejected. The entry itself is left to be overwritten.
+    #[inline]
+    pub fn reject_stale(&mut self) {
+        self.stats.misses += 1;
     }
 
     /// Records `key -> value` in the current epoch, replacing at most the
@@ -232,15 +296,21 @@ impl<K: Eq + Hash + Copy, V: Copy> OpCache<K, V> {
         self.len = 0;
     }
 
-    /// Advances the GC epoch and purges every entry written before it,
-    /// returning how many were purged (also counted in
-    /// [`CacheStats::purged`]). Called on every collection: stale entries
-    /// key on pre-collection node ids and must never answer again.
-    pub fn advance_epoch(&mut self) -> u64 {
+    /// Advances the GC epoch **without** purging: entries are kept and
+    /// become [`CacheLookup::Stale`] until re-validated. Called on every
+    /// collection.
+    pub fn bump_epoch(&mut self) {
         self.epoch = self.epoch.wrapping_add(1);
+    }
+
+    /// Evicts every entry `keep` rejects, returning how many were dropped
+    /// (also counted in [`CacheStats::purged`]). Backs the manager's
+    /// targeted [`crate::TddManager::purge_stale`]: `keep` is a
+    /// generation-liveness check over the entry's key and value.
+    pub fn retain_with(&mut self, mut keep: impl FnMut(&K, &V) -> bool) -> u64 {
         let mut purged = 0u64;
         for slot in self.slots.iter_mut() {
-            if matches!(slot, Some((_, _, e)) if *e != self.epoch) {
+            if matches!(slot, Some((k, v, _)) if !keep(k, v)) {
                 *slot = None;
                 self.len -= 1;
                 purged += 1;
@@ -447,16 +517,17 @@ impl OpCaches {
         self.rename.clear();
     }
 
-    /// Garbage-collection hook: advances every table's epoch, purging
-    /// entries whose keys name pre-collection node ids. Returns the total
-    /// number of entries purged. Interners are untouched — they key on
-    /// variables, which collections never renumber.
-    pub fn on_collect(&mut self) -> u64 {
-        self.add.advance_epoch()
-            + self.cont.advance_epoch()
-            + self.slice.advance_epoch()
-            + self.conj.advance_epoch()
-            + self.rename.advance_epoch()
+    /// Garbage-collection hook: bumps every table's epoch. Entries are
+    /// kept — generational handles never get renumbered, so each entry is
+    /// re-validated lazily on its next probe (or evicted wholesale by
+    /// [`crate::TddManager::purge_stale`]). Interners are untouched — they
+    /// key on variables, which collections never renumber.
+    pub fn on_collect(&mut self) {
+        self.add.bump_epoch();
+        self.cont.bump_epoch();
+        self.slice.bump_epoch();
+        self.conj.bump_epoch();
+        self.rename.bump_epoch();
     }
 
     /// Re-bounds every table.
@@ -543,20 +614,45 @@ mod tests {
     }
 
     #[test]
-    fn epoch_advance_purges_and_blinds_old_entries() {
+    fn epoch_bump_keeps_entries_as_stale_until_promoted() {
         let mut c: OpCache<u32, u32> = OpCache::with_capacity(16);
         c.insert(1, 10);
         c.insert(2, 20);
         assert_eq!(c.len(), 2);
-        let purged = c.advance_epoch();
-        assert_eq!(purged, 2);
-        assert_eq!(c.len(), 0);
-        assert_eq!(c.stats().purged, 2);
-        assert_eq!(c.get(&1), None, "stale entries must not answer");
-        // Fresh inserts in the new epoch work normally.
-        c.insert(1, 11);
-        assert_eq!(c.get(&1), Some(11));
+        c.bump_epoch();
         assert_eq!(c.epoch(), 1);
+        assert_eq!(c.len(), 2, "bump must not purge");
+        // A probe surfaces the old entry as stale, uncounted.
+        assert_eq!(c.probe(&1), CacheLookup::Stale(10));
+        assert_eq!(c.stats().hits, 0);
+        assert_eq!(c.stats().misses, 0);
+        // The caller validates and promotes it: a hit, and now current.
+        c.admit(1, 10);
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.probe(&1), CacheLookup::Hit(10));
+        // ...or rejects it: a miss.
+        assert_eq!(c.probe(&2), CacheLookup::Stale(20));
+        c.reject_stale();
+        assert_eq!(c.stats().misses, 1);
+        // The epoch-oblivious `get` treats stale as a plain miss.
+        assert_eq!(c.get(&2), None);
+    }
+
+    #[test]
+    fn retain_with_purges_rejected_entries() {
+        let mut c: OpCache<u32, u32> = OpCache::with_capacity(16);
+        for k in 0..6 {
+            c.insert(k, k * 10);
+        }
+        let before = c.len();
+        let purged = c.retain_with(|k, _| k % 2 == 0);
+        assert!(purged > 0);
+        assert_eq!(c.len() as u64, before as u64 - purged);
+        assert_eq!(c.stats().purged, purged);
+        assert_eq!(c.get(&1), None);
+        if before == 6 {
+            assert_eq!(c.get(&2), Some(20));
+        }
     }
 
     #[test]

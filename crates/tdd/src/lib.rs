@@ -28,11 +28,16 @@
 //! * conversions to and from dense [`qits_tensor::Tensor`]s for testing, a
 //!   Graphviz exporter reproducing the style of the paper's Fig. 1, and node
 //!   statistics (the "max #node" column of Table I);
-//! * **root-tracked garbage collection** ([`gc`]): long fixpoint
-//!   computations protect their live diagrams ([`TddManager::protect`] /
-//!   [`RootScope`]) and reclaim everything else with
-//!   [`TddManager::collect`], keeping the arena bounded by the live set —
-//!   optionally automatically, under a [`GcPolicy`] watermark.
+//! * **root-tracked garbage collection** ([`gc`]) over a backed
+//!   Robin-Hood unique table with **generational node handles**: long
+//!   fixpoint computations protect their live diagrams
+//!   ([`TddManager::protect`] / [`RootScope`]) and reclaim everything else
+//!   with [`TddManager::collect`], keeping the node store bounded by the
+//!   live set — optionally automatically, under a [`GcPolicy`] watermark,
+//!   with sweeps amortised across safepoints. Collection never moves a
+//!   node: survivors stay bit-identical and swept handles become
+//!   detectably stale ([`TddManager::is_live`]), so there is no
+//!   relocation or pinning ceremony anywhere in the API.
 //!
 //! # Example
 //!
@@ -61,14 +66,15 @@ mod manager;
 mod node;
 mod ops;
 mod stats;
+mod table;
 mod transfer;
 
-pub use cache::{CacheSizes, CacheStats, DEFAULT_CACHE_CAPACITY};
+pub use cache::{CacheLookup, CacheSizes, CacheStats, DEFAULT_CACHE_CAPACITY};
 pub use cnum::{CIdx, ComplexTable};
-pub use gc::{GcOutcome, GcPolicy, Pins, Relocatable, Relocations, RootId, RootScope};
-pub use manager::TddManager;
+pub use gc::{EdgeHolder, GcOutcome, GcPolicy, RootId, RootScope};
+pub use manager::{ArenaExhausted, TddManager};
 pub use node::{Edge, NodeId, TERMINAL};
-pub use stats::ManagerStats;
+pub use stats::{ManagerStats, ProbeHistogram, PROBE_BUCKETS};
 
 // Thread-safety contract, checked at compile time: a manager (and every
 // handle into it) is plain owned data, so whole sessions can move between
@@ -82,5 +88,6 @@ const _: () = {
     assert_send_sync::<Edge>();
     assert_send_sync::<ManagerStats>();
     assert_send_sync::<GcPolicy>();
-    assert_send_sync::<Relocations>();
+    assert_send_sync::<ArenaExhausted>();
+    assert_send_sync::<ProbeHistogram>();
 };

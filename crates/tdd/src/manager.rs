@@ -1,16 +1,46 @@
-//! The TDD manager: node arena, unique table, and constructors.
+//! The TDD manager: backed unique table and constructors.
 
 use std::collections::BTreeMap;
 
 use qits_num::{Cplx, Mat};
 use qits_tensor::{Tensor, Var, VarSet};
 
-use crate::cache::{CacheSizes, OpCaches, DEFAULT_CACHE_CAPACITY};
+use crate::cache::{CacheLookup, CacheSizes, OpCaches, RenameId, SumId, DEFAULT_CACHE_CAPACITY};
 use crate::cnum::{CIdx, ComplexTable};
 use crate::gc::{GcPolicy, RootRegistry};
-use crate::hash::FastMap;
-use crate::node::{Edge, Node, NodeId, TERMINAL, TERMINAL_VAR};
+use crate::node::{Edge, Node, NodeId, TERMINAL};
 use crate::stats::ManagerStats;
+use crate::table::UniqueTable;
+
+/// Default hard bound on allocated node slots: the whole `u32` index space.
+const DEFAULT_NODE_CAPACITY: usize = u32::MAX as usize;
+
+/// Panic payload thrown by [`TddManager::make_node`] when the node store is
+/// at its configured capacity (see [`TddManager::set_node_capacity`]) and
+/// garbage collection freed nothing.
+///
+/// Exhaustion is not a recoverable condition *inside* a recursive diagram
+/// operation — there is no partial result to return — so it unwinds as a
+/// typed panic payload that session facades (`qits`'s `Engine`) catch at
+/// the operation boundary and convert into their fallible API's error; a
+/// pool worker hitting it fails only its own job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArenaExhausted {
+    /// Slots allocated when the table filled (terminal included).
+    pub allocated: usize,
+    /// The configured bound that was hit.
+    pub capacity: usize,
+}
+
+impl std::fmt::Display for ArenaExhausted {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "node arena exhausted: {} slots allocated of capacity {}",
+            self.allocated, self.capacity
+        )
+    }
+}
 
 /// Owns every node and weight of a family of TDDs and implements all
 /// operations on them.
@@ -25,24 +55,30 @@ use crate::stats::ManagerStats;
 ///    the largest magnitude (the low one on ties) is exactly 1, with the
 ///    common factor pushed to the incoming edge.
 ///
-/// The arena grows as operations run and is reclaimed by **root-tracked
-/// garbage collection** (see [`crate::gc`]): edges registered through
-/// [`TddManager::protect`] (or a [`crate::RootScope`]) survive a
-/// [`TddManager::collect`], everything unreachable from the root registry
-/// is swept, and the arena is compacted. Collection only ever runs when
-/// explicitly invoked — with no [`GcPolicy`] installed (the default) the
-/// manager behaves exactly like a grow-only arena.
+/// Nodes live in a **backed Robin Hood unique table** (see
+/// the private `table` module) under generational handles, reclaimed by
+/// **root-tracked garbage collection** (see [`crate::gc`]): edges
+/// registered through [`TddManager::protect`] (or a [`crate::RootScope`])
+/// survive a [`TddManager::collect`] **bit-identically** — collection
+/// never moves a node — while everything unreachable from the root
+/// registry is swept in place: its slot's generation is bumped (making
+/// held handles detectably stale, never silently recycled) and the slot is
+/// recycled for future nodes. Collection only ever runs when explicitly
+/// invoked — with no [`GcPolicy`] installed (the default) the manager
+/// behaves exactly like a grow-only arena.
 ///
 /// Operation caches are **manager-owned** (see [`crate::cache`]) so
 /// memoised results survive across top-level calls — the reuse repeated
 /// image computations depend on — and they are size-bounded and
-/// epoch-tagged (a collection invalidates them), so long runs stay within
-/// memory; [`TddManager::clear_caches`] drops them all between phases if
-/// needed.
+/// epoch-tagged. Entries even survive collections: a post-collection probe
+/// re-validates an entry against its value's generation instead of
+/// discarding the whole cache. [`TddManager::purge_stale`] evicts exactly
+/// the dead-generation entries, and [`TddManager::clear_caches`] still
+/// drops everything between phases if needed.
 #[derive(Debug)]
 pub struct TddManager {
-    pub(crate) nodes: Vec<Node>,
-    pub(crate) unique: FastMap<Node, NodeId>,
+    /// Node storage and hash-consing index in one structure.
+    pub(crate) unique: UniqueTable,
     table: ComplexTable,
     pub(crate) caches: OpCaches,
     pub(crate) stats: ManagerStats,
@@ -50,8 +86,10 @@ pub struct TddManager {
     pub(crate) roots: RootRegistry,
     /// Automatic-collection policy; `None` disables [`TddManager::maybe_collect`].
     pub(crate) gc_policy: Option<GcPolicy>,
-    /// Arena size right after the last collection (watermark baseline).
+    /// Live nodes right after the last collection (watermark baseline).
     pub(crate) gc_floor: usize,
+    /// Nodes interned since the last collection (policy interval counter).
+    pub(crate) allocs_since_gc: u64,
 }
 
 impl Default for TddManager {
@@ -72,22 +110,15 @@ impl TddManager {
     ///
     /// Panics if `tol` is not strictly positive and finite.
     pub fn with_tolerance(tol: f64) -> Self {
-        let mut nodes = Vec::with_capacity(1 << 12);
-        // Slot 0 is the terminal; its fields are never read through edges.
-        nodes.push(Node {
-            var: TERMINAL_VAR,
-            low: Edge::ZERO,
-            high: Edge::ZERO,
-        });
         TddManager {
-            nodes,
-            unique: FastMap::default(),
+            unique: UniqueTable::new(DEFAULT_NODE_CAPACITY),
             table: ComplexTable::with_tolerance(tol),
             caches: OpCaches::with_capacity(DEFAULT_CACHE_CAPACITY),
             stats: ManagerStats::default(),
             roots: RootRegistry::default(),
             gc_policy: None,
             gc_floor: 1,
+            allocs_since_gc: 0,
         }
     }
 
@@ -110,9 +141,15 @@ impl TddManager {
     }
 
     /// Statistics accumulated so far, including the live counters of every
-    /// operation cache.
+    /// operation cache and the unique table's probe/tombstone telemetry.
     pub fn stats(&self) -> ManagerStats {
         let mut s = self.stats;
+        s.probe_hist = self.unique.probe_hist;
+        s.tombstones = self.unique.tombstone_count();
+        s.index_cells = self.unique.index_cells();
+        s.tombstones_created = self.unique.tombstones_created;
+        s.generation_bumps = self.unique.generation_bumps;
+        s.unique_rebuilds = self.unique.unique_rebuilds;
         s.add_cache = *self.caches.add.stats();
         s.cont_cache = *self.caches.cont.stats();
         s.slice_cache = *self.caches.slice.stats();
@@ -121,24 +158,92 @@ impl TddManager {
         s
     }
 
-    /// Nodes currently allocated in the arena (including the terminal).
+    /// Node slots currently allocated (including the terminal and any
+    /// dead-but-reusable slots on the free list).
     ///
-    /// Between collections this only grows; a [`TddManager::collect`]
-    /// compacts it down to the rooted live set. Note this counts
-    /// *allocated* slots — the live set of any particular diagram is
-    /// [`TddManager::node_count`], and the rooted live set is
+    /// Collection never shrinks this — sweeps recycle slots in place — but
+    /// it stops growing once the free list covers the churn: reclaimed
+    /// slots are reused before new ones are allocated. The live occupancy
+    /// is [`TddManager::arena_occupied`]; the live set of any particular
+    /// diagram is [`TddManager::node_count`], and the rooted live set is
     /// [`TddManager::live_node_count`].
     pub fn arena_len(&self) -> usize {
-        self.nodes.len()
+        self.unique.allocated()
     }
 
-    /// Drops every operation cache (unique table and arena are kept).
+    /// Non-terminal node slots currently holding a live node
+    /// (allocated minus free).
+    pub fn arena_occupied(&self) -> usize {
+        self.unique.occupied()
+    }
+
+    /// Node slots reclaimed by sweeps and awaiting reuse.
+    pub fn arena_free(&self) -> usize {
+        self.unique.free_slots()
+    }
+
+    /// Whether `e` still points at the node it was created for.
+    ///
+    /// Collection never relocates nodes, so an edge is either **live**
+    /// (bit-identical to the day it was built) or **stale** — its slot was
+    /// swept and its generation bumped. Stale edges must not be passed to
+    /// any operation; this is the check holders use after collecting
+    /// without protecting something.
+    #[inline]
+    pub fn is_live(&self, e: Edge) -> bool {
+        self.unique.is_live(e.node)
+    }
+
+    /// Hard bound on allocated node slots (terminal included). When the
+    /// bound is hit and no swept slot is free, [`TddManager::make_node`]
+    /// unwinds with an [`ArenaExhausted`] payload.
+    pub fn node_capacity(&self) -> usize {
+        self.unique.node_capacity()
+    }
+
+    /// Re-bounds the node store (does not free anything already allocated;
+    /// values above the `u32` index space are clamped by allocation).
+    pub fn set_node_capacity(&mut self, capacity: usize) {
+        self.unique.set_node_capacity(capacity);
+    }
+
+    /// Drops every operation cache (unique table and node store are kept).
     ///
     /// Useful between phases of a long run to bound memory; results built so
     /// far remain valid. Cache counters are cumulative and survive the
     /// clear.
     pub fn clear_caches(&mut self) {
         self.caches.clear();
+    }
+
+    /// Evicts exactly the operation-cache entries whose key or value names
+    /// a swept (dead-generation) node, returning how many were dropped
+    /// (also counted per-cache in [`crate::CacheStats::purged`]).
+    ///
+    /// The targeted alternative to [`TddManager::clear_caches`] after a
+    /// collection: everything memoised about surviving diagrams is kept.
+    pub fn purge_stale(&mut self) -> u64 {
+        let unique = &self.unique;
+        let live = |n: NodeId| unique.is_live(n);
+        self.caches
+            .add
+            .retain_with(|k, v| live(k.0.node) && live(k.1.node) && live(v.node))
+            + self
+                .caches
+                .cont
+                .retain_with(|k, v| live(k.0) && live(k.1) && live(v.node))
+            + self
+                .caches
+                .slice
+                .retain_with(|k, v| live(k.0) && live(v.node))
+            + self
+                .caches
+                .conj
+                .retain_with(|k, v| live(*k) && live(v.node))
+            + self
+                .caches
+                .rename
+                .retain_with(|k, v| live(k.0) && live(v.node))
     }
 
     /// Re-bounds every operation cache to at most `capacity` entries.
@@ -153,6 +258,107 @@ impl TddManager {
     /// Live entry counts of every operation cache.
     pub fn cache_sizes(&self) -> CacheSizes {
         self.caches.sizes()
+    }
+
+    // ------------------------------------------------------------------
+    // Generation-validated cache probes (the ops.rs lookup path).
+    // ------------------------------------------------------------------
+
+    /// Re-validation rule for a pre-collection cache entry: admissible iff
+    /// no sweep is mid-flight (an unswept unmarked value could still die)
+    /// and the cached value's node generation is current. Liveness of the
+    /// value implies liveness of its whole subgraph — marking is
+    /// transitive, so a value that survived a collection survived with all
+    /// its descendants. Keys need no check: callers build them from edges
+    /// they currently hold.
+    #[inline]
+    fn stale_value_admissible(&self, v: Edge) -> bool {
+        !self.unique.sweep_in_progress() && self.unique.is_live(v.node)
+    }
+
+    #[inline]
+    pub(crate) fn cache_get_add(&mut self, key: &(Edge, Edge)) -> Option<Edge> {
+        match self.caches.add.probe(key) {
+            CacheLookup::Hit(v) => Some(v),
+            CacheLookup::Miss => None,
+            CacheLookup::Stale(v) if self.stale_value_admissible(v) => {
+                self.caches.add.admit(*key, v);
+                Some(v)
+            }
+            CacheLookup::Stale(_) => {
+                self.stats.stale_handle_hits += 1;
+                self.caches.add.reject_stale();
+                None
+            }
+        }
+    }
+
+    #[inline]
+    pub(crate) fn cache_get_cont(&mut self, key: &(NodeId, NodeId, SumId)) -> Option<Edge> {
+        match self.caches.cont.probe(key) {
+            CacheLookup::Hit(v) => Some(v),
+            CacheLookup::Miss => None,
+            CacheLookup::Stale(v) if self.stale_value_admissible(v) => {
+                self.caches.cont.admit(*key, v);
+                Some(v)
+            }
+            CacheLookup::Stale(_) => {
+                self.stats.stale_handle_hits += 1;
+                self.caches.cont.reject_stale();
+                None
+            }
+        }
+    }
+
+    #[inline]
+    pub(crate) fn cache_get_slice(&mut self, key: &(NodeId, Var, bool)) -> Option<Edge> {
+        match self.caches.slice.probe(key) {
+            CacheLookup::Hit(v) => Some(v),
+            CacheLookup::Miss => None,
+            CacheLookup::Stale(v) if self.stale_value_admissible(v) => {
+                self.caches.slice.admit(*key, v);
+                Some(v)
+            }
+            CacheLookup::Stale(_) => {
+                self.stats.stale_handle_hits += 1;
+                self.caches.slice.reject_stale();
+                None
+            }
+        }
+    }
+
+    #[inline]
+    pub(crate) fn cache_get_conj(&mut self, key: &NodeId) -> Option<Edge> {
+        match self.caches.conj.probe(key) {
+            CacheLookup::Hit(v) => Some(v),
+            CacheLookup::Miss => None,
+            CacheLookup::Stale(v) if self.stale_value_admissible(v) => {
+                self.caches.conj.admit(*key, v);
+                Some(v)
+            }
+            CacheLookup::Stale(_) => {
+                self.stats.stale_handle_hits += 1;
+                self.caches.conj.reject_stale();
+                None
+            }
+        }
+    }
+
+    #[inline]
+    pub(crate) fn cache_get_rename(&mut self, key: &(NodeId, RenameId)) -> Option<Edge> {
+        match self.caches.rename.probe(key) {
+            CacheLookup::Hit(v) => Some(v),
+            CacheLookup::Miss => None,
+            CacheLookup::Stale(v) if self.stale_value_admissible(v) => {
+                self.caches.rename.admit(*key, v);
+                Some(v)
+            }
+            CacheLookup::Stale(_) => {
+                self.stats.stale_handle_hits += 1;
+                self.caches.rename.reject_stale();
+                None
+            }
+        }
     }
 
     // ------------------------------------------------------------------
@@ -228,7 +434,7 @@ impl TddManager {
     /// larger than any real variable — for the terminal).
     #[inline]
     pub(crate) fn var_of(&self, n: NodeId) -> Var {
-        self.nodes[n.0 as usize].var
+        self.unique.node(n).var
     }
 
     /// The variable labelling the root node of `e`, or `None` for scalars.
@@ -242,7 +448,7 @@ impl TddManager {
 
     #[inline]
     pub(crate) fn node(&self, n: NodeId) -> &Node {
-        &self.nodes[n.0 as usize]
+        self.unique.node(n)
     }
 
     /// Low/high cofactor edges of `e` with respect to variable `x`.
@@ -348,17 +554,21 @@ impl TddManager {
             low: nl,
             high: nh,
         };
-        let id = match self.unique.get(&node) {
-            Some(&id) => id,
-            None => {
-                let id = NodeId(u32::try_from(self.nodes.len()).expect("node arena overflow"));
-                self.nodes.push(node);
-                self.unique.insert(node, id);
-                self.stats.nodes_created += 1;
-                self.stats.peak_arena = self.stats.peak_arena.max(self.nodes.len());
-                id
-            }
+        let (id, created) = match self.unique.get_or_insert(node) {
+            Ok(found) => found,
+            // Exhaustion unwinds as a typed payload: there is no partial
+            // diagram to hand back from the middle of a recursion, and the
+            // session facade converts this into its fallible API's error.
+            Err(full) => std::panic::panic_any(ArenaExhausted {
+                allocated: full.allocated,
+                capacity: full.capacity,
+            }),
         };
+        if created {
+            self.stats.nodes_created += 1;
+            self.allocs_since_gc += 1;
+            self.stats.peak_arena = self.stats.peak_arena.max(self.unique.allocated());
+        }
         Edge {
             node: id,
             weight: pivot,

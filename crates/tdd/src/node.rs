@@ -4,12 +4,29 @@ use qits_tensor::Var;
 
 use crate::cnum::CIdx;
 
-/// Handle to a node in a [`crate::TddManager`] arena.
+/// Generational handle to a node slot in a [`crate::TddManager`]'s backed
+/// unique table.
+///
+/// A handle names a slot index **plus the generation the slot had when the
+/// node was interned**. Garbage collection never moves a node: a sweep
+/// marks the slot dead and bumps its generation, so every handle that
+/// pointed at the swept node is *detectably stale* (its generation no
+/// longer matches the slot's) rather than silently redirected to whatever
+/// node the slot is recycled for. [`crate::TddManager::is_live`] exposes
+/// the check.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct NodeId(pub(crate) u32);
+pub struct NodeId {
+    /// Slot index in the backed unique table.
+    pub(crate) idx: u32,
+    /// Generation of the slot at interning time.
+    pub(crate) gen: u32,
+}
 
 /// The terminal node (the unique sink; represents the scalar 1).
-pub const TERMINAL: NodeId = NodeId(0);
+///
+/// Slot 0 is reserved for the terminal in every manager; it is never swept,
+/// so its generation is 0 forever and the constant handle is always live.
+pub const TERMINAL: NodeId = NodeId { idx: 0, gen: 0 };
 
 /// The pseudo-variable of the terminal node: larger than every real index.
 pub(crate) const TERMINAL_VAR: Var = Var(u32::MAX);
@@ -18,19 +35,15 @@ impl NodeId {
     /// Whether this is the terminal node.
     #[inline]
     pub fn is_terminal(self) -> bool {
-        self == TERMINAL
+        // Slot 0 is the terminal forever and is never swept, so its
+        // generation can only be 0: the index alone decides.
+        self.idx == 0
     }
 
-    /// Arena slot index (used by the GC sweep and relocation maps).
+    /// Slot index (used by the unique table and the GC sweep).
     #[inline]
     pub(crate) fn index(self) -> usize {
-        self.0 as usize
-    }
-
-    /// Handle to an arena slot index.
-    #[inline]
-    pub(crate) fn from_index(i: usize) -> NodeId {
-        NodeId(u32::try_from(i).expect("node arena overflow"))
+        self.idx as usize
     }
 }
 
@@ -85,6 +98,11 @@ impl Edge {
 }
 
 /// An internal node: an index variable plus low/high successors.
+///
+/// Successor edges embed generational [`NodeId`]s, so node equality (the
+/// unique-table key) distinguishes a child from a later node recycled into
+/// the same slot: hash-consing stays sound across sweeps without ever
+/// rebuilding the table.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub(crate) struct Node {
     pub var: Var,
@@ -108,5 +126,15 @@ mod tests {
         // u32::MAX itself is reserved for the terminal sentinel.
         assert!(Var::wire(65534, 65535) < TERMINAL_VAR);
         assert!(Var::wire(65535, 65534) < TERMINAL_VAR);
+    }
+
+    #[test]
+    fn node_id_is_compact_and_generation_aware() {
+        assert_eq!(std::mem::size_of::<NodeId>(), 8);
+        let stale = NodeId { idx: 3, gen: 0 };
+        let fresh = NodeId { idx: 3, gen: 1 };
+        assert_ne!(stale, fresh, "generations distinguish recycled slots");
+        assert!(!stale.is_terminal());
+        assert!(TERMINAL.is_terminal());
     }
 }

@@ -55,7 +55,7 @@ impl TddManager {
         }
         let ka = a.with_weight(CIdx::ONE);
         let kb = b.with_weight(beta);
-        if let Some(r) = self.caches.add.get(&(ka, kb)) {
+        if let Some(r) = self.cache_get_add(&(ka, kb)) {
             return self.mul_weight(r, a.weight);
         }
         let va = self.var_of(a.node);
@@ -135,7 +135,7 @@ impl TddManager {
         // Weight-normalized key: both weights are factored into `w`, so one
         // entry serves every scalar multiple of this operand pair.
         let key = (a.node, b.node, suffixes[si]);
-        if let Some(r) = self.caches.cont.get(&key) {
+        if let Some(r) = self.cache_get_cont(&key) {
             return self.mul_weight(r, w);
         }
         let ka = a.with_weight(CIdx::ONE);
@@ -186,7 +186,7 @@ impl TddManager {
             return e;
         }
         let key = (e.node, var, value);
-        if let Some(r) = self.caches.slice.get(&key) {
+        if let Some(r) = self.cache_get_slice(&key) {
             return self.mul_weight(r, e.weight);
         }
         let n = *self.node(e.node);
@@ -225,7 +225,7 @@ impl TddManager {
         if e.is_terminal() {
             return Edge::ZERO.with_weight(w);
         }
-        if let Some(r) = self.caches.conj.get(&e.node) {
+        if let Some(r) = self.cache_get_conj(&e.node) {
             return self.mul_weight(r, w);
         }
         let n = *self.node(e.node);
@@ -270,7 +270,7 @@ impl TddManager {
             return e;
         }
         let key = (e.node, map_id);
-        if let Some(r) = self.caches.rename.get(&key) {
+        if let Some(r) = self.cache_get_rename(&key) {
             return self.mul_weight(r, e.weight);
         }
         let n = *self.node(e.node);

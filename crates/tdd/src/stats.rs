@@ -2,6 +2,77 @@
 
 use crate::cache::CacheStats;
 
+/// Fixed bucket count of [`ProbeHistogram`]; the last bucket is open-ended.
+pub const PROBE_BUCKETS: usize = 16;
+
+/// Probe-length histogram of the backed unique table.
+///
+/// Bucket `i < 15` counts lookups that probed exactly `i` cells past the
+/// home cell; bucket 15 counts everything longer. A fixed-size array keeps
+/// the whole stats block `Copy` (worker managers are merged by value into
+/// pool aggregates) while still giving p50/p99 summaries — the telemetry
+/// the Robin Hood displacement is there to keep flat.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProbeHistogram(pub [u64; PROBE_BUCKETS]);
+
+impl ProbeHistogram {
+    /// Records one lookup that probed `dist` cells past its home.
+    #[inline]
+    pub fn record(&mut self, dist: u32) {
+        let b = (dist as usize).min(PROBE_BUCKETS - 1);
+        self.0[b] += 1;
+    }
+
+    /// Total lookups recorded.
+    pub fn total(&self) -> u64 {
+        self.0.iter().sum()
+    }
+
+    /// The smallest probe length covering fraction `p` of lookups (`0` when
+    /// nothing was recorded). Bucket 15 reads as "15 or more".
+    pub fn percentile(&self, p: f64) -> u32 {
+        let total = self.total();
+        if total == 0 {
+            return 0;
+        }
+        let target = (total as f64 * p.clamp(0.0, 1.0)).ceil() as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.0.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return i as u32;
+            }
+        }
+        (PROBE_BUCKETS - 1) as u32
+    }
+
+    /// Median probe length.
+    pub fn p50(&self) -> u32 {
+        self.percentile(0.50)
+    }
+
+    /// 99th-percentile probe length.
+    pub fn p99(&self) -> u32 {
+        self.percentile(0.99)
+    }
+
+    /// Accumulates another histogram (pool aggregation).
+    pub fn absorb(&mut self, other: &ProbeHistogram) {
+        for (a, b) in self.0.iter_mut().zip(other.0.iter()) {
+            *a += b;
+        }
+    }
+
+    /// Bucket movement since an earlier snapshot of the same table.
+    pub fn since(&self, earlier: &ProbeHistogram) -> ProbeHistogram {
+        let mut out = *self;
+        for (a, b) in out.0.iter_mut().zip(earlier.0.iter()) {
+            *a = a.saturating_sub(*b);
+        }
+        out
+    }
+}
+
 /// Counters accumulated by a [`crate::TddManager`] over its lifetime.
 ///
 /// `peak_arena` approximates the memory high-water mark; the per-result
@@ -16,8 +87,10 @@ use crate::cache::CacheStats;
 pub struct ManagerStats {
     /// Distinct non-terminal nodes ever created.
     pub nodes_created: u64,
-    /// Largest arena size observed (number of **allocated** node slots —
-    /// garbage included; the live set is [`crate::TddManager::live_node_count`]).
+    /// Largest slot-store size observed (number of **allocated** node
+    /// slots — dead-but-reusable slots included; the live set is
+    /// [`crate::TddManager::live_node_count`]). Free-list reuse keeps this
+    /// near the live peak under GC, where a grow-only run keeps climbing.
     pub peak_arena: usize,
     /// Garbage collections performed (see [`crate::gc`]).
     pub gc_runs: u64,
@@ -27,11 +100,31 @@ pub struct ManagerStats {
     /// [`crate::TddManager::maybe_collect_at_safepoint`] — every poll, not
     /// just the ones that collected.
     pub safepoints_polled: u64,
-    /// Safepoint polls that actually ran a collection.
+    /// Safepoint polls that actually started a collection.
     pub safepoint_collections: u64,
     /// Non-terminal nodes that survived the most recent collection
     /// (`0` before the first collection).
     pub live_after_last_gc: usize,
+    /// Cumulative nanoseconds spent inside collections (mark plus every
+    /// sweep step) — the pause-time total the incremental sweep amortizes.
+    pub gc_nanos: u64,
+    /// Probe-length histogram of the backed unique table.
+    pub probe_hist: ProbeHistogram,
+    /// Index tombstones currently live (snapshot, not a counter).
+    pub tombstones: usize,
+    /// Robin Hood index cells currently allocated (snapshot) — the
+    /// denominator that makes [`ManagerStats::tombstones`] a load ratio.
+    pub index_cells: usize,
+    /// Index tombstones ever created by sweeps.
+    pub tombstones_created: u64,
+    /// Slot generations bumped (one per node swept).
+    pub generation_bumps: u64,
+    /// Operation-cache entries rejected because their cached value's node
+    /// generation went stale (the generational analogue of an epoch purge).
+    pub stale_handle_hits: u64,
+    /// Full unique-index rehashes (growth/tombstone purges). Collections
+    /// never rebuild the index, so this moves only with table load.
+    pub unique_rebuilds: u64,
     /// Top-level calls to `add`.
     pub add_calls: u64,
     /// Top-level calls to `contract`.
@@ -62,8 +155,8 @@ impl ManagerStats {
     ///
     /// Counters **sum**; the high-water mark `peak_arena` takes the
     /// **max** (arenas are disjoint, so the fleet peak is at least the
-    /// largest single arena); `live_after_last_gc` **sums** (total nodes
-    /// live across all arenas after their respective last collections).
+    /// largest single arena); `live_after_last_gc` and `tombstones`
+    /// **sum** (totals across all arenas/tables).
     pub fn absorb(&mut self, other: &ManagerStats) {
         self.nodes_created += other.nodes_created;
         self.peak_arena = self.peak_arena.max(other.peak_arena);
@@ -72,6 +165,14 @@ impl ManagerStats {
         self.safepoints_polled += other.safepoints_polled;
         self.safepoint_collections += other.safepoint_collections;
         self.live_after_last_gc += other.live_after_last_gc;
+        self.gc_nanos += other.gc_nanos;
+        self.probe_hist.absorb(&other.probe_hist);
+        self.tombstones += other.tombstones;
+        self.index_cells += other.index_cells;
+        self.tombstones_created += other.tombstones_created;
+        self.generation_bumps += other.generation_bumps;
+        self.stale_handle_hits += other.stale_handle_hits;
+        self.unique_rebuilds += other.unique_rebuilds;
         self.add_calls += other.add_calls;
         self.cont_calls += other.cont_calls;
         self.slice_calls += other.slice_calls;
@@ -100,6 +201,21 @@ impl ManagerStats {
                 .saturating_sub(earlier.safepoint_collections),
             // Snapshot, not a counter: report the later value.
             live_after_last_gc: self.live_after_last_gc,
+            gc_nanos: self.gc_nanos.saturating_sub(earlier.gc_nanos),
+            probe_hist: self.probe_hist.since(&earlier.probe_hist),
+            // Snapshots, not counters: report the later values.
+            tombstones: self.tombstones,
+            index_cells: self.index_cells,
+            tombstones_created: self
+                .tombstones_created
+                .saturating_sub(earlier.tombstones_created),
+            generation_bumps: self
+                .generation_bumps
+                .saturating_sub(earlier.generation_bumps),
+            stale_handle_hits: self
+                .stale_handle_hits
+                .saturating_sub(earlier.stale_handle_hits),
+            unique_rebuilds: self.unique_rebuilds.saturating_sub(earlier.unique_rebuilds),
             add_calls: self.add_calls.saturating_sub(earlier.add_calls),
             cont_calls: self.cont_calls.saturating_sub(earlier.cont_calls),
             slice_calls: self.slice_calls.saturating_sub(earlier.slice_calls),
@@ -125,6 +241,8 @@ mod tests {
         assert_eq!(s.peak_arena, 0);
         assert_eq!(s.add_calls, 0);
         assert_eq!(s.cont_calls, 0);
+        assert_eq!(s.tombstones_created, 0);
+        assert_eq!(s.probe_hist.total(), 0);
         assert_eq!(s.cont_cache, CacheStats::default());
     }
 
@@ -136,6 +254,8 @@ mod tests {
             safepoints_polled: 3,
             nodes_reclaimed: 7,
             live_after_last_gc: 20,
+            generation_bumps: 2,
+            tombstones: 4,
             cont_cache: CacheStats {
                 hits: 2,
                 ..Default::default()
@@ -148,6 +268,8 @@ mod tests {
             safepoints_polled: 4,
             nodes_reclaimed: 1,
             live_after_last_gc: 30,
+            generation_bumps: 3,
+            tombstones: 1,
             cont_cache: CacheStats {
                 hits: 9,
                 ..Default::default()
@@ -160,6 +282,8 @@ mod tests {
         assert_eq!(a.safepoints_polled, 7);
         assert_eq!(a.nodes_reclaimed, 8);
         assert_eq!(a.live_after_last_gc, 50);
+        assert_eq!(a.generation_bumps, 5);
+        assert_eq!(a.tombstones, 5);
         assert_eq!(a.cont_cache.hits, 11);
     }
 
@@ -168,6 +292,7 @@ mod tests {
         let later = ManagerStats {
             nodes_created: 10,
             add_calls: 4,
+            stale_handle_hits: 6,
             cont_cache: CacheStats {
                 hits: 7,
                 ..Default::default()
@@ -177,6 +302,7 @@ mod tests {
         let earlier = ManagerStats {
             nodes_created: 6,
             add_calls: 1,
+            stale_handle_hits: 2,
             cont_cache: CacheStats {
                 hits: 2,
                 ..Default::default()
@@ -186,6 +312,33 @@ mod tests {
         let d = later.since(&earlier);
         assert_eq!(d.nodes_created, 4);
         assert_eq!(d.add_calls, 3);
+        assert_eq!(d.stale_handle_hits, 4);
         assert_eq!(d.cont_cache.hits, 5);
+    }
+
+    #[test]
+    fn probe_histogram_percentiles() {
+        let mut h = ProbeHistogram::default();
+        assert_eq!(h.p50(), 0);
+        // 90 lookups at distance 0, 9 at distance 2, 1 at distance 7.
+        h.0[0] = 90;
+        h.0[2] = 9;
+        h.0[7] = 1;
+        assert_eq!(h.total(), 100);
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.p99(), 2);
+        assert_eq!(h.percentile(1.0), 7);
+        // Overflow bucket saturates.
+        h.record(1000);
+        assert_eq!(h.0[PROBE_BUCKETS - 1], 1);
+        // absorb and since round-trip.
+        let snap = h;
+        h.record(3);
+        let moved = h.since(&snap);
+        assert_eq!(moved.total(), 1);
+        assert_eq!(moved.0[3], 1);
+        let mut agg = snap;
+        agg.absorb(&moved);
+        assert_eq!(agg, h);
     }
 }

@@ -2,7 +2,7 @@
 
 use qits_circuit::tensorize::{gate_tdd, GateLegs};
 use qits_circuit::Circuit;
-use qits_tdd::{Edge, Relocatable, Relocations, RootId, TddManager};
+use qits_tdd::{Edge, EdgeHolder, RootId, TddManager};
 use qits_tensor::{Var, VarSet};
 
 /// One tensor of a network: a TDD plus the set of network indices it
@@ -20,33 +20,12 @@ pub struct NetTensor {
     pub vars: VarSet,
 }
 
-impl NetTensor {
-    /// Rewrites the tensor's edge after a garbage collection.
-    ///
-    /// Network tensors (gate TDDs, pre-contracted blocks) are long-lived
-    /// edges: whoever holds them across a [`TddManager::collect`] must
-    /// protect them beforehand and relocate them afterwards.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the edge was not rooted at the collection.
-    pub fn relocate(&mut self, r: &Relocations) {
-        self.edge = r.apply(self.edge);
-    }
-}
-
-impl Relocatable for NetTensor {
-    fn gc_protect(&self, m: &mut TddManager) -> Vec<RootId> {
-        vec![m.protect(self.edge)]
-    }
-
-    fn gc_relocate(&mut self, r: &Relocations) {
-        self.relocate(r);
-    }
-
-    fn gc_restore(&mut self, m: &TddManager, ids: &mut std::slice::Iter<'_, RootId>) {
-        let id = *ids.next().expect("gc_restore: root id underflow");
-        self.edge = m.root_edge(id);
+impl EdgeHolder for NetTensor {
+    // Network tensors (gate TDDs, pre-contracted blocks) are long-lived
+    // edges: whoever holds them across a collection passes them as a mark
+    // root. Collection never moves a node, so no post-GC fixup exists.
+    fn gc_edges(&self, visit: &mut dyn FnMut(Edge)) {
+        visit(self.edge);
     }
 }
 
@@ -217,29 +196,12 @@ impl TensorNetwork {
     pub fn protect(&self, m: &mut TddManager) -> Vec<RootId> {
         self.tensors.iter().map(|t| m.protect(t.edge)).collect()
     }
-
-    /// Rewrites every tensor edge after a garbage collection (the tensors
-    /// must have been protected across it, e.g. via
-    /// [`TensorNetwork::protect`]).
-    pub fn relocate(&mut self, r: &Relocations) {
-        for t in self.tensors.iter_mut() {
-            t.relocate(r);
-        }
-    }
 }
 
-impl Relocatable for TensorNetwork {
-    fn gc_protect(&self, m: &mut TddManager) -> Vec<RootId> {
-        self.protect(m)
-    }
-
-    fn gc_relocate(&mut self, r: &Relocations) {
-        self.relocate(r);
-    }
-
-    fn gc_restore(&mut self, m: &TddManager, ids: &mut std::slice::Iter<'_, RootId>) {
-        for t in self.tensors.iter_mut() {
-            t.gc_restore(m, ids);
+impl EdgeHolder for TensorNetwork {
+    fn gc_edges(&self, visit: &mut dyn FnMut(Edge)) {
+        for t in &self.tensors {
+            t.gc_edges(visit);
         }
     }
 }
@@ -290,31 +252,33 @@ mod tests {
     }
 
     #[test]
-    fn network_survives_collection_via_protect_relocate() {
+    fn network_survives_collection_as_an_edge_holder() {
         let mut c = Circuit::new(2);
         c.push(Gate::h(0));
         c.push(Gate::cx(0, 1));
         let mut m = TddManager::new();
-        let mut net = TensorNetwork::from_circuit(&mut m, &c);
+        let net = TensorNetwork::from_circuit(&mut m, &c);
         let ext: Vec<Var> = vec![
             Var::wire(0, 0),
             Var::wire(0, 1),
             Var::wire(1, 0),
             Var::wire(1, 1),
         ];
+        let edges_before: Vec<Edge> = net.tensors().iter().map(|t| t.edge).collect();
         let whole_before = crate::contract_network(&mut m, net.tensors(), &net.external_vars());
         let dense_before = m.to_tensor(whole_before.edge, &ext);
         // Everything except the network itself becomes garbage.
-        let roots = net.protect(&mut m);
-        let out = m.collect();
-        net.relocate(&out.relocations);
-        m.unprotect_all(roots);
+        let out = m.collect_retaining(&[&net]);
         assert!(out.reclaimed > 0, "the monolithic operator was garbage");
         assert!(
-            out.relocations.try_apply(whole_before.edge).is_none(),
-            "the unrooted operator must have been swept"
+            !m.is_live(whole_before.edge),
+            "the unrooted operator must be detectably stale"
         );
-        // Re-contracting the relocated network rebuilds the same tensor.
+        // No relocation step exists: the gate tensors are bit-identical
+        // and re-contracting them rebuilds the same dense tensor.
+        let edges_after: Vec<Edge> = net.tensors().iter().map(|t| t.edge).collect();
+        assert_eq!(edges_after, edges_before);
+        assert!(edges_after.iter().all(|&e| m.is_live(e)));
         let whole_after = crate::contract_network(&mut m, net.tensors(), &net.external_vars());
         let dense_after = m.to_tensor(whole_after.edge, &ext);
         assert!(dense_after.approx_eq(&dense_before));

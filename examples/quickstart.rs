@@ -48,7 +48,7 @@ fn main() {
     // Reclaim every dead intermediate: the engine protects its system,
     // sweeps, and relocates — one call.
     let before = engine.manager().arena_len();
-    let out = engine.collect(&mut []);
+    let out = engine.collect(&[]);
     println!(
         "gc: arena {before} -> {after} nodes ({reclaimed} reclaimed, {live} live)",
         after = engine.manager().arena_len(),

@@ -5,9 +5,10 @@
 //! a safety invariant on each — with automatic garbage collection enabled,
 //! so the fixpoint iterations run with a bounded live set. The reclaim
 //! counters printed per system are the observable effect: between
-//! iterations the engine protects the live subspaces, sweeps everything
-//! else, and relocates the survivors — all internal to the session, with
-//! failures surfacing as `Result` values rather than panics.
+//! iterations the engine protects the live subspaces and sweeps
+//! everything else in place (collection never moves a node) — all
+//! internal to the session, with failures surfacing as `Result` values
+//! rather than panics.
 //!
 //! Run with: `cargo run --example reachability`
 
@@ -24,12 +25,14 @@ fn main() {
         generators::bitflip_code(),
     ];
     for spec in specs {
-        // Collect whenever the arena grows 1.5x past the last live set,
-        // re-checked at every safepoint of the fixpoint.
+        // Collect whenever occupancy grows 1.5x past the last live set,
+        // re-checked at every safepoint of the fixpoint, sweeping at most
+        // 4096 slots per poll so no single safepoint pays a full sweep.
         let mut engine = EngineBuilder::new()
             .gc_policy(Some(GcPolicy {
                 watermark: 1.5,
                 min_interval: 1 << 10,
+                sweep_budget: 1 << 12,
             }))
             .strategy(strategy)
             .build_from_spec(&spec)
@@ -55,11 +58,11 @@ fn main() {
             live = engine.manager().stats().live_after_last_gc,
         );
         // Safety: the reachable space is itself an invariant. The GC'd
-        // run above relocated the session's system and `r.space` in
-        // place, so both are valid here — a root-registration bug would
-        // panic or corrupt this check.
-        let mut inv = r.space.clone();
-        let (holds, _) = engine.check_invariant(&mut inv, 40).expect("check runs");
+        // run above swept around the session's system and `r.space`, so
+        // both are bit-identical here — a root-registration bug would
+        // have left them detectably stale and corrupt this check.
+        let inv = r.space.clone();
+        let (holds, _) = engine.check_invariant(&inv, 40).expect("check runs");
         assert!(holds, "reachable space must be invariant");
     }
     println!("all reachability fixpoints verified as invariants (with GC enabled)");

@@ -1,0 +1,106 @@
+//! Grep-enforced API-surface contract for the generational GC.
+//!
+//! The relocation era is over: collection never moves a node, so the
+//! `Relocations` side-table, the `Relocatable` trait, and the
+//! `gc_restore` hook must not exist anywhere in the workspace source —
+//! not as public items, not as `pub(crate)` plumbing, not even as dead
+//! private code waiting to be resurrected. This test walks every
+//! `crates/*/src` tree and fails on the first occurrence, quoting file
+//! and line so a regression is a one-click fix.
+//!
+//! The forbidden names are assembled with `concat!` so this file does
+//! not match itself if it ever migrates into a scanned tree.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Identifiers of the retired relocation machinery. Assembled at compile
+/// time from halves so the scanner cannot trip over its own source.
+fn forbidden() -> [&'static str; 3] {
+    [
+        concat!("Reloc", "ations"),
+        concat!("Reloc", "atable"),
+        concat!("gc_", "restore"),
+    ]
+}
+
+fn rust_sources(dir: &Path, out: &mut Vec<PathBuf>) {
+    let entries = fs::read_dir(dir).unwrap_or_else(|e| panic!("read_dir {dir:?}: {e}"));
+    for entry in entries {
+        let path = entry.expect("dir entry").path();
+        if path.is_dir() {
+            rust_sources(&path, out);
+        } else if path.extension().is_some_and(|ext| ext == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Every `crates/<name>/src` tree of the workspace, relative to this
+/// test's compile-time location (the repository-root `tests/`).
+fn workspace_source_roots() -> Vec<PathBuf> {
+    let repo_root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/core has a workspace root two levels up")
+        .to_path_buf();
+    let crates = repo_root.join("crates");
+    let mut roots = Vec::new();
+    for entry in fs::read_dir(&crates).expect("workspace crates/ directory") {
+        let src = entry.expect("dir entry").path().join("src");
+        if src.is_dir() {
+            roots.push(src);
+        }
+    }
+    assert!(
+        roots.len() >= 5,
+        "expected the full workspace under crates/, found {roots:?}"
+    );
+    roots
+}
+
+#[test]
+fn relocation_machinery_is_gone_from_every_crate() {
+    let mut sources = Vec::new();
+    for root in workspace_source_roots() {
+        rust_sources(&root, &mut sources);
+    }
+    assert!(
+        sources.len() > 20,
+        "scanner found suspiciously few files: {sources:?}"
+    );
+    let mut hits = Vec::new();
+    for path in &sources {
+        let text = fs::read_to_string(path).unwrap_or_else(|e| panic!("read {path:?}: {e}"));
+        for (lineno, line) in text.lines().enumerate() {
+            for name in forbidden() {
+                if line.contains(name) {
+                    hits.push(format!("{}:{}: {name}: {line}", path.display(), lineno + 1));
+                }
+            }
+        }
+    }
+    assert!(
+        hits.is_empty(),
+        "retired relocation identifiers resurfaced:\n{}",
+        hits.join("\n")
+    );
+}
+
+#[test]
+fn generational_surface_is_present() {
+    // The flip side of the contract: the replacement surface the docs
+    // promise must actually exist where the docs say it lives.
+    let repo_root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .to_path_buf();
+    let tdd_lib = fs::read_to_string(repo_root.join("crates/tdd/src/lib.rs")).expect("tdd lib.rs");
+    for name in ["EdgeHolder", "GcPolicy", "GcOutcome", "ArenaExhausted"] {
+        assert!(
+            tdd_lib.contains(name),
+            "crates/tdd must re-export {name} as part of the generational GC surface"
+        );
+    }
+}

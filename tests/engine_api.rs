@@ -44,9 +44,9 @@ fn mismatched_register_operation_is_err_not_panic() {
     let mut engine = EngineBuilder::new()
         .build_from_spec(&generators::ghz(3))
         .unwrap();
-    let mut wrong = Subspace::zero(5);
+    let wrong = Subspace::zero(5);
     assert!(matches!(
-        engine.image_of(&mut wrong).unwrap_err(),
+        engine.image_of(&wrong).unwrap_err(),
         QitsError::RegisterMismatch {
             expected: 5,
             found: 3,
@@ -64,9 +64,9 @@ fn empty_operation_list_is_err() {
         engine.reachable_space(5).unwrap_err(),
         QitsError::EmptyOperationSet
     );
-    let mut inv = Subspace::zero(2);
+    let inv = Subspace::zero(2);
     assert_eq!(
-        engine.check_invariant(&mut inv, 5).unwrap_err(),
+        engine.check_invariant(&inv, 5).unwrap_err(),
         QitsError::EmptyOperationSet
     );
 }
@@ -113,9 +113,9 @@ fn check_invariant_register_mismatch_is_err() {
     let mut engine = EngineBuilder::new()
         .build_from_spec(&generators::ghz(3))
         .unwrap();
-    let mut wrong = Subspace::zero(5);
+    let wrong = Subspace::zero(5);
     assert!(matches!(
-        engine.check_invariant(&mut wrong, 5).unwrap_err(),
+        engine.check_invariant(&wrong, 5).unwrap_err(),
         QitsError::RegisterMismatch {
             expected: 3,
             found: 5,
@@ -310,8 +310,8 @@ fn engine_reachability_matches_free_function_driver() {
     let strategy = Strategy::Contraction { k1: 2, k2: 2 };
 
     let mut m = TddManager::new();
-    let mut qts = QuantumTransitionSystem::from_spec(&mut m, &spec);
-    let base = qits::mc::reachable_space(&mut m, &mut qts, strategy, 30);
+    let qts = QuantumTransitionSystem::from_spec(&mut m, &spec);
+    let base = qits::mc::reachable_space(&mut m, &qts, strategy, 30);
 
     let mut engine = EngineBuilder::new()
         .strategy(strategy)
@@ -334,8 +334,8 @@ fn engine_leaves_no_roots_behind() {
             .build_from_spec(&generators::qrw(3, 0.2))
             .unwrap();
         engine.image().unwrap();
-        let mut input = engine.initial().clone();
-        engine.image_of(&mut input).unwrap();
+        let input = engine.initial().clone();
+        engine.image_of(&input).unwrap();
         engine.reachable_space(10).unwrap();
         assert_eq!(engine.manager().root_count(), 0, "policy {policy:?}");
     }

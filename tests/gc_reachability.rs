@@ -1,6 +1,7 @@
 //! Garbage-collection integration tests: a forced collection preserves
-//! semantics across random circuits, and GC'd reachability fixpoints keep
-//! the arena bounded by the live set.
+//! semantics across random circuits, handles held across collections are
+//! bit-identical or detectably stale (never silently recycled), and GC'd
+//! reachability fixpoints keep the node store bounded by the live set.
 
 use proptest::prelude::*;
 // `qits::Strategy` shadows the proptest trait of the same name.
@@ -49,8 +50,9 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 
     /// Forced `collect()` preserves semantics: contraction, addition, and
-    /// inner-product results over a random circuit are bit-identical
-    /// (canonical identity) after protect → collect → relocate.
+    /// inner-product results over a random circuit are **bit-identical**
+    /// after protect → collect — collection never moves a node, so the
+    /// held edges need no fixup at all.
     #[test]
     fn forced_collect_preserves_operation_results(
         circuit in arb_circuit(3, 8),
@@ -61,34 +63,88 @@ proptest! {
         let vars = Subspace::ket_vars(3);
         let psi1 = m.product_ket(&vars, &amps1);
         let psi2 = m.product_ket(&vars, &amps2);
-        let mut net = TensorNetwork::from_circuit(&mut m, &circuit);
+        let net = TensorNetwork::from_circuit(&mut m, &circuit);
 
         // Reference results, before any collection.
         let op_before = contract_network(&mut m, net.tensors(), &net.external_vars());
         let sum_before = m.add(psi1, psi2);
         let ip_before = m.inner_product(psi1, psi2, &vars);
 
-        // Protect the inputs and the results, collect, relocate.
+        // Protect the inputs and the results, collect.
         let mut roots = vec![m.protect(psi1), m.protect(psi2)];
         roots.push(m.protect(op_before.edge));
         roots.push(m.protect(sum_before));
         roots.extend(net.protect(&mut m));
-        let out = m.collect();
-        let psi1 = out.relocations.apply(psi1);
-        let psi2 = out.relocations.apply(psi2);
-        let op_reloc = out.relocations.apply(op_before.edge);
-        let sum_reloc = out.relocations.apply(sum_before);
-        net.relocate(&out.relocations);
+        let _ = m.collect();
+        prop_assert!(m.is_live(psi1) && m.is_live(psi2));
+        prop_assert!(m.is_live(op_before.edge) && m.is_live(sum_before));
         m.unprotect_all(roots);
 
-        // Recomputing after the collection reproduces the relocated
-        // results exactly — hash-consing survives compaction.
+        // Recomputing after the collection reproduces the held results
+        // exactly — hash-consing lands on the surviving nodes.
         let op_after = contract_network(&mut m, net.tensors(), &net.external_vars());
-        prop_assert_eq!(op_after.edge, op_reloc, "contraction changed across GC");
+        prop_assert_eq!(op_after.edge, op_before.edge, "contraction changed across GC");
         let sum_after = m.add(psi1, psi2);
-        prop_assert_eq!(sum_after, sum_reloc, "addition changed across GC");
+        prop_assert_eq!(sum_after, sum_before, "addition changed across GC");
         let ip_after = m.inner_product(psi1, psi2, &vars);
         prop_assert!(ip_after.approx_eq(ip_before), "inner product changed across GC");
+    }
+
+    /// The generational-handle contract: an edge held across forced
+    /// collections is either still valid (its subgraph was rooted, and
+    /// rebuilding the same diagram returns the *same* handle) or
+    /// detectably stale — and a stale handle is never silently recycled:
+    /// rebuilding the same diagram after its slot was swept yields a
+    /// *different* handle (fresh generation), and churning the store with
+    /// new allocations never flips the stale handle back to live.
+    #[test]
+    fn held_handles_stay_valid_or_detectably_stale(
+        circuit in arb_circuit(3, 8),
+        amps1 in proptest::collection::vec(arb_amp(), 3),
+        amps2 in proptest::collection::vec(arb_amp(), 3),
+    ) {
+        let mut m = TddManager::new();
+        let vars = Subspace::ket_vars(3);
+        let psi1 = m.product_ket(&vars, &amps1);
+        let psi2 = m.product_ket(&vars, &amps2);
+        let net = TensorNetwork::from_circuit(&mut m, &circuit);
+        let op = contract_network(&mut m, net.tensors(), &net.external_vars());
+        let sum = m.add(psi1, psi2);
+        let held = [psi1, psi2, op.edge, sum];
+
+        // Root only psi1; everything else survives only if it happens to
+        // share psi1's subgraph.
+        let root = m.protect(psi1);
+        let _ = m.collect();
+        let _ = m.collect();
+        let live_after_gc: Vec<bool> = held.iter().map(|&e| m.is_live(e)).collect();
+        prop_assert!(live_after_gc[0], "the rooted edge must survive");
+
+        // Churn: rebuild everything, forcing swept slots to be reused
+        // under new generations.
+        let re_psi1 = m.product_ket(&vars, &amps1);
+        let re_psi2 = m.product_ket(&vars, &amps2);
+        // The old network's gate tensors were swept with everything else,
+        // so rebuild it from the circuit before re-contracting.
+        let re_net = TensorNetwork::from_circuit(&mut m, &circuit);
+        let re_op = contract_network(&mut m, re_net.tensors(), &re_net.external_vars());
+        let re_sum = m.add(re_psi1, re_psi2);
+        let rebuilt = [re_psi1, re_psi2, re_op.edge, re_sum];
+
+        for (i, (&old, &new)) in held.iter().zip(rebuilt.iter()).enumerate() {
+            if live_after_gc[i] {
+                // Valid handle: hash-consing finds the surviving node.
+                prop_assert_eq!(new, old, "handle {} should be canonical", i);
+            } else {
+                // Stale handle: the recreated diagram lives under a fresh
+                // generation, so the old handle can never be confused
+                // with it — and churn must not resurrect it.
+                prop_assert!(new != old, "handle {} was silently recycled", i);
+                prop_assert!(!m.is_live(old), "handle {} flipped back to live", i);
+                prop_assert!(m.is_live(new));
+            }
+        }
+        m.unprotect_all(vec![root]);
     }
 
     /// `Subspace::contains` answers are identical before and after a
@@ -104,62 +160,65 @@ proptest! {
         let states: Vec<_> = amps.iter().map(|a| m.product_ket(&vars, a)).collect();
         let init = Subspace::from_states(&mut m, 3, &states);
         let op = Operation::from_circuit("rand", &circuit);
-        let mut qts = QuantumTransitionSystem::new(3, vec![op], init);
+        let qts = QuantumTransitionSystem::new(3, vec![op], init);
         let ops = qts.operations().clone();
-        let (mut img, _) = image(&mut m, &ops, qts.initial_mut(), Strategy::Basic);
+        let (img, _) = image(&mut m, &ops, qts.initial(), Strategy::Basic);
         let probe = m.product_ket(&vars, &probe_amps);
 
         let in_image_before = img.contains(&mut m, probe);
         let in_initial_before = qts.initial().clone().contains(&mut m, probe);
 
-        let mut probe = probe;
-        let out = m.collect_retaining(&mut [&mut qts, &mut img, &mut probe]);
+        let out = m.collect_retaining(&[&qts, &img, &probe]);
         prop_assert!(out.reclaimed > 0, "an image computation must leave garbage");
 
         prop_assert_eq!(img.contains(&mut m, probe), in_image_before);
         prop_assert_eq!(qts.initial().clone().contains(&mut m, probe), in_initial_before);
-        // The image is still the image: recomputing it on the relocated
-        // system agrees with the relocated copy.
-        let (img2, _) = image(&mut m, &ops, qts.initial_mut(), Strategy::Basic);
+        // The image is still the image: recomputing it after the sweep
+        // agrees with the held copy.
+        let (img2, _) = image(&mut m, &ops, qts.initial(), Strategy::Basic);
         prop_assert!(img2.equals(&mut m, &img));
     }
 }
 
 /// Regression: a multi-iteration reachability run under an aggressive
-/// `GcPolicy` keeps `arena_len()` pinned to the live set — right after
-/// each collection the arena holds exactly the rooted survivors.
+/// `GcPolicy` keeps the *occupied* slot count pinned to the live set —
+/// right after each collection the store holds exactly the rooted
+/// survivors, and the free-list keeps total allocation from drifting.
 #[test]
-fn aggressive_gc_keeps_arena_bounded_by_live_set() {
+fn aggressive_gc_keeps_store_bounded_by_live_set() {
     let mut m = TddManager::new();
-    let mut qts = QuantumTransitionSystem::from_spec(&mut m, &generators::qrw(3, 0.4));
+    let qts = QuantumTransitionSystem::from_spec(&mut m, &generators::qrw(3, 0.4));
     let strategy = Strategy::Contraction { k1: 2, k2: 2 };
     let ops = qts.operations().clone();
     let mut space = qts.initial().clone();
     let mut collected = 0u64;
+    let rebuilds_before = m.stats().unique_rebuilds;
     for _ in 0..10 {
-        let (img, _) = image(&mut m, &ops, &mut space, strategy);
+        let (img, _) = image(&mut m, &ops, &space, strategy);
         space = space.join(&mut m, &img);
         // Force a collection every iteration, as aggressively as possible.
-        let mut roots = qts.protect(&mut m);
-        roots.extend(space.protect(&mut m));
-        let out = m.collect();
-        qts.relocate(&out.relocations);
-        space.relocate(&out.relocations);
+        let out = m.collect_retaining(&[&qts, &space]);
         collected += out.reclaimed as u64;
-        // Compaction invariant: the arena is exactly the live set plus
-        // the terminal — allocated never drifts away from live.
-        let live = m.live_node_count(&[]);
-        assert_eq!(out.live, live);
+        // Occupancy invariant: after a full collection the store holds
+        // exactly the live survivors; everything else sits on the
+        // free-list awaiting reuse. No rebuild, no relocation.
         assert_eq!(
-            m.arena_len(),
-            live + 1,
-            "post-collect arena must hold exactly the rooted survivors"
+            m.arena_occupied(),
+            out.live,
+            "post-collect occupancy must equal the marked live set"
         );
-        m.unprotect_all(roots);
+        // Allocated = occupied + free-list + the always-allocated terminal
+        // slot; nothing is ever lost or double-counted.
+        assert_eq!(m.arena_len(), m.arena_occupied() + m.arena_free() + 1);
     }
     assert!(collected > 0, "ten iterations must reclaim something");
-    // The relocated fixpoint state is still sound.
-    let (img, _) = image(&mut m, &ops, &mut space, strategy);
+    assert_eq!(
+        m.stats().unique_rebuilds,
+        rebuilds_before,
+        "collection must never rebuild the unique index"
+    );
+    // The held fixpoint state is still sound.
+    let (img, _) = image(&mut m, &ops, &space, strategy);
     assert!(img.is_subspace_of(&mut m, &space) || space.join(&mut m, &img).dim() > space.dim());
 }
 
@@ -181,20 +240,21 @@ fn increment_qts(m: &mut TddManager) -> QuantumTransitionSystem {
 }
 
 /// Acceptance: a ≥10-iteration reachability fixpoint under `GcPolicy`
-/// reclaims nodes and ends with a strictly smaller arena than the grow-only
-/// run, while computing the same space.
+/// reclaims nodes and — thanks to free-list reuse — ends with strictly
+/// fewer allocated slots than the grow-only run, while computing the
+/// same space bit-for-bit (differential grow-only vs aggressive-GC).
 #[test]
-fn ten_iteration_fixpoint_reclaims_and_shrinks_arena() {
+fn ten_iteration_fixpoint_reclaims_and_stays_below_grow_only() {
     let strategy = Strategy::Contraction { k1: 2, k2: 2 };
 
     let mut m_plain = TddManager::new();
-    let mut qts_plain = increment_qts(&mut m_plain);
-    let r_plain = mc::reachable_space(&mut m_plain, &mut qts_plain, strategy, 30);
+    let qts_plain = increment_qts(&mut m_plain);
+    let r_plain = mc::reachable_space(&mut m_plain, &qts_plain, strategy, 30);
 
     let mut m_gc = TddManager::new();
-    let mut qts_gc = increment_qts(&mut m_gc);
+    let qts_gc = increment_qts(&mut m_gc);
     m_gc.set_gc_policy(Some(GcPolicy::aggressive()));
-    let r_gc = mc::reachable_space(&mut m_gc, &mut qts_gc, strategy, 30);
+    let r_gc = mc::reachable_space(&mut m_gc, &qts_gc, strategy, 30);
 
     assert!(r_gc.converged);
     assert!(
@@ -209,12 +269,13 @@ fn ten_iteration_fixpoint_reclaims_and_shrinks_arena() {
     assert!(r_gc.reclaimed_nodes > 0, "reclaimed counter must move");
     assert!(
         m_gc.arena_len() < m_plain.arena_len(),
-        "GC'd run must end below the grow-only arena: {} vs {}",
+        "free-list reuse must keep the GC'd run below the grow-only \
+         allocation: {} vs {}",
         m_gc.arena_len(),
         m_plain.arena_len()
     );
-    // Same space as the grow-only fixpoint, compared by importing its
-    // basis into the GC'd manager.
+    // Bit-for-bit differential: import each grow-only basis vector into
+    // the GC'd manager and compare the spanned spaces exactly.
     let mut independent = Subspace::zero(4);
     for &b in r_plain.space.basis() {
         let imported = m_gc.import(&m_plain, b);
@@ -232,24 +293,24 @@ fn parallel_workers_collect_under_policy() {
     let spec = generators::grover(4);
 
     let mut m_plain = TddManager::new();
-    let mut qts_plain = QuantumTransitionSystem::from_spec(&mut m_plain, &spec);
+    let qts_plain = QuantumTransitionSystem::from_spec(&mut m_plain, &spec);
     let ops_plain = qts_plain.operations().clone();
     let (img_plain, stats_plain) = image(
         &mut m_plain,
         &ops_plain,
-        qts_plain.initial_mut(),
+        qts_plain.initial(),
         Strategy::AdditionParallel { k: 2 },
     );
     assert_eq!(stats_plain.reclaimed_nodes, 0);
 
     let mut m_gc = TddManager::new();
     m_gc.set_gc_policy(Some(GcPolicy::aggressive()));
-    let mut qts_gc = QuantumTransitionSystem::from_spec(&mut m_gc, &spec);
+    let qts_gc = QuantumTransitionSystem::from_spec(&mut m_gc, &spec);
     let ops_gc = qts_gc.operations().clone();
     let (img_gc, stats_gc) = image(
         &mut m_gc,
         &ops_gc,
-        qts_gc.initial_mut(),
+        qts_gc.initial(),
         Strategy::AdditionParallel { k: 2 },
     );
     assert!(

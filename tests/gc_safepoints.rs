@@ -11,7 +11,7 @@
 //!   measurably below the grow-only baseline (the memory win the ROADMAP
 //!   follow-up asked for), and
 //! * unrelated structures passed as `kept` survive every mid-image
-//!   collection — the engine performs the pinning internally.
+//!   collection — the engine performs the rooting internally.
 
 use proptest::prelude::*;
 // `qits::Strategy` shadows the proptest trait of the same name.
@@ -127,7 +127,7 @@ proptest! {
                     "{}: basis vector differs bit-for-bit", strategy
                 );
             }
-            // The relocated input is intact too.
+            // The input rode through every collection intact too.
             let plain_basis = e_plain.initial().basis().to_vec();
             for (&i_plain, &i_gc) in plain_basis.iter().zip(e_gc.initial().basis()) {
                 let imported = e_plain.manager_mut().import(e_gc.manager(), i_gc);
@@ -215,8 +215,9 @@ fn contraction_safepoints_cut_peak_arena_below_grow_only() {
 }
 
 /// A subspace that is neither the image input nor its output survives
-/// in-image safepoint collections when passed as `kept` — the engine pins
-/// it (and its own system) internally; no `pin`/`unpin` in sight.
+/// in-image safepoint collections when passed as `kept` — the engine
+/// roots it (and its own system) internally; no root bookkeeping in
+/// sight.
 #[test]
 fn kept_bystander_survives_in_image_collections() {
     let spec = generators::qrw(4, 0.1);
@@ -234,20 +235,18 @@ fn kept_bystander_survives_in_image_collections() {
     let b1 = engine
         .manager_mut()
         .basis_ket(&vars, &[true, true, false, false]);
-    let mut bystander = engine.subspace_from_states(&[b0, b1]).unwrap();
+    let bystander = engine.subspace_from_states(&[b0, b1]).unwrap();
 
-    let mut input = engine.initial().clone();
-    let (img, st) = engine
-        .image_of_keeping(&mut input, &mut [&mut bystander])
-        .unwrap();
+    let input = engine.initial().clone();
+    let (img, st) = engine.image_of_keeping(&input, &[&bystander]).unwrap();
     assert!(
         st.safepoint_collections > 0,
         "test must actually exercise mid-image collections"
     );
     assert!(img.dim() > 0);
 
-    // The bystander was relocated, not corrupted: still dimension 2,
-    // still contains exactly its generators.
+    // The bystander is untouched: still dimension 2, still contains
+    // exactly its generators.
     assert_eq!(bystander.dim(), 2);
     let b0_again = engine
         .manager_mut()
@@ -261,7 +260,7 @@ fn kept_bystander_survives_in_image_collections() {
     assert!(bystander.contains(engine.manager_mut(), b0_again));
     assert!(bystander.contains(engine.manager_mut(), b1_again));
     assert!(!bystander.contains(engine.manager_mut(), b2_other));
-    // And the internally pinned system still denotes its initial space.
+    // And the internally rooted system still denotes its initial space.
     let fresh = {
         let states: Vec<_> = spec
             .initial_states

@@ -14,8 +14,8 @@ fn fixpoints_agree_across_strategies() {
         Strategy::Contraction { k1: 2, k2: 2 },
     ] {
         let mut m = TddManager::new();
-        let mut qts = QuantumTransitionSystem::from_spec(&mut m, &generators::qrw(3, 0.4));
-        let r = mc::reachable_space(&mut m, &mut qts, s, 30);
+        let qts = QuantumTransitionSystem::from_spec(&mut m, &generators::qrw(3, 0.4));
+        let r = mc::reachable_space(&mut m, &qts, s, 30);
         assert!(r.converged, "strategy {s} did not converge");
         dims.push(r.space.dim());
     }
@@ -31,7 +31,7 @@ fn iterates_are_monotone() {
     let ops = qts.operations().clone();
     let mut space = qts.initial().clone();
     for _ in 0..6 {
-        let (img, _) = qits::image(&mut m, &ops, &mut space, strategy);
+        let (img, _) = qits::image(&mut m, &ops, &space, strategy);
         let joined = space.join(&mut m, &img);
         assert!(space.is_subspace_of(&mut m, &joined));
         if joined.dim() == space.dim() {
@@ -45,8 +45,8 @@ fn iterates_are_monotone() {
 fn ghz_reachable_space_is_small() {
     // The GHZ preparation from |0..0> cycles among a handful of states.
     let mut m = TddManager::new();
-    let mut qts = QuantumTransitionSystem::from_spec(&mut m, &generators::ghz(4));
-    let r = mc::reachable_space(&mut m, &mut qts, Strategy::Basic, 40);
+    let qts = QuantumTransitionSystem::from_spec(&mut m, &generators::ghz(4));
+    let r = mc::reachable_space(&mut m, &qts, Strategy::Basic, 40);
     assert!(r.converged);
     assert!(
         r.space.dim() < 1 << 4,
@@ -58,8 +58,8 @@ fn ghz_reachable_space_is_small() {
 #[test]
 fn bitflip_reachability_converges_fast() {
     let mut m = TddManager::new();
-    let mut qts = QuantumTransitionSystem::from_spec(&mut m, &generators::bitflip_code());
-    let r = mc::reachable_space(&mut m, &mut qts, Strategy::Contraction { k1: 3, k2: 2 }, 20);
+    let qts = QuantumTransitionSystem::from_spec(&mut m, &generators::bitflip_code());
+    let r = mc::reachable_space(&mut m, &qts, Strategy::Contraction { k1: 3, k2: 2 }, 20);
     assert!(r.converged);
     // Initial errors + corrected states.
     assert!(r.space.dim() >= 3);
@@ -72,15 +72,15 @@ fn safety_property_via_complement() {
     // bad subspace, checked as an invariant through its complement.
     use qits::Subspace;
     let mut m = TddManager::new();
-    let mut qts = QuantumTransitionSystem::from_spec(&mut m, &generators::qrw(3, 0.3));
+    let qts = QuantumTransitionSystem::from_spec(&mut m, &generators::qrw(3, 0.3));
     let vars = Subspace::ket_vars(3);
     let bad_ket = m.basis_ket(&vars, &[true, false, false]); // |1>|00>
     let bad = Subspace::from_states(&mut m, 3, &[bad_ket]);
-    let mut safe = bad.complement(&mut m);
+    let safe = bad.complement(&mut m);
     let (holds, r) = mc::check_invariant(
         &mut m,
-        &mut qts,
-        &mut safe,
+        &qts,
+        &safe,
         Strategy::Contraction { k1: 2, k2: 2 },
         20,
     );
@@ -90,19 +90,19 @@ fn safety_property_via_complement() {
     assert!(!holds);
     // Restricting to the 1-step horizon, |1>|00> is not yet reachable
     // from |0>|00> (one step reaches only |0>|111>+|1>|001>).
-    let one_step = mc::reachable_space(&mut m, &mut qts, Strategy::Basic, 1);
+    let one_step = mc::reachable_space(&mut m, &qts, Strategy::Basic, 1);
     assert!(one_step.space.is_subspace_of(&mut m, &safe));
 }
 
 #[test]
 fn invariant_check_on_truncated_run_reports_unconverged() {
     let mut m = TddManager::new();
-    let mut qts = QuantumTransitionSystem::from_spec(&mut m, &generators::qrw(4, 0.5));
-    let mut inv = qts.initial().clone();
+    let qts = QuantumTransitionSystem::from_spec(&mut m, &generators::qrw(4, 0.5));
+    let inv = qts.initial().clone();
     let (_, r) = mc::check_invariant(
         &mut m,
-        &mut qts,
-        &mut inv,
+        &qts,
+        &inv,
         Strategy::Contraction { k1: 2, k2: 2 },
         1,
     );
