@@ -21,7 +21,8 @@ use std::time::Duration;
 
 use qits_bench::{
     auto_selected, ci_report_json, fmt_count, fmt_secs, maybe_run_one, run_case_subprocess,
-    run_image_gc, run_pool_throughput, spec_for, strategy_for, CiRow, CI_POOL_CASE, METHODS,
+    run_image_gc, run_pool_throughput, run_reorder_ab, spec_for, strategy_for, CiRow, CI_POOL_CASE,
+    METHODS, REORDER_AB_ORDER,
 };
 use qits_tdd::GcPolicy;
 
@@ -208,6 +209,21 @@ fn run_ci_smoke(timeout: Duration) -> i32 {
             gc.safepoint_reclaimed,
             auto,
         );
+        // The reordering A/B (schema v5): same case from the
+        // position-major order, sifting off vs forced at every
+        // collection — the live-node delta tracks what DVO buys.
+        let reorder = run_reorder_ab(&spec_for(family, n), strategy_for(method));
+        println!(
+            "ci:   reorder[{}]  live {} → {}  peak {} → {}  \
+             ({} swaps, {} sift passes)",
+            REORDER_AB_ORDER,
+            reorder.live_off,
+            reorder.live_on,
+            reorder.peak_off,
+            reorder.peak_on,
+            reorder.swaps,
+            reorder.sift_passes,
+        );
         rows.push(CiRow {
             family: family.into(),
             n,
@@ -215,6 +231,7 @@ fn run_ci_smoke(timeout: Duration) -> i32 {
             subprocess: case,
             gc,
             auto_selected: auto,
+            reorder,
         });
     }
     // The pool throughput row (schema v3): a batch of independent image

@@ -11,7 +11,7 @@ use std::time::{Duration, Instant};
 
 use qits::{
     mc, Auto, Engine, EngineBuilder, EnginePool, EngineSpec, ImageStats, ImageStrategy, Job,
-    Strategy, Subspace,
+    ReorderPolicy, StaticOrder, Strategy, Subspace,
 };
 use qits_circuit::generators::{self, QtsSpec};
 use qits_tdd::GcPolicy;
@@ -184,6 +184,56 @@ pub fn run_image_gc(spec: &QtsSpec, strategy: Strategy, policy: Option<GcPolicy>
     engine.image().expect("benchmark image must compute").1
 }
 
+/// The dynamic-variable-reordering A/B of one CI case: the same image
+/// computation under `GcPolicy::aggressive()`, with sifting off and with
+/// sifting forced at every safepoint collection — both runs starting
+/// from the deliberately poor position-major static order (all kets
+/// above all rows), so the sifting has real structure to reclaim. The
+/// live/peak node deltas are the `reorder` row of `BENCH_ci.json`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReorderMeasurement {
+    /// Live nodes at the end of the sifting-off run.
+    pub live_off: usize,
+    /// Live nodes at the end of the sifting-on run.
+    pub live_on: usize,
+    /// Peak allocated slots of the sifting-off run.
+    pub peak_off: usize,
+    /// Peak allocated slots of the sifting-on run.
+    pub peak_on: usize,
+    /// Adjacent-level swaps the sifting-on run performed.
+    pub swaps: u64,
+    /// Sifting passes the sifting-on run completed.
+    pub sift_passes: u64,
+}
+
+/// The static order both arms of [`run_reorder_ab`] start from, as the
+/// JSON records it.
+pub const REORDER_AB_ORDER: StaticOrder = StaticOrder::PositionMajor;
+
+/// Measures [`ReorderMeasurement`] for one case (see the struct docs).
+pub fn run_reorder_ab(spec: &QtsSpec, strategy: Strategy) -> ReorderMeasurement {
+    let run = |reorder: ReorderPolicy| {
+        let mut engine = EngineBuilder::new()
+            .strategy(strategy)
+            .static_order(REORDER_AB_ORDER)
+            .gc_policy(Some(GcPolicy::aggressive()))
+            .reorder(reorder)
+            .build_from_spec(spec)
+            .expect("benchmark spec must form a valid system");
+        engine.image().expect("benchmark image must compute").1
+    };
+    let off = run(ReorderPolicy::Off);
+    let on = run(ReorderPolicy::EveryCollection);
+    ReorderMeasurement {
+        live_off: off.live_nodes,
+        live_on: on.live_nodes,
+        peak_off: off.peak_arena,
+        peak_on: on.peak_arena,
+        swaps: on.swaps,
+        sift_passes: on.sift_passes,
+    }
+}
+
 /// Like [`run_image`] but also returns the image and the session that
 /// owns it, for validation.
 pub fn run_image_with_result(spec: &QtsSpec, strategy: Strategy) -> (Subspace, ImageStats, Engine) {
@@ -242,6 +292,12 @@ pub struct PoolMeasurement {
     pub speedup: f64,
     /// Jobs the pool failed (must be 0 for a healthy run).
     pub jobs_failed: u64,
+    /// Sifting passes each worker's private manager completed, in worker
+    /// order. All zeros unless something schedules reordering — the
+    /// throughput workload itself runs GC-off, but `QITS_REORDER=
+    /// aggressive` (the CI matrix's reordering leg) reaches the worker
+    /// engines through the builder and shows up here.
+    pub worker_sift_passes: Vec<u64>,
 }
 
 /// Measures [`PoolMeasurement`] for one `(family, n, method)` workload:
@@ -294,6 +350,11 @@ pub fn run_pool_throughput(
         pool_secs,
         speedup: serial_secs / pool_secs.max(f64::MIN_POSITIVE),
         jobs_failed: stats.jobs_failed,
+        worker_sift_passes: stats
+            .workers
+            .iter()
+            .map(|w| w.manager.sift_passes)
+            .collect(),
     }
 }
 
@@ -446,6 +507,8 @@ pub struct CiRow {
     /// instance (see [`auto_selected`]) — tracked so selector drift shows
     /// up in the perf trajectory.
     pub auto_selected: String,
+    /// The sifting-on-vs-off node-count A/B (see [`run_reorder_ab`]).
+    pub reorder: ReorderMeasurement,
 }
 
 /// Unique-table health aggregated over the CI cases' aggressive-GC runs:
@@ -493,12 +556,15 @@ impl UniqueTableHealth {
 /// `BENCH_ci.json` (hand-rolled — the workspace carries no serde).
 /// Schema is versioned so downstream trajectory tooling can evolve it;
 /// v3 added the `pool` object (workers, batch size, serial vs pool
-/// seconds, speedup); v4 adds the `unique_table` health row (Robin Hood
+/// seconds, speedup); v4 added the `unique_table` health row (Robin Hood
 /// probe percentiles, tombstone ratio, generational churn, GC pause
 /// time) now that collection recycles slots in place instead of
-/// rebuilding the table.
+/// rebuilding the table; v5 adds the per-case `reorder` object (live and
+/// peak node counts with sifting off vs forced at every collection, from
+/// the position-major order — see [`run_reorder_ab`]) and the pool row's
+/// `worker_sift_passes`.
 pub fn ci_report_json(rows: &[CiRow], pool: &PoolMeasurement) -> String {
-    let mut out = String::from("{\n  \"schema\": \"qits-bench-ci/4\",\n");
+    let mut out = String::from("{\n  \"schema\": \"qits-bench-ci/5\",\n");
     let ut = UniqueTableHealth::from_rows(rows);
     out.push_str(&format!(
         concat!(
@@ -517,7 +583,8 @@ pub fn ci_report_json(rows: &[CiRow], pool: &PoolMeasurement) -> String {
         concat!(
             "  \"pool\": {{\"family\": \"{}\", \"n\": {}, \"method\": \"{}\", ",
             "\"workers\": {}, \"jobs\": {}, \"serial_secs\": {:.6}, ",
-            "\"pool_secs\": {:.6}, \"speedup\": {:.3}, \"jobs_failed\": {}}},\n",
+            "\"pool_secs\": {:.6}, \"speedup\": {:.3}, \"jobs_failed\": {}, ",
+            "\"worker_sift_passes\": [{}]}},\n",
         ),
         pool.family,
         pool.n,
@@ -528,6 +595,11 @@ pub fn ci_report_json(rows: &[CiRow], pool: &PoolMeasurement) -> String {
         pool.pool_secs,
         pool.speedup,
         pool.jobs_failed,
+        pool.worker_sift_passes
+            .iter()
+            .map(u64::to_string)
+            .collect::<Vec<_>>()
+            .join(", "),
     ));
     out.push_str("  \"cases\": [\n");
     for (i, r) in rows.iter().enumerate() {
@@ -544,7 +616,10 @@ pub fn ci_report_json(rows: &[CiRow], pool: &PoolMeasurement) -> String {
                 "      \"gc_aggressive\": {{\"secs\": {:.6}, \"max_nodes\": {}, ",
                 "\"peak_arena\": {}, \"live_nodes\": {}, \"allocated_nodes\": {}, ",
                 "\"reclaimed_nodes\": {}, \"safepoints\": {}, ",
-                "\"safepoint_collections\": {}, \"safepoint_reclaimed\": {}}}\n",
+                "\"safepoint_collections\": {}, \"safepoint_reclaimed\": {}}},\n",
+                "      \"reorder\": {{\"order\": \"{}\", \"live_off\": {}, ",
+                "\"live_on\": {}, \"peak_off\": {}, \"peak_on\": {}, ",
+                "\"swaps\": {}, \"sift_passes\": {}}}\n",
                 "    }}{}\n",
             ),
             r.family,
@@ -566,6 +641,13 @@ pub fn ci_report_json(rows: &[CiRow], pool: &PoolMeasurement) -> String {
             gc.safepoints,
             gc.safepoint_collections,
             gc.safepoint_reclaimed,
+            REORDER_AB_ORDER,
+            r.reorder.live_off,
+            r.reorder.live_on,
+            r.reorder.peak_off,
+            r.reorder.peak_on,
+            r.reorder.swaps,
+            r.reorder.sift_passes,
             if i + 1 < rows.len() { "," } else { "" },
         ));
     }
@@ -666,6 +748,17 @@ mod tests {
         );
         assert!(gc.safepoints > 0);
         assert!(gc.safepoint_collections > 0);
+        let reorder = run_reorder_ab(&spec_for(family, n), strategy_for(method));
+        assert!(
+            reorder.sift_passes > 0,
+            "forcing sifting at every collection must sift: {reorder:?}"
+        );
+        assert!(reorder.swaps > 0);
+        assert!(
+            reorder.live_on <= reorder.live_off,
+            "sifting must not end with more live nodes than the \
+             position-major baseline: {reorder:?}"
+        );
         let rows = vec![CiRow {
             family: family.into(),
             n,
@@ -680,6 +773,7 @@ mod tests {
             },
             gc,
             auto_selected: auto_selected(family, n),
+            reorder,
         }];
         // A tiny pool measurement keeps this test fast; the real CI case
         // is CI_POOL_CASE.
@@ -687,9 +781,13 @@ mod tests {
         assert_eq!(pool.jobs_failed, 0);
         assert!(pool.serial_secs > 0.0 && pool.pool_secs > 0.0);
         let json = ci_report_json(&rows, &pool);
-        assert!(json.contains("\"schema\": \"qits-bench-ci/4\""));
+        assert!(json.contains("\"schema\": \"qits-bench-ci/5\""));
         assert!(json.contains("\"pool\": {\"family\": \"ghz\""));
         assert!(json.contains("\"speedup\""));
+        assert!(json.contains("\"worker_sift_passes\": ["));
+        assert!(json.contains("\"reorder\": {\"order\": \"position-major\""));
+        assert!(json.contains("\"live_off\""));
+        assert!(json.contains("\"sift_passes\""));
         assert!(json.contains("\"unique_table\": {\"probe_p50\""));
         assert!(json.contains("\"tombstone_ratio\""));
         assert!(json.contains("\"gc_pause_ms\""));

@@ -19,12 +19,157 @@
 //! * a **diagonal** base also uses a single leg per target wire;
 //! * a non-diagonal base has distinct input and output legs per target.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 
 use qits_tdd::{Edge, TddManager};
 use qits_tensor::{Tensor, Var};
 
+use crate::element::{Element, Operation};
 use crate::gate::Gate;
+
+// ----------------------------------------------------------------------
+// Static variable-ordering heuristics.
+// ----------------------------------------------------------------------
+
+/// A static variable-ordering heuristic, applied at tensorize time: how
+/// the engine orders the wire variables of a register **before** any node
+/// is interned (see `qits_tdd::TddManager::install_order`).
+///
+/// TDD size is notoriously order-sensitive — the classic BDD example
+/// `(x0 AND x3) OR (x1 AND x4) OR ...` is linear under an interleaved
+/// order and exponential under a separated one — so a good static order
+/// is the cheap first line of defence before dynamic reordering (sifting)
+/// has to earn its keep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StaticOrder {
+    /// The natural [`Var`] order: qubit-major, ket before row on each
+    /// wire. The manager's zero-cost default (no level map materialised).
+    #[default]
+    Natural,
+    /// Qubits ordered by breadth-first traversal of the circuit's
+    /// qubit-interaction graph, in gate order — qubits that share gates
+    /// land on adjacent levels, which keeps the gate tensors' dependence
+    /// local. Ket and row variables of a qubit stay interleaved.
+    GateLocality,
+    /// All ket variables (wire position 0) before all row variables
+    /// (position 1) — the separated order that splits every gate tensor's
+    /// input from its output. Deliberately poor on operator diagrams;
+    /// kept as the A/B baseline that makes reordering wins visible.
+    PositionMajor,
+}
+
+impl std::fmt::Display for StaticOrder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StaticOrder::Natural => write!(f, "natural"),
+            StaticOrder::GateLocality => write!(f, "gate-locality"),
+            StaticOrder::PositionMajor => write!(f, "position-major"),
+        }
+    }
+}
+
+/// The qubits an element touches, in element order (controls first for
+/// gates), deduplicated keeping the first occurrence.
+fn element_qubits(e: &Element) -> Vec<u32> {
+    let mut qs: Vec<u32> = match e {
+        Element::Gate(g) => g
+            .controls
+            .iter()
+            .map(|c| c.qubit)
+            .chain(g.targets.iter().copied())
+            .collect(),
+        Element::Projector { qubits, .. } => qubits.clone(),
+        Element::Channel { qubit, .. } => vec![*qubit],
+    };
+    let mut seen = Vec::new();
+    qs.retain(|q| {
+        let fresh = !seen.contains(q);
+        seen.push(*q);
+        fresh
+    });
+    qs
+}
+
+/// Qubit visit order of [`StaticOrder::GateLocality`]: BFS over the
+/// qubit-interaction graph (an edge per pair of qubits sharing an
+/// element), seeded and tie-broken by first appearance in gate order;
+/// qubits no gate touches follow in index order.
+fn gate_locality_qubits(n_qubits: u32, operations: &[Operation]) -> Vec<u32> {
+    let n = n_qubits as usize;
+    let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+    let mut seeds: Vec<u32> = Vec::new();
+    for op in operations {
+        for e in op.elements() {
+            let qs = element_qubits(e);
+            for &q in &qs {
+                if !seeds.contains(&q) {
+                    seeds.push(q);
+                }
+            }
+            for (i, &a) in qs.iter().enumerate() {
+                for &b in qs.iter().skip(i + 1) {
+                    if !adj[a as usize].contains(&b) {
+                        adj[a as usize].push(b);
+                    }
+                    if !adj[b as usize].contains(&a) {
+                        adj[b as usize].push(a);
+                    }
+                }
+            }
+        }
+    }
+    let mut order = Vec::with_capacity(n);
+    let mut visited = vec![false; n];
+    let mut queue = VecDeque::new();
+    for &s in &seeds {
+        if visited[s as usize] {
+            continue;
+        }
+        visited[s as usize] = true;
+        queue.push_back(s);
+        while let Some(q) = queue.pop_front() {
+            order.push(q);
+            for &nb in &adj[q as usize] {
+                if !visited[nb as usize] {
+                    visited[nb as usize] = true;
+                    queue.push_back(nb);
+                }
+            }
+        }
+    }
+    for q in 0..n_qubits {
+        if !visited[q as usize] {
+            order.push(q);
+        }
+    }
+    order
+}
+
+/// Computes the initial variable order of a register under `heuristic`,
+/// as a level list (first entry = topmost level) ready for
+/// `qits_tdd::TddManager::install_order`.
+///
+/// The list covers the ket (`Var::wire(q, 0)`) and row (`Var::wire(q, 1)`)
+/// variable of every qubit; intermediate wire positions minted later by
+/// tensorization register lazily next to their qubit's block, so the
+/// qubit-level structure chosen here survives mid-run variable creation.
+pub fn static_order(n_qubits: u32, operations: &[Operation], heuristic: StaticOrder) -> Vec<Var> {
+    let qubits: Vec<u32> = match heuristic {
+        StaticOrder::Natural | StaticOrder::PositionMajor => (0..n_qubits).collect(),
+        StaticOrder::GateLocality => gate_locality_qubits(n_qubits, operations),
+    };
+    match heuristic {
+        StaticOrder::PositionMajor => qubits
+            .iter()
+            .map(|&q| Var::wire(q, 0))
+            .chain(qubits.iter().map(|&q| Var::wire(q, 1)))
+            .collect(),
+        _ => qubits
+            .iter()
+            .flat_map(|&q| [Var::wire(q, 0), Var::wire(q, 1)])
+            .collect(),
+    }
+}
 
 /// The tensor-network legs assigned to one gate.
 ///
@@ -297,6 +442,49 @@ mod tests {
     fn projector_tdd_matches_sim() {
         check_gate_against_sim(&Gate::projector(0, true), 1);
         check_gate_against_sim(&Gate::projector(0, false), 1);
+    }
+
+    #[test]
+    fn static_order_natural_is_the_var_order() {
+        let order = static_order(3, &[], StaticOrder::Natural);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(order, sorted);
+        assert_eq!(order.len(), 6);
+        assert_eq!(order[0], Var::wire(0, 0));
+        assert_eq!(order[1], Var::wire(0, 1));
+    }
+
+    #[test]
+    fn static_order_position_major_separates_kets_from_rows() {
+        let order = static_order(3, &[], StaticOrder::PositionMajor);
+        assert_eq!(
+            order,
+            vec![
+                Var::wire(0, 0),
+                Var::wire(1, 0),
+                Var::wire(2, 0),
+                Var::wire(0, 1),
+                Var::wire(1, 1),
+                Var::wire(2, 1),
+            ]
+        );
+    }
+
+    #[test]
+    fn gate_locality_follows_the_interaction_graph() {
+        // Gates touch (2,0) then (0,3); qubit 1 is untouched. BFS from
+        // qubit 2 (first seen) visits 0, then 3 through 0's edge, and
+        // appends the untouched qubit 1 last.
+        let op = crate::Operation::new("chain", 4)
+            .then_gate(Gate::cx(2, 0))
+            .then_gate(Gate::cx(0, 3));
+        let order = static_order(4, &[op], StaticOrder::GateLocality);
+        let qubits: Vec<u32> = order.iter().step_by(2).map(|v| v.qubit()).collect();
+        assert_eq!(qubits, vec![2, 0, 3, 1]);
+        // Ket and row stay interleaved per qubit.
+        assert_eq!(order[0], Var::wire(2, 0));
+        assert_eq!(order[1], Var::wire(2, 1));
     }
 
     #[test]

@@ -41,8 +41,9 @@
 use std::fmt;
 
 use qits_circuit::generators::QtsSpec;
+use qits_circuit::tensorize::{static_order, StaticOrder};
 use qits_circuit::{Circuit, Element, Operation};
-use qits_tdd::{ArenaExhausted, Edge, EdgeHolder, GcOutcome, GcPolicy, TddManager};
+use qits_tdd::{ArenaExhausted, Edge, EdgeHolder, GcOutcome, GcPolicy, ReorderPolicy, TddManager};
 
 use crate::error::QitsError;
 use crate::image::{try_image, ImageStats, Strategy};
@@ -210,6 +211,8 @@ pub struct EngineBuilder {
     cache_capacity: Option<usize>,
     node_capacity: Option<usize>,
     gc_policy: Option<GcPolicy>,
+    reorder: ReorderPolicy,
+    order: StaticOrder,
     strategy: Box<dyn ImageStrategy>,
     sink: Option<StatsSink>,
 }
@@ -229,6 +232,8 @@ impl EngineBuilder {
             cache_capacity: None,
             node_capacity: None,
             gc_policy: None,
+            reorder: ReorderPolicy::Off,
+            order: StaticOrder::Natural,
             strategy: Box::new(Auto::default()),
             sink: None,
         }
@@ -267,6 +272,38 @@ impl EngineBuilder {
         self
     }
 
+    /// Schedules **dynamic variable reordering**: when a GC safepoint
+    /// collects, the manager may also run a sifting pass over the freshly
+    /// minimised live set (see [`qits_tdd::ReorderPolicy`]). A non-`Off`
+    /// schedule is merged into the GC policy — installing the default
+    /// [`GcPolicy`] first if [`EngineBuilder::gc_policy`] left collection
+    /// off, since reordering is always coupled to a collection.
+    ///
+    /// The environment variable `QITS_REORDER=aggressive` forces
+    /// reordering at every collection **wherever the builder installed a
+    /// GC policy** (unless that builder already scheduled reordering) —
+    /// the switch the CI matrix uses to run the whole suite with sifting
+    /// on. It never *installs* a policy: an engine built with
+    /// `gc_policy(None)` is a deliberate GC-off baseline (several tests
+    /// assert zero safepoint collections on exactly such engines), and
+    /// an environment variable silently turning collection on would
+    /// rewrite those semantics rather than exercise the reordering path.
+    pub fn reorder(mut self, reorder: ReorderPolicy) -> Self {
+        self.reorder = reorder;
+        self
+    }
+
+    /// Installs a static variable-ordering heuristic (see
+    /// [`StaticOrder`]): the wire variables of the register are ordered
+    /// by the heuristic *before* any node is interned, so every diagram
+    /// the session builds lives under that order from the start.
+    /// [`StaticOrder::Natural`], the default, keeps the manager's
+    /// zero-cost natural order.
+    pub fn static_order(mut self, order: StaticOrder) -> Self {
+        self.order = order;
+        self
+    }
+
     /// The image strategy the session dispatches through (default:
     /// [`Auto`]).
     pub fn strategy(mut self, strategy: impl ImageStrategy + 'static) -> Self {
@@ -289,10 +326,42 @@ impl EngineBuilder {
         self
     }
 
-    fn make_manager(&self) -> TddManager {
-        let mut m = TddManager::with_config(self.tolerance, self.cache_capacity, self.gc_policy);
+    /// The GC policy the session actually installs: the builder's policy
+    /// with the reordering schedule merged in, plus the `QITS_REORDER`
+    /// environment override (see [`EngineBuilder::reorder`]).
+    fn effective_gc_policy(&self) -> Option<GcPolicy> {
+        let mut policy = self.gc_policy;
+        if self.reorder != ReorderPolicy::Off {
+            policy.get_or_insert_with(GcPolicy::default).reorder = self.reorder;
+        }
+        if std::env::var("QITS_REORDER").is_ok_and(|v| v == "aggressive") {
+            // Only piggyback on a policy the builder installed: the env
+            // knob schedules sifting wherever collections already happen,
+            // it never turns collection on (GC-off engines are often
+            // deliberate baselines — see `EngineBuilder::reorder`).
+            if let Some(p) = policy.as_mut() {
+                if p.reorder == ReorderPolicy::Off {
+                    p.reorder = ReorderPolicy::EveryCollection;
+                }
+            }
+        }
+        policy
+    }
+
+    fn make_manager(&self, n_qubits: u32, operations: &[Operation]) -> TddManager {
+        let mut m = TddManager::with_config(
+            self.tolerance,
+            self.cache_capacity,
+            self.effective_gc_policy(),
+        );
         if let Some(cap) = self.node_capacity {
             m.set_node_capacity(cap);
+        }
+        // Install the heuristic order on the still-empty manager, so the
+        // very first interned node already lives under it. Natural mode
+        // stays lazy (no level map) — sifting materialises it on demand.
+        if self.order != StaticOrder::Natural {
+            m.install_order(&static_order(n_qubits, operations, self.order));
         }
         m
     }
@@ -300,7 +369,7 @@ impl EngineBuilder {
     /// Builds an engine for a benchmark spec, spanning the initial
     /// subspace from the spec's product states.
     pub fn build_from_spec(self, spec: &QtsSpec) -> Result<Engine, QitsError> {
-        let mut m = self.make_manager();
+        let mut m = self.make_manager(spec.n_qubits, &spec.operations);
         let qts = QuantumTransitionSystem::try_from_spec(&mut m, spec)?;
         Ok(Engine {
             m,
@@ -318,7 +387,7 @@ impl EngineBuilder {
         operations: Vec<Operation>,
         initial: impl FnOnce(&mut TddManager) -> Subspace,
     ) -> Result<Engine, QitsError> {
-        let mut m = self.make_manager();
+        let mut m = self.make_manager(n_qubits, &operations);
         let init = initial(&mut m);
         let qts = QuantumTransitionSystem::try_new(n_qubits, operations, init)?;
         Ok(Engine {
@@ -669,8 +738,101 @@ mod tests {
             .gc_policy(Some(GcPolicy::aggressive()))
             .build_from_spec(&generators::ghz(3))
             .unwrap();
-        assert_eq!(engine.manager().gc_policy(), Some(GcPolicy::aggressive()));
+        let got = engine.manager().gc_policy().expect("policy installed");
+        // Compare everything except `reorder`, which the QITS_REORDER
+        // environment knob may legitimately rewrite under the CI matrix.
+        assert_eq!(
+            got,
+            GcPolicy {
+                reorder: got.reorder,
+                ..GcPolicy::aggressive()
+            }
+        );
         assert_eq!(engine.manager().cache_sizes().total(), 0);
+    }
+
+    #[test]
+    fn reorder_knob_installs_a_gc_policy_when_none_is_set() {
+        let engine = EngineBuilder::new()
+            .reorder(ReorderPolicy::EveryCollection)
+            .build_from_spec(&generators::ghz(3))
+            .unwrap();
+        let policy = engine.manager().gc_policy().expect("merged-in policy");
+        assert_eq!(policy.reorder, ReorderPolicy::EveryCollection);
+        // Everything else stays at the GC default.
+        assert_eq!(policy.watermark, GcPolicy::default().watermark);
+    }
+
+    #[test]
+    fn reorder_knob_merges_into_an_explicit_gc_policy() {
+        let engine = EngineBuilder::new()
+            .gc_policy(Some(GcPolicy::aggressive()))
+            .reorder(ReorderPolicy::EveryNSafepoints { n: 3 })
+            .build_from_spec(&generators::ghz(3))
+            .unwrap();
+        let policy = engine.manager().gc_policy().unwrap();
+        assert_eq!(policy.reorder, ReorderPolicy::EveryNSafepoints { n: 3 });
+        assert_eq!(policy.watermark, GcPolicy::aggressive().watermark);
+    }
+
+    #[test]
+    fn static_order_knob_reaches_the_manager() {
+        use qits_tensor::Var;
+        let engine = EngineBuilder::new()
+            .static_order(StaticOrder::PositionMajor)
+            .build_from_spec(&generators::ghz(3))
+            .unwrap();
+        let order = engine.manager().var_order().expect("explicit order");
+        // All kets before all rows — and the session built its system
+        // under that order without changing any result.
+        assert_eq!(
+            &order[..3],
+            &[Var::wire(0, 0), Var::wire(1, 0), Var::wire(2, 0)]
+        );
+        assert_eq!(engine.initial().dim(), 1);
+    }
+
+    #[test]
+    fn gate_locality_order_computes_the_same_image() {
+        let spec = generators::qrw(3, 0.2);
+        let mut natural = EngineBuilder::new()
+            .strategy(Strategy::Contraction { k1: 2, k2: 2 })
+            .build_from_spec(&spec)
+            .unwrap();
+        let mut local = EngineBuilder::new()
+            .strategy(Strategy::Contraction { k1: 2, k2: 2 })
+            .static_order(StaticOrder::GateLocality)
+            .build_from_spec(&spec)
+            .unwrap();
+        let (a, _) = natural.image().unwrap();
+        let (b, _) = local.image().unwrap();
+        assert_eq!(a.dim(), b.dim());
+    }
+
+    #[test]
+    fn reordering_under_forced_gc_preserves_the_fixpoint() {
+        // The whole reachability fixpoint with a sifting pass forced at
+        // every collecting safepoint must agree with the grow-only run.
+        let spec = generators::qrw(3, 0.2);
+        let strategy = Strategy::Contraction { k1: 2, k2: 2 };
+        let mut plain = EngineBuilder::new()
+            .strategy(strategy)
+            .build_from_spec(&spec)
+            .unwrap();
+        let mut sifted = EngineBuilder::new()
+            .strategy(strategy)
+            .gc_policy(Some(GcPolicy::aggressive()))
+            .reorder(ReorderPolicy::EveryCollection)
+            .build_from_spec(&spec)
+            .unwrap();
+        let a = plain.reachable_space(20).unwrap();
+        let b = sifted.reachable_space(20).unwrap();
+        assert_eq!(a.space.dim(), b.space.dim());
+        assert!(a.converged && b.converged);
+        assert!(
+            sifted.manager().stats().sift_passes > 0,
+            "aggressive GC + EveryCollection must actually sift"
+        );
     }
 
     #[test]

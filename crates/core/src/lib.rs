@@ -81,6 +81,12 @@ pub use pool::{
 pub use qts::{Operations, QuantumTransitionSystem};
 pub use subspace::{Subspace, RANK_TOLERANCE};
 
+// The two variable-ordering knobs of the builder surface, re-exported so
+// engine users configure ordering without importing the circuit and tdd
+// crates by name.
+pub use qits_circuit::tensorize::StaticOrder;
+pub use qits_tdd::ReorderPolicy;
+
 /// The serving layer, re-exported under one roof: everything needed to
 /// stand up an [`EnginePool`] behind a request queue — the pool itself,
 /// the shared [`EngineSpec`], the typed [`Job`]/[`JobOutput`] vocabulary,

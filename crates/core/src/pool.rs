@@ -55,9 +55,10 @@ use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
 use qits_circuit::generators::QtsSpec;
+use qits_circuit::tensorize::StaticOrder;
 use qits_circuit::Circuit;
 use qits_num::Cplx;
-use qits_tdd::{GcPolicy, ManagerStats};
+use qits_tdd::{GcPolicy, ManagerStats, ReorderPolicy};
 use qits_tensor::Var;
 
 use crate::engine::{Auto, Engine, EngineBuilder, ImageStrategy};
@@ -92,6 +93,8 @@ pub struct EngineSpec {
     cache_capacity: Option<usize>,
     node_capacity: Option<usize>,
     gc_policy: Option<GcPolicy>,
+    reorder: ReorderPolicy,
+    static_order: StaticOrder,
     strategy: StrategyFactory,
     strategy_name: String,
 }
@@ -105,6 +108,8 @@ impl fmt::Debug for EngineSpec {
             .field("cache_capacity", &self.cache_capacity)
             .field("node_capacity", &self.node_capacity)
             .field("gc_policy", &self.gc_policy)
+            .field("reorder", &self.reorder)
+            .field("static_order", &self.static_order)
             .field("strategy", &self.strategy_name)
             .finish()
     }
@@ -120,6 +125,8 @@ impl EngineSpec {
             cache_capacity: None,
             node_capacity: None,
             gc_policy: None,
+            reorder: ReorderPolicy::Off,
+            static_order: StaticOrder::Natural,
             strategy: Arc::new(|| Box::new(Auto::default())),
             strategy_name: Auto::default().name(),
         }
@@ -153,6 +160,22 @@ impl EngineSpec {
         self
     }
 
+    /// Dynamic-reordering schedule of every built engine (see
+    /// [`EngineBuilder::reorder`]). Pool workers own disjoint managers,
+    /// so each worker sifts its private arena independently — one
+    /// worker's pass never pauses another.
+    pub fn reorder(mut self, reorder: ReorderPolicy) -> Self {
+        self.reorder = reorder;
+        self
+    }
+
+    /// Static variable-ordering heuristic of every built engine (see
+    /// [`EngineBuilder::static_order`]).
+    pub fn static_order(mut self, order: StaticOrder) -> Self {
+        self.static_order = order;
+        self
+    }
+
     /// Session strategy of every built engine. The strategy is cloned
     /// per engine, so each worker dispatches through a private copy
     /// (`Sync` is only needed of the prototype held by the factory).
@@ -176,6 +199,8 @@ impl EngineSpec {
         let mut b = EngineBuilder::new()
             .tolerance(self.tolerance)
             .gc_policy(self.gc_policy)
+            .reorder(self.reorder)
+            .static_order(self.static_order)
             .strategy_boxed((self.strategy)());
         if let Some(cap) = self.cache_capacity {
             b = b.cache_capacity(cap);
@@ -339,8 +364,10 @@ impl From<ReachabilityResult> for ReachOutcome {
 /// What a completed job returns, one variant per [`Job`] variant.
 #[derive(Debug, Clone)]
 pub enum JobOutput {
-    /// From [`Job::Image`].
-    Image(ImageOutcome),
+    /// From [`Job::Image`]. Boxed: the outcome carries full [`ImageStats`]
+    /// (including the reordering counters), which would otherwise dwarf
+    /// the other variants.
+    Image(Box<ImageOutcome>),
     /// From [`Job::Reachability`].
     Reachability(ReachOutcome),
     /// From [`Job::Invariant`].
@@ -404,11 +431,11 @@ pub fn run_job(engine: &mut Engine, job: &Job) -> Result<JobOutput, QitsError> {
             } else {
                 Vec::new()
             };
-            Ok(JobOutput::Image(ImageOutcome {
+            Ok(JobOutput::Image(Box::new(ImageOutcome {
                 dim: img.dim(),
                 amplitudes,
                 stats,
-            }))
+            })))
         }
         Job::Reachability { max_iterations } => {
             let r = engine.reachable_space(*max_iterations)?;
@@ -997,6 +1024,30 @@ mod tests {
             .unwrap();
         assert_eq!(pool.workers(), 1);
         assert!(pool.submit(Job::image()).join().is_ok());
+    }
+
+    #[test]
+    fn pool_workers_reorder_their_private_arenas() {
+        // Reordering through the spec: every worker runs its own sifting
+        // passes on its disjoint manager, the per-worker counters land in
+        // WorkerStats.manager, and the fleet total absorbs them.
+        let spec = grover_spec()
+            .gc_policy(Some(GcPolicy::aggressive()))
+            .reorder(ReorderPolicy::EveryCollection);
+        let pool = EnginePool::builder(spec).workers(2).build().unwrap();
+        let handles = pool.submit_batch(vec![Job::image(); 4]);
+        for h in handles {
+            assert_eq!(h.join().unwrap().image().unwrap().dim, 2);
+        }
+        let stats = pool.shutdown();
+        assert_eq!(stats.jobs_failed, 0);
+        assert!(
+            stats.manager.sift_passes > 0,
+            "forced reordering must run in the workers: {:?}",
+            stats.manager
+        );
+        let per_worker: u64 = stats.workers.iter().map(|w| w.manager.sift_passes).sum();
+        assert_eq!(stats.manager.sift_passes, per_worker);
     }
 
     #[test]

@@ -65,13 +65,15 @@ mod hash;
 mod manager;
 mod node;
 mod ops;
+mod order;
+mod reorder;
 mod stats;
 mod table;
 mod transfer;
 
 pub use cache::{CacheLookup, CacheSizes, CacheStats, DEFAULT_CACHE_CAPACITY};
 pub use cnum::{CIdx, ComplexTable};
-pub use gc::{EdgeHolder, GcOutcome, GcPolicy, RootId, RootScope};
+pub use gc::{EdgeHolder, GcOutcome, GcPolicy, ReorderPolicy, RootId, RootScope};
 pub use manager::{ArenaExhausted, TddManager};
 pub use node::{Edge, NodeId, TERMINAL};
 pub use stats::{ManagerStats, ProbeHistogram, PROBE_BUCKETS};
@@ -88,6 +90,7 @@ const _: () = {
     assert_send_sync::<Edge>();
     assert_send_sync::<ManagerStats>();
     assert_send_sync::<GcPolicy>();
+    assert_send_sync::<ReorderPolicy>();
     assert_send_sync::<ArenaExhausted>();
     assert_send_sync::<ProbeHistogram>();
 };

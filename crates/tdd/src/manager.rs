@@ -9,6 +9,7 @@ use crate::cache::{CacheLookup, CacheSizes, OpCaches, RenameId, SumId, DEFAULT_C
 use crate::cnum::{CIdx, ComplexTable};
 use crate::gc::{GcPolicy, RootRegistry};
 use crate::node::{Edge, Node, NodeId, TERMINAL};
+use crate::order::VarOrder;
 use crate::stats::ManagerStats;
 use crate::table::UniqueTable;
 
@@ -51,9 +52,20 @@ impl std::fmt::Display for ArenaExhausted {
 ///
 /// 1. **Reduction** — no node has identical low and high edges, and the zero
 ///    tensor is always the canonical zero edge;
-/// 2. **Normalisation** — among each node's outgoing weights, the one with
-///    the largest magnitude (the low one on ties) is exactly 1, with the
-///    common factor pushed to the incoming edge.
+/// 2. **Normalisation** — the largest-magnitude outgoing weight of each
+///    node (ties broken towards the low branch) is exactly 1, with the
+///    common factor pushed to the incoming edge. The pivot choice is
+///    deliberately **scale-equivariant** — `pivot(λa, λb) = λ·pivot(a, b)`
+///    — because every operation factors weights out before recursing
+///    (cofactors multiply the root weight down, addition normalises by
+///    its first operand's weight); a pivot that ranked absolute values
+///    (say by `(|c|, re, im)`) would canonicalise the same tensor
+///    differently along different construction routes. The flip side is
+///    that on an exact magnitude tie the choice depends on which branch
+///    holds which value, so re-grouping cofactors — which is what a
+///    level swap does — can land on the other ex-aequo value; see
+///    [`TddManager::swap_adjacent_levels`] for how reordering accounts
+///    for that.
 ///
 /// Nodes live in a **backed Robin Hood unique table** (see
 /// the private `table` module) under generational handles, reclaimed by
@@ -90,6 +102,16 @@ pub struct TddManager {
     pub(crate) gc_floor: usize,
     /// Nodes interned since the last collection (policy interval counter).
     pub(crate) allocs_since_gc: u64,
+    /// The global variable order (natural until an order is installed or
+    /// the first sifting pass materialises one). Every structural
+    /// comparison in the manager goes through this map.
+    pub(crate) order: VarOrder,
+    /// Live nodes right after the last sifting pass (growth baseline for
+    /// [`ReorderPolicy::OnGrowth`](crate::ReorderPolicy)).
+    pub(crate) reorder_baseline: usize,
+    /// Safepoints polled since the last sifting pass (trigger counter for
+    /// [`ReorderPolicy::EveryNSafepoints`](crate::ReorderPolicy)).
+    pub(crate) safepoints_since_reorder: u64,
 }
 
 impl Default for TddManager {
@@ -119,6 +141,9 @@ impl TddManager {
             gc_policy: None,
             gc_floor: 1,
             allocs_since_gc: 0,
+            order: VarOrder::default(),
+            reorder_baseline: 1,
+            safepoints_since_reorder: 0,
         }
     }
 
@@ -437,6 +462,23 @@ impl TddManager {
         self.unique.node(n).var
     }
 
+    /// The level of `v` in the global variable order (0 = top; the
+    /// terminal sentinel maps below every real variable). Under the
+    /// default natural order this is the raw variable value; once a
+    /// custom order is installed, unseen variables are registered lazily
+    /// next to their qubit's block (see the `order` module docs).
+    #[inline]
+    pub fn level_of(&mut self, v: Var) -> u32 {
+        self.order.level_of(v)
+    }
+
+    /// The level of the variable labelling node `n` (terminal: deepest).
+    #[inline]
+    pub(crate) fn level_of_node(&mut self, n: NodeId) -> u32 {
+        let v = self.var_of(n);
+        self.order.level_of(v)
+    }
+
     /// The variable labelling the root node of `e`, or `None` for scalars.
     pub fn top_var(&self, e: Edge) -> Option<Var> {
         if e.is_terminal() {
@@ -455,14 +497,18 @@ impl TddManager {
     ///
     /// If the root of `e` is labelled `x`, these are its successors with the
     /// root weight multiplied in; if the diagram does not depend on `x`
-    /// (root variable greater than `x`), both cofactors are `e` itself.
+    /// (root level below `x`'s), both cofactors are `e` itself.
     ///
     /// # Panics
     ///
-    /// Panics (in debug) if the root variable is *smaller* than `x`:
-    /// cofactors must be taken in variable order.
+    /// Panics (in debug) if the root variable sits *above* `x` in the
+    /// global order: cofactors must be taken in order.
     pub fn cofactors(&mut self, e: Edge, x: Var) -> (Edge, Edge) {
-        if e.is_terminal() || self.var_of(e.node) > x {
+        if e.is_terminal() {
+            return (e, e);
+        }
+        let lx = self.level_of(x);
+        if self.level_of_node(e.node) > lx {
             return (e, e);
         }
         debug_assert_eq!(self.var_of(e.node), x, "cofactor below root variable");
@@ -495,22 +541,33 @@ impl TddManager {
     ///
     /// # Panics
     ///
-    /// Panics (in debug) if a successor's root variable does not come after
+    /// Panics (in debug) if a successor's root variable does not sit below
     /// `var` in the global order.
     pub fn make_node(&mut self, var: Var, low: Edge, high: Edge) -> Edge {
+        // Registering `var` here (not just in debug asserts) keeps lazy
+        // level assignment identical across debug and release builds.
+        let var_level = self.level_of(var);
         debug_assert!(
-            low.is_terminal() || self.var_of(low.node) > var,
+            low.is_terminal() || self.level_of_node(low.node) > var_level,
             "low successor out of order"
         );
         debug_assert!(
-            high.is_terminal() || self.var_of(high.node) > var,
+            high.is_terminal() || self.level_of_node(high.node) > var_level,
             "high successor out of order"
         );
+        let _ = var_level;
         // Redundant node: both branches denote the same tensor.
         if low == high {
             return low;
         }
-        // Normalise: the largest-magnitude outgoing weight becomes 1.
+        // Normalise: the largest-magnitude outgoing weight becomes 1,
+        // breaking exact ties towards the low branch. The rule must be
+        // scale-equivariant (pivot(λa, λb) = λ·pivot(a, b)) because ops
+        // factor weights out before recursing — see invariant 2 on the
+        // struct docs. No scale-equivariant rule can also be a pure
+        // function of the value set ({a, −a} is a fixed point of
+        // negation), so on ties the level-swap primitive may re-group
+        // onto the other value; it counts those in `reorder_residuals`.
         let (wl, wh) = (low.weight, high.weight);
         let pivot = if wl.is_zero() {
             wh
@@ -603,16 +660,22 @@ impl TddManager {
         }
     }
 
-    /// The identity tensor `delta(x, y)` over two variables.
+    /// The identity tensor `delta(x, y)` over two variables (symmetric in
+    /// `x` and `y`; the node structure follows the global order).
     ///
     /// # Panics
     ///
-    /// Panics if `x >= y` (variables must respect the global order).
+    /// Panics if `x == y`.
     pub fn identity(&mut self, x: Var, y: Var) -> Edge {
-        assert!(x < y, "identity requires x < y in the variable order");
-        let y0 = self.selector(y, false);
-        let y1 = self.selector(y, true);
-        self.make_node(x, y0, y1)
+        assert!(x != y, "identity requires two distinct variables");
+        let (top, bot) = if self.level_of(x) < self.level_of(y) {
+            (x, y)
+        } else {
+            (y, x)
+        };
+        let b0 = self.selector(bot, false);
+        let b1 = self.selector(bot, true);
+        self.make_node(top, b0, b1)
     }
 
     /// The computational-basis ket `|bits>` over the given variables.
@@ -626,12 +689,16 @@ impl TddManager {
             vars.windows(2).all(|w| w[0] < w[1]),
             "variables must be ascending"
         );
+        // Build from the deepest level up so every successor sits below
+        // its node in the global order (which may differ from the natural
+        // order the input convention uses).
+        let by_level = self.level_sorted_indices(vars);
         let mut e = Edge::ONE;
-        for (&v, &b) in vars.iter().zip(bits.iter()).rev() {
-            e = if b {
-                self.make_node(v, Edge::ZERO, e)
+        for &i in by_level.iter().rev() {
+            e = if bits[i] {
+                self.make_node(vars[i], Edge::ZERO, e)
             } else {
-                self.make_node(v, e, Edge::ZERO)
+                self.make_node(vars[i], e, Edge::ZERO)
             };
         }
         e
@@ -649,15 +716,28 @@ impl TddManager {
             vars.windows(2).all(|w| w[0] < w[1]),
             "variables must be ascending"
         );
+        let by_level = self.level_sorted_indices(vars);
         let mut e = Edge::ONE;
-        for (&v, &(a, b)) in vars.iter().zip(amps.iter()).rev() {
+        for &i in by_level.iter().rev() {
+            let (a, b) = amps[i];
             let wa = self.intern(a);
             let wb = self.intern(b);
             let lo = self.mul_weight(e, wa);
             let hi = self.mul_weight(e, wb);
-            e = self.make_node(v, lo, hi);
+            e = self.make_node(vars[i], lo, hi);
         }
         e
+    }
+
+    /// Indices of `vars` sorted by global level, shallowest first.
+    fn level_sorted_indices(&mut self, vars: &[Var]) -> Vec<usize> {
+        let mut keyed: Vec<(u32, usize)> = vars
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (self.level_of(v), i))
+            .collect();
+        keyed.sort_unstable();
+        keyed.into_iter().map(|(_, i)| i).collect()
     }
 
     // ------------------------------------------------------------------
@@ -689,6 +769,10 @@ impl TddManager {
     /// Builds a TDD from a dense tensor.
     pub fn from_tensor(&mut self, t: &Tensor) -> Edge {
         let vars: Vec<Var> = t.vars().iter().collect();
+        // Split on variables top-down in the *global* order so the
+        // resulting diagram is well-formed under any installed order.
+        let by_level = self.level_sorted_indices(&vars);
+        let vars: Vec<Var> = by_level.into_iter().map(|i| vars[i]).collect();
         self.build_tensor_rec(t, &vars)
     }
 
@@ -786,33 +870,31 @@ impl TddManager {
     /// # Panics
     ///
     /// Panics if the diagram depends on a variable missing from `vars`.
-    pub fn first_nonzero_assignment(&self, e: Edge, vars: &[Var]) -> Option<Vec<bool>> {
+    pub fn first_nonzero_assignment(&mut self, e: Edge, vars: &[Var]) -> Option<Vec<bool>> {
         if e.is_zero() {
             return None;
         }
+        // Decide one variable at a time in the *given* order via slices,
+        // so the result is the lexicographic minimum with respect to
+        // `vars` regardless of where each variable sits in the global
+        // level order. A non-zero diagram always has a non-zero branch on
+        // every variable, so `cur` never becomes zero.
         let mut out = vec![false; vars.len()];
         let mut cur = e;
-        let mut i = 0usize;
-        while !cur.is_terminal() {
-            let n = self.node(cur.node);
-            while i < vars.len() && vars[i] < n.var {
-                i += 1; // skipped variable: don't-care, keep false
-            }
-            assert!(
-                i < vars.len() && vars[i] == n.var,
-                "diagram depends on {} not listed in vars",
-                n.var
-            );
-            // Normalisation guarantees at least one non-zero branch.
-            if n.low.is_zero() {
+        for (i, &v) in vars.iter().enumerate() {
+            let lo = self.slice(cur, v, false);
+            if lo.is_zero() {
                 out[i] = true;
-                cur = n.high;
+                cur = self.slice(cur, v, true);
             } else {
-                out[i] = false;
-                cur = n.low;
+                cur = lo;
             }
-            i += 1;
         }
+        assert!(
+            cur.is_terminal(),
+            "diagram depends on a variable not listed in vars"
+        );
+        debug_assert!(!cur.is_zero());
         Some(out)
     }
 }

@@ -60,7 +60,13 @@ impl TddManager {
         }
         let va = self.var_of(a.node);
         let vb = self.var_of(b.node);
-        let x = va.min(vb);
+        // Branch on the variable whose level is shallower in the global
+        // order (the terminal sentinel maps below everything).
+        let x = if self.level_of(va) <= self.level_of(vb) {
+            va
+        } else {
+            vb
+        };
         let (a0, a1) = self.cofactors(ka, x);
         let (b0, b1) = self.cofactors(kb, x);
         let lo = self.add_rec(a0, b0);
@@ -108,6 +114,18 @@ impl TddManager {
             "summation variables must be strictly ascending"
         );
         self.stats.cont_calls += 1;
+        // The recursion consumes summation variables top-down in the
+        // *global level* order, which can differ from the natural order
+        // the public convention uses once a custom order is installed.
+        let sorted;
+        let sum: &[Var] = if self.order.is_natural() {
+            sum
+        } else {
+            let mut keyed: Vec<(u32, Var)> = sum.iter().map(|&v| (self.level_of(v), v)).collect();
+            keyed.sort_unstable();
+            sorted = keyed.into_iter().map(|(_, v)| v).collect::<Vec<Var>>();
+            &sorted
+        };
         // Intern every suffix of the summation list: the manager-owned
         // contraction cache keys on `(nodes, remaining-suffix id)`, which
         // is stable across top-level calls — entries written while
@@ -142,10 +160,11 @@ impl TddManager {
         let kb = b.with_weight(CIdx::ONE);
         let va = self.var_of(a.node);
         let vb = self.var_of(b.node);
-        let x = va.min(vb);
-        let r = if si < sum.len() && sum[si] <= x {
+        let (la, lb) = (self.level_of(va), self.level_of(vb));
+        let (x, lx) = if la <= lb { (va, la) } else { (vb, lb) };
+        let r = if si < sum.len() && self.level_of(sum[si]) <= lx {
             let sv = sum[si];
-            if sv < x {
+            if self.level_of(sv) < lx {
                 // Summation variable absent from both operands: factor 2.
                 let inner = self.cont_rec(ka, kb, sum, si + 1, suffixes);
                 self.scale(inner, Cplx::real(2.0))
@@ -182,7 +201,11 @@ impl TddManager {
     }
 
     fn slice_rec(&mut self, e: Edge, var: Var, value: bool) -> Edge {
-        if e.is_zero() || e.is_terminal() || self.var_of(e.node) > var {
+        if e.is_zero() || e.is_terminal() {
+            return e;
+        }
+        let lv = self.level_of(var);
+        if self.level_of_node(e.node) > lv {
             return e;
         }
         let key = (e.node, var, value);
@@ -238,12 +261,15 @@ impl TddManager {
 
     /// Renames variables according to `map` (old -> new), which must be
     /// **monotone**: if `u < v` then `map(u) < map(v)` for all variables the
-    /// diagram depends on (identity outside the map). Monotone renamings
-    /// preserve canonical structure, so this is a relabelling pass.
+    /// diagram depends on (identity outside the map). Under the natural
+    /// variable order a monotone renaming preserves canonical structure,
+    /// so this is a relabelling pass; under a custom level order the
+    /// renamed variables may land anywhere, and the diagram is rebuilt
+    /// through selector products instead (same canonical result).
     ///
     /// # Panics
     ///
-    /// Panics (in debug) if the renaming violates the variable order.
+    /// Panics (in debug) if the renaming violates the natural order.
     pub fn rename_monotone(&mut self, e: Edge, map: &BTreeMap<Var, Var>) -> Edge {
         debug_assert!(
             map.iter()
@@ -257,7 +283,11 @@ impl TddManager {
         // canonical form for interning.
         let pairs: Vec<(Var, Var)> = map.iter().map(|(&o, &n)| (o, n)).collect();
         let map_id = self.caches.renames.intern(pairs);
-        self.rename_rec(e, map, map_id)
+        if self.order.is_natural() {
+            self.rename_rec(e, map, map_id)
+        } else {
+            self.rename_rebuild_rec(e, map, map_id)
+        }
     }
 
     fn rename_rec(
@@ -278,6 +308,38 @@ impl TddManager {
         let hi = self.rename_rec(n.high, map, map_id);
         let nv = map.get(&n.var).copied().unwrap_or(n.var);
         let r = self.make_node(nv, lo, hi);
+        self.caches.rename.insert(key, r);
+        self.mul_weight(r, e.weight)
+    }
+
+    /// Rename fallback for custom level orders: the new variable may sit
+    /// at any level relative to the (already renamed) successors, so the
+    /// node is recombined as `<nv=0> * lo + <nv=1> * hi` — selector
+    /// products place `nv` wherever the current order requires. Shares the
+    /// rename cache with the relabelling path: both produce the canonical
+    /// diagram of the renamed tensor.
+    fn rename_rebuild_rec(
+        &mut self,
+        e: Edge,
+        map: &BTreeMap<Var, Var>,
+        map_id: crate::cache::RenameId,
+    ) -> Edge {
+        if e.is_zero() || e.is_terminal() {
+            return e;
+        }
+        let key = (e.node, map_id);
+        if let Some(r) = self.cache_get_rename(&key) {
+            return self.mul_weight(r, e.weight);
+        }
+        let n = *self.node(e.node);
+        let lo = self.rename_rebuild_rec(n.low, map, map_id);
+        let hi = self.rename_rebuild_rec(n.high, map, map_id);
+        let nv = map.get(&n.var).copied().unwrap_or(n.var);
+        let s0 = self.selector(nv, false);
+        let s1 = self.selector(nv, true);
+        let p0 = self.contract(s0, lo, &[]);
+        let p1 = self.contract(s1, hi, &[]);
+        let r = self.add(p0, p1);
         self.caches.rename.insert(key, r);
         self.mul_weight(r, e.weight)
     }

@@ -1,0 +1,294 @@
+//! The variable-order indirection layer: `Var` → level.
+//!
+//! Every structural decision a TDD makes — which variable labels a node,
+//! which successor a cofactor picks, where a recursion branches — is taken
+//! relative to a **global variable order**. Historically that order was the
+//! natural `u32` order of [`Var`] itself, hard-coded into every comparison.
+//! This module makes the order a first-class, *mutable* property of the
+//! manager: a [`VarOrder`] maps each variable to a **level** (0 = top), and
+//! all structural comparisons go through it. Dynamic variable reordering
+//! (the adjacent-level swap and sifting passes in the manager) then only
+//! has to permute this map and rewrite the nodes at the two affected
+//! levels.
+//!
+//! # Natural mode
+//!
+//! A fresh order is **natural**: no map is materialised and the level of a
+//! variable is simply its raw value, so the indirection costs nothing until
+//! a custom order is installed. The first [`VarOrder::install`] (a static
+//! ordering heuristic at engine build) or [`VarOrder::materialize`] (the
+//! first sifting pass) switches to explicit levels.
+//!
+//! # Late registration
+//!
+//! Variables are created lazily by circuit tensorization — gate legs mint
+//! fresh wire positions mid-run — so an installed order must stay total
+//! over variables it has never seen. An unregistered variable is inserted
+//! next to its qubit's existing block (right after its natural predecessor
+//! on the same qubit, or right before its natural successor), falling back
+//! to its natural rank among all registered variables. This keeps
+//! qubit-local structure intact under heuristic orders while remaining
+//! fully deterministic.
+
+use qits_tensor::Var;
+
+use crate::hash::FastMap;
+use crate::node::TERMINAL_VAR;
+
+/// Level assigned to the terminal sentinel: below every real variable.
+pub(crate) const TERMINAL_LEVEL: u32 = u32::MAX;
+
+/// A total order on variables, either the natural `Var` order or an
+/// explicit level permutation (see the module docs).
+#[derive(Debug, Default)]
+pub(crate) struct VarOrder {
+    /// `None` until an order is installed or materialised; natural mode.
+    levels: Option<Levels>,
+}
+
+#[derive(Debug, Default)]
+struct Levels {
+    var2level: FastMap<Var, u32>,
+    level2var: Vec<Var>,
+}
+
+impl Levels {
+    /// Rewrites `var2level` for every level in `from..`.
+    fn renumber_from(&mut self, from: usize) {
+        for (l, &v) in self.level2var.iter().enumerate().skip(from) {
+            self.var2level.insert(v, l as u32);
+        }
+    }
+}
+
+impl VarOrder {
+    /// Whether the order is still the natural `Var` order with no map
+    /// materialised.
+    #[inline]
+    pub(crate) fn is_natural(&self) -> bool {
+        self.levels.is_none()
+    }
+
+    /// Number of registered variables (0 in natural mode).
+    pub(crate) fn len(&self) -> usize {
+        self.levels.as_ref().map_or(0, |l| l.level2var.len())
+    }
+
+    /// The level of `v`, registering it if the order has never seen it.
+    /// In natural mode this is the raw variable value.
+    #[inline]
+    pub(crate) fn level_of(&mut self, v: Var) -> u32 {
+        if v == TERMINAL_VAR {
+            return TERMINAL_LEVEL;
+        }
+        match &self.levels {
+            None => v.0,
+            Some(l) => match l.var2level.get(&v) {
+                Some(&lvl) => lvl,
+                None => self.register(v),
+            },
+        }
+    }
+
+    /// The level of `v` without registering it. Natural mode: raw value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an explicit order is active and `v` is unregistered.
+    pub(crate) fn peek_level(&self, v: Var) -> u32 {
+        if v == TERMINAL_VAR {
+            return TERMINAL_LEVEL;
+        }
+        match &self.levels {
+            None => v.0,
+            Some(l) => *l
+                .var2level
+                .get(&v)
+                .unwrap_or_else(|| panic!("variable {v} not registered in the order")),
+        }
+    }
+
+    /// The variable at `level`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in natural mode or if `level` is out of range.
+    pub(crate) fn var_at(&self, level: u32) -> Var {
+        self.levels
+            .as_ref()
+            .expect("no explicit order installed")
+            .level2var[level as usize]
+    }
+
+    /// The installed level → variable table, or `None` in natural mode.
+    pub(crate) fn as_slice(&self) -> Option<&[Var]> {
+        self.levels.as_ref().map(|l| l.level2var.as_slice())
+    }
+
+    /// Installs an explicit order: `order[i]` gets level `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate variables or on the terminal sentinel.
+    pub(crate) fn install(&mut self, order: &[Var]) {
+        let mut levels = Levels::default();
+        for (i, &v) in order.iter().enumerate() {
+            assert!(v != TERMINAL_VAR, "cannot order the terminal sentinel");
+            let prev = levels.var2level.insert(v, i as u32);
+            assert!(prev.is_none(), "duplicate variable {v} in order");
+            levels.level2var.push(v);
+        }
+        self.levels = Some(levels);
+    }
+
+    /// Switches from natural mode to explicit levels over `vars` (sorted
+    /// and deduplicated here), preserving the natural order. No-op if an
+    /// explicit order is already active.
+    pub(crate) fn materialize<I: IntoIterator<Item = Var>>(&mut self, vars: I) {
+        if self.levels.is_some() {
+            return;
+        }
+        let mut sorted: Vec<Var> = vars.into_iter().collect();
+        sorted.sort_unstable();
+        sorted.dedup();
+        self.install(&sorted);
+    }
+
+    /// Swaps the variables at `level` and `level + 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in natural mode or if `level + 1` is out of range.
+    pub(crate) fn swap_levels(&mut self, level: u32) {
+        let l = self.levels.as_mut().expect("no explicit order installed");
+        let (a, b) = (level as usize, level as usize + 1);
+        l.level2var.swap(a, b);
+        l.var2level.insert(l.level2var[a], level);
+        l.var2level.insert(l.level2var[b], level + 1);
+    }
+
+    /// Registers an unseen variable under an explicit order (see the
+    /// module docs for the placement rule) and returns its level.
+    fn register(&mut self, v: Var) -> u32 {
+        let l = self
+            .levels
+            .as_mut()
+            .expect("register only under an explicit order");
+        // Prefer staying inside the qubit's existing block: right after
+        // the natural predecessor on the same qubit, or right before the
+        // natural successor.
+        let mut pred: Option<(usize, Var)> = None;
+        let mut succ: Option<(usize, Var)> = None;
+        let mut natural_rank = 0usize;
+        for (lvl, &w) in l.level2var.iter().enumerate() {
+            if w < v {
+                natural_rank += 1;
+            }
+            if w.qubit() == v.qubit() {
+                if w < v && pred.is_none_or(|(_, pw)| w > pw) {
+                    pred = Some((lvl, w));
+                }
+                if w > v && succ.is_none_or(|(_, sw)| w < sw) {
+                    succ = Some((lvl, w));
+                }
+            }
+        }
+        let at = match (pred, succ) {
+            (Some((lvl, _)), _) => lvl + 1,
+            (None, Some((lvl, _))) => lvl,
+            (None, None) => natural_rank,
+        };
+        l.level2var.insert(at, v);
+        l.renumber_from(at);
+        at as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn natural_mode_levels_are_raw_values() {
+        let mut o = VarOrder::default();
+        assert!(o.is_natural());
+        assert_eq!(o.level_of(Var(7)), 7);
+        assert_eq!(o.level_of(TERMINAL_VAR), TERMINAL_LEVEL);
+        assert_eq!(o.peek_level(Var(3)), 3);
+        assert_eq!(o.len(), 0);
+    }
+
+    #[test]
+    fn install_assigns_levels_in_sequence() {
+        let mut o = VarOrder::default();
+        o.install(&[Var(5), Var(1), Var(9)]);
+        assert!(!o.is_natural());
+        assert_eq!(o.level_of(Var(5)), 0);
+        assert_eq!(o.level_of(Var(1)), 1);
+        assert_eq!(o.level_of(Var(9)), 2);
+        assert_eq!(o.var_at(0), Var(5));
+        assert_eq!(o.as_slice(), Some(&[Var(5), Var(1), Var(9)][..]));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate variable")]
+    fn install_rejects_duplicates() {
+        let mut o = VarOrder::default();
+        o.install(&[Var(1), Var(1)]);
+    }
+
+    #[test]
+    fn swap_levels_permutes_the_map() {
+        let mut o = VarOrder::default();
+        o.install(&[Var(0), Var(1), Var(2)]);
+        o.swap_levels(1);
+        assert_eq!(o.as_slice(), Some(&[Var(0), Var(2), Var(1)][..]));
+        assert_eq!(o.level_of(Var(2)), 1);
+        assert_eq!(o.level_of(Var(1)), 2);
+        o.swap_levels(1);
+        assert_eq!(o.level_of(Var(1)), 1);
+    }
+
+    #[test]
+    fn materialize_preserves_natural_order() {
+        let mut o = VarOrder::default();
+        o.materialize([Var(9), Var(2), Var(2), Var(5)]);
+        assert_eq!(o.as_slice(), Some(&[Var(2), Var(5), Var(9)][..]));
+        // Materialize again is a no-op.
+        o.materialize([Var(100)]);
+        assert_eq!(o.len(), 3);
+    }
+
+    #[test]
+    fn late_registration_lands_next_to_its_qubit_block() {
+        let mut o = VarOrder::default();
+        // Qubit order 1, 0 with two wires each.
+        let (k0, r0) = (Var::wire(0, 0), Var::wire(0, 1));
+        let (k1, r1) = (Var::wire(1, 0), Var::wire(1, 1));
+        o.install(&[k1, r1, k0, r0]);
+        // A later wire of qubit 1 must join qubit 1's block, not sort
+        // after qubit 0 naturally.
+        let w = Var::wire(1, 5);
+        assert_eq!(o.level_of(w), 2, "after its same-qubit predecessor");
+        assert_eq!(o.as_slice(), Some(&[k1, r1, w, k0, r0][..]));
+        // An earlier wire of qubit 0 slots in before its successor.
+        let z = Var::wire(0, 0);
+        assert_eq!(o.level_of(z), 3, "already registered: unchanged");
+        // Registration is idempotent.
+        assert_eq!(o.level_of(w), 2);
+        assert_eq!(o.len(), 5);
+    }
+
+    #[test]
+    fn late_registration_falls_back_to_natural_rank() {
+        let mut o = VarOrder::default();
+        o.install(&[Var::wire(2, 0), Var::wire(0, 0)]);
+        // Qubit 1 has no block yet: natural rank puts it after qubit 0's
+        // variables and before qubit 2's — one variable is smaller.
+        assert_eq!(o.level_of(Var::wire(1, 0)), 1);
+        assert_eq!(
+            o.as_slice(),
+            Some(&[Var::wire(2, 0), Var::wire(1, 0), Var::wire(0, 0)][..])
+        );
+    }
+}

@@ -1,0 +1,536 @@
+//! Dynamic variable reordering: the adjacent-level swap primitive and
+//! Rudell-style sifting.
+//!
+//! # Why an *in-place* swap is possible at all
+//!
+//! A TDD's denotation is read off its structure alone — [`crate::TddManager::eval`]
+//! walks edges and multiplies weights, never consulting the variable
+//! order. So reordering does not need to touch any handle held outside
+//! the manager: it is enough to rewrite the *contents* of the affected
+//! slots so that every stored node is again canonical under the new
+//! order, while each slot keeps denoting the same tensor. Handles
+//! (slot index + generation) survive unchanged, which is what lets the
+//! GC schedule a sifting pass in the middle of a fixpoint computation
+//! without any relocation protocol.
+//!
+//! Swapping the variables `x` (level ℓ) and `y` (level ℓ+1) only
+//! affects nodes labelled `x` that have a `y`-labelled successor:
+//!
+//! * `x`-nodes with no `y`-successor keep their content — their
+//!   children sit strictly below both levels, so the content is still
+//!   ordered and still canonical (weights are untouched).
+//! * `y`-nodes keep their content — their children sat strictly below
+//!   level ℓ+1 in the old order and none of them is labelled `x`, so
+//!   they still sit strictly below `y`'s new level ℓ.
+//! * An `x`-node with a `y`-successor is rewritten through its four
+//!   cofactors `F(x=a, y=b)` into a `y`-labelled node over two fresh
+//!   `x`-nodes — the textbook BDD swap, plus weight bookkeeping.
+//!
+//! The weight bookkeeping is where TDDs differ from BDDs. The rewritten
+//! content is stored **verbatim** — `(1−y)·lo + y·hi` is exactly the
+//! slot's old tensor by construction, so denotation is preserved
+//! unconditionally. Canonicity is the subtle part: the recomputed
+//! leading weight is 1 whenever the magnitude maximum over the four
+//! cofactor products is attained unambiguously, because the leading
+//! weight of a canonical diagram is that maximum and a maximum commutes
+//! with re-grouping the cofactor tree. On an **exact magnitude tie**,
+//! though, [`crate::TddManager::make_node`]'s pivot falls back to branch
+//! position (it must — a scale-equivariant pivot cannot be a pure
+//! function of the value set, and ops rely on equivariance), and the
+//! re-grouped tie can land on the other ex-aequo value. Such a node
+//! stays correct but sits in a non-canonical normal form until it is
+//! next rebuilt; every occurrence is counted in
+//! [`crate::ManagerStats::reorder_residuals`]. Swapping the same pair
+//! back restores the original content bit-for-bit in exact arithmetic:
+//! the inverse rebuild re-groups the cofactors the original way, and
+//! equivariance makes each branch's pivot collapse back to the original
+//! branch weight.
+//!
+//! Weight interning is tolerance-based, and that bends both guarantees
+//! at the margin. Two *distinct* canonical nodes can rewrite — through
+//! cofactor products that snap to the same interned weights — into
+//! bit-identical contents; the second one is then left **shadowed**
+//! (live and readable through its handles, but not indexed — see
+//! [`crate::ManagerStats::reorder_shadowed`]), which costs a little
+//! sharing and never correctness. And a path whose product snapped onto
+//! a tolerance-close twin comes back within tolerance of — rather than
+//! identical to — its original weights when swapped back.
+//!
+//! # Sifting
+//!
+//! [`TddManager::sift_var`] moves one variable through every level and
+//! settles it at the size-minimal one (Rudell's algorithm), abandoning a
+//! direction once the live set grows past a configurable factor of its
+//! starting size. [`TddManager::sift_all`] sifts every populated
+//! variable, densest first — the variables touching the most nodes have
+//! the most to give — and collects between variables so swap garbage
+//! does not distort the size measurements. The GC couples this to its
+//! safepoint schedule (see [`crate::ReorderPolicy`]): collect first,
+//! then sift while the live set is minimal.
+
+use qits_tensor::Var;
+
+use crate::gc::EdgeHolder;
+use crate::hash::FastMap;
+use crate::manager::TddManager;
+use crate::node::{Edge, Node};
+
+impl TddManager {
+    /// Installs an explicit variable order (top of the diagram first).
+    ///
+    /// Variables not listed are still usable: they are registered lazily
+    /// next to their qubit's block the first time they appear (see the
+    /// `order` module). Installing is only allowed while the node store
+    /// is empty — existing diagrams are canonical under the *current*
+    /// order, and silently reinterpreting them would corrupt every held
+    /// handle. Use [`TddManager::sift_all`] to change the order of a
+    /// populated manager.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any node exists, if `order` contains duplicates, or if
+    /// it names the terminal sentinel.
+    pub fn install_order(&mut self, order: &[Var]) {
+        assert_eq!(
+            self.unique.occupied(),
+            0,
+            "install_order requires an empty node store"
+        );
+        self.order.install(order);
+    }
+
+    /// The current explicit variable order (top first), or `None` while
+    /// the manager is still on the natural order.
+    pub fn var_order(&self) -> Option<&[Var]> {
+        self.order.as_slice()
+    }
+
+    /// Exchanges the variables at `level` and `level + 1`, rewriting the
+    /// affected nodes in place. Every handle held on the manager remains
+    /// valid and keeps denoting the same tensor.
+    ///
+    /// On the first call under the natural order, the order is
+    /// materialised from the variables currently in the store (plus any
+    /// lazily registered earlier), so `level` addresses a position in
+    /// [`TddManager::var_order`].
+    ///
+    /// Operation caches are cleared: cached results stay *sound* across
+    /// a swap (handles keep their denotation) but may no longer be
+    /// canonical under the new order, and a stale-shaped hit would
+    /// defeat hash-consed equality.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level + 1` is not a valid level or if an incremental
+    /// sweep is pending (finish the collection first — the swap must not
+    /// observe half-swept slots).
+    pub fn swap_adjacent_levels(&mut self, level: u32) {
+        assert!(
+            !self.unique.sweep_in_progress(),
+            "swap_adjacent_levels during an unfinished sweep"
+        );
+        self.ensure_explicit_order();
+        let n = self.order.len() as u32;
+        assert!(
+            level.checked_add(1).is_some_and(|l| l < n),
+            "swap level {level} out of range for {n} ordered variables"
+        );
+        self.swap_adjacent(level);
+        self.caches.clear();
+    }
+
+    /// Sifts `var` to its locally node-count-optimal level (Rudell):
+    /// swap it down to the bottom, back up to the top, then settle at
+    /// the best level seen. A direction is abandoned once the live node
+    /// count exceeds `growth_cap` times its starting value. `extra`
+    /// edges count as live alongside the root registry.
+    ///
+    /// Returns `(nodes_before, nodes_after)` live counts. Caches are
+    /// cleared (see [`TddManager::swap_adjacent_levels`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an incremental sweep is pending.
+    pub fn sift_var(&mut self, var: Var, growth_cap: f64, extra: &[Edge]) -> (usize, usize) {
+        assert!(
+            !self.unique.sweep_in_progress(),
+            "sift_var during an unfinished sweep"
+        );
+        self.ensure_explicit_order();
+        // Sifting an unseen variable is a no-op, not a registration.
+        if self.order.as_slice().is_none_or(|s| !s.contains(&var)) {
+            let live = self.live_node_count(extra);
+            return (live, live);
+        }
+        let before = self.live_node_count(extra);
+        self.sift_one(var, growth_cap, extra, before);
+        self.caches.clear();
+        (before, self.live_node_count(extra))
+    }
+
+    /// One full sifting pass: every populated variable is sifted in
+    /// descending order of node population, with a retaining collection
+    /// between variables so swap garbage does not distort the size
+    /// measurements. `holders` are the live-set sources, exactly as for
+    /// [`TddManager::collect_retaining`].
+    ///
+    /// This is what the GC's [`crate::ReorderPolicy`] schedule runs at a
+    /// safepoint, right after a full collection. Caches are cleared.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an incremental sweep is pending.
+    pub fn sift_all(&mut self, holders: &[&dyn EdgeHolder], growth_cap: f64) {
+        assert!(
+            !self.unique.sweep_in_progress(),
+            "sift_all during an unfinished sweep"
+        );
+        let mut extra: Vec<Edge> = Vec::new();
+        for h in holders {
+            h.gc_edges(&mut |e| extra.push(e));
+        }
+        let before = self.live_node_count(&extra);
+        self.stats.nodes_before_reorder = before;
+        if self.unique.occupied() > 0 {
+            self.ensure_explicit_order();
+            // Densest variable first: it touches the most nodes, so it
+            // has the most reduction to offer and unlocks moves for the
+            // rest.
+            let mut population: FastMap<Var, u64> = FastMap::default();
+            self.unique.for_each_live_slot(|_, n| {
+                *population.entry(n.var).or_insert(0) += 1;
+            });
+            let mut by_density: Vec<(u64, Var)> =
+                population.into_iter().map(|(v, c)| (c, v)).collect();
+            by_density.sort_unstable_by(|a, b| b.cmp(a));
+            for (_, var) in by_density {
+                let start = self.live_node_count(&extra);
+                self.sift_one(var, growth_cap, &extra, start);
+                self.collect_retaining(holders);
+            }
+        }
+        self.stats.nodes_after_reorder = self.live_node_count(&extra);
+        self.stats.sift_passes += 1;
+        self.caches.clear();
+    }
+
+    /// Materialises an explicit order from everything seen so far, so
+    /// levels become addressable positions. No-op once explicit.
+    fn ensure_explicit_order(&mut self) {
+        if !self.order.is_natural() {
+            return;
+        }
+        let mut vars = Vec::new();
+        self.unique.for_each_live_slot(|_, n| vars.push(n.var));
+        self.order.materialize(vars);
+    }
+
+    /// Rudell's sift of one variable, settling at the best level seen.
+    /// `start_size` is the live count at entry (already measured by the
+    /// caller). Does not touch caches — callers do.
+    fn sift_one(&mut self, var: Var, growth_cap: f64, extra: &[Edge], start_size: usize) {
+        let n = self.order.len() as u32;
+        if n < 2 {
+            return;
+        }
+        let start = self.order.peek_level(var);
+        let cap = (start_size as f64 * growth_cap.max(1.0)).ceil() as usize;
+        let mut best = (start_size, start);
+        let mut cur = start;
+        // Down to the bottom…
+        while cur + 1 < n {
+            self.swap_adjacent(cur);
+            cur += 1;
+            let size = self.live_node_count(extra);
+            if size < best.0 {
+                best = (size, cur);
+            }
+            if size > cap {
+                break;
+            }
+        }
+        // …back up through the start to the top…
+        while cur > 0 {
+            self.swap_adjacent(cur - 1);
+            cur -= 1;
+            let size = self.live_node_count(extra);
+            if size < best.0 {
+                best = (size, cur);
+            }
+            if size > cap && cur < best.1 {
+                break;
+            }
+        }
+        // …and settle at the winner.
+        while cur < best.1 {
+            self.swap_adjacent(cur);
+            cur += 1;
+        }
+        while cur > best.1 {
+            self.swap_adjacent(cur - 1);
+            cur -= 1;
+        }
+        debug_assert_eq!(self.order.peek_level(var), best.1);
+    }
+
+    /// The primitive: exchange levels `level` and `level + 1` in the
+    /// order map and rewrite every node the exchange de-canonicalises.
+    ///
+    /// Requires an explicit order and a valid `level` (callers check).
+    pub(crate) fn swap_adjacent(&mut self, level: u32) {
+        let x = self.order.var_at(level);
+        let y = self.order.var_at(level + 1);
+        // Only x-labelled nodes with a y-labelled successor change
+        // content; snapshot them before any rewriting. (Label tests are
+        // order-independent, so snapshotting before or after the order
+        // flip is equivalent.)
+        let mut queue = Vec::new();
+        for slot in self.unique.live_slots_with_var(x) {
+            let node = self.unique.node_at_slot(slot);
+            let low_y = !node.low.node.is_terminal() && self.var_of(node.low.node) == y;
+            let high_y = !node.high.node.is_terminal() && self.var_of(node.high.node) == y;
+            if low_y || high_y {
+                queue.push(slot);
+            }
+        }
+        self.order.swap_levels(level);
+        for slot in queue {
+            let old = self.unique.node_at_slot(slot);
+            // Four cofactors F(x=a, y=b). A branch that skips y yields
+            // itself twice (cofactors handles both cases; y's level is
+            // already ℓ, above every branch root).
+            let (f00, f01) = self.cofactors(old.low, y);
+            let (f10, f11) = self.cofactors(old.high, y);
+            // Rebuild under the new order: y on top of two x-nodes.
+            // make_node only creates x-labelled nodes whose successors
+            // sit below both levels, so it can never collide with a
+            // queued (not yet rewritten) slot — those all hold a
+            // y-labelled successor.
+            let lo = self.make_node(x, f00, f10);
+            let hi = self.make_node(x, f01, f11);
+            // The rewritten content is stored verbatim — denotation is
+            // exact either way; its leading weight is 1 except when an
+            // exact magnitude tie re-grouped onto the other value (see
+            // the module docs), and `lo == hi` (a redundant node — only
+            // reachable when tolerance snapping identifies the two
+            // rebuilt branches) likewise stays correct but non-canonical
+            // until next rebuilt. Count both as residuals.
+            if lo == hi || !self.pivot_is_one(lo, hi) {
+                self.stats.reorder_residuals += 1;
+            }
+            // The index keys on content: unlink under the old content,
+            // rewrite, relink under the new. The relink can find an
+            // identical content already interned (tolerance snapping
+            // again); the slot is then left shadowed — see
+            // `UniqueTable::insert_index_entry`.
+            self.unique.remove_index_entry(slot);
+            self.unique.set_node_at_slot(
+                slot,
+                Node {
+                    var: y,
+                    low: lo,
+                    high: hi,
+                },
+            );
+            if !self.unique.insert_index_entry(slot) {
+                self.stats.reorder_shadowed += 1;
+            }
+        }
+        self.stats.swaps += 1;
+    }
+
+    /// Whether [`TddManager::make_node`]'s pivot over two branch weights
+    /// is exactly the interned one — the canonicity residual check of
+    /// the swap (must mirror the rule in `make_node`).
+    fn pivot_is_one(&self, lo: Edge, hi: Edge) -> bool {
+        use crate::cnum::CIdx;
+        let pivot = if lo.weight.is_zero() {
+            hi.weight
+        } else if hi.weight.is_zero() {
+            lo.weight
+        } else {
+            let (al, ah) = (
+                self.weight_value(lo.weight).abs(),
+                self.weight_value(hi.weight).abs(),
+            );
+            if al >= ah {
+                lo.weight
+            } else {
+                hi.weight
+            }
+        };
+        pivot == CIdx::ONE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use qits_num::Cplx;
+    use qits_tensor::{Tensor, Var};
+
+    use crate::manager::TddManager;
+    use crate::node::Edge;
+
+    fn sample_tensor(seed: u64) -> Tensor {
+        // Three binary indices, deterministic pseudo-random amplitudes.
+        let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+        };
+        let amps: Vec<Cplx> = (0..8).map(|_| Cplx::new(next(), next())).collect();
+        Tensor::new(vec![Var(0), Var(1), Var(2)], amps)
+    }
+
+    fn vars3() -> [Var; 3] {
+        [Var(0), Var(1), Var(2)]
+    }
+
+    #[test]
+    fn install_order_reorders_construction() {
+        let mut m = TddManager::new();
+        m.install_order(&[Var(2), Var(0), Var(1)]);
+        assert_eq!(m.var_order(), Some(&[Var(2), Var(0), Var(1)][..]));
+        let t = sample_tensor(1);
+        let e = m.from_tensor(&t);
+        assert!(m.to_tensor(e, &vars3()).approx_eq(&t));
+        assert_eq!(m.level_of(Var(2)), 0, "installed order governs levels");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty node store")]
+    fn install_order_rejects_populated_manager() {
+        let mut m = TddManager::new();
+        let _ = m.from_tensor(&sample_tensor(2));
+        m.install_order(&[Var(0), Var(1), Var(2)]);
+    }
+
+    #[test]
+    fn swap_preserves_denotation_and_handles() {
+        let mut m = TddManager::new();
+        let t = sample_tensor(3);
+        let e = m.from_tensor(&t);
+        let nodes_before = m.node_count(e);
+        m.swap_adjacent_levels(0);
+        assert_eq!(
+            m.var_order(),
+            Some(&[Var(1), Var(0), Var(2)][..]),
+            "order map must flip"
+        );
+        // Same handle, same tensor, under the flipped order.
+        assert!(m.to_tensor(e, &vars3()).approx_eq(&t));
+        m.swap_adjacent_levels(1);
+        m.swap_adjacent_levels(0);
+        assert!(m.to_tensor(e, &vars3()).approx_eq(&t));
+        let _ = nodes_before;
+    }
+
+    #[test]
+    fn swap_twice_restores_the_exact_diagram() {
+        let mut m = TddManager::new();
+        let t = sample_tensor(4);
+        let e = m.from_tensor(&t);
+        let snapshot: Vec<(Var, Edge, Edge)> = {
+            let n = m.node(e.node);
+            vec![(n.var, n.low, n.high)]
+        };
+        m.swap_adjacent_levels(1);
+        m.swap_adjacent_levels(1);
+        assert_eq!(m.var_order(), Some(&vars3()[..]), "order restored");
+        let n = m.node(e.node);
+        assert_eq!(
+            (n.var, n.low, n.high),
+            snapshot[0],
+            "the root node must be bit-identical after swap∘swap"
+        );
+    }
+
+    #[test]
+    fn swap_keeps_canonicity_fresh_builds_hit_rewritten_slots() {
+        let mut m = TddManager::new();
+        let t = sample_tensor(5);
+        let e = m.from_tensor(&t);
+        m.swap_adjacent_levels(0);
+        // Rebuilding the same tensor from scratch (from_tensor splits in
+        // the *global* order) must hash-cons onto the rewritten diagram,
+        // edge for edge.
+        let rebuilt = m.from_tensor(&t);
+        assert_eq!(e, rebuilt, "rewritten store must stay canonical");
+    }
+
+    #[test]
+    fn swap_counts_and_residuals() {
+        let mut m = TddManager::new();
+        let _e = m.from_tensor(&sample_tensor(6));
+        m.swap_adjacent_levels(0);
+        m.swap_adjacent_levels(1);
+        let s = m.stats();
+        assert_eq!(s.swaps, 2);
+        assert_eq!(
+            s.reorder_residuals, 0,
+            "total-order pivot leaves no residual"
+        );
+    }
+
+    #[test]
+    fn sift_var_settles_and_preserves_meaning() {
+        let mut m = TddManager::new();
+        let t = sample_tensor(7);
+        let e = m.from_tensor(&t);
+        let (before, after) = m.sift_var(Var(1), 1.5, &[e]);
+        assert!(after <= before, "sifting never settles above the start");
+        assert!(m.to_tensor(e, &vars3()).approx_eq(&t));
+    }
+
+    #[test]
+    fn sift_all_reduces_an_interleaving_sensitive_function() {
+        // f = (x0 ∧ x3) ∨ (x1 ∧ x4) ∨ (x2 ∧ x5): linear-size under the
+        // interleaved order x0 x3 x1 x4 x2 x5, exponential-ish under the
+        // blocked natural order — the classic DVO demonstration.
+        let mut m = TddManager::new();
+        let n = 6u32;
+        let mut f = Edge::ZERO;
+        for i in 0..3 {
+            let a = m.selector(Var(i), true);
+            let b = m.selector(Var(i + 3), true);
+            let pair = m.contract(a, b, &[]);
+            // OR via inclusion–exclusion on 0/1 indicators:
+            // f ∨ g = f + g − f·g.
+            let fg = m.contract(f, pair, &[]);
+            let neg = m.scale(fg, -Cplx::ONE);
+            let sum = m.add(f, pair);
+            f = m.add(sum, neg);
+        }
+        let root = m.protect(f);
+        let before = m.live_node_count(&[]);
+        m.sift_all(&[], 1.5);
+        let after = m.live_node_count(&[]);
+        assert!(
+            after < before,
+            "sifting must shrink the blocked order ({before} -> {after})"
+        );
+        let s = m.stats();
+        assert_eq!(s.sift_passes, 1);
+        assert!(s.swaps > 0);
+        assert_eq!(s.nodes_before_reorder, before);
+        assert_eq!(s.nodes_after_reorder, after);
+        // Meaning is untouched: spot-check all 64 assignments.
+        let vars: Vec<Var> = (0..n).map(Var).collect();
+        for bits in 0..64u32 {
+            let assignment: std::collections::BTreeMap<Var, bool> = vars
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| (v, bits >> i & 1 == 1))
+                .collect();
+            let expect = (0..3).any(|i| bits >> i & 1 == 1 && bits >> (i + 3) & 1 == 1);
+            let got = m.eval(f, &assignment);
+            assert!(
+                got.approx_eq(if expect { Cplx::ONE } else { Cplx::ZERO }),
+                "assignment {bits:06b}: got {got:?}"
+            );
+        }
+        m.unprotect(root);
+    }
+}

@@ -7,19 +7,24 @@ pub const PROBE_BUCKETS: usize = 16;
 
 /// Probe-length histogram of the backed unique table.
 ///
-/// Bucket `i < 15` counts lookups that probed exactly `i` cells past the
-/// home cell; bucket 15 counts everything longer. A fixed-size array keeps
-/// the whole stats block `Copy` (worker managers are merged by value into
-/// pool aggregates) while still giving p50/p99 summaries — the telemetry
-/// the Robin Hood displacement is there to keep flat.
+/// Buckets count **probe lengths**: a lookup that resolves at its home
+/// cell inspected one cell, so it lands in bucket 1 — bucket 0 is always
+/// empty, and bucket 15 counts lengths of 15 cells or more. (An earlier
+/// revision bucketed the *displacement* instead, which reported
+/// `probe_p50: 0` for tables where every lookup genuinely touches a
+/// cell.) A fixed-size array keeps the whole stats block `Copy` (worker
+/// managers are merged by value into pool aggregates) while still giving
+/// p50/p99 summaries — the telemetry the Robin Hood displacement is there
+/// to keep flat.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ProbeHistogram(pub [u64; PROBE_BUCKETS]);
 
 impl ProbeHistogram {
-    /// Records one lookup that probed `dist` cells past its home.
+    /// Records one lookup that probed `dist` cells past its home — a
+    /// probe length of `dist + 1`.
     #[inline]
     pub fn record(&mut self, dist: u32) {
-        let b = (dist as usize).min(PROBE_BUCKETS - 1);
+        let b = (dist as usize).saturating_add(1).min(PROBE_BUCKETS - 1);
         self.0[b] += 1;
     }
 
@@ -29,7 +34,8 @@ impl ProbeHistogram {
     }
 
     /// The smallest probe length covering fraction `p` of lookups (`0` when
-    /// nothing was recorded). Bucket 15 reads as "15 or more".
+    /// nothing was recorded; any recorded lookup has length ≥ 1). Bucket 15
+    /// reads as "15 cells or more".
     pub fn percentile(&self, p: f64) -> u32 {
         let total = self.total();
         if total == 0 {
@@ -125,6 +131,30 @@ pub struct ManagerStats {
     /// Full unique-index rehashes (growth/tombstone purges). Collections
     /// never rebuild the index, so this moves only with table load.
     pub unique_rebuilds: u64,
+    /// Adjacent-level swaps performed by dynamic variable reordering
+    /// (every swap, whether called directly or from inside a sift).
+    pub swaps: u64,
+    /// Sifting passes completed ([`crate::TddManager::sift_all`] calls,
+    /// scheduled or explicit).
+    pub sift_passes: u64,
+    /// Live nodes at the start of the most recent sifting pass (snapshot,
+    /// `0` before the first pass).
+    pub nodes_before_reorder: usize,
+    /// Live nodes at the end of the most recent sifting pass (snapshot).
+    pub nodes_after_reorder: usize,
+    /// Nodes rewritten by a level swap whose recomputed leading weight
+    /// was not exactly one: an exact magnitude tie re-grouped onto the
+    /// other ex-aequo value (see the `reorder` module docs). Denotation
+    /// is unaffected; the node sits in a non-canonical normal form until
+    /// next rebuilt.
+    pub reorder_residuals: u64,
+    /// Nodes left **shadowed** by a level swap: the rewrite produced
+    /// content bit-identical to an already-interned node (reachable only
+    /// under tolerance-based weight snapping), so the slot stayed live
+    /// and readable through its handles but was not re-indexed — lookups
+    /// hash-cons onto the interned twin. Costs sharing, never
+    /// correctness.
+    pub reorder_shadowed: u64,
     /// Top-level calls to `add`.
     pub add_calls: u64,
     /// Top-level calls to `contract`.
@@ -173,6 +203,12 @@ impl ManagerStats {
         self.generation_bumps += other.generation_bumps;
         self.stale_handle_hits += other.stale_handle_hits;
         self.unique_rebuilds += other.unique_rebuilds;
+        self.swaps += other.swaps;
+        self.sift_passes += other.sift_passes;
+        self.nodes_before_reorder += other.nodes_before_reorder;
+        self.nodes_after_reorder += other.nodes_after_reorder;
+        self.reorder_residuals += other.reorder_residuals;
+        self.reorder_shadowed += other.reorder_shadowed;
         self.add_calls += other.add_calls;
         self.cont_calls += other.cont_calls;
         self.slice_calls += other.slice_calls;
@@ -216,6 +252,17 @@ impl ManagerStats {
                 .stale_handle_hits
                 .saturating_sub(earlier.stale_handle_hits),
             unique_rebuilds: self.unique_rebuilds.saturating_sub(earlier.unique_rebuilds),
+            swaps: self.swaps.saturating_sub(earlier.swaps),
+            sift_passes: self.sift_passes.saturating_sub(earlier.sift_passes),
+            // Snapshots of the latest pass, not counters.
+            nodes_before_reorder: self.nodes_before_reorder,
+            nodes_after_reorder: self.nodes_after_reorder,
+            reorder_residuals: self
+                .reorder_residuals
+                .saturating_sub(earlier.reorder_residuals),
+            reorder_shadowed: self
+                .reorder_shadowed
+                .saturating_sub(earlier.reorder_shadowed),
             add_calls: self.add_calls.saturating_sub(earlier.add_calls),
             cont_calls: self.cont_calls.saturating_sub(earlier.cont_calls),
             slice_calls: self.slice_calls.saturating_sub(earlier.slice_calls),
@@ -320,14 +367,14 @@ mod tests {
     fn probe_histogram_percentiles() {
         let mut h = ProbeHistogram::default();
         assert_eq!(h.p50(), 0);
-        // 90 lookups at distance 0, 9 at distance 2, 1 at distance 7.
-        h.0[0] = 90;
-        h.0[2] = 9;
-        h.0[7] = 1;
+        // 90 lookups of length 1 (home hit), 9 of length 3, 1 of length 8.
+        h.0[1] = 90;
+        h.0[3] = 9;
+        h.0[8] = 1;
         assert_eq!(h.total(), 100);
-        assert_eq!(h.p50(), 0);
-        assert_eq!(h.p99(), 2);
-        assert_eq!(h.percentile(1.0), 7);
+        assert_eq!(h.p50(), 1);
+        assert_eq!(h.p99(), 3);
+        assert_eq!(h.percentile(1.0), 8);
         // Overflow bucket saturates.
         h.record(1000);
         assert_eq!(h.0[PROBE_BUCKETS - 1], 1);
@@ -336,9 +383,23 @@ mod tests {
         h.record(3);
         let moved = h.since(&snap);
         assert_eq!(moved.total(), 1);
-        assert_eq!(moved.0[3], 1);
+        assert_eq!(moved.0[4], 1, "distance 3 is a probe of length 4");
         let mut agg = snap;
         agg.absorb(&moved);
         assert_eq!(agg, h);
+    }
+
+    #[test]
+    fn probe_length_counts_home_hit_as_one() {
+        // Regression: home-cell hits used to land in bucket 0, reporting
+        // `probe_p50: 0` — as if the median lookup touched no cell at all.
+        let mut h = ProbeHistogram::default();
+        for _ in 0..10 {
+            h.record(0);
+        }
+        assert_eq!(h.0[0], 0, "bucket 0 is unreachable");
+        assert_eq!(h.0[1], 10);
+        assert_eq!(h.p50(), 1, "a home-cell hit is one probe, not zero");
+        assert_eq!(h.p99(), 1);
     }
 }

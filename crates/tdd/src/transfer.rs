@@ -9,6 +9,7 @@
 use crate::hash::FastMap;
 use crate::manager::TddManager;
 use crate::node::{Edge, NodeId};
+use qits_tensor::Var;
 
 impl TddManager {
     /// Deep-copies the diagram rooted at `e` from `src` into `self`.
@@ -16,13 +17,24 @@ impl TddManager {
     /// The returned edge is canonical in `self`; importing the same
     /// diagram twice returns identical edges (hash-consing). Weight
     /// values are re-interned, so tolerances of the two managers need not
-    /// match (the destination's discipline wins).
+    /// match (the destination's discipline wins). The two managers need
+    /// not agree on the variable order either: a diagram built (or
+    /// sifted) under one order is re-expressed under the destination's
+    /// order on the way in, so `import` stays total across dynamic
+    /// reordering.
     pub fn import(&mut self, src: &TddManager, e: Edge) -> Edge {
         let mut memo: FastMap<NodeId, Edge> = FastMap::default();
-        self.import_rec(src, e, &mut memo)
+        let mut branch_memo: FastMap<(Var, Edge, Edge), Edge> = FastMap::default();
+        self.import_rec(src, e, &mut memo, &mut branch_memo)
     }
 
-    fn import_rec(&mut self, src: &TddManager, e: Edge, memo: &mut FastMap<NodeId, Edge>) -> Edge {
+    fn import_rec(
+        &mut self,
+        src: &TddManager,
+        e: Edge,
+        memo: &mut FastMap<NodeId, Edge>,
+        branch_memo: &mut FastMap<(Var, Edge, Edge), Edge>,
+    ) -> Edge {
         if e.is_zero() {
             return Edge::ZERO;
         }
@@ -37,11 +49,60 @@ impl TddManager {
             return self.mul_weight(r, w);
         }
         let node = *src.node(e.node);
-        let lo = self.import_rec(src, node.low, memo);
-        let hi = self.import_rec(src, node.high, memo);
-        let r = self.make_node(node.var, lo, hi);
+        let lo = self.import_rec(src, node.low, memo, branch_memo);
+        let hi = self.import_rec(src, node.high, memo, branch_memo);
+        let r = self.branch(node.var, lo, hi, branch_memo);
         memo.insert(e.node, r);
         self.mul_weight(r, w)
+    }
+
+    /// Builds the diagram `var ? high : low` even when `var` sits *below*
+    /// the successor roots in this manager's order — the situation an
+    /// import from a source manager with a different (e.g. sifted) order
+    /// produces. While any successor's root is at or above `var`'s level,
+    /// expand both successors by cofactors on the topmost such variable
+    /// and recurse; once `var` genuinely tops both, this is exactly
+    /// [`TddManager::make_node`] (so the aligned-order import pays only
+    /// two level lookups per node).
+    fn branch(
+        &mut self,
+        var: Var,
+        low: Edge,
+        high: Edge,
+        memo: &mut FastMap<(Var, Edge, Edge), Edge>,
+    ) -> Edge {
+        let lv = self.level_of(var);
+        let ll = if low.is_terminal() {
+            u32::MAX
+        } else {
+            self.level_of_node(low.node)
+        };
+        let lh = if high.is_terminal() {
+            u32::MAX
+        } else {
+            self.level_of_node(high.node)
+        };
+        if ll.min(lh) > lv {
+            return self.make_node(var, low, high);
+        }
+        if let Some(&r) = memo.get(&(var, low, high)) {
+            return r;
+        }
+        // `y`: the topmost successor variable (strictly above `var`; a
+        // canonical source diagram never repeats `var` below itself, so
+        // equality is unreachable). Shannon-expand both successors on it.
+        let y = if ll <= lh {
+            self.var_of(low.node)
+        } else {
+            self.var_of(high.node)
+        };
+        let (l0, l1) = self.cofactors(low, y);
+        let (h0, h1) = self.cofactors(high, y);
+        let r0 = self.branch(var, l0, h0, memo);
+        let r1 = self.branch(var, l1, h1, memo);
+        let r = self.make_node(y, r0, r1);
+        memo.insert((var, low, high), r);
+        r
     }
 }
 
@@ -103,6 +164,41 @@ mod tests {
         let mut dst = TddManager::new();
         let imported = dst.import(&src, e);
         assert_eq!(src.node_count(e), dst.node_count(imported));
+    }
+
+    #[test]
+    fn import_across_mismatched_variable_orders() {
+        // Source lives under the reversed order (the shape a sifted
+        // manager hands back), destination under the natural order: the
+        // import must re-express the diagram, not copy its nesting.
+        let t = sample_tensor();
+        let mut src = TddManager::new();
+        src.install_order(&[Var(2), Var(1), Var(0)]);
+        let e = src.from_tensor(&t);
+        let mut dst = TddManager::new();
+        let imported = dst.import(&src, e);
+        assert!(dst
+            .to_tensor(imported, &[Var(0), Var(1), Var(2)])
+            .approx_eq(&t));
+        // Canonical in the destination: the reordered import and a
+        // natively built diagram hash-cons to the same edge.
+        assert_eq!(imported, dst.from_tensor(&t));
+    }
+
+    #[test]
+    fn import_from_a_sifted_source() {
+        // Same, but the source order changes *after* the diagram is
+        // built, via in-place level swaps.
+        let t = sample_tensor();
+        let mut src = TddManager::new();
+        let e = src.from_tensor(&t);
+        src.swap_adjacent_levels(0);
+        src.swap_adjacent_levels(1);
+        let mut dst = TddManager::new();
+        let imported = dst.import(&src, e);
+        assert!(dst
+            .to_tensor(imported, &[Var(0), Var(1), Var(2)])
+            .approx_eq(&t));
     }
 
     #[test]

@@ -1,0 +1,78 @@
+//! Dynamic variable reordering: static orders at build time, sifting at
+//! GC safepoints.
+//!
+//! Runs the same image computation three ways on each benchmark system:
+//!
+//! 1. the natural (interleaved, qubit-major) order — the default;
+//! 2. the position-major order (all kets above all rows — the classic
+//!    anti-pattern for operator diagrams, though small separable systems
+//!    can shrug it off), to show the order is a real degree of freedom;
+//! 3. position-major again, but with sifting scheduled at every GC
+//!    collection (`ReorderPolicy::EveryCollection`) — the manager digs
+//!    itself out of the bad order mid-run, in place, without
+//!    invalidating a single handle.
+//!
+//! The printed live-node counts tell the story: (2) changes the diagram
+//! sizes, (3) re-optimises them mid-run, and the swap/sift counters show
+//! the machinery that did it. Sifting is a *local* search over the order
+//! for the live set at each collection — on most systems it recovers
+//! (or beats) the natural order's footprint, but a system whose final
+//! structure prefers a different order than its mid-run intermediates
+//! (GHZ's cascade, for instance) can end elsewhere.
+//!
+//! Run with: `cargo run --example reordering`
+
+use qits::{EngineBuilder, ReorderPolicy, StaticOrder, Strategy};
+use qits_circuit::generators;
+use qits_tdd::GcPolicy;
+
+fn run(
+    spec: &qits_circuit::generators::QtsSpec,
+    order: StaticOrder,
+    reorder: ReorderPolicy,
+) -> (usize, u64, u64) {
+    let mut engine = EngineBuilder::new()
+        .strategy(Strategy::Contraction { k1: 2, k2: 2 })
+        .static_order(order)
+        .gc_policy(Some(GcPolicy::aggressive()))
+        .reorder(reorder)
+        .build_from_spec(spec)
+        .expect("well-formed benchmark system");
+    let (_, stats) = engine.image().expect("image computes");
+    (stats.live_nodes, stats.swaps, stats.sift_passes)
+}
+
+fn main() {
+    let specs = vec![
+        generators::grover(4),
+        generators::ghz(5),
+        generators::qrw(4, 0.125),
+    ];
+    println!(
+        "{:<10} {:>14} {:>14} {:>22}",
+        "System", "natural", "position-major", "position-major+sift"
+    );
+    for spec in specs {
+        let (nat, _, _) = run(&spec, StaticOrder::Natural, ReorderPolicy::Off);
+        let (bad, _, _) = run(&spec, StaticOrder::PositionMajor, ReorderPolicy::Off);
+        let (sifted, swaps, passes) = run(
+            &spec,
+            StaticOrder::PositionMajor,
+            ReorderPolicy::EveryCollection,
+        );
+        println!(
+            "{:<10} {:>9} live {:>9} live {:>9} live ({} swaps, {} passes)",
+            spec.name, nat, bad, sifted, swaps, passes
+        );
+        assert!(
+            passes > 0 && swaps > 0,
+            "the every-collection schedule must have sifted"
+        );
+    }
+    println!();
+    println!(
+        "Sifting rewrites node slots in place — every handle held across a \
+         pass keeps denoting the same tensor, so the schedule can fire in \
+         the middle of a fixpoint."
+    );
+}

@@ -58,14 +58,41 @@ fn arb_amp() -> impl proptest::strategy::Strategy<Value = (Cplx, Cplx)> {
     })
 }
 
-/// Field-wise bit-for-bit comparison, timing-carrying stats excluded.
+/// `QITS_REORDER=aggressive` (the CI matrix leg) schedules sifting at
+/// every collection. A pool worker keeps its engine — and therefore the
+/// variable order earlier jobs sifted into — across jobs, while the
+/// serial baseline stamps a fresh natural-order engine per job, so the
+/// two sides round their weight normalisations under different orders
+/// and bit-for-bit equality legitimately degrades to tolerance equality.
+fn forced_reorder() -> bool {
+    std::env::var("QITS_REORDER").is_ok_and(|v| v == "aggressive")
+}
+
+/// Field-wise bit-for-bit comparison, timing-carrying stats excluded
+/// (amplitudes drop to tolerance comparison under forced reordering —
+/// see [`forced_reorder`]).
 fn outputs_match(pool: &JobOutput, serial: &JobOutput) -> Result<(), String> {
     match (pool, serial) {
         (JobOutput::Image(p), JobOutput::Image(s)) => {
             if p.dim != s.dim {
                 return Err(format!("image dim {} != {}", p.dim, s.dim));
             }
-            if p.amplitudes != s.amplitudes {
+            if forced_reorder() {
+                let same_shape = p.amplitudes.len() == s.amplitudes.len()
+                    && p.amplitudes
+                        .iter()
+                        .zip(&s.amplitudes)
+                        .all(|(a, b)| a.len() == b.len());
+                let close = same_shape
+                    && p.amplitudes
+                        .iter()
+                        .flatten()
+                        .zip(s.amplitudes.iter().flatten())
+                        .all(|(a, b)| a.approx_eq_with(*b, 1e-9));
+                if !close {
+                    return Err("image amplitudes differ beyond tolerance".to_string());
+                }
+            } else if p.amplitudes != s.amplitudes {
                 return Err("image amplitudes differ bit-for-bit".to_string());
             }
             Ok(())
