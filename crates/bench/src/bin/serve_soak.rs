@@ -1,0 +1,71 @@
+//! `serve_soak` — CI's soak gate for the async serving front.
+//!
+//! Fires thousands of mixed-priority jobs (with deliberately cancelled
+//! and deadline-expired slices) through a [`qits::ServiceHandle`] and
+//! audits the books: **every** job must resolve exactly once, nothing
+//! may genuinely fail, and the result memo must demonstrably serve
+//! duplicate traffic. Exits non-zero on any lost, duplicated, or failed
+//! result; tail latency is printed for the record (the hard latency gate
+//! lives in `bench_check`, against the committed `BENCH_ci.json`).
+//!
+//! Usage:
+//!   cargo run --release -p qits-bench --bin serve_soak
+//!   cargo run --release -p qits-bench --bin serve_soak -- --jobs 5000 --workers 8
+
+use qits_bench::{run_serve_soak, SoakConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let flag = |name: &str, default: usize| -> usize {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(default)
+    };
+    let defaults = SoakConfig::default();
+    let config = SoakConfig {
+        workers: flag("--workers", defaults.workers),
+        jobs: flag("--jobs", defaults.jobs),
+        memo_capacity: flag("--memo", defaults.memo_capacity),
+    };
+    println!(
+        "soak: {} jobs over {} workers (memo capacity {})",
+        config.jobs, config.workers, config.memo_capacity
+    );
+    let m = run_serve_soak(config);
+    println!(
+        "soak: latency p50/p95/p99/max  {:.3}/{:.3}/{:.3}/{:.3} ms",
+        m.p50_ms, m.p95_ms, m.p99_ms, m.max_ms
+    );
+    println!(
+        "soak: outcomes  {} ok, {} cancelled, {} expired, {} failed, {} lost",
+        m.completed, m.cancelled, m.expired, m.failed, m.lost
+    );
+    println!(
+        "soak: memo  {} hits / {} misses (hit rate {:.1}%)",
+        m.memo_hits,
+        m.memo_misses,
+        100.0 * m.memo_hit_rate
+    );
+    if !m.sound() {
+        eprintln!(
+            "soak: FAIL — lost={} failed={} accounted={}/{} memo_hit_rate={:.4}",
+            m.lost,
+            m.failed,
+            m.completed + m.failed + m.cancelled + m.expired,
+            m.jobs,
+            m.memo_hit_rate,
+        );
+        std::process::exit(1);
+    }
+    if m.cancelled == 0 || m.expired == 0 {
+        eprintln!(
+            "soak: FAIL — the deliberate shed slices must land \
+             (cancelled={}, expired={})",
+            m.cancelled, m.expired
+        );
+        std::process::exit(1);
+    }
+    println!("soak: ok");
+}

@@ -21,8 +21,8 @@ use std::time::Duration;
 
 use qits_bench::{
     auto_selected, ci_report_json, fmt_count, fmt_secs, maybe_run_one, run_case_subprocess,
-    run_image_gc, run_pool_throughput, run_reorder_ab, spec_for, strategy_for, CiRow, CI_POOL_CASE,
-    METHODS, REORDER_AB_ORDER,
+    run_image_gc, run_pool_throughput, run_reorder_ab, run_serve_soak, spec_for, strategy_for,
+    CiRow, SoakConfig, CI_POOL_CASE, METHODS, REORDER_AB_ORDER,
 };
 use qits_tdd::GcPolicy;
 
@@ -274,12 +274,52 @@ fn run_ci_smoke(timeout: Duration) -> i32 {
             pool.speedup
         );
     }
-    let json = ci_report_json(&rows, &pool);
+    // The serve soak (schema v6): the full CI deck — 2000 mixed-priority
+    // jobs with deliberately cancelled and deadline-expired slices —
+    // through the async front. Accounting soundness hard-fails here;
+    // the tail-latency ceiling is gated by `bench_check` against the
+    // JSON this run writes.
+    let soak = SoakConfig::default();
+    println!(
+        "ci: serve soak ({} jobs, {} workers, memo {})",
+        soak.jobs, soak.workers, soak.memo_capacity
+    );
+    let serve = run_serve_soak(soak);
+    if !serve.sound() || serve.cancelled == 0 || serve.expired == 0 {
+        eprintln!(
+            "ci: FAIL serve soak books do not balance: {} ok, {} cancelled, \
+             {} expired, {} failed, {} lost of {} (memo hit rate {:.4})",
+            serve.completed,
+            serve.cancelled,
+            serve.expired,
+            serve.failed,
+            serve.lost,
+            serve.jobs,
+            serve.memo_hit_rate,
+        );
+        return 1;
+    }
+    println!(
+        "ci:   ok  p50/p95/p99/max {:.3}/{:.3}/{:.3}/{:.3} ms  \
+         ({} ok, {} cancelled, {} expired; memo {:.1}% hits)",
+        serve.p50_ms,
+        serve.p95_ms,
+        serve.p99_ms,
+        serve.max_ms,
+        serve.completed,
+        serve.cancelled,
+        serve.expired,
+        100.0 * serve.memo_hit_rate,
+    );
+    let json = ci_report_json(&rows, &pool, &serve);
     if let Err(e) = std::fs::write("BENCH_ci.json", &json) {
         eprintln!("ci: FAIL cannot write BENCH_ci.json: {e}");
         return 1;
     }
-    println!("ci: wrote BENCH_ci.json ({} cases + pool)", rows.len());
+    println!(
+        "ci: wrote BENCH_ci.json ({} cases + pool + serve)",
+        rows.len()
+    );
     0
 }
 

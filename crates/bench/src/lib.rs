@@ -7,6 +7,10 @@
 //! ordering, node-count growth) is the reproduction target; see
 //! EXPERIMENTS.md.
 
+pub mod soak;
+
+pub use soak::{run_serve_soak, ServeMeasurement, SoakConfig};
+
 use std::time::{Duration, Instant};
 
 use qits::{
@@ -562,9 +566,12 @@ impl UniqueTableHealth {
 /// rebuilding the table; v5 adds the per-case `reorder` object (live and
 /// peak node counts with sifting off vs forced at every collection, from
 /// the position-major order — see [`run_reorder_ab`]) and the pool row's
-/// `worker_sift_passes`.
-pub fn ci_report_json(rows: &[CiRow], pool: &PoolMeasurement) -> String {
-    let mut out = String::from("{\n  \"schema\": \"qits-bench-ci/5\",\n");
+/// `worker_sift_passes`; v6 adds the `serve` row (the async-front soak:
+/// completion-latency percentiles over thousands of mixed-priority jobs
+/// with deliberately cancelled and deadline-expired slices, plus the
+/// result-memo hit accounting — see [`run_serve_soak`]).
+pub fn ci_report_json(rows: &[CiRow], pool: &PoolMeasurement, serve: &ServeMeasurement) -> String {
+    let mut out = String::from("{\n  \"schema\": \"qits-bench-ci/6\",\n");
     let ut = UniqueTableHealth::from_rows(rows);
     out.push_str(&format!(
         concat!(
@@ -600,6 +607,29 @@ pub fn ci_report_json(rows: &[CiRow], pool: &PoolMeasurement) -> String {
             .map(u64::to_string)
             .collect::<Vec<_>>()
             .join(", "),
+    ));
+    out.push_str(&format!(
+        concat!(
+            "  \"serve\": {{\"workers\": {}, \"jobs\": {}, ",
+            "\"p50_ms\": {:.3}, \"p95_ms\": {:.3}, \"p99_ms\": {:.3}, ",
+            "\"max_ms\": {:.3}, \"completed\": {}, \"failed\": {}, ",
+            "\"cancelled\": {}, \"expired\": {}, \"lost\": {}, ",
+            "\"memo_hits\": {}, \"memo_misses\": {}, \"memo_hit_rate\": {:.6}}},\n",
+        ),
+        serve.workers,
+        serve.jobs,
+        serve.p50_ms,
+        serve.p95_ms,
+        serve.p99_ms,
+        serve.max_ms,
+        serve.completed,
+        serve.failed,
+        serve.cancelled,
+        serve.expired,
+        serve.lost,
+        serve.memo_hits,
+        serve.memo_misses,
+        serve.memo_hit_rate,
     ));
     out.push_str("  \"cases\": [\n");
     for (i, r) in rows.iter().enumerate() {
@@ -780,9 +810,20 @@ mod tests {
         let pool = run_pool_throughput("ghz", 4, "contraction", 2, 4);
         assert_eq!(pool.jobs_failed, 0);
         assert!(pool.serial_secs > 0.0 && pool.pool_secs > 0.0);
-        let json = ci_report_json(&rows, &pool);
-        assert!(json.contains("\"schema\": \"qits-bench-ci/5\""));
+        // A miniature serve soak keeps this test fast; CI runs the full
+        // 2000-job deck through the serve-soak job.
+        let serve = run_serve_soak(SoakConfig {
+            workers: 2,
+            jobs: 100,
+            memo_capacity: 256,
+        });
+        assert!(serve.sound(), "soak books must balance: {serve:?}");
+        let json = ci_report_json(&rows, &pool, &serve);
+        assert!(json.contains("\"schema\": \"qits-bench-ci/6\""));
         assert!(json.contains("\"pool\": {\"family\": \"ghz\""));
+        assert!(json.contains("\"serve\": {\"workers\": 2, \"jobs\": 100"));
+        assert!(json.contains("\"p99_ms\""));
+        assert!(json.contains("\"memo_hit_rate\""));
         assert!(json.contains("\"speedup\""));
         assert!(json.contains("\"worker_sift_passes\": ["));
         assert!(json.contains("\"reorder\": {\"order\": \"position-major\""));

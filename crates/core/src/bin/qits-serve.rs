@@ -1,0 +1,167 @@
+//! `qits-serve` — a JSON-lines serving front over an [`qits::EnginePool`].
+//!
+//! Stands up a pool over one of the benchmark transition systems and
+//! speaks the protocol documented in [`qits::serve::proto`] on
+//! stdin/stdout: one request per input line, one event per output line,
+//! results streamed in completion order. Diagnostics go to stderr.
+//!
+//! ```text
+//! qits-serve --family grover --n 3 --workers 4 --queue-depth 256 --memo 1024
+//! ```
+//!
+//! | flag | default | meaning |
+//! |---|---|---|
+//! | `--family <name>` | `grover` | `grover`, `qft`, `bv`, `ghz`, `qrw`, `bitflip` |
+//! | `--n <qubits>` | `3` | register size (ignored by `bitflip`) |
+//! | `--workers <k>` | available parallelism | pool worker threads |
+//! | `--queue-depth <d>` | unbounded | admission bound (`QueueFull` beyond it) |
+//! | `--memo <cap>` | off | result-memo capacity in entries |
+//! | `--strategy <s>` | `auto` | `auto`, `basic`, `addition`, `contraction` |
+
+use std::io::{self, BufReader, Write};
+use std::process::ExitCode;
+
+use qits::serve::proto;
+use qits::{EnginePool, EngineSpec, Strategy};
+use qits_circuit::generators;
+
+struct Options {
+    family: String,
+    n: u32,
+    workers: Option<usize>,
+    queue_depth: Option<usize>,
+    memo: Option<usize>,
+    strategy: String,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        family: "grover".to_string(),
+        n: 3,
+        workers: None,
+        queue_depth: None,
+        memo: None,
+        strategy: "auto".to_string(),
+    };
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let mut value = |name: &str| -> Result<String, String> {
+            i += 1;
+            args.get(i).cloned().ok_or(format!("{name} needs a value"))
+        };
+        match flag {
+            "--family" => opts.family = value("--family")?,
+            "--n" => {
+                opts.n = value("--n")?
+                    .parse()
+                    .map_err(|_| "--n needs an integer".to_string())?
+            }
+            "--workers" => {
+                opts.workers = Some(
+                    value("--workers")?
+                        .parse()
+                        .map_err(|_| "--workers needs an integer".to_string())?,
+                )
+            }
+            "--queue-depth" => {
+                opts.queue_depth = Some(
+                    value("--queue-depth")?
+                        .parse()
+                        .map_err(|_| "--queue-depth needs an integer".to_string())?,
+                )
+            }
+            "--memo" => {
+                opts.memo = Some(
+                    value("--memo")?
+                        .parse()
+                        .map_err(|_| "--memo needs an integer".to_string())?,
+                )
+            }
+            "--strategy" => opts.strategy = value("--strategy")?,
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+        i += 1;
+    }
+    Ok(opts)
+}
+
+/// Noise probability of the `qrw` family — matches the benchmark suite.
+const QRW_NOISE: f64 = 0.125;
+
+fn spec_for(opts: &Options) -> Result<EngineSpec, String> {
+    let system = match opts.family.as_str() {
+        "grover" => generators::grover(opts.n),
+        "qft" => generators::qft(opts.n),
+        "bv" => generators::bernstein_vazirani(opts.n, &generators::bv_secret(opts.n)),
+        "ghz" => generators::ghz(opts.n),
+        "qrw" => generators::qrw(opts.n, QRW_NOISE),
+        "bitflip" => generators::bitflip_code(),
+        other => return Err(format!("unknown family '{other}'")),
+    };
+    let spec = EngineSpec::new(system);
+    Ok(match opts.strategy.as_str() {
+        "auto" => spec,
+        "basic" => spec.strategy(Strategy::Basic),
+        "addition" => spec.strategy(Strategy::Addition { k: 1 }),
+        "contraction" => spec.strategy(Strategy::Contraction { k1: 4, k2: 4 }),
+        other => return Err(format!("unknown strategy '{other}'")),
+    })
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("qits-serve: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let spec = match spec_for(&opts) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("qits-serve: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut builder = EnginePool::builder(spec);
+    if let Some(w) = opts.workers {
+        builder = builder.workers(w);
+    }
+    if let Some(d) = opts.queue_depth {
+        builder = builder.queue_depth(d);
+    }
+    if let Some(cap) = opts.memo {
+        builder = builder.memo_capacity(cap);
+    }
+    let pool = match builder.build() {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("qits-serve: building the pool failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "qits-serve: {} workers over {:?}; reading JSON-lines from stdin",
+        pool.workers(),
+        pool.spec().system().name,
+    );
+    let handle = pool.handle();
+    if let Err(e) = proto::serve(handle, BufReader::new(io::stdin()), io::stdout()) {
+        eprintln!("qits-serve: i/o error: {e}");
+        return ExitCode::FAILURE;
+    }
+    let stats = pool.shutdown();
+    let _ = writeln!(
+        io::stderr(),
+        "qits-serve: served {} jobs ({} ok, {} failed, {} cancelled, {} expired, {} memo hits)",
+        stats.jobs_submitted,
+        stats.jobs_completed,
+        stats.jobs_failed,
+        stats.jobs_cancelled,
+        stats.jobs_expired,
+        stats.memo.hits,
+    );
+    ExitCode::SUCCESS
+}

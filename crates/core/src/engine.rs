@@ -43,7 +43,10 @@ use std::fmt;
 use qits_circuit::generators::QtsSpec;
 use qits_circuit::tensorize::{static_order, StaticOrder};
 use qits_circuit::{Circuit, Element, Operation};
-use qits_tdd::{ArenaExhausted, Edge, EdgeHolder, GcOutcome, GcPolicy, ReorderPolicy, TddManager};
+use qits_tdd::{
+    ArenaExhausted, Edge, EdgeHolder, GcOutcome, GcPolicy, OperationCancelled, ReorderPolicy,
+    TddManager,
+};
 
 use crate::error::QitsError;
 use crate::image::{try_image, ImageStats, Strategy};
@@ -472,6 +475,15 @@ impl Engine {
         &mut self.m
     }
 
+    /// Installs (or clears) a cooperative-cancellation token on the
+    /// session's manager. While installed, every GC safepoint polls the
+    /// token; if another thread trips it, the in-flight operation unwinds
+    /// and the engine method returns [`QitsError::Cancelled`] — the
+    /// session itself stays usable. See [`qits_tdd::cancel`].
+    pub fn set_cancel_token(&mut self, token: Option<qits_tdd::CancelToken>) {
+        self.m.set_cancel_token(token);
+    }
+
     /// The configured strategy object.
     pub fn strategy(&self) -> &dyn ImageStrategy {
         &*self.strategy
@@ -494,13 +506,16 @@ impl Engine {
         }
     }
 
-    /// Runs a diagram computation, converting the node store's
-    /// [`ArenaExhausted`] unwind — the one panic [`TddManager::make_node`]
-    /// emits — into the fallible API's error value. Any other panic is
-    /// resumed unchanged. This is the session boundary the payload's
-    /// contract names: inside a recursive operation exhaustion has no
-    /// partial result to return, so it unwinds; here it becomes a
-    /// [`QitsError::ArenaExhausted`] and the session stays usable.
+    /// Runs a diagram computation, converting the manager's two typed
+    /// unwinds into the fallible API's error values: the node store's
+    /// [`ArenaExhausted`] (the one panic [`TddManager::make_node`] emits)
+    /// becomes [`QitsError::ArenaExhausted`], and a tripped
+    /// [`qits_tdd::CancelToken`]'s [`OperationCancelled`] (thrown from a
+    /// GC safepoint) becomes [`QitsError::Cancelled`]. Any other panic is
+    /// resumed unchanged. This is the session boundary the payloads'
+    /// contracts name: inside a recursive operation neither condition has
+    /// a partial result to return, so it unwinds; here it becomes an
+    /// error and the session stays usable.
     fn guard_exhaustion<T>(f: impl FnOnce() -> Result<T, QitsError>) -> Result<T, QitsError> {
         match std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)) {
             Ok(result) => result,
@@ -509,7 +524,10 @@ impl Engine {
                     allocated: e.allocated,
                     capacity: e.capacity,
                 }),
-                Err(other) => std::panic::resume_unwind(other),
+                Err(other) => match other.downcast::<OperationCancelled>() {
+                    Ok(_) => Err(QitsError::Cancelled),
+                    Err(other) => std::panic::resume_unwind(other),
+                },
             },
         }
     }

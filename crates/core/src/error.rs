@@ -75,6 +75,22 @@ pub enum QitsError {
         /// The job's panic message, when it carried one.
         detail: String,
     },
+    /// Admission refused: the pool's bounded queue (see
+    /// [`crate::PoolBuilder::queue_depth`]) already holds `depth` pending
+    /// jobs. This is backpressure, not failure — nothing was enqueued;
+    /// retry after draining a ticket or shed the request.
+    QueueFull {
+        /// The configured admission bound that was hit.
+        depth: usize,
+    },
+    /// The job's [`qits_tdd::CancelToken`] was tripped: either before a
+    /// worker picked the job up (shed at dequeue) or mid-run, in which
+    /// case the computation unwound at the next GC safepoint (see
+    /// [`qits_tdd::cancel`]). The worker session survives unpoisoned.
+    Cancelled,
+    /// The job's deadline passed before a worker started it, so it was
+    /// shed at dequeue without running.
+    DeadlineExpired,
 }
 
 impl fmt::Display for QitsError {
@@ -118,6 +134,15 @@ impl fmt::Display for QitsError {
             }
             QitsError::JobFailure { detail } => {
                 write!(f, "a pool job failed in its worker: {detail}")
+            }
+            QitsError::QueueFull { depth } => {
+                write!(f, "the pool queue is full ({depth} jobs pending)")
+            }
+            QitsError::Cancelled => {
+                write!(f, "the job was cancelled")
+            }
+            QitsError::DeadlineExpired => {
+                write!(f, "the job's deadline expired before it ran")
             }
         }
     }
@@ -177,6 +202,9 @@ mod tests {
                 },
                 "job exploded",
             ),
+            (QitsError::QueueFull { depth: 8 }, "8 jobs pending"),
+            (QitsError::Cancelled, "cancelled"),
+            (QitsError::DeadlineExpired, "deadline expired"),
         ];
         for (e, needle) in cases {
             let text = e.to_string();

@@ -60,6 +60,15 @@
 //! and survivors stay bit-identical; unrooted diagrams become detectably
 //! stale instead of dangling. The pre-engine free functions ([`image`],
 //! the [`mc`] drivers) remain as thin shims over the same kernels.
+//!
+//! On top of the pool sits an **async serving front** ([`serve`]):
+//! cloneable [`ServiceHandle`]s admit [`JobRequest`]s without blocking,
+//! results stream back through [`JobTicket`]s (join, poll, or `.await`),
+//! a bounded queue refuses overload with [`QitsError::QueueFull`],
+//! deadlines shed stale work, [`qits_tdd::CancelToken`]s unwind running
+//! jobs at GC safepoints, and an optional fleet-wide [`ResultMemo`]
+//! short-circuits duplicate queries. The `qits-serve` binary exposes all
+//! of it as a JSON-lines protocol ([`serve::proto`]).
 
 pub mod equiv;
 pub mod mc;
@@ -75,26 +84,34 @@ pub use engine::{Auto, Engine, EngineBuilder, ImageStrategy, StatsSink};
 pub use error::QitsError;
 pub use image::{image, try_image, ImageStats, Strategy};
 pub use pool::{
-    run_job, EnginePool, EngineSpec, ImageOutcome, Job, JobHandle, JobOutput, PoolBuilder,
-    PoolStats, PoolStatsSink, ReachOutcome, StrategyFactory, WorkerStats,
+    run_job, EnginePool, EngineSpec, ImageOutcome, Job, JobHandle, JobOutput, JobRequest,
+    JobTicket, MemoKey, MemoStats, PoolBuilder, PoolStats, PoolStatsSink, Priority, ReachOutcome,
+    ResultMemo, ServiceHandle, StrategyFactory, WorkerStats,
 };
 pub use qts::{Operations, QuantumTransitionSystem};
 pub use subspace::{Subspace, RANK_TOLERANCE};
 
 // The two variable-ordering knobs of the builder surface, re-exported so
 // engine users configure ordering without importing the circuit and tdd
-// crates by name.
+// crates by name — plus the cancellation token, which request envelopes
+// and tickets carry.
 pub use qits_circuit::tensorize::StaticOrder;
-pub use qits_tdd::ReorderPolicy;
+pub use qits_tdd::{CancelToken, ReorderPolicy};
 
 /// The serving layer, re-exported under one roof: everything needed to
 /// stand up an [`EnginePool`] behind a request queue — the pool itself,
 /// the shared [`EngineSpec`], the typed [`Job`]/[`JobOutput`] vocabulary,
-/// and the aggregated [`PoolStats`]. `use qits::serve::*;` pulls in the
-/// batch-serving surface without the rest of the crate's namespace.
+/// the async front ([`ServiceHandle`], [`JobRequest`], [`JobTicket`],
+/// [`Priority`]), the fleet-wide [`ResultMemo`], the aggregated
+/// [`PoolStats`], and the JSON-lines protocol ([`serve::proto`]) the
+/// `qits-serve` binary speaks. `use qits::serve::*;` pulls in the
+/// serving surface without the rest of the crate's namespace.
 pub mod serve {
+    pub use crate::pool::proto;
     pub use crate::pool::{
-        run_job, EnginePool, EngineSpec, ImageOutcome, Job, JobHandle, JobOutput, PoolBuilder,
-        PoolStats, PoolStatsSink, ReachOutcome, StrategyFactory, WorkerStats,
+        run_job, EnginePool, EngineSpec, ImageOutcome, Job, JobHandle, JobOutput, JobRequest,
+        JobTicket, MemoKey, MemoStats, PoolBuilder, PoolStats, PoolStatsSink, Priority,
+        ReachOutcome, ResultMemo, ServiceHandle, StrategyFactory, WorkerStats,
     };
+    pub use qits_tdd::CancelToken;
 }

@@ -1,0 +1,199 @@
+//! The fleet-wide result memo: a bounded, thread-safe cache of completed
+//! [`JobOutput`]s keyed by a canonical hash of *spec + job*.
+//!
+//! Image computation is deterministic: the same [`super::EngineSpec`]
+//! and the same [`Job`] payload always produce the same result, on any
+//! worker, in any pool. The memo exploits exactly that — and nothing
+//! more: keys embed [`super::EngineSpec::fingerprint`], which folds in
+//! every knob that could plausibly influence a result (system, tolerance,
+//! orderings, strategy, even the GC configuration), so a hit can only
+//! come from a semantically interchangeable session. Only `Ok` results
+//! are memoised; failures, cancellations, and deadline sheds always
+//! re-run.
+//!
+//! One [`ResultMemo`] in an [`std::sync::Arc`] may back several pools
+//! (see [`super::PoolBuilder::memo`]); its counters are then fleet-wide.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use super::{Job, JobOutput};
+
+/// 128-bit FNV-1a over a list of byte chunks. Not cryptographic — the
+/// memo is a cache, not a security boundary — but 128 bits make
+/// accidental collisions across a fleet's lifetime implausible.
+pub(crate) fn fnv128(chunks: &[&[u8]]) -> u128 {
+    const OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+    const PRIME: u128 = 0x0000000001000000000000000000013B;
+    let mut h = OFFSET;
+    for chunk in chunks {
+        for &b in *chunk {
+            h ^= b as u128;
+            h = h.wrapping_mul(PRIME);
+        }
+        // Chunk separator so ("ab","c") and ("a","bc") hash apart.
+        h ^= 0xff;
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// Canonical identity of one (spec, job) pair — the memo's key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MemoKey(u128);
+
+impl MemoKey {
+    /// Keys a job within a spec's namespace. The job payload is hashed
+    /// through its canonical `Debug` encoding, which spells out every
+    /// field of every variant (circuits gate-by-gate, invariant states
+    /// amplitude-by-amplitude with full `f64` precision) — two jobs hash
+    /// equal exactly when they are structurally identical.
+    pub(crate) fn for_job(spec_fingerprint: u128, job: &Job) -> MemoKey {
+        let payload = format!("{job:?}");
+        MemoKey(fnv128(&[
+            &spec_fingerprint.to_le_bytes(),
+            payload.as_bytes(),
+        ]))
+    }
+}
+
+/// The memo's counters, snapshotted into [`super::PoolStats::memo`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemoStats {
+    /// Lookups that returned a cached result (at submission or dequeue).
+    pub hits: u64,
+    /// Jobs that went to a worker because no cached result existed
+    /// (counted once per job, at dequeue).
+    pub misses: u64,
+    /// Results inserted into the memo.
+    pub inserts: u64,
+    /// Entries currently cached.
+    pub entries: usize,
+    /// The configured entry bound.
+    pub capacity: usize,
+}
+
+/// A bounded, thread-safe cache of completed job results. Construct with
+/// [`ResultMemo::new`], install with [`super::PoolBuilder::memo`] /
+/// [`super::PoolBuilder::memo_capacity`].
+///
+/// Bounding is by **admission**: once `capacity` distinct keys are
+/// cached, new keys are simply not inserted (existing keys keep serving
+/// hits). For the query-batched workloads the pool targets — a bounded
+/// set of distinct queries asked repeatedly — admission bounding keeps
+/// the hot set intact, costs nothing on the hit path, and cannot thrash
+/// the way LRU eviction can under a scan.
+pub struct ResultMemo {
+    entries: Mutex<HashMap<u128, JobOutput>>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    inserts: AtomicU64,
+}
+
+impl std::fmt::Debug for ResultMemo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stats = self.stats();
+        f.debug_struct("ResultMemo")
+            .field("entries", &stats.entries)
+            .field("capacity", &stats.capacity)
+            .field("hits", &stats.hits)
+            .field("misses", &stats.misses)
+            .finish()
+    }
+}
+
+impl ResultMemo {
+    /// A fresh memo holding at most `capacity` results (clamped to at
+    /// least 1).
+    pub fn new(capacity: usize) -> ResultMemo {
+        ResultMemo {
+            entries: Mutex::new(HashMap::new()),
+            capacity: capacity.max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            inserts: AtomicU64::new(0),
+        }
+    }
+
+    /// A snapshot of the memo's counters.
+    pub fn stats(&self) -> MemoStats {
+        MemoStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            inserts: self.inserts.load(Ordering::Relaxed),
+            entries: self.entries.lock().unwrap().len(),
+            capacity: self.capacity,
+        }
+    }
+
+    /// Looks a key up, counting a hit when present. Misses are *not*
+    /// counted here — the pool probes twice per job (submission and
+    /// dequeue) and only the dequeue probe records the miss, so each job
+    /// contributes at most one miss.
+    pub(crate) fn get(&self, key: &MemoKey) -> Option<JobOutput> {
+        let out = self.entries.lock().unwrap().get(&key.0).cloned();
+        if out.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        out
+    }
+
+    pub(crate) fn record_miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Caches a completed result under `key`, subject to the admission
+    /// bound. First writer wins; a concurrent duplicate is dropped.
+    pub(crate) fn insert(&self, key: MemoKey, output: &JobOutput) {
+        let mut entries = self.entries.lock().unwrap();
+        if entries.contains_key(&key.0) {
+            return;
+        }
+        if entries.len() >= self.capacity {
+            return;
+        }
+        entries.insert(key.0, output.clone());
+        self.inserts.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_chunk_boundaries_matter() {
+        assert_ne!(fnv128(&[b"ab", b"c"]), fnv128(&[b"a", b"bc"]));
+        assert_ne!(fnv128(&[b"ab"]), fnv128(&[b"ab", b""]));
+        assert_eq!(fnv128(&[b"ab", b"c"]), fnv128(&[b"ab", b"c"]));
+    }
+
+    #[test]
+    fn distinct_jobs_and_specs_key_apart() {
+        let a = MemoKey::for_job(1, &Job::image());
+        let b = MemoKey::for_job(1, &Job::Image { densify: true });
+        let c = MemoKey::for_job(2, &Job::image());
+        let a2 = MemoKey::for_job(1, &Job::image());
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn admission_bound_keeps_the_first_resident_set() {
+        let memo = ResultMemo::new(1);
+        let first = MemoKey(1);
+        let second = MemoKey(2);
+        let out = JobOutput::Equivalence { equivalent: true };
+        memo.insert(first, &out);
+        memo.insert(second, &out);
+        assert!(memo.get(&first).is_some());
+        assert!(memo.get(&second).is_none());
+        let stats = memo.stats();
+        assert_eq!(stats.inserts, 1);
+        assert_eq!(stats.entries, 1);
+        assert_eq!(stats.hits, 1);
+    }
+}

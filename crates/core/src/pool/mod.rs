@@ -1,5 +1,6 @@
-//! Batch serving: a fixed-size pool of worker threads, each owning a
-//! private [`Engine`], fed by a **sharded MPMC work queue** of typed jobs.
+//! Serving: a fixed-size pool of worker threads, each owning a private
+//! [`Engine`], fed by a **sharded, priority-laned MPMC work queue** of
+//! typed jobs — with an async-capable submission front.
 //!
 //! The paper's image-computation kernels are embarrassingly parallel
 //! across *independent queries*: distinct initial subspaces, invariants,
@@ -15,10 +16,35 @@
 //!   operation caches stay warm across the jobs that worker serves, so
 //!   repeated queries over the same system reuse each other's
 //!   contractions exactly as a long-lived session would.
-//! * **Sharded queue, work stealing.** [`EnginePool::submit`] round-robins
-//!   jobs over one queue shard per worker; a worker drains its own shard
-//!   first and steals from its neighbours when empty, so a batch of
-//!   uneven jobs still keeps every worker busy.
+//! * **Sharded queue, priority lanes, work stealing.** Submission
+//!   round-robins jobs over one queue shard per worker; within every
+//!   shard, three [`Priority`] lanes keep latency-sensitive work ahead of
+//!   batch work. A worker scans lanes globally (every shard's high lane
+//!   before any normal lane) and steals from its neighbours, so a batch
+//!   of uneven jobs still keeps every worker busy.
+//! * **An async front.** [`ServiceHandle`] (cloneable, available from any
+//!   thread via [`EnginePool::handle`]) accepts [`JobRequest`]s without
+//!   ever blocking on workers: [`ServiceHandle::try_submit`] either
+//!   admits the job and returns a [`JobTicket`] — a oneshot completion
+//!   slot the caller can block on ([`JobTicket::join`]), poll
+//!   ([`JobTicket::try_join`]), or `.await` (it implements
+//!   [`std::future::Future`]) — or refuses with
+//!   [`QitsError::QueueFull`] when the bounded queue is at depth.
+//!   Results are delivered as they land, not in submission order.
+//! * **Deadlines and cancellation.** A request may carry a deadline
+//!   (expired jobs are shed at dequeue, counted in
+//!   [`PoolStats::jobs_expired`]) and every ticket carries a
+//!   [`CancelToken`]: tripping it sheds a queued job at dequeue and
+//!   unwinds a running one at its next GC safepoint (see
+//!   [`qits_tdd::cancel`]), either way resolving the ticket with
+//!   [`QitsError::Cancelled`].
+//! * **A fleet-wide result memo.** An optional [`ResultMemo`]
+//!   (per-pool via [`PoolBuilder::memo_capacity`], or one
+//!   [`std::sync::Arc`] shared across pools via [`PoolBuilder::memo`])
+//!   caches `Ok` results keyed by a canonical hash of the spec *and* the
+//!   job payload, so identical queries — from any client, on any worker —
+//!   return the cached [`JobOutput`] without re-running the fixpoint.
+//!   Hit/miss/insert counters surface in [`PoolStats::memo`].
 //! * **Failures are values, isolated per job.** Every result is a
 //!   `Result<JobOutput, QitsError>`. A malformed job errors through the
 //!   engine's fallible API; a job that *panics* inside its worker is
@@ -47,18 +73,26 @@
 //! assert_eq!(stats.jobs_completed, 4);
 //! ```
 
+mod front;
+mod memo;
+pub mod proto;
+
+pub use front::{JobRequest, JobTicket, Priority, ServiceHandle};
+pub use memo::{MemoKey, MemoStats, ResultMemo};
+
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 use qits_circuit::generators::QtsSpec;
 use qits_circuit::tensorize::StaticOrder;
 use qits_circuit::Circuit;
 use qits_num::Cplx;
-use qits_tdd::{GcPolicy, ManagerStats, ReorderPolicy};
+use qits_tdd::{CancelToken, GcPolicy, ManagerStats, ReorderPolicy};
 use qits_tensor::Var;
 
 use crate::engine::{Auto, Engine, EngineBuilder, ImageStrategy};
@@ -66,6 +100,14 @@ use crate::error::{panic_detail, QitsError};
 use crate::image::ImageStats;
 use crate::mc::ReachabilityResult;
 use crate::subspace::Subspace;
+
+use front::Slot;
+
+/// The caller's side of one submitted job — an alias for [`JobTicket`],
+/// kept under the name the original blocking API used. Obtain the result
+/// with [`JobTicket::join`]; dropping the handle abandons the result (the
+/// job still runs and still counts in [`PoolStats`]).
+pub type JobHandle = JobTicket;
 
 // ----------------------------------------------------------------------
 // The shared engine spec.
@@ -193,6 +235,35 @@ impl EngineSpec {
     /// Name of the configured strategy (for logs and stats).
     pub fn strategy_name(&self) -> &str {
         &self.strategy_name
+    }
+
+    /// A canonical 128-bit fingerprint of everything that determines this
+    /// spec's results: the full transition system (operations, Kraus
+    /// sets, initial amplitudes), the numeric tolerance, both ordering
+    /// knobs, the GC/reorder configuration, and the strategy name. Two
+    /// specs with equal fingerprints produce interchangeable results, so
+    /// this is the namespace half of every [`ResultMemo`] key — it is
+    /// what keeps a fleet-wide memo from ever crossing distinct
+    /// [`QtsSpec`]s.
+    ///
+    /// Deliberately conservative: knobs that *probably* don't change
+    /// results (cache sizes, GC policy) are still folded in, trading memo
+    /// hits across differently-configured pools for certainty.
+    pub fn fingerprint(&self) -> u128 {
+        let config = format!(
+            "{:?}|{:?}|{:?}|{:?}|{:?}|{:?}",
+            self.tolerance.to_bits(),
+            self.cache_capacity,
+            self.node_capacity,
+            self.gc_policy,
+            self.reorder,
+            self.static_order,
+        );
+        memo::fnv128(&[
+            format!("{:?}", self.system).as_bytes(),
+            config.as_bytes(),
+            self.strategy_name.as_bytes(),
+        ])
     }
 
     fn builder(&self) -> EngineBuilder {
@@ -499,49 +570,22 @@ fn densify_basis(engine: &mut Engine, img: &Subspace) -> Result<Vec<Vec<Cplx>>, 
 }
 
 // ----------------------------------------------------------------------
-// Handles, stats.
+// Stats.
 // ----------------------------------------------------------------------
-
-/// The caller's side of one submitted job. Obtain the result with
-/// [`JobHandle::join`]; dropping the handle abandons the result (the job
-/// still runs and still counts in [`PoolStats`]).
-#[derive(Debug)]
-pub struct JobHandle {
-    rx: mpsc::Receiver<Result<JobOutput, QitsError>>,
-}
-
-impl JobHandle {
-    /// Blocks until the job's result arrives. A worker that died before
-    /// delivering (it panicked outside a job, or the pool was torn down
-    /// abnormally) reports as [`QitsError::JobFailure`].
-    pub fn join(self) -> Result<JobOutput, QitsError> {
-        self.rx.recv().unwrap_or_else(|_| {
-            Err(QitsError::JobFailure {
-                detail: "the worker disconnected before delivering a result".to_string(),
-            })
-        })
-    }
-
-    /// Non-blocking poll: `None` while the job is still in flight.
-    pub fn try_join(&mut self) -> Option<Result<JobOutput, QitsError>> {
-        match self.rx.try_recv() {
-            Ok(r) => Some(r),
-            Err(mpsc::TryRecvError::Empty) => None,
-            Err(mpsc::TryRecvError::Disconnected) => Some(Err(QitsError::JobFailure {
-                detail: "the worker disconnected before delivering a result".to_string(),
-            })),
-        }
-    }
-}
 
 /// Per-worker counters, snapshotted after every job that worker serves.
 #[derive(Debug, Clone, Default)]
 pub struct WorkerStats {
-    /// Jobs this worker finished with `Ok`.
+    /// Jobs this worker finished with `Ok` (memo hits it served included).
     pub jobs_completed: u64,
     /// Jobs this worker finished with `Err` (malformed jobs and isolated
-    /// panics alike).
+    /// panics alike; cancelled and deadline-shed jobs count separately).
     pub jobs_failed: u64,
+    /// Jobs this worker shed or unwound because their [`CancelToken`]
+    /// tripped.
+    pub jobs_cancelled: u64,
+    /// Jobs this worker shed at dequeue because their deadline had passed.
+    pub jobs_expired: u64,
     /// Image computations this worker ran (fixpoint iterations included),
     /// counted through the engine's stats sink.
     pub images: u64,
@@ -560,14 +604,28 @@ pub struct WorkerStats {
 pub struct PoolStats {
     /// One row per worker, in worker order.
     pub workers: Vec<WorkerStats>,
-    /// Jobs accepted by `submit`/`submit_batch` so far.
+    /// Jobs accepted by the pool so far (admission-refused jobs are not
+    /// accepted and count in [`PoolStats::jobs_rejected`] instead).
     pub jobs_submitted: u64,
-    /// Jobs finished with `Ok` across all workers.
+    /// Jobs finished with `Ok`: the per-worker sums plus jobs completed
+    /// straight from the memo at submission, which never reach a worker.
     pub jobs_completed: u64,
-    /// Jobs finished with `Err` across all workers.
+    /// Jobs finished with `Err` across all workers (cancelled and
+    /// deadline-shed jobs count separately).
     pub jobs_failed: u64,
+    /// Jobs refused at submission because the bounded queue was at depth
+    /// ([`QitsError::QueueFull`]).
+    pub jobs_rejected: u64,
+    /// Jobs resolved with [`QitsError::Cancelled`] — shed at dequeue or
+    /// unwound mid-run at a GC safepoint.
+    pub jobs_cancelled: u64,
+    /// Jobs shed at dequeue with [`QitsError::DeadlineExpired`].
+    pub jobs_expired: u64,
     /// Jobs currently queued (not yet picked up by a worker).
     pub queue_depth: usize,
+    /// The result memo's counters (all zero when no memo is configured).
+    /// A shared memo reports its fleet-wide totals, not per-pool ones.
+    pub memo: MemoStats,
     /// Total image computations across all workers.
     pub images: u64,
     /// All workers' image stats, absorbed: counters sum, peaks max, and —
@@ -582,15 +640,26 @@ pub struct PoolStats {
 }
 
 impl PoolStats {
-    fn aggregate(workers: Vec<WorkerStats>, jobs_submitted: u64, queue_depth: usize) -> PoolStats {
-        let mut jobs_completed = 0;
+    fn aggregate(
+        workers: Vec<WorkerStats>,
+        jobs_submitted: u64,
+        queue_depth: usize,
+        jobs_rejected: u64,
+        memo_completed: u64,
+        memo: MemoStats,
+    ) -> PoolStats {
+        let mut jobs_completed = memo_completed;
         let mut jobs_failed = 0;
+        let mut jobs_cancelled = 0;
+        let mut jobs_expired = 0;
         let mut images = 0;
         let mut image = ImageStats::default();
         let mut manager = ManagerStats::default();
         for w in &workers {
             jobs_completed += w.jobs_completed;
             jobs_failed += w.jobs_failed;
+            jobs_cancelled += w.jobs_cancelled;
+            jobs_expired += w.jobs_expired;
             images += w.images;
             image.absorb(&w.image);
             manager.absorb(&w.manager);
@@ -607,7 +676,11 @@ impl PoolStats {
             jobs_submitted,
             jobs_completed,
             jobs_failed,
+            jobs_rejected,
+            jobs_cancelled,
+            jobs_expired,
             queue_depth,
+            memo,
             images,
             image,
             manager,
@@ -619,12 +692,31 @@ impl PoolStats {
 pub type PoolStatsSink = Arc<dyn Fn(&PoolStats) + Send + Sync>;
 
 // ----------------------------------------------------------------------
-// The pool.
+// The queue.
 // ----------------------------------------------------------------------
 
-struct Task {
+/// One admitted job riding the queue: the payload plus its completion
+/// slot, cancellation token, absolute deadline, and (when a memo is
+/// configured) its memo key.
+pub(crate) struct Task {
     job: Job,
-    tx: mpsc::Sender<Result<JobOutput, QitsError>>,
+    slot: Arc<Slot>,
+    cancel: CancelToken,
+    deadline: Option<Instant>,
+    memo_key: Option<MemoKey>,
+}
+
+impl Drop for Task {
+    /// Belt and braces: a task dropped without a delivery (queue drained
+    /// at shutdown, worker unwound outside the per-job catch) resolves
+    /// its ticket with a failure instead of leaving a joiner blocked
+    /// forever. On the normal path the worker has already delivered and
+    /// this is a no-op ([`Slot::deliver`] is idempotent).
+    fn drop(&mut self) {
+        self.slot.deliver(Err(QitsError::JobFailure {
+            detail: "the pool shut down before this job could run".to_string(),
+        }));
+    }
 }
 
 #[derive(Default)]
@@ -636,29 +728,91 @@ struct QueueState {
     shutdown: bool,
 }
 
-struct Shared {
-    shards: Vec<Mutex<VecDeque<Task>>>,
+pub(crate) struct Shared {
+    /// One shard per worker; each shard holds one FIFO lane per
+    /// [`Priority`].
+    shards: Vec<Mutex<[VecDeque<Task>; Priority::LANES]>>,
     state: Mutex<QueueState>,
     available: Condvar,
     workers: Vec<Mutex<WorkerStats>>,
     submitted: AtomicU64,
+    rejected: AtomicU64,
+    /// Jobs completed straight from the memo at submission (they never
+    /// reach a worker, so no worker row counts them).
+    memo_completed: AtomicU64,
+    next_shard: AtomicUsize,
+    queue_depth: Option<usize>,
+    memo: Option<Arc<ResultMemo>>,
+    spec_fingerprint: u128,
 }
 
 impl Shared {
-    /// Pops the next task for worker `index`: own shard first, then steal
-    /// from the others in ring order. `None` = drained and shut down.
+    /// Admits one request or refuses it without enqueueing anything.
+    /// This is the whole non-blocking submission path: memo fast-path,
+    /// bounded admission, priority-lane enqueue, worker wakeup.
+    pub(crate) fn try_submit(self: &Arc<Self>, req: JobRequest) -> Result<JobTicket, QitsError> {
+        let (job, priority, deadline, cancel) = req.into_parts();
+        let slot = Slot::new();
+        let memo_key = self
+            .memo
+            .as_ref()
+            .map(|_| MemoKey::for_job(self.spec_fingerprint, &job));
+        // Memo fast path: an identical query already completed somewhere
+        // in the fleet. The ticket resolves before it is even returned —
+        // no queue traffic, no worker, no admission pressure.
+        if let (Some(memo), Some(key)) = (&self.memo, &memo_key) {
+            if let Some(out) = memo.get(key) {
+                self.submitted.fetch_add(1, Ordering::Relaxed);
+                self.memo_completed.fetch_add(1, Ordering::Relaxed);
+                slot.deliver(Ok(out));
+                return Ok(JobTicket::new(slot, cancel));
+            }
+        }
+        {
+            let mut st = self.state.lock().unwrap();
+            if st.shutdown {
+                return Err(QitsError::JobFailure {
+                    detail: "the pool is shut down".to_string(),
+                });
+            }
+            if let Some(depth) = self.queue_depth {
+                if st.pending >= depth {
+                    self.rejected.fetch_add(1, Ordering::Relaxed);
+                    return Err(QitsError::QueueFull { depth });
+                }
+            }
+            st.pending += 1;
+        }
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+        let deadline = deadline.and_then(|d| Instant::now().checked_add(d));
+        let task = Task {
+            job,
+            slot: slot.clone(),
+            cancel: cancel.clone(),
+            deadline,
+            memo_key,
+        };
+        let shard = self.next_shard.fetch_add(1, Ordering::Relaxed) % self.shards.len();
+        self.shards[shard].lock().unwrap()[priority.lane()].push_back(task);
+        self.available.notify_one();
+        Ok(JobTicket::new(slot, cancel))
+    }
+
+    /// Pops the next task for worker `index`: lane-major (every shard's
+    /// high lane before any shard's normal lane, so priority is global,
+    /// not per-shard), own shard first within a lane, then stealing in
+    /// ring order. `None` = drained and shut down.
     fn next_task(&self, index: usize) -> Option<Task> {
         loop {
             let n = self.shards.len();
-            for offset in 0..n {
-                let task = self.shards[(index + offset) % n]
-                    .lock()
-                    .unwrap()
-                    .pop_front();
-                if let Some(t) = task {
-                    let mut st = self.state.lock().unwrap();
-                    st.pending = st.pending.saturating_sub(1);
-                    return Some(t);
+            for lane in 0..Priority::LANES {
+                for offset in 0..n {
+                    let task = self.shards[(index + offset) % n].lock().unwrap()[lane].pop_front();
+                    if let Some(t) = task {
+                        let mut st = self.state.lock().unwrap();
+                        st.pending = st.pending.saturating_sub(1);
+                        return Some(t);
+                    }
                 }
             }
             let mut st = self.state.lock().unwrap();
@@ -676,17 +830,45 @@ impl Shared {
             }
         }
     }
+
+    /// A live snapshot of the aggregated pool statistics; shared by
+    /// [`EnginePool::stats`] and [`ServiceHandle::stats`].
+    pub(crate) fn stats_snapshot(&self) -> PoolStats {
+        let workers = self
+            .workers
+            .iter()
+            .map(|w| w.lock().unwrap().clone())
+            .collect();
+        let queue_depth = self.state.lock().unwrap().pending;
+        PoolStats::aggregate(
+            workers,
+            self.submitted.load(Ordering::Relaxed),
+            queue_depth,
+            self.rejected.load(Ordering::Relaxed),
+            self.memo_completed.load(Ordering::Relaxed),
+            self.memo.as_ref().map(|m| m.stats()).unwrap_or_default(),
+        )
+    }
+
+    pub(crate) fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
 }
 
+// ----------------------------------------------------------------------
+// The pool.
+// ----------------------------------------------------------------------
+
 /// A fixed-size pool of [`Engine`]-owning worker threads behind a sharded
-/// work queue. See the [`crate::serve`] docs for the design and
-/// [`EnginePool::builder`] to construct one.
+/// priority queue. See the [`crate::serve`] docs for the design and
+/// [`EnginePool::builder`] to construct one; [`EnginePool::handle`] hands
+/// out the cloneable async submission front.
 pub struct EnginePool {
     shared: Arc<Shared>,
     spec: EngineSpec,
-    next_shard: AtomicUsize,
     handles: Vec<JoinHandle<()>>,
     sink: Option<PoolStatsSink>,
+    finished: bool,
 }
 
 impl fmt::Debug for EnginePool {
@@ -703,6 +885,8 @@ pub struct PoolBuilder {
     spec: EngineSpec,
     workers: usize,
     sink: Option<PoolStatsSink>,
+    queue_depth: Option<usize>,
+    memo: Option<Arc<ResultMemo>>,
 }
 
 impl PoolBuilder {
@@ -720,17 +904,50 @@ impl PoolBuilder {
         self
     }
 
+    /// Bounds the queue: once `depth` jobs are pending (queued, not yet
+    /// dequeued), further submissions are refused with
+    /// [`QitsError::QueueFull`] instead of growing the backlog without
+    /// limit — the backpressure a latency-bound service needs. Clamped to
+    /// at least 1; the default is unbounded (the original batch-serving
+    /// behaviour).
+    pub fn queue_depth(mut self, depth: usize) -> Self {
+        self.queue_depth = Some(depth.max(1));
+        self
+    }
+
+    /// Installs a **shared** result memo: pass the same
+    /// [`std::sync::Arc`] to several pools (over equal or different
+    /// specs) and they share one fleet-wide cache. Keys embed
+    /// [`EngineSpec::fingerprint`], so pools over distinct specs share
+    /// capacity but never results.
+    pub fn memo(mut self, memo: Arc<ResultMemo>) -> Self {
+        self.memo = Some(memo);
+        self
+    }
+
+    /// Installs a fresh pool-private result memo bounded to `capacity`
+    /// entries (sugar over [`PoolBuilder::memo`]).
+    pub fn memo_capacity(self, capacity: usize) -> Self {
+        self.memo(Arc::new(ResultMemo::new(capacity)))
+    }
+
     /// Builds the pool: constructs every worker engine from the spec *on
     /// the calling thread* — so a malformed spec is an `Err` here, before
     /// any thread exists — then moves each engine onto its worker.
     pub fn build(self) -> Result<EnginePool, QitsError> {
         let n = self.workers;
         let shared = Arc::new(Shared {
-            shards: (0..n).map(|_| Mutex::new(VecDeque::new())).collect(),
+            shards: (0..n).map(|_| Mutex::new(Default::default())).collect(),
             state: Mutex::new(QueueState::default()),
             available: Condvar::new(),
             workers: (0..n).map(|_| Mutex::new(WorkerStats::default())).collect(),
             submitted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            memo_completed: AtomicU64::new(0),
+            next_shard: AtomicUsize::new(0),
+            queue_depth: self.queue_depth,
+            memo: self.memo,
+            spec_fingerprint: self.spec.fingerprint(),
         });
         let mut engines = Vec::with_capacity(n);
         for index in 0..n {
@@ -751,9 +968,9 @@ impl PoolBuilder {
         Ok(EnginePool {
             shared,
             spec: self.spec,
-            next_shard: AtomicUsize::new(0),
             handles,
             sink: self.sink,
+            finished: false,
         })
     }
 }
@@ -767,6 +984,8 @@ impl EnginePool {
                 .map(std::num::NonZeroUsize::get)
                 .unwrap_or(1),
             sink: None,
+            queue_depth: None,
+            memo: None,
         }
     }
 
@@ -780,22 +999,31 @@ impl EnginePool {
         &self.spec
     }
 
-    /// Enqueues one job, round-robining over the queue shards, and
-    /// returns its handle. Never blocks on workers.
+    /// A cloneable, `Send` submission front onto this pool: hand clones
+    /// to async tasks (or other threads) and they submit, poll, and read
+    /// live stats without touching the pool object. Handles do not keep
+    /// the workers alive — after [`EnginePool::shutdown`] a handle's
+    /// submissions fail cleanly.
+    pub fn handle(&self) -> ServiceHandle {
+        ServiceHandle::new(self.shared.clone())
+    }
+
+    /// Enqueues one job at [`Priority::Normal`] and returns its handle.
+    /// Never blocks on workers. If the queue is bounded and full, the
+    /// returned handle resolves to [`QitsError::QueueFull`] — use
+    /// [`EnginePool::try_submit`] (or a [`ServiceHandle`]) to observe the
+    /// refusal as a submission-time error instead.
     pub fn submit(&self, job: Job) -> JobHandle {
-        let (tx, rx) = mpsc::channel();
-        let shard = self.next_shard.fetch_add(1, Ordering::Relaxed) % self.shared.shards.len();
-        self.shared.submitted.fetch_add(1, Ordering::Relaxed);
-        {
-            let mut st = self.shared.state.lock().unwrap();
-            st.pending += 1;
+        match self.try_submit(job) {
+            Ok(ticket) => ticket,
+            Err(e) => JobTicket::failed(e),
         }
-        self.shared.shards[shard]
-            .lock()
-            .unwrap()
-            .push_back(Task { job, tx });
-        self.shared.available.notify_one();
-        JobHandle { rx }
+    }
+
+    /// Admits one request ([`Job`] or [`JobRequest`]) or refuses it with
+    /// [`QitsError::QueueFull`] / a shutdown failure, without blocking.
+    pub fn try_submit(&self, req: impl Into<JobRequest>) -> Result<JobTicket, QitsError> {
+        self.shared.try_submit(req.into())
     }
 
     /// Enqueues a batch, one handle per job, in order.
@@ -805,30 +1033,24 @@ impl EnginePool {
 
     /// A live snapshot of the aggregated pool statistics.
     pub fn stats(&self) -> PoolStats {
-        let workers = self
-            .shared
-            .workers
-            .iter()
-            .map(|w| w.lock().unwrap().clone())
-            .collect();
-        let queue_depth = self.shared.state.lock().unwrap().pending;
-        PoolStats::aggregate(
-            workers,
-            self.shared.submitted.load(Ordering::Relaxed),
-            queue_depth,
-        )
+        self.shared.stats_snapshot()
     }
 
     /// Shuts the pool down: **drains the queue** (every job already
     /// submitted still runs and its handle still resolves), joins every
     /// worker, reports the final stats to the configured sink, and
     /// returns them. Dropping the pool does the same, minus the return
-    /// value.
+    /// value. Idempotent: a second shutdown (however reached) just
+    /// returns the stats snapshot again without re-joining or re-sinking.
     pub fn shutdown(mut self) -> PoolStats {
         self.finish()
     }
 
     fn finish(&mut self) -> PoolStats {
+        if self.finished {
+            return self.shared.stats_snapshot();
+        }
+        self.finished = true;
         {
             let mut st = self.shared.state.lock().unwrap();
             st.shutdown = true;
@@ -838,16 +1060,16 @@ impl EnginePool {
             let _ = h.join();
         }
         // Belt and braces: if a worker died outside a job, tasks could
-        // still sit in its shard. Fail them explicitly so no handle ever
-        // blocks forever.
+        // still sit in its shard. Dropping them resolves their tickets
+        // with a failure (see `Task::drop`) so no joiner blocks forever.
         for shard in &self.shared.shards {
-            while let Some(task) = shard.lock().unwrap().pop_front() {
-                let _ = task.tx.send(Err(QitsError::JobFailure {
-                    detail: "the pool shut down before a worker picked this job up".to_string(),
-                }));
+            let mut lanes = shard.lock().unwrap();
+            for lane in lanes.iter_mut() {
+                lane.clear();
             }
         }
-        let stats = self.stats();
+        self.shared.state.lock().unwrap().pending = 0;
+        let stats = self.shared.stats_snapshot();
         if let Some(sink) = &self.sink {
             sink(&stats);
         }
@@ -857,9 +1079,7 @@ impl EnginePool {
 
 impl Drop for EnginePool {
     fn drop(&mut self) {
-        if !self.handles.is_empty() {
-            self.finish();
-        }
+        self.finish();
     }
 }
 
@@ -885,7 +1105,37 @@ fn worker_main(shared: Arc<Shared>, spec: EngineSpec, index: usize, mut engine: 
     // a fresh manager's zeros.
     let mut retired = ManagerStats::default();
     while let Some(task) = shared.next_task(index) {
+        // Shed without running: a token tripped while the job queued, or
+        // its deadline passed — either way the fixpoint never starts.
+        if task.cancel.is_cancelled() {
+            shared.workers[index].lock().unwrap().jobs_cancelled += 1;
+            task.slot.deliver(Err(QitsError::Cancelled));
+            continue;
+        }
+        if task.deadline.is_some_and(|d| Instant::now() >= d) {
+            shared.workers[index].lock().unwrap().jobs_expired += 1;
+            task.slot.deliver(Err(QitsError::DeadlineExpired));
+            continue;
+        }
+        // Second memo probe, at dequeue: a duplicate submitted earlier
+        // may have completed while this copy sat in the queue. Misses are
+        // counted here — and only here, so a job probed at both ends
+        // still counts once.
+        if let (Some(memo), Some(key)) = (&shared.memo, &task.memo_key) {
+            if let Some(out) = memo.get(key) {
+                shared.workers[index].lock().unwrap().jobs_completed += 1;
+                task.slot.deliver(Ok(out));
+                continue;
+            }
+            memo.record_miss();
+        }
+        // The job's cancellation token rides the worker session for
+        // exactly this job: every GC safepoint the computation polls
+        // checks it. Cleared on every path afterwards — the next job
+        // must not inherit a tripped token.
+        engine.set_cancel_token(Some(task.cancel.clone()));
         let outcome = catch_unwind(AssertUnwindSafe(|| run_job(&mut engine, &task.job)));
+        engine.set_cancel_token(None);
         let result = match outcome {
             Ok(r) => r,
             Err(payload) => {
@@ -902,20 +1152,21 @@ fn worker_main(shared: Arc<Shared>, spec: EngineSpec, index: usize, mut engine: 
                 })
             }
         };
+        if let (Ok(out), Some(memo), Some(key)) = (&result, &shared.memo, &task.memo_key) {
+            memo.insert(*key, out);
+        }
         {
             let mut w = shared.workers[index].lock().unwrap();
-            if result.is_ok() {
-                w.jobs_completed += 1;
-            } else {
-                w.jobs_failed += 1;
+            match &result {
+                Ok(_) => w.jobs_completed += 1,
+                Err(QitsError::Cancelled) => w.jobs_cancelled += 1,
+                Err(_) => w.jobs_failed += 1,
             }
             let mut snapshot = retired;
             snapshot.absorb(&engine.manager().stats());
             w.manager = snapshot;
         }
-        // The submitter may have dropped its handle; that abandons the
-        // result, not the job.
-        let _ = task.tx.send(result);
+        task.slot.deliver(result);
     }
 }
 
@@ -1056,5 +1307,41 @@ mod tests {
         let text = format!("{spec:?}");
         assert!(text.contains("basic"), "{text}");
         assert!(text.contains("Grover3"), "{text}");
+    }
+
+    #[test]
+    fn spec_fingerprint_separates_semantically_distinct_specs() {
+        let a = grover_spec();
+        assert_eq!(a.fingerprint(), grover_spec().fingerprint());
+        let other_system = EngineSpec::new(generators::ghz(3));
+        assert_ne!(a.fingerprint(), other_system.fingerprint());
+        let other_tol = grover_spec().tolerance(1e-7);
+        assert_ne!(a.fingerprint(), other_tol.fingerprint());
+        let other_strategy = grover_spec().strategy(crate::Strategy::Basic);
+        assert_ne!(a.fingerprint(), other_strategy.fingerprint());
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_through_drop() {
+        // `shutdown` consumes the pool, but `Drop` runs `finish` again;
+        // the flag makes the second pass a pure snapshot instead of a
+        // re-join/re-drain that used to rely on drain ordering.
+        let calls = Arc::new(AtomicU64::new(0));
+        let seen = calls.clone();
+        let pool = EnginePool::builder(grover_spec())
+            .workers(1)
+            .stats_sink(move |_| {
+                seen.fetch_add(1, Ordering::Relaxed);
+            })
+            .build()
+            .unwrap();
+        pool.submit(Job::image()).join().unwrap();
+        let stats = pool.shutdown();
+        assert_eq!(stats.jobs_completed, 1);
+        assert_eq!(
+            calls.load(Ordering::Relaxed),
+            1,
+            "the sink must fire exactly once across shutdown + drop"
+        );
     }
 }

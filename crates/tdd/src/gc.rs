@@ -513,6 +513,19 @@ impl TddManager {
     pub fn maybe_collect_at_safepoint(&mut self, holders: &[&dyn EdgeHolder]) -> Option<GcOutcome> {
         self.stats.safepoints_polled += 1;
         self.safepoints_since_reorder += 1;
+        // Cancellation rides the safepoint cadence and is checked before
+        // the policy gate so GC-free sessions stay cancellable too.
+        // `resume_unwind` rather than `panic_any`: cancellation is a
+        // routine serving event, caught and converted at the operation
+        // boundary, so it must not invoke the panic hook (which would
+        // print a backtrace per cancelled job).
+        if let Some(token) = &self.cancel_token {
+            if token.poll() {
+                std::panic::resume_unwind(Box::new(crate::OperationCancelled {
+                    polls: token.polls(),
+                }));
+            }
+        }
         if self.unique.sweep_in_progress() {
             let budget = self.gc_policy.map_or(usize::MAX, |p| p.sweep_budget);
             let start = Instant::now();

@@ -58,6 +58,7 @@
 //! ```
 
 pub mod cache;
+pub mod cancel;
 mod cnum;
 mod dot;
 pub mod gc;
@@ -72,6 +73,7 @@ mod table;
 mod transfer;
 
 pub use cache::{CacheLookup, CacheSizes, CacheStats, DEFAULT_CACHE_CAPACITY};
+pub use cancel::{CancelToken, OperationCancelled};
 pub use cnum::{CIdx, ComplexTable};
 pub use gc::{EdgeHolder, GcOutcome, GcPolicy, ReorderPolicy, RootId, RootScope};
 pub use manager::{ArenaExhausted, TddManager};
@@ -92,5 +94,7 @@ const _: () = {
     assert_send_sync::<GcPolicy>();
     assert_send_sync::<ReorderPolicy>();
     assert_send_sync::<ArenaExhausted>();
+    assert_send_sync::<CancelToken>();
+    assert_send_sync::<OperationCancelled>();
     assert_send_sync::<ProbeHistogram>();
 };

@@ -6,6 +6,7 @@ use qits_num::{Cplx, Mat};
 use qits_tensor::{Tensor, Var, VarSet};
 
 use crate::cache::{CacheLookup, CacheSizes, OpCaches, RenameId, SumId, DEFAULT_CACHE_CAPACITY};
+use crate::cancel::CancelToken;
 use crate::cnum::{CIdx, ComplexTable};
 use crate::gc::{GcPolicy, RootRegistry};
 use crate::node::{Edge, Node, NodeId, TERMINAL};
@@ -112,6 +113,9 @@ pub struct TddManager {
     /// Safepoints polled since the last sifting pass (trigger counter for
     /// [`ReorderPolicy::EveryNSafepoints`](crate::ReorderPolicy)).
     pub(crate) safepoints_since_reorder: u64,
+    /// Cooperative-cancellation flag checked at every GC safepoint;
+    /// `None` (the default) makes safepoints cancellation-free.
+    pub(crate) cancel_token: Option<CancelToken>,
 }
 
 impl Default for TddManager {
@@ -144,6 +148,7 @@ impl TddManager {
             order: VarOrder::default(),
             reorder_baseline: 1,
             safepoints_since_reorder: 0,
+            cancel_token: None,
         }
     }
 
@@ -230,6 +235,23 @@ impl TddManager {
     /// values above the `u32` index space are clamped by allocation).
     pub fn set_node_capacity(&mut self, capacity: usize) {
         self.unique.set_node_capacity(capacity);
+    }
+
+    /// Installs (or, with `None`, clears) the cooperative-cancellation
+    /// token polled at every GC safepoint. A tripped token makes the next
+    /// [`TddManager::maybe_collect_at_safepoint`] unwind with an
+    /// [`crate::OperationCancelled`] payload; see [`crate::cancel`].
+    ///
+    /// Tokens are per-job: a pool worker installs the job's token before
+    /// running it and clears it afterwards so the next job cannot inherit
+    /// a tripped flag.
+    pub fn set_cancel_token(&mut self, token: Option<CancelToken>) {
+        self.cancel_token = token;
+    }
+
+    /// The installed cancellation token, if any.
+    pub fn cancel_token(&self) -> Option<&CancelToken> {
+        self.cancel_token.as_ref()
     }
 
     /// Drops every operation cache (unique table and node store are kept).
