@@ -1,12 +1,16 @@
 //! `bench_check` — the perf regression guard over a fresh `BENCH_ci.json`.
 //!
-//! Parses the artifact the `table1 --ci` run just wrote (schema v6) and
+//! Parses the artifact the `table1 --ci` run just wrote (schema v7) and
 //! hard-fails CI when a tracked perf number crosses its committed floor:
 //!
 //! * `pool.speedup` < 2.0 — the pool must beat fresh-serial-per-job by
 //!   at least 2x on the CI case, or the serving layer regressed;
 //! * `serve.p99_ms` > [`P99_CEILING_MS`] — the soak's tail latency gate;
-//! * `serve.failed` / `serve.lost` non-zero — correctness, not perf.
+//! * `serve.failed` / `serve.lost` non-zero — correctness, not perf;
+//! * `store.warm_hit_rate` ≤ 0 or `store.resumed_converged` false — a
+//!   warm-started pool recomputing duplicates, or a resumed fixpoint
+//!   failing to finish, means the persistence layer regressed;
+//! * `store.snapshot_bytes` = 0 — an empty snapshot recorded nothing.
 //!
 //! Usage: `bench_check [path/to/BENCH_ci.json]` (default `BENCH_ci.json`).
 
@@ -50,9 +54,9 @@ fn main() {
         .get("schema")
         .and_then(JsonValue::as_str)
         .unwrap_or_else(|| fail("missing \"schema\""));
-    if schema != "qits-bench-ci/6" {
+    if schema != "qits-bench-ci/7" {
         fail(&format!(
-            "schema is '{schema}', expected 'qits-bench-ci/6' — regenerate \
+            "schema is '{schema}', expected 'qits-bench-ci/7' — regenerate \
              the artifact with `table1 --ci`"
         ));
     }
@@ -62,12 +66,21 @@ fn main() {
     let failed = number(&v, "serve", "failed");
     let lost = number(&v, "serve", "lost");
     let hit_rate = number(&v, "serve", "memo_hit_rate");
+    let snapshot_bytes = number(&v, "store", "snapshot_bytes");
+    let warm_hit_rate = number(&v, "store", "warm_hit_rate");
+    let resumed_converged = v
+        .get("store")
+        .and_then(|s| s.get("resumed_converged"))
+        .and_then(JsonValue::as_bool)
+        .unwrap_or_else(|| fail("missing boolean field store.resumed_converged"));
 
     println!(
         "bench_check: pool speedup {speedup:.2}x (floor {SPEEDUP_FLOOR:.1}x), \
          serve p99 {p99:.1}ms (ceiling {P99_CEILING_MS:.0}ms), \
-         memo hit rate {:.1}%",
-        100.0 * hit_rate
+         memo hit rate {:.1}%, snapshot {snapshot_bytes:.0} bytes \
+         (warm hit rate {:.1}%)",
+        100.0 * hit_rate,
+        100.0 * warm_hit_rate,
     );
 
     if failed > 0.0 || lost > 0.0 {
@@ -87,6 +100,15 @@ fn main() {
         fail(&format!(
             "serve p99 {p99:.1}ms exceeds the {P99_CEILING_MS:.0}ms ceiling"
         ));
+    }
+    if snapshot_bytes <= 0.0 {
+        fail("the store snapshot is empty — persistence recorded nothing");
+    }
+    if !resumed_converged {
+        fail("the resumed fixpoint did not converge");
+    }
+    if warm_hit_rate <= 0.0 {
+        fail("the warm-started pool served no warm memo hits — duplicates were recomputed");
     }
     println!("bench_check: ok");
 }

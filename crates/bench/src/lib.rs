@@ -11,8 +11,10 @@ pub mod soak;
 
 pub use soak::{run_serve_soak, ServeMeasurement, SoakConfig};
 
+use std::path::Path;
 use std::time::{Duration, Instant};
 
+use qits::store::{ByteReader, ByteWriter, MemoEntry, Snapshot, StoreError};
 use qits::{
     mc, Auto, Engine, EngineBuilder, EnginePool, EngineSpec, ImageStats, ImageStrategy, Job,
     ReorderPolicy, StaticOrder, Strategy, Subspace,
@@ -556,6 +558,218 @@ impl UniqueTableHealth {
     }
 }
 
+/// The persistence measurement of one CI run — the `store` row of
+/// `BENCH_ci.json` schema v7: how big a mid-fixpoint engine snapshot is,
+/// what dumping and warm-starting it cost, whether the resumed fixpoint
+/// converged, and whether a warm-started pool answered duplicate traffic
+/// straight from the restored memo.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StoreMeasurement {
+    /// On-disk size of the engine snapshot (checkpointed mid-fixpoint).
+    pub snapshot_bytes: u64,
+    /// Milliseconds to dump the session and write the snapshot.
+    pub dump_ms: f64,
+    /// Milliseconds to read the snapshot back and warm-start a fresh
+    /// session from it.
+    pub load_ms: f64,
+    /// Total fixpoint iterations of the resumed run (checkpointed window
+    /// plus continuation) — must equal the uninterrupted run's count.
+    pub resumed_iterations: usize,
+    /// Whether the resumed fixpoint converged.
+    pub resumed_converged: bool,
+    /// `warm_hits / hits` of a pool warm-started from a memo spill and
+    /// then asked the duplicate question — 1.0 when every hit was served
+    /// by a snapshot-restored entry.
+    pub warm_hit_rate: f64,
+}
+
+/// Measures [`StoreMeasurement`] for the CI store case: checkpoint a
+/// QRW fixpoint after one iteration, warm-start a fresh session from the
+/// file and finish it, then spill a pool's memo and prove a second,
+/// warm-started pool answers the same job as a warm memo hit. Snapshot
+/// files land under `dir` (CI passes `target/`).
+///
+/// # Panics
+///
+/// Panics when any persistence step fails — in the CI smoke that *is*
+/// the regression signal.
+pub fn run_store_measurement(dir: &Path) -> StoreMeasurement {
+    std::fs::create_dir_all(dir).expect("creating the snapshot dir");
+    let spec = EngineSpec::new(spec_for("qrw", 4)).strategy(strategy_for("contraction"));
+    let path = dir.join("bench_store_engine.qsnap");
+
+    // Checkpoint a partial fixpoint to disk, timed.
+    let mut engine = spec.build().expect("store spec must form a valid system");
+    let partial = engine
+        .reachable_space(1)
+        .expect("store fixpoint window must run");
+    let start = Instant::now();
+    engine
+        .save_snapshot(&path, "bench-store", Some(&partial))
+        .expect("snapshot must write");
+    let dump_ms = start.elapsed().as_secs_f64() * 1e3;
+    let snapshot_bytes = std::fs::metadata(&path)
+        .expect("snapshot must exist after writing")
+        .len();
+
+    // Warm-start a fresh session from the file, timed, and finish the
+    // fixpoint from the restored space.
+    let start = Instant::now();
+    let mut fresh = spec.build().expect("store spec must form a valid system");
+    let resumed = fresh
+        .warm_start_from(&path)
+        .expect("snapshot must load")
+        .expect("snapshot carries a checkpoint");
+    let load_ms = start.elapsed().as_secs_f64() * 1e3;
+    let finished = fresh
+        .resume_reachable_space(&resumed, 50)
+        .expect("resumed fixpoint must run");
+
+    // Memo spill → warm-started pool → the duplicate job must be a warm
+    // hit (answered without any fixpoint running in the new pool).
+    let memo_path = dir.join("bench_store_memo.qsnap");
+    let job = Job::reachability(50);
+    let pool = EnginePool::builder(spec.clone())
+        .workers(2)
+        .memo_capacity(64)
+        .build()
+        .expect("store spec must form a valid system");
+    pool.submit(job.clone())
+        .join()
+        .expect("store pool job must compute");
+    pool.handle()
+        .save_snapshot(&memo_path, "bench-store-memo")
+        .expect("memo spill must write");
+    pool.shutdown();
+    let warmed = EnginePool::builder(spec)
+        .workers(2)
+        .warm_start(&memo_path)
+        .expect("memo snapshot must load")
+        .build()
+        .expect("store spec must form a valid system");
+    warmed
+        .submit(job)
+        .join()
+        .expect("warm-started duplicate must resolve");
+    let stats = warmed.shutdown();
+
+    StoreMeasurement {
+        snapshot_bytes,
+        dump_ms,
+        load_ms,
+        resumed_iterations: finished.iterations,
+        resumed_converged: finished.converged,
+        warm_hit_rate: stats.memo.warm_hits as f64 / stats.memo.hits.max(1) as f64,
+    }
+}
+
+// ----------------------------------------------------------------------
+// The resumable-run checkpoint (`table1 --resume`).
+// ----------------------------------------------------------------------
+
+fn encode_case(w: &mut ByteWriter, c: &CaseMeasurement) {
+    w.put_f64(c.secs);
+    w.put_u64(c.max_nodes as u64);
+    w.put_f64(c.cont_hit_rate);
+    w.put_u64(c.live_nodes as u64);
+    w.put_u64(c.allocated_nodes as u64);
+    w.put_u64(c.reclaimed_nodes);
+}
+
+fn decode_case(r: &mut ByteReader<'_>) -> Result<CaseMeasurement, StoreError> {
+    Ok(CaseMeasurement {
+        secs: r.get_f64()?,
+        max_nodes: r.get_u64()? as usize,
+        cont_hit_rate: r.get_f64()?,
+        live_nodes: r.get_u64()? as usize,
+        allocated_nodes: r.get_u64()? as usize,
+        reclaimed_nodes: r.get_u64()?,
+    })
+}
+
+fn encode_reorder(w: &mut ByteWriter, m: &ReorderMeasurement) {
+    w.put_u64(m.live_off as u64);
+    w.put_u64(m.live_on as u64);
+    w.put_u64(m.peak_off as u64);
+    w.put_u64(m.peak_on as u64);
+    w.put_u64(m.swaps);
+    w.put_u64(m.sift_passes);
+}
+
+fn decode_reorder(r: &mut ByteReader<'_>) -> Result<ReorderMeasurement, StoreError> {
+    Ok(ReorderMeasurement {
+        live_off: r.get_u64()? as usize,
+        live_on: r.get_u64()? as usize,
+        peak_off: r.get_u64()? as usize,
+        peak_on: r.get_u64()? as usize,
+        swaps: r.get_u64()?,
+        sift_passes: r.get_u64()?,
+    })
+}
+
+/// Writes a `table1 --resume` checkpoint: the CI rows measured so far,
+/// riding inside a [`Snapshot`] container so the file gets the store
+/// format's magic, version, and checksum for free. `f64`s travel as raw
+/// bits, so a resumed run's rows (and the `BENCH_ci.json` it finally
+/// writes) are bit-identical to the interrupted run's measurements.
+pub fn write_ci_checkpoint(path: &Path, rows: &[CiRow]) -> Result<(), StoreError> {
+    let mut w = ByteWriter::new();
+    w.put_u64(rows.len() as u64);
+    for row in rows {
+        w.put_str(&row.family);
+        w.put_u32(row.n);
+        w.put_str(&row.method);
+        w.put_str(&row.auto_selected);
+        encode_case(&mut w, &row.subprocess);
+        qits::store::encode_image_stats(&mut w, &row.gc);
+        encode_reorder(&mut w, &row.reorder);
+    }
+    let mut snap = Snapshot::new("table1-checkpoint");
+    snap.memo = vec![MemoEntry {
+        key: rows.len() as u128,
+        value: w.into_bytes(),
+    }];
+    snap.write_to(path)
+}
+
+/// Reads a `table1 --resume` checkpoint back. Corrupt, truncated, or
+/// wrong-version files surface as typed [`StoreError`]s, never panics.
+pub fn read_ci_checkpoint(path: &Path) -> Result<Vec<CiRow>, StoreError> {
+    let snap = Snapshot::read_from(path)?;
+    let entry = snap
+        .memo
+        .first()
+        .ok_or_else(|| StoreError::Malformed("checkpoint carries no payload".to_string()))?;
+    let mut r = ByteReader::new(&entry.value);
+    let count = r.get_count(16)?;
+    let mut rows = Vec::with_capacity(count);
+    for _ in 0..count {
+        let family = r.get_str()?;
+        let n = r.get_u32()?;
+        let method = r.get_str()?;
+        let auto_selected = r.get_str()?;
+        let subprocess = decode_case(&mut r)?;
+        let gc = qits::store::decode_image_stats(&mut r)?;
+        let reorder = decode_reorder(&mut r)?;
+        rows.push(CiRow {
+            family,
+            n,
+            method,
+            subprocess,
+            gc,
+            auto_selected,
+            reorder,
+        });
+    }
+    if r.remaining() != 0 {
+        return Err(StoreError::Malformed(format!(
+            "{} trailing byte(s) after checkpoint rows",
+            r.remaining()
+        )));
+    }
+    Ok(rows)
+}
+
 /// Serialises the CI bench rows plus the pool throughput measurement as
 /// `BENCH_ci.json` (hand-rolled — the workspace carries no serde).
 /// Schema is versioned so downstream trajectory tooling can evolve it;
@@ -569,9 +783,17 @@ impl UniqueTableHealth {
 /// `worker_sift_passes`; v6 adds the `serve` row (the async-front soak:
 /// completion-latency percentiles over thousands of mixed-priority jobs
 /// with deliberately cancelled and deadline-expired slices, plus the
-/// result-memo hit accounting — see [`run_serve_soak`]).
-pub fn ci_report_json(rows: &[CiRow], pool: &PoolMeasurement, serve: &ServeMeasurement) -> String {
-    let mut out = String::from("{\n  \"schema\": \"qits-bench-ci/6\",\n");
+/// result-memo hit accounting — see [`run_serve_soak`]); v7 adds the
+/// `store` row (snapshot size, dump/load milliseconds, resumed-fixpoint
+/// iteration count, and the warm-started pool's memo hit rate — see
+/// [`run_store_measurement`]).
+pub fn ci_report_json(
+    rows: &[CiRow],
+    pool: &PoolMeasurement,
+    serve: &ServeMeasurement,
+    store: &StoreMeasurement,
+) -> String {
+    let mut out = String::from("{\n  \"schema\": \"qits-bench-ci/7\",\n");
     let ut = UniqueTableHealth::from_rows(rows);
     out.push_str(&format!(
         concat!(
@@ -630,6 +852,19 @@ pub fn ci_report_json(rows: &[CiRow], pool: &PoolMeasurement, serve: &ServeMeasu
         serve.memo_hits,
         serve.memo_misses,
         serve.memo_hit_rate,
+    ));
+    out.push_str(&format!(
+        concat!(
+            "  \"store\": {{\"snapshot_bytes\": {}, \"dump_ms\": {:.3}, ",
+            "\"load_ms\": {:.3}, \"resumed_iterations\": {}, ",
+            "\"resumed_converged\": {}, \"warm_hit_rate\": {:.6}}},\n",
+        ),
+        store.snapshot_bytes,
+        store.dump_ms,
+        store.load_ms,
+        store.resumed_iterations,
+        store.resumed_converged,
+        store.warm_hit_rate,
     ));
     out.push_str("  \"cases\": [\n");
     for (i, r) in rows.iter().enumerate() {
@@ -710,6 +945,68 @@ pub fn maybe_run_one(args: &[String]) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// A scratch directory under the workspace `target/` (the repo's
+    /// temp-file policy: never the system temp dir).
+    fn test_dir(name: &str) -> std::path::PathBuf {
+        let d = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../../target/tmp/bench-tests")
+            .join(name);
+        std::fs::create_dir_all(&d).expect("creating the bench test scratch dir");
+        d
+    }
+
+    #[test]
+    fn ci_checkpoint_round_trips_bit_identically() {
+        let gc = run_image_gc(
+            &spec_for("ghz", 4),
+            strategy_for("addition"),
+            Some(GcPolicy::aggressive()),
+        );
+        let rows = vec![CiRow {
+            family: "ghz".into(),
+            n: 4,
+            method: "addition".into(),
+            subprocess: CaseMeasurement {
+                secs: 0.123456789,
+                max_nodes: 17,
+                cont_hit_rate: 1.0 / 3.0,
+                live_nodes: 5,
+                allocated_nodes: 9,
+                reclaimed_nodes: 2,
+            },
+            gc,
+            auto_selected: auto_selected("ghz", 4),
+            reorder: ReorderMeasurement {
+                live_off: 10,
+                live_on: 8,
+                peak_off: 20,
+                peak_on: 16,
+                swaps: 3,
+                sift_passes: 1,
+            },
+        }];
+        let path = test_dir("checkpoint").join("t1.ck");
+        write_ci_checkpoint(&path, &rows).expect("checkpoint must write");
+        let back = read_ci_checkpoint(&path).expect("checkpoint must read");
+        assert_eq!(back.len(), 1);
+        assert_eq!(back[0].family, rows[0].family);
+        assert_eq!(back[0].subprocess, rows[0].subprocess);
+        assert_eq!(back[0].gc, rows[0].gc);
+        assert_eq!(back[0].reorder, rows[0].reorder);
+        assert_eq!(back[0].auto_selected, rows[0].auto_selected);
+        // Bit-identity is what makes a resumed BENCH row identical.
+        assert_eq!(
+            back[0].subprocess.secs.to_bits(),
+            rows[0].subprocess.secs.to_bits()
+        );
+
+        // Corruption is a typed error, not a panic.
+        let bytes = std::fs::read(&path).unwrap();
+        let bad = path.with_extension("ck.bad");
+        std::fs::write(&bad, &bytes[..bytes.len() - 4]).unwrap();
+        assert!(read_ci_checkpoint(&bad).is_err());
+    }
 
     #[test]
     fn spec_for_names_match_table() {
@@ -818,10 +1115,20 @@ mod tests {
             memo_capacity: 256,
         });
         assert!(serve.sound(), "soak books must balance: {serve:?}");
-        let json = ci_report_json(&rows, &pool, &serve);
-        assert!(json.contains("\"schema\": \"qits-bench-ci/6\""));
+        let store = run_store_measurement(&test_dir("ci-serialise"));
+        assert!(store.snapshot_bytes > 0);
+        assert!(store.resumed_converged, "resumed fixpoint must converge");
+        assert!(
+            store.warm_hit_rate > 0.0,
+            "a warm-started pool must answer the duplicate from the \
+             restored memo: {store:?}"
+        );
+        let json = ci_report_json(&rows, &pool, &serve, &store);
+        assert!(json.contains("\"schema\": \"qits-bench-ci/7\""));
         assert!(json.contains("\"pool\": {\"family\": \"ghz\""));
         assert!(json.contains("\"serve\": {\"workers\": 2, \"jobs\": 100"));
+        assert!(json.contains("\"store\": {\"snapshot_bytes\""));
+        assert!(json.contains("\"warm_hit_rate\""));
         assert!(json.contains("\"p99_ms\""));
         assert!(json.contains("\"memo_hit_rate\""));
         assert!(json.contains("\"speedup\""));

@@ -17,6 +17,7 @@
 //! | `--queue-depth <d>` | unbounded | admission bound (`QueueFull` beyond it) |
 //! | `--memo <cap>` | off | result-memo capacity in entries |
 //! | `--strategy <s>` | `auto` | `auto`, `basic`, `addition`, `contraction` |
+//! | `--warm-start <path>` | off | warm-start workers and preload the memo from a snapshot file |
 
 use std::io::{self, BufReader, Write};
 use std::process::ExitCode;
@@ -32,6 +33,7 @@ struct Options {
     queue_depth: Option<usize>,
     memo: Option<usize>,
     strategy: String,
+    warm_start: Option<String>,
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -42,6 +44,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         queue_depth: None,
         memo: None,
         strategy: "auto".to_string(),
+        warm_start: None,
     };
     let mut i = 0;
     while i < args.len() {
@@ -79,6 +82,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 )
             }
             "--strategy" => opts.strategy = value("--strategy")?,
+            "--warm-start" => opts.warm_start = Some(value("--warm-start")?),
             other => return Err(format!("unknown flag '{other}'")),
         }
         i += 1;
@@ -135,6 +139,15 @@ fn main() -> ExitCode {
     if let Some(cap) = opts.memo {
         builder = builder.memo_capacity(cap);
     }
+    if let Some(path) = &opts.warm_start {
+        builder = match builder.warm_start(path) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("qits-serve: warm start from '{path}' failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+    }
     let pool = match builder.build() {
         Ok(p) => p,
         Err(e) => {
@@ -155,13 +168,15 @@ fn main() -> ExitCode {
     let stats = pool.shutdown();
     let _ = writeln!(
         io::stderr(),
-        "qits-serve: served {} jobs ({} ok, {} failed, {} cancelled, {} expired, {} memo hits)",
+        "qits-serve: served {} jobs ({} ok, {} failed, {} cancelled, {} expired, \
+         {} memo hits of which {} warm)",
         stats.jobs_submitted,
         stats.jobs_completed,
         stats.jobs_failed,
         stats.jobs_cancelled,
         stats.jobs_expired,
         stats.memo.hits,
+        stats.memo.warm_hits,
     );
     ExitCode::SUCCESS
 }

@@ -379,6 +379,7 @@ impl EngineBuilder {
             qts,
             strategy: self.strategy,
             sink: self.sink,
+            fingerprint: None,
         })
     }
 
@@ -398,6 +399,7 @@ impl EngineBuilder {
             qts,
             strategy: self.strategy,
             sink: self.sink,
+            fingerprint: None,
         })
     }
 
@@ -422,6 +424,11 @@ pub struct Engine {
     qts: QuantumTransitionSystem,
     strategy: Box<dyn ImageStrategy>,
     sink: Option<StatsSink>,
+    /// The [`crate::EngineSpec::fingerprint`] this session was stamped
+    /// from, when it was built through a spec. Recorded into snapshots
+    /// and validated on warm start; `None` (hand-built sessions) skips
+    /// both sides of that check.
+    fingerprint: Option<u128>,
 }
 
 impl fmt::Debug for Engine {
@@ -482,6 +489,18 @@ impl Engine {
     /// session itself stays usable. See [`qits_tdd::cancel`].
     pub fn set_cancel_token(&mut self, token: Option<qits_tdd::CancelToken>) {
         self.m.set_cancel_token(token);
+    }
+
+    /// The [`crate::EngineSpec::fingerprint`] this session was built
+    /// from, if it came from a spec (`None` for hand-assembled sessions).
+    pub fn fingerprint(&self) -> Option<u128> {
+        self.fingerprint
+    }
+
+    /// Stamps the spec fingerprint onto a freshly built session — called
+    /// by [`crate::EngineSpec::build`] and the pool's worker factory.
+    pub(crate) fn set_fingerprint(&mut self, fingerprint: u128) {
+        self.fingerprint = Some(fingerprint);
     }
 
     /// The configured strategy object.
@@ -608,7 +627,45 @@ impl Engine {
         max_iterations: usize,
     ) -> Result<ReachabilityResult, QitsError> {
         let (m, qts, strategy) = (&mut self.m, &self.qts, &*self.strategy);
-        let r = Self::guard_exhaustion(|| fixpoint_with(m, qts, strategy, max_iterations, &[]))?;
+        let r =
+            Self::guard_exhaustion(|| fixpoint_with(m, qts, strategy, max_iterations, &[], None))?;
+        let name = self.strategy.name();
+        for st in &r.stats {
+            self.record(&name, st);
+        }
+        Ok(r)
+    }
+
+    /// Continues a reachability fixpoint from a checkpoint restored by
+    /// [`Engine::warm_start`]: iterates `S <- S v T(S)` starting from the
+    /// checkpointed space instead of `S0`, then folds the checkpoint's
+    /// iteration/GC counters into the returned result — so a run that was
+    /// snapshotted mid-fixpoint, restarted, and resumed reports the same
+    /// totals as one that never stopped. Sound because the closure is
+    /// monotone: the checkpointed `S_j` contains `S0`, so resuming walks
+    /// exactly the tail of the original iteration chain.
+    ///
+    /// `max_iterations` bounds the *additional* iterations of this call.
+    pub fn resume_reachable_space(
+        &mut self,
+        resumed: &crate::store::ResumedReach,
+        max_iterations: usize,
+    ) -> Result<ReachabilityResult, QitsError> {
+        if resumed.space.n_qubits() != self.qts.n_qubits() {
+            return Err(QitsError::RegisterMismatch {
+                expected: self.qts.n_qubits(),
+                found: resumed.space.n_qubits(),
+                context: "the restored reachability space".to_string(),
+            });
+        }
+        let start = resumed.space.clone();
+        let (m, qts, strategy) = (&mut self.m, &self.qts, &*self.strategy);
+        let mut r = Self::guard_exhaustion(|| {
+            fixpoint_with(m, qts, strategy, max_iterations, &[], Some(start))
+        })?;
+        r.iterations += resumed.iterations;
+        r.collections += resumed.collections;
+        r.reclaimed_nodes += resumed.reclaimed_nodes;
         let name = self.strategy.name();
         for st in &r.stats {
             self.record(&name, st);
@@ -633,7 +690,7 @@ impl Engine {
         }
         let (m, qts, strategy) = (&mut self.m, &self.qts, &*self.strategy);
         let r = Self::guard_exhaustion(|| {
-            fixpoint_with(m, qts, strategy, max_iterations, &[invariant])
+            fixpoint_with(m, qts, strategy, max_iterations, &[invariant], None)
         })?;
         let holds = r.space.is_subspace_of(&mut self.m, invariant);
         let name = self.strategy.name();

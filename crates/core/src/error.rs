@@ -91,6 +91,41 @@ pub enum QitsError {
     /// The job's deadline passed before a worker started it, so it was
     /// shed at dequeue without running.
     DeadlineExpired,
+    /// A snapshot file could not be read or written.
+    StoreIo {
+        /// The path involved.
+        path: String,
+        /// The OS-level detail.
+        detail: String,
+    },
+    /// A snapshot file failed validation: bad magic, failed checksum,
+    /// truncation, or a malformed payload. The file is rejected whole —
+    /// there is no partial restore.
+    StoreCorrupt {
+        /// What exactly failed to parse or verify.
+        detail: String,
+    },
+    /// A snapshot file carries a format version this build does not
+    /// speak. Older readers refuse newer files rather than misparse them.
+    StoreVersion {
+        /// The version found in the file header.
+        found: u32,
+        /// The newest version this build supports.
+        supported: u32,
+    },
+    /// A snapshot was produced by a different engine spec than the one
+    /// trying to warm-start from it, so its subspaces and memo entries
+    /// describe a different system.
+    StoreSpecMismatch {
+        /// Fingerprint of the spec doing the loading.
+        expected: u128,
+        /// Fingerprint recorded in the snapshot.
+        found: u128,
+    },
+    /// A snapshot's memo entries could not be preloaded because the pool
+    /// was built without a result memo (see
+    /// [`crate::PoolBuilder::memo_capacity`]).
+    StoreMemoUnavailable,
 }
 
 impl fmt::Display for QitsError {
@@ -144,11 +179,61 @@ impl fmt::Display for QitsError {
             QitsError::DeadlineExpired => {
                 write!(f, "the job's deadline expired before it ran")
             }
+            QitsError::StoreIo { path, detail } => {
+                write!(f, "snapshot i/o failed for '{path}': {detail}")
+            }
+            QitsError::StoreCorrupt { detail } => {
+                write!(f, "snapshot rejected as corrupt: {detail}")
+            }
+            QitsError::StoreVersion { found, supported } => {
+                write!(
+                    f,
+                    "snapshot format version {found} is newer than this \
+                     build supports (max {supported})"
+                )
+            }
+            QitsError::StoreSpecMismatch { expected, found } => {
+                write!(
+                    f,
+                    "snapshot spec fingerprint {found:#034x} does not match \
+                     this engine's {expected:#034x}"
+                )
+            }
+            QitsError::StoreMemoUnavailable => {
+                write!(
+                    f,
+                    "snapshot carries memo entries but the pool has no \
+                     result memo to preload them into"
+                )
+            }
         }
     }
 }
 
 impl std::error::Error for QitsError {}
+
+impl From<qits_store::StoreError> for QitsError {
+    fn from(e: qits_store::StoreError) -> Self {
+        use qits_store::StoreError;
+        match e {
+            StoreError::Io { path, detail } => QitsError::StoreIo { path, detail },
+            StoreError::UnsupportedVersion { found, supported } => {
+                QitsError::StoreVersion { found, supported }
+            }
+            other => QitsError::StoreCorrupt {
+                detail: other.to_string(),
+            },
+        }
+    }
+}
+
+impl From<qits_tdd::DumpError> for QitsError {
+    fn from(e: qits_tdd::DumpError) -> Self {
+        QitsError::StoreCorrupt {
+            detail: e.to_string(),
+        }
+    }
+}
 
 /// Extracts a human-readable message from a worker thread's panic payload.
 pub(crate) fn panic_detail(payload: &(dyn std::any::Any + Send)) -> String {
@@ -205,6 +290,34 @@ mod tests {
             (QitsError::QueueFull { depth: 8 }, "8 jobs pending"),
             (QitsError::Cancelled, "cancelled"),
             (QitsError::DeadlineExpired, "deadline expired"),
+            (
+                QitsError::StoreIo {
+                    path: "x.qsnap".into(),
+                    detail: "denied".into(),
+                },
+                "x.qsnap",
+            ),
+            (
+                QitsError::StoreCorrupt {
+                    detail: "bad magic".into(),
+                },
+                "bad magic",
+            ),
+            (
+                QitsError::StoreVersion {
+                    found: 9,
+                    supported: 1,
+                },
+                "version 9",
+            ),
+            (
+                QitsError::StoreSpecMismatch {
+                    expected: 1,
+                    found: 2,
+                },
+                "fingerprint",
+            ),
+            (QitsError::StoreMemoUnavailable, "memo to preload"),
         ];
         for (e, needle) in cases {
             let text = e.to_string();

@@ -72,6 +72,7 @@
 
 pub mod equiv;
 pub mod mc;
+pub mod store;
 
 mod engine;
 mod error;

@@ -88,7 +88,7 @@ pub fn try_reachable_space(
     strategy: Strategy,
     max_iterations: usize,
 ) -> Result<ReachabilityResult, QitsError> {
-    fixpoint_with(m, qts, &strategy, max_iterations, &[])
+    fixpoint_with(m, qts, &strategy, max_iterations, &[], None)
 }
 
 /// [`reachable_space`], additionally keeping `kept` subspaces alive
@@ -107,7 +107,7 @@ pub fn reachable_space_keeping(
     max_iterations: usize,
     kept: &[&Subspace],
 ) -> ReachabilityResult {
-    fixpoint_with(m, qts, &strategy, max_iterations, kept)
+    fixpoint_with(m, qts, &strategy, max_iterations, kept, None)
         .unwrap_or_else(|e| panic!("reachable_space_keeping: {e}"))
 }
 
@@ -116,15 +116,23 @@ pub fn reachable_space_keeping(
 /// image computed through an [`ImageStrategy`] object, rooting the system
 /// and the `kept` subspaces across in-image safepoints and polling the
 /// between-iteration safepoint with the full live set.
+///
+/// `start` overrides the starting space (default: the system's initial
+/// subspace) — the resume path of [`crate::Engine::resume_reachable_space`].
+/// Restarting the iteration from any intermediate `S_j` is sound because
+/// the closure is monotone: `S_j` already contains `S0`, so
+/// `S <- S v T(S)` from `S_j` walks exactly the tail of the original
+/// chain and converges to the same least fixpoint.
 pub(crate) fn fixpoint_with(
     m: &mut TddManager,
     qts: &QuantumTransitionSystem,
     strategy: &dyn ImageStrategy,
     max_iterations: usize,
     kept: &[&Subspace],
+    start: Option<Subspace>,
 ) -> Result<ReachabilityResult, QitsError> {
     let ops = qts.operations().clone();
-    let mut space = qts.initial().clone();
+    let mut space = start.unwrap_or_else(|| qts.initial().clone());
     let mut stats = Vec::new();
     let mut converged = false;
     let mut iterations = 0;
@@ -219,7 +227,7 @@ pub fn try_check_invariant(
     strategy: Strategy,
     max_iterations: usize,
 ) -> Result<(bool, ReachabilityResult), QitsError> {
-    let reach = fixpoint_with(m, qts, &strategy, max_iterations, &[invariant])?;
+    let reach = fixpoint_with(m, qts, &strategy, max_iterations, &[invariant], None)?;
     let holds = reach.space.is_subspace_of(m, invariant);
     Ok((holds, reach))
 }

@@ -354,4 +354,53 @@ impl ServiceHandle {
     pub fn workers(&self) -> usize {
         self.shared.worker_count()
     }
+
+    /// Spills the pool's result memo to a snapshot file (written
+    /// atomically: temp sibling, then rename) stamped with the pool's
+    /// spec fingerprint, and returns how many entries were written. A
+    /// pool without a memo writes a valid, empty snapshot — still useful
+    /// as a fingerprint-checked marker.
+    ///
+    /// The file is a plain [`crate::store::Snapshot`], so it round-trips
+    /// through [`ServiceHandle::load_snapshot`],
+    /// [`super::PoolBuilder::warm_start`], and the `qits-serve` `save` /
+    /// `load` protocol ops interchangeably.
+    pub fn save_snapshot(
+        &self,
+        path: impl AsRef<std::path::Path>,
+        label: &str,
+    ) -> Result<usize, QitsError> {
+        let mut snap = crate::store::Snapshot::new(label);
+        snap.spec_fingerprint = Some(self.shared.spec_fingerprint);
+        if let Some(memo) = &self.shared.memo {
+            snap.memo = crate::store::spill_memo(memo);
+        }
+        let entries = snap.memo.len();
+        snap.write_to(path)?;
+        Ok(entries)
+    }
+
+    /// Preloads a snapshot's memo entries into the running pool's memo
+    /// (as **warm** entries — their hits count in
+    /// [`super::MemoStats::warm_hits`]) and returns how many were
+    /// loaded. The snapshot's spec fingerprint (when recorded) must
+    /// match this pool's, else [`QitsError::StoreSpecMismatch`]; a
+    /// snapshot carrying entries into a pool with no memo configured is
+    /// [`QitsError::StoreMemoUnavailable`].
+    pub fn load_snapshot(&self, path: impl AsRef<std::path::Path>) -> Result<usize, QitsError> {
+        let snap = crate::store::Snapshot::read_from(path)?;
+        if let Some(found) = snap.spec_fingerprint {
+            let expected = self.shared.spec_fingerprint;
+            if found != expected {
+                return Err(QitsError::StoreSpecMismatch { expected, found });
+            }
+        }
+        if snap.memo.is_empty() {
+            return Ok(0);
+        }
+        match &self.shared.memo {
+            Some(memo) => crate::store::preload_memo(memo, &snap.memo),
+            None => Err(QitsError::StoreMemoUnavailable),
+        }
+    }
 }

@@ -286,7 +286,9 @@ impl EngineSpec {
     /// worker owns, minus the pool's stats sink. Use this as the
     /// reference when differential-testing pool results.
     pub fn build(&self) -> Result<Engine, QitsError> {
-        self.builder().build_from_spec(&self.system)
+        let mut engine = self.builder().build_from_spec(&self.system)?;
+        engine.set_fingerprint(self.fingerprint());
+        Ok(engine)
     }
 
     /// Builds a worker engine wired to a per-image stats sink.
@@ -294,9 +296,12 @@ impl EngineSpec {
         &self,
         sink: impl FnMut(&str, &ImageStats) + Send + 'static,
     ) -> Result<Engine, QitsError> {
-        self.builder()
+        let mut engine = self
+            .builder()
             .stats_sink(sink)
-            .build_from_spec(&self.system)
+            .build_from_spec(&self.system)?;
+        engine.set_fingerprint(self.fingerprint());
+        Ok(engine)
     }
 }
 
@@ -744,6 +749,10 @@ pub(crate) struct Shared {
     queue_depth: Option<usize>,
     memo: Option<Arc<ResultMemo>>,
     spec_fingerprint: u128,
+    /// The snapshot every worker engine is stamped from, kept so a
+    /// post-panic replacement engine is warm-started identically to the
+    /// worker it replaces.
+    warm_snapshot: Option<Arc<crate::store::Snapshot>>,
 }
 
 impl Shared {
@@ -887,6 +896,7 @@ pub struct PoolBuilder {
     sink: Option<PoolStatsSink>,
     queue_depth: Option<usize>,
     memo: Option<Arc<ResultMemo>>,
+    warm_snapshot: Option<Arc<crate::store::Snapshot>>,
 }
 
 impl PoolBuilder {
@@ -931,11 +941,47 @@ impl PoolBuilder {
         self.memo(Arc::new(ResultMemo::new(capacity)))
     }
 
+    /// Warm-starts the pool from a snapshot file written by
+    /// [`crate::Engine::save_snapshot`] or
+    /// [`ServiceHandle::save_snapshot`]:
+    ///
+    /// * every worker engine (including post-panic replacements) is
+    ///   stamped from the snapshot's TDD dump, so its unique table and
+    ///   weight table start populated instead of cold;
+    /// * the snapshot's memo entries are preloaded into the pool's
+    ///   result memo as **warm** entries at [`PoolBuilder::build`] time —
+    ///   their hits count in [`MemoStats::warm_hits`]. If no memo was
+    ///   configured, one is created sized to hold them.
+    ///
+    /// The snapshot's spec fingerprint (when recorded) must match this
+    /// builder's spec; a mismatch is
+    /// [`QitsError::StoreSpecMismatch`] — a snapshot only ever warms the
+    /// configuration that produced it.
+    pub fn warm_start(mut self, path: impl AsRef<std::path::Path>) -> Result<Self, QitsError> {
+        let snap = crate::store::Snapshot::read_from(path)?;
+        if let Some(found) = snap.spec_fingerprint {
+            let expected = self.spec.fingerprint();
+            if found != expected {
+                return Err(QitsError::StoreSpecMismatch { expected, found });
+            }
+        }
+        self.warm_snapshot = Some(Arc::new(snap));
+        Ok(self)
+    }
+
     /// Builds the pool: constructs every worker engine from the spec *on
     /// the calling thread* — so a malformed spec is an `Err` here, before
     /// any thread exists — then moves each engine onto its worker.
-    pub fn build(self) -> Result<EnginePool, QitsError> {
+    pub fn build(mut self) -> Result<EnginePool, QitsError> {
         let n = self.workers;
+        if let Some(snap) = &self.warm_snapshot {
+            if !snap.memo.is_empty() {
+                let memo = self
+                    .memo
+                    .get_or_insert_with(|| Arc::new(ResultMemo::new(snap.memo.len().max(16))));
+                crate::store::preload_memo(memo, &snap.memo)?;
+            }
+        }
         let shared = Arc::new(Shared {
             shards: (0..n).map(|_| Mutex::new(Default::default())).collect(),
             state: Mutex::new(QueueState::default()),
@@ -948,6 +994,7 @@ impl PoolBuilder {
             queue_depth: self.queue_depth,
             memo: self.memo,
             spec_fingerprint: self.spec.fingerprint(),
+            warm_snapshot: self.warm_snapshot,
         });
         let mut engines = Vec::with_capacity(n);
         for index in 0..n {
@@ -986,6 +1033,7 @@ impl EnginePool {
             sink: None,
             queue_depth: None,
             memo: None,
+            warm_snapshot: None,
         }
     }
 
@@ -1084,18 +1132,25 @@ impl Drop for EnginePool {
 }
 
 /// Builds worker `index`'s engine, wiring its stats sink into the
-/// worker's shared stats slot.
+/// worker's shared stats slot and warm-starting it when the pool was
+/// built over a snapshot. The warm start is deterministic over the
+/// immutable shared snapshot, so a post-panic rebuild that reaches this
+/// path succeeds exactly as the original build did.
 fn build_worker_engine(
     spec: &EngineSpec,
     shared: &Arc<Shared>,
     index: usize,
 ) -> Result<Engine, QitsError> {
     let slot = shared.clone();
-    spec.build_with_sink(move |_, stats| {
+    let mut engine = spec.build_with_sink(move |_, stats| {
         let mut w = slot.workers[index].lock().unwrap();
         w.images += 1;
         w.image.absorb(stats);
-    })
+    })?;
+    if let Some(snap) = &shared.warm_snapshot {
+        engine.warm_start(snap)?;
+    }
+    Ok(engine)
 }
 
 fn worker_main(shared: Arc<Shared>, spec: EngineSpec, index: usize, mut engine: Engine) {

@@ -14,6 +14,8 @@
 //! | `{"op":"submit","id":"q1","job":{...}}` | admit a job; optional `"priority":"high"\|"normal"\|"low"`, `"deadline_ms":250` |
 //! | `{"op":"cancel","id":"q1"}` | trip job `q1`'s cancellation token |
 //! | `{"op":"stats"}` | emit a `stats` event with live pool counters |
+//! | `{"op":"save","path":"memo.qsnap"}` | spill the result memo to a snapshot file ([`ServiceHandle::save_snapshot`]) |
+//! | `{"op":"load","path":"memo.qsnap"}` | preload a snapshot's memo entries as warm results ([`ServiceHandle::load_snapshot`]) |
 //! | `{"op":"shutdown"}` | stop reading; drain in-flight jobs, then exit |
 //!
 //! # Job payloads
@@ -37,8 +39,10 @@
 //! | `{"event":"rejected","id":"q1","error":"..."}` | admission refused (queue full / shutdown) — terminal for this id |
 //! | `{"event":"result","id":"q1","status":"ok","output":{...},"latency_ms":1.9}` | the job completed |
 //! | `{"event":"result","id":"q1","status":"error","error":"..."}` | the job failed / was cancelled / expired |
-//! | `{"event":"stats","jobs_submitted":...,...}` | answer to `{"op":"stats"}` |
-//! | `{"event":"error","error":"..."}` | the input line did not parse; the server keeps reading |
+//! | `{"event":"stats","jobs_submitted":...,...}` | answer to `{"op":"stats"}` — memo counters split `memo_hits` / `memo_warm_hits` (hits served by snapshot-restored entries) and report `memo_evictions` |
+//! | `{"event":"saved","path":"...","entries":N}` | the memo spill was written (`N` entries) |
+//! | `{"event":"loaded","path":"...","entries":N}` | a snapshot's memo entries were preloaded |
+//! | `{"event":"error","error":"..."}` | the input line did not parse, or a `save`/`load` failed; the server keeps reading |
 //! | `{"event":"bye"}` | drain finished after `shutdown` / EOF; last line |
 
 use std::collections::HashMap;
@@ -331,6 +335,17 @@ pub enum Request {
     },
     /// `{"op":"stats"}` — emit live pool counters.
     Stats,
+    /// `{"op":"save","path":...}` — spill the result memo to a snapshot
+    /// file.
+    Save {
+        /// Filesystem path to write the snapshot to.
+        path: String,
+    },
+    /// `{"op":"load","path":...}` — preload a snapshot's memo entries.
+    Load {
+        /// Filesystem path to read the snapshot from.
+        path: String,
+    },
     /// `{"op":"shutdown"}` — stop reading, drain, exit.
     Shutdown,
 }
@@ -389,6 +404,20 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 .to_string(),
         }),
         "stats" => Ok(Request::Stats),
+        "save" => Ok(Request::Save {
+            path: v
+                .get("path")
+                .and_then(JsonValue::as_str)
+                .ok_or("save needs a \"path\"")?
+                .to_string(),
+        }),
+        "load" => Ok(Request::Load {
+            path: v
+                .get("path")
+                .and_then(JsonValue::as_str)
+                .ok_or("load needs a \"path\"")?
+                .to_string(),
+        }),
         "shutdown" => Ok(Request::Shutdown),
         other => Err(format!("unknown op '{other}'")),
     }
@@ -588,7 +617,8 @@ fn stats_json(s: &PoolStats) -> String {
         "{{\"event\": \"stats\", \"workers\": {}, \"jobs_submitted\": {}, \
          \"jobs_completed\": {}, \"jobs_failed\": {}, \"jobs_rejected\": {}, \
          \"jobs_cancelled\": {}, \"jobs_expired\": {}, \"queue_depth\": {}, \
-         \"memo_hits\": {}, \"memo_misses\": {}, \"images\": {}}}",
+         \"memo_hits\": {}, \"memo_warm_hits\": {}, \"memo_misses\": {}, \
+         \"memo_evictions\": {}, \"images\": {}}}",
         s.workers.len(),
         s.jobs_submitted,
         s.jobs_completed,
@@ -598,7 +628,9 @@ fn stats_json(s: &PoolStats) -> String {
         s.jobs_expired,
         s.queue_depth,
         s.memo.hits,
+        s.memo.warm_hits,
         s.memo.misses,
+        s.memo.evictions,
         s.images,
     )
 }
@@ -702,6 +734,26 @@ pub fn serve(
                 escape_json(&e)
             ))?,
             Ok(Request::Stats) => emit(stats_json(&handle.stats()))?,
+            Ok(Request::Save { path }) => match handle.save_snapshot(&path, "qits-serve") {
+                Ok(entries) => emit(format!(
+                    "{{\"event\": \"saved\", \"path\": \"{}\", \"entries\": {entries}}}",
+                    escape_json(&path)
+                ))?,
+                Err(e) => emit(format!(
+                    "{{\"event\": \"error\", \"error\": \"{}\"}}",
+                    escape_json(&e.to_string())
+                ))?,
+            },
+            Ok(Request::Load { path }) => match handle.load_snapshot(&path) {
+                Ok(entries) => emit(format!(
+                    "{{\"event\": \"loaded\", \"path\": \"{}\", \"entries\": {entries}}}",
+                    escape_json(&path)
+                ))?,
+                Err(e) => emit(format!(
+                    "{{\"event\": \"error\", \"error\": \"{}\"}}",
+                    escape_json(&e.to_string())
+                ))?,
+            },
             Ok(Request::Shutdown) => break,
             Ok(Request::Cancel { id }) => {
                 if let Some(token) = cancels.get(&id) {
@@ -780,6 +832,19 @@ mod tests {
             Request::Cancel { id: "a".into() }
         );
         assert_eq!(parse_request(r#"{"op":"stats"}"#).unwrap(), Request::Stats);
+        assert_eq!(
+            parse_request(r#"{"op":"save","path":"m.qsnap"}"#).unwrap(),
+            Request::Save {
+                path: "m.qsnap".into()
+            }
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"load","path":"m.qsnap"}"#).unwrap(),
+            Request::Load {
+                path: "m.qsnap".into()
+            }
+        );
+        assert!(parse_request(r#"{"op":"save"}"#).is_err());
         assert!(parse_request(r#"{"op":"submit","id":"a"}"#).is_err());
     }
 

@@ -99,6 +99,19 @@ impl Subspace {
         s
     }
 
+    /// Reassembles a subspace from parts restored off disk. The caller
+    /// (the snapshot loader in [`crate::store`]) guarantees the basis is
+    /// orthonormal and the projector is its sum of outer products — both
+    /// held by construction, since dumps are taken from live subspaces
+    /// and the TDD round trip is value-exact.
+    pub(crate) fn from_parts(n_qubits: u32, basis: Vec<Edge>, projector: Edge) -> Subspace {
+        Subspace {
+            n_qubits,
+            basis,
+            projector,
+        }
+    }
+
     /// Register width.
     pub fn n_qubits(&self) -> u32 {
         self.n_qubits

@@ -61,6 +61,7 @@ pub mod cache;
 pub mod cancel;
 mod cnum;
 mod dot;
+mod dump;
 pub mod gc;
 mod hash;
 mod manager;
@@ -75,6 +76,7 @@ mod transfer;
 pub use cache::{CacheLookup, CacheSizes, CacheStats, DEFAULT_CACHE_CAPACITY};
 pub use cancel::{CancelToken, OperationCancelled};
 pub use cnum::{CIdx, ComplexTable};
+pub use dump::{DumpEdge, DumpError, DumpNode, TddDump};
 pub use gc::{EdgeHolder, GcOutcome, GcPolicy, ReorderPolicy, RootId, RootScope};
 pub use manager::{ArenaExhausted, TddManager};
 pub use node::{Edge, NodeId, TERMINAL};

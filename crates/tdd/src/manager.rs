@@ -418,6 +418,11 @@ impl TddManager {
         self.table.value(w)
     }
 
+    /// The weight-snapping tolerance this manager interns under.
+    pub fn tolerance(&self) -> f64 {
+        self.table.tolerance()
+    }
+
     /// Interns a complex value.
     #[inline]
     pub fn intern(&mut self, c: Cplx) -> CIdx {

@@ -63,8 +63,9 @@ impl TddManager {
     /// expand both successors by cofactors on the topmost such variable
     /// and recurse; once `var` genuinely tops both, this is exactly
     /// [`TddManager::make_node`] (so the aligned-order import pays only
-    /// two level lookups per node).
-    fn branch(
+    /// two level lookups per node). Shared with dump loading (`dump.rs`),
+    /// which faces the same order-mismatch problem from serialized form.
+    pub(crate) fn branch(
         &mut self,
         var: Var,
         low: Edge,

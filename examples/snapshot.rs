@@ -1,0 +1,82 @@
+//! Checkpoint and resume: the persistence layer (`qits::store`) at
+//! engine level.
+//!
+//! Runs the noisy quantum walk's reachability fixpoint partway, saves a
+//! snapshot — serialized TDDs, the frontier subspace, the iteration
+//! counters — then hands the file to a *fresh* engine which warm-starts
+//! from it and finishes the fixpoint. The resumed run must land on the
+//! same answer (dimension and total iteration count) as an
+//! uninterrupted run, which the example asserts.
+//!
+//! Snapshots are versioned, checksummed, and atomic on write (temp
+//! file then rename), so a crash mid-save never leaves a half-written
+//! checkpoint behind; corrupt or stale files fail with typed
+//! `QitsError::Store*` values, never panics.
+//!
+//! Run with: `cargo run --example snapshot`
+
+use qits::{EngineSpec, Strategy};
+use qits_circuit::generators;
+
+fn main() {
+    // Snapshots live under the Cargo target dir — scratch output, not
+    // repository state.
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../target/example-snapshot/qrw.qsnap");
+    std::fs::create_dir_all(path.parent().unwrap()).expect("create snapshot dir");
+
+    let spec =
+        EngineSpec::new(generators::qrw(4, 0.1)).strategy(Strategy::Contraction { k1: 4, k2: 4 });
+
+    // Session one: run two fixpoint iterations, then checkpoint.
+    let mut first = spec.build().expect("well-formed benchmark system");
+    let partial = first.reachable_space(2).expect("partial fixpoint");
+    first
+        .save_snapshot(&path, "qrw checkpoint", Some(&partial))
+        .expect("snapshot saves");
+    let bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+    println!(
+        "checkpoint: dim {} after {} iterations (converged: {}) -> {} ({bytes} bytes)",
+        partial.space.dim(),
+        partial.iterations,
+        partial.converged,
+        path.display(),
+    );
+
+    // Session two: a fresh engine, warm-started from the file, resumes
+    // where session one stopped.
+    let mut second = spec.build().expect("engine builds");
+    let resumed = second
+        .warm_start_from(&path)
+        .expect("snapshot loads")
+        .expect("snapshot carries reachability progress");
+    println!(
+        "warm start: restored dim {} at iteration {}",
+        resumed.space.dim(),
+        resumed.iterations,
+    );
+    let finished = second
+        .resume_reachable_space(&resumed, 64)
+        .expect("resumed fixpoint");
+    println!(
+        "resumed:    dim {} after {} total iterations (converged: {})",
+        finished.space.dim(),
+        finished.iterations,
+        finished.converged,
+    );
+
+    // An uninterrupted run must agree with checkpoint-and-resume.
+    let straight = spec
+        .build()
+        .expect("engine builds")
+        .reachable_space(64)
+        .expect("straight fixpoint");
+    assert_eq!(finished.space.dim(), straight.space.dim());
+    assert_eq!(finished.iterations, straight.iterations);
+    assert!(finished.converged && straight.converged);
+    println!(
+        "straight:   dim {} after {} iterations — resume agrees",
+        straight.space.dim(),
+        straight.iterations,
+    );
+}
