@@ -1,6 +1,6 @@
 //! `bench_check` — the perf regression guard over a fresh `BENCH_ci.json`.
 //!
-//! Parses the artifact the `table1 --ci` run just wrote (schema v7) and
+//! Parses the artifact the `table1 --ci` run just wrote (schema v8) and
 //! hard-fails CI when a tracked perf number crosses its committed floor:
 //!
 //! * `pool.speedup` < 2.0 — the pool must beat fresh-serial-per-job by
@@ -10,7 +10,10 @@
 //! * `store.warm_hit_rate` ≤ 0 or `store.resumed_converged` false — a
 //!   warm-started pool recomputing duplicates, or a resumed fixpoint
 //!   failing to finish, means the persistence layer regressed;
-//! * `store.snapshot_bytes` = 0 — an empty snapshot recorded nothing.
+//! * `store.snapshot_bytes` = 0 — an empty snapshot recorded nothing;
+//! * `cases` missing any scenario-frontend family (`adder`, `repcode`,
+//!   `cliffordt`) — the perf trajectory must keep covering the workloads
+//!   scenario files drive.
 //!
 //! Usage: `bench_check [path/to/BENCH_ci.json]` (default `BENCH_ci.json`).
 
@@ -54,11 +57,27 @@ fn main() {
         .get("schema")
         .and_then(JsonValue::as_str)
         .unwrap_or_else(|| fail("missing \"schema\""));
-    if schema != "qits-bench-ci/7" {
+    if schema != "qits-bench-ci/8" {
         fail(&format!(
-            "schema is '{schema}', expected 'qits-bench-ci/7' — regenerate \
+            "schema is '{schema}', expected 'qits-bench-ci/8' — regenerate \
              the artifact with `table1 --ci`"
         ));
+    }
+
+    let cases = v
+        .get("cases")
+        .and_then(JsonValue::as_array)
+        .unwrap_or_else(|| fail("missing \"cases\" array"));
+    for family in ["adder", "repcode", "cliffordt"] {
+        let covered = cases
+            .iter()
+            .any(|case| case.get("family").and_then(JsonValue::as_str) == Some(family));
+        if !covered {
+            fail(&format!(
+                "no '{family}' row in cases — the scenario-frontend \
+                 families must stay on the perf trajectory"
+            ));
+        }
     }
 
     let speedup = number(&v, "pool", "speedup");

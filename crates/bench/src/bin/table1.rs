@@ -115,6 +115,29 @@ fn default_rows() -> Vec<Row> {
         n: 16,
         contraction_only: true,
     });
+    // The scenario-frontend families (`qits run` workloads): Draper
+    // adders, distance-d repetition codes, and noisy random Clifford+T.
+    for n in [6, 8, 10] {
+        rows.push(Row {
+            family: "adder",
+            n,
+            contraction_only: false,
+        });
+    }
+    for n in [3, 5, 7] {
+        rows.push(Row {
+            family: "repcode",
+            n,
+            contraction_only: false,
+        });
+    }
+    for n in [6, 8, 10] {
+        rows.push(Row {
+            family: "cliffordt",
+            n,
+            contraction_only: false,
+        });
+    }
     rows
 }
 
@@ -172,6 +195,29 @@ fn full_rows() -> Vec<Row> {
             family: "qrw",
             n,
             contraction_only: true,
+        });
+    }
+    for n in [12, 16, 20] {
+        rows.push(Row {
+            family: "adder",
+            n,
+            contraction_only: false,
+        });
+    }
+    // A distance-d repetition code declares 2^(d-1) syndrome branches, so
+    // d stays modest even in the full table.
+    for n in [8, 9, 10] {
+        rows.push(Row {
+            family: "repcode",
+            n,
+            contraction_only: false,
+        });
+    }
+    for n in [12, 14, 16] {
+        rows.push(Row {
+            family: "cliffordt",
+            n,
+            contraction_only: false,
         });
     }
     rows
@@ -513,6 +559,9 @@ fn main() {
                 "ghz" => "GHZ",
                 "qrw" => "QRW",
                 "qrw-elem" => "QRWE",
+                "adder" => "Adder",
+                "repcode" => "RepCode",
+                "cliffordt" => "CliffordT",
                 other => other,
             },
             row.n

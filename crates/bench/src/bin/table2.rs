@@ -4,6 +4,11 @@
 //! Usage:
 //!   cargo run -p qits-bench --release --bin table2                  # Grover11, k in 1..=8
 //!   cargo run -p qits-bench --release --bin table2 -- --size 15 --kmax 15   # paper setting
+//!   cargo run -p qits-bench --release --bin table2 -- --family adder --size 8
+//!
+//! `--family` accepts any [`spec_for`] name (default `grover-elem`), so
+//! the (k1, k2) sweep also runs over the scenario-frontend workloads
+//! (`adder`, `repcode`, `cliffordt`).
 //!
 //! The paper's finding to reproduce: times are flat and small for
 //! moderate (k1, k2) and degrade as both grow (the blocks approach the
@@ -23,10 +28,17 @@ fn main() {
     };
     let n = get("--size", 13);
     let kmax = get("--kmax", 12);
+    let family = args
+        .iter()
+        .position(|a| a == "--family")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        // The elementary-gate Grover: the variant whose (k1, k2)
+        // sensitivity matches the paper's Table II (the primitive-tensor
+        // Grover is flat).
+        .unwrap_or_else(|| "grover-elem".to_string());
 
-    // The elementary-gate Grover: the variant whose (k1, k2) sensitivity
-    // matches the paper's Table II (the primitive-tensor Grover is flat).
-    let spec = spec_for("grover-elem", n);
+    let spec = spec_for(&family, n);
     println!(
         "Table II reproduction: contraction-partition time (s) for {} over k1, k2 in 1..={kmax}",
         spec.name

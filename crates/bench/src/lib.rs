@@ -47,6 +47,9 @@ pub fn spec_for(family: &str, n: u32) -> QtsSpec {
         "grover-elem" => elementarized_grover(n, false),
         "grover-ct" => elementarized_grover(n, true),
         "qrw-elem" => elementarized_qrw(n),
+        "adder" => generators::qft_adder(n, 1),
+        "repcode" => generators::repetition_code(n),
+        "cliffordt" => generators::random_clifford_t(n, 3 * n, QRW_NOISE, u64::from(n)),
         other => panic!("unknown benchmark family '{other}'"),
     }
 }
@@ -482,15 +485,20 @@ pub fn run_case_subprocess(
 }
 
 /// The bench-smoke cases CI runs: one small paper instance per Table-I
-/// method. Small enough to finish in seconds, real enough that a strategy
-/// regression (panic, wrong dimension, runaway time) surfaces pre-merge.
+/// method, plus the scenario-frontend families (schema v8). Small enough
+/// to finish in seconds, real enough that a strategy regression (panic,
+/// wrong dimension, runaway time) surfaces pre-merge.
 /// The basic method only polls safepoints between Gram–Schmidt residuals
 /// (and skips the final one), so its case needs an initial dimension > 1 —
-/// Grover's is 2.
-pub const CI_CASES: [(&str, u32, &str); 3] = [
+/// Grover's is 2; the three new families all start from dimension <= n,
+/// so they ride the addition/contraction methods.
+pub const CI_CASES: [(&str, u32, &str); 6] = [
     ("grover", 4, "basic"),
     ("ghz", 5, "addition"),
     ("qrw", 4, "contraction"),
+    ("adder", 3, "addition"),
+    ("repcode", 5, "contraction"),
+    ("cliffordt", 4, "addition"),
 ];
 
 /// One row of the `BENCH_ci.json` perf artifact: the subprocess
@@ -786,14 +794,17 @@ pub fn read_ci_checkpoint(path: &Path) -> Result<Vec<CiRow>, StoreError> {
 /// result-memo hit accounting — see [`run_serve_soak`]); v7 adds the
 /// `store` row (snapshot size, dump/load milliseconds, resumed-fixpoint
 /// iteration count, and the warm-started pool's memo hit rate — see
-/// [`run_store_measurement`]).
+/// [`run_store_measurement`]); v8 extends `cases` with the scenario
+/// frontend's generator families (`adder`, `repcode`, `cliffordt` — see
+/// [`CI_CASES`]), so the perf trajectory covers the workloads scenario
+/// files drive.
 pub fn ci_report_json(
     rows: &[CiRow],
     pool: &PoolMeasurement,
     serve: &ServeMeasurement,
     store: &StoreMeasurement,
 ) -> String {
-    let mut out = String::from("{\n  \"schema\": \"qits-bench-ci/7\",\n");
+    let mut out = String::from("{\n  \"schema\": \"qits-bench-ci/8\",\n");
     let ut = UniqueTableHealth::from_rows(rows);
     out.push_str(&format!(
         concat!(
@@ -1015,6 +1026,9 @@ mod tests {
         assert_eq!(spec_for("bv", 10).name, "BV10");
         assert_eq!(spec_for("ghz", 12).name, "GHZ12");
         assert_eq!(spec_for("qrw", 6).name, "QRW6");
+        assert_eq!(spec_for("adder", 3).name, "Adder3");
+        assert_eq!(spec_for("repcode", 3).name, "RepCode3");
+        assert_eq!(spec_for("cliffordt", 4).name, "CliffordT4");
     }
 
     #[test]
@@ -1124,7 +1138,7 @@ mod tests {
              restored memo: {store:?}"
         );
         let json = ci_report_json(&rows, &pool, &serve, &store);
-        assert!(json.contains("\"schema\": \"qits-bench-ci/7\""));
+        assert!(json.contains("\"schema\": \"qits-bench-ci/8\""));
         assert!(json.contains("\"pool\": {\"family\": \"ghz\""));
         assert!(json.contains("\"serve\": {\"workers\": 2, \"jobs\": 100"));
         assert!(json.contains("\"store\": {\"snapshot_bytes\""));

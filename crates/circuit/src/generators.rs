@@ -189,6 +189,207 @@ pub fn bit_flip_channel(qubit: u32, p: f64) -> Element {
     }
 }
 
+/// The phase-flip channel `{sqrt(1-p) I, sqrt(p) Z}` on `qubit`.
+pub fn phase_flip_channel(qubit: u32, p: f64) -> Element {
+    assert!((0.0..=1.0).contains(&p), "probability out of range");
+    Element::Channel {
+        qubit,
+        kraus: vec![
+            Mat::identity(2).scale(Cplx::real((1.0 - p).sqrt())),
+            GateKind::Z.matrix().scale(Cplx::real(p.sqrt())),
+        ],
+        label: format!("phase-flip({p})"),
+    }
+}
+
+/// The single-qubit depolarizing channel with parameter `p` on `qubit`:
+/// `{sqrt(1-3p/4) I, sqrt(p/4) X, sqrt(p/4) Y, sqrt(p/4) Z}`.
+pub fn depolarizing_channel(qubit: u32, p: f64) -> Element {
+    assert!((0.0..=1.0).contains(&p), "probability out of range");
+    Element::Channel {
+        qubit,
+        kraus: vec![
+            Mat::identity(2).scale(Cplx::real((1.0 - 0.75 * p).sqrt())),
+            GateKind::X.matrix().scale(Cplx::real((0.25 * p).sqrt())),
+            GateKind::Y.matrix().scale(Cplx::real((0.25 * p).sqrt())),
+            GateKind::Z.matrix().scale(Cplx::real((0.25 * p).sqrt())),
+        ],
+        label: format!("depolarize({p})"),
+    }
+}
+
+/// A ripple-carry incrementer `|x> -> |x+1 mod 2^n>` (qubit 0 is the most
+/// significant bit): the multi-controlled-X cascade. The reference
+/// implementation the QFT adder is verified against — not itself
+/// DSL-expressible for `n > 3` (controls beyond Toffoli).
+pub fn ripple_increment(n: u32) -> Circuit {
+    assert!(n >= 1, "incrementer needs at least 1 qubit");
+    let mut c = Circuit::new(n);
+    // MSB first: bit j flips while the lower bits still hold their
+    // original values, exactly when all of them are 1.
+    for j in 0..n {
+        let controls: Vec<u32> = (j + 1..n).collect();
+        if controls.is_empty() {
+            c.push(Gate::x(j));
+        } else {
+            c.push(Gate::mcx(&controls, j));
+        }
+    }
+    c
+}
+
+/// Draper's QFT adder: `|x> -> |x + a mod 2^n>` on `n` qubits (qubit 0 is
+/// the most significant bit), as QFT, per-qubit phase kicks encoding `a`,
+/// inverse QFT. Uses only `h` / `cp` / `phase` — fully DSL-expressible,
+/// unlike the ripple-carry cascade it is tested against.
+///
+/// Initial subspace `span{|0...0>}`; iterating the addition walks the
+/// whole `2^n`-element cycle, so the reachable subspace is the full space
+/// when `a` is odd.
+pub fn qft_adder(n: u32, a: u64) -> QtsSpec {
+    assert!((1..=63).contains(&n), "adder supports 1..=63 qubits");
+    let mut c = Circuit::new(n);
+    for i in 0..n {
+        c.push(Gate::h(i));
+        for j in i + 1..n {
+            let theta = std::f64::consts::PI / f64::from(1u32 << (j - i));
+            c.push(Gate::cp(j, i, theta));
+        }
+    }
+    // In the Fourier basis qubit i carries e^{2 pi i x / 2^(n-i)}; adding
+    // `a` is a plain phase on each qubit.
+    for i in 0..n {
+        let modulus = 1u64 << (n - i);
+        let theta = 2.0 * std::f64::consts::PI * (a % modulus) as f64 / modulus as f64;
+        c.push(Gate::phase(i, theta));
+    }
+    for i in (0..n).rev() {
+        for j in (i + 1..n).rev() {
+            let theta = -std::f64::consts::PI / f64::from(1u32 << (j - i));
+            c.push(Gate::cp(j, i, theta));
+        }
+        c.push(Gate::h(i));
+    }
+    let mut spec = QtsSpec::named(format!("Adder{n}"), n);
+    spec.operations.push(Operation::from_circuit("add", &c));
+    spec.initial_states.push(vec![states::ZERO; n as usize]);
+    spec
+}
+
+/// The minimum-weight error pattern (bit `i` = flip on data qubit `i`)
+/// whose repetition-code syndrome (`s_i = e_i xor e_{i+1}`) is `s`.
+fn repetition_decode(s: u32, d: u32) -> u32 {
+    let mut best = 0u32;
+    let mut best_weight = u32::MAX;
+    for e in 0..(1u32 << d) {
+        let mut syn = 0u32;
+        for i in 0..d - 1 {
+            syn |= (((e >> i) & 1) ^ ((e >> (i + 1)) & 1)) << i;
+        }
+        if syn == s && e.count_ones() < best_weight {
+            best = e;
+            best_weight = e.count_ones();
+        }
+    }
+    best
+}
+
+/// The distance-`d` repetition code as a dynamic circuit: `d` data qubits
+/// (0..d-1) and `d-1` syndrome ancillas (d..2d-2) measuring the
+/// stabilizers `Z_i Z_{i+1}`. One operation `T_s` per syndrome `s`:
+/// CX syndrome extraction, projection of the ancillas onto `|s>`,
+/// minimum-weight X corrections on the data, and X resets returning the
+/// ancillas to `|0>`. `repetition_code(5)` is the 5-qubit instance the
+/// evaluation uses — it corrects every weight-(d-1)/2 error.
+///
+/// Initial subspace: the `d` single-error states
+/// `span{|10...0>, |010...0>, ...} (x) |0...0>`; every image collapses to
+/// the all-zeros codeword.
+pub fn repetition_code(d: u32) -> QtsSpec {
+    assert!(
+        (2..=16).contains(&d),
+        "repetition code supports 2..=16 data qubits"
+    );
+    let n = 2 * d - 1;
+    let mut spec = QtsSpec::named(format!("RepCode{d}"), n);
+    for s in 0..(1u32 << (d - 1)) {
+        let mut c = Circuit::new(n);
+        for i in 0..d - 1 {
+            c.push(Gate::cx(i, d + i));
+            c.push(Gate::cx(i + 1, d + i));
+        }
+        let bits: Vec<bool> = (0..d - 1).map(|i| (s >> i) & 1 == 1).collect();
+        let mut op = Operation::from_circuit(format!("T{s:0w$b}", w = (d - 1) as usize), &c).then(
+            Element::Projector {
+                qubits: (d..n).collect(),
+                bits: bits.clone(),
+            },
+        );
+        let fix = repetition_decode(s, d);
+        for i in 0..d {
+            if (fix >> i) & 1 == 1 {
+                op = op.then_gate(Gate::x(i));
+            }
+        }
+        // Reset the measured ancillas so every outcome ends at |0...0>.
+        for (i, &bit) in bits.iter().enumerate() {
+            if bit {
+                op = op.then_gate(Gate::x(d + i as u32));
+            }
+        }
+        spec.operations.push(op);
+    }
+    for e in 0..d as usize {
+        let mut state = vec![states::ZERO; n as usize];
+        state[e] = states::ONE;
+        spec.initial_states.push(state);
+    }
+    spec
+}
+
+/// A reproducible random Clifford+T workload: `depth` gates drawn from
+/// `{H, S, T, CX}` by a splitmix64 stream seeded with `seed`, followed —
+/// when `p > 0` — by a bit-flip channel with probability `p` on a
+/// stream-chosen qubit. Uses only DSL-expressible gates. Initial subspace
+/// `span{|0...0>}`.
+pub fn random_clifford_t(n: u32, depth: u32, p: f64, seed: u64) -> QtsSpec {
+    assert!(n >= 2, "Clifford+T sampler needs at least 2 qubits");
+    assert!((0.0..=1.0).contains(&p), "probability out of range");
+    let mut state = 0x9E3779B97F4A7C15u64.wrapping_mul(seed.wrapping_add(1));
+    let mut next = move || {
+        state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    };
+    let mut pick = move |m: u32| (next() % u64::from(m)) as u32;
+    let mut c = Circuit::new(n);
+    for _ in 0..depth {
+        match pick(4) {
+            0 => c.push(Gate::h(pick(n))),
+            1 => c.push(Gate::single(GateKind::S, pick(n))),
+            2 => c.push(Gate::single(GateKind::T, pick(n))),
+            _ => {
+                let a = pick(n);
+                let mut b = pick(n - 1);
+                if b >= a {
+                    b += 1;
+                }
+                c.push(Gate::cx(a, b));
+            }
+        }
+    }
+    let mut op = Operation::from_circuit("ct", &c);
+    if p > 0.0 {
+        op = op.then(bit_flip_channel(pick(n), p));
+    }
+    let mut spec = QtsSpec::named(format!("CliffordT{n}"), n);
+    spec.operations.push(op);
+    spec.initial_states.push(vec![states::ZERO; n as usize]);
+    spec
+}
+
 /// The shift stage of the quantum walk: decrement the position register
 /// when the coin (qubit 0) is `|0>`, increment when it is `|1>` —
 /// `S = S_0 (+) S_1` of Section III-A.3, realised as two multi-controlled-X
@@ -448,5 +649,109 @@ mod tests {
     fn spec_names_include_size() {
         assert_eq!(ghz(100).name, "GHZ100");
         assert_eq!(qrw(20, 0.1).name, "QRW20");
+        assert_eq!(qft_adder(5, 3).name, "Adder5");
+        assert_eq!(repetition_code(5).name, "RepCode5");
+        assert_eq!(random_clifford_t(4, 12, 0.1, 7).name, "CliffordT4");
+    }
+
+    #[test]
+    fn qft_adder_matches_ripple_carry_increment() {
+        for n in 1..=4u32 {
+            let adder = sim::circuit_matrix(&qft_adder(n, 1).operations[0].kraus_branches()[0]);
+            let ripple = sim::circuit_matrix(&ripple_increment(n));
+            assert!(adder.approx_eq(&ripple), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn qft_adder_adds_mod_2n() {
+        let n = 3u32;
+        let a = 5u64;
+        let m = sim::circuit_matrix(&qft_adder(n, a).operations[0].kraus_branches()[0]);
+        let dim = 1usize << n;
+        for x in 0..dim {
+            let want = (x + a as usize) % dim;
+            for r in 0..dim {
+                let expect = if r == want { 1.0 } else { 0.0 };
+                assert!(
+                    (m[(r, x)].norm_sqr() - expect).abs() < 1e-9,
+                    "column {x}, row {r}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn repetition_code_corrects_up_to_two_errors() {
+        let d = 5u32;
+        let spec = repetition_code(d);
+        assert_eq!(spec.operations.len(), 16);
+        let n = 2 * d - 1;
+        // Every error of weight <= 2 on the data register: exactly one T_s
+        // fires and restores |0...0>.
+        let mut patterns: Vec<u32> = vec![0];
+        patterns.extend((0..d).map(|i| 1u32 << i));
+        for i in 0..d {
+            for j in i + 1..d {
+                patterns.push((1 << i) | (1 << j));
+            }
+        }
+        for e in patterns {
+            // Data qubit i is bit (n-1-i) of the basis index (qubit 0 MSB).
+            let idx: usize = (0..d)
+                .filter(|i| (e >> i) & 1 == 1)
+                .map(|i| 1usize << (n - 1 - i))
+                .sum();
+            let mut survivors = 0;
+            for op in &spec.operations {
+                let out = sim::run(&op.kraus_branches()[0], &sim::basis_state(n, idx));
+                let norm: f64 = out.iter().map(|a| a.norm_sqr()).sum();
+                if norm > 1e-9 {
+                    survivors += 1;
+                    assert!(out[0].approx_eq(Cplx::ONE), "error {e:05b} not corrected");
+                }
+            }
+            assert_eq!(survivors, 1, "error {e:05b}");
+        }
+    }
+
+    #[test]
+    fn random_clifford_t_is_deterministic_and_trace_preserving() {
+        let a = random_clifford_t(4, 12, 0.125, 42);
+        let b = random_clifford_t(4, 12, 0.125, 42);
+        assert_eq!(a.operations[0].elements(), b.operations[0].elements());
+        let c = random_clifford_t(4, 12, 0.125, 43);
+        assert_ne!(a.operations[0].elements(), c.operations[0].elements());
+        // With noise: two Kraus branches, completeness sum E†E = I.
+        assert_eq!(a.operations[0].branch_count(), 2);
+        let ks = sim::operation_kraus_matrices(&a.operations[0]);
+        let sum = ks
+            .iter()
+            .map(|k| k.adjoint().matmul(k))
+            .fold(Mat::zeros(16), |acc, m| acc.add(&m));
+        assert!(sum.approx_eq(&Mat::identity(16)));
+        // Noiseless: a single unitary branch.
+        assert_eq!(
+            random_clifford_t(3, 9, 0.0, 1).operations[0].branch_count(),
+            1
+        );
+    }
+
+    #[test]
+    fn new_channels_are_trace_preserving() {
+        for e in [
+            phase_flip_channel(0, 0.25),
+            depolarizing_channel(0, 0.3),
+            bit_flip_channel(0, 0.125),
+        ] {
+            let Element::Channel { kraus, .. } = &e else {
+                panic!("not a channel")
+            };
+            let sum = kraus
+                .iter()
+                .map(|k| k.adjoint().matmul(k))
+                .fold(Mat::zeros(2), |acc, m| acc.add(&m));
+            assert!(sum.approx_eq(&Mat::identity(2)));
+        }
     }
 }

@@ -15,8 +15,12 @@
 //!   gates, projective elements (measurement outcomes of dynamic circuits),
 //!   and Kraus noise channels. [`Operation::kraus_branches`] enumerates the
 //!   pure Kraus-operator circuits the image computation iterates over.
-//! * [`generators`] — GHZ, Grover, Bernstein–Vazirani, QFT, quantum random
-//!   walk, and the bit-flip code of Fig. 3.
+//! * [`generators`] — GHZ, Grover, Bernstein–Vazirani, QFT, QFT adder,
+//!   quantum random walk, the bit-flip code of Fig. 3, the distance-d
+//!   repetition code, and random Clifford+T workloads.
+//! * [`parse`] — the textual frontends: the gate DSL shared with
+//!   `qits-serve` and the scenario file format the `qits` CLI reads; every
+//!   malformed input is a typed [`parse::ParseError`], never a panic.
 //! * [`tensorize`] — gate → TDD construction, folding controls
 //!   symbolically so a 99-control Toffoli never materialises a matrix.
 //! * [`sim`] — dense state-vector/operator reference semantics.
@@ -38,6 +42,7 @@ pub mod decompose;
 mod element;
 mod gate;
 pub mod generators;
+pub mod parse;
 pub mod render;
 pub mod sim;
 pub mod tensorize;

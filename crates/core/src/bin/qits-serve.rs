@@ -11,8 +11,9 @@
 //!
 //! | flag | default | meaning |
 //! |---|---|---|
-//! | `--family <name>` | `grover` | `grover`, `qft`, `bv`, `ghz`, `qrw`, `bitflip` |
+//! | `--family <name>` | `grover` | `grover`, `qft`, `bv`, `ghz`, `qrw`, `bitflip`, `adder`, `repcode`, `cliffordt` |
 //! | `--n <qubits>` | `3` | register size (ignored by `bitflip`) |
+//! | `--scenario <path>` | off | serve the transition system of a scenario file (see [`qits_circuit::parse`]) instead of a generator family |
 //! | `--workers <k>` | available parallelism | pool worker threads |
 //! | `--queue-depth <d>` | unbounded | admission bound (`QueueFull` beyond it) |
 //! | `--memo <cap>` | off | result-memo capacity in entries |
@@ -29,6 +30,7 @@ use qits_circuit::generators;
 struct Options {
     family: String,
     n: u32,
+    scenario: Option<String>,
     workers: Option<usize>,
     queue_depth: Option<usize>,
     memo: Option<usize>,
@@ -40,6 +42,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut opts = Options {
         family: "grover".to_string(),
         n: 3,
+        scenario: None,
         workers: None,
         queue_depth: None,
         memo: None,
@@ -55,6 +58,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         };
         match flag {
             "--family" => opts.family = value("--family")?,
+            "--scenario" => opts.scenario = Some(value("--scenario")?),
             "--n" => {
                 opts.n = value("--n")?
                     .parse()
@@ -94,14 +98,30 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
 const QRW_NOISE: f64 = 0.125;
 
 fn spec_for(opts: &Options) -> Result<EngineSpec, String> {
-    let system = match opts.family.as_str() {
-        "grover" => generators::grover(opts.n),
-        "qft" => generators::qft(opts.n),
-        "bv" => generators::bernstein_vazirani(opts.n, &generators::bv_secret(opts.n)),
-        "ghz" => generators::ghz(opts.n),
-        "qrw" => generators::qrw(opts.n, QRW_NOISE),
-        "bitflip" => generators::bitflip_code(),
-        other => return Err(format!("unknown family '{other}'")),
+    let system = match &opts.scenario {
+        // A scenario file's transition system; its property declarations
+        // are ignored here — jobs arrive over the wire.
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("reading scenario '{path}': {e}"))?;
+            qits_circuit::parse::parse_scenario(&text)
+                .map_err(|e| format!("{path}: {e}"))?
+                .to_spec()
+        }
+        None => match opts.family.as_str() {
+            "grover" => generators::grover(opts.n),
+            "qft" => generators::qft(opts.n),
+            "bv" => generators::bernstein_vazirani(opts.n, &generators::bv_secret(opts.n)),
+            "ghz" => generators::ghz(opts.n),
+            "qrw" => generators::qrw(opts.n, QRW_NOISE),
+            "bitflip" => generators::bitflip_code(),
+            "adder" => generators::qft_adder(opts.n, 1),
+            "repcode" => generators::repetition_code(opts.n),
+            "cliffordt" => {
+                generators::random_clifford_t(opts.n, 3 * opts.n, QRW_NOISE, u64::from(opts.n))
+            }
+            other => return Err(format!("unknown family '{other}'")),
+        },
     };
     let spec = EngineSpec::new(system);
     Ok(match opts.strategy.as_str() {

@@ -27,9 +27,17 @@
 //! | `{"type":"invariant","n_qubits":2,"states":[[[1,0,0,0],[1,0,0,0]]],"max_iterations":64}` | [`Job::Invariant`] (each qubit is `[a_re,a_im,b_re,b_im]`) |
 //! | `{"type":"equivalence","a":"h 0; cx 0 1","b":"h 0; cx 0 1","up_to_phase":false}` | [`Job::Equivalence`] (circuits in the gate DSL below) |
 //!
-//! The circuit DSL is `;`-separated gate applications: `h q`, `x q`,
-//! `y q`, `z q`, `phase q theta`, `cx c t`, `cz c t`, `cp c t theta`,
-//! `ccx c1 c2 t`, `swap a b`, `proj q b`.
+//! The circuit DSL is the shared gate DSL of [`qits_circuit::parse`]
+//! (`;`/newline-separated statements: `i q`, `h q`, `x q`, `y q`, `z q`,
+//! `s q`, `sdg q`, `t q`, `tdg q`, `phase q theta`, `rx/ry/rz q theta`,
+//! `cx c t`, `cz c t`, `cp c t theta`, `ccx c1 c2 t`, `swap a b`,
+//! `proj q b`) — the same parser behind scenario files and the `qits`
+//! CLI. Validation happens entirely in the parse layer (arity, wire
+//! syntax, duplicate wires), so a malformed client line — `"cx 0 0"`
+//! included — is an `error` event, never a server panic. The two
+//! circuits of an equivalence job are parsed onto one shared register
+//! (the wider of the two), so `"h 0"` vs `"h 0; z 1"` compares the
+//! operators instead of failing with a register mismatch.
 //!
 //! # Events
 //!
@@ -50,7 +58,7 @@ use std::io::{self, BufRead, Write};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
-use qits_circuit::{Circuit, Gate};
+use qits_circuit::{parse, Circuit};
 use qits_num::Cplx;
 
 use super::{Job, JobOutput, JobRequest, JobTicket, PoolStats, Priority, ServiceHandle};
@@ -105,7 +113,10 @@ impl JsonValue {
     /// The numeric payload as a non-negative integer.
     pub fn as_usize(&self) -> Option<usize> {
         let n = self.as_f64()?;
-        if n.fract() == 0.0 && n >= 0.0 && n <= usize::MAX as f64 {
+        // Strict upper bound: `usize::MAX as f64` rounds *up* to 2^64,
+        // which a `<=` would admit (and the cast would then saturate).
+        // Every integral f64 strictly below 2^64 fits in usize exactly.
+        if n.fract() == 0.0 && n >= 0.0 && n < usize::MAX as f64 {
             Some(n as usize)
         } else {
             None
@@ -129,12 +140,20 @@ impl JsonValue {
     }
 }
 
+/// Hard cap on container nesting. The protocol's own documents are at
+/// most three levels deep; the cap exists so a client line of thousands
+/// of `[`s gets a typed error instead of recursing the serve thread's
+/// stack into the ground.
+const MAX_JSON_DEPTH: usize = 64;
+
 /// Parses one JSON document (trailing whitespace allowed, trailing
-/// garbage refused).
+/// garbage refused). Container nesting beyond `MAX_JSON_DEPTH` (64)
+/// levels is refused with an error — the recursive-descent parser's
+/// stack use is bounded by the cap, so no input can overflow it.
 pub fn parse_json(text: &str) -> Result<JsonValue, String> {
     let bytes = text.as_bytes();
     let mut pos = 0;
-    let value = parse_value(bytes, &mut pos)?;
+    let value = parse_value(bytes, &mut pos, 0)?;
     skip_ws(bytes, &mut pos);
     if pos != bytes.len() {
         return Err(format!("trailing input at byte {pos}"));
@@ -148,12 +167,16 @@ fn skip_ws(bytes: &[u8], pos: &mut usize) {
     }
 }
 
-fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+fn parse_value(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<JsonValue, String> {
     skip_ws(bytes, pos);
     match bytes.get(*pos) {
         None => Err("unexpected end of input".to_string()),
-        Some(b'{') => parse_object(bytes, pos),
-        Some(b'[') => parse_array(bytes, pos),
+        Some(b'{' | b'[') if depth >= MAX_JSON_DEPTH => Err(format!(
+            "nesting deeper than {MAX_JSON_DEPTH} levels at byte {pos}",
+            pos = *pos
+        )),
+        Some(b'{') => parse_object(bytes, pos, depth),
+        Some(b'[') => parse_array(bytes, pos, depth),
         Some(b'"') => Ok(JsonValue::String(parse_string(bytes, pos)?)),
         Some(b't') => parse_literal(bytes, pos, "true", JsonValue::Bool(true)),
         Some(b'f') => parse_literal(bytes, pos, "false", JsonValue::Bool(false)),
@@ -239,7 +262,7 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
     }
 }
 
-fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+fn parse_array(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<JsonValue, String> {
     *pos += 1; // '['
     let mut items = Vec::new();
     skip_ws(bytes, pos);
@@ -248,7 +271,7 @@ fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
         return Ok(JsonValue::Array(items));
     }
     loop {
-        items.push(parse_value(bytes, pos)?);
+        items.push(parse_value(bytes, pos, depth + 1)?);
         skip_ws(bytes, pos);
         match bytes.get(*pos) {
             Some(b',') => *pos += 1,
@@ -261,7 +284,7 @@ fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
     }
 }
 
-fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+fn parse_object(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<JsonValue, String> {
     *pos += 1; // '{'
     let mut members = Vec::new();
     skip_ws(bytes, pos);
@@ -280,7 +303,7 @@ fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
             return Err(format!("expected ':' at byte {pos}", pos = *pos));
         }
         *pos += 1;
-        members.push((key, parse_value(bytes, pos)?));
+        members.push((key, parse_value(bytes, pos, depth + 1)?));
         skip_ws(bytes, pos);
         match bytes.get(*pos) {
             Some(b',') => *pos += 1,
@@ -446,7 +469,9 @@ fn parse_job(v: &JsonValue) -> Result<Job, String> {
             let n_qubits = v
                 .get("n_qubits")
                 .and_then(JsonValue::as_usize)
-                .ok_or("invariant needs \"n_qubits\"")? as u32;
+                .ok_or("invariant needs \"n_qubits\"")?;
+            let n_qubits = u32::try_from(n_qubits)
+                .map_err(|_| format!("\"n_qubits\" {n_qubits} exceeds the u32 register limit"))?;
             let max_iterations = v
                 .get("max_iterations")
                 .and_then(JsonValue::as_usize)
@@ -478,16 +503,18 @@ fn parse_job(v: &JsonValue) -> Result<Job, String> {
             })
         }
         "equivalence" => {
-            let a = parse_circuit(
-                v.get("a")
-                    .and_then(JsonValue::as_str)
-                    .ok_or("equivalence needs circuit \"a\"")?,
-            )?;
-            let b = parse_circuit(
-                v.get("b")
-                    .and_then(JsonValue::as_str)
-                    .ok_or("equivalence needs circuit \"b\"")?,
-            )?;
+            let a_text = v
+                .get("a")
+                .and_then(JsonValue::as_str)
+                .ok_or("equivalence needs circuit \"a\"")?;
+            let b_text = v
+                .get("b")
+                .and_then(JsonValue::as_str)
+                .ok_or("equivalence needs circuit \"b\"")?;
+            // One shared register for both circuits: "h 0" vs "h 0; z 1"
+            // compares the operators on 2 qubits instead of failing with
+            // a register mismatch.
+            let (a, b) = parse::parse_circuit_pair(a_text, b_text).map_err(|e| e.to_string())?;
             Ok(Job::Equivalence {
                 a,
                 b,
@@ -502,79 +529,22 @@ fn parse_job(v: &JsonValue) -> Result<Job, String> {
     }
 }
 
-/// Parses the circuit DSL: `;`-separated gate applications, e.g.
-/// `"h 0; cx 0 1; phase 1 0.25"`. The register width is one past the
-/// highest wire mentioned.
+/// Parses the circuit DSL — a thin protocol-level wrapper over the
+/// shared [`qits_circuit::parse::parse_circuit`] (register width one
+/// past the highest wire mentioned), with the typed error flattened to
+/// the protocol's string shape.
 pub fn parse_circuit(text: &str) -> Result<Circuit, String> {
-    struct Cmd {
-        gate: Gate,
-        max_wire: u32,
-    }
-    let mut cmds: Vec<Cmd> = Vec::new();
-    for stmt in text.split(';') {
-        let stmt = stmt.trim();
-        if stmt.is_empty() {
-            continue;
-        }
-        let mut parts = stmt.split_whitespace();
-        let name = parts.next().unwrap();
-        let args: Vec<&str> = parts.collect();
-        let wire = |i: usize| -> Result<u32, String> {
-            args.get(i)
-                .ok_or(format!("'{name}' is missing argument {i}"))?
-                .parse::<u32>()
-                .map_err(|_| format!("'{name}': bad wire '{}'", args[i]))
-        };
-        let angle = |i: usize| -> Result<f64, String> {
-            args.get(i)
-                .ok_or(format!("'{name}' is missing argument {i}"))?
-                .parse::<f64>()
-                .map_err(|_| format!("'{name}': bad angle '{}'", args[i]))
-        };
-        let (gate, max_wire) = match name {
-            "h" => (Gate::h(wire(0)?), wire(0)?),
-            "x" => (Gate::x(wire(0)?), wire(0)?),
-            "y" => (Gate::y(wire(0)?), wire(0)?),
-            "z" => (Gate::z(wire(0)?), wire(0)?),
-            "phase" => (Gate::phase(wire(0)?, angle(1)?), wire(0)?),
-            "cx" => (Gate::cx(wire(0)?, wire(1)?), wire(0)?.max(wire(1)?)),
-            "cz" => (Gate::cz(wire(0)?, wire(1)?), wire(0)?.max(wire(1)?)),
-            "cp" => (
-                Gate::cp(wire(0)?, wire(1)?, angle(2)?),
-                wire(0)?.max(wire(1)?),
-            ),
-            "ccx" => (
-                Gate::ccx(wire(0)?, wire(1)?, wire(2)?),
-                wire(0)?.max(wire(1)?).max(wire(2)?),
-            ),
-            "swap" => (Gate::swap(wire(0)?, wire(1)?), wire(0)?.max(wire(1)?)),
-            "proj" => {
-                let b = wire(1)?;
-                if b > 1 {
-                    return Err(format!("'proj': basis bit must be 0 or 1, got {b}"));
-                }
-                (Gate::projector(wire(0)?, b == 1), wire(0)?)
-            }
-            other => return Err(format!("unknown gate '{other}'")),
-        };
-        cmds.push(Cmd { gate, max_wire });
-    }
-    if cmds.is_empty() {
-        return Err("empty circuit".to_string());
-    }
-    let n_qubits = cmds.iter().map(|c| c.max_wire).max().unwrap() + 1;
-    let mut circuit = Circuit::new(n_qubits);
-    for cmd in cmds {
-        circuit.push(cmd.gate);
-    }
-    Ok(circuit)
+    parse::parse_circuit(text).map_err(|e| e.to_string())
 }
 
 // ----------------------------------------------------------------------
 // Events.
 // ----------------------------------------------------------------------
 
-fn output_json(out: &JobOutput) -> String {
+/// Renders a [`JobOutput`] as the protocol's `"output"` JSON object —
+/// shared with the `qits` CLI so a scenario run and a served job answer
+/// in the same shape.
+pub fn output_json(out: &JobOutput) -> String {
     match out {
         JobOutput::Image(o) => {
             let mut s = format!("{{\"kind\": \"image\", \"dim\": {}", o.dim);
@@ -813,6 +783,27 @@ mod tests {
     }
 
     #[test]
+    fn json_nesting_is_depth_capped() {
+        // Exactly MAX_JSON_DEPTH levels parse; one more is a typed error,
+        // and a megabyte-scale bomb cannot touch the stack.
+        let ok = format!(
+            "{}0{}",
+            "[".repeat(MAX_JSON_DEPTH),
+            "]".repeat(MAX_JSON_DEPTH)
+        );
+        assert!(parse_json(&ok).is_ok());
+        let deep = format!(
+            "{}0{}",
+            "[".repeat(MAX_JSON_DEPTH + 1),
+            "]".repeat(MAX_JSON_DEPTH + 1)
+        );
+        let err = parse_json(&deep).unwrap_err();
+        assert!(err.contains("nesting deeper"), "{err}");
+        assert!(parse_json(&"[".repeat(1 << 20)).is_err());
+        assert!(parse_json(&"{\"k\":".repeat(1 << 18)).is_err());
+    }
+
+    #[test]
     fn requests_decode() {
         let r = parse_request(
             r#"{"op":"submit","id":"a","job":{"type":"reachability","max_iterations":8},"priority":"high"}"#,
@@ -856,6 +847,65 @@ mod tests {
         assert!(parse_circuit("bogus 0").is_err());
         assert!(parse_circuit("").is_err());
         assert!(parse_circuit("cx 0").is_err());
+    }
+
+    #[test]
+    fn duplicate_wire_gates_are_errors_not_panics() {
+        // Regression: these used to unwind through Gate::new's
+        // distinctness assertion, killing the serve reader thread.
+        for dsl in ["cx 0 0", "swap 2 2", "ccx 0 1 0", "cp 3 3 0.5"] {
+            assert!(parse_circuit(dsl).is_err(), "{dsl}");
+            let line = format!(
+                r#"{{"op":"submit","id":"q","job":{{"type":"equivalence","a":"{dsl}","b":"h 0"}}}}"#
+            );
+            assert!(parse_request(&line).is_err(), "{dsl}");
+        }
+    }
+
+    #[test]
+    fn equivalence_circuits_share_one_register() {
+        // Regression: independently inferred widths made "h 0" vs
+        // "h 0; z 1" a register mismatch instead of an answer.
+        let r = parse_request(
+            r#"{"op":"submit","id":"e","job":{"type":"equivalence","a":"h 0","b":"h 0; z 1"}}"#,
+        )
+        .unwrap();
+        match r {
+            Request::Submit {
+                job: Job::Equivalence { a, b, .. },
+                ..
+            } => {
+                assert_eq!(a.n_qubits(), 2);
+                assert_eq!(b.n_qubits(), 2);
+            }
+            other => panic!("decoded {other:?}"),
+        }
+    }
+
+    #[test]
+    fn as_usize_rejects_the_rounded_up_bound() {
+        // 2^64 is exactly `usize::MAX as f64` after rounding — admitting
+        // it would saturate the cast to usize::MAX.
+        assert_eq!(JsonValue::Number(18446744073709551616.0).as_usize(), None);
+        assert_eq!(JsonValue::Number(-1.0).as_usize(), None);
+        assert_eq!(JsonValue::Number(1.5).as_usize(), None);
+        assert_eq!(JsonValue::Number(250.0).as_usize(), Some(250));
+        // Large but exactly representable below 2^64 still converts.
+        assert_eq!(
+            JsonValue::Number((1u64 << 53) as f64).as_usize(),
+            Some(1usize << 53)
+        );
+    }
+
+    #[test]
+    fn invariant_n_qubits_must_fit_u32() {
+        // Regression: `as u32` silently truncated 2^32 to 0.
+        let line = r#"{"op":"submit","id":"i","job":{"type":"invariant","n_qubits":4294967296,"states":[[[1,0,0,0]]],"max_iterations":4}}"#;
+        let err = parse_request(line).unwrap_err();
+        assert!(err.contains("u32"), "{err}");
+        // The boundary value itself still decodes.
+        let ok = r#"{"op":"submit","id":"i","job":{"type":"invariant","n_qubits":1,"states":[[[1,0,0,0]]],"max_iterations":4}}"#;
+        assert!(parse_request(ok).is_ok());
     }
 
     #[test]

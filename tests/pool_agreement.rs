@@ -1,16 +1,23 @@
 //! Differential suite for `EnginePool`: a batch of mixed jobs pushed
-//! through the pool (2 and 4 workers) must be **bit-for-bit identical**
-//! to running each job on a fresh serial `Engine` built from the same
-//! `EngineSpec` — across all four built-in strategies plus `Auto`, with
-//! GC forced at every safepoint (`GcPolicy::aggressive()`).
+//! through the pool (2 and 4 workers) must agree with running each job
+//! on a fresh serial `Engine` built from the same `EngineSpec` — across
+//! all four built-in strategies plus `Auto`, with GC forced at every
+//! safepoint (`GcPolicy::aggressive()`).
 //!
-//! Bit-for-bit is meaningful because jobs are manager-independent: an
-//! image job densifies its output basis (every amplitude at every
-//! computational-basis index), and a worker runs exactly the serial code
-//! path (`qits::run_job`) on an engine stamped from the same spec, so any
-//! divergence — a stolen job mutating shared state, a relocation applied
-//! to the wrong holder, cross-job cache contamination changing results —
-//! shows up as a float that is not *equal*, not merely not-close.
+//! Discrete outputs (dimensions, iteration counts, verdicts, error
+//! values) must match **exactly**. Amplitudes are compared to a `1e-9`
+//! tolerance, not bit-for-bit: a pool worker keeps its engine — and
+//! therefore its tolerance-snapping complex-weight table — across jobs,
+//! so a later job's weights can snap to near-equal entries interned by
+//! whichever jobs happened to run earlier on that worker. Which worker
+//! gets which job is scheduling-dependent, so bit-for-bit equality is
+//! not a stable property of the pool (it flakes under CPU load); the
+//! tolerance bound is. Real pool races — a stolen job mutating shared
+//! state, a relocation applied to the wrong holder, cross-job cache
+//! contamination — still show: they corrupt amplitudes far beyond the
+//! weight tolerance or change a discrete field outright. The same bound
+//! covers `QITS_REORDER=aggressive` runs, where a worker additionally
+//! carries the variable order earlier jobs sifted into.
 
 use proptest::prelude::*;
 // `qits::Strategy` shadows the proptest trait of the same name.
@@ -58,42 +65,29 @@ fn arb_amp() -> impl proptest::strategy::Strategy<Value = (Cplx, Cplx)> {
     })
 }
 
-/// `QITS_REORDER=aggressive` (the CI matrix leg) schedules sifting at
-/// every collection. A pool worker keeps its engine — and therefore the
-/// variable order earlier jobs sifted into — across jobs, while the
-/// serial baseline stamps a fresh natural-order engine per job, so the
-/// two sides round their weight normalisations under different orders
-/// and bit-for-bit equality legitimately degrades to tolerance equality.
-fn forced_reorder() -> bool {
-    std::env::var("QITS_REORDER").is_ok_and(|v| v == "aggressive")
-}
-
-/// Field-wise bit-for-bit comparison, timing-carrying stats excluded
-/// (amplitudes drop to tolerance comparison under forced reordering —
-/// see [`forced_reorder`]).
+/// Field-wise comparison, timing-carrying stats excluded: discrete
+/// fields exactly, amplitudes to tolerance (see the module docs for why
+/// bit-for-bit is not a stable property of a worker that keeps its
+/// weight table across jobs).
 fn outputs_match(pool: &JobOutput, serial: &JobOutput) -> Result<(), String> {
     match (pool, serial) {
         (JobOutput::Image(p), JobOutput::Image(s)) => {
             if p.dim != s.dim {
                 return Err(format!("image dim {} != {}", p.dim, s.dim));
             }
-            if forced_reorder() {
-                let same_shape = p.amplitudes.len() == s.amplitudes.len()
-                    && p.amplitudes
-                        .iter()
-                        .zip(&s.amplitudes)
-                        .all(|(a, b)| a.len() == b.len());
-                let close = same_shape
-                    && p.amplitudes
-                        .iter()
-                        .flatten()
-                        .zip(s.amplitudes.iter().flatten())
-                        .all(|(a, b)| a.approx_eq_with(*b, 1e-9));
-                if !close {
-                    return Err("image amplitudes differ beyond tolerance".to_string());
-                }
-            } else if p.amplitudes != s.amplitudes {
-                return Err("image amplitudes differ bit-for-bit".to_string());
+            let same_shape = p.amplitudes.len() == s.amplitudes.len()
+                && p.amplitudes
+                    .iter()
+                    .zip(&s.amplitudes)
+                    .all(|(a, b)| a.len() == b.len());
+            let close = same_shape
+                && p.amplitudes
+                    .iter()
+                    .flatten()
+                    .zip(s.amplitudes.iter().flatten())
+                    .all(|(a, b)| a.approx_eq_with(*b, 1e-9));
+            if !close {
+                return Err("image amplitudes differ beyond tolerance".to_string());
             }
             Ok(())
         }
